@@ -1,0 +1,311 @@
+// Benchmarks backing the experiment tables in EXPERIMENTS.md. Each family
+// corresponds to an experiment ID from DESIGN.md:
+//
+//	E2  BenchmarkLBTPractical      — LBT vs n at small c (Theorem 3.2)
+//	E3  BenchmarkLBTConcurrency    — LBT vs c at fixed n (Theorem 3.2)
+//	E4  BenchmarkFZF, BenchmarkCrossover — FZF quasilinear for any c (Theorem 4.6)
+//	E1  BenchmarkOracleBaseline    — the exact decider as the naive baseline
+//	E6  BenchmarkWAVReduction      — exact weighted solve of Figure 5 instances
+//	E7  BenchmarkQuorumVerify      — end-to-end verification of simulated stores
+//	E8  BenchmarkSmallestK         — smallest-k search
+//	E10 BenchmarkAblationDeepening — LBT deepening on/off, benign + trap
+//	E12 BenchmarkSmallestDelta     — time-staleness binary search
+//	     BenchmarkZones1AV         — the k=1 zone test for reference
+//	     BenchmarkTraceCheck       — multi-register locality dispatch
+//	     BenchmarkBandwidth        — §VI GBW: RCM heuristic vs exact
+//	     BenchmarkRegularity       — §I safety/regularity classification
+package kat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"kat/internal/bandwidth"
+	"kat/internal/fzf"
+	"kat/internal/generator"
+	"kat/internal/history"
+	"kat/internal/lbt"
+	"kat/internal/oracle"
+	"kat/internal/quorum"
+	"kat/internal/regularity"
+	"kat/internal/wav"
+	"kat/internal/zone"
+
+	root "kat"
+)
+
+func mustPrepare(b *testing.B, h *history.History) *history.Prepared {
+	b.Helper()
+	p, err := history.Prepare(h)
+	if err != nil {
+		b.Fatalf("Prepare: %v", err)
+	}
+	return p
+}
+
+// E2: LBT across n at small fixed write concurrency (practical regime).
+func BenchmarkLBTPractical(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000, 64000} {
+		h := generator.KAtomic(generator.Config{
+			Seed: 42, Ops: n, Concurrency: 4, StalenessDepth: 1, ReadFraction: 0.6,
+		})
+		p := mustPrepare(b, h)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := lbt.Check(p, lbt.Options{}); !res.Atomic {
+					b.Fatal("rejected")
+				}
+			}
+		})
+	}
+}
+
+// E3: LBT across write concurrency c at fixed n (worst-case driver).
+func BenchmarkLBTConcurrency(b *testing.B) {
+	const n = 16000
+	for _, c := range []int{2, 8, 32, 128, 512} {
+		h := generator.Adversarial(generator.Config{Seed: 7, Ops: n, Concurrency: c})
+		p := mustPrepare(b, h)
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := lbt.Check(p, lbt.Options{}); !res.Atomic {
+					b.Fatal("rejected")
+				}
+			}
+		})
+	}
+}
+
+// E4: FZF across n and c — stays quasilinear regardless of c.
+func BenchmarkFZF(b *testing.B) {
+	for _, c := range []int{4, 256} {
+		for _, n := range []int{1000, 4000, 16000, 64000} {
+			h := generator.Adversarial(generator.Config{Seed: 11, Ops: n, Concurrency: c})
+			p := mustPrepare(b, h)
+			b.Run(fmt.Sprintf("c=%d/n=%d", c, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if res := fzf.Check(p); !res.Atomic {
+						b.Fatal("rejected")
+					}
+				}
+			})
+		}
+	}
+}
+
+// E4 (crossover view): LBT vs FZF side by side on the same inputs.
+func BenchmarkCrossover(b *testing.B) {
+	const n = 16000
+	for _, c := range []int{4, 256} {
+		h := generator.Adversarial(generator.Config{Seed: 13, Ops: n, Concurrency: c})
+		p := mustPrepare(b, h)
+		b.Run(fmt.Sprintf("lbt/c=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lbt.Check(p, lbt.Options{})
+			}
+		})
+		b.Run(fmt.Sprintf("fzf/c=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fzf.Check(p)
+			}
+		})
+	}
+}
+
+// Reference: the k=1 zone test (Gibbons–Korach).
+func BenchmarkZones1AV(b *testing.B) {
+	for _, n := range []int{1000, 16000, 64000} {
+		h := generator.KAtomic(generator.Config{
+			Seed: 3, Ops: n, Concurrency: 4, StalenessDepth: 0, ReadFraction: 0.6,
+		})
+		p := mustPrepare(b, h)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := zone.Check1Atomic(p); !ok {
+					b.Fatal("rejected")
+				}
+			}
+		})
+	}
+}
+
+// E1 baseline: the exact oracle on the same practical histories LBT/FZF
+// handle — the naive-decider cost the polynomial algorithms remove.
+func BenchmarkOracleBaseline(b *testing.B) {
+	for _, n := range []int{250, 1000, 4000} {
+		h := generator.KAtomic(generator.Config{
+			Seed: 42, Ops: n, Concurrency: 4, StalenessDepth: 1, ReadFraction: 0.6,
+		})
+		p := mustPrepare(b, h)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := oracle.CheckK(p, 2, oracle.Options{})
+				if err != nil || !res.Atomic {
+					b.Fatalf("oracle: %v %+v", err, res)
+				}
+			}
+		})
+	}
+}
+
+// E6: exact weighted k-AV on Figure 5 reductions of growing item count.
+func BenchmarkWAVReduction(b *testing.B) {
+	for _, items := range []int{2, 4, 6, 8} {
+		sizes := make([]int64, items)
+		for i := range sizes {
+			sizes[i] = int64(2 + i%3)
+		}
+		bp := wav.BinPacking{Sizes: sizes, Capacity: 6, Bins: 2}
+		red, err := wav.Reduce(bp)
+		if err != nil {
+			b.Fatalf("Reduce: %v", err)
+		}
+		p := mustPrepare(b, red.History)
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := oracle.CheckWeighted(p, red.Bound, oracle.Options{}); err != nil {
+					b.Fatalf("CheckWeighted: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// E7: verification cost on histories from the quorum simulator.
+func BenchmarkQuorumVerify(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  quorum.Config
+	}{
+		{"strict-3-2-2", quorum.Config{Replicas: 3, ReadQuorum: 2, WriteQuorum: 2,
+			Clients: 6, OpsPerClient: 40}},
+		{"weak-5-1-1", quorum.Config{Replicas: 5, ReadQuorum: 1, WriteQuorum: 1,
+			Clients: 6, OpsPerClient: 40, ClockSkew: 15}},
+	}
+	for _, tc := range configs {
+		tc.cfg.Seed = 9
+		h, _, err := quorum.Run(tc.cfg)
+		if err != nil {
+			b.Fatalf("Run: %v", err)
+		}
+		p := mustPrepare(b, h)
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fzf.Check(p)
+			}
+		})
+	}
+}
+
+// E8: smallest-k search end to end (normalize + dispatch + binary search).
+func BenchmarkSmallestK(b *testing.B) {
+	for _, depth := range []int{0, 1, 3} {
+		h := generator.KAtomic(generator.Config{
+			Seed: 17, Ops: 300, Concurrency: 2,
+			StalenessDepth: depth, ForceDepth: true, ReadFraction: 0.5,
+		})
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := root.SmallestK(h, root.Options{}); err != nil {
+					b.Fatalf("SmallestK: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// E10: LBT with iterative deepening disabled (the ablation). "benign" rows
+// use generated adversarial-concurrency histories where deepening must be
+// free; "trap" rows use the staircase construction with an adversarial
+// candidate order, where plain Figure 2 LBT re-walks a long failing chain
+// every epoch.
+func BenchmarkAblationDeepening(b *testing.B) {
+	type wl struct {
+		name  string
+		h     *history.History
+		worst bool
+	}
+	wls := []wl{
+		{"benign-c128", generator.Adversarial(generator.Config{Seed: 23, Ops: 16000, Concurrency: 128}), false},
+		{"trap-1000", generator.LBTTrap(1000, 20), true},
+		{"trap-4000", generator.LBTTrap(4000, 40), true},
+	}
+	for _, w := range wls {
+		p := mustPrepare(b, w.h)
+		b.Run("on/"+w.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lbt.Check(p, lbt.Options{WorstCaseOrder: w.worst})
+			}
+		})
+		b.Run("off/"+w.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lbt.Check(p, lbt.Options{NoDeepening: true, WorstCaseOrder: w.worst})
+			}
+		})
+	}
+}
+
+// Δ-atomicity: smallest time-staleness bound (binary search over zone
+// checks) on histories of graded staleness.
+func BenchmarkSmallestDelta(b *testing.B) {
+	for _, depth := range []int{0, 2} {
+		h := generator.KAtomic(generator.Config{
+			Seed: 29, Ops: 400, Concurrency: 3, StalenessDepth: depth, ReadFraction: 0.5,
+		})
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := root.SmallestDelta(h); err != nil {
+					b.Fatalf("SmallestDelta: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// Multi-register verification throughput (locality dispatch over keys).
+func BenchmarkTraceCheck(b *testing.B) {
+	tr := root.NewTrace()
+	for key := 0; key < 16; key++ {
+		h := generator.KAtomic(generator.Config{
+			Seed: int64(key), Ops: 200, Concurrency: 3, StalenessDepth: 1,
+		})
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("key-%02d", key), op)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := root.CheckTrace(tr, 2, root.Options{})
+		if !rep.Atomic() {
+			b.Fatal("trace rejected")
+		}
+	}
+}
+
+// Graph bandwidth on history interval graphs: RCM heuristic vs exact.
+func BenchmarkBandwidth(b *testing.B) {
+	h := generator.KAtomic(generator.Config{Seed: 31, Ops: 64, Concurrency: 4})
+	g := bandwidth.FromHistory(h)
+	b.Run("rcm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g.Width(g.CuthillMcKee()) < 0 {
+				b.Fatal("invalid layout")
+			}
+		}
+	})
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Bandwidth()
+		}
+	})
+}
+
+// Regularity/safety classification throughput.
+func BenchmarkRegularity(b *testing.B) {
+	h := generator.KAtomic(generator.Config{Seed: 37, Ops: 2000, Concurrency: 4, StalenessDepth: 1})
+	p := mustPrepare(b, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		regularity.Check(p)
+	}
+}

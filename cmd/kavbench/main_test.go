@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"E1", "E5", "E10"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBenchSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "e5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "FZ2,FZ3,FZ4") {
+		t.Errorf("E5 output wrong:\n%s", out.String())
+	}
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "e99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

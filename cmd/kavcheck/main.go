@@ -1,0 +1,210 @@
+// Command kavcheck verifies k-atomicity of a history read from a file or
+// standard input.
+//
+// Usage:
+//
+//	kavcheck [flags] [file]
+//
+// The input is the compact text format ("w 1 0 10", "r 1 20 30", one op per
+// line; see package kat) or JSON with -json. Examples:
+//
+//	kavcheck -k 2 trace.txt          # is the trace 2-atomic?
+//	kavcheck -smallest trace.txt     # smallest k
+//	kavcheck -k 2 -algo lbt -witness trace.txt
+//	kavcheck -weighted 5 trace.txt   # weighted k-AV (Section V)
+//	kavcheck -k 2 -shrink trace.txt  # minimal violating core on failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kat"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kavcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kavcheck", flag.ContinueOnError)
+	var (
+		k        = fs.Int("k", 2, "staleness bound to verify")
+		algo     = fs.String("algo", "auto", "algorithm: auto|zones|lbt|fzf|oracle")
+		smallest = fs.Bool("smallest", false, "compute the smallest k instead of a yes/no check")
+		weighted = fs.Int64("weighted", 0, "verify weighted k-AV with this bound (overrides -k)")
+		doDelta  = fs.Bool("delta", false, "also report the smallest time-staleness bound Δ")
+		props    = fs.Bool("properties", false, "also report Lamport safety and regularity")
+		keyed    = fs.Bool("keyed", false, "input is a multi-register trace (w <key> <value> <start> <finish>)")
+		timeline = fs.Bool("timeline", false, "draw the history as an ASCII timeline")
+		showWit  = fs.Bool("witness", false, "print the witness total order on success")
+		doShrink = fs.Bool("shrink", false, "on failure, print a minimized violating history")
+		asJSON   = fs.Bool("json", false, "input is JSON ({\"ops\": [...]})")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *keyed {
+		return runKeyed(fs.Args(), *k, out)
+	}
+
+	h, err := readHistory(fs.Args(), *asJSON)
+	if err != nil {
+		return err
+	}
+	if *timeline {
+		p, err := kat.Prepare(kat.Normalize(h))
+		if err != nil {
+			return err
+		}
+		if err := kat.RenderTimeline(out, p, kat.RenderOptions{}); err != nil {
+			return err
+		}
+	}
+	if *doDelta {
+		d, err := kat.SmallestDelta(h)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "smallest Δ (time-staleness): %d\n", d)
+	}
+	if *props {
+		p, err := kat.Prepare(kat.Normalize(h))
+		if err != nil {
+			return err
+		}
+		v := kat.CheckProperties(p)
+		fmt.Fprintf(out, "properties: %s\n", v.Summary())
+	}
+	st := kat.Measure(h)
+	fmt.Fprintf(out, "history: %d ops (%d writes, %d reads), max write concurrency %d\n",
+		st.Ops, st.Writes, st.Reads, st.MaxConcurrentWrites)
+
+	if *smallest {
+		kMin, err := kat.SmallestK(h, kat.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "smallest k: %d\n", kMin)
+		return nil
+	}
+
+	if *weighted > 0 {
+		rep, err := kat.CheckWeighted(h, *weighted, kat.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "weighted %d-atomic: %v\n", *weighted, rep.Atomic)
+		if rep.Atomic && *showWit {
+			printWitness(out, rep)
+		}
+		return nil
+	}
+
+	opts := kat.Options{}
+	switch *algo {
+	case "auto":
+		opts.Algorithm = kat.AlgoAuto
+	case "zones":
+		opts.Algorithm = kat.AlgoZones
+	case "lbt":
+		opts.Algorithm = kat.AlgoLBT
+	case "fzf":
+		opts.Algorithm = kat.AlgoFZF
+	case "oracle":
+		opts.Algorithm = kat.AlgoOracle
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	rep, err := kat.Check(h, *k, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d-atomic: %v (algorithm: %v)\n", *k, rep.Atomic, rep.Algorithm)
+	if rep.Atomic && *showWit {
+		printWitness(out, rep)
+	}
+	if !rep.Atomic && *doShrink {
+		kk := *k
+		min := kat.Minimize(h, func(c *kat.History) bool {
+			r, err := kat.Check(c, kk, kat.Options{})
+			return err == nil && !r.Atomic
+		})
+		fmt.Fprintf(out, "minimal violating core (%d ops):\n%s", min.Len(), min)
+	}
+	if !rep.Atomic {
+		return fmt.Errorf("history is not %d-atomic", *k)
+	}
+	return nil
+}
+
+// runKeyed verifies a multi-register trace per key.
+func runKeyed(args []string, k int, out io.Writer) error {
+	var r io.Reader = os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	tr, err := kat.ParseTrace(string(data))
+	if err != nil {
+		return err
+	}
+	rep := kat.CheckTrace(tr, k, kat.Options{})
+	for _, kr := range rep.Keys {
+		status := fmt.Sprintf("%d-atomic: %v", k, kr.Atomic)
+		if kr.Err != nil {
+			status = "error: " + kr.Err.Error()
+		}
+		fmt.Fprintf(out, "key %-12s %4d ops  %s\n", kr.Key, kr.Ops, status)
+	}
+	if !rep.Atomic() {
+		return fmt.Errorf("trace is not %d-atomic (failing keys: %v)", k, rep.FailingKeys())
+	}
+	fmt.Fprintf(out, "trace: all %d keys are %d-atomic\n", len(rep.Keys), k)
+	return nil
+}
+
+func readHistory(args []string, asJSON bool) (*kat.History, error) {
+	var r io.Reader = os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if asJSON {
+		var h kat.History
+		if err := h.UnmarshalJSON(data); err != nil {
+			return nil, err
+		}
+		return &h, nil
+	}
+	return kat.Parse(string(data))
+}
+
+func printWitness(out io.Writer, rep kat.Report) {
+	fmt.Fprintln(out, "witness order:")
+	for _, idx := range rep.Witness {
+		fmt.Fprintf(out, "  %s\n", rep.Prepared.Op(idx))
+	}
+}

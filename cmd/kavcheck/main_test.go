@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hist.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckAccepts(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nr 1 40 50\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "2", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2-atomic: true") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckRejectsWithError(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nw 3 40 50\nr 1 60 70\n")
+	var out strings.Builder
+	err := run([]string{"-k", "2", path}, &out)
+	if err == nil {
+		t.Fatal("violating history did not produce an error exit")
+	}
+	if !strings.Contains(out.String(), "2-atomic: false") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckSmallest(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nr 1 40 50\n")
+	var out strings.Builder
+	if err := run([]string{"-smallest", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "smallest k: 2") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckWitness(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nr 1 20 30\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "1", "-witness", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "witness order:") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckWeighted(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10 weight=2\nw 2 20 30 weight=3\nr 1 40 50\n")
+	var out strings.Builder
+	if err := run([]string{"-weighted", "5", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "weighted 5-atomic: true") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckShrink(t *testing.T) {
+	path := writeTemp(t, `
+w 1 0 10
+w 2 20 30
+w 3 40 50
+r 1 60 70
+w 9 100 110
+r 9 120 130
+`)
+	var out strings.Builder
+	err := run([]string{"-k", "2", "-shrink", path}, &out)
+	if err == nil {
+		t.Fatal("expected failure exit")
+	}
+	if !strings.Contains(out.String(), "minimal violating core (4 ops)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckAlgorithms(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nr 1 20 30\n")
+	for _, algo := range []string{"auto", "lbt", "fzf", "oracle"} {
+		k := "2"
+		var out strings.Builder
+		if err := run([]string{"-k", k, "-algo", algo, path}, &out); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	var out strings.Builder
+	if err := run([]string{"-algo", "bogus", path}, &out); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}
+
+func TestCheckJSONInput(t *testing.T) {
+	path := writeTemp(t, `{"ops":[{"kind":"w","value":1,"start":0,"finish":10},{"kind":"r","value":1,"start":20,"finish":30}]}`)
+	var out strings.Builder
+	if err := run([]string{"-k", "1", "-json", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "1-atomic: true") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"/nonexistent/file.txt"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCheckDeltaFlag(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nr 1 40 50\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "2", "-delta", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "smallest Δ") {
+		t.Errorf("delta line missing:\n%s", out.String())
+	}
+}
+
+func TestCheckTimelineFlag(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nr 1 20 30\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "1", "-timeline", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "w(1)") {
+		t.Errorf("timeline missing:\n%s", out.String())
+	}
+}
+
+func TestCheckKeyedTrace(t *testing.T) {
+	path := writeTemp(t, "w x 1 0 10\nr x 1 20 30\nw y 1 5 15\nw y 2 25 35\nr y 1 45 55\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "2", "-keyed", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "all 2 keys are 2-atomic") {
+		t.Errorf("keyed summary missing:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-k", "1", "-keyed", path}, &out); err == nil {
+		t.Error("k=1 keyed check should fail (key y is stale)")
+	}
+	if !strings.Contains(out.String(), "key y") {
+		t.Errorf("per-key rows missing:\n%s", out.String())
+	}
+}
+
+func TestCheckPropertiesFlag(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nr 1 40 50\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "2", "-properties", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "regular=false") {
+		t.Errorf("properties line missing or wrong:\n%s", out.String())
+	}
+}

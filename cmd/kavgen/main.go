@@ -1,0 +1,75 @@
+// Command kavgen generates synthetic histories for testing k-atomicity
+// checkers.
+//
+// Usage:
+//
+//	kavgen -kind katomic -ops 1000 -depth 1 -concurrency 4 > trace.txt
+//	kavgen -kind random -ops 200 -seed 7 > fuzz.txt
+//	kavgen -kind katomic -ops 500 -inject 0.3 -inject-depth 3 > stale.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kat"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kavgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kavgen", flag.ContinueOnError)
+	var (
+		kind        = fs.String("kind", "katomic", "generator: katomic|random|trap")
+		ops         = fs.Int("ops", 100, "number of operations")
+		chain       = fs.Int("chain", 100, "trap: staircase length")
+		goods       = fs.Int("goods", 10, "trap: number of instantly-succeeding writes")
+		seed        = fs.Int64("seed", 1, "PRNG seed")
+		conc        = fs.Int("concurrency", 2, "approximate operation overlap")
+		readFrac    = fs.Float64("read-fraction", 0.5, "fraction of reads")
+		depth       = fs.Int("depth", 0, "staleness depth (katomic: history is depth+1-atomic)")
+		forceDepth  = fs.Bool("force-depth", false, "force at least one read at exactly -depth")
+		inject      = fs.Float64("inject", 0, "fraction of reads to redirect to older writes")
+		injectDepth = fs.Int("inject-depth", 1, "how many writes back injected reads go")
+		asJSON      = fs.Bool("json", false, "emit JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := kat.GenConfig{
+		Seed: *seed, Ops: *ops, Concurrency: *conc,
+		ReadFraction: *readFrac, StalenessDepth: *depth, ForceDepth: *forceDepth,
+	}
+	var h *kat.History
+	switch *kind {
+	case "katomic":
+		h = kat.GenerateKAtomic(cfg)
+	case "random":
+		h = kat.GenerateRandom(cfg)
+	case "trap":
+		h = kat.GenerateLBTTrap(*chain, *goods)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *inject > 0 {
+		h = kat.InjectStaleness(h, *seed+1, *inject, *injectDepth)
+	}
+	if *asJSON {
+		data, err := h.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(append(data, '\n'))
+		return err
+	}
+	_, err := io.WriteString(out, h.String())
+	return err
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"kat"
+)
+
+func TestGenKAtomic(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "katomic", "-ops", "50", "-depth", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h, err := kat.Parse(out.String())
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	rep, err := kat.Check(h, 2, kat.Options{})
+	if err != nil || !rep.Atomic {
+		t.Errorf("generated history not 2-atomic: %v %+v", err, rep)
+	}
+}
+
+func TestGenRandom(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "random", "-ops", "30", "-seed", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := kat.Parse(out.String()); err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+}
+
+func TestGenInject(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-kind", "katomic", "-ops", "60", "-inject", "1.0", "-inject-depth", "3"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h, err := kat.Parse(out.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	k, err := kat.SmallestK(h, kat.Options{})
+	if err != nil {
+		t.Fatalf("SmallestK: %v", err)
+	}
+	if k < 2 {
+		t.Errorf("full injection left k=%d", k)
+	}
+}
+
+func TestGenJSON(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "katomic", "-ops", "10", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var h kat.History
+	if err := h.UnmarshalJSON([]byte(out.String())); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if h.Len() == 0 {
+		t.Error("empty JSON history")
+	}
+}
+
+func TestGenUnknownKind(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "bogus"}, &out); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGenTrap(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-kind", "trap", "-chain", "8", "-goods", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	h, err := kat.Parse(out.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	rep, err := kat.Check(h, 2, kat.Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if rep.Atomic {
+		t.Error("trap history should not be 2-atomic")
+	}
+}

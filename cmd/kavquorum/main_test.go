@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kat"
+)
+
+func TestQuorumSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "3", "-r", "2", "-w", "2", "-runs", "3", "-ops", "8"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"smallest-k distribution", "k<=1", "R+W > N"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQuorumWeakNote(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5", "-r", "1", "-w", "1", "-runs", "2", "-ops", "5"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "R+W <= N") {
+		t.Errorf("weak-quorum note missing:\n%s", out.String())
+	}
+}
+
+func TestQuorumEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	var out strings.Builder
+	if err := run([]string{"-n", "3", "-r", "2", "-w", "2", "-ops", "6", "-emit", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read emitted trace: %v", err)
+	}
+	if _, err := kat.Parse(string(data)); err != nil {
+		t.Fatalf("emitted trace not parseable: %v", err)
+	}
+}
+
+func TestQuorumBadConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "3", "-r", "9", "-w", "2"}, &out); err == nil {
+		t.Error("invalid quorum accepted")
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: parse a tiny history, check 1- and 2-atomicity, inspect the
+// witness, and compute the smallest k.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kat"
+)
+
+func main() {
+	// Two completed writes, then a read that returns the older value — the
+	// signature staleness pattern of a sloppy-quorum store.
+	h := kat.MustParse(`
+w 1 0 10
+w 2 20 30
+r 1 40 50
+`)
+
+	rep1, err := kat.Check(h, 1, kat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1-atomic (linearizable): %v\n", rep1.Atomic)
+
+	rep2, err := kat.Check(h, 2, kat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-atomic:                %v (decided by %v)\n", rep2.Atomic, rep2.Algorithm)
+
+	fmt.Println("witness total order:")
+	for _, idx := range rep2.Witness {
+		fmt.Printf("  %s\n", rep2.Prepared.Op(idx))
+	}
+
+	k, err := kat.SmallestK(h, kat.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("smallest k: %d\n", k)
+
+	// LBT and FZF are interchangeable deciders for k=2.
+	repLBT, err := kat.Check(h, 2, kat.Options{Algorithm: kat.AlgoLBT})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LBT agrees: %v\n", repLBT.Atomic == rep2.Atomic)
+}

@@ -1,0 +1,80 @@
+package kat_test
+
+import (
+	"testing"
+
+	"kat"
+	"kat/internal/history"
+	"kat/internal/oracle"
+)
+
+// FuzzCheckersAgree feeds arbitrary parsed histories to all three 2-AV
+// deciders and fails on any divergence — the end-to-end differential fuzz
+// target. Inputs the model rejects (anomalies) are skipped; sizes are capped
+// to keep the oracle tractable.
+func FuzzCheckersAgree(f *testing.F) {
+	seeds := []string{
+		"w 1 0 10; w 2 20 30; r 1 40 50",
+		"w 1 0 30; w 2 5 35; r 2 40 50; r 1 60 70",
+		"w 1 0 10; r 1 20 30; w 2 40 50; r 2 60 70",
+		"w 1 0 10; w 2 12 14; w 3 16 18; r 1 20 30",
+		"w 9 0 10; r 9 100 110; w 1 20 25; w 2 40 45; w 3 60 65",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		h, err := kat.Parse(text)
+		if err != nil || h.Len() > 24 {
+			return
+		}
+		p, err := history.Prepare(history.Normalize(h))
+		if err != nil {
+			return
+		}
+		want, err := oracle.CheckK(p, 2, oracle.Options{MaxStates: 200_000})
+		if err != nil {
+			return // state budget blown on a pathological input: no verdict
+		}
+		lbtRep, err := kat.CheckPrepared(p, 2, kat.Options{Algorithm: kat.AlgoLBT})
+		if err != nil {
+			t.Fatalf("LBT errored on accepted input: %v", err)
+		}
+		fzfRep, err := kat.CheckPrepared(p, 2, kat.Options{Algorithm: kat.AlgoFZF})
+		if err != nil {
+			t.Fatalf("FZF errored on accepted input: %v", err)
+		}
+		if lbtRep.Atomic != want.Atomic || fzfRep.Atomic != want.Atomic {
+			t.Fatalf("divergence on %q: oracle=%v lbt=%v fzf=%v",
+				text, want.Atomic, lbtRep.Atomic, fzfRep.Atomic)
+		}
+		// CheckPrepared already witness-validates positive answers.
+	})
+}
+
+// FuzzSmallestKConsistent checks the smallest-k search agrees with direct
+// probes at k and k-1.
+func FuzzSmallestKConsistent(f *testing.F) {
+	f.Add("w 1 0 10; w 2 20 30; r 1 40 50")
+	f.Add("w 1 0 10; r 1 20 30")
+	f.Fuzz(func(t *testing.T, text string) {
+		h, err := kat.Parse(text)
+		if err != nil || h.Len() > 20 {
+			return
+		}
+		k, err := kat.SmallestK(h, kat.Options{})
+		if err != nil {
+			return
+		}
+		rep, err := kat.Check(h, k, kat.Options{})
+		if err != nil || !rep.Atomic {
+			t.Fatalf("not atomic at its own smallest k=%d: %v (%q)", k, err, text)
+		}
+		if k > 1 {
+			below, err := kat.Check(h, k-1, kat.Options{})
+			if err == nil && below.Atomic {
+				t.Fatalf("atomic below smallest k=%d (%q)", k, text)
+			}
+		}
+	})
+}

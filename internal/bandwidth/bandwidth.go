@@ -1,0 +1,253 @@
+// Package bandwidth implements the graph bandwidth problem (GBW) that
+// Section VI of the paper relates to k-AV: arrange a graph's vertices on a
+// line so that adjacent vertices sit at most k apart. GBW is NP-complete in
+// general (Papadimitriou), polynomial for fixed k (Saxe), and O(n log n) on
+// interval graphs (Kleitman–Vohra) — but, as the paper stresses, the special
+// insight behind those algorithms does not transfer to k-AV, which is why
+// LBT and FZF had to be invented. This package provides the machinery to
+// explore that relationship empirically:
+//
+//   - an exact branch-and-bound decision procedure and minimizer (exponential
+//     worst case, pruned; intended for small graphs);
+//   - the reverse Cuthill–McKee heuristic as a fast upper bound;
+//   - interval-graph construction from operation intervals, connecting
+//     histories to their zone/overlap structure.
+package bandwidth
+
+import (
+	"fmt"
+	"sort"
+
+	"kat/internal/history"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj [][]int
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, adj: make([][]int, n)}
+}
+
+// AddEdge inserts the undirected edge {u, v}; self-loops and duplicates are
+// ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// Neighbors returns v's adjacency list (not a copy; do not modify).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m / 2
+}
+
+// FromIntervals builds the interval graph of the given closed intervals
+// (vertices adjacent iff intervals intersect).
+func FromIntervals(lo, hi []int64) (*Graph, error) {
+	if len(lo) != len(hi) {
+		return nil, fmt.Errorf("bandwidth: %d lows vs %d highs", len(lo), len(hi))
+	}
+	g := NewGraph(len(lo))
+	for i := 0; i < len(lo); i++ {
+		for j := i + 1; j < len(lo); j++ {
+			if lo[i] <= hi[j] && lo[j] <= hi[i] {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// FromHistory builds the interval graph of a history's operation intervals.
+func FromHistory(h *history.History) *Graph {
+	lo := make([]int64, h.Len())
+	hi := make([]int64, h.Len())
+	for i, op := range h.Ops {
+		lo[i], hi[i] = op.Start, op.Finish
+	}
+	g, _ := FromIntervals(lo, hi) // lengths match by construction
+	return g
+}
+
+// Layout is a vertex ordering: Layout[i] is the vertex at position i.
+type Layout []int
+
+// Width returns the maximum edge stretch of the layout, 0 for edgeless
+// graphs, or -1 if the layout is not a permutation of the graph's vertices.
+func (g *Graph) Width(l Layout) int {
+	if len(l) != g.N {
+		return -1
+	}
+	pos := make([]int, g.N)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range l {
+		if v < 0 || v >= g.N || pos[v] != -1 {
+			return -1
+		}
+		pos[v] = i
+	}
+	width := 0
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.adj[u] {
+			if d := pos[u] - pos[v]; d > width {
+				width = d
+			} else if -d > width {
+				width = -d
+			}
+		}
+	}
+	return width
+}
+
+// CuthillMcKee returns the reverse Cuthill–McKee ordering, a classic
+// bandwidth-reducing heuristic: BFS from a minimum-degree vertex of each
+// component, visiting neighbors in degree order, then reverse.
+func (g *Graph) CuthillMcKee() Layout {
+	visited := make([]bool, g.N)
+	order := make([]int, 0, g.N)
+	degree := func(v int) int { return len(g.adj[v]) }
+
+	// Component roots: minimum degree first.
+	roots := make([]int, g.N)
+	for i := range roots {
+		roots[i] = i
+	}
+	sort.SliceStable(roots, func(a, b int) bool { return degree(roots[a]) < degree(roots[b]) })
+
+	for _, root := range roots {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			next := make([]int, 0, len(g.adj[v]))
+			for _, w := range g.adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					next = append(next, w)
+				}
+			}
+			sort.SliceStable(next, func(a, b int) bool { return degree(next[a]) < degree(next[b]) })
+			queue = append(queue, next...)
+		}
+	}
+	// Reverse (RCM).
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Decide reports whether the graph has bandwidth <= k, and a witness layout
+// when it does. Branch and bound over positions with deadline pruning;
+// exponential worst case (GBW is NP-complete), fine for small graphs.
+func (g *Graph) Decide(k int) (Layout, bool) {
+	if k < 0 {
+		return nil, false
+	}
+	if g.N == 0 {
+		return Layout{}, true
+	}
+	// Quick accept via RCM.
+	if rcm := g.CuthillMcKee(); g.Width(rcm) <= k {
+		return rcm, true
+	}
+	layout := make([]int, g.N)
+	pos := make([]int, g.N)
+	for i := range pos {
+		pos[i] = -1
+	}
+	var dfs func(p int) bool
+	dfs = func(p int) bool {
+		if p == g.N {
+			return true
+		}
+		for v := 0; v < g.N; v++ {
+			if pos[v] != -1 {
+				continue
+			}
+			ok := true
+			for _, u := range g.adj[v] {
+				if pos[u] != -1 && p-pos[u] > k {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Deadline pruning: any placed vertex with an unplaced
+			// neighbor must still be reachable within k.
+			pos[v] = p
+			layout[p] = v
+			dead := false
+			for u := 0; u < g.N && !dead; u++ {
+				if pos[u] == -1 || p-pos[u] < k {
+					continue
+				}
+				for _, w := range g.adj[u] {
+					if pos[w] == -1 {
+						dead = true
+						break
+					}
+				}
+			}
+			if !dead && dfs(p+1) {
+				return true
+			}
+			pos[v] = -1
+		}
+		return false
+	}
+	if dfs(0) {
+		out := make(Layout, g.N)
+		copy(out, layout)
+		return out, true
+	}
+	return nil, false
+}
+
+// Bandwidth computes the exact bandwidth and an optimal layout by probing
+// k upward from a trivial lower bound; the RCM width bounds the work above.
+func (g *Graph) Bandwidth() (int, Layout) {
+	if g.N == 0 {
+		return 0, Layout{}
+	}
+	// Lower bound: ceil(maxDegree / 2).
+	maxDeg := 0
+	for v := 0; v < g.N; v++ {
+		if d := len(g.adj[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	lo := (maxDeg + 1) / 2
+	for k := lo; ; k++ {
+		if l, ok := g.Decide(k); ok {
+			return k, l
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"kat/internal/generator"
+)
+
+func path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func complete(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func star(leaves int) *Graph {
+	g := NewGraph(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func TestKnownBandwidths(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty", NewGraph(0), 0},
+		{"singleton", NewGraph(1), 0},
+		{"edgeless", NewGraph(5), 0},
+		{"path5", path(5), 1},
+		{"path10", path(10), 1},
+		{"cycle4", cycle(4), 2},
+		{"cycle7", cycle(7), 2},
+		{"K4", complete(4), 3},
+		{"K6", complete(6), 5},
+		{"star4", star(4), 2},
+		{"star5", star(5), 3},
+		{"star6", star(6), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			k, layout := tt.g.Bandwidth()
+			if k != tt.want {
+				t.Fatalf("Bandwidth = %d, want %d", k, tt.want)
+			}
+			if w := tt.g.Width(layout); w != k && !(k == 0 && w == 0) {
+				t.Errorf("optimal layout has width %d, want %d", w, k)
+			}
+		})
+	}
+}
+
+func TestDecideMonotone(t *testing.T) {
+	g := star(6) // bandwidth 3
+	for k := 0; k < 3; k++ {
+		if _, ok := g.Decide(k); ok {
+			t.Errorf("Decide(%d) accepted below bandwidth", k)
+		}
+	}
+	for k := 3; k <= 6; k++ {
+		if _, ok := g.Decide(k); !ok {
+			t.Errorf("Decide(%d) rejected above bandwidth", k)
+		}
+	}
+	if _, ok := g.Decide(-1); ok {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	g := path(3)
+	if g.Width(Layout{0, 1}) != -1 {
+		t.Error("short layout accepted")
+	}
+	if g.Width(Layout{0, 0, 1}) != -1 {
+		t.Error("duplicate vertex accepted")
+	}
+	if g.Width(Layout{0, 9, 1}) != -1 {
+		t.Error("out-of-range vertex accepted")
+	}
+	if w := g.Width(Layout{0, 1, 2}); w != 1 {
+		t.Errorf("path width = %d, want 1", w)
+	}
+	if w := g.Width(Layout{1, 0, 2}); w != 2 {
+		t.Errorf("re-ordered path width = %d, want 2", w)
+	}
+}
+
+func TestAddEdgeGuards(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 0)  // self loop ignored
+	g.AddEdge(0, 9)  // out of range ignored
+	g.AddEdge(-1, 1) // out of range ignored
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate ignored
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d, want 1", g.Edges())
+	}
+}
+
+// TestAgainstBruteForce cross-checks the branch-and-bound bandwidth against
+// exhaustive permutation search on random small graphs.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		want := bruteForceBandwidth(g)
+		got, layout := g.Bandwidth()
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Bandwidth = %d, want %d", trial, n, got, want)
+		}
+		if g.Edges() > 0 && g.Width(layout) != got {
+			t.Fatalf("trial %d: layout width %d != bandwidth %d", trial, g.Width(layout), got)
+		}
+	}
+}
+
+func bruteForceBandwidth(g *Graph) int {
+	perm := make([]int, g.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := g.N
+	var rec func(i int)
+	rec = func(i int) {
+		if i == g.N {
+			if w := g.Width(perm); w < best {
+				best = w
+			}
+			return
+		}
+		for j := i; j < g.N; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestCuthillMcKeeIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(7)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		rcm := g.CuthillMcKee()
+		w := g.Width(rcm)
+		if w == -1 {
+			t.Fatalf("trial %d: RCM produced an invalid layout %v", trial, rcm)
+		}
+		exact, _ := g.Bandwidth()
+		if w < exact {
+			t.Fatalf("trial %d: RCM width %d below exact bandwidth %d", trial, w, exact)
+		}
+	}
+}
+
+func TestFromIntervals(t *testing.T) {
+	g, err := FromIntervals([]int64{0, 5, 20}, []int64{10, 15, 30})
+	if err != nil {
+		t.Fatalf("FromIntervals: %v", err)
+	}
+	if g.Edges() != 1 {
+		t.Errorf("Edges = %d, want 1 (only [0,10] and [5,15] overlap)", g.Edges())
+	}
+	if _, err := FromIntervals([]int64{0}, []int64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestFromHistoryIntervalGraph(t *testing.T) {
+	// Sequential histories give edgeless graphs (bandwidth 0); concurrent
+	// histories give connected overlap structure.
+	seq := generator.KAtomic(generator.Config{Seed: 1, Ops: 12, Concurrency: 1})
+	g := FromHistory(seq)
+	k, _ := g.Bandwidth()
+	if k > 1 {
+		t.Errorf("near-sequential history has interval-graph bandwidth %d", k)
+	}
+	conc := generator.KAtomic(generator.Config{Seed: 1, Ops: 12, Concurrency: 8})
+	g2 := FromHistory(conc)
+	if g2.Edges() == 0 {
+		t.Error("concurrent history produced an edgeless interval graph")
+	}
+}

@@ -1,0 +1,236 @@
+// Package core is the top-level verification engine: it dispatches a k-AV
+// query to the right algorithm (zone-based Gibbons–Korach test for k=1, FZF
+// or LBT for k=2, the exact oracle for k >= 3 and for weighted queries) and
+// implements the smallest-k search sketched in Section II-B of the paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"kat/internal/fzf"
+	"kat/internal/history"
+	"kat/internal/lbt"
+	"kat/internal/oracle"
+	"kat/internal/witness"
+	"kat/internal/zone"
+)
+
+// Algorithm selects the verification algorithm.
+type Algorithm int
+
+const (
+	// AlgoAuto picks the best algorithm for the given k: zones for k=1,
+	// FZF for k=2, the exact oracle otherwise.
+	AlgoAuto Algorithm = iota + 1
+	// AlgoZones forces the Gibbons–Korach zone test (k=1 only).
+	AlgoZones
+	// AlgoLBT forces LBT (k=2 only).
+	AlgoLBT
+	// AlgoFZF forces FZF (k=2 only).
+	AlgoFZF
+	// AlgoOracle forces the exact search (any k; exponential worst case).
+	AlgoOracle
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoZones:
+		return "zones"
+	case AlgoLBT:
+		return "lbt"
+	case AlgoFZF:
+		return "fzf"
+	case AlgoOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ErrAlgorithmMismatch is returned when a forced algorithm cannot decide the
+// requested k (e.g., LBT with k=3).
+var ErrAlgorithmMismatch = errors.New("core: algorithm cannot decide this k")
+
+// Options tune verification.
+type Options struct {
+	// Algorithm forces a specific algorithm (default AlgoAuto).
+	Algorithm Algorithm
+	// OracleStates bounds the oracle's search (0 = package default).
+	OracleStates int
+	// LBTNoDeepening disables iterative deepening inside LBT (ablation).
+	LBTNoDeepening bool
+	// SkipWitnessCheck skips the internal re-validation of positive
+	// results (on by default as a safety net; cost O(n^2) on acceptance).
+	SkipWitnessCheck bool
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	// K is the staleness bound that was checked.
+	K int
+	// Atomic is the decision.
+	Atomic bool
+	// Witness is a valid k-atomic total order over operation indices of
+	// the prepared history, when Atomic.
+	Witness []int
+	// Algorithm records which algorithm decided.
+	Algorithm Algorithm
+	// Prepared is the normalized, sorted history the decision refers to
+	// (witness indices point into it).
+	Prepared *history.Prepared
+}
+
+// Check decides whether the history is k-atomic. The input is normalized
+// internally; anomalies surface as errors.
+func Check(h *history.History, k int, opts Options) (Report, error) {
+	if k < 1 {
+		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	p, err := history.Prepare(history.Normalize(h))
+	if err != nil {
+		return Report{}, fmt.Errorf("core: %w", err)
+	}
+	return CheckPrepared(p, k, opts)
+}
+
+// CheckPrepared is Check for histories already normalized and prepared.
+func CheckPrepared(p *history.Prepared, k int, opts Options) (Report, error) {
+	if k < 1 {
+		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	algo := opts.Algorithm
+	if algo == 0 || algo == AlgoAuto {
+		switch k {
+		case 1:
+			algo = AlgoZones
+		case 2:
+			algo = AlgoFZF
+		default:
+			algo = AlgoOracle
+		}
+	}
+	rep := Report{K: k, Algorithm: algo, Prepared: p}
+	switch algo {
+	case AlgoZones:
+		if k != 1 {
+			return Report{}, fmt.Errorf("%w: zones requires k=1, got k=%d", ErrAlgorithmMismatch, k)
+		}
+		ok, _ := zone.Check1Atomic(p)
+		rep.Atomic = ok
+		if ok {
+			// The zone test does not produce an order; obtain one from
+			// the oracle, which is fast on 1-atomic histories.
+			res, err := oracle.CheckK(p, 1, oracle.Options{MaxStates: opts.OracleStates})
+			if err == nil && res.Atomic {
+				rep.Witness = res.Witness
+			}
+		}
+	case AlgoLBT:
+		if k != 2 {
+			return Report{}, fmt.Errorf("%w: LBT requires k=2, got k=%d", ErrAlgorithmMismatch, k)
+		}
+		res := lbt.Check(p, lbt.Options{NoDeepening: opts.LBTNoDeepening})
+		rep.Atomic = res.Atomic
+		rep.Witness = res.Witness
+	case AlgoFZF:
+		if k != 2 {
+			return Report{}, fmt.Errorf("%w: FZF requires k=2, got k=%d", ErrAlgorithmMismatch, k)
+		}
+		res := fzf.Check(p)
+		rep.Atomic = res.Atomic
+		rep.Witness = res.Witness
+	case AlgoOracle:
+		res, err := oracle.CheckK(p, k, oracle.Options{MaxStates: opts.OracleStates})
+		if err != nil {
+			return Report{}, fmt.Errorf("core: %w", err)
+		}
+		rep.Atomic = res.Atomic
+		rep.Witness = res.Witness
+	default:
+		return Report{}, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+	if rep.Atomic && rep.Witness != nil && !opts.SkipWitnessCheck {
+		if err := witness.Validate(p, rep.Witness, k); err != nil {
+			return Report{}, fmt.Errorf("core: internal error, invalid witness: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// CheckWeighted decides the weighted k-AV problem of Section V with the
+// exact oracle.
+func CheckWeighted(h *history.History, bound int64, opts Options) (Report, error) {
+	p, err := history.Prepare(history.Normalize(h))
+	if err != nil {
+		return Report{}, fmt.Errorf("core: %w", err)
+	}
+	res, err := oracle.CheckWeighted(p, bound, oracle.Options{MaxStates: opts.OracleStates})
+	if err != nil {
+		return Report{}, fmt.Errorf("core: %w", err)
+	}
+	rep := Report{K: int(bound), Atomic: res.Atomic, Witness: res.Witness,
+		Algorithm: AlgoOracle, Prepared: p}
+	if rep.Atomic && !opts.SkipWitnessCheck {
+		if err := witness.ValidateWeighted(p, rep.Witness, bound); err != nil {
+			return Report{}, fmt.Errorf("core: internal error, invalid witness: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// SmallestK computes the least k for which the history is k-atomic, using
+// the fast checkers for k=1,2 and binary search with the exact oracle above
+// that (Section II-B: given a k-AV solution, binary-search the smallest k).
+// Every anomaly-free history is W-atomic where W is its number of writes, so
+// the search is bounded.
+func SmallestK(h *history.History, opts Options) (int, error) {
+	p, err := history.Prepare(history.Normalize(h))
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return SmallestKPrepared(p, opts)
+}
+
+// SmallestKPrepared is SmallestK for prepared histories.
+func SmallestKPrepared(p *history.Prepared, opts Options) (int, error) {
+	if p.Len() == 0 {
+		return 1, nil
+	}
+	if ok, _ := zone.Check1Atomic(p); ok {
+		return 1, nil
+	}
+	if res := fzf.Check(p); res.Atomic {
+		return 2, nil
+	}
+	// Binary search in [3, writes]; monotone because a k-atomic order is
+	// also (k+1)-atomic.
+	lo, hi := 3, p.H.Writes()
+	if hi < lo {
+		hi = lo
+	}
+	// Verify the upper bound holds (it must, for anomaly-free histories).
+	res, err := oracle.CheckK(p, hi, oracle.Options{MaxStates: opts.OracleStates})
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	if !res.Atomic {
+		return 0, fmt.Errorf("core: history not even %d-atomic; input may violate model assumptions", hi)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		res, err := oracle.CheckK(p, mid, oracle.Options{MaxStates: opts.OracleStates})
+		if err != nil {
+			return 0, fmt.Errorf("core: %w", err)
+		}
+		if res.Atomic {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

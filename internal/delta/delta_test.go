@@ -1,0 +1,136 @@
+package delta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kat/internal/generator"
+	"kat/internal/history"
+	"kat/internal/zone"
+)
+
+func TestCheckRejectsNegative(t *testing.T) {
+	h := history.MustParse("w 1 0 10")
+	if _, err := Check(h, -1); err == nil {
+		t.Error("negative delta accepted")
+	}
+}
+
+func TestAtomicHistoryHasDeltaZero(t *testing.T) {
+	h := history.MustParse("w 1 0 10; r 1 20 30; w 2 40 50; r 2 60 70")
+	ok, err := Check(h, 0)
+	if err != nil || !ok {
+		t.Errorf("Check(0) = %v, %v; want true", ok, err)
+	}
+	d, err := Smallest(h)
+	if err != nil || d != 0 {
+		t.Errorf("Smallest = %d, %v; want 0", d, err)
+	}
+}
+
+func TestStaleReadNeedsItsGap(t *testing.T) {
+	// r(1) starts at 40; w2 finished at 30. Relaxing r(1)'s start to just
+	// before w2's start (20) lets the order w1 r1 w2 r2 exist. On the raw
+	// scale the needed shift is 40-20 = 20... plus the effect of timestamp
+	// re-ranking; assert behavior, not the exact constant: Smallest is
+	// positive, Check fails below it and passes at it.
+	h := history.MustParse("w 1 0 10; w 2 20 30; r 1 40 50; r 2 60 70")
+	ok, err := Check(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale history Δ-atomic at 0")
+	}
+	d, err := Smallest(h)
+	if err != nil {
+		t.Fatalf("Smallest: %v", err)
+	}
+	if d < 1 {
+		t.Fatalf("Smallest = %d, want >= 1", d)
+	}
+	okAt, err := Check(h, d)
+	if err != nil || !okAt {
+		t.Errorf("Check(at %d) = %v, %v", d, okAt, err)
+	}
+	okBelow, err := Check(h, d-1)
+	if err != nil || okBelow {
+		t.Errorf("Check(below %d) = %v, %v; want false", d-1, okBelow, err)
+	}
+}
+
+func TestDeeperStalenessNeedsLargerDelta(t *testing.T) {
+	// The same shape with a wider gap between the write and its stale read
+	// must need a larger Δ.
+	near := history.MustParse("w 1 0 10; w 2 20 30; r 1 40 50; r 2 60 70")
+	far := history.MustParse("w 1 0 10; w 2 20 30; r 1 400 500; r 2 600 700")
+	dNear, err := Smallest(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, err := Smallest(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFar <= dNear {
+		t.Errorf("far staleness Δ=%d should exceed near Δ=%d", dFar, dNear)
+	}
+}
+
+func TestPropertySmallestDeltaZeroIffAtomic(t *testing.T) {
+	prop := func(qh generator.QuickHistory) bool {
+		p, err := history.Prepare(qh.H)
+		if err != nil {
+			return false
+		}
+		atomic1, _ := zone.Check1Atomic(p)
+		d, err := Smallest(qh.H)
+		if err != nil {
+			return false
+		}
+		return (d == 0) == atomic1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMonotoneInDelta(t *testing.T) {
+	prop := func(qh generator.QuickHistory) bool {
+		d, err := Smallest(qh.H)
+		if err != nil {
+			return false
+		}
+		// Above the threshold it stays Δ-atomic.
+		for _, extra := range []int64{0, 1, 7} {
+			ok, err := Check(qh.H, d+extra)
+			if err != nil || !ok {
+				return false
+			}
+		}
+		if d > 0 {
+			ok, err := Check(qh.H, d-1)
+			if err != nil || ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuorumHistoriesHaveFiniteDelta(t *testing.T) {
+	// Δ must be computable for simulator histories (the operator-facing
+	// use case: "how stale, in time units, did the store get?").
+	for seed := int64(0); seed < 5; seed++ {
+		h := generator.KAtomic(generator.Config{
+			Seed: seed, Ops: 60, Concurrency: 3, StalenessDepth: 2,
+		})
+		if _, err := Smallest(h); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"kat/internal/delta"
+	"kat/internal/quorum"
+)
+
+// E12Delta measures time-based staleness (Δ-atomicity, the paper's
+// reference [10]) on the same quorum configurations as E7: for each run the
+// smallest Δ making the history 1-atomic, reported as a distribution. Where
+// E7 counts versions behind, E12 counts simulated time units behind — the
+// number an operator would put in an SLO.
+func E12Delta() Table {
+	t := Table{
+		ID:    "E12",
+		Title: "Time staleness Δ of a sloppy-quorum store (Golab–Li–Shah metric, ref. [10])",
+		Header: []string{"N", "R", "W", "skew", "runs",
+			"% Δ=0", "median Δ", "max Δ"},
+		Notes: "Δ=0 coincides with linearizability; the Δ tail is the staleness SLO a weak configuration could honestly advertise. Timestamps are normalized ranks, so Δ is in rank units (relative scale).",
+	}
+	type cfg struct {
+		n, r, w int
+		skew    int64
+	}
+	cfgs := []cfg{
+		{n: 3, r: 2, w: 2},
+		{n: 3, r: 1, w: 1},
+		{n: 5, r: 1, w: 1},
+		{n: 5, r: 1, w: 1, skew: 25},
+	}
+	const runs = 25
+	for _, c := range cfgs {
+		var deltas []int64
+		for seed := int64(0); seed < runs; seed++ {
+			h, _, err := quorum.Run(quorum.Config{
+				Seed: seed, Replicas: c.n, ReadQuorum: c.r, WriteQuorum: c.w,
+				Clients: 4, OpsPerClient: 10, ClockSkew: c.skew, MaxDelay: 20,
+			})
+			if err != nil {
+				continue
+			}
+			d, err := delta.Smallest(h)
+			if err != nil {
+				continue
+			}
+			deltas = append(deltas, d)
+		}
+		if len(deltas) == 0 {
+			continue
+		}
+		sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
+		zero := 0
+		for _, d := range deltas {
+			if d == 0 {
+				zero++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c.n), fmt.Sprint(c.r), fmt.Sprint(c.w), fmt.Sprint(c.skew),
+			fmt.Sprint(len(deltas)),
+			fmt.Sprintf("%.0f", 100*float64(zero)/float64(len(deltas))),
+			fmt.Sprint(deltas[len(deltas)/2]),
+			fmt.Sprint(deltas[len(deltas)-1]),
+		})
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE5Figure3MatchesPaper(t *testing.T) {
+	tab := E5Figure3()
+	if len(tab.Rows) != 4 { // 3 chunks + dangling row
+		t.Fatalf("rows = %d, want 4:\n%+v", len(tab.Rows), tab.Rows)
+	}
+	wantForward := []string{"FZ1", "FZ2,FZ3,FZ4", "FZ5,FZ6,FZ7,FZ8"}
+	wantBackward := []string{"BZ1", "BZ3,BZ4", "BZ6"}
+	for i := 0; i < 3; i++ {
+		if tab.Rows[i][2] != wantForward[i] {
+			t.Errorf("chunk %d forward = %q, want %q", i+1, tab.Rows[i][2], wantForward[i])
+		}
+		if tab.Rows[i][3] != wantBackward[i] {
+			t.Errorf("chunk %d backward = %q, want %q", i+1, tab.Rows[i][3], wantBackward[i])
+		}
+	}
+	if tab.Rows[3][3] != "BZ2,BZ5,BZ7" {
+		t.Errorf("dangling = %q, want BZ2,BZ5,BZ7", tab.Rows[3][3])
+	}
+}
+
+func TestE1NoDisagreements(t *testing.T) {
+	tab := E1Agreement()
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "0" || row[5] != "0" || row[6] != "0" {
+			t.Errorf("workload %q has disagreements/bad witnesses: %v", row[0], row)
+		}
+	}
+}
+
+func TestE9NoDeepReads(t *testing.T) {
+	tab := E9WitnessProfile()
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Errorf("witness with distance>1 reads: %v", row)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range Order() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(reg) != len(Order()) {
+		t.Errorf("registry has %d entries, order lists %d", len(reg), len(Order()))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		ID: "EX", Title: "demo", Header: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}, Notes: "note",
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"## EX — demo", "| a | b |", "| 1 | 2 |", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScalingExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling experiments are slow")
+	}
+	for _, fn := range []func() Table{E6Reduction, E8SmallestK} {
+		tab := fn()
+		if len(tab.Rows) == 0 {
+			t.Errorf("experiment %s produced no rows", tab.ID)
+		}
+	}
+}
+
+func TestE6NoDisagreements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reduction sweep is slow")
+	}
+	tab := E6Reduction()
+	for _, row := range tab.Rows {
+		if row[4] != "0" {
+			t.Errorf("reduction disagreement: %v", row)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+
+	"kat/internal/core"
+	"kat/internal/history"
+	"kat/internal/metrics"
+	"kat/internal/quorum"
+)
+
+// E7Quorum is the study Section VII proposes: run a (simulated) quorum-
+// replicated store under different quorum configurations and measure how
+// often its histories are 1-, 2-, and 3-atomic. Expected shape: strict
+// quorums (R+W > N) are overwhelmingly 1-atomic; shrinking quorums and
+// adding clock skew push mass toward k=2 and beyond.
+func E7Quorum() Table {
+	t := Table{
+		ID:    "E7",
+		Title: "k-atomicity of a sloppy-quorum store vs configuration (Section VII study)",
+		Header: []string{"N", "R", "W", "skew", "crashes", "repair", "runs",
+			"% k=1", "% k≤2", "% k≤3", "k histogram"},
+		Notes: "R+W>N rows should sit near 100% at k=1; R+W≤N rows shift right, and skew/crashes shift further — the staleness k-atomicity was designed to bound.",
+	}
+	type cfg struct {
+		n, r, w int
+		skew    int64
+		crash   int
+		repair  bool
+	}
+	cfgs := []cfg{
+		{n: 3, r: 2, w: 2},
+		{n: 3, r: 1, w: 3},
+		{n: 3, r: 1, w: 2},
+		{n: 3, r: 1, w: 1},
+		{n: 5, r: 2, w: 2},
+		{n: 5, r: 1, w: 1},
+		{n: 5, r: 1, w: 1, skew: 25},
+		{n: 5, r: 1, w: 1, skew: 25, repair: true},
+		{n: 5, r: 2, w: 2, skew: 25, crash: 1},
+	}
+	const runs = 25
+	for _, c := range cfgs {
+		var corpus []*history.History
+		for seed := int64(0); seed < runs; seed++ {
+			h, _, err := quorum.Run(quorum.Config{
+				Seed: seed, Replicas: c.n, ReadQuorum: c.r, WriteQuorum: c.w,
+				Clients: 4, OpsPerClient: 10, ClockSkew: c.skew,
+				CrashReplicas: c.crash, MaxDelay: 20, ReadRepair: c.repair,
+			})
+			if err != nil {
+				continue
+			}
+			corpus = append(corpus, h)
+		}
+		d := metrics.SmallestKDistribution(corpus, core.Options{})
+		pct := func(bound int) string {
+			return fmt.Sprintf("%.0f", 100*d.Fraction(bound))
+		}
+		repair := "no"
+		if c.repair {
+			repair = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c.n), fmt.Sprint(c.r), fmt.Sprint(c.w),
+			fmt.Sprint(c.skew), fmt.Sprint(c.crash), repair, fmt.Sprint(len(corpus)),
+			pct(1), pct(2), pct(3), d.String(),
+		})
+	}
+	return t
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"kat/internal/fzf"
+	"kat/internal/generator"
+	"kat/internal/history"
+	"kat/internal/lbt"
+)
+
+// E2LBTPractical measures LBT runtime versus history size n at small, fixed
+// write concurrency — the "common case that arises in practice" for which
+// Theorem 3.2 predicts quasilinear O(n log n + c·n) behavior. The time/op
+// column should stay near-constant (up to log factors) as n quadruples.
+func E2LBTPractical() Table {
+	t := Table{
+		ID:     "E2",
+		Title:  "LBT scaling with n at fixed small c (Theorem 3.2, practical regime)",
+		Header: []string{"n", "c (measured)", "LBT ms", "ms growth vs prev", "ns/op"},
+		Notes:  "Quasilinear: quadrupling n should roughly quadruple total time (growth ≈ 4), keeping ns/op nearly flat.",
+	}
+	var prev time.Duration
+	for _, n := range []int{2000, 8000, 32000, 128000} {
+		h := generator.KAtomic(generator.Config{
+			Seed: 42, Ops: n, Concurrency: 4, StalenessDepth: 1, ReadFraction: 0.6,
+		})
+		p, err := history.Prepare(h)
+		if err != nil {
+			continue
+		}
+		c := history.Measure(h).MaxConcurrentWrites
+		var res lbt.Result
+		d := timeIt(func() { res = lbt.Check(p, lbt.Options{}) })
+		if !res.Atomic {
+			t.Rows = append(t.Rows, []string{fmt.Sprint(n), "-", "REJECTED", "-", "-"})
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(c), ms(d), ratio(prev, d),
+			fmt.Sprintf("%.0f", float64(d.Nanoseconds())/float64(n)),
+		})
+		prev = d
+	}
+	return t
+}
+
+// E3LBTConcurrency measures LBT runtime versus write concurrency c at fixed
+// n — the worst-case driver in Theorem 3.2's O(n log n + c·n) bound. Time
+// should grow roughly linearly with c.
+func E3LBTConcurrency() Table {
+	t := Table{
+		ID:     "E3",
+		Title:  "LBT scaling with write concurrency c at fixed n (Theorem 3.2, worst-case driver)",
+		Header: []string{"target c", "c (measured)", "n", "LBT ms", "ms growth vs prev"},
+		Notes:  "The O(c·n) term dominates as c grows: time should scale roughly linearly in c (growth ≈ 4 per 4x step), approaching quadratic overall when c ≈ n.",
+	}
+	const n = 20000
+	var prev time.Duration
+	for _, c := range []int{2, 8, 32, 128, 512} {
+		h := generator.Adversarial(generator.Config{
+			Seed: 7, Ops: n, Concurrency: c,
+		})
+		p, err := history.Prepare(h)
+		if err != nil {
+			continue
+		}
+		meas := history.Measure(h).MaxConcurrentWrites
+		var res lbt.Result
+		d := timeIt(func() { res = lbt.Check(p, lbt.Options{}) })
+		status := ms(d)
+		if !res.Atomic {
+			status = "REJECTED"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c), fmt.Sprint(meas), fmt.Sprint(n), status, ratio(prev, d),
+		})
+		prev = d
+	}
+	return t
+}
+
+// E4Crossover compares LBT and FZF across n at low and high concurrency
+// (Theorem 4.6: FZF is O(n log n) regardless of c, so it wins when c is
+// large while simple LBT wins or ties when c is small).
+func E4Crossover() Table {
+	t := Table{
+		ID:     "E4",
+		Title:  "LBT vs FZF crossover (Theorem 4.6: FZF quasilinear for any c)",
+		Header: []string{"n", "c (target)", "LBT ms", "FZF ms", "FZF/LBT"},
+		Notes:  "At small c the two are comparable (LBT often ahead on constants); as c grows LBT's c·n term dominates while FZF stays quasilinear — the paper's motivation for FZF.",
+	}
+	for _, c := range []int{4, 256} {
+		for _, n := range []int{4000, 16000, 64000} {
+			h := generator.Adversarial(generator.Config{Seed: 11, Ops: n, Concurrency: c})
+			p, err := history.Prepare(h)
+			if err != nil {
+				continue
+			}
+			var lres lbt.Result
+			ld := timeIt(func() { lres = lbt.Check(p, lbt.Options{}) })
+			var fres fzf.Result
+			fd := timeIt(func() { fres = fzf.Check(p) })
+			lms, fms := ms(ld), ms(fd)
+			if !lres.Atomic {
+				lms = "REJECTED"
+			}
+			if !fres.Atomic {
+				fms = "REJECTED"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(n), fmt.Sprint(c), lms, fms, ratio(ld, fd),
+			})
+		}
+	}
+	return t
+}
+
+// E10Ablation compares LBT with and without iterative-deepening candidate
+// racing — the design choice Theorem 3.2's proof calls out ("a successful
+// candidate is examined late, while early candidates take a long time to
+// fail"). Two workloads: benign adversarial-concurrency histories, where the
+// first candidate always succeeds and deepening must cost ~nothing, and the
+// staircase-trap construction (generator.LBTTrap) with an adversarial
+// candidate order, which realizes the pathology: per epoch, two failing
+// candidates each chain through the whole staircase unless deepening cuts
+// them off at the doubling budget.
+func E10Ablation() Table {
+	t := Table{
+		ID:     "E10",
+		Title:  "Ablation: LBT iterative deepening on vs off (Theorem 3.2 discussion)",
+		Header: []string{"workload", "n", "deepening ms", "no-deepening ms", "slowdown", "steps on", "steps off"},
+		Notes:  "Benign rows: deepening is free. Trap rows (adversarial candidate order): without deepening every epoch re-walks the full failing chain; the slowdown grows with chain length — exactly the pathology Figure 2's unspecified candidate order permits.",
+	}
+	type wl struct {
+		name  string
+		h     *history.History
+		worst bool
+	}
+	wls := []wl{
+		{"benign c=16", generator.Adversarial(generator.Config{Seed: 23, Ops: 16000, Concurrency: 16}), false},
+		{"benign c=128", generator.Adversarial(generator.Config{Seed: 23, Ops: 16000, Concurrency: 128}), false},
+		{"trap chain=1000", generator.LBTTrap(1000, 20), true},
+		{"trap chain=4000", generator.LBTTrap(4000, 40), true},
+	}
+	for _, w := range wls {
+		p, err := history.Prepare(w.h)
+		if err != nil {
+			continue
+		}
+		var resOn, resOff lbt.Result
+		don := timeIt(func() {
+			resOn = lbt.Check(p, lbt.Options{WorstCaseOrder: w.worst})
+		})
+		doff := timeIt(func() {
+			resOff = lbt.Check(p, lbt.Options{NoDeepening: true, WorstCaseOrder: w.worst})
+		})
+		t.Rows = append(t.Rows, []string{
+			w.name, fmt.Sprint(p.Len()), ms(don), ms(doff), ratio(don, doff),
+			fmt.Sprint(resOn.Steps), fmt.Sprint(resOff.Steps),
+		})
+	}
+	return t
+}

@@ -1,0 +1,158 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"kat/internal/core"
+	"kat/internal/generator"
+	"kat/internal/history"
+	"kat/internal/lbt"
+	"kat/internal/metrics"
+	"kat/internal/zone"
+)
+
+// E5Figure3 reproduces the Stage 1 example of Figure 3: eight forward zones
+// in three chains plus seven backward zones must decompose into exactly
+// three maximal chunks with BZ2, BZ5, BZ7 dangling.
+func E5Figure3() Table {
+	fz := func(w int, lo, hi int64) zone.Zone { return zone.Zone{Write: w, MinFinish: lo, MaxStart: hi} }
+	bz := func(w int, lo, hi int64) zone.Zone { return zone.Zone{Write: w, MinFinish: hi, MaxStart: lo} }
+	zs := []zone.Zone{
+		fz(1, 0, 20),
+		fz(2, 30, 50), fz(3, 45, 70), fz(4, 65, 90),
+		fz(5, 100, 140), fz(6, 110, 125), fz(7, 120, 160), fz(8, 150, 180),
+		bz(11, 5, 15), bz(12, 22, 28), bz(13, 35, 42), bz(14, 72, 88),
+		bz(15, 92, 98), bz(16, 112, 118), bz(17, 185, 195),
+	}
+	dec := zone.DecomposeZones(zs)
+	name := func(w int) string {
+		if w <= 8 {
+			return fmt.Sprintf("FZ%d", w)
+		}
+		return fmt.Sprintf("BZ%d", w-10)
+	}
+	names := func(ws []int) string {
+		out := make([]string, len(ws))
+		for i, w := range ws {
+			out[i] = name(w)
+		}
+		if len(out) == 0 {
+			return "-"
+		}
+		return strings.Join(out, ",")
+	}
+	t := Table{
+		ID:     "E5",
+		Title:  "Figure 3 chunk decomposition (FZF Stage 1)",
+		Header: []string{"chunk", "interval", "forward zones", "backward zones"},
+		Notes:  "Paper's expected answer: chunks {FZ1,BZ1}, {FZ2,FZ3,FZ4,BZ3,BZ4}, {FZ5,FZ6,FZ7,FZ8,BZ6}; dangling BZ2, BZ5, BZ7.",
+	}
+	for i, ch := range dec.Chunks {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", i+1),
+			fmt.Sprintf("[%d,%d]", ch.Lo, ch.Hi),
+			names(ch.Forward),
+			names(ch.Backward),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"dangling", "-", "-", names(dec.Dangling)})
+	return t
+}
+
+// E8SmallestK sweeps staleness-injection depth and reports the smallest-k
+// distribution (Section II-B: smallest k via search over the k-AV decision
+// procedure). k should track injected depth + 1.
+func E8SmallestK() Table {
+	t := Table{
+		ID:     "E8",
+		Title:  "Smallest k under staleness injection (Section II-B search)",
+		Header: []string{"injected extra depth", "histories", "k distribution", "max k"},
+		Notes:  "Base histories are 1-atomic by construction; redirecting reads d writes back should push the smallest k toward d+1.",
+	}
+	const trials = 20
+	for _, depth := range []int{0, 1, 2, 3} {
+		var corpus []*history.History
+		for seed := int64(0); seed < trials; seed++ {
+			base := generator.KAtomic(generator.Config{
+				Seed: seed, Ops: 40, Concurrency: 1, StalenessDepth: 0, ReadFraction: 0.5,
+			})
+			if depth == 0 {
+				corpus = append(corpus, base)
+				continue
+			}
+			corpus = append(corpus, generator.InjectStaleness(base, seed+500, 0.5, depth))
+		}
+		d := metrics.SmallestKDistribution(corpus, core.Options{})
+		maxK := 0
+		for k := range d.Counts {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(depth), fmt.Sprint(trials), d.String(), fmt.Sprint(maxK),
+		})
+	}
+	return t
+}
+
+// E9WitnessProfile runs LBT on a Figure 1–style history and reports the
+// staleness profile of the witness order it produces — every read must be at
+// distance 0 or 1 from its dictating write (the write slot / read container
+// structure).
+func E9WitnessProfile() Table {
+	t := Table{
+		ID:     "E9",
+		Title:  "LBT witness structure (Figure 1/2: write slots and read containers)",
+		Header: []string{"history", "ops", "reads at distance 0", "distance 1", "distance >1"},
+		Notes:  "A 2-atomic witness may never separate a read from its write by more than one other write; distance >1 must be zero everywhere.",
+	}
+	cases := []struct {
+		name string
+		h    *history.History
+	}{
+		{"figure-1 shaped", history.MustParse(`
+w 1 0 10
+r 1 12 20
+r 1 22 28
+w 2 30 40
+r 2 42 50
+r 1 44 52
+w 3 54 64
+r 3 66 74
+r 2 68 76`)},
+		{"generated depth-1", generator.KAtomic(generator.Config{
+			Seed: 31, Ops: 400, Concurrency: 4, StalenessDepth: 1, ReadFraction: 0.6})},
+	}
+	for _, cs := range cases {
+		p, err := history.Prepare(history.Normalize(cs.h))
+		if err != nil {
+			continue
+		}
+		res := lbt.Check(p, lbt.Options{})
+		if !res.Atomic {
+			t.Rows = append(t.Rows, []string{cs.name, fmt.Sprint(p.Len()), "REJECTED", "-", "-"})
+			continue
+		}
+		st, err := metrics.ReadStaleness(p, res.Witness)
+		if err != nil {
+			continue
+		}
+		var d0, d1, dMore int
+		for _, s := range st {
+			switch {
+			case s == 0:
+				d0++
+			case s == 1:
+				d1++
+			default:
+				dMore++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			cs.name, fmt.Sprint(p.Len()), fmt.Sprint(d0), fmt.Sprint(d1), fmt.Sprint(dMore),
+		})
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package fzf
+
+import (
+	"fmt"
+	"testing"
+
+	"kat/internal/oracle"
+)
+
+// edge cases around chunk geometry and the Stage 2 candidate orders.
+
+func TestAllBackwardClusters(t *testing.T) {
+	// Every cluster backward (all ops share a common instant): no chunks,
+	// everything dangling, trivially 2-atomic (1-atomic even).
+	p := prep(t, "w 1 0 100; r 1 5 95; w 2 1 99; r 2 6 94; w 3 2 98")
+	res := check(t, p)
+	if !res.Atomic {
+		t.Fatalf("all-backward history rejected: %+v", res)
+	}
+	if res.Chunks != 0 || res.Dangling != 3 {
+		t.Errorf("Chunks=%d Dangling=%d, want 0/3", res.Chunks, res.Dangling)
+	}
+}
+
+func TestSingleForwardSingleBackwardPrepend(t *testing.T) {
+	// Backward write overlapping the forward cluster's write: must be
+	// prepended (it can't follow, because the forward read precedes
+	// nothing after it...). Exercise the wT_F order.
+	p := prep(t, "w 1 0 10; r 1 30 40; w 2 2 25")
+	res := check(t, p)
+	if !res.Atomic {
+		t.Fatalf("prependable backward cluster rejected: %+v", res)
+	}
+}
+
+func TestSingleForwardSingleBackwardAppend(t *testing.T) {
+	// Backward write that must FOLLOW the forward writes: starts after the
+	// forward write ends and overlaps its read. Exercise the T_Fw order.
+	p := prep(t, "w 1 0 10; r 1 30 40; w 2 15 38")
+	res := check(t, p)
+	if !res.Atomic {
+		t.Fatalf("appendable backward cluster rejected: %+v", res)
+	}
+}
+
+func TestBackwardWithReadsInsideChunk(t *testing.T) {
+	// Backward cluster WITH dictated reads nested in a chunk.
+	p := prep(t, `
+w 1 0 10
+r 1 60 70
+w 2 20 50
+r 2 25 55
+`)
+	// zones: c1 forward [10,60]; c2 backward [25,50] nested.
+	res := check(t, p)
+	if !res.Atomic {
+		t.Fatalf("backward cluster with reads rejected: %+v", res)
+	}
+}
+
+func TestOrderMattersForBTwo(t *testing.T) {
+	// Two backward clusters where only one side assignment works:
+	// w2 must precede the forward write (its read finishes early),
+	// w3 must follow it. Exercises w1TFw2 vs w2TFw1 selection.
+	p := prep(t, `
+w 9 5 15
+r 9 40 50
+w 2 0 12
+r 2 1 13
+w 3 20 45
+r 3 22 46
+`)
+	want, err := oracle.CheckK(p, 2, oracle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Check(p)
+	if got.Atomic != want.Atomic {
+		t.Fatalf("FZF=%v oracle=%v", got.Atomic, want.Atomic)
+	}
+	if got.Atomic {
+		if err := SelfCheck(p, got); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLongForwardChainBothShapes(t *testing.T) {
+	// Build a long alternating chain of forward zones (the two chain
+	// shapes of Figure 3's middle and right chunks) and verify against
+	// the oracle.
+	var text string
+	tm := int64(0)
+	for i := 0; i < 8; i++ {
+		v1, v2 := 2*i+1, 2*i+2
+		// Two overlapping clusters per block.
+		text += fmt.Sprintf("w %d %d %d; ", v1, tm, tm+10)
+		text += fmt.Sprintf("w %d %d %d; ", v2, tm+15, tm+25)
+		text += fmt.Sprintf("r %d %d %d; ", v1, tm+30, tm+40)
+		text += fmt.Sprintf("r %d %d %d; ", v2, tm+45, tm+55)
+		tm += 60
+	}
+	p := prep(t, text)
+	want, err := oracle.CheckK(p, 2, oracle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := check(t, p)
+	if got.Atomic != want.Atomic {
+		t.Fatalf("FZF=%v oracle=%v", got.Atomic, want.Atomic)
+	}
+}
+
+func TestViableRejectsInvalidWriteOrder(t *testing.T) {
+	// Directly exercise the viability pre-check: a candidate order where a
+	// later write precedes an earlier one in time must be rejected.
+	p := prep(t, "w 1 0 10; r 1 30 40; w 2 50 60; r 2 70 80")
+	ops := []int{0, 1, 2, 3}
+	if got := viable(p, []int{p.WriteByValue[2], p.WriteByValue[1]}, ops); got != nil {
+		t.Error("time-inverted write order accepted as viable")
+	}
+}
+
+func TestViableAcceptsAndPlacesAll(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 30 40; w 2 50 60; r 2 70 80")
+	ops := []int{0, 1, 2, 3}
+	got := viable(p, []int{p.WriteByValue[1], p.WriteByValue[2]}, ops)
+	if got == nil {
+		t.Fatal("valid order rejected")
+	}
+	if len(got) != 4 {
+		t.Fatalf("placed order = %v, want all 4 ops", got)
+	}
+}
+
+func TestManySmallChunks(t *testing.T) {
+	// 50 disjoint forward clusters: 50 chunks, all trivially viable.
+	var text string
+	for i := 0; i < 50; i++ {
+		base := int64(i) * 100
+		text += fmt.Sprintf("w %d %d %d; r %d %d %d; ",
+			i+1, base, base+10, i+1, base+20, base+30)
+	}
+	p := prep(t, text)
+	res := check(t, p)
+	if !res.Atomic || res.Chunks != 50 {
+		t.Fatalf("Atomic=%v Chunks=%d, want true/50", res.Atomic, res.Chunks)
+	}
+}

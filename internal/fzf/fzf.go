@@ -1,0 +1,287 @@
+// Package fzf implements the FZF (Forward Zones First) 2-atomicity
+// verification algorithm of Section IV (Figure 4) of the paper, which runs
+// in O(n log n) even in the worst case (Theorem 4.6).
+//
+// Stage 1 decomposes the history into the maximal chunks of its chunk set
+// CS(H) plus dangling backward clusters (package zone). Stage 2 decides
+// 2-atomicity of each chunk independently by testing a constant number of
+// candidate total orders over the chunk's dictating writes: T_F (forward
+// writes by increasing zone low endpoint), T'_F (T_F with the first two
+// writes swapped), and — for chunks with one or two backward clusters — the
+// backward writes prepended/appended around them (Lemmas 4.2 and 4.3 prove
+// these are the only possible viable orders; three or more backward clusters
+// are immediately fatal). Each candidate order is checked for viability with
+// a simplified, backtracking-free LBT pass. Stage 3 declares the history
+// 2-atomic iff every chunk passed (Lemma 4.1).
+package fzf
+
+import (
+	"fmt"
+	"sort"
+
+	"kat/internal/history"
+	"kat/internal/witness"
+	"kat/internal/zone"
+)
+
+// Result reports the decision and diagnostics.
+type Result struct {
+	// Atomic is true iff the history is 2-atomic.
+	Atomic bool
+	// Witness is a valid 2-atomic total order (operation indices) when
+	// Atomic is true, assembled per Lemma 4.1 from per-chunk orders and
+	// dangling clusters.
+	Witness []int
+	// Chunks is the number of maximal chunks examined.
+	Chunks int
+	// Dangling is the number of dangling (backward) clusters.
+	Dangling int
+	// OrdersTried counts candidate total orders tested for viability.
+	OrdersTried int
+	// FailedChunk is the index of the chunk that failed (when !Atomic and
+	// the failure was per-chunk), else -1.
+	FailedChunk int
+	// Reason describes the failure (diagnostics; empty on success).
+	Reason string
+}
+
+// Check decides 2-atomicity of the prepared history using FZF.
+func Check(p *history.Prepared) Result {
+	dec := zone.Decompose(p)
+	res := Result{
+		Chunks:      len(dec.Chunks),
+		Dangling:    len(dec.Dangling),
+		FailedChunk: -1,
+	}
+
+	// element is a chunk's or dangling cluster's placed order plus its
+	// low endpoint, for the Lemma 4.1 concatenation.
+	type element struct {
+		low   int64
+		order []int
+	}
+	elements := make([]element, 0, len(dec.Chunks)+len(dec.Dangling))
+
+	for ci, ch := range dec.Chunks {
+		ord, tried, reason := checkChunk(p, ch)
+		res.OrdersTried += tried
+		if ord == nil {
+			res.FailedChunk = ci
+			res.Reason = reason
+			return res
+		}
+		elements = append(elements, element{low: ch.Lo, order: ord})
+	}
+	for _, w := range dec.Dangling {
+		// A dangling cluster is backward: all its operations pairwise
+		// overlap, so write-then-reads (in start order) is valid and
+		// 1-atomic.
+		ord := append([]int{w}, p.DictatedReads[w]...)
+		low := clusterLow(p, w)
+		elements = append(elements, element{low: low, order: ord})
+	}
+	// Any total order extending ≤_H works; sorting by low endpoint does
+	// (X.h < Y.l implies X.l < Y.l).
+	sort.SliceStable(elements, func(i, j int) bool { return elements[i].low < elements[j].low })
+	for _, e := range elements {
+		res.Witness = append(res.Witness, e.order...)
+	}
+	res.Atomic = true
+	return res
+}
+
+// clusterLow returns the zone low endpoint of write w's cluster.
+func clusterLow(p *history.Prepared, w int) int64 {
+	op := p.Op(w)
+	minFinish, maxStart := op.Finish, op.Start
+	for _, r := range p.DictatedReads[w] {
+		rop := p.Op(r)
+		if rop.Finish < minFinish {
+			minFinish = rop.Finish
+		}
+		if rop.Start > maxStart {
+			maxStart = rop.Start
+		}
+	}
+	if minFinish < maxStart {
+		return minFinish
+	}
+	return maxStart
+}
+
+// checkChunk runs Stage 2 for one chunk: it builds the candidate orders and
+// returns the placed total order over the chunk's operations for the first
+// viable candidate, or nil with a reason if none is viable.
+func checkChunk(p *history.Prepared, ch zone.Chunk) (ord []int, tried int, reason string) {
+	tf := ch.Forward
+	tfPrime := tf
+	if len(tf) >= 2 {
+		tfPrime = append([]int(nil), tf...)
+		tfPrime[0], tfPrime[1] = tfPrime[1], tfPrime[0]
+	}
+
+	var candidates [][]int
+	appendOrder := func(pre []int, mid []int, post []int) {
+		c := make([]int, 0, len(pre)+len(mid)+len(post))
+		c = append(c, pre...)
+		c = append(c, mid...)
+		c = append(c, post...)
+		candidates = append(candidates, c)
+	}
+	switch b := len(ch.Backward); {
+	case b == 0:
+		appendOrder(nil, tf, nil)
+		if len(tf) >= 2 {
+			appendOrder(nil, tfPrime, nil)
+		}
+	case b == 1:
+		w := ch.Backward[0]
+		appendOrder([]int{w}, tf, nil)
+		appendOrder(nil, tf, []int{w})
+		if len(tf) >= 2 {
+			appendOrder([]int{w}, tfPrime, nil)
+			appendOrder(nil, tfPrime, []int{w})
+		}
+	case b == 2:
+		w1, w2 := ch.Backward[0], ch.Backward[1]
+		appendOrder([]int{w1}, tf, []int{w2})
+		appendOrder([]int{w2}, tf, []int{w1})
+		if len(tf) >= 2 {
+			appendOrder([]int{w1}, tfPrime, []int{w2})
+			appendOrder([]int{w2}, tfPrime, []int{w1})
+		}
+	default:
+		// B >= 3: not 2-atomic (Lemma 4.3, Case 4).
+		return nil, 0, fmt.Sprintf("chunk has %d backward clusters (three or more is fatal)", b)
+	}
+
+	ops := chunkOps(p, ch)
+	for _, t := range candidates {
+		tried++
+		if placed := viable(p, t, ops); placed != nil {
+			return placed, tried, ""
+		}
+	}
+	return nil, tried, "no candidate write order is viable"
+}
+
+// chunkOps collects the operation indices of H|K in start order. Prepared
+// histories are index-sorted by start time, so sorting indices suffices.
+func chunkOps(p *history.Prepared, ch zone.Chunk) []int {
+	var ops []int
+	for _, w := range ch.Forward {
+		ops = append(ops, w)
+		ops = append(ops, p.DictatedReads[w]...)
+	}
+	for _, w := range ch.Backward {
+		ops = append(ops, w)
+		ops = append(ops, p.DictatedReads[w]...)
+	}
+	sort.Ints(ops)
+	return ops
+}
+
+// viable implements the simplified LBT subroutine of Theorem 4.6: given a
+// candidate total order t over all dictating writes of the chunk and the
+// chunk's operations in start order, it attempts to extend t to a valid
+// 2-atomic total order over all the operations, processing writes in reverse
+// order of t without backtracking. It returns the full placed order on
+// success and nil otherwise.
+//
+// For the write at position j (1-based from the front), every not-yet-placed
+// operation starting after that write finishes must be a read dictated by
+// t[j] or by its predecessor t[j-1] — anything else would be separated from
+// its dictating write by two or more writes (or violate validity).
+func viable(p *history.Prepared, t []int, ops []int) []int {
+	// Validity pre-check: for i < j, t[j] must not precede t[i] in time.
+	var maxStart int64
+	for j, w := range t {
+		if j > 0 && p.Op(w).Finish < maxStart {
+			return nil
+		}
+		if s := p.Op(w).Start; j == 0 || s > maxStart {
+			maxStart = s
+		}
+	}
+
+	n := len(ops)
+	posOf := make(map[int]int, n) // op index -> position in ops
+	for i, op := range ops {
+		posOf[op] = i
+	}
+	removed := make([]bool, n)
+	tail := n - 1 // highest not-yet-removed position
+
+	slots := make([][]int, len(t)) // slots[j] = container reads after t[j]
+	for j := len(t) - 1; j >= 0; j-- {
+		w := t[j]
+		var prevW int = -1
+		if j > 0 {
+			prevW = t[j-1]
+		}
+		wFinish := p.Op(w).Finish
+		var container []int
+		// Forced suffix: ops starting after w finishes.
+		for tail >= 0 {
+			for tail >= 0 && removed[tail] {
+				tail--
+			}
+			if tail < 0 {
+				break
+			}
+			op := ops[tail]
+			if p.Op(op).Start <= wFinish {
+				break
+			}
+			if p.Op(op).IsWrite() {
+				return nil // a write forced after w: invalid order
+			}
+			d := p.DictatingWrite[op]
+			if d != w && d != prevW {
+				return nil // separation >= 2 for this read
+			}
+			container = append(container, op)
+			removed[tail] = true
+			tail--
+		}
+		// Remaining dictated reads of w.
+		for _, r := range p.DictatedReads[w] {
+			pos, ok := posOf[r]
+			if !ok || removed[pos] {
+				continue
+			}
+			container = append(container, r)
+			removed[pos] = true
+		}
+		// Place w itself.
+		wpos, ok := posOf[w]
+		if !ok || removed[wpos] {
+			return nil // duplicate write in t or w outside chunk
+		}
+		removed[wpos] = true
+		slots[j] = container
+	}
+	// Everything must be placed: every read's dictating write is in t.
+	for i := 0; i < n; i++ {
+		if !removed[i] {
+			return nil
+		}
+	}
+	// Assemble front-to-back order; container reads sorted by start.
+	order := make([]int, 0, n)
+	for j := 0; j < len(t); j++ {
+		order = append(order, t[j])
+		c := append([]int(nil), slots[j]...)
+		sort.Ints(c) // index order == start order in prepared histories
+		order = append(order, c...)
+	}
+	return order
+}
+
+// SelfCheck verifies a positive result's witness independently.
+func SelfCheck(p *history.Prepared, r Result) error {
+	if !r.Atomic {
+		return nil
+	}
+	return witness.Validate(p, r.Witness, 2)
+}

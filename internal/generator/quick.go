@@ -1,0 +1,53 @@
+package generator
+
+import (
+	"math/rand"
+	"reflect"
+
+	"kat/internal/history"
+)
+
+// QuickHistory adapts random history generation to testing/quick: it
+// implements quick.Generator, so property-based tests can take a
+// QuickHistory parameter and receive structurally valid, anomaly-free,
+// normalized histories of varied size, concurrency, and read mix.
+type QuickHistory struct {
+	H *history.History
+}
+
+// Generate implements testing/quick.Generator.
+func (QuickHistory) Generate(r *rand.Rand, size int) reflect.Value {
+	if size < 4 {
+		size = 4
+	}
+	cfg := Config{
+		Seed:         r.Int63(),
+		Ops:          4 + r.Intn(size+12),
+		Concurrency:  1 + r.Intn(8),
+		ReadFraction: 0.25 + r.Float64()*0.5,
+	}
+	return reflect.ValueOf(QuickHistory{H: Random(cfg)})
+}
+
+// QuickAtomicHistory is like QuickHistory but guarantees the generated
+// history is (Depth+1)-atomic by construction, recording the bound.
+type QuickAtomicHistory struct {
+	H     *history.History
+	Depth int
+}
+
+// Generate implements testing/quick.Generator.
+func (QuickAtomicHistory) Generate(r *rand.Rand, size int) reflect.Value {
+	if size < 4 {
+		size = 4
+	}
+	depth := r.Intn(3)
+	cfg := Config{
+		Seed:           r.Int63(),
+		Ops:            4 + r.Intn(size+12),
+		Concurrency:    1 + r.Intn(6),
+		ReadFraction:   0.3 + r.Float64()*0.4,
+		StalenessDepth: depth,
+	}
+	return reflect.ValueOf(QuickAtomicHistory{H: KAtomic(cfg), Depth: depth})
+}

@@ -1,0 +1,101 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Event is one half of an operation as it appears in a system log:
+// an invocation or a response. FromEvents pairs them into operations.
+// Real checkers consume logs in this form (one line per call/return),
+// so this adapter is the bridge from production traces to History.
+type Event struct {
+	// Time is the event timestamp.
+	Time int64
+	// Client identifies the session; each client has at most one
+	// outstanding operation (well-formedness), which is how invocations
+	// pair with responses.
+	Client int
+	// Invoke is true for invocation events, false for responses.
+	Invoke bool
+	// Kind is the operation type (on the invocation; responses may omit).
+	Kind Kind
+	// Value is the written value (on a write's invocation) or the value
+	// returned (on a read's response).
+	Value int64
+}
+
+// Errors from event pairing.
+var (
+	// ErrUnpairedResponse marks a response with no outstanding invocation.
+	ErrUnpairedResponse = errors.New("history: response without outstanding invocation")
+	// ErrDoubleInvoke marks overlapping invocations by one client.
+	ErrDoubleInvoke = errors.New("history: client invoked while an operation is outstanding")
+	// ErrBadEventTime marks a response at or before its invocation.
+	ErrBadEventTime = errors.New("history: response not after invocation")
+)
+
+// FromEvents pairs invocation/response events into a History. Events are
+// processed in time order (the slice is sorted internally; ties keep input
+// order). Operations still outstanding at the end of the log are dropped
+// with their count returned — the standard treatment for crashed clients,
+// sound for writes only if their effects were never observed; callers that
+// need pending-write semantics should synthesize responses first.
+func FromEvents(events []Event) (h *History, dropped int, err error) {
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+
+	h = &History{}
+	open := make(map[int]Event) // client -> outstanding invocation
+	for _, e := range evs {
+		if e.Invoke {
+			if _, busy := open[e.Client]; busy {
+				return nil, 0, fmt.Errorf("%w (client %d at t=%d)", ErrDoubleInvoke, e.Client, e.Time)
+			}
+			open[e.Client] = e
+			continue
+		}
+		inv, ok := open[e.Client]
+		if !ok {
+			return nil, 0, fmt.Errorf("%w (client %d at t=%d)", ErrUnpairedResponse, e.Client, e.Time)
+		}
+		delete(open, e.Client)
+		if e.Time <= inv.Time {
+			return nil, 0, fmt.Errorf("%w (client %d, t=%d..%d)", ErrBadEventTime, e.Client, inv.Time, e.Time)
+		}
+		op := Operation{
+			ID:     h.Len(),
+			Kind:   inv.Kind,
+			Start:  inv.Time,
+			Finish: e.Time,
+			Client: e.Client,
+		}
+		if inv.Kind == KindWrite {
+			op.Value = inv.Value
+		} else {
+			op.Value = e.Value // reads return their value on the response
+		}
+		h.Ops = append(h.Ops, op)
+	}
+	return h, len(open), nil
+}
+
+// ToEvents flattens a history back into a time-sorted event stream
+// (the inverse of FromEvents for complete histories).
+func ToEvents(h *History) []Event {
+	evs := make([]Event, 0, 2*h.Len())
+	for _, op := range h.Ops {
+		inv := Event{Time: op.Start, Client: op.Client, Invoke: true, Kind: op.Kind}
+		res := Event{Time: op.Finish, Client: op.Client, Kind: op.Kind}
+		if op.Kind == KindWrite {
+			inv.Value = op.Value
+		} else {
+			res.Value = op.Value
+		}
+		evs = append(evs, inv, res)
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	return evs
+}

@@ -1,0 +1,95 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures the text parser never panics and that everything it
+// accepts survives a String/Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"w 1 0 10",
+		"r 1 5 20",
+		"w 1 0 10; r 1 5 20",
+		"w 1 0 10 weight=3 client=2",
+		"# comment\nw 1 0 10",
+		"w -5 -10 -1",
+		"w 9223372036854775807 0 1",
+		"",
+		";;;",
+		"w 1 0 10 weight=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		h, err := Parse(text)
+		if err != nil {
+			return
+		}
+		h2, err := Parse(h.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal: %q\nrendered: %q", err, text, h.String())
+		}
+		if h2.Len() != h.Len() {
+			t.Fatalf("round trip changed length %d -> %d", h.Len(), h2.Len())
+		}
+	})
+}
+
+// FuzzNormalize ensures normalization of arbitrary parsed histories never
+// panics, never produces duplicate endpoints, and never loses precedence
+// edges.
+func FuzzNormalize(f *testing.F) {
+	f.Add("w 1 0 10; r 1 5 20; w 2 10 20")
+	f.Add("w 1 5 5")
+	f.Add("w 1 0 100; r 1 1 2")
+	f.Fuzz(func(t *testing.T, text string) {
+		h, err := Parse(text)
+		if err != nil || h.Len() > 64 {
+			return
+		}
+		n := Normalize(h)
+		seen := make(map[int64]bool)
+		for _, op := range n.Ops {
+			if op.Start >= op.Finish {
+				t.Fatalf("degenerate interval %+v from %q", op, text)
+			}
+			if seen[op.Start] || seen[op.Finish] {
+				t.Fatalf("duplicate endpoint in %+v from %q", op, text)
+			}
+			seen[op.Start] = true
+			seen[op.Finish] = true
+		}
+		for i := range h.Ops {
+			for j := range h.Ops {
+				if h.Ops[i].Precedes(h.Ops[j]) && !n.Ops[i].Precedes(n.Ops[j]) {
+					t.Fatalf("lost precedence (%d,%d) in %q", i, j, text)
+				}
+			}
+		}
+	})
+}
+
+// FuzzJSONRoundTrip ensures the JSON codec tolerates arbitrary bytes and
+// round-trips whatever it accepts.
+func FuzzJSONRoundTrip(f *testing.F) {
+	f.Add(`{"ops":[{"kind":"w","value":1,"start":0,"finish":10}]}`)
+	f.Add(`{"ops":[]}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, text string) {
+		h, err := ReadJSON(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := WriteJSON(&out, h); err != nil {
+			t.Fatalf("WriteJSON after accept: %v", err)
+		}
+		h2, err := ReadJSON(strings.NewReader(out.String()))
+		if err != nil || h2.Len() != h.Len() {
+			t.Fatalf("round trip: %v (%d vs %d ops)", err, h2.Len(), h.Len())
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package history defines the operation/history model from Section II of
+// "On the k-Atomicity-Verification Problem" (Golab, Hurwitz, Li; ICDCS 2013):
+// read and write operations on a single register, each with a real-time
+// interval, the "precedes" partial order over operations, and the
+// dictating-write / dictated-read relationship between writes and the reads
+// that return their values.
+//
+// The package also implements the normalization steps the paper assumes in
+// Section II-C (distinct timestamps, writes ending before their dictated
+// reads) and detection of the anomalies that trivially rule out k-atomicity
+// (a read without a dictating write, a read preceding its dictating write).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes read operations from write operations.
+type Kind uint8
+
+const (
+	// KindWrite is an operation that stores a value.
+	KindWrite Kind = iota + 1
+	// KindRead is an operation that retrieves a value.
+	KindRead
+)
+
+// String returns "w" for writes and "r" for reads.
+func (k Kind) String() string {
+	switch k {
+	case KindWrite:
+		return "w"
+	case KindRead:
+		return "r"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Operation is a single read or write on the register. Times are abstract
+// integer timestamps (the paper assumes accurately timestamped operations;
+// see the TrueTime discussion in Section II-C). Start must be strictly less
+// than Finish after normalization.
+type Operation struct {
+	// ID identifies the operation within its history. Prepare assigns
+	// IDs equal to the operation's index in the prepared history.
+	ID int
+	// Kind says whether the operation is a read or a write.
+	Kind Kind
+	// Value is the value written (for writes) or returned (for reads).
+	// The paper assumes each write assigns a distinct value.
+	Value int64
+	// Start is the invocation timestamp.
+	Start int64
+	// Finish is the response timestamp.
+	Finish int64
+	// Client optionally records the issuing client (informational).
+	Client int
+	// Weight is the write's weight for the weighted k-AV problem of
+	// Section V. Zero is treated as 1 by the weighted checkers. Weights
+	// on reads are ignored.
+	Weight int64
+}
+
+// IsWrite reports whether the operation is a write.
+func (op Operation) IsWrite() bool { return op.Kind == KindWrite }
+
+// IsRead reports whether the operation is a read.
+func (op Operation) IsRead() bool { return op.Kind == KindRead }
+
+// Precedes reports whether op finishes strictly before other starts; this is
+// the "precedes" partial order of Section II-A.
+func (op Operation) Precedes(other Operation) bool { return op.Finish < other.Start }
+
+// ConcurrentWith reports whether neither operation precedes the other.
+func (op Operation) ConcurrentWith(other Operation) bool {
+	return !op.Precedes(other) && !other.Precedes(op)
+}
+
+// EffectiveWeight returns the operation's weight, defaulting to 1.
+func (op Operation) EffectiveWeight() int64 {
+	if op.Weight <= 0 {
+		return 1
+	}
+	return op.Weight
+}
+
+// String renders the operation in the compact text format understood by
+// Parse, e.g. "w 7 10 20" or "r 7 15 30".
+func (op Operation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d %d %d", op.Kind, op.Value, op.Start, op.Finish)
+	if op.Weight > 1 {
+		fmt.Fprintf(&b, " weight=%d", op.Weight)
+	}
+	if op.Client != 0 {
+		fmt.Fprintf(&b, " client=%d", op.Client)
+	}
+	return b.String()
+}
+
+// History is a collection of operations on a single register. k-atomicity is
+// a local property (Section II-B), so multi-register workloads are verified
+// by building one History per register.
+type History struct {
+	// Ops holds the operations in no particular order unless the history
+	// has been prepared (see Prepare), in which case they are sorted by
+	// start time and IDs equal slice indices.
+	Ops []Operation
+}
+
+// New returns a history over a copy of ops.
+func New(ops []Operation) *History {
+	cp := make([]Operation, len(ops))
+	copy(cp, ops)
+	return &History{Ops: cp}
+}
+
+// Len returns the number of operations.
+func (h *History) Len() int { return len(h.Ops) }
+
+// Clone returns a deep copy of the history.
+func (h *History) Clone() *History {
+	return New(h.Ops)
+}
+
+// Writes returns the number of write operations.
+func (h *History) Writes() int {
+	n := 0
+	for _, op := range h.Ops {
+		if op.IsWrite() {
+			n++
+		}
+	}
+	return n
+}
+
+// Reads returns the number of read operations.
+func (h *History) Reads() int { return len(h.Ops) - h.Writes() }
+
+// SortByStart sorts operations by start time (ties broken by finish, then
+// original ID) and renumbers IDs to slice indices.
+func (h *History) SortByStart() {
+	sort.SliceStable(h.Ops, func(i, j int) bool {
+		a, b := h.Ops[i], h.Ops[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Finish != b.Finish {
+			return a.Finish < b.Finish
+		}
+		return a.ID < b.ID
+	})
+	for i := range h.Ops {
+		h.Ops[i].ID = i
+	}
+}
+
+// String renders the history in the compact text format, one operation per
+// line, in the current operation order.
+func (h *History) String() string {
+	var b strings.Builder
+	for _, op := range h.Ops {
+		b.WriteString(op.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

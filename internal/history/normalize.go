@@ -1,0 +1,105 @@
+package history
+
+import "sort"
+
+// Normalize returns a copy of h transformed to satisfy the repairable
+// assumptions of Section II-C:
+//
+//  1. All endpoint timestamps are made distinct by order-preserving
+//     re-ranking. Ties are broken deterministically: at equal time a start
+//     endpoint is ranked before a finish endpoint (so operations that merely
+//     touch remain concurrent rather than ordered), then by operation ID.
+//  2. Every write is shortened so that it finishes strictly before the
+//     minimum finish time of its dictated reads. This is without loss of
+//     generality: a write's commit point cannot occur after one of its
+//     dictated reads has finished, so no k-atomic total order is lost.
+//
+// Normalize does not repair true anomalies (dangling reads, reads preceding
+// their dictating writes, duplicate written values); those still surface as
+// errors from Prepare.
+//
+// The returned history is k-atomic if and only if the input is, for every k.
+func Normalize(h *History) *History {
+	cp := h.Clone()
+	for i := range cp.Ops {
+		if cp.Ops[i].ID == 0 {
+			cp.Ops[i].ID = i
+		}
+	}
+	rankTimestamps(cp)
+	shortenWrites(cp)
+	rankTimestamps(cp) // compact back to dense distinct ranks
+	return cp
+}
+
+// endpoint identifies one end of one operation for re-ranking.
+type endpoint struct {
+	t       int64
+	isStart bool
+	op      int // index into Ops
+}
+
+// rankTimestamps rewrites all endpoints to distinct integers 0..2n-1
+// preserving the original order, with deterministic tie-breaking: by time,
+// then starts before finishes, then by operation ID. Degenerate zero-length
+// operations (Start == Finish) become unit-length intervals.
+func rankTimestamps(h *History) {
+	eps := make([]endpoint, 0, 2*len(h.Ops))
+	for i, op := range h.Ops {
+		eps = append(eps, endpoint{t: op.Start, isStart: true, op: i})
+		eps = append(eps, endpoint{t: op.Finish, isStart: false, op: i})
+	}
+	sort.Slice(eps, func(a, b int) bool {
+		x, y := eps[a], eps[b]
+		if x.t != y.t {
+			return x.t < y.t
+		}
+		if x.isStart != y.isStart {
+			return x.isStart // starts rank before finishes at equal time
+		}
+		return h.Ops[x.op].ID < h.Ops[y.op].ID
+	})
+	for rank, ep := range eps {
+		if ep.isStart {
+			h.Ops[ep.op].Start = int64(rank)
+		} else {
+			h.Ops[ep.op].Finish = int64(rank)
+		}
+	}
+}
+
+// shortenWrites enforces that each write finishes before the minimum finish
+// of its dictated reads. It assumes distinct integer timestamps (having just
+// been ranked): times are doubled so the new finish minReadFinish*2-1 is a
+// fresh odd value, unique per write because read finish times are unique.
+func shortenWrites(h *History) {
+	minReadFinish := make(map[int64]int64)
+	for _, op := range h.Ops {
+		if !op.IsRead() {
+			continue
+		}
+		if cur, ok := minReadFinish[op.Value]; !ok || op.Finish < cur {
+			minReadFinish[op.Value] = op.Finish
+		}
+	}
+	for i := range h.Ops {
+		h.Ops[i].Start *= 2
+		h.Ops[i].Finish *= 2
+	}
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		if !op.IsWrite() {
+			continue
+		}
+		mrf, ok := minReadFinish[op.Value]
+		if !ok {
+			continue
+		}
+		// Guard against inversion: if some read of this value finishes
+		// before the write even starts, that is a read-before-write
+		// anomaly — leave the write alone and let Prepare report it.
+		if limit := mrf*2 - 1; op.Finish > limit && limit > op.Start {
+			op.Finish = limit
+		}
+	}
+}

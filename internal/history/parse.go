@@ -1,0 +1,96 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a history in the compact text format: one operation per line
+// (or per ';'-separated segment), each of the form
+//
+//	w <value> <start> <finish> [weight=W] [client=C]
+//	r <value> <start> <finish> [client=C]
+//
+// Blank segments and '#' comments are ignored. Operation IDs are assigned in
+// input order.
+func Parse(text string) (*History, error) {
+	var ops []Operation
+	seg := 0
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, part := range strings.Split(line, ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			seg++
+			op, err := parseOp(part)
+			if err != nil {
+				return nil, fmt.Errorf("segment %d (%q): %w", seg, part, err)
+			}
+			op.ID = len(ops)
+			ops = append(ops, op)
+		}
+	}
+	return &History{Ops: ops}, nil
+}
+
+// MustParse is Parse for tests and examples; it panics on malformed input.
+func MustParse(text string) *History {
+	h, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func parseOp(s string) (Operation, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 4 {
+		return Operation{}, fmt.Errorf("want at least 4 fields (kind value start finish), got %d", len(fields))
+	}
+	var op Operation
+	switch fields[0] {
+	case "w", "W":
+		op.Kind = KindWrite
+	case "r", "R":
+		op.Kind = KindRead
+	default:
+		return Operation{}, fmt.Errorf("unknown kind %q", fields[0])
+	}
+	var err error
+	if op.Value, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return Operation{}, fmt.Errorf("value: %w", err)
+	}
+	if op.Start, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+		return Operation{}, fmt.Errorf("start: %w", err)
+	}
+	if op.Finish, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+		return Operation{}, fmt.Errorf("finish: %w", err)
+	}
+	for _, f := range fields[4:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return Operation{}, fmt.Errorf("malformed attribute %q", f)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return Operation{}, fmt.Errorf("attribute %q: %w", key, err)
+		}
+		switch key {
+		case "weight":
+			if n <= 0 {
+				return Operation{}, fmt.Errorf("weight must be positive, got %d", n)
+			}
+			op.Weight = n
+		case "client":
+			op.Client = int(n)
+		default:
+			return Operation{}, fmt.Errorf("unknown attribute %q", key)
+		}
+	}
+	return op, nil
+}

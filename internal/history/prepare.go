@@ -1,0 +1,229 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Errors reported while preparing a history for verification.
+var (
+	// ErrDuplicateValue indicates two writes stored the same value,
+	// violating the unique-values assumption of Section II-C.
+	ErrDuplicateValue = errors.New("history: duplicate written value")
+	// ErrInvertedInterval indicates an operation with Finish <= Start.
+	ErrInvertedInterval = errors.New("history: operation finish not after start")
+	// ErrDuplicateTimestamp indicates two endpoints share a timestamp,
+	// violating the distinct-timestamps assumption of Section II-C.
+	// Normalize repairs this.
+	ErrDuplicateTimestamp = errors.New("history: duplicate endpoint timestamp")
+	// ErrDanglingRead indicates a read whose value no write stored
+	// (anomaly; Section II-C assumes these were screened out).
+	ErrDanglingRead = errors.New("history: read without dictating write")
+	// ErrReadBeforeWrite indicates a read that precedes its dictating
+	// write (anomaly; Section II-C assumes these were screened out).
+	ErrReadBeforeWrite = errors.New("history: read precedes its dictating write")
+	// ErrLongWrite indicates a write that does not end before the minimum
+	// finish time of its dictated reads. Normalize repairs this by
+	// shortening the write (Section II-C).
+	ErrLongWrite = errors.New("history: write ends after a dictated read finishes")
+)
+
+// AnomalyKind classifies assumption violations found in a history.
+type AnomalyKind uint8
+
+const (
+	// AnomalyDuplicateValue marks a pair of writes with the same value.
+	AnomalyDuplicateValue AnomalyKind = iota + 1
+	// AnomalyInvertedInterval marks an operation with Finish <= Start.
+	AnomalyInvertedInterval
+	// AnomalyDuplicateTimestamp marks endpoints sharing a timestamp.
+	AnomalyDuplicateTimestamp
+	// AnomalyDanglingRead marks a read without a dictating write.
+	AnomalyDanglingRead
+	// AnomalyReadBeforeWrite marks a read preceding its dictating write.
+	AnomalyReadBeforeWrite
+	// AnomalyLongWrite marks a write ending after a dictated read's finish.
+	AnomalyLongWrite
+)
+
+// String names the anomaly kind.
+func (k AnomalyKind) String() string {
+	switch k {
+	case AnomalyDuplicateValue:
+		return "duplicate-value"
+	case AnomalyInvertedInterval:
+		return "inverted-interval"
+	case AnomalyDuplicateTimestamp:
+		return "duplicate-timestamp"
+	case AnomalyDanglingRead:
+		return "dangling-read"
+	case AnomalyReadBeforeWrite:
+		return "read-before-write"
+	case AnomalyLongWrite:
+		return "long-write"
+	default:
+		return fmt.Sprintf("AnomalyKind(%d)", uint8(k))
+	}
+}
+
+// Anomaly describes one assumption violation.
+type Anomaly struct {
+	Kind AnomalyKind
+	// OpIDs identifies the offending operation(s) by ID.
+	OpIDs []int
+}
+
+// String renders the anomaly for diagnostics.
+func (a Anomaly) String() string {
+	return fmt.Sprintf("%s ops=%v", a.Kind, a.OpIDs)
+}
+
+// FindAnomalies scans a history for all assumption violations of
+// Section II-C. Repairable violations (duplicate timestamps, long writes)
+// are fixed by Normalize; the rest make every k-AV answer trivially NO
+// (dangling read, read-before-write) or the input malformed.
+func FindAnomalies(h *History) []Anomaly {
+	var out []Anomaly
+	writeByValue := make(map[int64]int, len(h.Ops))
+	for i, op := range h.Ops {
+		if op.Finish <= op.Start {
+			out = append(out, Anomaly{Kind: AnomalyInvertedInterval, OpIDs: []int{op.ID}})
+		}
+		if op.IsWrite() {
+			if j, dup := writeByValue[op.Value]; dup {
+				out = append(out, Anomaly{Kind: AnomalyDuplicateValue, OpIDs: []int{h.Ops[j].ID, op.ID}})
+			} else {
+				writeByValue[op.Value] = i
+			}
+		}
+	}
+	// Endpoint distinctness.
+	times := make([]int64, 0, 2*len(h.Ops))
+	owner := make(map[int64][]int, 2*len(h.Ops))
+	for _, op := range h.Ops {
+		times = append(times, op.Start, op.Finish)
+		owner[op.Start] = append(owner[op.Start], op.ID)
+		owner[op.Finish] = append(owner[op.Finish], op.ID)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	reported := make(map[int64]bool)
+	for i := 1; i < len(times); i++ {
+		if times[i] == times[i-1] && !reported[times[i]] {
+			reported[times[i]] = true
+			out = append(out, Anomaly{Kind: AnomalyDuplicateTimestamp, OpIDs: owner[times[i]]})
+		}
+	}
+	// Read/write pairing anomalies.
+	for _, op := range h.Ops {
+		if !op.IsRead() {
+			continue
+		}
+		wi, ok := writeByValue[op.Value]
+		if !ok {
+			out = append(out, Anomaly{Kind: AnomalyDanglingRead, OpIDs: []int{op.ID}})
+			continue
+		}
+		w := h.Ops[wi]
+		if op.Finish < w.Start {
+			out = append(out, Anomaly{Kind: AnomalyReadBeforeWrite, OpIDs: []int{op.ID, w.ID}})
+		}
+	}
+	// Long writes: a write must end before the minimum finish time of its
+	// dictated reads.
+	minReadFinish := make(map[int64]int64)
+	for _, op := range h.Ops {
+		if !op.IsRead() {
+			continue
+		}
+		if cur, ok := minReadFinish[op.Value]; !ok || op.Finish < cur {
+			minReadFinish[op.Value] = op.Finish
+		}
+	}
+	for _, op := range h.Ops {
+		if !op.IsWrite() {
+			continue
+		}
+		if mrf, ok := minReadFinish[op.Value]; ok && op.Finish >= mrf {
+			out = append(out, Anomaly{Kind: AnomalyLongWrite, OpIDs: []int{op.ID}})
+		}
+	}
+	return out
+}
+
+// Prepared is a history that satisfies all Section II assumptions, sorted by
+// start time with IDs equal to slice indices, plus the dictating-write index
+// every verification algorithm needs.
+type Prepared struct {
+	// H is the prepared history: sorted by start, IDs renumbered.
+	H *History
+	// DictatingWrite maps a read's index to its dictating write's index.
+	// Entries for writes are -1.
+	DictatingWrite []int
+	// DictatedReads maps a write's index to the indices of its dictated
+	// reads, in increasing start order. Entries for reads are nil.
+	DictatedReads [][]int
+	// WriteByValue maps each written value to the write's index.
+	WriteByValue map[int64]int
+}
+
+// Prepare validates the Section II assumptions, sorts the history by start
+// time, and builds the dictating-write index. The input history is not
+// modified. Histories that fail validation should be run through Normalize
+// first (for repairable violations) or rejected (for true anomalies).
+func Prepare(h *History) (*Prepared, error) {
+	cp := h.Clone()
+	cp.SortByStart()
+	for _, a := range FindAnomalies(cp) {
+		switch a.Kind {
+		case AnomalyDuplicateValue:
+			return nil, fmt.Errorf("%w (ops %v)", ErrDuplicateValue, a.OpIDs)
+		case AnomalyInvertedInterval:
+			return nil, fmt.Errorf("%w (op %v)", ErrInvertedInterval, a.OpIDs)
+		case AnomalyDuplicateTimestamp:
+			return nil, fmt.Errorf("%w (ops %v)", ErrDuplicateTimestamp, a.OpIDs)
+		case AnomalyDanglingRead:
+			return nil, fmt.Errorf("%w (op %v)", ErrDanglingRead, a.OpIDs)
+		case AnomalyReadBeforeWrite:
+			return nil, fmt.Errorf("%w (ops %v)", ErrReadBeforeWrite, a.OpIDs)
+		case AnomalyLongWrite:
+			return nil, fmt.Errorf("%w (op %v)", ErrLongWrite, a.OpIDs)
+		}
+	}
+	p := &Prepared{
+		H:              cp,
+		DictatingWrite: make([]int, len(cp.Ops)),
+		DictatedReads:  make([][]int, len(cp.Ops)),
+		WriteByValue:   make(map[int64]int, len(cp.Ops)),
+	}
+	for i, op := range cp.Ops {
+		p.DictatingWrite[i] = -1
+		if op.IsWrite() {
+			p.WriteByValue[op.Value] = i
+		}
+	}
+	for i, op := range cp.Ops {
+		if !op.IsRead() {
+			continue
+		}
+		w := p.WriteByValue[op.Value]
+		p.DictatingWrite[i] = w
+		p.DictatedReads[w] = append(p.DictatedReads[w], i)
+	}
+	return p, nil
+}
+
+// Op returns the operation at index i.
+func (p *Prepared) Op(i int) Operation { return p.H.Ops[i] }
+
+// Len returns the number of operations.
+func (p *Prepared) Len() int { return len(p.H.Ops) }
+
+// Cluster returns the operation indices of the cluster (Section IV) for the
+// write at index w: the write followed by its dictated reads.
+func (p *Prepared) Cluster(w int) []int {
+	out := make([]int, 0, 1+len(p.DictatedReads[w]))
+	out = append(out, w)
+	out = append(out, p.DictatedReads[w]...)
+	return out
+}

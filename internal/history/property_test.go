@@ -1,0 +1,147 @@
+package history
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// rawHistory generates raw, possibly tie-ridden operation sets: timestamps
+// are drawn from a small range to force duplicate endpoints, writes carry
+// distinct values, and every read references some write's value.
+type rawHistory struct {
+	H *History
+}
+
+func (rawHistory) Generate(r *rand.Rand, size int) reflect.Value {
+	if size < 2 {
+		size = 2
+	}
+	n := 2 + r.Intn(size+10)
+	span := int64(2 * n)
+	var ops []Operation
+	var writeVals []int64
+	for i := 0; i < n; i++ {
+		start := r.Int63n(span)
+		finish := start + 1 + r.Int63n(span/2+1)
+		if len(writeVals) == 0 || r.Intn(2) == 0 {
+			v := int64(len(writeVals) + 1)
+			writeVals = append(writeVals, v)
+			ops = append(ops, Operation{ID: i, Kind: KindWrite, Value: v, Start: start, Finish: finish})
+			continue
+		}
+		v := writeVals[r.Intn(len(writeVals))]
+		ops = append(ops, Operation{ID: i, Kind: KindRead, Value: v, Start: start, Finish: finish})
+	}
+	return reflect.ValueOf(rawHistory{H: New(ops)})
+}
+
+// TestPropertyNormalizeMonotone: Normalize never removes a precedence edge
+// (it may add edges only via the WLOG write-shortening of Section II-C),
+// and its output always has distinct endpoints and non-degenerate
+// intervals.
+func TestPropertyNormalizeMonotone(t *testing.T) {
+	prop := func(rh rawHistory) bool {
+		n := Normalize(rh.H)
+		if n.Len() != rh.H.Len() {
+			return false
+		}
+		for i := range rh.H.Ops {
+			for j := range rh.H.Ops {
+				if rh.H.Ops[i].Precedes(rh.H.Ops[j]) && !n.Ops[i].Precedes(n.Ops[j]) {
+					t.Logf("edge (%d,%d) lost", i, j)
+					return false
+				}
+			}
+		}
+		seen := make(map[int64]bool, 2*n.Len())
+		for _, op := range n.Ops {
+			if op.Start >= op.Finish {
+				t.Logf("degenerate interval %+v", op)
+				return false
+			}
+			if seen[op.Start] || seen[op.Finish] {
+				t.Logf("duplicate endpoint in %+v", op)
+				return false
+			}
+			seen[op.Start] = true
+			seen[op.Finish] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNormalizeExactWithoutLongWrites: when no write outlives a
+// dictated read (no repair needed beyond tie-breaking), the precedence
+// relation is preserved exactly.
+func TestPropertyNormalizeExactWithoutLongWrites(t *testing.T) {
+	prop := func(rh rawHistory) bool {
+		for _, a := range FindAnomalies(rh.H) {
+			if a.Kind == AnomalyLongWrite {
+				return true // vacuous: repair is allowed to add edges
+			}
+		}
+		n := Normalize(rh.H)
+		for i := range rh.H.Ops {
+			for j := range rh.H.Ops {
+				if rh.H.Ops[i].Precedes(rh.H.Ops[j]) != n.Ops[i].Precedes(n.Ops[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMeasureInvariants: structural statistics are internally
+// consistent on arbitrary inputs.
+func TestPropertyMeasureInvariants(t *testing.T) {
+	prop := func(rh rawHistory) bool {
+		st := Measure(rh.H)
+		if st.Ops != rh.H.Len() || st.Writes+st.Reads != st.Ops {
+			return false
+		}
+		if st.MaxConcurrentWrites > st.Writes || st.MaxConcurrentOps > st.Ops {
+			return false
+		}
+		if st.MaxConcurrentWrites > st.MaxConcurrentOps {
+			return false
+		}
+		if st.Ops > 0 && (st.MaxConcurrentOps < 1 || st.Span < 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyParseRoundTrip: String/Parse is the identity on operation
+// content for normalized histories.
+func TestPropertyParseRoundTrip(t *testing.T) {
+	prop := func(rh rawHistory) bool {
+		n := Normalize(rh.H)
+		back, err := Parse(n.String())
+		if err != nil || back.Len() != n.Len() {
+			return false
+		}
+		for i := range n.Ops {
+			a, b := n.Ops[i], back.Ops[i]
+			if a.Kind != b.Kind || a.Value != b.Value || a.Start != b.Start || a.Finish != b.Finish {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package history
+
+import "sort"
+
+// Stats summarizes structural properties of a history that drive algorithm
+// cost, most importantly c, the maximum number of concurrent writes, which
+// appears in LBT's O(n log n + c·n) bound (Theorem 3.2).
+type Stats struct {
+	// Ops is the total operation count n.
+	Ops int
+	// Writes and Reads partition Ops.
+	Writes int
+	Reads  int
+	// MaxConcurrentWrites is c: the maximum number of write intervals
+	// overlapping at any single point in time.
+	MaxConcurrentWrites int
+	// MaxConcurrentOps is the maximum number of operation intervals
+	// (reads and writes) overlapping at any single point in time.
+	MaxConcurrentOps int
+	// Span is the time from the earliest start to the latest finish.
+	Span int64
+}
+
+// Measure computes Stats in O(n log n).
+func Measure(h *History) Stats {
+	st := Stats{Ops: len(h.Ops)}
+	if len(h.Ops) == 0 {
+		return st
+	}
+	var (
+		allEvents   = make([]sweepEvent, 0, 2*len(h.Ops))
+		writeEvents = make([]sweepEvent, 0, 2*len(h.Ops))
+		minStart    = h.Ops[0].Start
+		maxFinish   = h.Ops[0].Finish
+	)
+	for _, op := range h.Ops {
+		if op.IsWrite() {
+			st.Writes++
+			writeEvents = append(writeEvents,
+				sweepEvent{t: op.Start, delta: +1},
+				sweepEvent{t: op.Finish, delta: -1})
+		} else {
+			st.Reads++
+		}
+		allEvents = append(allEvents,
+			sweepEvent{t: op.Start, delta: +1},
+			sweepEvent{t: op.Finish, delta: -1})
+		if op.Start < minStart {
+			minStart = op.Start
+		}
+		if op.Finish > maxFinish {
+			maxFinish = op.Finish
+		}
+	}
+	st.MaxConcurrentWrites = sweepMax(writeEvents)
+	st.MaxConcurrentOps = sweepMax(allEvents)
+	st.Span = maxFinish - minStart
+	return st
+}
+
+type sweepEvent struct {
+	t     int64
+	delta int
+}
+
+// sweepMax returns the maximum overlap of the closed intervals encoded as
+// +1/-1 events. At equal timestamps, -1 events sort first so that intervals
+// sharing only an endpoint do not count as overlapping (consistent with the
+// strict "precedes" relation: op1.f < op2.s).
+func sweepMax(events []sweepEvent) int {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur, best := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}

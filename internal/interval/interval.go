@@ -1,0 +1,238 @@
+// Package interval provides a static centered interval tree over integer
+// intervals, supporting stabbing, overlap, and containment queries in
+// O(log n + answer). It is the index structure Theorem 4.6's implementation
+// sketch uses for Stage 1 of FZF (inserting zones into an interval tree
+// sorted by low endpoint, then scanning for maximal chunks), and is reused by
+// the zone package for assigning backward zones to chunks.
+package interval
+
+import "sort"
+
+// Interval is a closed integer interval [Lo, Hi] tagged with a caller ID.
+type Interval struct {
+	Lo, Hi int64
+	// ID is an opaque caller-provided tag returned by queries.
+	ID int
+}
+
+// Contains reports whether the interval contains point p.
+func (iv Interval) Contains(p int64) bool { return iv.Lo <= p && p <= iv.Hi }
+
+// Overlaps reports whether the two closed intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Lo <= o.Hi && o.Lo <= iv.Hi }
+
+// Within reports whether iv lies entirely inside o.
+func (iv Interval) Within(o Interval) bool { return o.Lo <= iv.Lo && iv.Hi <= o.Hi }
+
+// Tree is an immutable centered interval tree. Build once, query many times.
+type Tree struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	center      int64
+	left, right *node
+	// intervals crossing center, sorted two ways
+	byLo []Interval // ascending Lo
+	byHi []Interval // descending Hi
+}
+
+// Build constructs a tree over the given intervals. Intervals with Lo > Hi
+// are normalized by swapping endpoints.
+func Build(ivs []Interval) *Tree {
+	cp := make([]Interval, len(ivs))
+	copy(cp, ivs)
+	for i := range cp {
+		if cp[i].Lo > cp[i].Hi {
+			cp[i].Lo, cp[i].Hi = cp[i].Hi, cp[i].Lo
+		}
+	}
+	return &Tree{root: build(cp), n: len(cp)}
+}
+
+// Len returns the number of stored intervals.
+func (t *Tree) Len() int { return t.n }
+
+func build(ivs []Interval) *node {
+	if len(ivs) == 0 {
+		return nil
+	}
+	// Median of all endpoints keeps the tree balanced.
+	endpoints := make([]int64, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		endpoints = append(endpoints, iv.Lo, iv.Hi)
+	}
+	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+	center := endpoints[len(endpoints)/2]
+
+	var left, right, cross []Interval
+	for _, iv := range ivs {
+		switch {
+		case iv.Hi < center:
+			left = append(left, iv)
+		case iv.Lo > center:
+			right = append(right, iv)
+		default:
+			cross = append(cross, iv)
+		}
+	}
+	nd := &node{center: center}
+	nd.byLo = append(nd.byLo, cross...)
+	sort.Slice(nd.byLo, func(i, j int) bool { return nd.byLo[i].Lo < nd.byLo[j].Lo })
+	nd.byHi = append(nd.byHi, cross...)
+	sort.Slice(nd.byHi, func(i, j int) bool { return nd.byHi[i].Hi > nd.byHi[j].Hi })
+	nd.left = build(left)
+	nd.right = build(right)
+	return nd
+}
+
+// Stab returns all intervals containing point p.
+func (t *Tree) Stab(p int64) []Interval {
+	var out []Interval
+	for nd := t.root; nd != nil; {
+		switch {
+		case p < nd.center:
+			for _, iv := range nd.byLo {
+				if iv.Lo > p {
+					break
+				}
+				out = append(out, iv)
+			}
+			nd = nd.left
+		case p > nd.center:
+			for _, iv := range nd.byHi {
+				if iv.Hi < p {
+					break
+				}
+				out = append(out, iv)
+			}
+			nd = nd.right
+		default:
+			out = append(out, nd.byLo...)
+			nd = nil
+		}
+	}
+	return out
+}
+
+// Overlapping returns all intervals intersecting query [lo, hi].
+func (t *Tree) Overlapping(lo, hi int64) []Interval {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	var out []Interval
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if hi < nd.center {
+			// Query entirely left of center: crossing intervals overlap
+			// iff their Lo <= hi.
+			for _, iv := range nd.byLo {
+				if iv.Lo > hi {
+					break
+				}
+				out = append(out, iv)
+			}
+			walk(nd.left)
+			return
+		}
+		if lo > nd.center {
+			for _, iv := range nd.byHi {
+				if iv.Hi < lo {
+					break
+				}
+				out = append(out, iv)
+			}
+			walk(nd.right)
+			return
+		}
+		// Query straddles center: every crossing interval overlaps.
+		out = append(out, nd.byLo...)
+		walk(nd.left)
+		walk(nd.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// ContainedIn returns all intervals lying entirely within [lo, hi].
+func (t *Tree) ContainedIn(lo, hi int64) []Interval {
+	if lo > hi {
+		return nil
+	}
+	out := t.Overlapping(lo, hi)
+	filtered := out[:0]
+	q := Interval{Lo: lo, Hi: hi}
+	for _, iv := range out {
+		if iv.Within(q) {
+			filtered = append(filtered, iv)
+		}
+	}
+	return filtered
+}
+
+// All returns every stored interval, in ascending (Lo, Hi, ID) order.
+func (t *Tree) All() []Interval {
+	var out []Interval
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		walk(nd.left)
+		out = append(out, nd.byLo...)
+		walk(nd.right)
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Lo != b.Lo {
+			return a.Lo < b.Lo
+		}
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// MergeRuns coalesces intervals into maximal strictly-overlapping runs: the
+// input is sorted by Lo and consecutive intervals are merged while the next
+// interval's Lo lies strictly inside the running union. Because history
+// timestamps are distinct, two zones touching only at an endpoint cannot
+// occur; strict overlap is the right merge criterion for FZF Stage 1 chunk
+// runs. Each returned Run records the union interval and the member IDs in
+// ascending Lo order.
+func MergeRuns(ivs []Interval) []Run {
+	cp := make([]Interval, len(ivs))
+	copy(cp, ivs)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Lo != cp[j].Lo {
+			return cp[i].Lo < cp[j].Lo
+		}
+		return cp[i].Hi < cp[j].Hi
+	})
+	var runs []Run
+	for _, iv := range cp {
+		if len(runs) > 0 && iv.Lo < runs[len(runs)-1].Hi {
+			r := &runs[len(runs)-1]
+			if iv.Hi > r.Hi {
+				r.Hi = iv.Hi
+			}
+			r.Members = append(r.Members, iv.ID)
+			continue
+		}
+		runs = append(runs, Run{Lo: iv.Lo, Hi: iv.Hi, Members: []int{iv.ID}})
+	}
+	return runs
+}
+
+// Run is a maximal union of overlapping intervals.
+type Run struct {
+	Lo, Hi  int64
+	Members []int
+}

@@ -1,0 +1,250 @@
+package interval
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func ids(ivs []Interval) []int {
+	out := make([]int, len(ivs))
+	for i, iv := range ivs {
+		out[i] = iv.ID
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntervalPredicates(t *testing.T) {
+	iv := Interval{Lo: 10, Hi: 20}
+	if !iv.Contains(10) || !iv.Contains(15) || !iv.Contains(20) {
+		t.Error("Contains endpoints/middle failed")
+	}
+	if iv.Contains(9) || iv.Contains(21) {
+		t.Error("Contains outside points")
+	}
+	if !iv.Overlaps(Interval{Lo: 20, Hi: 30}) {
+		t.Error("closed intervals sharing endpoint must overlap")
+	}
+	if iv.Overlaps(Interval{Lo: 21, Hi: 30}) {
+		t.Error("disjoint intervals must not overlap")
+	}
+	if !iv.Within(Interval{Lo: 0, Hi: 100}) {
+		t.Error("Within failed")
+	}
+	if iv.Within(Interval{Lo: 11, Hi: 100}) {
+		t.Error("Within accepted partial containment")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Stab(5); len(got) != 0 {
+		t.Errorf("Stab on empty = %v", got)
+	}
+	if got := tr.Overlapping(0, 10); len(got) != 0 {
+		t.Errorf("Overlapping on empty = %v", got)
+	}
+}
+
+func TestStabSmall(t *testing.T) {
+	tr := Build([]Interval{
+		{Lo: 0, Hi: 10, ID: 1},
+		{Lo: 5, Hi: 15, ID: 2},
+		{Lo: 12, Hi: 20, ID: 3},
+	})
+	tests := []struct {
+		p    int64
+		want []int
+	}{
+		{0, []int{1}},
+		{5, []int{1, 2}},
+		{7, []int{1, 2}},
+		{11, []int{2}},
+		{13, []int{2, 3}},
+		{16, []int{3}},
+		{25, nil},
+		{-1, nil},
+	}
+	for _, tt := range tests {
+		got := ids(tr.Stab(tt.p))
+		if !equalIDs(got, tt.want) {
+			t.Errorf("Stab(%d) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBuildNormalizesInverted(t *testing.T) {
+	tr := Build([]Interval{{Lo: 10, Hi: 0, ID: 1}})
+	if got := ids(tr.Stab(5)); !equalIDs(got, []int{1}) {
+		t.Errorf("inverted interval not normalized: Stab(5) = %v", got)
+	}
+}
+
+func TestContainedIn(t *testing.T) {
+	tr := Build([]Interval{
+		{Lo: 0, Hi: 10, ID: 1},
+		{Lo: 2, Hi: 4, ID: 2},
+		{Lo: 8, Hi: 12, ID: 3},
+		{Lo: 3, Hi: 3, ID: 4},
+	})
+	got := ids(tr.ContainedIn(1, 11))
+	if !equalIDs(got, []int{2, 4}) {
+		t.Errorf("ContainedIn(1,11) = %v, want [2 4]", got)
+	}
+	if got := tr.ContainedIn(5, 4); got != nil {
+		t.Errorf("ContainedIn on empty range = %v", got)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	tr := Build([]Interval{
+		{Lo: 5, Hi: 9, ID: 2},
+		{Lo: 0, Hi: 3, ID: 1},
+		{Lo: 5, Hi: 20, ID: 3},
+	})
+	all := tr.All()
+	if len(all) != 3 {
+		t.Fatalf("All len = %d", len(all))
+	}
+	if all[0].ID != 1 || all[1].ID != 2 || all[2].ID != 3 {
+		t.Errorf("All order = %v", all)
+	}
+}
+
+// TestRandomizedAgainstBruteForce cross-checks all query types against a
+// linear scan on random inputs.
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := int64(rng.Intn(200))
+			hi := lo + int64(rng.Intn(50))
+			ivs[i] = Interval{Lo: lo, Hi: hi, ID: i}
+		}
+		tr := Build(ivs)
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for q := 0; q < 30; q++ {
+			p := int64(rng.Intn(260) - 10)
+			var want []int
+			for _, iv := range ivs {
+				if iv.Contains(p) {
+					want = append(want, iv.ID)
+				}
+			}
+			sort.Ints(want)
+			if got := ids(tr.Stab(p)); !equalIDs(got, want) {
+				t.Fatalf("trial %d: Stab(%d) = %v, want %v", trial, p, got, want)
+			}
+
+			lo := int64(rng.Intn(220) - 10)
+			hi := lo + int64(rng.Intn(80))
+			var wantOv, wantIn []int
+			for _, iv := range ivs {
+				if iv.Overlaps(Interval{Lo: lo, Hi: hi}) {
+					wantOv = append(wantOv, iv.ID)
+				}
+				if iv.Within(Interval{Lo: lo, Hi: hi}) {
+					wantIn = append(wantIn, iv.ID)
+				}
+			}
+			sort.Ints(wantOv)
+			sort.Ints(wantIn)
+			if got := ids(tr.Overlapping(lo, hi)); !equalIDs(got, wantOv) {
+				t.Fatalf("trial %d: Overlapping(%d,%d) = %v, want %v", trial, lo, hi, got, wantOv)
+			}
+			if got := ids(tr.ContainedIn(lo, hi)); !equalIDs(got, wantIn) {
+				t.Fatalf("trial %d: ContainedIn(%d,%d) = %v, want %v", trial, lo, hi, got, wantIn)
+			}
+		}
+	}
+}
+
+func TestMergeRunsBasic(t *testing.T) {
+	runs := MergeRuns([]Interval{
+		{Lo: 0, Hi: 10, ID: 1},
+		{Lo: 5, Hi: 20, ID: 2},
+		{Lo: 30, Hi: 40, ID: 3},
+		{Lo: 35, Hi: 38, ID: 4},
+		{Lo: 50, Hi: 60, ID: 5},
+	})
+	if len(runs) != 3 {
+		t.Fatalf("runs = %+v, want 3 runs", runs)
+	}
+	if runs[0].Lo != 0 || runs[0].Hi != 20 || len(runs[0].Members) != 2 {
+		t.Errorf("run 0 = %+v", runs[0])
+	}
+	if runs[1].Lo != 30 || runs[1].Hi != 40 || len(runs[1].Members) != 2 {
+		t.Errorf("run 1 = %+v", runs[1])
+	}
+	if runs[2].Lo != 50 || runs[2].Hi != 60 || len(runs[2].Members) != 1 {
+		t.Errorf("run 2 = %+v", runs[2])
+	}
+}
+
+func TestMergeRunsTouchingDoesNotMerge(t *testing.T) {
+	// Strict overlap required: [0,10] and [10,20] share only an endpoint.
+	runs := MergeRuns([]Interval{
+		{Lo: 0, Hi: 10, ID: 1},
+		{Lo: 10, Hi: 20, ID: 2},
+	})
+	if len(runs) != 2 {
+		t.Fatalf("touching intervals merged: %+v", runs)
+	}
+}
+
+func TestMergeRunsUnsortedInput(t *testing.T) {
+	runs := MergeRuns([]Interval{
+		{Lo: 35, Hi: 38, ID: 4},
+		{Lo: 0, Hi: 10, ID: 1},
+		{Lo: 30, Hi: 40, ID: 3},
+		{Lo: 5, Hi: 20, ID: 2},
+	})
+	if len(runs) != 2 {
+		t.Fatalf("runs = %+v, want 2", runs)
+	}
+	if runs[0].Members[0] != 1 || runs[0].Members[1] != 2 {
+		t.Errorf("run 0 members = %v, want [1 2]", runs[0].Members)
+	}
+}
+
+func TestMergeRunsNestedInterval(t *testing.T) {
+	// A long interval followed by one nested inside it: the union must keep
+	// the longer Hi.
+	runs := MergeRuns([]Interval{
+		{Lo: 0, Hi: 100, ID: 1},
+		{Lo: 10, Hi: 20, ID: 2},
+		{Lo: 90, Hi: 150, ID: 3},
+	})
+	if len(runs) != 1 {
+		t.Fatalf("runs = %+v, want 1", runs)
+	}
+	if runs[0].Lo != 0 || runs[0].Hi != 150 || len(runs[0].Members) != 3 {
+		t.Errorf("run = %+v", runs[0])
+	}
+}
+
+func TestMergeRunsEmpty(t *testing.T) {
+	if runs := MergeRuns(nil); len(runs) != 0 {
+		t.Errorf("MergeRuns(nil) = %v", runs)
+	}
+}

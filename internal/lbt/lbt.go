@@ -1,0 +1,353 @@
+// Package lbt implements the LBT (Limited BackTracking) 2-atomicity
+// verification algorithm of Section III (Figure 2) of the paper.
+//
+// LBT constructs a candidate 2-atomic total order back to front, placing
+// operations into write slots and read containers (Figure 1). Each epoch
+// tentatively places a candidate write into the latest unfilled write slot;
+// that placement forces the contents of the adjacent read container, which in
+// turn determines the next write slot, and so on until a placement is
+// unconstrained (epoch succeeds) or contradictory (epoch aborts and the next
+// candidate is tried). Backtracking is limited to the first write of each
+// epoch, which is what makes the algorithm efficient.
+//
+// Per Theorem 3.2 the implementation keeps the remaining history H as a
+// doubly-linked list sorted by start time, the remaining writes W as a list
+// sorted by finish time, and per-write dictated-read lists; all removals go
+// through an undo log so an aborted candidate is reverted in time
+// proportional to the work it performed. Epoch candidates are raced with an
+// iteratively-deepened step budget (Korf-style) so that one slow failing
+// candidate cannot delay a fast succeeding one; this yields the
+// O(n log n + c·n) bound, where c is the maximum number of concurrent
+// writes. The racing can be disabled (Options.NoDeepening) to reproduce the
+// pathological behavior the paper warns about — used by the ablation bench.
+package lbt
+
+import (
+	"kat/internal/history"
+	"kat/internal/llist"
+	"kat/internal/witness"
+)
+
+// Options tune the LBT run.
+type Options struct {
+	// NoDeepening disables iterative-deepening candidate racing: each
+	// epoch candidate runs to completion before the next is tried, as in
+	// the literal pseudo-code of Figure 2. Worst-case behavior degrades
+	// exactly as discussed in Theorem 3.2's proof.
+	NoDeepening bool
+	// WorstCaseOrder tries epoch candidates in ascending finish-time
+	// order instead of descending. Figure 2 leaves the candidate order
+	// unspecified; ascending order realizes the pathology the paper
+	// warns about (a successful candidate examined late while earlier
+	// candidates fail slowly), which iterative deepening neutralizes.
+	// Used by the E10 ablation.
+	WorstCaseOrder bool
+	// InitialBudget is the first step budget for deepening (default 64).
+	InitialBudget int
+}
+
+// Result reports the decision and diagnostics.
+type Result struct {
+	// Atomic is true iff the history is 2-atomic.
+	Atomic bool
+	// Witness is a valid 2-atomic total order (operation indices) when
+	// Atomic is true.
+	Witness []int
+	// Epochs counts successful epochs.
+	Epochs int
+	// CandidatesTried counts candidate executions across all epochs,
+	// including budget-exhausted re-runs.
+	CandidatesTried int
+	// Steps counts total RunEpoch work (operations scanned/removed).
+	Steps int
+}
+
+// Check decides 2-atomicity of the prepared history using LBT.
+func Check(p *history.Prepared, opts Options) Result {
+	c := newChecker(p, opts)
+	return c.run()
+}
+
+// epochStatus is the outcome of running one candidate.
+type epochStatus uint8
+
+const (
+	epochSuccess epochStatus = iota + 1
+	epochFail
+	epochExhausted
+)
+
+type checker struct {
+	p    *history.Prepared
+	opts Options
+
+	h       *llist.List      // remaining ops by start time
+	w       *llist.List      // remaining writes by finish time
+	s       *llist.List      // remaining writes by start time
+	readsOf *llist.MultiList // per-write dictated reads, by start time
+	log     llist.UndoLog
+
+	// placement is the total order under construction, recorded back to
+	// front: each element is a write slot followed by its read container.
+	slots      []int
+	containers [][]int
+
+	steps      int
+	candidates int
+	epochs     int
+}
+
+func newChecker(p *history.Prepared, opts Options) *checker {
+	n := p.Len()
+	c := &checker{
+		p:       p,
+		opts:    opts,
+		h:       llist.New(n),
+		w:       llist.New(n),
+		s:       llist.New(n),
+		readsOf: llist.NewMulti(n, n),
+	}
+	if c.opts.InitialBudget <= 0 {
+		c.opts.InitialBudget = 64
+	}
+	// Prepared histories are sorted by start time.
+	for i := 0; i < n; i++ {
+		c.h.PushBack(i)
+		if p.Op(i).IsRead() {
+			c.readsOf.PushBack(p.DictatingWrite[i], i)
+		} else {
+			c.s.PushBack(i)
+		}
+	}
+	// W sorted by finish time.
+	writes := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if p.Op(i).IsWrite() {
+			writes = append(writes, i)
+		}
+	}
+	insertionSortByFinish(writes, p)
+	for _, wi := range writes {
+		c.w.PushBack(wi)
+	}
+	return c
+}
+
+// insertionSortByFinish sorts write indices by finish time. The input is
+// already sorted by start time, so for realistic histories (bounded
+// concurrency) displacement is small; the worst case hands LBT its
+// documented O(n log n) preprocessing via the caller using sort — but since
+// Go's sort is allocation-free here anyway, a shell-sort style pass keeps
+// this dependency-free and near-linear on practical inputs.
+func insertionSortByFinish(a []int, p *history.Prepared) {
+	for gap := len(a) / 2; gap > 0; gap /= 2 {
+		for i := gap; i < len(a); i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && p.Op(a[j-gap]).Finish > p.Op(v).Finish; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}
+
+func (c *checker) run() Result {
+	for c.h.Len() > 0 {
+		if !c.runOneEpoch() {
+			return Result{
+				Atomic:          false,
+				Epochs:          c.epochs,
+				CandidatesTried: c.candidates,
+				Steps:           c.steps,
+			}
+		}
+		c.epochs++
+	}
+	return Result{
+		Atomic:          true,
+		Witness:         c.witnessOrder(),
+		Epochs:          c.epochs,
+		CandidatesTried: c.candidates,
+		Steps:           c.steps,
+	}
+}
+
+// candidateSet returns the writes in W that do not precede any other write
+// in W (Figure 2, line 3). These form a suffix of W in finish-time order:
+// if w is a candidate, any write finishing later is also one. There are at
+// most c of them, because candidates are pairwise concurrent.
+func (c *checker) candidateSet() []int {
+	// A write w is a candidate iff w.Finish exceeds the maximum start
+	// time among the *other* remaining writes. The top two start times
+	// come from the tail of the start-sorted write list S.
+	s1 := llist.None // write with max start
+	s2 := llist.None // write with second max start
+	if t := c.s.Tail(); t != llist.None {
+		s1 = t
+		s2 = c.s.Prev(t)
+	}
+	var out []int
+	for wi := c.w.Tail(); wi != llist.None; wi = c.w.Prev(wi) {
+		threshold := s1
+		if wi == s1 {
+			threshold = s2
+		}
+		if threshold != llist.None && c.p.Op(wi).Finish < c.p.Op(threshold).Start {
+			break // not a candidate; neither is anything earlier in W
+		}
+		out = append(out, wi)
+	}
+	if c.opts.WorstCaseOrder {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// runOneEpoch finds a candidate whose epoch succeeds and commits it,
+// returning false if every candidate fails (history not 2-atomic).
+func (c *checker) runOneEpoch() bool {
+	alive := c.candidateSet()
+	if c.opts.NoDeepening {
+		for _, cand := range alive {
+			c.candidates++
+			mark, slotMark := c.log.Mark(), len(c.slots)
+			status := c.runEpochFrom(cand, int(^uint(0)>>1))
+			if status == epochSuccess {
+				c.log.Commit(0)
+				return true
+			}
+			c.revert(mark, slotMark)
+		}
+		return false
+	}
+	budget := c.opts.InitialBudget
+	for len(alive) > 0 {
+		next := alive[:0]
+		for _, cand := range alive {
+			c.candidates++
+			mark, slotMark := c.log.Mark(), len(c.slots)
+			status := c.runEpochFrom(cand, budget)
+			if status == epochSuccess {
+				c.log.Commit(0)
+				return true
+			}
+			c.revert(mark, slotMark)
+			if status == epochExhausted {
+				next = append(next, cand)
+			}
+		}
+		alive = next
+		budget *= 2
+	}
+	return false
+}
+
+func (c *checker) revert(mark, slotMark int) {
+	c.log.RevertTo(mark)
+	c.slots = c.slots[:slotMark]
+	c.containers = c.containers[:slotMark]
+}
+
+// runEpochFrom executes RunEpoch (Figure 2, lines 10-22) starting at write
+// wi with a step budget. Steps are counted per operation examined so that
+// iterative deepening bounds the work of failing candidates.
+func (c *checker) runEpochFrom(wi int, budget int) epochStatus {
+	used := 0
+	step := func() bool {
+		used++
+		c.steps++
+		return used <= budget
+	}
+	for {
+		if !step() {
+			return epochExhausted
+		}
+		wprime := llist.None
+		var container []int
+		wFinish := c.p.Op(wi).Finish
+		// Lines 13-18: every remaining op that starts after wi finishes
+		// is forced into wi's read container. They form a suffix of H.
+		for op := c.h.Tail(); op != llist.None && c.p.Op(op).Start > wFinish; {
+			if !step() {
+				return epochExhausted
+			}
+			if c.p.Op(op).IsWrite() {
+				return epochFail // line 14
+			}
+			d := c.p.DictatingWrite[op]
+			if d != wi && d != wprime {
+				if wprime != llist.None {
+					return epochFail // line 16
+				}
+				wprime = d // line 17
+			}
+			prev := c.h.Prev(op)
+			c.log.Unlink(c.h, op)
+			c.log.Unlink(c.readsOf, op)
+			container = append(container, op)
+			op = prev
+		}
+		// Lines 19-20: wi's remaining dictated reads join the container,
+		// then wi itself is placed into the write slot.
+		for r := c.readsOf.Head(wi); r != llist.None; {
+			if !step() {
+				return epochExhausted
+			}
+			next := c.readsOf.Next(r)
+			c.log.Unlink(c.h, r)
+			c.log.Unlink(c.readsOf, r)
+			container = append(container, r)
+			r = next
+		}
+		c.log.Unlink(c.h, wi)
+		c.log.Unlink(c.w, wi)
+		c.log.Unlink(c.s, wi)
+		c.slots = append(c.slots, wi)
+		c.containers = append(c.containers, container)
+		if wprime == llist.None {
+			return epochSuccess // line 21
+		}
+		wi = wprime // line 22
+	}
+}
+
+// witnessOrder converts the back-to-front slot/container placement into a
+// front-to-back total order. Reads within a container are emitted in start
+// order, which conforms to the precedes relation among them.
+func (c *checker) witnessOrder() []int {
+	order := make([]int, 0, c.p.Len())
+	for i := len(c.slots) - 1; i >= 0; i-- {
+		order = append(order, c.slots[i])
+		cont := c.containers[i]
+		// container reads were appended in two passes: forced reads in
+		// descending start order, then wi's remaining reads in ascending
+		// start order; sort by start time.
+		sorted := append([]int(nil), cont...)
+		insertionSortByStart(sorted, c.p)
+		order = append(order, sorted...)
+	}
+	return order
+}
+
+func insertionSortByStart(a []int, p *history.Prepared) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for ; j >= 0 && p.Op(a[j]).Start > p.Op(v).Start; j-- {
+			a[j+1] = a[j]
+		}
+		a[j+1] = v
+	}
+}
+
+// SelfCheck verifies a positive result's witness independently; it exists so
+// callers and tests can distrust the checker cheaply.
+func SelfCheck(p *history.Prepared, r Result) error {
+	if !r.Atomic {
+		return nil
+	}
+	return witness.Validate(p, r.Witness, 2)
+}

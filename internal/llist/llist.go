@@ -1,0 +1,265 @@
+// Package llist provides intrusive doubly-linked lists over a fixed arena of
+// nodes, with dancing-links removal: an unlinked node keeps its prev/next
+// pointers, so pushing unlinks onto an undo log and replaying the log in
+// reverse restores the list exactly. This is the data-structure substrate the
+// LBT implementation sketch in Theorem 3.2 requires — constant-time removal
+// from H and W, and cheap revert of an aborted epoch (Figure 2, line 7).
+//
+// Several lists can share one arena: each List owns a lane (a pair of
+// prev/next pointer arrays), so an element can sit simultaneously in, say,
+// the history list H and its dictating write's read list.
+package llist
+
+// None marks the absence of a node.
+const None = -1
+
+// List is a doubly-linked list over node indices 0..n-1 with head/tail
+// sentinels held outside the arena. The zero value is not usable; call New.
+type List struct {
+	prev []int
+	next []int
+	head int // first element or None
+	tail int // last element or None
+	size int
+}
+
+// New returns an empty list able to hold node indices in [0, n).
+func New(n int) *List {
+	l := &List{
+		prev: make([]int, n),
+		next: make([]int, n),
+		head: None,
+		tail: None,
+	}
+	for i := range l.prev {
+		l.prev[i] = None
+		l.next[i] = None
+	}
+	return l
+}
+
+// Len returns the number of linked elements.
+func (l *List) Len() int { return l.size }
+
+// Head returns the first element, or None if the list is empty.
+func (l *List) Head() int { return l.head }
+
+// Tail returns the last element, or None if the list is empty.
+func (l *List) Tail() int { return l.tail }
+
+// Next returns the element after i, or None.
+func (l *List) Next(i int) int { return l.next[i] }
+
+// Prev returns the element before i, or None.
+func (l *List) Prev(i int) int { return l.prev[i] }
+
+// PushBack appends node i, which must not currently be linked.
+func (l *List) PushBack(i int) {
+	l.prev[i] = l.tail
+	l.next[i] = None
+	if l.tail != None {
+		l.next[l.tail] = i
+	} else {
+		l.head = i
+	}
+	l.tail = i
+	l.size++
+}
+
+// Unlink removes node i from the list but leaves its prev/next pointers
+// intact so Relink can restore it (dancing links). The caller must ensure i
+// is currently linked and must Relink unlinks in reverse order.
+func (l *List) Unlink(i int) {
+	p, n := l.prev[i], l.next[i]
+	if p != None {
+		l.next[p] = n
+	} else {
+		l.head = n
+	}
+	if n != None {
+		l.prev[n] = p
+	} else {
+		l.tail = p
+	}
+	l.size--
+}
+
+// Relink restores node i, previously removed by Unlink. Restorations must
+// happen in exactly the reverse order of the unlinks.
+func (l *List) Relink(i int) {
+	p, n := l.prev[i], l.next[i]
+	if p != None {
+		l.next[p] = i
+	} else {
+		l.head = i
+	}
+	if n != None {
+		l.prev[n] = i
+	} else {
+		l.tail = i
+	}
+	l.size++
+}
+
+// Slice returns the linked elements front to back (for tests/diagnostics).
+func (l *List) Slice() []int {
+	out := make([]int, 0, l.size)
+	for i := l.head; i != None; i = l.next[i] {
+		out = append(out, i)
+	}
+	return out
+}
+
+// MultiList is a family of disjoint doubly-linked lists over one shared node
+// arena: every node belongs to at most one member list (its owner). LBT uses
+// one MultiList for the per-write dictated-read lists: each read node sits in
+// exactly its dictating write's list.
+type MultiList struct {
+	prev  []int
+	next  []int
+	head  []int
+	tail  []int
+	owner []int
+	size  []int
+}
+
+// NewMulti returns an empty family of `lists` lists over nodes [0, n).
+func NewMulti(n, lists int) *MultiList {
+	m := &MultiList{
+		prev:  make([]int, n),
+		next:  make([]int, n),
+		head:  make([]int, lists),
+		tail:  make([]int, lists),
+		owner: make([]int, n),
+		size:  make([]int, lists),
+	}
+	for i := range m.prev {
+		m.prev[i] = None
+		m.next[i] = None
+		m.owner[i] = None
+	}
+	for i := range m.head {
+		m.head[i] = None
+		m.tail[i] = None
+	}
+	return m
+}
+
+// PushBack appends node i to list l; i must not currently belong to any list.
+func (m *MultiList) PushBack(l, i int) {
+	m.owner[i] = l
+	m.prev[i] = m.tail[l]
+	m.next[i] = None
+	if m.tail[l] != None {
+		m.next[m.tail[l]] = i
+	} else {
+		m.head[l] = i
+	}
+	m.tail[l] = i
+	m.size[l]++
+}
+
+// Head returns the first node of list l, or None.
+func (m *MultiList) Head(l int) int { return m.head[l] }
+
+// Next returns the node after i within its list, or None.
+func (m *MultiList) Next(i int) int { return m.next[i] }
+
+// LenOf returns the number of nodes in list l.
+func (m *MultiList) LenOf(l int) int { return m.size[l] }
+
+// Unlink removes node i from its owner list, dancing-links style.
+func (m *MultiList) Unlink(i int) {
+	l := m.owner[i]
+	p, n := m.prev[i], m.next[i]
+	if p != None {
+		m.next[p] = n
+	} else {
+		m.head[l] = n
+	}
+	if n != None {
+		m.prev[n] = p
+	} else {
+		m.tail[l] = p
+	}
+	m.size[l]--
+}
+
+// Relink restores node i into its owner list; restorations must occur in
+// reverse unlink order.
+func (m *MultiList) Relink(i int) {
+	l := m.owner[i]
+	p, n := m.prev[i], m.next[i]
+	if p != None {
+		m.next[p] = i
+	} else {
+		m.head[l] = i
+	}
+	if n != None {
+		m.prev[n] = i
+	} else {
+		m.tail[l] = i
+	}
+	m.size[l]++
+}
+
+// SliceOf returns the nodes of list l front to back (tests/diagnostics).
+func (m *MultiList) SliceOf(l int) []int {
+	out := make([]int, 0, m.size[l])
+	for i := m.head[l]; i != None; i = m.next[i] {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Linked is any dancing-links structure an UndoLog can revert.
+type Linked interface {
+	// Unlink removes node i, leaving its pointers intact.
+	Unlink(i int)
+	// Relink restores node i; calls must be in reverse unlink order.
+	Relink(i int)
+}
+
+var (
+	_ Linked = (*List)(nil)
+	_ Linked = (*MultiList)(nil)
+)
+
+// UndoLog records unlinks across one or more lists so they can be reverted
+// in reverse order. The zero value is ready to use.
+type UndoLog struct {
+	entries []undoEntry
+}
+
+type undoEntry struct {
+	list Linked
+	node int
+}
+
+// Unlink removes node i from list l and records the removal.
+func (u *UndoLog) Unlink(l Linked, i int) {
+	l.Unlink(i)
+	u.entries = append(u.entries, undoEntry{list: l, node: i})
+}
+
+// Mark returns a position that RevertTo can rewind to.
+func (u *UndoLog) Mark() int { return len(u.entries) }
+
+// RevertTo relinks every node unlinked since the given mark, most recent
+// first, and truncates the log back to the mark.
+func (u *UndoLog) RevertTo(mark int) {
+	for i := len(u.entries) - 1; i >= mark; i-- {
+		e := u.entries[i]
+		e.list.Relink(e.node)
+	}
+	u.entries = u.entries[:mark]
+}
+
+// Commit discards log entries since the given mark, making the unlinks
+// permanent (they can no longer be reverted past the mark).
+func (u *UndoLog) Commit(mark int) {
+	u.entries = u.entries[:mark]
+}
+
+// Len returns the number of recorded unlinks.
+func (u *UndoLog) Len() int { return len(u.entries) }

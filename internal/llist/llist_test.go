@@ -1,0 +1,290 @@
+package llist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyList(t *testing.T) {
+	l := New(4)
+	if l.Len() != 0 {
+		t.Errorf("Len = %d, want 0", l.Len())
+	}
+	if l.Head() != None || l.Tail() != None {
+		t.Errorf("Head=%d Tail=%d, want None", l.Head(), l.Tail())
+	}
+	if got := l.Slice(); len(got) != 0 {
+		t.Errorf("Slice = %v, want empty", got)
+	}
+}
+
+func TestPushBackOrder(t *testing.T) {
+	l := New(5)
+	for _, i := range []int{2, 0, 4} {
+		l.PushBack(i)
+	}
+	want := []int{2, 0, 4}
+	got := l.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+	if l.Head() != 2 || l.Tail() != 4 {
+		t.Errorf("Head=%d Tail=%d, want 2/4", l.Head(), l.Tail())
+	}
+	if l.Next(2) != 0 || l.Prev(0) != 2 || l.Next(4) != None || l.Prev(2) != None {
+		t.Error("neighbor pointers wrong")
+	}
+}
+
+func TestUnlinkMiddle(t *testing.T) {
+	l := New(3)
+	l.PushBack(0)
+	l.PushBack(1)
+	l.PushBack(2)
+	l.Unlink(1)
+	if got := l.Slice(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Slice after unlink = %v, want [0 2]", got)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+	l.Relink(1)
+	if got := l.Slice(); len(got) != 3 || got[1] != 1 {
+		t.Fatalf("Slice after relink = %v, want [0 1 2]", got)
+	}
+}
+
+func TestUnlinkHeadAndTail(t *testing.T) {
+	l := New(3)
+	l.PushBack(0)
+	l.PushBack(1)
+	l.PushBack(2)
+	l.Unlink(0)
+	if l.Head() != 1 {
+		t.Errorf("Head after unlinking head = %d, want 1", l.Head())
+	}
+	l.Unlink(2)
+	if l.Tail() != 1 {
+		t.Errorf("Tail after unlinking tail = %d, want 1", l.Tail())
+	}
+	l.Relink(2)
+	l.Relink(0)
+	if got := l.Slice(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Slice after relinks = %v, want [0 1 2]", got)
+	}
+}
+
+func TestUnlinkAll(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 3; i++ {
+		l.PushBack(i)
+	}
+	for i := 0; i < 3; i++ {
+		l.Unlink(i)
+	}
+	if l.Len() != 0 || l.Head() != None || l.Tail() != None {
+		t.Errorf("list not empty after unlinking all: len=%d head=%d tail=%d", l.Len(), l.Head(), l.Tail())
+	}
+	// Reverse-order relink restores everything.
+	for i := 2; i >= 0; i-- {
+		l.Relink(i)
+	}
+	if got := l.Slice(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("Slice = %v, want [0 1 2]", got)
+	}
+}
+
+func TestUndoLogRevert(t *testing.T) {
+	l := New(6)
+	for i := 0; i < 6; i++ {
+		l.PushBack(i)
+	}
+	var log UndoLog
+	m0 := log.Mark()
+	log.Unlink(l, 1)
+	log.Unlink(l, 4)
+	m1 := log.Mark()
+	log.Unlink(l, 0)
+	log.Unlink(l, 5)
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	log.RevertTo(m1)
+	if got := l.Slice(); len(got) != 4 {
+		t.Fatalf("after partial revert Slice = %v, want 4 elements", got)
+	}
+	log.RevertTo(m0)
+	if got := l.Slice(); len(got) != 6 {
+		t.Fatalf("after full revert Slice = %v, want 6 elements", got)
+	}
+	for i, v := range l.Slice() {
+		if v != i {
+			t.Fatalf("order not restored: %v", l.Slice())
+		}
+	}
+}
+
+func TestUndoLogCommit(t *testing.T) {
+	l := New(3)
+	for i := 0; i < 3; i++ {
+		l.PushBack(i)
+	}
+	var log UndoLog
+	m := log.Mark()
+	log.Unlink(l, 1)
+	log.Commit(m)
+	if log.Len() != 0 {
+		t.Errorf("log Len = %d after commit, want 0", log.Len())
+	}
+	if l.Len() != 2 {
+		t.Errorf("list Len = %d, want 2 (commit must not relink)", l.Len())
+	}
+}
+
+func TestUndoLogAcrossLists(t *testing.T) {
+	a := New(4)
+	b := New(4)
+	for i := 0; i < 4; i++ {
+		a.PushBack(i)
+		b.PushBack(3 - i)
+	}
+	var log UndoLog
+	m := log.Mark()
+	log.Unlink(a, 2)
+	log.Unlink(b, 2)
+	log.Unlink(a, 0)
+	log.RevertTo(m)
+	if ga, gb := a.Slice(), b.Slice(); len(ga) != 4 || len(gb) != 4 {
+		t.Fatalf("revert across lists failed: a=%v b=%v", ga, gb)
+	}
+	for i, v := range a.Slice() {
+		if v != i {
+			t.Fatalf("list a order wrong: %v", a.Slice())
+		}
+	}
+	for i, v := range b.Slice() {
+		if v != 3-i {
+			t.Fatalf("list b order wrong: %v", b.Slice())
+		}
+	}
+}
+
+// TestRandomizedUndo exercises dancing-links restoration under random
+// unlink/revert interleavings against a reference slice implementation.
+func TestRandomizedUndo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		l := New(n)
+		for i := 0; i < n; i++ {
+			l.PushBack(i)
+		}
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		var log UndoLog
+		type frame struct {
+			mark int
+			ref  []int
+		}
+		var stack []frame
+		for step := 0; step < 30; step++ {
+			switch {
+			case rng.Intn(3) == 0 && len(stack) > 0:
+				// revert to a random open frame
+				f := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				log.RevertTo(f.mark)
+				ref = f.ref
+			case l.Len() > 0:
+				if rng.Intn(4) == 0 {
+					cp := make([]int, len(ref))
+					copy(cp, ref)
+					stack = append(stack, frame{mark: log.Mark(), ref: cp})
+				}
+				// unlink a random current element
+				idx := rng.Intn(len(ref))
+				log.Unlink(l, ref[idx])
+				ref = append(ref[:idx:idx], ref[idx+1:]...)
+			}
+			got := l.Slice()
+			if len(got) != len(ref) {
+				t.Fatalf("trial %d step %d: len %d vs ref %d", trial, step, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("trial %d step %d: got %v want %v", trial, step, got, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiListBasics(t *testing.T) {
+	m := NewMulti(6, 2)
+	m.PushBack(0, 1)
+	m.PushBack(0, 3)
+	m.PushBack(1, 2)
+	m.PushBack(1, 4)
+	if got := m.SliceOf(0); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("list 0 = %v, want [1 3]", got)
+	}
+	if got := m.SliceOf(1); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("list 1 = %v, want [2 4]", got)
+	}
+	if m.LenOf(0) != 2 || m.LenOf(1) != 2 {
+		t.Errorf("LenOf = %d,%d, want 2,2", m.LenOf(0), m.LenOf(1))
+	}
+	if m.Head(0) != 1 || m.Next(1) != 3 || m.Next(3) != None {
+		t.Error("head/next pointers wrong")
+	}
+	m.Unlink(1)
+	if got := m.SliceOf(0); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after unlink list 0 = %v, want [3]", got)
+	}
+	if got := m.SliceOf(1); len(got) != 2 {
+		t.Fatalf("unlink affected wrong list: %v", got)
+	}
+	m.Relink(1)
+	if got := m.SliceOf(0); len(got) != 2 || got[0] != 1 {
+		t.Fatalf("after relink list 0 = %v, want [1 3]", got)
+	}
+}
+
+func TestUndoLogMixedListKinds(t *testing.T) {
+	l := New(4)
+	for i := 0; i < 4; i++ {
+		l.PushBack(i)
+	}
+	m := NewMulti(4, 1)
+	for i := 0; i < 4; i++ {
+		m.PushBack(0, i)
+	}
+	var log UndoLog
+	mark := log.Mark()
+	log.Unlink(l, 2)
+	log.Unlink(m, 2)
+	log.Unlink(m, 0)
+	log.Unlink(l, 0)
+	if l.Len() != 2 || m.LenOf(0) != 2 {
+		t.Fatalf("unlinks did not apply: list=%d multi=%d", l.Len(), m.LenOf(0))
+	}
+	log.RevertTo(mark)
+	if got := l.Slice(); len(got) != 4 {
+		t.Fatalf("list not restored: %v", got)
+	}
+	if got := m.SliceOf(0); len(got) != 4 {
+		t.Fatalf("multi not restored: %v", got)
+	}
+	for i, v := range m.SliceOf(0) {
+		if v != i {
+			t.Fatalf("multi order wrong: %v", m.SliceOf(0))
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package oracle implements an exact decision procedure for k-atomicity and
+// weighted k-atomicity of arbitrary histories, for any k. It performs a
+// memoized depth-first search over valid prefixes of a total order, placing
+// reads eagerly (which is safe — see below) and branching only over writes.
+//
+// The oracle is exponential in the worst case — consistent with Section V's
+// NP-completeness result for the weighted problem and with the absence of
+// known polynomial algorithms for k ≥ 3 — but with eager read placement and
+// dead-write pruning it handles the history sizes used for ground truth in
+// tests and as the k ≥ 3 fallback in the public API.
+//
+// Why eager reads are safe: if a valid k-atomic extension exists from the
+// current prefix, and read r is appendable (no unplaced operation precedes
+// it) with its dictating write's staleness budget not yet exhausted, then
+// moving r to the front of the extension keeps the order valid (nothing
+// unplaced precedes r) and cannot hurt any other operation (moving a read
+// earlier never changes the number of writes separating any other read from
+// its dictating write).
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"kat/internal/history"
+)
+
+// ErrStateLimit is returned when the search exceeds its state budget. The
+// answer is then unknown; callers can retry with a larger budget.
+var ErrStateLimit = errors.New("oracle: state budget exhausted")
+
+// DefaultMaxStates bounds the number of distinct memoized states explored.
+const DefaultMaxStates = 2_000_000
+
+// Options tune the search.
+type Options struct {
+	// MaxStates bounds memoized states; 0 means DefaultMaxStates.
+	MaxStates int
+	// UseWeights makes the check weighted (Section V): the total weight
+	// of writes from a read's dictating write (inclusive) to the read
+	// must be at most k. When false, every write counts 1 and the bound
+	// k corresponds to plain k-atomicity.
+	UseWeights bool
+}
+
+// Result reports a decision and, for positive answers, a witness.
+type Result struct {
+	// Atomic is the decision.
+	Atomic bool
+	// Witness is a valid k-atomic total order (operation indices into the
+	// prepared history) when Atomic is true.
+	Witness []int
+	// States is the number of search states explored (diagnostics).
+	States int
+}
+
+// CheckK decides whether the prepared history is k-atomic.
+func CheckK(p *history.Prepared, k int, opts Options) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("oracle: k must be >= 1, got %d", k)
+	}
+	opts.UseWeights = false
+	s := newSearch(p, int64(k), opts)
+	return s.run()
+}
+
+// CheckWeighted decides the weighted k-AV problem of Section V: every read
+// must be within total write weight k of its dictating write, counting the
+// dictating write itself.
+func CheckWeighted(p *history.Prepared, k int64, opts Options) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("oracle: weight bound must be >= 1, got %d", k)
+	}
+	opts.UseWeights = true
+	s := newSearch(p, k, opts)
+	return s.run()
+}
+
+type search struct {
+	p     *history.Prepared
+	bound int64 // k (plain) or weight bound (weighted)
+	opts  Options
+
+	n          int
+	placed     []bool
+	pendingRds []int   // per write: number of unplaced dictated reads
+	load       []int64 // per write: own weight + weights of writes placed after it
+	weight     []int64 // effective weight per op (1 for plain k-AV)
+	liveWrites []int   // writes placed with pendingRds > 0, in placement order
+	order      []int   // placement order so far
+
+	// byStart lists unplaced op indices sorted by start; cursor-based
+	// removal is handled with a boolean filter during scans (the oracle
+	// favors clarity over constants; it is the reference implementation).
+	byStart  []int
+	byFinish []int
+
+	memo   map[string]struct{}
+	states int
+	limit  int
+	found  []int // witness captured at the success leaf (before unwinding)
+}
+
+func newSearch(p *history.Prepared, bound int64, opts Options) *search {
+	n := p.Len()
+	s := &search{
+		p:          p,
+		bound:      bound,
+		opts:       opts,
+		n:          n,
+		placed:     make([]bool, n),
+		pendingRds: make([]int, n),
+		load:       make([]int64, n),
+		weight:     make([]int64, n),
+		byStart:    make([]int, 0, n),
+		byFinish:   make([]int, 0, n),
+		memo:       make(map[string]struct{}),
+		limit:      opts.MaxStates,
+	}
+	if s.limit <= 0 {
+		s.limit = DefaultMaxStates
+	}
+	for i := 0; i < n; i++ {
+		s.byStart = append(s.byStart, i) // prepared history is start-sorted
+		s.byFinish = append(s.byFinish, i)
+		if p.Op(i).IsWrite() {
+			s.pendingRds[i] = len(p.DictatedReads[i])
+			if opts.UseWeights {
+				s.weight[i] = p.Op(i).EffectiveWeight()
+			} else {
+				s.weight[i] = 1
+			}
+		}
+	}
+	sort.Slice(s.byFinish, func(a, b int) bool {
+		return p.Op(s.byFinish[a]).Finish < p.Op(s.byFinish[b]).Finish
+	})
+	return s
+}
+
+func (s *search) run() (Result, error) {
+	ok, err := s.dfs(s.n)
+	res := Result{Atomic: ok, States: s.states}
+	if err != nil {
+		return res, err
+	}
+	if ok {
+		res.Witness = s.found
+	}
+	return res, nil
+}
+
+// minFinishes returns the two smallest finish times among unplaced ops
+// (math.MaxInt64 when absent).
+func (s *search) minFinishes() (int64, int64) {
+	m1, m2 := int64(math.MaxInt64), int64(math.MaxInt64)
+	for _, i := range s.byFinish {
+		if s.placed[i] {
+			continue
+		}
+		f := s.p.Op(i).Finish
+		if f < m1 {
+			m1, m2 = f, m1
+		} else if f < m2 {
+			m2 = f
+		}
+		if m2 != math.MaxInt64 {
+			break
+		}
+	}
+	return m1, m2
+}
+
+// appendable reports whether op i may be placed next: no unplaced other
+// operation precedes it.
+func (s *search) appendable(i int, m1, m2 int64) bool {
+	threshold := m1
+	if s.p.Op(i).Finish == m1 {
+		threshold = m2
+	}
+	return s.p.Op(i).Start < threshold
+}
+
+// placeRead places read r (caller checked constraints).
+func (s *search) placeRead(r int) {
+	s.placed[r] = true
+	s.pendingRds[s.p.DictatingWrite[r]]--
+	s.order = append(s.order, r)
+}
+
+func (s *search) unplaceRead(r int) {
+	s.placed[r] = false
+	s.pendingRds[s.p.DictatingWrite[r]]++
+	s.order = s.order[:len(s.order)-1]
+}
+
+// placeEagerReads places every appendable read whose staleness budget holds,
+// repeating until none applies. It returns the reads placed (for undo) and
+// whether a dead end was detected (an unplaced read whose budget is already
+// exhausted can never be placed later).
+func (s *search) placeEagerReads() ([]int, bool) {
+	var placedReads []int
+	for {
+		progress := false
+		m1, m2 := s.minFinishes()
+		for _, i := range s.byStart {
+			if s.placed[i] || !s.p.Op(i).IsRead() {
+				continue
+			}
+			if !s.appendable(i, m1, m2) {
+				break // appendable ops form a prefix of the start order
+			}
+			w := s.p.DictatingWrite[i]
+			if !s.placed[w] {
+				continue
+			}
+			if s.load[w] > s.bound {
+				// Budget exhausted and it only grows: dead end.
+				return placedReads, true
+			}
+			s.placeRead(i)
+			placedReads = append(placedReads, i)
+			progress = true
+			m1, m2 = s.minFinishes()
+		}
+		if !progress {
+			return placedReads, false
+		}
+	}
+}
+
+// placeWrite places write w, updating loads of live writes.
+func (s *search) placeWrite(w int) {
+	s.placed[w] = true
+	s.load[w] = s.weight[w]
+	for _, x := range s.liveWrites {
+		if s.pendingRds[x] > 0 {
+			s.load[x] += s.weight[w]
+		}
+	}
+	s.liveWrites = append(s.liveWrites, w)
+	s.order = append(s.order, w)
+}
+
+func (s *search) unplaceWrite(w int) {
+	s.liveWrites = s.liveWrites[:len(s.liveWrites)-1]
+	for _, x := range s.liveWrites {
+		if s.pendingRds[x] > 0 {
+			s.load[x] -= s.weight[w]
+		}
+	}
+	s.load[w] = 0
+	s.placed[w] = false
+	s.order = s.order[:len(s.order)-1]
+}
+
+// writeIsDeadly reports whether placing write w would push some live write
+// with pending reads beyond the budget (those reads could then never be
+// placed), or w itself arrives with an impossible own weight.
+func (s *search) writeIsDeadly(w int) bool {
+	if s.pendingRds[w] > 0 && s.weight[w] > s.bound {
+		return true
+	}
+	for _, x := range s.liveWrites {
+		if s.pendingRds[x] > 0 && s.load[x]+s.weight[w] > s.bound {
+			return true
+		}
+	}
+	return false
+}
+
+// key builds the memo key: the placed bitset plus the capped load of every
+// placed write that still has pending reads (feasibility of the remaining
+// problem depends on exactly this state).
+func (s *search) key() string {
+	buf := make([]byte, 0, (s.n+7)/8+8*len(s.liveWrites))
+	var cur byte
+	for i := 0; i < s.n; i++ {
+		if s.placed[i] {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, cur)
+			cur = 0
+		}
+	}
+	if s.n%8 != 0 {
+		buf = append(buf, cur)
+	}
+	for _, x := range s.liveWrites {
+		if s.pendingRds[x] == 0 {
+			continue
+		}
+		l := s.load[x]
+		if l > s.bound {
+			l = s.bound + 1
+		}
+		buf = append(buf, byte(x), byte(x>>8),
+			byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(buf)
+}
+
+// dfs returns whether the remaining ops can be placed. remaining is the
+// number of unplaced ops.
+func (s *search) dfs(remaining int) (bool, error) {
+	reads, dead := s.placeEagerReads()
+	remaining -= len(reads)
+	defer func() {
+		for i := len(reads) - 1; i >= 0; i-- {
+			s.unplaceRead(reads[i])
+		}
+	}()
+	if dead {
+		return false, nil
+	}
+	if remaining == 0 {
+		s.found = append([]int(nil), s.order...)
+		return true, nil
+	}
+
+	k := s.key()
+	if _, seen := s.memo[k]; seen {
+		return false, nil
+	}
+	s.states++
+	if s.states > s.limit {
+		return false, ErrStateLimit
+	}
+
+	m1, m2 := s.minFinishes()
+	for _, i := range s.byStart {
+		if s.placed[i] {
+			continue
+		}
+		if !s.appendable(i, m1, m2) {
+			break
+		}
+		if !s.p.Op(i).IsWrite() || s.writeIsDeadly(i) {
+			continue
+		}
+		s.placeWrite(i)
+		ok, err := s.dfs(remaining - 1)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		s.unplaceWrite(i)
+		m1, m2 = s.minFinishes()
+	}
+	s.memo[k] = struct{}{}
+	return false, nil
+}

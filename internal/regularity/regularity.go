@@ -1,0 +1,103 @@
+// Package regularity implements the classical weak register properties the
+// paper contrasts with k-atomicity in Section I: Lamport's safety and
+// regularity. The paper's point — reproduced by experiment E11 — is that
+// these properties cannot describe sloppy-quorum behavior: a read that is
+// NOT concurrent with any write must return the single most recent preceding
+// value, so any stale-but-bounded read (exactly what k=2 tolerates) already
+// violates them, while reads overlapping writes are allowed almost anything.
+//
+// Definitions used (multi-writer generalizations, per-read):
+//
+//   - A read is SAFE if, when it is concurrent with no write, it returns the
+//     value of some maximal preceding write (one not followed by another
+//     write that still precedes the read). Reads concurrent with any write
+//     may return anything that was ever written.
+//   - A read is REGULAR if it returns the value of some maximal preceding
+//     write or of some write concurrent with it.
+//
+// With concurrent writers the "latest preceding write" is not unique; the
+// maximal-preceding-writes set is the standard multi-writer relaxation.
+// Both checks are per-read (no global total order is sought), which is why
+// they are weaker than 1-atomicity and incomparable to k-atomicity for
+// k >= 2 — histories exist that are 2-atomic but not regular and vice versa.
+package regularity
+
+import (
+	"fmt"
+
+	"kat/internal/history"
+)
+
+// Verdict reports which per-read properties hold for a history.
+type Verdict struct {
+	// Safe is true if every read satisfies the safety rule.
+	Safe bool
+	// Regular is true if every read satisfies the regularity rule.
+	Regular bool
+	// UnsafeReads and IrregularReads list offending read indices in the
+	// prepared history.
+	UnsafeReads    []int
+	IrregularReads []int
+}
+
+// Check classifies every read of the prepared history.
+func Check(p *history.Prepared) Verdict {
+	v := Verdict{Safe: true, Regular: true}
+	for r := 0; r < p.Len(); r++ {
+		if !p.Op(r).IsRead() {
+			continue
+		}
+		okReg := readIsRegular(p, r)
+		if !okReg {
+			v.Regular = false
+			v.IrregularReads = append(v.IrregularReads, r)
+		}
+		if !readIsSafe(p, r, okReg) {
+			v.Safe = false
+			v.UnsafeReads = append(v.UnsafeReads, r)
+		}
+	}
+	return v
+}
+
+// readIsRegular reports whether read r returns a maximal preceding write's
+// value or a concurrent write's value.
+func readIsRegular(p *history.Prepared, r int) bool {
+	w := p.DictatingWrite[r]
+	rop, wop := p.Op(r), p.Op(w)
+	if wop.ConcurrentWith(rop) {
+		return true
+	}
+	if !wop.Precedes(rop) {
+		return false // read before its write: anomalous, never regular
+	}
+	// w precedes r: regular iff w is maximal — no other write follows w
+	// and still precedes r.
+	for x := 0; x < p.Len(); x++ {
+		if x == w || !p.Op(x).IsWrite() {
+			continue
+		}
+		if wop.Precedes(p.Op(x)) && p.Op(x).Precedes(rop) {
+			return false
+		}
+	}
+	return true
+}
+
+// readIsSafe reports the safety rule for read r; okReg is the regularity
+// verdict (safety follows from regularity when the read overlaps no write).
+func readIsSafe(p *history.Prepared, r int, okReg bool) bool {
+	rop := p.Op(r)
+	for x := 0; x < p.Len(); x++ {
+		if p.Op(x).IsWrite() && p.Op(x).ConcurrentWith(rop) {
+			return true // concurrent with a write: any written value allowed
+		}
+	}
+	return okReg
+}
+
+// Summary renders the verdict compactly.
+func (v Verdict) Summary() string {
+	return fmt.Sprintf("safe=%v regular=%v (unsafe reads: %d, irregular reads: %d)",
+		v.Safe, v.Regular, len(v.UnsafeReads), len(v.IrregularReads))
+}

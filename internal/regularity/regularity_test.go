@@ -1,0 +1,123 @@
+package regularity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kat/internal/generator"
+	"kat/internal/history"
+	"kat/internal/oracle"
+	"kat/internal/zone"
+)
+
+func prep(t *testing.T, text string) *history.Prepared {
+	t.Helper()
+	p, err := history.Prepare(history.Normalize(history.MustParse(text)))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	return p
+}
+
+func TestSequentialFreshReadsRegular(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30; w 2 40 50; r 2 60 70")
+	v := Check(p)
+	if !v.Safe || !v.Regular {
+		t.Errorf("fresh sequential reads misclassified: %s", v.Summary())
+	}
+}
+
+func TestStaleNonConcurrentReadViolatesBoth(t *testing.T) {
+	// r(1) runs strictly after w2 and overlaps no write: must return 2.
+	p := prep(t, "w 1 0 10; w 2 20 30; r 1 40 50")
+	v := Check(p)
+	if v.Safe || v.Regular {
+		t.Errorf("stale isolated read accepted: %s", v.Summary())
+	}
+	if len(v.UnsafeReads) != 1 || len(v.IrregularReads) != 1 {
+		t.Errorf("offender lists: %+v", v)
+	}
+}
+
+func TestReadConcurrentWithWriteIsSafeNotRegular(t *testing.T) {
+	// r(1) overlaps w3 but returns neither w3's value nor a maximal
+	// preceding value (w2 is the maximal preceding write): safe (any value
+	// allowed under safety when concurrent with a write) but not regular.
+	p := prep(t, "w 1 0 10; w 2 20 30; w 3 40 60; r 1 45 55")
+	v := Check(p)
+	if !v.Safe {
+		t.Errorf("read concurrent with a write must be safe: %s", v.Summary())
+	}
+	if v.Regular {
+		t.Errorf("stale value from neither maximal nor concurrent write accepted as regular: %s", v.Summary())
+	}
+}
+
+func TestReadOfConcurrentWriteIsRegular(t *testing.T) {
+	p := prep(t, "w 1 0 10; w 2 20 60; r 2 30 50")
+	v := Check(p)
+	if !v.Regular || !v.Safe {
+		t.Errorf("read of concurrent write misclassified: %s", v.Summary())
+	}
+}
+
+func TestConcurrentWritersMaximalSetAccepted(t *testing.T) {
+	// w2 and w3 concurrent with each other, both after w1, both before r.
+	// Both are maximal preceding writes; reading either is regular.
+	for _, val := range []string{"2", "3"} {
+		p := prep(t, "w 1 0 10; w 2 20 40; w 3 25 45; r "+val+" 50 60")
+		v := Check(p)
+		if !v.Regular {
+			t.Errorf("read of maximal write %s rejected: %s", val, v.Summary())
+		}
+	}
+	// Reading w1 (dominated by both) is irregular.
+	p := prep(t, "w 1 0 10; w 2 20 40; w 3 25 45; r 1 50 60")
+	if v := Check(p); v.Regular {
+		t.Errorf("dominated value accepted as regular: %s", v.Summary())
+	}
+}
+
+// TestPropertyAtomicImpliesRegularImpliesSafe: on arbitrary histories,
+// 1-atomicity implies regularity implies safety (the classical hierarchy).
+func TestPropertyAtomicImpliesRegularImpliesSafe(t *testing.T) {
+	prop := func(qh generator.QuickHistory) bool {
+		p, err := history.Prepare(qh.H)
+		if err != nil {
+			return false
+		}
+		atomic1, _ := zone.Check1Atomic(p)
+		v := Check(p)
+		if atomic1 && !v.Regular {
+			t.Logf("1-atomic but irregular:\n%s", qh.H)
+			return false
+		}
+		if v.Regular && !v.Safe {
+			t.Logf("regular but unsafe:\n%s", qh.H)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSectionIPoint reproduces the paper's Section I observation: there are
+// histories that are 2-atomic (bounded staleness) yet violate regularity —
+// regularity "fails to capture" sloppy-quorum behavior.
+func TestSectionIPoint(t *testing.T) {
+	p := prep(t, "w 1 0 10; w 2 20 30; r 1 40 50")
+	v := Check(p)
+	res, err := oracle.CheckK(p, 2, oracle.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Atomic {
+		t.Fatal("setup: history should be 2-atomic")
+	}
+	if v.Regular {
+		t.Error("setup: history should be irregular")
+	}
+}

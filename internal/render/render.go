@@ -1,0 +1,173 @@
+// Package render draws histories and witness orders as ASCII timelines for
+// humans debugging consistency violations: each operation becomes one row
+// with its interval drawn to scale, annotated with kind, value, and (when a
+// witness is supplied) its position in the verified total order.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"kat/internal/history"
+)
+
+// Options control rendering.
+type Options struct {
+	// Width is the number of columns for the time axis (default 60).
+	Width int
+	// Witness, if non-nil, annotates each operation with its position in
+	// this total order (indices into the prepared history's ops).
+	Witness []int
+}
+
+// Timeline writes an ASCII Gantt chart of the prepared history.
+func Timeline(w io.Writer, p *history.Prepared, opts Options) error {
+	width := opts.Width
+	if width <= 0 {
+		width = 60
+	}
+	n := p.Len()
+	if n == 0 {
+		_, err := fmt.Fprintln(w, "(empty history)")
+		return err
+	}
+	minT, maxT := p.Op(0).Start, p.Op(0).Finish
+	for i := 0; i < n; i++ {
+		if s := p.Op(i).Start; s < minT {
+			minT = s
+		}
+		if f := p.Op(i).Finish; f > maxT {
+			maxT = f
+		}
+	}
+	span := maxT - minT
+	if span <= 0 {
+		span = 1
+	}
+	col := func(t int64) int {
+		c := int((t - minT) * int64(width-1) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for idx, op := range opts.Witness {
+		if op >= 0 && op < n {
+			pos[op] = idx
+		}
+	}
+
+	// Rows sorted by start time (prepared order).
+	for i := 0; i < n; i++ {
+		op := p.Op(i)
+		line := []byte(strings.Repeat(" ", width))
+		lo, hi := col(op.Start), col(op.Finish)
+		for c := lo; c <= hi; c++ {
+			line[c] = '-'
+		}
+		line[lo] = '['
+		line[hi] = ']'
+		label := fmt.Sprintf("%s(%d)", op.Kind, op.Value)
+		suffix := ""
+		if pos[i] >= 0 {
+			suffix = fmt.Sprintf("  #%d in witness", pos[i])
+		}
+		if _, err := fmt.Fprintf(w, "%8s |%s|%s\n", label, line, suffix); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%8s  %s\n", "", axis(minT, maxT, width))
+	return err
+}
+
+// axis renders the time scale under the chart.
+func axis(minT, maxT int64, width int) string {
+	left := fmt.Sprintf("%d", minT)
+	right := fmt.Sprintf("%d", maxT)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	return left + strings.Repeat(".", pad) + right
+}
+
+// WitnessOrder writes the witness as a numbered list, flagging each read
+// with its distance (in writes) from its dictating write.
+func WitnessOrder(w io.Writer, p *history.Prepared, order []int) error {
+	writesSince := make(map[int]int) // write idx -> writes placed after it
+	for i, idx := range order {
+		if idx < 0 || idx >= p.Len() {
+			return fmt.Errorf("render: op index %d out of range", idx)
+		}
+		op := p.Op(idx)
+		if op.IsWrite() {
+			for k := range writesSince {
+				writesSince[k]++
+			}
+			writesSince[idx] = 0
+			if _, err := fmt.Fprintf(w, "%3d. %s\n", i+1, op); err != nil {
+				return err
+			}
+			continue
+		}
+		d := writesSince[p.DictatingWrite[idx]]
+		if _, err := fmt.Fprintf(w, "%3d. %s   (staleness %d)\n", i+1, op, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Violation renders a compact explanation for a non-k-atomic history: the
+// minimal core's operations sorted by start time, plus a hint about which
+// reads are stale. Callers typically pass a shrunken history.
+func Violation(w io.Writer, h *history.History, k int) error {
+	cp := h.Clone()
+	cp.SortByStart()
+	if _, err := fmt.Fprintf(w, "not %d-atomic; %d-op core:\n", k, cp.Len()); err != nil {
+		return err
+	}
+	// Writes in start order, to phrase the staleness hint.
+	var writeVals []int64
+	for _, op := range cp.Ops {
+		if op.IsWrite() {
+			writeVals = append(writeVals, op.Value)
+		}
+	}
+	for _, op := range cp.Ops {
+		if _, err := fmt.Fprintf(w, "  %s\n", op); err != nil {
+			return err
+		}
+	}
+	for _, op := range cp.Ops {
+		if !op.IsRead() {
+			continue
+		}
+		idx := -1
+		for i, v := range writeVals {
+			if v == op.Value {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		if behind := len(writeVals) - 1 - idx; behind >= k {
+			if _, err := fmt.Fprintf(w, "hint: read of %d is %d writes behind the last write\n",
+				op.Value, behind); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"kat/internal/fzf"
+	"kat/internal/history"
+)
+
+func prep(t *testing.T, text string) *history.Prepared {
+	t.Helper()
+	p, err := history.Prepare(history.Normalize(history.MustParse(text)))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	return p
+}
+
+func TestTimelineBasics(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30")
+	var b strings.Builder
+	if err := Timeline(&b, p, Options{Width: 40}); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "w(1)") || !strings.Contains(out, "r(1)") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[") || !strings.Contains(out, "]") {
+		t.Errorf("interval bars missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two ops + axis
+		t.Errorf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	p, err := history.Prepare(history.New(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Timeline(&b, p, Options{}); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	if !strings.Contains(b.String(), "empty") {
+		t.Errorf("output = %q", b.String())
+	}
+}
+
+func TestTimelineWitnessAnnotation(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30")
+	var b strings.Builder
+	if err := Timeline(&b, p, Options{Witness: []int{0, 1}}); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	if !strings.Contains(b.String(), "#0 in witness") {
+		t.Errorf("witness annotation missing:\n%s", b.String())
+	}
+}
+
+func TestWitnessOrderStaleness(t *testing.T) {
+	p := prep(t, "w 1 0 10; w 2 20 30; r 1 40 50")
+	res := fzf.Check(p)
+	if !res.Atomic {
+		t.Fatal("setup: not 2-atomic")
+	}
+	var b strings.Builder
+	if err := WitnessOrder(&b, p, res.Witness); err != nil {
+		t.Fatalf("WitnessOrder: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "staleness 1") {
+		t.Errorf("stale read not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "  1. ") {
+		t.Errorf("numbering missing:\n%s", out)
+	}
+}
+
+func TestWitnessOrderBadIndex(t *testing.T) {
+	p := prep(t, "w 1 0 10")
+	var b strings.Builder
+	if err := WitnessOrder(&b, p, []int{7}); err == nil {
+		t.Error("out-of-range witness accepted")
+	}
+}
+
+func TestViolationHint(t *testing.T) {
+	h := history.MustParse("w 1 0 10; w 2 20 30; w 3 40 50; r 1 60 70")
+	var b strings.Builder
+	if err := Violation(&b, h, 2); err != nil {
+		t.Fatalf("Violation: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "not 2-atomic") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2 writes behind") {
+		t.Errorf("hint missing:\n%s", out)
+	}
+}

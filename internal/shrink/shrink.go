@@ -1,0 +1,84 @@
+// Package shrink minimizes failing histories: given a history that violates
+// a property (typically "is 2-atomic"), it removes operations while the
+// violation persists, producing a small counterexample a human can read.
+// This is the debugging companion a consistency checker needs in practice:
+// a production trace with thousands of operations usually violates
+// k-atomicity because of a handful of them.
+//
+// Removal preserves well-formedness: reads are removed individually; a write
+// is only removed together with all reads of its value (cluster removal), so
+// no dangling reads are ever created.
+package shrink
+
+import (
+	"kat/internal/history"
+)
+
+// Predicate reports whether a history still exhibits the failure of
+// interest (e.g., "not 2-atomic"). It must be deterministic.
+type Predicate func(*history.History) bool
+
+// Minimize greedily removes clusters and then individual reads while pred
+// stays true, iterating to a fixed point. The result satisfies pred and is
+// 1-minimal with respect to these removal operations: removing any single
+// read or any single cluster makes pred false.
+func Minimize(h *history.History, pred Predicate) *history.History {
+	cur := h.Clone()
+	if !pred(cur) {
+		return cur // nothing to minimize
+	}
+	for {
+		reduced := false
+		// Pass 1: whole clusters (a write and all reads of its value).
+		for _, v := range writeValues(cur) {
+			cand := withoutCluster(cur, v)
+			if cand.Len() < cur.Len() && pred(cand) {
+				cur = cand
+				reduced = true
+			}
+		}
+		// Pass 2: individual reads.
+		for i := 0; i < cur.Len(); i++ {
+			if !cur.Ops[i].IsRead() {
+				continue
+			}
+			cand := withoutIndex(cur, i)
+			if pred(cand) {
+				cur = cand
+				reduced = true
+				i-- // the slice shifted; re-examine this position
+			}
+		}
+		if !reduced {
+			return cur
+		}
+	}
+}
+
+func writeValues(h *history.History) []int64 {
+	var out []int64
+	for _, op := range h.Ops {
+		if op.IsWrite() {
+			out = append(out, op.Value)
+		}
+	}
+	return out
+}
+
+func withoutCluster(h *history.History, value int64) *history.History {
+	out := &history.History{}
+	for _, op := range h.Ops {
+		if op.Value == value {
+			continue
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	return out
+}
+
+func withoutIndex(h *history.History, i int) *history.History {
+	out := &history.History{Ops: make([]history.Operation, 0, h.Len()-1)}
+	out.Ops = append(out.Ops, h.Ops[:i]...)
+	out.Ops = append(out.Ops, h.Ops[i+1:]...)
+	return out
+}

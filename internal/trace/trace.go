@@ -1,0 +1,193 @@
+// Package trace handles multi-register workloads. k-atomicity is a local
+// property (Section II-B of the paper): a multi-key trace satisfies a
+// consistency bound iff every per-key subhistory does, so verification
+// splits the trace by key and runs the single-register algorithms on each.
+//
+// The text format extends the single-register one with a key column:
+//
+//	w <key> <value> <start> <finish> [weight=N] [client=N]
+//	r <key> <value> <start> <finish> [client=N]
+//
+// Keys are arbitrary non-whitespace tokens. Values must be unique per key
+// (they identify writes within a register), not globally.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kat/internal/core"
+	"kat/internal/history"
+)
+
+// Trace is a multi-register history: operations tagged with register keys.
+type Trace struct {
+	Keys map[string]*history.History
+}
+
+// New returns an empty trace.
+func New() *Trace {
+	return &Trace{Keys: make(map[string]*history.History)}
+}
+
+// Add appends an operation to the given key's register.
+func (t *Trace) Add(key string, op history.Operation) {
+	h, ok := t.Keys[key]
+	if !ok {
+		h = &history.History{}
+		t.Keys[key] = h
+	}
+	op.ID = h.Len()
+	h.Ops = append(h.Ops, op)
+}
+
+// Len returns the total number of operations across all keys.
+func (t *Trace) Len() int {
+	n := 0
+	for _, h := range t.Keys {
+		n += h.Len()
+	}
+	return n
+}
+
+// SortedKeys returns the register keys in lexicographic order.
+func (t *Trace) SortedKeys() []string {
+	out := make([]string, 0, len(t.Keys))
+	for k := range t.Keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse reads a multi-register trace from the keyed text format. Lines are
+// newline- or ';'-separated; '#' starts a comment.
+func Parse(text string) (*Trace, error) {
+	t := New()
+	seg := 0
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, part := range strings.Split(line, ";") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			seg++
+			fields := strings.Fields(part)
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("trace: segment %d (%q): want kind key value start finish", seg, part)
+			}
+			key := fields[1]
+			// Reuse the single-register parser by splicing the key out.
+			single := strings.Join(append([]string{fields[0]}, fields[2:]...), " ")
+			h, err := history.Parse(single)
+			if err != nil {
+				return nil, fmt.Errorf("trace: segment %d: %w", seg, err)
+			}
+			t.Add(key, h.Ops[0])
+		}
+	}
+	return t, nil
+}
+
+// String renders the trace in the keyed text format, keys in sorted order.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, key := range t.SortedKeys() {
+		for _, op := range t.Keys[key].Ops {
+			single := op.String()
+			kind, rest, _ := strings.Cut(single, " ")
+			fmt.Fprintf(&b, "%s %s %s\n", kind, key, rest)
+		}
+	}
+	return b.String()
+}
+
+// KeyReport is the verification outcome for one register.
+type KeyReport struct {
+	Key    string
+	Ops    int
+	Atomic bool
+	// Err records a per-key anomaly or verification failure; the key is
+	// counted as not atomic when set.
+	Err error
+}
+
+// Report aggregates per-key results for a bound k.
+type Report struct {
+	K    int
+	Keys []KeyReport
+}
+
+// Atomic reports whether every register verified.
+func (r Report) Atomic() bool {
+	for _, kr := range r.Keys {
+		if !kr.Atomic {
+			return false
+		}
+	}
+	return true
+}
+
+// FailingKeys lists keys that did not verify.
+func (r Report) FailingKeys() []string {
+	var out []string
+	for _, kr := range r.Keys {
+		if !kr.Atomic {
+			out = append(out, kr.Key)
+		}
+	}
+	return out
+}
+
+// Check verifies every register at bound k (locality: the trace is k-atomic
+// iff every register is).
+func Check(t *Trace, k int, opts core.Options) Report {
+	rep := Report{K: k}
+	for _, key := range t.SortedKeys() {
+		h := t.Keys[key]
+		kr := KeyReport{Key: key, Ops: h.Len()}
+		r, err := core.Check(h, k, opts)
+		if err != nil {
+			kr.Err = err
+		} else {
+			kr.Atomic = r.Atomic
+		}
+		rep.Keys = append(rep.Keys, kr)
+	}
+	return rep
+}
+
+// SmallestKByKey computes the smallest k per register; errors are reported
+// per key (k=0 for failed keys).
+func SmallestKByKey(t *Trace, opts core.Options) map[string]int {
+	out := make(map[string]int, len(t.Keys))
+	for key, h := range t.Keys {
+		k, err := core.SmallestK(h, opts)
+		if err != nil {
+			out[key] = 0
+			continue
+		}
+		out[key] = k
+	}
+	return out
+}
+
+// WorstK returns the maximum smallest-k across registers (the trace-level
+// staleness bound) and the key exhibiting it. Keys that fail verification
+// are skipped; ok is false if no key verified.
+func WorstK(t *Trace, opts core.Options) (k int, key string, ok bool) {
+	for cand, h := range t.Keys {
+		ck, err := core.SmallestK(h, opts)
+		if err != nil {
+			continue
+		}
+		if !ok || ck > k || (ck == k && cand < key) {
+			k, key, ok = ck, cand, true
+		}
+	}
+	return k, key, ok
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"testing"
+
+	"kat/internal/core"
+	"kat/internal/generator"
+)
+
+const sampleTrace = `
+# two registers: x is linearizable, y has a 1-stale read
+w x 1 0 10
+r x 1 20 30
+w x 2 40 50
+r x 2 60 70
+w y 1 5 15
+w y 2 25 35
+r y 1 45 55
+`
+
+func TestParseAndSplit(t *testing.T) {
+	tr, err := Parse(sampleTrace)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if tr.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", tr.Len())
+	}
+	keys := tr.SortedKeys()
+	if len(keys) != 2 || keys[0] != "x" || keys[1] != "y" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if tr.Keys["x"].Len() != 4 || tr.Keys["y"].Len() != 3 {
+		t.Errorf("split sizes: x=%d y=%d", tr.Keys["x"].Len(), tr.Keys["y"].Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, text := range []string{
+		"w x 1 0",          // too few fields
+		"z x 1 0 10",       // bad kind
+		"w x abc 0 10",     // bad value
+		"w x 1 0 10 bad=q", // bad attribute
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) succeeded", text)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, err := Parse(sampleTrace)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tr2, err := Parse(tr.String())
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if tr2.Len() != tr.Len() || len(tr2.Keys) != len(tr.Keys) {
+		t.Errorf("round trip changed shape: %d/%d keys %d/%d ops",
+			len(tr2.Keys), len(tr.Keys), tr2.Len(), tr.Len())
+	}
+	if tr.String() != tr2.String() {
+		t.Error("String not stable across round trip")
+	}
+}
+
+func TestLocalityCheck(t *testing.T) {
+	tr, err := Parse(sampleTrace)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep1 := Check(tr, 1, core.Options{})
+	if rep1.Atomic() {
+		t.Error("trace with stale y accepted at k=1")
+	}
+	failing := rep1.FailingKeys()
+	if len(failing) != 1 || failing[0] != "y" {
+		t.Errorf("failing keys = %v, want [y]", failing)
+	}
+	rep2 := Check(tr, 2, core.Options{})
+	if !rep2.Atomic() {
+		t.Errorf("trace rejected at k=2: %+v", rep2.Keys)
+	}
+}
+
+func TestPerKeyValuesIndependent(t *testing.T) {
+	// The same value on different keys must not collide.
+	tr, err := Parse("w x 1 0 10; w y 1 5 15; r x 1 20 30; r y 1 25 35")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep := Check(tr, 1, core.Options{})
+	if !rep.Atomic() {
+		t.Errorf("per-key value namespaces collided: %+v", rep.Keys)
+	}
+}
+
+func TestSmallestKByKey(t *testing.T) {
+	tr, err := Parse(sampleTrace)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ks := SmallestKByKey(tr, core.Options{})
+	if ks["x"] != 1 || ks["y"] != 2 {
+		t.Errorf("SmallestKByKey = %v, want x:1 y:2", ks)
+	}
+}
+
+func TestWorstK(t *testing.T) {
+	tr, err := Parse(sampleTrace)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	k, key, ok := WorstK(tr, core.Options{})
+	if !ok || k != 2 || key != "y" {
+		t.Errorf("WorstK = %d,%q,%v; want 2,y,true", k, key, ok)
+	}
+}
+
+func TestKeyWithAnomalyReported(t *testing.T) {
+	tr, err := Parse("w x 1 0 10; r x 1 20 30; r y 9 0 10") // y read dangles
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rep := Check(tr, 2, core.Options{})
+	if rep.Atomic() {
+		t.Error("trace with anomalous key accepted")
+	}
+	for _, kr := range rep.Keys {
+		if kr.Key == "y" && kr.Err == nil {
+			t.Error("anomalous key carries no error")
+		}
+	}
+}
+
+func TestGeneratedMultiKey(t *testing.T) {
+	tr := New()
+	for i, key := range []string{"alpha", "beta", "gamma"} {
+		h := generator.KAtomic(generator.Config{
+			Seed: int64(i), Ops: 30, Concurrency: 2, StalenessDepth: i,
+			ForceDepth: true, ReadFraction: 0.5,
+		})
+		for _, op := range h.Ops {
+			tr.Add(key, op)
+		}
+	}
+	ks := SmallestKByKey(tr, core.Options{})
+	for i, key := range []string{"alpha", "beta", "gamma"} {
+		if ks[key] != i+1 {
+			t.Errorf("key %s: k=%d, want %d", key, ks[key], i+1)
+		}
+	}
+	k, key, ok := WorstK(tr, core.Options{})
+	if !ok || k != 3 || key != "gamma" {
+		t.Errorf("WorstK = %d,%q,%v; want 3,gamma,true", k, key, ok)
+	}
+}

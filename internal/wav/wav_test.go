@@ -1,0 +1,248 @@
+package wav
+
+import (
+	"math/rand"
+	"testing"
+
+	"kat/internal/history"
+	"kat/internal/oracle"
+)
+
+func TestBinPackingValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		bp   BinPacking
+		ok   bool
+	}{
+		{"valid", BinPacking{Sizes: []int64{1, 2}, Capacity: 3, Bins: 2}, true},
+		{"no bins", BinPacking{Sizes: []int64{1}, Capacity: 3, Bins: 0}, false},
+		{"zero capacity", BinPacking{Sizes: []int64{1}, Capacity: 0, Bins: 1}, false},
+		{"zero item", BinPacking{Sizes: []int64{0}, Capacity: 3, Bins: 1}, false},
+		{"empty items", BinPacking{Capacity: 3, Bins: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.bp.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestFirstFitDecreasing(t *testing.T) {
+	bp := BinPacking{Sizes: []int64{5, 4, 3, 2, 1}, Capacity: 8, Bins: 2}
+	assign, ok := bp.FirstFitDecreasing()
+	if !ok {
+		t.Fatal("FFD failed on a feasible instance")
+	}
+	loads := make([]int64, bp.Bins)
+	for i, b := range assign {
+		if b < 0 || b >= bp.Bins {
+			t.Fatalf("item %d assigned to bin %d", i, b)
+		}
+		loads[b] += bp.Sizes[i]
+	}
+	for b, l := range loads {
+		if l > bp.Capacity {
+			t.Errorf("bin %d overloaded: %d > %d", b, l, bp.Capacity)
+		}
+	}
+}
+
+func TestFFDInfeasible(t *testing.T) {
+	bp := BinPacking{Sizes: []int64{5, 5, 5}, Capacity: 5, Bins: 2}
+	if _, ok := bp.FirstFitDecreasing(); ok {
+		t.Error("FFD packed 3x5 into two bins of 5")
+	}
+}
+
+func TestSolvableExact(t *testing.T) {
+	tests := []struct {
+		name string
+		bp   BinPacking
+		want bool
+	}{
+		{"trivial fits", BinPacking{Sizes: []int64{1, 1}, Capacity: 2, Bins: 1}, true},
+		{"oversize item", BinPacking{Sizes: []int64{7}, Capacity: 5, Bins: 3}, false},
+		{"total too big", BinPacking{Sizes: []int64{3, 3, 3}, Capacity: 3, Bins: 2}, false},
+		{"exact partition", BinPacking{Sizes: []int64{4, 3, 3, 2, 2, 2}, Capacity: 8, Bins: 2}, true},
+		{"ffd fails exact succeeds", BinPacking{Sizes: []int64{6, 5, 5, 4, 4, 4, 4}, Capacity: 16, Bins: 2}, true},
+		{"infeasible tight", BinPacking{Sizes: []int64{6, 5, 5, 4, 4, 4, 5}, Capacity: 16, Bins: 2}, false},
+		{"empty", BinPacking{Capacity: 1, Bins: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.bp.Solvable(); got != tt.want {
+				t.Errorf("Solvable() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestSolvableAgainstBruteForce verifies the branch-and-bound solver against
+// exhaustive assignment enumeration on random small instances.
+func TestSolvableAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		bins := 1 + rng.Intn(3)
+		cap := int64(3 + rng.Intn(8))
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Int63n(cap)
+		}
+		bp := BinPacking{Sizes: sizes, Capacity: cap, Bins: bins}
+		want := bruteForce(bp)
+		if got := bp.Solvable(); got != want {
+			t.Fatalf("trial %d: Solvable(%+v) = %v, want %v", trial, bp, got, want)
+		}
+	}
+}
+
+func bruteForce(bp BinPacking) bool {
+	n := len(bp.Sizes)
+	loads := make([]int64, bp.Bins)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return true
+		}
+		for b := 0; b < bp.Bins; b++ {
+			if loads[b]+bp.Sizes[i] <= bp.Capacity {
+				loads[b] += bp.Sizes[i]
+				if rec(i + 1) {
+					return true
+				}
+				loads[b] -= bp.Sizes[i]
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func TestReduceStructure(t *testing.T) {
+	bp := BinPacking{Sizes: []int64{3, 2}, Capacity: 5, Bins: 2}
+	red, err := Reduce(bp)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if red.Bound != 7 {
+		t.Errorf("Bound = %d, want Capacity+2 = 7", red.Bound)
+	}
+	h := red.History
+	// m+1 short writes + m reads + n long writes.
+	wantOps := (bp.Bins + 1) + bp.Bins + len(bp.Sizes)
+	if h.Len() != wantOps {
+		t.Fatalf("ops = %d, want %d", h.Len(), wantOps)
+	}
+	if len(red.ShortValues) != bp.Bins+1 {
+		t.Errorf("ShortValues = %v", red.ShortValues)
+	}
+	if len(red.ItemValues) != len(bp.Sizes) {
+		t.Errorf("ItemValues = %v", red.ItemValues)
+	}
+	p, err := history.Prepare(h)
+	if err != nil {
+		t.Fatalf("reduced history not preparable: %v", err)
+	}
+	// Long writes must carry the item sizes as weights.
+	for j, v := range red.ItemValues {
+		w := p.Op(p.WriteByValue[v])
+		if w.Weight != bp.Sizes[j] {
+			t.Errorf("item %d weight = %d, want %d", j, w.Weight, bp.Sizes[j])
+		}
+		if len(p.DictatedReads[p.WriteByValue[v]]) != 0 {
+			t.Errorf("long write %d has dictated reads", j)
+		}
+	}
+	// Every short write except the dummy has exactly one read.
+	for i, v := range red.ShortValues[:bp.Bins] {
+		if got := len(p.DictatedReads[p.WriteByValue[v]]); got != 1 {
+			t.Errorf("short write %d has %d reads, want 1", i, got)
+		}
+	}
+	if got := len(p.DictatedReads[p.WriteByValue[red.ShortValues[bp.Bins]]]); got != 0 {
+		t.Errorf("dummy write has %d reads, want 0", got)
+	}
+}
+
+func TestReduceRejectsInvalid(t *testing.T) {
+	if _, err := Reduce(BinPacking{Sizes: []int64{1}, Capacity: 0, Bins: 1}); err == nil {
+		t.Error("Reduce accepted invalid instance")
+	}
+}
+
+// TestReductionEquivalenceExhaustive is the empirical heart of Theorem 5.1:
+// on a sweep of small instances, bin packing is solvable iff the reduced
+// history is weighted (B+2)-atomic.
+func TestReductionEquivalenceExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(4)
+		bins := 1 + rng.Intn(3)
+		cap := int64(2 + rng.Intn(6))
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Int63n(cap+1) // allow oversize items too
+		}
+		bp := BinPacking{Sizes: sizes, Capacity: cap, Bins: bins}
+		want := bp.Solvable()
+		got, err := SolveViaReduction(bp, oracle.Options{})
+		if err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, bp, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: reduction disagrees for %+v: kWAV=%v binpack=%v",
+				trial, bp, got, want)
+		}
+	}
+}
+
+func TestReductionSpecificInstances(t *testing.T) {
+	tests := []struct {
+		name string
+		bp   BinPacking
+		want bool
+	}{
+		{"single bin fits", BinPacking{Sizes: []int64{2, 3}, Capacity: 5, Bins: 1}, true},
+		{"single bin overflow", BinPacking{Sizes: []int64{3, 3}, Capacity: 5, Bins: 1}, false},
+		{"two bins split", BinPacking{Sizes: []int64{3, 3}, Capacity: 3, Bins: 2}, true},
+		{"three items two bins", BinPacking{Sizes: []int64{2, 2, 2}, Capacity: 3, Bins: 2}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SolveViaReduction(tt.bp, oracle.Options{})
+			if err != nil {
+				t.Fatalf("SolveViaReduction: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("= %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckDelegates(t *testing.T) {
+	h := history.MustParse("w 1 0 10 weight=2; w 2 20 30 weight=4; r 1 40 50")
+	p, err := history.Prepare(history.Normalize(h))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	// Separation = weight(w1)+weight(w2) = 6.
+	res, err := Check(p, 5, oracle.Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if res.Atomic {
+		t.Error("bound 5 accepted separation 6")
+	}
+	res, err = Check(p, 6, oracle.Options{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !res.Atomic {
+		t.Error("bound 6 rejected separation 6")
+	}
+}

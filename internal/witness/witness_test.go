@@ -1,0 +1,100 @@
+package witness
+
+import (
+	"strings"
+	"testing"
+
+	"kat/internal/history"
+)
+
+func prep(t *testing.T, text string) *history.Prepared {
+	t.Helper()
+	p, err := history.Prepare(history.Normalize(history.MustParse(text)))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	return p
+}
+
+func TestValidateAccepts(t *testing.T) {
+	// w1 r1 w2 r2 in real-time order.
+	p := prep(t, "w 1 0 10; r 1 20 30; w 2 40 50; r 2 60 70")
+	if err := Validate(p, []int{0, 1, 2, 3}, 1); err != nil {
+		t.Errorf("valid witness rejected: %v", err)
+	}
+}
+
+func TestValidateWrongLength(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30")
+	if err := Validate(p, []int{0}, 1); err == nil {
+		t.Error("short witness accepted")
+	}
+}
+
+func TestValidateDuplicateOp(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30")
+	if err := Validate(p, []int{0, 0}, 1); err == nil {
+		t.Error("duplicate op accepted")
+	}
+}
+
+func TestValidateOutOfRange(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30")
+	if err := Validate(p, []int{0, 5}, 1); err == nil {
+		t.Error("out-of-range op accepted")
+	}
+}
+
+func TestValidateOrderViolation(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30; w 2 40 50; r 2 60 70")
+	// Putting r2 before w1 breaks both validity and read-after-write.
+	err := Validate(p, []int{3, 0, 1, 2}, 1)
+	if err == nil {
+		t.Fatal("invalid order accepted")
+	}
+}
+
+func TestValidateStaleness(t *testing.T) {
+	// Order w1 w2 r1: read of 1 has one intervening write → 2-atomic
+	// but not 1-atomic.
+	p := prep(t, "w 1 0 10; w 2 20 30; r 1 35 45")
+	order := []int{0, 1, 2}
+	if err := Validate(p, order, 1); err == nil {
+		t.Error("1-stale witness accepted at k=1")
+	} else if !strings.Contains(err.Error(), "stale") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := Validate(p, order, 2); err != nil {
+		t.Errorf("2-atomic witness rejected at k=2: %v", err)
+	}
+}
+
+func TestValidateReadBeforeDictatingWrite(t *testing.T) {
+	// Concurrent write and read of the same value; order r before w.
+	p := prep(t, "w 1 0 20; r 1 5 30")
+	if err := Validate(p, []int{1, 0}, 1); err == nil {
+		t.Error("read placed before dictating write accepted")
+	}
+}
+
+func TestValidateWeighted(t *testing.T) {
+	// w1 (weight 1) then w2 (weight 5) then r1: total separating weight
+	// for r1 = weight(w1) + weight(w2) = 6.
+	p := prep(t, "w 1 0 10 weight=1; w 2 20 30 weight=5; r 1 35 45")
+	order := []int{0, 1, 2}
+	if err := ValidateWeighted(p, order, 5); err == nil {
+		t.Error("weight-6 separation accepted at bound 5")
+	}
+	if err := ValidateWeighted(p, order, 6); err != nil {
+		t.Errorf("weight-6 separation rejected at bound 6: %v", err)
+	}
+}
+
+func TestValidateReadsDoNotCount(t *testing.T) {
+	// Intervening reads must not add to staleness.
+	p := prep(t, "w 1 0 10; w 2 12 18; r 2 20 30; r 2 32 40; r 1 42 50")
+	// Order: w1 w2 r2 r2' r1 — r1 separated from w1 by one write only.
+	if err := Validate(p, []int{0, 1, 2, 3, 4}, 2); err != nil {
+		t.Errorf("reads counted as writes: %v", err)
+	}
+}

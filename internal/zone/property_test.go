@@ -1,0 +1,138 @@
+package zone
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kat/internal/generator"
+	"kat/internal/history"
+)
+
+// TestPropertyDecompositionInvariants checks the structural invariants of
+// CS(H) from Section IV on arbitrary histories:
+//
+//  1. every forward cluster belongs to exactly one chunk;
+//  2. chunk intervals are disjoint and sorted;
+//  3. chunk members' forward zones lie within the chunk interval and their
+//     union is continuous (adjacent zones overlap);
+//  4. backward clusters assigned to a chunk nest inside its interval;
+//  5. dangling clusters are backward and nest inside no chunk interval.
+func TestPropertyDecompositionInvariants(t *testing.T) {
+	prop := func(qh generator.QuickHistory) bool {
+		p, err := history.Prepare(qh.H)
+		if err != nil {
+			return false
+		}
+		zs := Zones(p)
+		byWrite := make(map[int]Zone, len(zs))
+		for _, z := range zs {
+			byWrite[z.Write] = z
+		}
+		dec := Decompose(p)
+
+		seen := make(map[int]int)
+		prevHi := int64(-1 << 62)
+		for ci, ch := range dec.Chunks {
+			if ch.Lo >= ch.Hi {
+				t.Logf("chunk %d empty interval [%d,%d]", ci, ch.Lo, ch.Hi)
+				return false
+			}
+			if ch.Lo <= prevHi {
+				t.Logf("chunk %d overlaps previous (lo=%d prevHi=%d)", ci, ch.Lo, prevHi)
+				return false
+			}
+			prevHi = ch.Hi
+			var unionHi int64
+			for i, w := range ch.Forward {
+				z := byWrite[w]
+				if !z.Forward() {
+					return false
+				}
+				if z.Low() < ch.Lo || z.High() > ch.Hi {
+					return false
+				}
+				if i == 0 {
+					if z.Low() != ch.Lo {
+						return false
+					}
+					unionHi = z.High()
+				} else {
+					if z.Low() >= unionHi {
+						t.Logf("chunk %d not continuous at member %d", ci, i)
+						return false
+					}
+					if z.High() > unionHi {
+						unionHi = z.High()
+					}
+				}
+				seen[w]++
+			}
+			if unionHi != ch.Hi {
+				return false
+			}
+			for _, w := range ch.Backward {
+				z := byWrite[w]
+				if z.Forward() {
+					return false
+				}
+				if z.Low() < ch.Lo || z.High() > ch.Hi {
+					return false
+				}
+				seen[w]++
+			}
+		}
+		for _, w := range dec.Dangling {
+			z := byWrite[w]
+			if z.Forward() {
+				t.Logf("dangling cluster %d is forward", w)
+				return false
+			}
+			for _, ch := range dec.Chunks {
+				if ch.Lo <= z.Low() && z.High() <= ch.Hi {
+					t.Logf("dangling cluster %d nests in chunk [%d,%d]", w, ch.Lo, ch.Hi)
+					return false
+				}
+			}
+			seen[w]++
+		}
+		// Exactly once each; every cluster accounted for.
+		for _, z := range zs {
+			n := seen[z.Write]
+			if z.Forward() && n != 1 {
+				t.Logf("forward cluster %d appears %d times", z.Write, n)
+				return false
+			}
+			if !z.Forward() && n > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyZoneEndpoints: Low <= High always, and Forward() agrees with
+// the endpoint comparison.
+func TestPropertyZoneEndpoints(t *testing.T) {
+	prop := func(qh generator.QuickHistory) bool {
+		p, err := history.Prepare(qh.H)
+		if err != nil {
+			return false
+		}
+		for _, z := range Zones(p) {
+			if z.Low() > z.High() {
+				return false
+			}
+			if z.Forward() != (z.MinFinish < z.MaxStart) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

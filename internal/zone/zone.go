@@ -1,0 +1,203 @@
+// Package zone implements the cluster/zone machinery of Gibbons and Korach
+// reviewed in Section IV of the paper: per-cluster forward and backward
+// zones, the classical zone-based 1-atomicity test, and the Stage 1 chunk
+// decomposition used by the FZF algorithm.
+//
+// A cluster is a write plus its dictated reads. Its zone spans from the
+// minimum finish time of any operation in the cluster (Z.f) to the maximum
+// start time of any such operation (Z.s̄). The zone is forward if Z.f < Z.s̄
+// and backward otherwise; its low/high endpoints are min/max of the two.
+package zone
+
+import (
+	"fmt"
+	"sort"
+
+	"kat/internal/history"
+	"kat/internal/interval"
+)
+
+// Zone is the zone of one cluster, identified by its dictating write's
+// operation index in the prepared history.
+type Zone struct {
+	// Write is the dictating write's index in the prepared history.
+	Write int
+	// MinFinish is Z.f, the minimum finish time over the cluster.
+	MinFinish int64
+	// MaxStart is Z.s̄, the maximum start time over the cluster.
+	MaxStart int64
+}
+
+// Forward reports whether the zone is a forward zone (Z.f < Z.s̄).
+func (z Zone) Forward() bool { return z.MinFinish < z.MaxStart }
+
+// Low returns the zone's low endpoint min(Z.f, Z.s̄).
+func (z Zone) Low() int64 {
+	if z.MinFinish < z.MaxStart {
+		return z.MinFinish
+	}
+	return z.MaxStart
+}
+
+// High returns the zone's high endpoint max(Z.f, Z.s̄).
+func (z Zone) High() int64 {
+	if z.MinFinish > z.MaxStart {
+		return z.MinFinish
+	}
+	return z.MaxStart
+}
+
+// String renders the zone for diagnostics.
+func (z Zone) String() string {
+	kind := "BZ"
+	if z.Forward() {
+		kind = "FZ"
+	}
+	return fmt.Sprintf("%s(w=%d)[%d,%d]", kind, z.Write, z.Low(), z.High())
+}
+
+// Zones computes the zone of every cluster in the prepared history, in
+// ascending order of the dictating write's index.
+func Zones(p *history.Prepared) []Zone {
+	var out []Zone
+	for i, op := range p.H.Ops {
+		if !op.IsWrite() {
+			continue
+		}
+		z := Zone{Write: i, MinFinish: op.Finish, MaxStart: op.Start}
+		for _, r := range p.DictatedReads[i] {
+			rop := p.Op(r)
+			if rop.Finish < z.MinFinish {
+				z.MinFinish = rop.Finish
+			}
+			if rop.Start > z.MaxStart {
+				z.MaxStart = rop.Start
+			}
+		}
+		out = append(out, z)
+	}
+	return out
+}
+
+// Violation describes why the 1-atomicity test failed.
+type Violation struct {
+	// Kind is "forward-overlap" or "backward-in-forward".
+	Kind string
+	// Writes identifies the dictating writes of the zones involved.
+	Writes []int
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s writes=%v", v.Kind, v.Writes)
+}
+
+// Check1Atomic applies the Gibbons–Korach zone conditions: a history
+// (satisfying the Section II assumptions) is 1-atomic iff (1) no two forward
+// zones overlap and (2) no backward zone is contained entirely in a forward
+// zone. It returns ok=true with a nil violation, or ok=false with the first
+// violation found.
+func Check1Atomic(p *history.Prepared) (bool, *Violation) {
+	zs := Zones(p)
+	var fwd, bwd []Zone
+	for _, z := range zs {
+		if z.Forward() {
+			fwd = append(fwd, z)
+		} else {
+			bwd = append(bwd, z)
+		}
+	}
+	sort.Slice(fwd, func(i, j int) bool { return fwd[i].Low() < fwd[j].Low() })
+	// Condition 1: no two forward zones overlap. With the sweep sorted by
+	// low endpoint, any overlap manifests against the maximum high seen.
+	maxHigh := int64(0)
+	maxHighWrite := -1
+	for i, z := range fwd {
+		if i > 0 && z.Low() < maxHigh {
+			return false, &Violation{Kind: "forward-overlap", Writes: []int{maxHighWrite, z.Write}}
+		}
+		if i == 0 || z.High() > maxHigh {
+			maxHigh = z.High()
+			maxHighWrite = z.Write
+		}
+	}
+	// Condition 2: no backward zone nested in a forward zone.
+	if len(fwd) > 0 && len(bwd) > 0 {
+		ivs := make([]interval.Interval, len(bwd))
+		for i, z := range bwd {
+			ivs[i] = interval.Interval{Lo: z.Low(), Hi: z.High(), ID: z.Write}
+		}
+		tree := interval.Build(ivs)
+		for _, f := range fwd {
+			if inside := tree.ContainedIn(f.Low(), f.High()); len(inside) > 0 {
+				return false, &Violation{Kind: "backward-in-forward", Writes: []int{f.Write, inside[0].ID}}
+			}
+		}
+	}
+	return true, nil
+}
+
+// Chunk is one maximal chunk from Stage 1 of FZF: a maximal set of forward
+// clusters whose zones union to a continuous interval [Lo, Hi], together
+// with every backward cluster whose zone nests inside that interval.
+type Chunk struct {
+	// Lo and Hi bound the union of the chunk's forward zones.
+	Lo, Hi int64
+	// Forward lists the dictating writes of the chunk's forward clusters
+	// in increasing order of their zones' low endpoints — exactly the
+	// order T_F that Stage 2 starts from.
+	Forward []int
+	// Backward lists the dictating writes of the chunk's backward
+	// clusters, in increasing order of their zones' low endpoints.
+	Backward []int
+}
+
+// Decomposition is the chunk set CS(H) plus the dangling clusters (backward
+// clusters belonging to no chunk).
+type Decomposition struct {
+	Chunks []Chunk
+	// Dangling lists dictating writes of dangling clusters in increasing
+	// order of their zones' low endpoints. Every dangling cluster is
+	// backward (a direct consequence of the chunk-set definition).
+	Dangling []int
+}
+
+// Decompose computes CS(H) for the prepared history (Stage 1 of FZF).
+func Decompose(p *history.Prepared) Decomposition {
+	return DecomposeZones(Zones(p))
+}
+
+// DecomposeZones computes the chunk set from an explicit zone list. Exposed
+// separately so the Figure 3 example can be checked at the zone level.
+func DecomposeZones(zs []Zone) Decomposition {
+	var fwd []interval.Interval
+	var bwd []Zone
+	for _, z := range zs {
+		if z.Forward() {
+			fwd = append(fwd, interval.Interval{Lo: z.Low(), Hi: z.High(), ID: z.Write})
+		} else {
+			bwd = append(bwd, z)
+		}
+	}
+	runs := interval.MergeRuns(fwd)
+	sort.Slice(bwd, func(i, j int) bool { return bwd[i].Low() < bwd[j].Low() })
+
+	dec := Decomposition{Chunks: make([]Chunk, len(runs))}
+	for i, r := range runs {
+		dec.Chunks[i] = Chunk{Lo: r.Lo, Hi: r.Hi, Forward: r.Members}
+	}
+	// Runs are disjoint and sorted by Lo, so each backward zone nests in at
+	// most one run; assign by advancing a cursor over the runs.
+	ci := 0
+	for _, z := range bwd {
+		for ci < len(dec.Chunks) && dec.Chunks[ci].Hi < z.Low() {
+			ci++
+		}
+		if ci < len(dec.Chunks) && dec.Chunks[ci].Lo <= z.Low() && z.High() <= dec.Chunks[ci].Hi {
+			dec.Chunks[ci].Backward = append(dec.Chunks[ci].Backward, z.Write)
+		} else {
+			dec.Dangling = append(dec.Dangling, z.Write)
+		}
+	}
+	return dec
+}

@@ -1,0 +1,261 @@
+package zone
+
+import (
+	"strings"
+	"testing"
+
+	"kat/internal/history"
+)
+
+func prep(t *testing.T, text string) *history.Prepared {
+	t.Helper()
+	p, err := history.Prepare(history.Normalize(history.MustParse(text)))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	return p
+}
+
+func TestZoneGeometry(t *testing.T) {
+	z := Zone{Write: 1, MinFinish: 10, MaxStart: 20}
+	if !z.Forward() {
+		t.Error("MinFinish < MaxStart must be forward")
+	}
+	if z.Low() != 10 || z.High() != 20 {
+		t.Errorf("Low/High = %d/%d, want 10/20", z.Low(), z.High())
+	}
+	b := Zone{Write: 2, MinFinish: 30, MaxStart: 25}
+	if b.Forward() {
+		t.Error("MinFinish > MaxStart must be backward")
+	}
+	if b.Low() != 25 || b.High() != 30 {
+		t.Errorf("Low/High = %d/%d, want 25/30", b.Low(), b.High())
+	}
+	if !strings.Contains(z.String(), "FZ") || !strings.Contains(b.String(), "BZ") {
+		t.Errorf("String(): %q %q", z.String(), b.String())
+	}
+}
+
+func TestZonesComputation(t *testing.T) {
+	// Write [0,10]; reads [5,20] and [15,30]: cluster min finish = 10
+	// (write, after normalization it stays minimal), max start = 15.
+	p := prep(t, "w 1 0 10; r 1 5 20; r 1 15 30")
+	zs := Zones(p)
+	if len(zs) != 1 {
+		t.Fatalf("Zones = %v, want 1", zs)
+	}
+	z := zs[0]
+	if !z.Forward() {
+		t.Errorf("expected forward zone, got %v", z)
+	}
+	wop := p.Op(z.Write)
+	if wop.Value != 1 {
+		t.Errorf("zone write value = %d, want 1", wop.Value)
+	}
+}
+
+func TestZonesWriteWithoutReadsIsBackward(t *testing.T) {
+	p := prep(t, "w 1 0 10")
+	zs := Zones(p)
+	if len(zs) != 1 || zs[0].Forward() {
+		t.Fatalf("write-only cluster should have a backward zone: %v", zs)
+	}
+}
+
+func TestZonesConcurrentReadBackward(t *testing.T) {
+	// Read entirely concurrent with its write: max start < min finish.
+	p := prep(t, "w 1 0 20; r 1 5 30")
+	zs := Zones(p)
+	if len(zs) != 1 || zs[0].Forward() {
+		t.Fatalf("overlapping cluster should be backward: %v", zs)
+	}
+}
+
+func TestCheck1AtomicSequential(t *testing.T) {
+	p := prep(t, "w 1 0 10; r 1 20 30; w 2 40 50; r 2 60 70")
+	ok, v := Check1Atomic(p)
+	if !ok {
+		t.Errorf("sequential history not 1-atomic: %v", v)
+	}
+}
+
+func TestCheck1AtomicForwardOverlap(t *testing.T) {
+	// Two forward zones that overlap: write1 [0,10] with read [50,60]
+	// (zone [10,50]), write2 [20,30] with read [70,80] (zone [30,70]).
+	p := prep(t, "w 1 0 10; r 1 50 60; w 2 20 30; r 2 70 80")
+	ok, v := Check1Atomic(p)
+	if ok {
+		t.Fatal("overlapping forward zones accepted as 1-atomic")
+	}
+	if v == nil || v.Kind != "forward-overlap" {
+		t.Errorf("violation = %v, want forward-overlap", v)
+	}
+	if !strings.Contains(v.String(), "forward-overlap") {
+		t.Errorf("violation String() = %q", v.String())
+	}
+}
+
+func TestCheck1AtomicBackwardInForward(t *testing.T) {
+	// Forward zone [10, 100] from w1[0,10], r1[100,110].
+	// Backward cluster w2 [40,60] with no reads: zone [40,60] nested inside.
+	p := prep(t, "w 1 0 10; r 1 100 110; w 2 40 60")
+	ok, v := Check1Atomic(p)
+	if ok {
+		t.Fatal("backward zone nested in forward zone accepted as 1-atomic")
+	}
+	if v == nil || v.Kind != "backward-in-forward" {
+		t.Errorf("violation = %v, want backward-in-forward", v)
+	}
+}
+
+func TestCheck1AtomicStaleReadRejected(t *testing.T) {
+	// Classic staleness: w1 then w2 complete, then a read returns w1.
+	// Zones: cluster1 = w1[0,10] + r1[40,50] → forward [10,40];
+	// cluster2 = w2[15,25] + r2[60,70] → forward [25,60]. They overlap.
+	p := prep(t, "w 1 0 10; w 2 15 25; r 1 40 50; r 2 60 70")
+	ok, _ := Check1Atomic(p)
+	if ok {
+		t.Error("stale read accepted as 1-atomic")
+	}
+}
+
+func TestCheck1AtomicConcurrentWritesOK(t *testing.T) {
+	// Two concurrent writes; only the second is read afterwards, so the
+	// order w1 w2 r2 is a valid 1-atomic total order.
+	p := prep(t, "w 1 0 30; w 2 5 35; r 2 40 50")
+	ok, v := Check1Atomic(p)
+	if !ok {
+		t.Errorf("valid history rejected: %v", v)
+	}
+}
+
+// figure3Zones reconstructs the zone structure of Figure 3 in the paper:
+// eight forward zones in three chains and seven backward zones, of which
+// BZ2, BZ5, BZ7 are dangling. Write IDs 1..8 are FZ1..FZ8 and 11..17 are
+// BZ1..BZ7.
+func figure3Zones() []Zone {
+	fz := func(w int, lo, hi int64) Zone { return Zone{Write: w, MinFinish: lo, MaxStart: hi} }
+	bz := func(w int, lo, hi int64) Zone { return Zone{Write: w, MinFinish: hi, MaxStart: lo} }
+	return []Zone{
+		// Chunk 1: single forward zone FZ1 spanning [0,20].
+		fz(1, 0, 20),
+		// Chunk 2: chain FZ2 [30,50], FZ3 [45,70], FZ4 [65,90]
+		// (middle shape: FZ2 ends before FZ3 ends).
+		fz(2, 30, 50), fz(3, 45, 70), fz(4, 65, 90),
+		// Chunk 3: chain FZ5 [100,140], FZ6 [110,125], FZ7 [120,160],
+		// FZ8 [150,180] (right shape: FZ5 ends after FZ6 ends).
+		fz(5, 100, 140), fz(6, 110, 125), fz(7, 120, 160), fz(8, 150, 180),
+		// Backward zones.
+		bz(11, 5, 15),    // BZ1: inside chunk 1
+		bz(12, 22, 28),   // BZ2: dangling, between chunks 1 and 2
+		bz(13, 35, 42),   // BZ3: inside chunk 2
+		bz(14, 72, 88),   // BZ4: inside chunk 2
+		bz(15, 92, 98),   // BZ5: dangling, between chunks 2 and 3
+		bz(16, 112, 118), // BZ6: inside chunk 3
+		bz(17, 185, 195), // BZ7: dangling, after chunk 3
+	}
+}
+
+func TestFigure3Decomposition(t *testing.T) {
+	dec := DecomposeZones(figure3Zones())
+	if len(dec.Chunks) != 3 {
+		t.Fatalf("chunks = %d, want 3 (%+v)", len(dec.Chunks), dec.Chunks)
+	}
+	wantForward := [][]int{{1}, {2, 3, 4}, {5, 6, 7, 8}}
+	wantBackward := [][]int{{11}, {13, 14}, {16}}
+	for i, ch := range dec.Chunks {
+		if !equalInts(ch.Forward, wantForward[i]) {
+			t.Errorf("chunk %d forward = %v, want %v", i, ch.Forward, wantForward[i])
+		}
+		if !equalInts(ch.Backward, wantBackward[i]) {
+			t.Errorf("chunk %d backward = %v, want %v", i, ch.Backward, wantBackward[i])
+		}
+	}
+	if !equalInts(dec.Dangling, []int{12, 15, 17}) {
+		t.Errorf("dangling = %v, want [12 15 17]", dec.Dangling)
+	}
+	// Union intervals must cover their forward zones.
+	if dec.Chunks[1].Lo != 30 || dec.Chunks[1].Hi != 90 {
+		t.Errorf("chunk 2 interval = [%d,%d], want [30,90]", dec.Chunks[1].Lo, dec.Chunks[1].Hi)
+	}
+	if dec.Chunks[2].Lo != 100 || dec.Chunks[2].Hi != 180 {
+		t.Errorf("chunk 3 interval = [%d,%d], want [100,180]", dec.Chunks[2].Lo, dec.Chunks[2].Hi)
+	}
+}
+
+func TestDecomposeBackwardStraddlingBoundaryIsDangling(t *testing.T) {
+	zs := []Zone{
+		{Write: 1, MinFinish: 0, MaxStart: 20},  // forward [0,20]
+		{Write: 2, MinFinish: 25, MaxStart: 15}, // backward [15,25] straddles chunk end
+	}
+	dec := DecomposeZones(zs)
+	if len(dec.Chunks) != 1 || len(dec.Chunks[0].Backward) != 0 {
+		t.Fatalf("straddling backward zone assigned to chunk: %+v", dec)
+	}
+	if !equalInts(dec.Dangling, []int{2}) {
+		t.Errorf("dangling = %v, want [2]", dec.Dangling)
+	}
+}
+
+func TestDecomposeBackwardBeforeAllChunks(t *testing.T) {
+	zs := []Zone{
+		{Write: 1, MinFinish: 50, MaxStart: 80}, // forward [50,80]
+		{Write: 2, MinFinish: 20, MaxStart: 10}, // backward [10,20] before chunk
+	}
+	dec := DecomposeZones(zs)
+	if !equalInts(dec.Dangling, []int{2}) {
+		t.Errorf("dangling = %v, want [2]", dec.Dangling)
+	}
+}
+
+func TestDecomposeNoForwardZones(t *testing.T) {
+	zs := []Zone{
+		{Write: 1, MinFinish: 20, MaxStart: 10},
+		{Write: 2, MinFinish: 40, MaxStart: 30},
+	}
+	dec := DecomposeZones(zs)
+	if len(dec.Chunks) != 0 {
+		t.Errorf("chunks = %+v, want none", dec.Chunks)
+	}
+	if !equalInts(dec.Dangling, []int{1, 2}) {
+		t.Errorf("dangling = %v, want [1 2]", dec.Dangling)
+	}
+}
+
+func TestDecomposeEndToEnd(t *testing.T) {
+	// Two overlapping forward clusters plus one nested backward cluster.
+	// w1[0,10] r1[30,40] → FZ [10,30]; w2[15,25] r2[50,60] → FZ [25,50];
+	// w3[32,38] (no reads) → BZ [32,38] nested in union [10,50].
+	p := prep(t, "w 1 0 10; r 1 30 40; w 2 15 25; r 2 50 60; w 3 32 38")
+	dec := Decompose(p)
+	if len(dec.Chunks) != 1 {
+		t.Fatalf("chunks = %+v, want 1", dec.Chunks)
+	}
+	ch := dec.Chunks[0]
+	if len(ch.Forward) != 2 {
+		t.Errorf("forward = %v, want 2 writes", ch.Forward)
+	}
+	if len(ch.Backward) != 1 || p.Op(ch.Backward[0]).Value != 3 {
+		t.Errorf("backward = %v, want the value-3 write", ch.Backward)
+	}
+	if len(dec.Dangling) != 0 {
+		t.Errorf("dangling = %v, want none", dec.Dangling)
+	}
+	// Forward writes must be ordered by zone low endpoint: value 1 first.
+	if p.Op(ch.Forward[0]).Value != 1 || p.Op(ch.Forward[1]).Value != 2 {
+		t.Errorf("forward order wrong: values %d,%d",
+			p.Op(ch.Forward[0]).Value, p.Op(ch.Forward[1]).Value)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

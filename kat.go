@@ -1,0 +1,279 @@
+// Package kat verifies k-atomicity of read/write register histories.
+//
+// It is a complete implementation of "On the k-Atomicity-Verification
+// Problem" (Golab, Hurwitz, Li; ICDCS 2013): the LBT and FZF 2-atomicity
+// verification algorithms, the classical zone-based 1-atomicity
+// (linearizability) test, an exact exponential decider for k >= 3, the
+// weighted k-AV problem with its NP-completeness reduction from bin packing,
+// and the supporting machinery — history model and normalization, workload
+// generators, a quorum-replicated register simulator, staleness metrics, and
+// counterexample minimization.
+//
+// A history is k-atomic iff there is a total order of its operations,
+// consistent with their real-time intervals, in which every read returns one
+// of the k freshest values. k=1 is atomicity/linearizability; k>=2 bounds
+// the staleness that sloppy-quorum stores (Dynamo and its descendants) can
+// exhibit.
+//
+// # Quick start
+//
+//	h := kat.MustParse("w 1 0 10; w 2 20 30; r 1 40 50")
+//	rep, err := kat.Check(h, 2, kat.Options{}) // 2-atomic? (uses FZF)
+//	k, err := kat.SmallestK(h, kat.Options{})  // smallest such k
+//
+// Histories are normalized automatically: timestamps are made distinct and
+// writes shortened per the paper's Section II-C assumptions. True anomalies
+// (a read without a matching write, or a read that finishes before its write
+// starts) are reported as errors.
+package kat
+
+import (
+	"io"
+
+	"kat/internal/core"
+	"kat/internal/delta"
+	"kat/internal/generator"
+	"kat/internal/history"
+	"kat/internal/metrics"
+	"kat/internal/oracle"
+	"kat/internal/quorum"
+	"kat/internal/regularity"
+	"kat/internal/render"
+	"kat/internal/shrink"
+	"kat/internal/trace"
+	"kat/internal/wav"
+	"kat/internal/witness"
+)
+
+// Core model types.
+type (
+	// Operation is a single read or write with a real-time interval.
+	Operation = history.Operation
+	// History is a collection of operations on one register.
+	History = history.History
+	// Kind distinguishes reads from writes.
+	Kind = history.Kind
+	// Prepared is a validated, sorted history with its dictating-write
+	// index; witnesses reference operation indices within it.
+	Prepared = history.Prepared
+	// Anomaly is an assumption violation found in a raw history.
+	Anomaly = history.Anomaly
+	// Stats summarizes structural properties of a history.
+	Stats = history.Stats
+)
+
+// Operation kinds.
+const (
+	KindWrite = history.KindWrite
+	KindRead  = history.KindRead
+)
+
+// Verification types.
+type (
+	// Options tunes verification (algorithm selection, search budgets).
+	Options = core.Options
+	// Report is a verification outcome with witness and diagnostics.
+	Report = core.Report
+	// Algorithm selects a specific verification algorithm.
+	Algorithm = core.Algorithm
+)
+
+// Algorithm choices for Options.Algorithm.
+const (
+	AlgoAuto   = core.AlgoAuto
+	AlgoZones  = core.AlgoZones
+	AlgoLBT    = core.AlgoLBT
+	AlgoFZF    = core.AlgoFZF
+	AlgoOracle = core.AlgoOracle
+)
+
+// Workload tooling types.
+type (
+	// GenConfig parameterizes synthetic history generation.
+	GenConfig = generator.Config
+	// QuorumConfig parameterizes the replicated-register simulator.
+	QuorumConfig = quorum.Config
+	// QuorumStats summarizes a simulation run.
+	QuorumStats = quorum.Stats
+	// BinPacking is a bin-packing decision instance (Section V reduction).
+	BinPacking = wav.BinPacking
+	// Reduction is the Figure 5 bin-packing-to-k-WAV construction.
+	Reduction = wav.Reduction
+	// KDistribution is a smallest-k histogram over a corpus.
+	KDistribution = metrics.KDistribution
+)
+
+// Parse reads a history from the compact text format: one operation per line
+// or ';'-separated, "w <value> <start> <finish>" / "r <value> <start>
+// <finish>", with optional "weight=N" and "client=N" attributes.
+func Parse(text string) (*History, error) { return history.Parse(text) }
+
+// MustParse is Parse that panics on malformed input (tests, examples).
+func MustParse(text string) *History { return history.MustParse(text) }
+
+// Normalize returns a copy of h satisfying the model assumptions that can be
+// repaired without loss of generality: distinct timestamps and writes ending
+// before their dictated reads. Check and SmallestK normalize internally;
+// call this only when preparing histories manually.
+func Normalize(h *History) *History { return history.Normalize(h) }
+
+// FindAnomalies reports every model-assumption violation in h.
+func FindAnomalies(h *History) []Anomaly { return history.FindAnomalies(h) }
+
+// Prepare validates and indexes a (normalized) history.
+func Prepare(h *History) (*Prepared, error) { return history.Prepare(h) }
+
+// Measure computes structural statistics (op counts, max write concurrency).
+func Measure(h *History) Stats { return history.Measure(h) }
+
+// Check decides whether h is k-atomic. k=1 uses the Gibbons–Korach zone
+// test, k=2 the FZF algorithm (LBT via Options.Algorithm), and k>=3 the
+// exact search. The history is normalized internally.
+func Check(h *History, k int, opts Options) (Report, error) {
+	return core.Check(h, k, opts)
+}
+
+// CheckPrepared is Check for already-prepared histories.
+func CheckPrepared(p *Prepared, k int, opts Options) (Report, error) {
+	return core.CheckPrepared(p, k, opts)
+}
+
+// SmallestK returns the least k for which h is k-atomic.
+func SmallestK(h *History, opts Options) (int, error) {
+	return core.SmallestK(h, opts)
+}
+
+// CheckWeighted decides the weighted k-AV problem of Section V: for every
+// read, the total weight of writes from its dictating write (inclusive) to
+// the read must be at most bound. NP-complete in general; solved exactly.
+func CheckWeighted(h *History, bound int64, opts Options) (Report, error) {
+	return core.CheckWeighted(h, bound, opts)
+}
+
+// ValidateWitness checks independently that order proves p k-atomic.
+func ValidateWitness(p *Prepared, order []int, k int) error {
+	return witness.Validate(p, order, k)
+}
+
+// ReadStaleness reports each read's distance (in writes) from its dictating
+// write under the given total order.
+func ReadStaleness(p *Prepared, order []int) ([]int, error) {
+	return metrics.ReadStaleness(p, order)
+}
+
+// GenerateKAtomic produces a history that is (cfg.StalenessDepth+1)-atomic
+// by construction.
+func GenerateKAtomic(cfg GenConfig) *History { return generator.KAtomic(cfg) }
+
+// GenerateRandom produces an unconstrained anomaly-free random history.
+func GenerateRandom(cfg GenConfig) *History { return generator.Random(cfg) }
+
+// GenerateLBTTrap builds the staircase construction that drives literal
+// Figure 2 LBT (no iterative deepening, adversarial candidate order) into
+// the pathological behavior Theorem 3.2's proof warns about.
+func GenerateLBTTrap(chain, goods int) *History { return generator.LBTTrap(chain, goods) }
+
+// InjectStaleness redirects a fraction of reads to older writes, deepening
+// the history's smallest k.
+func InjectStaleness(h *History, seed int64, fraction float64, extraDepth int) *History {
+	return generator.InjectStaleness(h, seed, fraction, extraDepth)
+}
+
+// SimulateQuorum runs the Dynamo-style replicated-register simulator and
+// returns the observed history.
+func SimulateQuorum(cfg QuorumConfig) (*History, QuorumStats, error) {
+	return quorum.Run(cfg)
+}
+
+// SmallestKDistribution computes the smallest-k histogram of a corpus.
+func SmallestKDistribution(corpus []*History, opts Options) KDistribution {
+	return metrics.SmallestKDistribution(corpus, opts)
+}
+
+// Minimize shrinks a failing history while pred holds (counterexample
+// minimization; pred is typically "not 2-atomic").
+func Minimize(h *History, pred func(*History) bool) *History {
+	return shrink.Minimize(h, shrink.Predicate(pred))
+}
+
+// ReduceBinPacking builds the Figure 5 k-WAV instance for a bin-packing
+// problem; the instance is weighted (Capacity+2)-atomic iff the packing is
+// feasible (Theorem 5.1).
+func ReduceBinPacking(bp BinPacking) (*Reduction, error) { return wav.Reduce(bp) }
+
+// SolveBinPackingViaReduction decides a bin-packing instance through the
+// k-WAV reduction (validates Theorem 5.1 empirically).
+func SolveBinPackingViaReduction(bp BinPacking) (bool, error) {
+	return wav.SolveViaReduction(bp, oracle.Options{})
+}
+
+// Multi-register and time-staleness types.
+type (
+	// Trace is a multi-register history; verification is per key
+	// (k-atomicity is local, Section II-B).
+	Trace = trace.Trace
+	// TraceReport aggregates per-key verification outcomes.
+	TraceReport = trace.Report
+	// RenderOptions controls ASCII timeline rendering.
+	RenderOptions = render.Options
+)
+
+// NewTrace returns an empty multi-register trace.
+func NewTrace() *Trace { return trace.New() }
+
+// ParseTrace reads a keyed multi-register trace:
+// "w <key> <value> <start> <finish>" per line.
+func ParseTrace(text string) (*Trace, error) { return trace.Parse(text) }
+
+// CheckTrace verifies every register in the trace at bound k.
+func CheckTrace(t *Trace, k int, opts Options) TraceReport {
+	return trace.Check(t, k, opts)
+}
+
+// SmallestKByKey computes the smallest k per register (0 marks keys whose
+// verification failed).
+func SmallestKByKey(t *Trace, opts Options) map[string]int {
+	return trace.SmallestKByKey(t, opts)
+}
+
+// WorstK returns the largest per-key smallest-k in the trace and the key
+// exhibiting it.
+func WorstK(t *Trace, opts Options) (k int, key string, ok bool) {
+	return trace.WorstK(t, opts)
+}
+
+// CheckDelta reports whether the history is Δ-atomic for the given time
+// bound: atomic once every read may be up to d time units stale (the
+// time-based staleness measure of Golab, Li, Shah, PODC 2011 — the paper's
+// reference [10]).
+func CheckDelta(h *History, d int64) (bool, error) { return delta.Check(h, d) }
+
+// SmallestDelta returns the least Δ for which the history is Δ-atomic.
+func SmallestDelta(h *History) (int64, error) { return delta.Smallest(h) }
+
+// SmallestKDistributionParallel is SmallestKDistribution over a worker pool
+// (workers <= 0 uses GOMAXPROCS); results are identical to the sequential
+// form.
+func SmallestKDistributionParallel(corpus []*History, opts Options, workers int) KDistribution {
+	return metrics.SmallestKDistributionParallel(corpus, opts, workers)
+}
+
+// RenderTimeline draws the history as an ASCII Gantt chart, optionally
+// annotated with a witness order.
+func RenderTimeline(w io.Writer, p *Prepared, opts RenderOptions) error {
+	return render.Timeline(w, p, opts)
+}
+
+// RenderWitness writes a witness as a numbered list with per-read staleness.
+func RenderWitness(w io.Writer, p *Prepared, order []int) error {
+	return render.WitnessOrder(w, p, order)
+}
+
+// PropertyVerdict reports the classical weak register properties of
+// Section I: Lamport's safety and regularity (per-read checks, weaker than
+// 1-atomicity, incomparable with k-atomicity for k >= 2).
+type PropertyVerdict = regularity.Verdict
+
+// CheckProperties classifies every read of the prepared history under
+// safety and regularity.
+func CheckProperties(p *Prepared) PropertyVerdict { return regularity.Check(p) }

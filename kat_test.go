@@ -1,0 +1,209 @@
+package kat_test
+
+import (
+	"strings"
+	"testing"
+
+	"kat"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	h := kat.MustParse("w 1 0 10; w 2 20 30; r 1 40 50")
+	rep1, err := kat.Check(h, 1, kat.Options{})
+	if err != nil {
+		t.Fatalf("Check k=1: %v", err)
+	}
+	if rep1.Atomic {
+		t.Error("stale read accepted at k=1")
+	}
+	rep2, err := kat.Check(h, 2, kat.Options{})
+	if err != nil {
+		t.Fatalf("Check k=2: %v", err)
+	}
+	if !rep2.Atomic {
+		t.Error("1-stale read rejected at k=2")
+	}
+	if err := kat.ValidateWitness(rep2.Prepared, rep2.Witness, 2); err != nil {
+		t.Errorf("witness: %v", err)
+	}
+	k, err := kat.SmallestK(h, kat.Options{})
+	if err != nil || k != 2 {
+		t.Errorf("SmallestK = %d, %v; want 2", k, err)
+	}
+}
+
+func TestPublicGenerators(t *testing.T) {
+	h := kat.GenerateKAtomic(kat.GenConfig{Seed: 1, Ops: 40, StalenessDepth: 1, Concurrency: 3})
+	rep, err := kat.Check(h, 2, kat.Options{})
+	if err != nil || !rep.Atomic {
+		t.Fatalf("generated history: %v %+v", err, rep)
+	}
+	r := kat.GenerateRandom(kat.GenConfig{Seed: 2, Ops: 30, Concurrency: 4})
+	if _, err := kat.Check(r, 2, kat.Options{}); err != nil {
+		t.Fatalf("random history: %v", err)
+	}
+	mut := kat.InjectStaleness(h, 3, 0.5, 3)
+	if mut.Len() != h.Len() {
+		t.Error("InjectStaleness changed op count")
+	}
+}
+
+func TestPublicQuorumPipeline(t *testing.T) {
+	h, stats, err := kat.SimulateQuorum(kat.QuorumConfig{
+		Seed: 7, Replicas: 3, ReadQuorum: 2, WriteQuorum: 2,
+		Clients: 3, OpsPerClient: 10,
+	})
+	if err != nil {
+		t.Fatalf("SimulateQuorum: %v", err)
+	}
+	if stats.CompletedWrites == 0 {
+		t.Error("no completed writes")
+	}
+	if _, err := kat.SmallestK(h, kat.Options{}); err != nil {
+		t.Fatalf("SmallestK on simulated history: %v", err)
+	}
+	dist := kat.SmallestKDistribution([]*kat.History{h}, kat.Options{})
+	if dist.Total != 1 {
+		t.Errorf("distribution total = %d", dist.Total)
+	}
+}
+
+func TestPublicWeightedAndReduction(t *testing.T) {
+	h := kat.MustParse("w 1 0 10 weight=2; w 2 20 30 weight=3; r 1 40 50")
+	rep, err := kat.CheckWeighted(h, 5, kat.Options{})
+	if err != nil {
+		t.Fatalf("CheckWeighted: %v", err)
+	}
+	if !rep.Atomic {
+		t.Error("bound 5 rejected separation 5")
+	}
+	bp := kat.BinPacking{Sizes: []int64{2, 2, 2}, Capacity: 3, Bins: 2}
+	red, err := kat.ReduceBinPacking(bp)
+	if err != nil {
+		t.Fatalf("ReduceBinPacking: %v", err)
+	}
+	if red.Bound != 5 {
+		t.Errorf("Bound = %d, want 5", red.Bound)
+	}
+	ok, err := kat.SolveBinPackingViaReduction(bp)
+	if err != nil {
+		t.Fatalf("SolveBinPackingViaReduction: %v", err)
+	}
+	if ok {
+		t.Error("3x2 into two bins of 3 reported feasible")
+	}
+}
+
+func TestPublicMinimize(t *testing.T) {
+	h := kat.MustParse(`
+w 1 0 10
+w 2 20 30
+w 3 40 50
+r 1 60 70
+w 9 100 110
+r 9 120 130
+`)
+	min := kat.Minimize(h, func(c *kat.History) bool {
+		rep, err := kat.Check(c, 2, kat.Options{})
+		return err == nil && !rep.Atomic
+	})
+	if min.Len() != 4 {
+		t.Errorf("minimized to %d ops, want 4:\n%s", min.Len(), min)
+	}
+}
+
+func TestPublicAnomaliesAndStats(t *testing.T) {
+	h := kat.MustParse("w 1 0 10; r 2 20 30")
+	if as := kat.FindAnomalies(h); len(as) == 0 {
+		t.Error("dangling read not reported")
+	}
+	st := kat.Measure(h)
+	if st.Ops != 2 || st.Writes != 1 || st.Reads != 1 {
+		t.Errorf("Measure = %+v", st)
+	}
+	n := kat.Normalize(kat.MustParse("w 1 0 10; w 2 10 20"))
+	if _, err := kat.Prepare(n); err != nil {
+		t.Errorf("Prepare after Normalize: %v", err)
+	}
+}
+
+func TestPublicTraceAPI(t *testing.T) {
+	tr, err := kat.ParseTrace("w x 1 0 10; r x 1 20 30; w y 1 5 15; w y 2 25 35; r y 1 45 55")
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	rep := kat.CheckTrace(tr, 1, kat.Options{})
+	if rep.Atomic() {
+		t.Error("trace with stale key accepted at k=1")
+	}
+	ks := kat.SmallestKByKey(tr, kat.Options{})
+	if ks["x"] != 1 || ks["y"] != 2 {
+		t.Errorf("SmallestKByKey = %v", ks)
+	}
+	k, key, ok := kat.WorstK(tr, kat.Options{})
+	if !ok || k != 2 || key != "y" {
+		t.Errorf("WorstK = %d,%q,%v", k, key, ok)
+	}
+}
+
+func TestPublicDeltaAPI(t *testing.T) {
+	h := kat.MustParse("w 1 0 10; w 2 20 30; r 1 40 50; r 2 60 70")
+	ok, err := kat.CheckDelta(h, 0)
+	if err != nil || ok {
+		t.Errorf("CheckDelta(0) = %v, %v; want false", ok, err)
+	}
+	d, err := kat.SmallestDelta(h)
+	if err != nil || d < 1 {
+		t.Errorf("SmallestDelta = %d, %v; want >= 1", d, err)
+	}
+}
+
+func TestPublicRendering(t *testing.T) {
+	h := kat.MustParse("w 1 0 10; w 2 20 30; r 1 40 50")
+	rep, err := kat.Check(h, 2, kat.Options{})
+	if err != nil || !rep.Atomic {
+		t.Fatalf("Check: %v %+v", err, rep)
+	}
+	var b strings.Builder
+	if err := kat.RenderTimeline(&b, rep.Prepared, kat.RenderOptions{Witness: rep.Witness}); err != nil {
+		t.Fatalf("RenderTimeline: %v", err)
+	}
+	if !strings.Contains(b.String(), "in witness") {
+		t.Errorf("timeline missing witness annotations:\n%s", b.String())
+	}
+	b.Reset()
+	if err := kat.RenderWitness(&b, rep.Prepared, rep.Witness); err != nil {
+		t.Fatalf("RenderWitness: %v", err)
+	}
+	if !strings.Contains(b.String(), "staleness 1") {
+		t.Errorf("witness list missing staleness:\n%s", b.String())
+	}
+}
+
+func TestPublicParallelDistribution(t *testing.T) {
+	corpus := []*kat.History{
+		kat.GenerateKAtomic(kat.GenConfig{Seed: 1, Ops: 20, StalenessDepth: 0}),
+		kat.GenerateKAtomic(kat.GenConfig{Seed: 2, Ops: 20, StalenessDepth: 1}),
+	}
+	d := kat.SmallestKDistributionParallel(corpus, kat.Options{}, 2)
+	if d.Total != 2 || d.Errors != 0 {
+		t.Errorf("distribution = %+v", d)
+	}
+}
+
+func TestPublicProperties(t *testing.T) {
+	h := kat.MustParse("w 1 0 10; w 2 20 30; r 1 40 50")
+	p, err := kat.Prepare(kat.Normalize(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := kat.CheckProperties(p)
+	if v.Regular || v.Safe {
+		t.Errorf("isolated stale read classified %s", v.Summary())
+	}
+	// Yet the same history is 2-atomic — Section I's point.
+	rep, err := kat.Check(h, 2, kat.Options{})
+	if err != nil || !rep.Atomic {
+		t.Errorf("2-atomic check: %v %+v", err, rep)
+	}
+}
