@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-baseline
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Record the hot-path benchmark families so future PRs can track the perf
+# trajectory: BENCH_baseline.txt is benchstat-ready, BENCH_baseline.json
+# wraps the same run with environment metadata.
+BASELINE_BENCHES := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel
+
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)' -benchmem -count 6 . | tee BENCH_baseline.txt
+	$(GO) run ./scripts/benchjson BENCH_baseline.txt > BENCH_baseline.json

@@ -14,6 +14,15 @@
 //	     BenchmarkTraceCheck       — multi-register locality dispatch
 //	     BenchmarkBandwidth        — §VI GBW: RCM heuristic vs exact
 //	     BenchmarkRegularity       — §I safety/regularity classification
+//
+// Hot-path families added with the zero-allocation engine (run with
+// -benchmem; compare against BENCH_baseline.json via benchstat):
+//
+//	BenchmarkFZF                — one-shot FZF (allocates a fresh arena)
+//	BenchmarkFZFScratch         — FZF over a reused arena (0 allocs/op)
+//	BenchmarkVerifierReuse      — engine-level k=2 check incl. witness check
+//	BenchmarkTraceParse         — streaming multi-register parser
+//	BenchmarkTraceCheckParallel — 1000-key trace, workers=1 vs GOMAXPROCS
 package kat_test
 
 import (
@@ -83,12 +92,51 @@ func BenchmarkFZF(b *testing.B) {
 			h := generator.Adversarial(generator.Config{Seed: 11, Ops: n, Concurrency: c})
 			p := mustPrepare(b, h)
 			b.Run(fmt.Sprintf("c=%d/n=%d", c, n), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if res := fzf.Check(p); !res.Atomic {
 						b.Fatal("rejected")
 					}
 				}
 			})
+		}
+	}
+}
+
+// FZF over a reused Scratch arena: the zero-allocation hot path.
+func BenchmarkFZFScratch(b *testing.B) {
+	for _, c := range []int{4, 256} {
+		for _, n := range []int{1000, 16000} {
+			h := generator.Adversarial(generator.Config{Seed: 11, Ops: n, Concurrency: c})
+			p := mustPrepare(b, h)
+			s := fzf.NewScratch()
+			fzf.CheckScratch(p, s) // grow buffers before timing
+			b.Run(fmt.Sprintf("c=%d/n=%d", c, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if res := fzf.CheckScratch(p, s); !res.Atomic {
+						b.Fatal("rejected")
+					}
+				}
+			})
+		}
+	}
+}
+
+// Engine-level reuse: prepared-history k=2 check through a long-lived
+// Verifier, including the internal witness re-validation.
+func BenchmarkVerifierReuse(b *testing.B) {
+	h := generator.KAtomic(generator.Config{
+		Seed: 42, Ops: 4000, Concurrency: 4, StalenessDepth: 1, ReadFraction: 0.6,
+	})
+	p := mustPrepare(b, h)
+	v := root.NewVerifier()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := v.CheckPrepared(p, 2, root.Options{})
+		if err != nil || !rep.Atomic {
+			b.Fatalf("CheckPrepared: %v %+v", err, rep)
 		}
 	}
 }
@@ -256,6 +304,57 @@ func BenchmarkSmallestDelta(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := root.SmallestDelta(h); err != nil {
 					b.Fatalf("SmallestDelta: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// buildBigTrace assembles a production-shaped multi-key trace: keys
+// registers of opsPerKey operations each.
+func buildBigTrace(keys, opsPerKey int) *root.Trace {
+	tr := root.NewTrace()
+	for key := 0; key < keys; key++ {
+		h := generator.KAtomic(generator.Config{
+			Seed: int64(key), Ops: opsPerKey, Concurrency: 3, StalenessDepth: 1,
+		})
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("key-%04d", key), op)
+		}
+	}
+	return tr
+}
+
+// Streaming multi-register parser throughput (1000 keys x 40 ops).
+func BenchmarkTraceParse(b *testing.B) {
+	text := buildBigTrace(1000, 40).String()
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := root.ParseTrace(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel multi-key verification on a 1000-key trace: workers=1 is the
+// sequential path (one reused Verifier), workers=0 is GOMAXPROCS.
+func BenchmarkTraceCheckParallel(b *testing.B) {
+	tr := buildBigTrace(1000, 40)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=gomaxprocs", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := root.CheckTraceParallel(tr, 2, root.Options{}, tc.workers)
+				if !rep.Atomic() {
+					b.Fatal("trace rejected")
 				}
 			}
 		})

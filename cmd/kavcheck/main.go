@@ -13,6 +13,7 @@
 //	kavcheck -k 2 -algo lbt -witness trace.txt
 //	kavcheck -weighted 5 trace.txt   # weighted k-AV (Section V)
 //	kavcheck -k 2 -shrink trace.txt  # minimal violating core on failure
+//	kavcheck -k 2 -keyed -workers 8 trace.txt  # multi-register, 8-way parallel
 package main
 
 import (
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		doDelta  = fs.Bool("delta", false, "also report the smallest time-staleness bound Δ")
 		props    = fs.Bool("properties", false, "also report Lamport safety and regularity")
 		keyed    = fs.Bool("keyed", false, "input is a multi-register trace (w <key> <value> <start> <finish>)")
+		workers  = fs.Int("workers", 0, "worker pool size for -keyed verification (0 = GOMAXPROCS, 1 = sequential)")
 		timeline = fs.Bool("timeline", false, "draw the history as an ASCII timeline")
 		showWit  = fs.Bool("witness", false, "print the witness total order on success")
 		doShrink = fs.Bool("shrink", false, "on failure, print a minimized violating history")
@@ -51,7 +53,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *keyed {
-		return runKeyed(fs.Args(), *k, out)
+		return runKeyed(fs.Args(), *k, *workers, out)
 	}
 
 	h, err := readHistory(fs.Args(), *asJSON)
@@ -144,8 +146,9 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runKeyed verifies a multi-register trace per key.
-func runKeyed(args []string, k int, out io.Writer) error {
+// runKeyed verifies a multi-register trace per key, fanning the keys out
+// over a worker pool.
+func runKeyed(args []string, k, workers int, out io.Writer) error {
 	var r io.Reader = os.Stdin
 	if len(args) > 0 {
 		f, err := os.Open(args[0])
@@ -163,7 +166,7 @@ func runKeyed(args []string, k int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep := kat.CheckTrace(tr, k, kat.Options{})
+	rep := kat.CheckTraceParallel(tr, k, kat.Options{}, workers)
 	for _, kr := range rep.Keys {
 		status := fmt.Sprintf("%d-atomic: %v", k, kr.Atomic)
 		if kr.Err != nil {

@@ -164,6 +164,19 @@ func TestCheckKeyedTrace(t *testing.T) {
 	}
 }
 
+func TestCheckKeyedWorkers(t *testing.T) {
+	path := writeTemp(t, "w x 1 0 10\nr x 1 20 30\nw y 1 5 15\nw y 2 25 35\nr y 1 45 55\n")
+	for _, workers := range []string{"0", "1", "4"} {
+		var out strings.Builder
+		if err := run([]string{"-k", "2", "-keyed", "-workers", workers, path}, &out); err != nil {
+			t.Fatalf("workers=%s: %v\n%s", workers, err, out.String())
+		}
+		if !strings.Contains(out.String(), "all 2 keys are 2-atomic") {
+			t.Errorf("workers=%s summary missing:\n%s", workers, out.String())
+		}
+	}
+}
+
 func TestCheckPropertiesFlag(t *testing.T) {
 	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nr 1 40 50\n")
 	var out strings.Builder

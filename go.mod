@@ -1,0 +1,3 @@
+module kat
+
+go 1.22

@@ -8,12 +8,9 @@ import (
 	"errors"
 	"fmt"
 
-	"kat/internal/fzf"
 	"kat/internal/history"
-	"kat/internal/lbt"
 	"kat/internal/oracle"
 	"kat/internal/witness"
-	"kat/internal/zone"
 )
 
 // Algorithm selects the verification algorithm.
@@ -85,80 +82,16 @@ type Report struct {
 }
 
 // Check decides whether the history is k-atomic. The input is normalized
-// internally; anomalies surface as errors.
+// internally; anomalies surface as errors. One-shot form of
+// Verifier.Check — batch callers should hold a Verifier to reuse its
+// scratch buffers.
 func Check(h *history.History, k int, opts Options) (Report, error) {
-	if k < 1 {
-		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
-	}
-	p, err := history.Prepare(history.Normalize(h))
-	if err != nil {
-		return Report{}, fmt.Errorf("core: %w", err)
-	}
-	return CheckPrepared(p, k, opts)
+	return NewVerifier().Check(h, k, opts)
 }
 
 // CheckPrepared is Check for histories already normalized and prepared.
 func CheckPrepared(p *history.Prepared, k int, opts Options) (Report, error) {
-	if k < 1 {
-		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
-	}
-	algo := opts.Algorithm
-	if algo == 0 || algo == AlgoAuto {
-		switch k {
-		case 1:
-			algo = AlgoZones
-		case 2:
-			algo = AlgoFZF
-		default:
-			algo = AlgoOracle
-		}
-	}
-	rep := Report{K: k, Algorithm: algo, Prepared: p}
-	switch algo {
-	case AlgoZones:
-		if k != 1 {
-			return Report{}, fmt.Errorf("%w: zones requires k=1, got k=%d", ErrAlgorithmMismatch, k)
-		}
-		ok, _ := zone.Check1Atomic(p)
-		rep.Atomic = ok
-		if ok {
-			// The zone test does not produce an order; obtain one from
-			// the oracle, which is fast on 1-atomic histories.
-			res, err := oracle.CheckK(p, 1, oracle.Options{MaxStates: opts.OracleStates})
-			if err == nil && res.Atomic {
-				rep.Witness = res.Witness
-			}
-		}
-	case AlgoLBT:
-		if k != 2 {
-			return Report{}, fmt.Errorf("%w: LBT requires k=2, got k=%d", ErrAlgorithmMismatch, k)
-		}
-		res := lbt.Check(p, lbt.Options{NoDeepening: opts.LBTNoDeepening})
-		rep.Atomic = res.Atomic
-		rep.Witness = res.Witness
-	case AlgoFZF:
-		if k != 2 {
-			return Report{}, fmt.Errorf("%w: FZF requires k=2, got k=%d", ErrAlgorithmMismatch, k)
-		}
-		res := fzf.Check(p)
-		rep.Atomic = res.Atomic
-		rep.Witness = res.Witness
-	case AlgoOracle:
-		res, err := oracle.CheckK(p, k, oracle.Options{MaxStates: opts.OracleStates})
-		if err != nil {
-			return Report{}, fmt.Errorf("core: %w", err)
-		}
-		rep.Atomic = res.Atomic
-		rep.Witness = res.Witness
-	default:
-		return Report{}, fmt.Errorf("core: unknown algorithm %v", algo)
-	}
-	if rep.Atomic && rep.Witness != nil && !opts.SkipWitnessCheck {
-		if err := witness.Validate(p, rep.Witness, k); err != nil {
-			return Report{}, fmt.Errorf("core: internal error, invalid witness: %w", err)
-		}
-	}
-	return rep, nil
+	return NewVerifier().CheckPrepared(p, k, opts)
 }
 
 // CheckWeighted decides the weighted k-AV problem of Section V with the
@@ -186,51 +119,12 @@ func CheckWeighted(h *history.History, bound int64, opts Options) (Report, error
 // the fast checkers for k=1,2 and binary search with the exact oracle above
 // that (Section II-B: given a k-AV solution, binary-search the smallest k).
 // Every anomaly-free history is W-atomic where W is its number of writes, so
-// the search is bounded.
+// the search is bounded. One-shot form of Verifier.SmallestK.
 func SmallestK(h *history.History, opts Options) (int, error) {
-	p, err := history.Prepare(history.Normalize(h))
-	if err != nil {
-		return 0, fmt.Errorf("core: %w", err)
-	}
-	return SmallestKPrepared(p, opts)
+	return NewVerifier().SmallestK(h, opts)
 }
 
 // SmallestKPrepared is SmallestK for prepared histories.
 func SmallestKPrepared(p *history.Prepared, opts Options) (int, error) {
-	if p.Len() == 0 {
-		return 1, nil
-	}
-	if ok, _ := zone.Check1Atomic(p); ok {
-		return 1, nil
-	}
-	if res := fzf.Check(p); res.Atomic {
-		return 2, nil
-	}
-	// Binary search in [3, writes]; monotone because a k-atomic order is
-	// also (k+1)-atomic.
-	lo, hi := 3, p.H.Writes()
-	if hi < lo {
-		hi = lo
-	}
-	// Verify the upper bound holds (it must, for anomaly-free histories).
-	res, err := oracle.CheckK(p, hi, oracle.Options{MaxStates: opts.OracleStates})
-	if err != nil {
-		return 0, fmt.Errorf("core: %w", err)
-	}
-	if !res.Atomic {
-		return 0, fmt.Errorf("core: history not even %d-atomic; input may violate model assumptions", hi)
-	}
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		res, err := oracle.CheckK(p, mid, oracle.Options{MaxStates: opts.OracleStates})
-		if err != nil {
-			return 0, fmt.Errorf("core: %w", err)
-		}
-		if res.Atomic {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo, nil
+	return NewVerifier().SmallestKPrepared(p, opts)
 }

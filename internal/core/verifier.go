@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kat/internal/fzf"
+	"kat/internal/history"
+	"kat/internal/lbt"
+	"kat/internal/oracle"
+	"kat/internal/witness"
+	"kat/internal/zone"
+)
+
+// Verifier is a reusable verification engine: it owns the scratch arenas the
+// hot-path algorithms need (FZF buffers, witness-validation buffers) and
+// reuses them across Check/SmallestK calls. A long-lived Verifier makes the
+// k=2 FZF path allocation-free at steady state, which is what a
+// high-throughput multi-key pipeline wants.
+//
+// A Verifier is NOT safe for concurrent use; give each goroutine its own
+// (the parallel trace checker does exactly that). The zero value is ready to
+// use.
+//
+// Reports produced through a Verifier may alias its internal buffers: a
+// Report's Witness is valid only until the next call on the same Verifier.
+// Copy it (or use the one-shot package functions) if it must outlive that.
+type Verifier struct {
+	fzf fzf.Scratch
+	wit witness.Scratch
+}
+
+// NewVerifier returns a fresh engine.
+func NewVerifier() *Verifier { return &Verifier{} }
+
+// ForEachWorker runs fn(v, i) for every i in [0, n) over a bounded worker
+// pool. Each worker owns one Verifier, so scratch arenas are reused across
+// the items it handles; callers write results into disjoint per-index slots,
+// so no locking is needed and output is deterministic for any worker count.
+// workers <= 0 uses GOMAXPROCS. The trace checker and corpus metrics both
+// fan out through this.
+func ForEachWorker(n, workers int, fn func(v *Verifier, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		v := NewVerifier()
+		for i := 0; i < n; i++ {
+			fn(v, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := NewVerifier()
+			for i := range next {
+				fn(v, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Check decides whether the history is k-atomic. The input is normalized
+// internally; anomalies surface as errors.
+func (v *Verifier) Check(h *history.History, k int, opts Options) (Report, error) {
+	if k < 1 {
+		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	p, err := history.PrepareInPlace(history.Normalize(h))
+	if err != nil {
+		return Report{}, fmt.Errorf("core: %w", err)
+	}
+	return v.CheckPrepared(p, k, opts)
+}
+
+// CheckPrepared is Check for histories already normalized and prepared.
+func (v *Verifier) CheckPrepared(p *history.Prepared, k int, opts Options) (Report, error) {
+	if k < 1 {
+		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	algo := opts.Algorithm
+	if algo == 0 || algo == AlgoAuto {
+		switch k {
+		case 1:
+			algo = AlgoZones
+		case 2:
+			algo = AlgoFZF
+		default:
+			algo = AlgoOracle
+		}
+	}
+	rep := Report{K: k, Algorithm: algo, Prepared: p}
+	switch algo {
+	case AlgoZones:
+		if k != 1 {
+			return Report{}, fmt.Errorf("%w: zones requires k=1, got k=%d", ErrAlgorithmMismatch, k)
+		}
+		ok, _ := zone.Check1Atomic(p)
+		rep.Atomic = ok
+		if ok {
+			// The zone test does not produce an order; obtain one from
+			// the oracle, which is fast on 1-atomic histories.
+			res, err := oracle.CheckK(p, 1, oracle.Options{MaxStates: opts.OracleStates})
+			if err == nil && res.Atomic {
+				rep.Witness = res.Witness
+			}
+		}
+	case AlgoLBT:
+		if k != 2 {
+			return Report{}, fmt.Errorf("%w: LBT requires k=2, got k=%d", ErrAlgorithmMismatch, k)
+		}
+		res := lbt.Check(p, lbt.Options{NoDeepening: opts.LBTNoDeepening})
+		rep.Atomic = res.Atomic
+		rep.Witness = res.Witness
+	case AlgoFZF:
+		if k != 2 {
+			return Report{}, fmt.Errorf("%w: FZF requires k=2, got k=%d", ErrAlgorithmMismatch, k)
+		}
+		res := fzf.CheckScratch(p, &v.fzf)
+		rep.Atomic = res.Atomic
+		rep.Witness = res.Witness
+	case AlgoOracle:
+		res, err := oracle.CheckK(p, k, oracle.Options{MaxStates: opts.OracleStates})
+		if err != nil {
+			return Report{}, fmt.Errorf("core: %w", err)
+		}
+		rep.Atomic = res.Atomic
+		rep.Witness = res.Witness
+	default:
+		return Report{}, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+	if rep.Atomic && rep.Witness != nil && !opts.SkipWitnessCheck {
+		if err := witness.ValidateScratch(p, rep.Witness, k, &v.wit); err != nil {
+			return Report{}, fmt.Errorf("core: internal error, invalid witness: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// SmallestK computes the least k for which the history is k-atomic, using
+// the fast checkers for k=1,2 and binary search with the exact oracle above
+// that (Section II-B: given a k-AV solution, binary-search the smallest k).
+// Every anomaly-free history is W-atomic where W is its number of writes, so
+// the search is bounded.
+func (v *Verifier) SmallestK(h *history.History, opts Options) (int, error) {
+	p, err := history.PrepareInPlace(history.Normalize(h))
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	return v.SmallestKPrepared(p, opts)
+}
+
+// SmallestKPrepared is SmallestK for prepared histories.
+func (v *Verifier) SmallestKPrepared(p *history.Prepared, opts Options) (int, error) {
+	if p.Len() == 0 {
+		return 1, nil
+	}
+	if ok, _ := zone.Check1Atomic(p); ok {
+		return 1, nil
+	}
+	if res := fzf.CheckScratch(p, &v.fzf); res.Atomic {
+		return 2, nil
+	}
+	// Binary search in [3, writes]; monotone because a k-atomic order is
+	// also (k+1)-atomic.
+	lo, hi := 3, p.H.Writes()
+	if hi < lo {
+		hi = lo
+	}
+	// Verify the upper bound holds (it must, for anomaly-free histories).
+	res, err := oracle.CheckK(p, hi, oracle.Options{MaxStates: opts.OracleStates})
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	if !res.Atomic {
+		return 0, fmt.Errorf("core: history not even %d-atomic; input may violate model assumptions", hi)
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		res, err := oracle.CheckK(p, mid, oracle.Options{MaxStates: opts.OracleStates})
+		if err != nil {
+			return 0, fmt.Errorf("core: %w", err)
+		}
+		if res.Atomic {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,62 @@
+package fzf
+
+import (
+	"testing"
+
+	"kat/internal/generator"
+	"kat/internal/history"
+)
+
+// TestCheckScratchZeroAlloc pins the tentpole property: once the Scratch has
+// grown to the history's size, a full FZF check (Stage 1 decomposition,
+// Stage 2 candidate orders, witness assembly) allocates nothing.
+func TestCheckScratchZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		h    *history.History
+	}{
+		{"adversarial-c64", generator.Adversarial(generator.Config{Seed: 11, Ops: 4000, Concurrency: 64})},
+		{"katomic-depth1", generator.KAtomic(generator.Config{Seed: 42, Ops: 4000, Concurrency: 4, StalenessDepth: 1, ReadFraction: 0.6})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := history.Prepare(tc.h)
+			if err != nil {
+				t.Fatalf("Prepare: %v", err)
+			}
+			s := NewScratch()
+			if res := CheckScratch(p, s); !res.Atomic {
+				t.Fatal("warm-up check rejected an atomic history")
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if res := CheckScratch(p, s); !res.Atomic {
+					t.Fatal("rejected")
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state CheckScratch: %v allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCheckScratchReuseMatchesFresh cross-checks a reused arena against
+// fresh one-shot checks on histories of both verdicts.
+func TestCheckScratchReuseMatchesFresh(t *testing.T) {
+	s := NewScratch()
+	for seed := int64(0); seed < 30; seed++ {
+		h := generator.Random(generator.Config{Seed: seed, Ops: 120, Concurrency: 4, ReadFraction: 0.6})
+		p, err := history.Prepare(history.Normalize(h))
+		if err != nil {
+			t.Fatalf("seed %d: Prepare: %v", seed, err)
+		}
+		fresh := Check(p)
+		reused := CheckScratch(p, s)
+		if fresh.Atomic != reused.Atomic || fresh.Chunks != reused.Chunks ||
+			fresh.Dangling != reused.Dangling || fresh.OrdersTried != reused.OrdersTried {
+			t.Errorf("seed %d: fresh %+v != reused %+v", seed, fresh, reused)
+		}
+		if err := SelfCheck(p, reused); err != nil {
+			t.Errorf("seed %d: reused witness invalid: %v", seed, err)
+		}
+	}
+}

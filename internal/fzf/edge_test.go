@@ -116,7 +116,9 @@ func TestViableRejectsInvalidWriteOrder(t *testing.T) {
 	// later write precedes an earlier one in time must be rejected.
 	p := prep(t, "w 1 0 10; r 1 30 40; w 2 50 60; r 2 70 80")
 	ops := []int{0, 1, 2, 3}
-	if got := viable(p, []int{p.WriteByValue[2], p.WriteByValue[1]}, ops); got != nil {
+	w1, _ := p.WriteFor(1)
+	w2, _ := p.WriteFor(2)
+	if got := viable(p, []int{w2, w1}, ops); got != nil {
 		t.Error("time-inverted write order accepted as viable")
 	}
 }
@@ -124,7 +126,9 @@ func TestViableRejectsInvalidWriteOrder(t *testing.T) {
 func TestViableAcceptsAndPlacesAll(t *testing.T) {
 	p := prep(t, "w 1 0 10; r 1 30 40; w 2 50 60; r 2 70 80")
 	ops := []int{0, 1, 2, 3}
-	got := viable(p, []int{p.WriteByValue[1], p.WriteByValue[2]}, ops)
+	w1, _ := p.WriteFor(1)
+	w2, _ := p.WriteFor(2)
+	got := viable(p, []int{w1, w2}, ops)
 	if got == nil {
 		t.Fatal("valid order rejected")
 	}

@@ -13,11 +13,16 @@
 // are immediately fatal). Each candidate order is checked for viability with
 // a simplified, backtracking-free LBT pass. Stage 3 declares the history
 // 2-atomic iff every chunk passed (Lemma 4.1).
+//
+// The hot path is allocation-free at steady state: CheckScratch runs the
+// whole pipeline out of a reusable Scratch arena (dense slice-indexed
+// position lookups instead of maps, flat pooled buffers instead of
+// per-candidate slices).
 package fzf
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kat/internal/history"
 	"kat/internal/witness"
@@ -30,7 +35,8 @@ type Result struct {
 	Atomic bool
 	// Witness is a valid 2-atomic total order (operation indices) when
 	// Atomic is true, assembled per Lemma 4.1 from per-chunk orders and
-	// dangling clusters.
+	// dangling clusters. When produced by CheckScratch it aliases the
+	// Scratch and is valid only until the next call with that Scratch.
 	Witness []int
 	// Chunks is the number of maximal chunks examined.
 	Chunks int
@@ -45,47 +51,136 @@ type Result struct {
 	Reason string
 }
 
+// Scratch is a reusable buffer arena for CheckScratch. A zero Scratch is
+// ready to use; buffers grow to the largest history seen and are reused, so
+// repeated checks of same-sized histories allocate nothing.
+type Scratch struct {
+	zone       zone.Scratch
+	pos        []int  // dense op index -> position in current chunk's ops; -1 = absent
+	removed    []bool // per-candidate placement marks over chunk positions
+	ops        []int  // current chunk's operation indices in start order
+	tfPrime    []int  // T'_F buffer (T_F with the first two writes swapped)
+	containers []int  // flat per-slot container-read storage
+	slotLo     []int  // container range starts, indexed by write position
+	slotHi     []int  // container range ends
+	placed     []int  // flat placed per-chunk orders
+	elements   []element
+	witness    []int
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// ensure sizes the dense position index for histories of p's size. The index
+// holds -1 everywhere between chunks (entries are restored after each use).
+func (s *Scratch) ensure(p *history.Prepared) {
+	if n := p.Len(); len(s.pos) < n {
+		old := len(s.pos)
+		s.pos = append(s.pos[:old:old], make([]int, n-old)...)
+		for i := old; i < n; i++ {
+			s.pos[i] = -1
+		}
+	}
+}
+
+// element is a chunk's or dangling cluster's placed order plus its low
+// endpoint, for the Lemma 4.1 concatenation. Chunks carry their placed order
+// (write < 0); a dangling cluster is reconstructed from its write.
+type element struct {
+	low   int64
+	write int
+	order []int
+}
+
+// candidate is one Stage 2 write order: an optional prepended backward
+// write, the forward writes, and an optional appended backward write.
+// Representing it this way avoids materializing the concatenation.
+type candidate struct {
+	pre, post int // write index, or -1 for none
+	mid       []int
+}
+
+func (c candidate) len() int {
+	n := len(c.mid)
+	if c.pre >= 0 {
+		n++
+	}
+	if c.post >= 0 {
+		n++
+	}
+	return n
+}
+
+func (c candidate) at(i int) int {
+	if c.pre >= 0 {
+		if i == 0 {
+			return c.pre
+		}
+		i--
+	}
+	if i < len(c.mid) {
+		return c.mid[i]
+	}
+	return c.post
+}
+
 // Check decides 2-atomicity of the prepared history using FZF.
 func Check(p *history.Prepared) Result {
-	dec := zone.Decompose(p)
+	return CheckScratch(p, NewScratch())
+}
+
+// CheckScratch is Check reusing s's buffers across calls; at steady state it
+// performs no allocations. The returned Witness aliases s and is valid only
+// until the next call with the same Scratch.
+func CheckScratch(p *history.Prepared, s *Scratch) Result {
+	s.ensure(p)
+	dec := zone.DecomposeScratch(p, &s.zone)
 	res := Result{
 		Chunks:      len(dec.Chunks),
 		Dangling:    len(dec.Dangling),
 		FailedChunk: -1,
 	}
 
-	// element is a chunk's or dangling cluster's placed order plus its
-	// low endpoint, for the Lemma 4.1 concatenation.
-	type element struct {
-		low   int64
-		order []int
-	}
-	elements := make([]element, 0, len(dec.Chunks)+len(dec.Dangling))
-
-	for ci, ch := range dec.Chunks {
-		ord, tried, reason := checkChunk(p, ch)
+	s.elements = s.elements[:0]
+	s.placed = s.placed[:0]
+	for ci := range dec.Chunks {
+		ch := dec.Chunks[ci]
+		ord, tried, reason := s.checkChunk(p, ch)
 		res.OrdersTried += tried
 		if ord == nil {
 			res.FailedChunk = ci
 			res.Reason = reason
 			return res
 		}
-		elements = append(elements, element{low: ch.Lo, order: ord})
+		s.elements = append(s.elements, element{low: ch.Lo, write: -1, order: ord})
 	}
 	for _, w := range dec.Dangling {
 		// A dangling cluster is backward: all its operations pairwise
 		// overlap, so write-then-reads (in start order) is valid and
-		// 1-atomic.
-		ord := append([]int{w}, p.DictatedReads[w]...)
-		low := clusterLow(p, w)
-		elements = append(elements, element{low: low, order: ord})
+		// 1-atomic. The order is reconstructed during assembly.
+		s.elements = append(s.elements, element{low: clusterLow(p, w), write: w})
 	}
 	// Any total order extending ≤_H works; sorting by low endpoint does
 	// (X.h < Y.l implies X.l < Y.l).
-	sort.SliceStable(elements, func(i, j int) bool { return elements[i].low < elements[j].low })
-	for _, e := range elements {
-		res.Witness = append(res.Witness, e.order...)
+	slices.SortStableFunc(s.elements, func(a, b element) int {
+		switch {
+		case a.low < b.low:
+			return -1
+		case a.low > b.low:
+			return 1
+		}
+		return 0
+	})
+	s.witness = s.witness[:0]
+	for _, e := range s.elements {
+		if e.write >= 0 {
+			s.witness = append(s.witness, e.write)
+			s.witness = append(s.witness, p.DictatedReads[e.write]...)
+		} else {
+			s.witness = append(s.witness, e.order...)
+		}
 	}
+	res.Witness = s.witness
 	res.Atomic = true
 	return res
 }
@@ -111,116 +206,136 @@ func clusterLow(p *history.Prepared, w int) int64 {
 
 // checkChunk runs Stage 2 for one chunk: it builds the candidate orders and
 // returns the placed total order over the chunk's operations for the first
-// viable candidate, or nil with a reason if none is viable.
-func checkChunk(p *history.Prepared, ch zone.Chunk) (ord []int, tried int, reason string) {
+// viable candidate, or nil with a reason if none is viable. The returned
+// order points into s.placed.
+func (s *Scratch) checkChunk(p *history.Prepared, ch zone.Chunk) (ord []int, tried int, reason string) {
 	tf := ch.Forward
 	tfPrime := tf
 	if len(tf) >= 2 {
-		tfPrime = append([]int(nil), tf...)
-		tfPrime[0], tfPrime[1] = tfPrime[1], tfPrime[0]
+		s.tfPrime = append(s.tfPrime[:0], tf...)
+		s.tfPrime[0], s.tfPrime[1] = s.tfPrime[1], s.tfPrime[0]
+		tfPrime = s.tfPrime
 	}
 
-	var candidates [][]int
-	appendOrder := func(pre []int, mid []int, post []int) {
-		c := make([]int, 0, len(pre)+len(mid)+len(post))
-		c = append(c, pre...)
-		c = append(c, mid...)
-		c = append(c, post...)
-		candidates = append(candidates, c)
-	}
+	var cands [4]candidate
+	nc := 0
 	switch b := len(ch.Backward); {
 	case b == 0:
-		appendOrder(nil, tf, nil)
+		cands[nc] = candidate{-1, -1, tf}
+		nc++
 		if len(tf) >= 2 {
-			appendOrder(nil, tfPrime, nil)
+			cands[nc] = candidate{-1, -1, tfPrime}
+			nc++
 		}
 	case b == 1:
 		w := ch.Backward[0]
-		appendOrder([]int{w}, tf, nil)
-		appendOrder(nil, tf, []int{w})
+		cands[0] = candidate{w, -1, tf}
+		cands[1] = candidate{-1, w, tf}
+		nc = 2
 		if len(tf) >= 2 {
-			appendOrder([]int{w}, tfPrime, nil)
-			appendOrder(nil, tfPrime, []int{w})
+			cands[2] = candidate{w, -1, tfPrime}
+			cands[3] = candidate{-1, w, tfPrime}
+			nc = 4
 		}
 	case b == 2:
 		w1, w2 := ch.Backward[0], ch.Backward[1]
-		appendOrder([]int{w1}, tf, []int{w2})
-		appendOrder([]int{w2}, tf, []int{w1})
+		cands[0] = candidate{w1, w2, tf}
+		cands[1] = candidate{w2, w1, tf}
+		nc = 2
 		if len(tf) >= 2 {
-			appendOrder([]int{w1}, tfPrime, []int{w2})
-			appendOrder([]int{w2}, tfPrime, []int{w1})
+			cands[2] = candidate{w1, w2, tfPrime}
+			cands[3] = candidate{w2, w1, tfPrime}
+			nc = 4
 		}
 	default:
 		// B >= 3: not 2-atomic (Lemma 4.3, Case 4).
 		return nil, 0, fmt.Sprintf("chunk has %d backward clusters (three or more is fatal)", b)
 	}
 
-	ops := chunkOps(p, ch)
-	for _, t := range candidates {
+	s.chunkOps(p, ch)
+	for i, op := range s.ops {
+		s.pos[op] = i
+	}
+	for i := 0; i < nc; i++ {
 		tried++
-		if placed := viable(p, t, ops); placed != nil {
-			return placed, tried, ""
+		if placed := s.viable(p, cands[i]); placed != nil {
+			ord = placed
+			break
 		}
 	}
-	return nil, tried, "no candidate write order is viable"
+	// Restore the dense index's all-(-1) invariant for the next chunk.
+	for _, op := range s.ops {
+		s.pos[op] = -1
+	}
+	if ord == nil {
+		return nil, tried, "no candidate write order is viable"
+	}
+	return ord, tried, ""
 }
 
-// chunkOps collects the operation indices of H|K in start order. Prepared
-// histories are index-sorted by start time, so sorting indices suffices.
-func chunkOps(p *history.Prepared, ch zone.Chunk) []int {
-	var ops []int
+// chunkOps collects the operation indices of H|K in start order into s.ops.
+// Prepared histories are index-sorted by start time, so sorting indices
+// suffices.
+func (s *Scratch) chunkOps(p *history.Prepared, ch zone.Chunk) {
+	s.ops = s.ops[:0]
 	for _, w := range ch.Forward {
-		ops = append(ops, w)
-		ops = append(ops, p.DictatedReads[w]...)
+		s.ops = append(s.ops, w)
+		s.ops = append(s.ops, p.DictatedReads[w]...)
 	}
 	for _, w := range ch.Backward {
-		ops = append(ops, w)
-		ops = append(ops, p.DictatedReads[w]...)
+		s.ops = append(s.ops, w)
+		s.ops = append(s.ops, p.DictatedReads[w]...)
 	}
-	sort.Ints(ops)
-	return ops
+	slices.Sort(s.ops)
 }
 
 // viable implements the simplified LBT subroutine of Theorem 4.6: given a
-// candidate total order t over all dictating writes of the chunk and the
-// chunk's operations in start order, it attempts to extend t to a valid
-// 2-atomic total order over all the operations, processing writes in reverse
-// order of t without backtracking. It returns the full placed order on
-// success and nil otherwise.
+// candidate total order c over all dictating writes of the chunk (the
+// chunk's operations, in start order, are in s.ops with s.pos holding their
+// positions), it attempts to extend c to a valid 2-atomic total order over
+// all the operations, processing writes in reverse order without
+// backtracking. It returns the full placed order (into s.placed) on success
+// and nil otherwise.
 //
 // For the write at position j (1-based from the front), every not-yet-placed
 // operation starting after that write finishes must be a read dictated by
-// t[j] or by its predecessor t[j-1] — anything else would be separated from
-// its dictating write by two or more writes (or violate validity).
-func viable(p *history.Prepared, t []int, ops []int) []int {
-	// Validity pre-check: for i < j, t[j] must not precede t[i] in time.
+// c.at(j) or by its predecessor c.at(j-1) — anything else would be separated
+// from its dictating write by two or more writes (or violate validity).
+func (s *Scratch) viable(p *history.Prepared, c candidate) []int {
+	nw := c.len()
+	// Validity pre-check: for i < j, c.at(j) must not precede c.at(i) in time.
 	var maxStart int64
-	for j, w := range t {
+	for j := 0; j < nw; j++ {
+		w := c.at(j)
 		if j > 0 && p.Op(w).Finish < maxStart {
 			return nil
 		}
-		if s := p.Op(w).Start; j == 0 || s > maxStart {
-			maxStart = s
+		if st := p.Op(w).Start; j == 0 || st > maxStart {
+			maxStart = st
 		}
 	}
 
-	n := len(ops)
-	posOf := make(map[int]int, n) // op index -> position in ops
-	for i, op := range ops {
-		posOf[op] = i
+	n := len(s.ops)
+	if len(s.removed) < n {
+		s.removed = make([]bool, n)
 	}
-	removed := make([]bool, n)
+	removed := s.removed[:n]
+	clear(removed)
 	tail := n - 1 // highest not-yet-removed position
 
-	slots := make([][]int, len(t)) // slots[j] = container reads after t[j]
-	for j := len(t) - 1; j >= 0; j-- {
-		w := t[j]
-		var prevW int = -1
+	if len(s.slotLo) < nw {
+		s.slotLo = make([]int, nw)
+		s.slotHi = make([]int, nw)
+	}
+	s.containers = s.containers[:0]
+	for j := nw - 1; j >= 0; j-- {
+		w := c.at(j)
+		prevW := -1
 		if j > 0 {
-			prevW = t[j-1]
+			prevW = c.at(j - 1)
 		}
 		wFinish := p.Op(w).Finish
-		var container []int
+		cStart := len(s.containers)
 		// Forced suffix: ops starting after w finishes.
 		for tail >= 0 {
 			for tail >= 0 && removed[tail] {
@@ -229,7 +344,7 @@ func viable(p *history.Prepared, t []int, ops []int) []int {
 			if tail < 0 {
 				break
 			}
-			op := ops[tail]
+			op := s.ops[tail]
 			if p.Op(op).Start <= wFinish {
 				break
 			}
@@ -240,42 +355,55 @@ func viable(p *history.Prepared, t []int, ops []int) []int {
 			if d != w && d != prevW {
 				return nil // separation >= 2 for this read
 			}
-			container = append(container, op)
+			s.containers = append(s.containers, op)
 			removed[tail] = true
 			tail--
 		}
 		// Remaining dictated reads of w.
 		for _, r := range p.DictatedReads[w] {
-			pos, ok := posOf[r]
-			if !ok || removed[pos] {
+			pos := s.pos[r]
+			if pos < 0 || removed[pos] {
 				continue
 			}
-			container = append(container, r)
+			s.containers = append(s.containers, r)
 			removed[pos] = true
 		}
 		// Place w itself.
-		wpos, ok := posOf[w]
-		if !ok || removed[wpos] {
-			return nil // duplicate write in t or w outside chunk
+		wpos := s.pos[w]
+		if wpos < 0 || removed[wpos] {
+			return nil // duplicate write in c or w outside chunk
 		}
 		removed[wpos] = true
-		slots[j] = container
+		s.slotLo[j], s.slotHi[j] = cStart, len(s.containers)
 	}
-	// Everything must be placed: every read's dictating write is in t.
+	// Everything must be placed: every read's dictating write is in c.
 	for i := 0; i < n; i++ {
 		if !removed[i] {
 			return nil
 		}
 	}
-	// Assemble front-to-back order; container reads sorted by start.
-	order := make([]int, 0, n)
-	for j := 0; j < len(t); j++ {
-		order = append(order, t[j])
-		c := append([]int(nil), slots[j]...)
-		sort.Ints(c) // index order == start order in prepared histories
-		order = append(order, c...)
+	// Assemble front-to-back order; container reads sorted by start
+	// (index order == start order in prepared histories).
+	start := len(s.placed)
+	for j := 0; j < nw; j++ {
+		s.placed = append(s.placed, c.at(j))
+		reads := s.containers[s.slotLo[j]:s.slotHi[j]]
+		slices.Sort(reads)
+		s.placed = append(s.placed, reads...)
 	}
-	return order
+	return s.placed[start:]
+}
+
+// viable is the direct-call form used by tests: it checks a bare write order
+// t against an explicit chunk op set and returns the placed order, or nil.
+func viable(p *history.Prepared, t []int, ops []int) []int {
+	s := NewScratch()
+	s.ensure(p)
+	s.ops = append(s.ops, ops...)
+	for i, op := range s.ops {
+		s.pos[op] = i
+	}
+	return s.viable(p, candidate{pre: -1, post: -1, mid: t})
 }
 
 // SelfCheck verifies a positive result's witness independently.

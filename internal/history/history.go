@@ -12,8 +12,9 @@
 package history
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -143,15 +144,14 @@ func (h *History) Reads() int { return len(h.Ops) - h.Writes() }
 // SortByStart sorts operations by start time (ties broken by finish, then
 // original ID) and renumbers IDs to slice indices.
 func (h *History) SortByStart() {
-	sort.SliceStable(h.Ops, func(i, j int) bool {
-		a, b := h.Ops[i], h.Ops[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
+	slices.SortFunc(h.Ops, func(a, b Operation) int {
+		if c := cmp.Compare(a.Start, b.Start); c != 0 {
+			return c
 		}
-		if a.Finish != b.Finish {
-			return a.Finish < b.Finish
+		if c := cmp.Compare(a.Finish, b.Finish); c != 0 {
+			return c
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	for i := range h.Ops {
 		h.Ops[i].ID = i

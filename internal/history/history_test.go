@@ -249,10 +249,10 @@ func TestPrepareHappyPath(t *testing.T) {
 	if p.Len() != 5 {
 		t.Fatalf("Len = %d, want 5", p.Len())
 	}
-	w1 := p.WriteByValue[1]
-	w2 := p.WriteByValue[2]
+	w1, _ := p.WriteFor(1)
+	w2, _ := p.WriteFor(2)
 	if !p.Op(w1).IsWrite() || p.Op(w1).Value != 1 {
-		t.Errorf("WriteByValue[1] wrong: %+v", p.Op(w1))
+		t.Errorf("WriteFor(1) wrong: %+v", p.Op(w1))
 	}
 	if len(p.DictatedReads[w1]) != 1 {
 		t.Errorf("write 1 dictated reads = %v, want one", p.DictatedReads[w1])
@@ -347,7 +347,7 @@ func TestNormalizeShortensWrites(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Prepare: %v", err)
 	}
-	w := p.WriteByValue[1]
+	w, _ := p.WriteFor(1)
 	for _, r := range p.DictatedReads[w] {
 		if p.Op(w).Finish >= p.Op(r).Finish {
 			t.Errorf("write finish %d not before read finish %d", p.Op(w).Finish, p.Op(r).Finish)

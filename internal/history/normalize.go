@@ -1,6 +1,9 @@
 package history
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Normalize returns a copy of h transformed to satisfy the repairable
 // assumptions of Section II-C:
@@ -28,15 +31,18 @@ func Normalize(h *History) *History {
 	}
 	rankTimestamps(cp)
 	shortenWrites(cp)
-	rankTimestamps(cp) // compact back to dense distinct ranks
+	compactRanks(cp) // compact back to dense distinct ranks
 	return cp
 }
 
-// endpoint identifies one end of one operation for re-ranking.
+// endpoint identifies one end of one operation for re-ranking. The
+// tie-break fields (endpoint kind, owner ID) are embedded so the sort
+// comparator never chases back into the operation slice.
 type endpoint struct {
 	t       int64
-	isStart bool
+	id      int // owning operation's ID (tie-break)
 	op      int // index into Ops
+	isStart bool
 }
 
 // rankTimestamps rewrites all endpoints to distinct integers 0..2n-1
@@ -44,20 +50,65 @@ type endpoint struct {
 // then starts before finishes, then by operation ID. Degenerate zero-length
 // operations (Start == Finish) become unit-length intervals.
 func rankTimestamps(h *History) {
+	n := len(h.Ops)
+	if n == 0 {
+		return
+	}
+	// Fast path: when the time span is moderate and IDs equal indices (true
+	// for parsed and generated histories; Prepare renumbers this way too),
+	// each endpoint packs into one uint64 — (time-offset, kind bit, op
+	// index) — preserving the exact tie-break order below, and the
+	// specialized ordered-slice sort replaces the struct sort.
+	const idxBits = 21
+	minT, maxT := h.Ops[0].Start, h.Ops[0].Start
+	idsAreIndex := true
+	for i, op := range h.Ops {
+		minT = min(minT, op.Start, op.Finish)
+		maxT = max(maxT, op.Start, op.Finish)
+		if op.ID != i {
+			idsAreIndex = false
+		}
+	}
+	if idsAreIndex && n < 1<<idxBits && uint64(maxT-minT) < 1<<42 {
+		keys := make([]uint64, 0, 2*n)
+		for i, op := range h.Ops {
+			keys = append(keys,
+				uint64(op.Start-minT)<<(idxBits+1)|uint64(i),
+				uint64(op.Finish-minT)<<(idxBits+1)|1<<idxBits|uint64(i))
+		}
+		slices.Sort(keys)
+		for rank, key := range keys {
+			i := int(key & (1<<idxBits - 1))
+			if key>>idxBits&1 == 0 {
+				h.Ops[i].Start = int64(rank)
+			} else {
+				h.Ops[i].Finish = int64(rank)
+			}
+		}
+		return
+	}
+
 	eps := make([]endpoint, 0, 2*len(h.Ops))
 	for i, op := range h.Ops {
-		eps = append(eps, endpoint{t: op.Start, isStart: true, op: i})
-		eps = append(eps, endpoint{t: op.Finish, isStart: false, op: i})
+		eps = append(eps, endpoint{t: op.Start, id: op.ID, op: i, isStart: true})
+		eps = append(eps, endpoint{t: op.Finish, id: op.ID, op: i, isStart: false})
 	}
-	sort.Slice(eps, func(a, b int) bool {
-		x, y := eps[a], eps[b]
-		if x.t != y.t {
-			return x.t < y.t
+	slices.SortFunc(eps, func(x, y endpoint) int {
+		if c := cmp.Compare(x.t, y.t); c != 0 {
+			return c
 		}
 		if x.isStart != y.isStart {
-			return x.isStart // starts rank before finishes at equal time
+			if x.isStart { // starts rank before finishes at equal time
+				return -1
+			}
+			return 1
 		}
-		return h.Ops[x.op].ID < h.Ops[y.op].ID
+		if c := cmp.Compare(x.id, y.id); c != 0 {
+			return c
+		}
+		// Same time, same endpoint kind, same ID only under user-supplied
+		// duplicate IDs; the op index keeps the order total.
+		return cmp.Compare(x.op, y.op)
 	})
 	for rank, ep := range eps {
 		if ep.isStart {
@@ -68,20 +119,63 @@ func rankTimestamps(h *History) {
 	}
 }
 
+// compactRanks re-ranks to dense 0..2n-1 after shortenWrites, whose output
+// timestamps are distinct integers in [0, 4n): a counting pass replaces the
+// sort that general re-ranking needs. (Distinctness: starts and unmodified
+// finishes are doubled ranks, hence even and distinct; shortened finishes
+// are mrf*2-1, odd, and distinct because each value's minimum dictated-read
+// finish is a distinct read finish — except when two writes share a value,
+// a duplicate-value anomaly that makes them share mrf. That collision is
+// detected by the marking pass, which then falls back to the general
+// re-ranking so Normalize still returns distinct timestamps.)
+func compactRanks(h *History) {
+	limit := 4 * len(h.Ops)
+	rank := make([]int32, limit)
+	for _, op := range h.Ops {
+		rank[op.Start] = 1
+		rank[op.Finish] = 1
+	}
+	r := int32(0)
+	for t := range rank {
+		if rank[t] != 0 {
+			rank[t] = r
+			r++
+		}
+	}
+	if int(r) != 2*len(h.Ops) {
+		// Colliding endpoints (duplicate written values): re-rank fully,
+		// which separates every tie deterministically.
+		rankTimestamps(h)
+		return
+	}
+	for i := range h.Ops {
+		h.Ops[i].Start = int64(rank[h.Ops[i].Start])
+		h.Ops[i].Finish = int64(rank[h.Ops[i].Finish])
+	}
+}
+
 // shortenWrites enforces that each write finishes before the minimum finish
 // of its dictated reads. It assumes distinct integer timestamps (having just
 // been ranked): times are doubled so the new finish minReadFinish*2-1 is a
 // fresh odd value, unique per write because read finish times are unique.
 func shortenWrites(h *History) {
-	minReadFinish := make(map[int64]int64)
+	// Sorted (value, finish) pairs of all reads; after sorting, the first
+	// entry of each value run is that value's minimum read finish, and the
+	// runs compact in place into a binary-searchable index.
+	type vf struct{ value, finish int64 }
+	reads := make([]vf, 0, len(h.Ops))
 	for _, op := range h.Ops {
-		if !op.IsRead() {
-			continue
-		}
-		if cur, ok := minReadFinish[op.Value]; !ok || op.Finish < cur {
-			minReadFinish[op.Value] = op.Finish
+		if op.IsRead() {
+			reads = append(reads, vf{op.Value, op.Finish})
 		}
 	}
+	slices.SortFunc(reads, func(a, b vf) int {
+		if c := cmp.Compare(a.value, b.value); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.finish, b.finish)
+	})
+	mins := slices.CompactFunc(reads, func(a, b vf) bool { return a.value == b.value })
 	for i := range h.Ops {
 		h.Ops[i].Start *= 2
 		h.Ops[i].Finish *= 2
@@ -91,10 +185,13 @@ func shortenWrites(h *History) {
 		if !op.IsWrite() {
 			continue
 		}
-		mrf, ok := minReadFinish[op.Value]
+		vi, ok := slices.BinarySearchFunc(mins, op.Value, func(e vf, v int64) int {
+			return cmp.Compare(e.value, v)
+		})
 		if !ok {
 			continue
 		}
+		mrf := mins[vi].finish
 		// Guard against inversion: if some read of this value finishes
 		// before the write even starts, that is a read-before-write
 		// anomaly — leave the write alone and let Prepare report it.

@@ -52,26 +52,61 @@ func parseOp(s string) (Operation, error) {
 	if len(fields) < 4 {
 		return Operation{}, fmt.Errorf("want at least 4 fields (kind value start finish), got %d", len(fields))
 	}
+	return ParseOpParts(fields[0], fields[1:])
+}
+
+// AppendFields splits s on whitespace, appending the fields to dst (usually
+// dst[:0] of a reused buffer). It is strings.Fields without the fresh slice
+// allocation, for streaming parsers.
+func AppendFields(dst []string, s string) []string {
+	for i := 0; i < len(s); {
+		for i < len(s) && asciiSpace(s[i]) {
+			i++
+		}
+		start := i
+		for i < len(s) && !asciiSpace(s[i]) {
+			i++
+		}
+		if i > start {
+			dst = append(dst, s[start:i])
+		}
+	}
+	return dst
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// ParseOpParts parses a single operation from pre-split fields: kind is the
+// "w"/"r" token and args the remaining fields (value, start, finish, then
+// optional attributes). It is the field-level core shared by Parse and the
+// multi-register trace parser, which has a key column in the middle and so
+// cannot hand over a contiguous segment.
+func ParseOpParts(kind string, args []string) (Operation, error) {
+	if len(args) < 3 {
+		return Operation{}, fmt.Errorf("want at least 4 fields (kind value start finish), got %d", len(args)+1)
+	}
 	var op Operation
-	switch fields[0] {
+	switch kind {
 	case "w", "W":
 		op.Kind = KindWrite
 	case "r", "R":
 		op.Kind = KindRead
 	default:
-		return Operation{}, fmt.Errorf("unknown kind %q", fields[0])
+		return Operation{}, fmt.Errorf("unknown kind %q", kind)
 	}
 	var err error
-	if op.Value, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+	if op.Value, err = strconv.ParseInt(args[0], 10, 64); err != nil {
 		return Operation{}, fmt.Errorf("value: %w", err)
 	}
-	if op.Start, err = strconv.ParseInt(fields[2], 10, 64); err != nil {
+	if op.Start, err = strconv.ParseInt(args[1], 10, 64); err != nil {
 		return Operation{}, fmt.Errorf("start: %w", err)
 	}
-	if op.Finish, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+	if op.Finish, err = strconv.ParseInt(args[2], 10, 64); err != nil {
 		return Operation{}, fmt.Errorf("finish: %w", err)
 	}
-	for _, f := range fields[4:] {
+	for _, f := range args[3:] {
 		key, val, ok := strings.Cut(f, "=")
 		if !ok {
 			return Operation{}, fmt.Errorf("malformed attribute %q", f)

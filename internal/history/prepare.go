@@ -1,9 +1,11 @@
 package history
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 )
 
 // Errors reported while preparing a history for verification.
@@ -79,72 +81,145 @@ func (a Anomaly) String() string {
 	return fmt.Sprintf("%s ops=%v", a.Kind, a.OpIDs)
 }
 
+// valueEntry pairs a written value with its write's index; sorted by value
+// (ties by index) it replaces the seed's map[int64]int lookups with binary
+// search over a single contiguous allocation.
+type valueEntry struct {
+	value int64
+	write int
+}
+
+// sortValueEntries orders entries by value, ties by write index, so that a
+// run of duplicates starts at the earliest write.
+func sortValueEntries(vi []valueEntry) {
+	slices.SortFunc(vi, func(a, b valueEntry) int {
+		if c := cmp.Compare(a.value, b.value); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.write, b.write)
+	})
+}
+
+// lookupValue binary-searches the sorted index and returns the position of
+// the first entry for value, or -1. Open-coded (not slices.BinarySearchFunc)
+// because it sits on the per-read hot path of Prepare and FindAnomalies.
+func lookupValue(vi []valueEntry, value int64) int {
+	lo, hi := 0, len(vi)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if vi[mid].value < value {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(vi) && vi[lo].value == value {
+		return lo
+	}
+	return -1
+}
+
 // FindAnomalies scans a history for all assumption violations of
 // Section II-C. Repairable violations (duplicate timestamps, long writes)
 // are fixed by Normalize; the rest make every k-AV answer trivially NO
 // (dangling read, read-before-write) or the input malformed.
 func FindAnomalies(h *History) []Anomaly {
-	var out []Anomaly
-	writeByValue := make(map[int64]int, len(h.Ops))
+	writes := make([]valueEntry, 0, len(h.Ops))
 	for i, op := range h.Ops {
+		if op.IsWrite() {
+			writes = append(writes, valueEntry{op.Value, i})
+		}
+	}
+	sortValueEntries(writes)
+	return findAnomaliesIndexed(h, writes)
+}
+
+// findAnomaliesIndexed is FindAnomalies over a prebuilt sorted write-value
+// index, so Prepare can validate with the index it builds anyway.
+func findAnomaliesIndexed(h *History, writes []valueEntry) []Anomaly {
+	var out []Anomaly
+	for _, op := range h.Ops {
 		if op.Finish <= op.Start {
 			out = append(out, Anomaly{Kind: AnomalyInvertedInterval, OpIDs: []int{op.ID}})
 		}
-		if op.IsWrite() {
-			if j, dup := writeByValue[op.Value]; dup {
-				out = append(out, Anomaly{Kind: AnomalyDuplicateValue, OpIDs: []int{h.Ops[j].ID, op.ID}})
-			} else {
-				writeByValue[op.Value] = i
+	}
+	// A run of equal values in the sorted index marks duplicates.
+	for i := 1; i < len(writes); i++ {
+		if writes[i].value == writes[i-1].value {
+			first := i - 1
+			for first > 0 && writes[first-1].value == writes[i].value {
+				first--
 			}
+			out = append(out, Anomaly{Kind: AnomalyDuplicateValue,
+				OpIDs: []int{h.Ops[writes[first].write].ID, h.Ops[writes[i].write].ID}})
 		}
 	}
-	// Endpoint distinctness.
+	// Endpoint distinctness: duplicates surface as equal neighbors in the
+	// sorted timestamp multiset (a plain int64 sort, the cheapest check);
+	// owners are recovered — one extra pass over the operations, shared by
+	// all duplicated times — only when at least one duplicate exists.
 	times := make([]int64, 0, 2*len(h.Ops))
-	owner := make(map[int64][]int, 2*len(h.Ops))
 	for _, op := range h.Ops {
 		times = append(times, op.Start, op.Finish)
-		owner[op.Start] = append(owner[op.Start], op.ID)
-		owner[op.Finish] = append(owner[op.Finish], op.ID)
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	reported := make(map[int64]bool)
-	for i := 1; i < len(times); i++ {
-		if times[i] == times[i-1] && !reported[times[i]] {
-			reported[times[i]] = true
-			out = append(out, Anomaly{Kind: AnomalyDuplicateTimestamp, OpIDs: owner[times[i]]})
+	slices.Sort(times)
+	var dups []int64 // duplicated times, ascending, unique
+	for i := 1; i < len(times); {
+		if times[i] != times[i-1] {
+			i++
+			continue
+		}
+		t := times[i]
+		for i < len(times) && times[i] == t {
+			i++
+		}
+		dups = append(dups, t)
+	}
+	if len(dups) > 0 {
+		owners := make([][]int, len(dups))
+		collect := func(t int64, id int) {
+			if di, ok := slices.BinarySearch(dups, t); ok {
+				owners[di] = append(owners[di], id)
+			}
+		}
+		for _, op := range h.Ops {
+			collect(op.Start, op.ID)
+			collect(op.Finish, op.ID)
+		}
+		for di := range dups {
+			out = append(out, Anomaly{Kind: AnomalyDuplicateTimestamp, OpIDs: owners[di]})
 		}
 	}
-	// Read/write pairing anomalies.
+	// Read/write pairing anomalies, and per-write minimum dictated-read
+	// finish (for the long-write condition below).
+	minReadFinish := make([]int64, len(writes))
+	for i := range minReadFinish {
+		minReadFinish[i] = math.MaxInt64
+	}
 	for _, op := range h.Ops {
 		if !op.IsRead() {
 			continue
 		}
-		wi, ok := writeByValue[op.Value]
-		if !ok {
+		vi := lookupValue(writes, op.Value)
+		if vi < 0 {
 			out = append(out, Anomaly{Kind: AnomalyDanglingRead, OpIDs: []int{op.ID}})
 			continue
 		}
-		w := h.Ops[wi]
+		w := h.Ops[writes[vi].write]
 		if op.Finish < w.Start {
 			out = append(out, Anomaly{Kind: AnomalyReadBeforeWrite, OpIDs: []int{op.ID, w.ID}})
+		}
+		if op.Finish < minReadFinish[vi] {
+			minReadFinish[vi] = op.Finish
 		}
 	}
 	// Long writes: a write must end before the minimum finish time of its
 	// dictated reads.
-	minReadFinish := make(map[int64]int64)
-	for _, op := range h.Ops {
-		if !op.IsRead() {
-			continue
-		}
-		if cur, ok := minReadFinish[op.Value]; !ok || op.Finish < cur {
-			minReadFinish[op.Value] = op.Finish
-		}
-	}
 	for _, op := range h.Ops {
 		if !op.IsWrite() {
 			continue
 		}
-		if mrf, ok := minReadFinish[op.Value]; ok && op.Finish >= mrf {
+		if vi := lookupValue(writes, op.Value); op.Finish >= minReadFinish[vi] {
 			out = append(out, Anomaly{Kind: AnomalyLongWrite, OpIDs: []int{op.ID}})
 		}
 	}
@@ -161,10 +236,23 @@ type Prepared struct {
 	// Entries for writes are -1.
 	DictatingWrite []int
 	// DictatedReads maps a write's index to the indices of its dictated
-	// reads, in increasing start order. Entries for reads are nil.
+	// reads, in increasing start order. Entries for reads are nil. All
+	// per-write slices share one backing array.
 	DictatedReads [][]int
-	// WriteByValue maps each written value to the write's index.
-	WriteByValue map[int64]int
+	// valueIndex maps written values to write indices, sorted by value for
+	// binary search (see WriteFor).
+	valueIndex []valueEntry
+}
+
+// WriteFor returns the index of the write that stored value, or ok=false if
+// no write did. Prepared histories have unique written values, so the answer
+// is unambiguous.
+func (p *Prepared) WriteFor(value int64) (w int, ok bool) {
+	i := lookupValue(p.valueIndex, value)
+	if i < 0 {
+		return -1, false
+	}
+	return p.valueIndex[i].write, true
 }
 
 // Prepare validates the Section II assumptions, sorts the history by start
@@ -172,9 +260,27 @@ type Prepared struct {
 // modified. Histories that fail validation should be run through Normalize
 // first (for repairable violations) or rejected (for true anomalies).
 func Prepare(h *History) (*Prepared, error) {
-	cp := h.Clone()
+	return prepareSorted(h.Clone())
+}
+
+// PrepareInPlace is Prepare for callers that own h and will not use it
+// afterwards: it sorts h directly instead of cloning it first. Normalize
+// already returns a private copy, so Normalize-then-PrepareInPlace pipelines
+// (the per-key trace hot path) skip one full history copy.
+func PrepareInPlace(h *History) (*Prepared, error) {
+	return prepareSorted(h)
+}
+
+func prepareSorted(cp *History) (*Prepared, error) {
 	cp.SortByStart()
-	for _, a := range FindAnomalies(cp) {
+	valueIndex := make([]valueEntry, 0, len(cp.Ops))
+	for i, op := range cp.Ops {
+		if op.IsWrite() {
+			valueIndex = append(valueIndex, valueEntry{op.Value, i})
+		}
+	}
+	sortValueEntries(valueIndex)
+	for _, a := range findAnomaliesIndexed(cp, valueIndex) {
 		switch a.Kind {
 		case AnomalyDuplicateValue:
 			return nil, fmt.Errorf("%w (ops %v)", ErrDuplicateValue, a.OpIDs)
@@ -190,25 +296,39 @@ func Prepare(h *History) (*Prepared, error) {
 			return nil, fmt.Errorf("%w (op %v)", ErrLongWrite, a.OpIDs)
 		}
 	}
+	n := len(cp.Ops)
 	p := &Prepared{
 		H:              cp,
-		DictatingWrite: make([]int, len(cp.Ops)),
-		DictatedReads:  make([][]int, len(cp.Ops)),
-		WriteByValue:   make(map[int64]int, len(cp.Ops)),
+		DictatingWrite: make([]int, n),
+		DictatedReads:  make([][]int, n),
+		valueIndex:     valueIndex,
 	}
+	// Resolve dictating writes, count reads per write, then carve all
+	// DictatedReads slices out of one flat allocation.
+	counts := make([]int, n)
 	for i, op := range cp.Ops {
 		p.DictatingWrite[i] = -1
-		if op.IsWrite() {
-			p.WriteByValue[op.Value] = i
-		}
-	}
-	for i, op := range cp.Ops {
 		if !op.IsRead() {
 			continue
 		}
-		w := p.WriteByValue[op.Value]
+		w, _ := p.WriteFor(op.Value)
 		p.DictatingWrite[i] = w
-		p.DictatedReads[w] = append(p.DictatedReads[w], i)
+		counts[w]++
+	}
+	flat := make([]int, 0, n-len(valueIndex))
+	for w, c := range counts {
+		if c == 0 {
+			continue
+		}
+		off := len(flat)
+		flat = flat[:off+c]
+		p.DictatedReads[w] = flat[off:off:off+c]
+	}
+	for i, op := range cp.Ops {
+		if op.IsRead() {
+			w := p.DictatingWrite[i]
+			p.DictatedReads[w] = append(p.DictatedReads[w], i)
+		}
 	}
 	return p, nil
 }

@@ -1,0 +1,38 @@
+package history
+
+import (
+	"testing"
+)
+
+func TestCoarseClockAnomalyPerf(t *testing.T) {
+	// 80k ops all sharing a handful of timestamps: FindAnomalies must stay
+	// near-linear (this was O(n^2) briefly).
+	h := &History{}
+	for i := 0; i < 80000; i++ {
+		h.Ops = append(h.Ops, Operation{ID: i, Kind: KindWrite, Value: int64(i),
+			Start: int64(i % 16), Finish: int64(i%16) + 100})
+	}
+	out := FindAnomalies(h)
+	if len(out) == 0 {
+		t.Fatal("expected duplicate-timestamp anomalies")
+	}
+}
+
+func TestNormalizeDuplicateValueTimestampsDistinct(t *testing.T) {
+	// Two writes of the same value share the minimum-read-finish shortening
+	// target; Normalize must still return distinct timestamps.
+	h := MustParse("w 5 0 100; w 5 20 120; r 5 40 50")
+	n := Normalize(h)
+	seen := map[int64]bool{}
+	for _, op := range n.Ops {
+		if seen[op.Start] || seen[op.Finish] {
+			t.Fatalf("duplicate timestamp in normalized history:\n%s", n)
+		}
+		seen[op.Start], seen[op.Finish] = true, true
+	}
+	for _, a := range FindAnomalies(n) {
+		if a.Kind == AnomalyDuplicateTimestamp {
+			t.Fatalf("normalized history has duplicate-timestamp anomaly: %v", a)
+		}
+	}
+}

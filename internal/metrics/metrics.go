@@ -63,9 +63,10 @@ func (d KDistribution) String() string {
 // SmallestKDistribution computes the smallest k of every history in the
 // corpus.
 func SmallestKDistribution(corpus []*history.History, opts core.Options) KDistribution {
+	v := core.NewVerifier()
 	d := KDistribution{Counts: make(map[int]int), Total: len(corpus)}
 	for _, h := range corpus {
-		k, err := core.SmallestK(h, opts)
+		k, err := v.SmallestK(h, opts)
 		if err != nil {
 			d.Errors++
 			continue

@@ -1,51 +1,26 @@
 package metrics
 
 import (
-	"runtime"
-	"sync"
-
 	"kat/internal/core"
 	"kat/internal/history"
 )
 
 // SmallestKDistributionParallel is SmallestKDistribution with a worker pool:
 // each history's smallest-k search is independent, so a corpus verifies
-// embarrassingly parallel. The result is identical to the sequential
-// version regardless of worker count. workers <= 0 uses GOMAXPROCS.
+// embarrassingly parallel. Workers fan out through core.ForEachWorker — one
+// reusable Verifier per worker, results in disjoint slots — so the result
+// is identical to the sequential version regardless of worker count.
+// workers <= 0 uses GOMAXPROCS.
 func SmallestKDistributionParallel(corpus []*history.History, opts core.Options, workers int) KDistribution {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(corpus) {
-		workers = len(corpus)
-	}
-	if workers <= 1 {
-		return SmallestKDistribution(corpus, opts)
-	}
-
-	// results[i] holds history i's smallest k, or 0 on error; workers own
-	// disjoint indices so no locking is needed on the slice.
+	// results[i] holds history i's smallest k, or 0 on error.
 	results := make([]int, len(corpus))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				k, err := core.SmallestK(corpus[i], opts)
-				if err != nil {
-					k = 0
-				}
-				results[i] = k
-			}
-		}()
-	}
-	for i := range corpus {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	core.ForEachWorker(len(corpus), workers, func(v *core.Verifier, i int) {
+		k, err := v.SmallestK(corpus[i], opts)
+		if err != nil {
+			k = 0
+		}
+		results[i] = k
+	})
 
 	d := KDistribution{Counts: make(map[int]int), Total: len(corpus)}
 	for _, k := range results {

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"kat/internal/core"
+	"kat/internal/generator"
+	"kat/internal/history"
+)
+
+// fuzzTrace builds a deterministic multi-key trace with per-key histories of
+// varying staleness depth, plus a few keys carrying true anomalies so the
+// error paths cross the worker pool too.
+func fuzzTrace(t testing.TB, keys int) *Trace {
+	t.Helper()
+	tr := New()
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		if i%97 == 3 {
+			// Anomalous key: a dangling read (no dictating write).
+			tr.Add(key, history.Operation{Kind: history.KindWrite, Value: 1, Start: 0, Finish: 10})
+			tr.Add(key, history.Operation{Kind: history.KindRead, Value: 99, Start: 20, Finish: 30})
+			continue
+		}
+		h := generator.KAtomic(generator.Config{
+			Seed: int64(i), Ops: 20, Concurrency: 2,
+			StalenessDepth: i % 3, ReadFraction: 0.5,
+		})
+		for _, op := range h.Ops {
+			tr.Add(key, op)
+		}
+	}
+	return tr
+}
+
+// reportsEqual compares reports structurally; errors compare by message.
+func reportsEqual(t *testing.T, a, b Report) {
+	t.Helper()
+	if a.K != b.K || len(a.Keys) != len(b.Keys) {
+		t.Fatalf("report shapes differ: K=%d/%d keys=%d/%d", a.K, b.K, len(a.Keys), len(b.Keys))
+	}
+	for i := range a.Keys {
+		x, y := a.Keys[i], b.Keys[i]
+		if x.Key != y.Key || x.Ops != y.Ops || x.Atomic != y.Atomic {
+			t.Errorf("key slot %d differs: %+v vs %+v", i, x, y)
+		}
+		switch {
+		case (x.Err == nil) != (y.Err == nil):
+			t.Errorf("key %s: error presence differs: %v vs %v", x.Key, x.Err, y.Err)
+		case x.Err != nil && x.Err.Error() != y.Err.Error():
+			t.Errorf("key %s: error text differs: %q vs %q", x.Key, x.Err, y.Err)
+		}
+	}
+}
+
+func TestCheckParallelMatchesSequential(t *testing.T) {
+	tr := fuzzTrace(t, 1000)
+	seq := Check(tr, 2, core.Options{})
+	for _, workers := range []int{0, 2, runtime.GOMAXPROCS(0), 64} {
+		par := CheckParallel(tr, 2, core.Options{}, workers)
+		reportsEqual(t, seq, par)
+	}
+	if seq.Atomic() {
+		t.Error("trace with anomalous keys reported atomic")
+	}
+}
+
+func TestSmallestKByKeyParallelMatchesSequential(t *testing.T) {
+	tr := fuzzTrace(t, 300)
+	seq := SmallestKByKey(tr, core.Options{})
+	for _, workers := range []int{0, 3, 64} {
+		par := SmallestKByKeyParallel(tr, core.Options{}, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("map sizes differ: %d vs %d", len(par), len(seq))
+		}
+		for key, k := range seq {
+			if par[key] != k {
+				t.Errorf("workers=%d key %s: k=%d, want %d", workers, key, par[key], k)
+			}
+		}
+	}
+}
+
+func TestCheckParallelMoreWorkersThanKeys(t *testing.T) {
+	tr := fuzzTrace(t, 3)
+	seq := Check(tr, 2, core.Options{})
+	par := CheckParallel(tr, 2, core.Options{}, 32)
+	reportsEqual(t, seq, par)
+}
+
+func TestCheckParallelEmptyTrace(t *testing.T) {
+	rep := CheckParallel(New(), 2, core.Options{}, 8)
+	if !rep.Atomic() || len(rep.Keys) != 0 {
+		t.Errorf("empty trace: %+v", rep)
+	}
+}

@@ -63,31 +63,52 @@ func (t *Trace) SortedKeys() []string {
 
 // Parse reads a multi-register trace from the keyed text format. Lines are
 // newline- or ';'-separated; '#' starts a comment.
+//
+// The parser streams: it walks the text line by line, splits fields into a
+// reused buffer, and parses each operation's fields directly (the seed
+// spliced the key out, re-joined the rest, and ran the full single-register
+// parser per segment, which built a throwaway History for every operation).
 func Parse(text string) (*Trace, error) {
 	t := New()
 	seg := 0
-	for _, line := range strings.Split(text, "\n") {
+	fields := make([]string, 0, 8)
+	for len(text) > 0 {
+		line := text
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			line, text = text[:i], text[i+1:]
+		} else {
+			text = ""
+		}
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
-		for _, part := range strings.Split(line, ";") {
+		for len(line) > 0 {
+			part := line
+			if i := strings.IndexByte(line, ';'); i >= 0 {
+				part, line = line[:i], line[i+1:]
+			} else {
+				line = ""
+			}
 			part = strings.TrimSpace(part)
 			if part == "" {
 				continue
 			}
 			seg++
-			fields := strings.Fields(part)
+			fields = history.AppendFields(fields[:0], part)
 			if len(fields) < 5 {
 				return nil, fmt.Errorf("trace: segment %d (%q): want kind key value start finish", seg, part)
 			}
-			key := fields[1]
-			// Reuse the single-register parser by splicing the key out.
-			single := strings.Join(append([]string{fields[0]}, fields[2:]...), " ")
-			h, err := history.Parse(single)
+			op, err := history.ParseOpParts(fields[0], fields[2:])
 			if err != nil {
-				return nil, fmt.Errorf("trace: segment %d: %w", seg, err)
+				return nil, fmt.Errorf("trace: segment %d (%q): %w", seg, part, err)
 			}
-			t.Add(key, h.Ops[0])
+			key := fields[1]
+			if _, ok := t.Keys[key]; !ok {
+				// First sighting: copy the key so the map does not pin the
+				// whole input text.
+				key = strings.Clone(key)
+			}
+			t.Add(key, op)
 		}
 	}
 	return t, nil
@@ -144,44 +165,74 @@ func (r Report) FailingKeys() []string {
 }
 
 // Check verifies every register at bound k (locality: the trace is k-atomic
-// iff every register is).
+// iff every register is). Keys are verified sequentially with one reused
+// Verifier; use CheckParallel to saturate multiple cores.
 func Check(t *Trace, k int, opts core.Options) Report {
-	rep := Report{K: k}
-	for _, key := range t.SortedKeys() {
+	return CheckParallel(t, k, opts, 1)
+}
+
+// CheckParallel is Check with per-key verification fanned out over a bounded
+// worker pool. workers <= 0 uses GOMAXPROCS. Each worker owns a reusable
+// core.Verifier, and every outcome is written into its key-sorted slot, so
+// the Report is identical to the sequential one regardless of worker count.
+func CheckParallel(t *Trace, k int, opts core.Options, workers int) Report {
+	keys := t.SortedKeys()
+	rep := Report{K: k, Keys: make([]KeyReport, len(keys))}
+	forEachKey(keys, workers, func(v *core.Verifier, i int) {
+		key := keys[i]
 		h := t.Keys[key]
 		kr := KeyReport{Key: key, Ops: h.Len()}
-		r, err := core.Check(h, k, opts)
+		r, err := v.Check(h, k, opts)
 		if err != nil {
 			kr.Err = err
 		} else {
 			kr.Atomic = r.Atomic
 		}
-		rep.Keys = append(rep.Keys, kr)
-	}
+		rep.Keys[i] = kr
+	})
 	return rep
 }
 
 // SmallestKByKey computes the smallest k per register; errors are reported
 // per key (k=0 for failed keys).
 func SmallestKByKey(t *Trace, opts core.Options) map[string]int {
-	out := make(map[string]int, len(t.Keys))
-	for key, h := range t.Keys {
-		k, err := core.SmallestK(h, opts)
+	return SmallestKByKeyParallel(t, opts, 1)
+}
+
+// SmallestKByKeyParallel is SmallestKByKey over a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS); the result is identical to the sequential
+// form for any worker count.
+func SmallestKByKeyParallel(t *Trace, opts core.Options, workers int) map[string]int {
+	keys := t.SortedKeys()
+	results := make([]int, len(keys))
+	forEachKey(keys, workers, func(v *core.Verifier, i int) {
+		k, err := v.SmallestK(t.Keys[keys[i]], opts)
 		if err != nil {
-			out[key] = 0
-			continue
+			k = 0
 		}
-		out[key] = k
+		results[i] = k
+	})
+	out := make(map[string]int, len(keys))
+	for i, key := range keys {
+		out[key] = results[i]
 	}
 	return out
+}
+
+// forEachKey fans fn out over the keys via the shared core.ForEachWorker
+// pool: one Verifier per worker, disjoint result slots, deterministic
+// output. workers <= 0 uses GOMAXPROCS.
+func forEachKey(keys []string, workers int, fn func(v *core.Verifier, i int)) {
+	core.ForEachWorker(len(keys), workers, fn)
 }
 
 // WorstK returns the maximum smallest-k across registers (the trace-level
 // staleness bound) and the key exhibiting it. Keys that fail verification
 // are skipped; ok is false if no key verified.
 func WorstK(t *Trace, opts core.Options) (k int, key string, ok bool) {
+	v := core.NewVerifier()
 	for cand, h := range t.Keys {
-		ck, err := core.SmallestK(h, opts)
+		ck, err := v.SmallestK(h, opts)
 		if err != nil {
 			continue
 		}

@@ -149,21 +149,24 @@ func TestReduceStructure(t *testing.T) {
 	}
 	// Long writes must carry the item sizes as weights.
 	for j, v := range red.ItemValues {
-		w := p.Op(p.WriteByValue[v])
+		wi, _ := p.WriteFor(v)
+		w := p.Op(wi)
 		if w.Weight != bp.Sizes[j] {
 			t.Errorf("item %d weight = %d, want %d", j, w.Weight, bp.Sizes[j])
 		}
-		if len(p.DictatedReads[p.WriteByValue[v]]) != 0 {
+		if len(p.DictatedReads[wi]) != 0 {
 			t.Errorf("long write %d has dictated reads", j)
 		}
 	}
 	// Every short write except the dummy has exactly one read.
 	for i, v := range red.ShortValues[:bp.Bins] {
-		if got := len(p.DictatedReads[p.WriteByValue[v]]); got != 1 {
+		wi, _ := p.WriteFor(v)
+		if got := len(p.DictatedReads[wi]); got != 1 {
 			t.Errorf("short write %d has %d reads, want 1", i, got)
 		}
 	}
-	if got := len(p.DictatedReads[p.WriteByValue[red.ShortValues[bp.Bins]]]); got != 0 {
+	dummy, _ := p.WriteFor(red.ShortValues[bp.Bins])
+	if got := len(p.DictatedReads[dummy]); got != 0 {
 		t.Errorf("dummy write has %d reads, want 0", got)
 	}
 }

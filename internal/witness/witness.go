@@ -11,6 +11,7 @@ package witness
 
 import (
 	"fmt"
+	"math"
 
 	"kat/internal/history"
 )
@@ -19,23 +20,43 @@ import (
 // is valid, and is k-atomic. A nil error means the witness proves
 // k-atomicity.
 func Validate(p *history.Prepared, order []int, k int) error {
-	return validate(p, order, int64(k), false)
+	return validate(p, order, int64(k), false, nil)
+}
+
+// Scratch holds the position/permutation buffers Validate needs, so that
+// repeated validations (e.g. from a reusable Verifier) allocate nothing at
+// steady state. A zero Scratch is ready to use.
+type Scratch struct {
+	pos  []int
+	seen []bool
+}
+
+// ValidateScratch is Validate reusing s's buffers.
+func ValidateScratch(p *history.Prepared, order []int, k int, s *Scratch) error {
+	return validate(p, order, int64(k), false, s)
 }
 
 // ValidateWeighted checks the witness under the weighted semantics of
 // Section V: the total weight of writes from the dictating write (inclusive)
 // to each dictated read is at most bound.
 func ValidateWeighted(p *history.Prepared, order []int, bound int64) error {
-	return validate(p, order, bound, true)
+	return validate(p, order, bound, true, nil)
 }
 
-func validate(p *history.Prepared, order []int, bound int64, weighted bool) error {
+func validate(p *history.Prepared, order []int, bound int64, weighted bool, s *Scratch) error {
 	n := p.Len()
 	if len(order) != n {
 		return fmt.Errorf("witness: order has %d ops, history has %d", len(order), n)
 	}
-	pos := make([]int, n)
-	seen := make([]bool, n)
+	if s == nil {
+		s = &Scratch{}
+	}
+	if len(s.pos) < n {
+		s.pos = make([]int, n)
+		s.seen = make([]bool, n)
+	}
+	pos, seen := s.pos[:n], s.seen[:n]
+	clear(seen)
 	for i, op := range order {
 		if op < 0 || op >= n {
 			return fmt.Errorf("witness: op index %d out of range", op)
@@ -47,18 +68,23 @@ func validate(p *history.Prepared, order []int, bound int64, weighted bool) erro
 		pos[op] = i
 	}
 	// Validity: if a precedes b in real time, a must precede b in the order.
-	// Checked in O(n log n) by sweeping the order and tracking the maximum
-	// finish-time prefix: for each op, every op that finishes before this
-	// op starts must already have been placed. Equivalently, walk ops by
-	// position and verify the running minimum unplaced start exceeds all
-	// earlier finishes; an O(n^2) pairwise check is simpler and n here is a
-	// witness (already small relative to verification cost), so do that.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			a, b := order[i], order[j]
-			if p.Op(b).Precedes(p.Op(a)) {
-				return fmt.Errorf("witness: op %d precedes op %d in time but follows it in the order", b, a)
+	// A violation is a position pair i < j with Op(order[j]).Finish <
+	// Op(order[i]).Start, so it suffices to sweep the order backward
+	// tracking the minimum finish over each suffix and compare it against
+	// every earlier start: O(n), with the offending pair recovered by a
+	// pairwise rescan only on failure.
+	minSuffixFinish := int64(math.MaxInt64)
+	for i := n - 1; i >= 0; i-- {
+		if minSuffixFinish < p.Op(order[i]).Start {
+			for j := i + 1; j < n; j++ {
+				a, b := order[i], order[j]
+				if p.Op(b).Precedes(p.Op(a)) {
+					return fmt.Errorf("witness: op %d precedes op %d in time but follows it in the order", b, a)
+				}
 			}
+		}
+		if f := p.Op(order[i]).Finish; f < minSuffixFinish {
+			minSuffixFinish = f
 		}
 	}
 	// k-atomicity / weighted k-atomicity.

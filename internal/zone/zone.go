@@ -10,7 +10,9 @@
 package zone
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"kat/internal/history"
@@ -59,7 +61,13 @@ func (z Zone) String() string {
 // Zones computes the zone of every cluster in the prepared history, in
 // ascending order of the dictating write's index.
 func Zones(p *history.Prepared) []Zone {
-	var out []Zone
+	return ZonesAppend(p, nil)
+}
+
+// ZonesAppend is Zones appending into buf (reusing its capacity), for
+// allocation-free repeated decompositions.
+func ZonesAppend(p *history.Prepared, buf []Zone) []Zone {
+	out := buf
 	for i, op := range p.H.Ops {
 		if !op.IsWrite() {
 			continue
@@ -200,4 +208,95 @@ func DecomposeZones(zs []Zone) Decomposition {
 		}
 	}
 	return dec
+}
+
+// Scratch holds reusable buffers for DecomposeScratch so that repeated
+// decompositions of same-sized histories perform no allocations once the
+// buffers have grown to steady state.
+type Scratch struct {
+	zones      []Zone
+	fwd, bwd   []Zone
+	fwdMembers []int // flat Chunk.Forward storage, one contiguous run per chunk
+	bwdMembers []int // flat Chunk.Backward storage
+	chunks     []Chunk
+	dangling   []int
+}
+
+// DecomposeScratch is Decompose reusing s's buffers. The returned
+// Decomposition's slices alias s and are valid only until the next call with
+// the same Scratch.
+func DecomposeScratch(p *history.Prepared, s *Scratch) Decomposition {
+	s.zones = ZonesAppend(p, s.zones[:0])
+	s.fwd, s.bwd = s.fwd[:0], s.bwd[:0]
+	for _, z := range s.zones {
+		if z.Forward() {
+			s.fwd = append(s.fwd, z)
+		} else {
+			s.bwd = append(s.bwd, z)
+		}
+	}
+	// Same orders as DecomposeZones (interval.MergeRuns sorts by Lo then Hi;
+	// the write index breaks full ties deterministically).
+	slices.SortFunc(s.fwd, func(a, b Zone) int {
+		if c := cmp.Compare(a.Low(), b.Low()); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.High(), b.High()); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Write, b.Write)
+	})
+	slices.SortFunc(s.bwd, func(a, b Zone) int {
+		if c := cmp.Compare(a.Low(), b.Low()); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Write, b.Write)
+	})
+
+	// Forward members in sorted-by-low order are exactly the chunks' Forward
+	// lists concatenated, so each chunk's list is a subslice of one flat
+	// buffer. Fill the buffer first so no append can move it afterwards.
+	s.fwdMembers = s.fwdMembers[:0]
+	for _, z := range s.fwd {
+		s.fwdMembers = append(s.fwdMembers, z.Write)
+	}
+	s.chunks = s.chunks[:0]
+	runStart := 0
+	for i, z := range s.fwd {
+		if n := len(s.chunks); n > 0 && z.Low() < s.chunks[n-1].Hi {
+			c := &s.chunks[n-1]
+			if z.High() > c.Hi {
+				c.Hi = z.High()
+			}
+			c.Forward = s.fwdMembers[runStart : i+1]
+			continue
+		}
+		runStart = i
+		s.chunks = append(s.chunks, Chunk{Lo: z.Low(), Hi: z.High(), Forward: s.fwdMembers[i : i+1]})
+	}
+
+	// Backward zones are assigned with a forward-only cursor, so each chunk's
+	// assignments are consecutive appends into one flat buffer (dangling
+	// zones go to a separate slice and do not break the runs). Pre-grow the
+	// buffer so extending a chunk's subslice never moves it.
+	s.bwdMembers = slices.Grow(s.bwdMembers[:0], len(s.bwd))
+	s.dangling = s.dangling[:0]
+	ci := 0
+	for _, z := range s.bwd {
+		for ci < len(s.chunks) && s.chunks[ci].Hi < z.Low() {
+			ci++
+		}
+		if ci < len(s.chunks) && s.chunks[ci].Lo <= z.Low() && z.High() <= s.chunks[ci].Hi {
+			s.bwdMembers = append(s.bwdMembers, z.Write)
+			c := &s.chunks[ci]
+			if len(c.Backward) == 0 {
+				c.Backward = s.bwdMembers[len(s.bwdMembers)-1 : len(s.bwdMembers)]
+			} else {
+				c.Backward = c.Backward[:len(c.Backward)+1]
+			}
+		} else {
+			s.dangling = append(s.dangling, z.Write)
+		}
+	}
+	return Decomposition{Chunks: s.chunks, Dangling: s.dangling}
 }

@@ -25,6 +25,15 @@
 // writes shortened per the paper's Section II-C assumptions. True anomalies
 // (a read without a matching write, or a read that finishes before its write
 // starts) are reported as errors.
+//
+// # Throughput
+//
+// Batch callers should hold a Verifier: it owns the scratch arenas of the
+// k=2 FZF hot path, which is allocation-free at steady state when reused
+// across calls. Multi-register traces verify one register per key
+// (k-atomicity is local), and CheckTraceParallel / SmallestKByKeyParallel
+// fan the keys out over a worker pool — one Verifier per worker — with
+// results identical to the sequential forms.
 package kat
 
 import (
@@ -76,7 +85,16 @@ type (
 	Report = core.Report
 	// Algorithm selects a specific verification algorithm.
 	Algorithm = core.Algorithm
+	// Verifier is a reusable verification engine whose scratch buffers
+	// persist across Check/SmallestK calls, making the k=2 hot path
+	// allocation-free at steady state. Not safe for concurrent use; a
+	// Report's Witness is valid only until the next call on the same
+	// Verifier.
+	Verifier = core.Verifier
 )
+
+// NewVerifier returns a reusable verification engine (see Verifier).
+func NewVerifier() *Verifier { return core.NewVerifier() }
 
 // Algorithm choices for Options.Algorithm.
 const (
@@ -230,10 +248,24 @@ func CheckTrace(t *Trace, k int, opts Options) TraceReport {
 	return trace.Check(t, k, opts)
 }
 
+// CheckTraceParallel is CheckTrace with per-key verification fanned out over
+// a bounded worker pool (workers <= 0 uses GOMAXPROCS). The report is
+// identical to CheckTrace's for any worker count.
+func CheckTraceParallel(t *Trace, k int, opts Options, workers int) TraceReport {
+	return trace.CheckParallel(t, k, opts, workers)
+}
+
 // SmallestKByKey computes the smallest k per register (0 marks keys whose
 // verification failed).
 func SmallestKByKey(t *Trace, opts Options) map[string]int {
 	return trace.SmallestKByKey(t, opts)
+}
+
+// SmallestKByKeyParallel is SmallestKByKey over a bounded worker pool
+// (workers <= 0 uses GOMAXPROCS); results are identical to the sequential
+// form.
+func SmallestKByKeyParallel(t *Trace, opts Options, workers int) map[string]int {
+	return trace.SmallestKByKeyParallel(t, opts, workers)
 }
 
 // WorstK returns the largest per-key smallest-k in the trace and the key
