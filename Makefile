@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline
+.PHONY: all build test race vet bench bench-baseline bench-pr2 benchcmp
 
 all: vet build test
 
@@ -22,8 +22,26 @@ bench:
 # Record the hot-path benchmark families so future PRs can track the perf
 # trajectory: BENCH_baseline.txt is benchstat-ready, BENCH_baseline.json
 # wraps the same run with environment metadata.
-BASELINE_BENCHES := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel
+BASELINE_BENCHES := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$
 
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)' -benchmem -count 6 . | tee BENCH_baseline.txt
 	$(GO) run ./scripts/benchjson BENCH_baseline.txt > BENCH_baseline.json
+
+# PR 2 trajectory record: the pinned families plus the 1M-op streaming vs
+# monolithic comparison (throughput, allocs, sampled peak heap, live-op
+# peak).
+bench-pr2:
+	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)|BenchmarkStream1M' -benchmem -count 3 -timeout 30m . | tee BENCH_pr2.txt
+	$(GO) run ./scripts/benchjson BENCH_pr2.txt > BENCH_pr2.json
+
+# Regression gate: rerun the pinned hot-path families (the fast scratch
+# ones — the one-shot FZF sweep is too slow to repeat 1000x) and compare
+# against the committed baseline (normalized time ratios + absolute alloc
+# counts; >30% fails). CI runs this on every push.
+GATE_BENCHES := BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$
+
+benchcmp:
+	$(GO) test -short -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 1000x -benchmem . > bench_current.txt || (cat bench_current.txt; exit 1)
+	cat bench_current.txt
+	$(GO) run ./scripts/benchcmp -baseline BENCH_baseline.json bench_current.txt

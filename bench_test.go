@@ -27,7 +27,11 @@ package kat_test
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"kat/internal/bandwidth"
 	"kat/internal/fzf"
@@ -359,6 +363,131 @@ func BenchmarkTraceCheckParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Streaming verification of the same 1000-key trace the parallel benchmark
+// uses, end to end from text: parse + segment + verify overlapped.
+func BenchmarkStreamCheck(b *testing.B) {
+	text := serializeByStart(buildBigTrace(1000, 40))
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _, err := root.StreamCheckTrace(strings.NewReader(text), 2, root.Options{},
+			root.StreamOptions{})
+		if err != nil || !rep.Atomic() {
+			b.Fatalf("stream check: %v %v", err, rep.FailingKeys())
+		}
+	}
+}
+
+// heapPeak samples HeapAlloc on a ticker so benchmarks can report observed
+// peak heap, not just allocation totals.
+type heapPeak struct {
+	stop, done chan struct{}
+	peak       uint64
+}
+
+func sampleHeapPeak() *heapPeak {
+	h := &heapPeak{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(h.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > h.peak {
+					h.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return h
+}
+
+func (h *heapPeak) finish() uint64 {
+	close(h.stop)
+	<-h.done
+	return h.peak
+}
+
+var stream1M struct {
+	once sync.Once
+	text string
+}
+
+// stream1MText lazily builds a 1M-operation, 100-key trace serialized in
+// arrival order (~25 MB of text). Built once per process, only when the 1M
+// benchmarks actually run.
+func stream1MText() string {
+	stream1M.once.Do(func() {
+		tr := root.NewTrace()
+		for key := 0; key < 100; key++ {
+			h := generator.KAtomic(generator.Config{
+				Seed: int64(key), Ops: 10_000, Concurrency: 3,
+				StalenessDepth: 1, ReadFraction: 0.6,
+			})
+			for _, op := range h.Ops {
+				tr.Add(fmt.Sprintf("key-%03d", key), op)
+			}
+		}
+		stream1M.text = serializeByStart(tr)
+	})
+	return stream1M.text
+}
+
+// The headline streaming claim on a 1M-op trace: verdicts identical to the
+// monolithic engine with peak memory bounded by the open windows. Both
+// variants report sampled peak heap; the stream variant also reports its
+// live-operation peak and the parse position of the first verdict.
+func BenchmarkStream1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-op workload; skipped under -short (CI bench smoke)")
+	}
+	text := stream1MText()
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(int64(len(text)))
+		b.ReportAllocs()
+		var last root.StreamStats
+		runtime.GC()
+		hp := sampleHeapPeak()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, stats, err := root.StreamCheckTrace(strings.NewReader(text), 2,
+				root.Options{}, root.StreamOptions{})
+			if err != nil || !rep.Atomic() {
+				b.Fatalf("stream check: %v %v", err, rep.FailingKeys())
+			}
+			last = stats
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(hp.finish())/(1<<20), "heap-peak-MB")
+		b.ReportMetric(float64(last.PeakBufferedOps), "live-ops-peak")
+		b.ReportMetric(float64(last.FirstVerdictOps)/float64(last.Ops), "first-verdict-frac")
+	})
+	b.Run("monolithic", func(b *testing.B) {
+		b.SetBytes(int64(len(text)))
+		b.ReportAllocs()
+		runtime.GC()
+		hp := sampleHeapPeak()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr, err := root.ParseTraceReader(strings.NewReader(text))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep := root.CheckTraceParallel(tr, 2, root.Options{}, 0); !rep.Atomic() {
+				b.Fatal("rejected")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(hp.finish())/(1<<20), "heap-peak-MB")
+	})
 }
 
 // Multi-register verification throughput (locality dispatch over keys).

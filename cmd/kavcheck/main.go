@@ -6,7 +6,10 @@
 //	kavcheck [flags] [file]
 //
 // The input is the compact text format ("w 1 0 10", "r 1 20 30", one op per
-// line; see package kat) or JSON with -json. Examples:
+// line; see package kat) or JSON with -json; "-" (or no argument) reads
+// standard input. Text inputs stream through a buffered reader, so memory
+// tracks the parsed operations, not the file size — and with -stream the
+// trace is never materialized at all. Examples:
 //
 //	kavcheck -k 2 trace.txt          # is the trace 2-atomic?
 //	kavcheck -smallest trace.txt     # smallest k
@@ -14,6 +17,11 @@
 //	kavcheck -weighted 5 trace.txt   # weighted k-AV (Section V)
 //	kavcheck -k 2 -shrink trace.txt  # minimal violating core on failure
 //	kavcheck -k 2 -keyed -workers 8 trace.txt  # multi-register, 8-way parallel
+//	tail -f ops.log | kavcheck -k 2 -stream -  # streaming pipeline
+//
+// -stream keeps operation buffering bounded by the open segment windows;
+// a per-value index (needed for exact verdicts) still grows with the
+// number of distinct written values.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"kat"
 )
@@ -42,7 +51,9 @@ func run(args []string, out io.Writer) error {
 		doDelta  = fs.Bool("delta", false, "also report the smallest time-staleness bound Δ")
 		props    = fs.Bool("properties", false, "also report Lamport safety and regularity")
 		keyed    = fs.Bool("keyed", false, "input is a multi-register trace (w <key> <value> <start> <finish>)")
-		workers  = fs.Int("workers", 0, "worker pool size for -keyed verification (0 = GOMAXPROCS, 1 = sequential)")
+		stream   = fs.Bool("stream", false, "streaming keyed verification: bounded memory, verdicts before EOF (implies -keyed)")
+		workers  = fs.Int("workers", 0, "worker pool size for -keyed/-stream verification (0 = GOMAXPROCS, 1 = sequential)")
+		horizon  = fs.Int("horizon", 0, "staleness horizon for -stream -smallest (0 = default)")
 		timeline = fs.Bool("timeline", false, "draw the history as an ASCII timeline")
 		showWit  = fs.Bool("witness", false, "print the witness total order on success")
 		doShrink = fs.Bool("shrink", false, "on failure, print a minimized violating history")
@@ -52,6 +63,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *stream {
+		return runStream(fs.Args(), *k, *smallest, *workers, *horizon, out)
+	}
 	if *keyed {
 		return runKeyed(fs.Args(), *k, *workers, out)
 	}
@@ -85,8 +99,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "properties: %s\n", v.Summary())
 	}
 	st := kat.Measure(h)
-	fmt.Fprintf(out, "history: %d ops (%d writes, %d reads), max write concurrency %d\n",
-		st.Ops, st.Writes, st.Reads, st.MaxConcurrentWrites)
+	fmt.Fprintf(out, "history: %d ops (%d writes, %d reads), max write concurrency %d, forced staleness >= %d\n",
+		st.Ops, st.Writes, st.Reads, st.MaxConcurrentWrites, st.ForcedStaleness)
 
 	if *smallest {
 		kMin, err := kat.SmallestK(h, kat.Options{})
@@ -146,34 +160,30 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runKeyed verifies a multi-register trace per key, fanning the keys out
-// over a worker pool.
-func runKeyed(args []string, k, workers int, out io.Writer) error {
-	var r io.Reader = os.Stdin
-	if len(args) > 0 {
-		f, err := os.Open(args[0])
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		r = f
+// openInput resolves the positional argument: a path, or "-" / nothing for
+// standard input.
+func openInput(args []string) (io.ReadCloser, error) {
+	if len(args) == 0 || args[0] == "-" {
+		return io.NopCloser(os.Stdin), nil
 	}
-	data, err := io.ReadAll(r)
+	return os.Open(args[0])
+}
+
+// runKeyed verifies a materialized multi-register trace per key, fanning
+// the keys out over a worker pool. The input streams through a buffered
+// parser (no whole-file read).
+func runKeyed(args []string, k, workers int, out io.Writer) error {
+	in, err := openInput(args)
 	if err != nil {
 		return err
 	}
-	tr, err := kat.ParseTrace(string(data))
+	defer in.Close()
+	tr, err := kat.ParseTraceReader(in)
 	if err != nil {
 		return err
 	}
 	rep := kat.CheckTraceParallel(tr, k, kat.Options{}, workers)
-	for _, kr := range rep.Keys {
-		status := fmt.Sprintf("%d-atomic: %v", k, kr.Atomic)
-		if kr.Err != nil {
-			status = "error: " + kr.Err.Error()
-		}
-		fmt.Fprintf(out, "key %-12s %4d ops  %s\n", kr.Key, kr.Ops, status)
-	}
+	printKeyed(out, rep, k)
 	if !rep.Atomic() {
 		return fmt.Errorf("trace is not %d-atomic (failing keys: %v)", k, rep.FailingKeys())
 	}
@@ -181,28 +191,98 @@ func runKeyed(args []string, k, workers int, out io.Writer) error {
 	return nil
 }
 
-func readHistory(args []string, asJSON bool) (*kat.History, error) {
-	var r io.Reader = os.Stdin
-	if len(args) > 0 {
-		f, err := os.Open(args[0])
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		r = f
+// runStream verifies a keyed trace straight from the input reader: memory
+// stays bounded by the open segment windows and per-segment verdicts land
+// while the input is still being consumed.
+func runStream(args []string, k int, smallest bool, workers, horizon int, out io.Writer) error {
+	in, err := openInput(args)
+	if err != nil {
+		return err
 	}
-	data, err := io.ReadAll(r)
+	defer in.Close()
+	sopts := kat.StreamOptions{Workers: workers, Horizon: horizon}
+
+	if smallest {
+		ks, stats, err := kat.StreamSmallestKByKey(in, kat.Options{}, sopts)
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(ks))
+		for key := range ks {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		var failing []string
+		for _, key := range keys {
+			fmt.Fprintf(out, "key %-12s smallest k: %d\n", key, ks[key])
+			if ks[key] == 0 {
+				failing = append(failing, key)
+			}
+		}
+		printStreamStats(out, stats)
+		if stats.SaturatedKeys > 0 {
+			fmt.Fprintf(out, "note: %d key(s) exceeded the staleness horizon; their k is a lower bound (raise -horizon)\n",
+				stats.SaturatedKeys)
+		}
+		if len(failing) > 0 {
+			return fmt.Errorf("smallest-k verification failed for keys: %v", failing)
+		}
+		return nil
+	}
+
+	rep, stats, err := kat.StreamCheckTrace(in, k, kat.Options{}, sopts)
+	if err != nil {
+		return err
+	}
+	printKeyed(out, rep, k)
+	printStreamStats(out, stats)
+	if !rep.Atomic() {
+		return fmt.Errorf("trace is not %d-atomic (failing keys: %v)", k, rep.FailingKeys())
+	}
+	fmt.Fprintf(out, "trace: all %d keys are %d-atomic\n", len(rep.Keys), k)
+	return nil
+}
+
+func printKeyed(out io.Writer, rep kat.TraceReport, k int) {
+	for _, kr := range rep.Keys {
+		status := fmt.Sprintf("%d-atomic: %v", k, kr.Atomic)
+		if kr.Err != nil {
+			status = "error: " + kr.Err.Error()
+		}
+		fmt.Fprintf(out, "key %-12s %4d ops  %s\n", kr.Key, kr.Ops, status)
+	}
+}
+
+func printStreamStats(out io.Writer, st kat.StreamStats) {
+	fmt.Fprintf(out, "stream: %d ops over %d keys in %d segments (%d merged back), peak window %d ops, peak live %d ops\n",
+		st.Ops, st.Keys, st.Segments, st.Merges, st.MaxOpenOps, st.PeakBufferedOps)
+	if st.FirstVerdictOps > 0 && st.Ops > 0 {
+		fmt.Fprintf(out, "stream: first verdict after %d ops (%.1f%% of input)\n",
+			st.FirstVerdictOps, 100*float64(st.FirstVerdictOps)/float64(st.Ops))
+	}
+	if st.StaleReads > 0 {
+		fmt.Fprintf(out, "stream: %d read(s) crossed dispatched segments\n", st.StaleReads)
+	}
+}
+
+func readHistory(args []string, asJSON bool) (*kat.History, error) {
+	in, err := openInput(args)
 	if err != nil {
 		return nil, err
 	}
+	defer in.Close()
 	if asJSON {
+		data, err := io.ReadAll(in)
+		if err != nil {
+			return nil, err
+		}
 		var h kat.History
 		if err := h.UnmarshalJSON(data); err != nil {
 			return nil, err
 		}
 		return &h, nil
 	}
-	return kat.Parse(string(data))
+	return kat.ParseReader(in)
 }
 
 func printWitness(out io.Writer, rep kat.Report) {

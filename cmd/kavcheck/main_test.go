@@ -177,6 +177,56 @@ func TestCheckKeyedWorkers(t *testing.T) {
 	}
 }
 
+func TestCheckStream(t *testing.T) {
+	path := writeTemp(t, "w x 1 0 10\nw y 1 5 15\nr x 1 20 30\nw y 2 25 35\nr y 1 45 55\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "2", "-stream", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"all 2 keys are 2-atomic", "stream: 5 ops over 2 keys"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	out.Reset()
+	if err := run([]string{"-k", "1", "-stream", path}, &out); err == nil {
+		t.Error("k=1 stream check should fail (key y is stale)")
+	}
+}
+
+func TestCheckStreamSmallest(t *testing.T) {
+	path := writeTemp(t, "w x 1 0 10\nr x 1 20 30\nw y 1 5 15\nw y 2 25 35\nr y 1 45 55\n")
+	var out strings.Builder
+	if err := run([]string{"-stream", "-smallest", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "key y            smallest k: 2") {
+		t.Errorf("smallest-k rows missing:\n%s", got)
+	}
+}
+
+func TestCheckStdinDash(t *testing.T) {
+	// "-" routes to os.Stdin; redirect it to a file for the test.
+	path := writeTemp(t, "w 1 0 10\nr 1 20 30\n")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	old := os.Stdin
+	os.Stdin = f
+	defer func() { os.Stdin = old }()
+	var out strings.Builder
+	if err := run([]string{"-k", "1", "-"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1-atomic: true") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
 func TestCheckPropertiesFlag(t *testing.T) {
 	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nr 1 40 50\n")
 	var out strings.Builder

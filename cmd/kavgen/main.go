@@ -6,6 +6,11 @@
 //	kavgen -kind katomic -ops 1000 -depth 1 -concurrency 4 > trace.txt
 //	kavgen -kind random -ops 200 -seed 7 > fuzz.txt
 //	kavgen -kind katomic -ops 500 -inject 0.3 -inject-depth 3 > stale.txt
+//	kavgen -keys 64 -ops 1000 -depth 1 | kavcheck -k 2 -stream -
+//
+// With -keys N the output is a keyed multi-register trace, one generated
+// register per key, serialized in operation arrival order — ready to pipe
+// into the streaming verifier.
 package main
 
 import (
@@ -38,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		forceDepth  = fs.Bool("force-depth", false, "force at least one read at exactly -depth")
 		inject      = fs.Float64("inject", 0, "fraction of reads to redirect to older writes")
 		injectDepth = fs.Int("inject-depth", 1, "how many writes back injected reads go")
+		keys        = fs.Int("keys", 0, "emit a keyed trace with this many registers (-ops each), in arrival order")
 		asJSON      = fs.Bool("json", false, "emit JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -48,19 +54,46 @@ func run(args []string, out io.Writer) error {
 		Seed: *seed, Ops: *ops, Concurrency: *conc,
 		ReadFraction: *readFrac, StalenessDepth: *depth, ForceDepth: *forceDepth,
 	}
-	var h *kat.History
-	switch *kind {
-	case "katomic":
-		h = kat.GenerateKAtomic(cfg)
-	case "random":
-		h = kat.GenerateRandom(cfg)
-	case "trap":
-		h = kat.GenerateLBTTrap(*chain, *goods)
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+	generate := func(cfg kat.GenConfig) (*kat.History, error) {
+		var h *kat.History
+		switch *kind {
+		case "katomic":
+			h = kat.GenerateKAtomic(cfg)
+		case "random":
+			h = kat.GenerateRandom(cfg)
+		case "trap":
+			h = kat.GenerateLBTTrap(*chain, *goods)
+		default:
+			return nil, fmt.Errorf("unknown kind %q", *kind)
+		}
+		if *inject > 0 {
+			h = kat.InjectStaleness(h, cfg.Seed+1, *inject, *injectDepth)
+		}
+		return h, nil
 	}
-	if *inject > 0 {
-		h = kat.InjectStaleness(h, *seed+1, *inject, *injectDepth)
+
+	if *keys > 0 {
+		if *asJSON {
+			return fmt.Errorf("-keys and -json are mutually exclusive")
+		}
+		tr := kat.NewTrace()
+		for i := 0; i < *keys; i++ {
+			kcfg := cfg
+			kcfg.Seed = *seed + int64(i)
+			h, err := generate(kcfg)
+			if err != nil {
+				return err
+			}
+			for _, op := range h.Ops {
+				tr.Add(fmt.Sprintf("key-%04d", i), op)
+			}
+		}
+		return kat.WriteTraceArrivalOrder(out, tr)
+	}
+
+	h, err := generate(cfg)
+	if err != nil {
+		return err
 	}
 	if *asJSON {
 		data, err := h.MarshalJSON()
@@ -70,6 +103,6 @@ func run(args []string, out io.Writer) error {
 		_, err = out.Write(append(data, '\n'))
 		return err
 	}
-	_, err := io.WriteString(out, h.String())
+	_, err = io.WriteString(out, h.String())
 	return err
 }

@@ -89,3 +89,29 @@ func TestGenTrap(t *testing.T) {
 		t.Error("trap history should not be 2-atomic")
 	}
 }
+
+func TestGenerateKeyedTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-keys", "5", "-ops", "30", "-depth", "1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tr, err := kat.ParseTrace(out.String())
+	if err != nil {
+		t.Fatalf("keyed output does not parse: %v", err)
+	}
+	if len(tr.Keys) != 5 {
+		t.Fatalf("got %d keys, want 5", len(tr.Keys))
+	}
+	// Arrival order: the streaming verifier must accept the output.
+	rep, _, err := kat.StreamCheckTrace(strings.NewReader(out.String()), 2,
+		kat.Options{}, kat.StreamOptions{})
+	if err != nil {
+		t.Fatalf("StreamCheckTrace: %v", err)
+	}
+	if !rep.Atomic() {
+		t.Fatalf("generated depth-1 trace not 2-atomic: %v", rep.FailingKeys())
+	}
+	if err := run([]string{"-keys", "2", "-json"}, &out); err == nil {
+		t.Error("-keys -json accepted")
+	}
+}

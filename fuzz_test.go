@@ -1,6 +1,7 @@
 package kat_test
 
 import (
+	"strings"
 	"testing"
 
 	"kat"
@@ -49,6 +50,89 @@ func FuzzCheckersAgree(f *testing.F) {
 				text, want.Atomic, lbtRep.Atomic, fzfRep.Atomic)
 		}
 		// CheckPrepared already witness-validates positive answers.
+	})
+}
+
+// serializeByStart renders a trace in global start order — the arrival
+// order the streaming engine requires (nondecreasing starts per key).
+func serializeByStart(tr *kat.Trace) string {
+	var b strings.Builder
+	if err := kat.WriteTraceArrivalOrder(&b, tr); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// FuzzStreamTraceEquivalence feeds arbitrary keyed traces (canonicalized to
+// the start-ordered arrival the stream engine requires) to both the
+// monolithic and the streaming checkers and fails on any verdict
+// divergence: per-key Atomic flags, op counts, error presence, and — when
+// no key out-reaches the staleness horizon — the smallest-k maps.
+func FuzzStreamTraceEquivalence(f *testing.F) {
+	seeds := []string{
+		"w a 1 0 10; r a 1 20 30; w b 1 5 15",
+		"w a 1 0 10; w a 2 20 30; r a 1 40 50",
+		"w a 1 0 10; w a 2 20 30; w a 3 40 50; r a 1 60 70",
+		"w a 1 0 10; r a 9 20 30",
+		"r a 5 0 10; w a 5 20 30",
+		"w a 1 0 10; w a 2 20 30; w a 1 40 50",
+		"w a 9 0 100; w a 1 5 15; w a 2 20 30; r a 1 40 50",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := kat.ParseTrace(text)
+		if err != nil || tr.Len() == 0 || tr.Len() > 120 || len(tr.Keys) > 12 {
+			return
+		}
+		canon := serializeByStart(tr)
+		tr, err = kat.ParseTraceReader(strings.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical trace rejected: %v", err)
+		}
+		// MinSegmentOps 1 cuts at every quiescent instant, driving the
+		// cut/merge/deque/cross-boundary machinery on every input (the
+		// default of 128 would never cut on these <=120-op traces); the
+		// second config covers the default whole-window batching.
+		for _, k := range []int{1, 2} {
+			mono := kat.CheckTraceParallel(tr, k, kat.Options{}, 1)
+			for _, minSeg := range []int{1, 0} {
+				rep, _, err := kat.StreamCheckTrace(strings.NewReader(canon), k, kat.Options{},
+					kat.StreamOptions{Workers: 2, MinSegmentOps: minSeg})
+				if err != nil {
+					t.Fatalf("k=%d minSeg=%d: StreamCheckTrace: %v (%q)", k, minSeg, err, canon)
+				}
+				if len(rep.Keys) != len(mono.Keys) {
+					t.Fatalf("k=%d: key counts differ (%q)", k, canon)
+				}
+				for i := range mono.Keys {
+					m, s := mono.Keys[i], rep.Keys[i]
+					if m.Key != s.Key || m.Ops != s.Ops || m.Atomic != s.Atomic ||
+						(m.Err == nil) != (s.Err == nil) {
+						t.Fatalf("k=%d minSeg=%d key %s: monolithic %+v vs stream %+v (%q)",
+							k, minSeg, m.Key, m, s, canon)
+					}
+				}
+			}
+		}
+		if tr.Len() > 60 {
+			return // keep the k>=3 oracle out of fuzz hot loops
+		}
+		monoK := kat.SmallestKByKeyParallel(tr, kat.Options{}, 1)
+		gotK, stats, err := kat.StreamSmallestKByKey(strings.NewReader(canon), kat.Options{},
+			kat.StreamOptions{Workers: 2, MinSegmentOps: 1})
+		if err != nil {
+			t.Fatalf("StreamSmallestKByKey: %v (%q)", err, canon)
+		}
+		if stats.SaturatedKeys > 0 {
+			return // beyond-horizon reads are documented as lower bounds
+		}
+		for key, k := range monoK {
+			if gotK[key] != k {
+				t.Fatalf("key %s: stream k=%d, monolithic k=%d (%q)", key, gotK[key], k, canon)
+			}
+		}
 	})
 }
 

@@ -27,8 +27,9 @@ import (
 // Report's Witness is valid only until the next call on the same Verifier.
 // Copy it (or use the one-shot package functions) if it must outlive that.
 type Verifier struct {
-	fzf fzf.Scratch
-	wit witness.Scratch
+	fzf  fzf.Scratch
+	wit  witness.Scratch
+	prep history.PrepareScratch
 }
 
 // NewVerifier returns a fresh engine.
@@ -84,6 +85,49 @@ func (v *Verifier) Check(h *history.History, k int, opts Options) (Report, error
 		return Report{}, fmt.Errorf("core: %w", err)
 	}
 	return v.CheckPrepared(p, k, opts)
+}
+
+// CheckOwned is Check for callers that own h and will not use it afterwards:
+// normalization rewrites h in place and the prepared index reuses the
+// Verifier's scratch buffers, so a stream of segment checks allocates no
+// fresh index per segment at steady state. The Report's Prepared (and
+// Witness) alias the Verifier and are valid only until its next call.
+func (v *Verifier) CheckOwned(h *history.History, k int, opts Options) (Report, error) {
+	if k < 1 {
+		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	p, err := v.prepareOwned(h)
+	if err != nil {
+		return Report{}, err
+	}
+	return v.CheckPrepared(p, k, opts)
+}
+
+// SmallestKOwned is SmallestK for owned histories (see CheckOwned).
+func (v *Verifier) SmallestKOwned(h *history.History, opts Options) (int, error) {
+	p, err := v.prepareOwned(h)
+	if err != nil {
+		return 0, err
+	}
+	return v.SmallestKPrepared(p, opts)
+}
+
+// ScanOwned normalizes and prepares an owned history purely for anomaly
+// detection, returning the error Prepare would report (nil when the history
+// satisfies the model assumptions). The streaming engine uses it to keep
+// scanning segments of keys whose verdict is already settled, so anomaly
+// reporting matches the monolithic checkers.
+func (v *Verifier) ScanOwned(h *history.History) error {
+	_, err := v.prepareOwned(h)
+	return err
+}
+
+func (v *Verifier) prepareOwned(h *history.History) (*history.Prepared, error) {
+	p, err := history.PrepareInPlaceScratch(history.NormalizeInPlace(h), &v.prep)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return p, nil
 }
 
 // CheckPrepared is Check for histories already normalized and prepared.
@@ -163,20 +207,29 @@ func (v *Verifier) SmallestK(h *history.History, opts Options) (int, error) {
 	return v.SmallestKPrepared(p, opts)
 }
 
-// SmallestKPrepared is SmallestK for prepared histories.
+// SmallestKPrepared is SmallestK for prepared histories. After the cheap
+// k=1 probe, the search starts from the forced-staleness lower bound
+// (writes pinned between a read and its dictating write by real time
+// alone), so deeply stale histories skip the k=2 probe and binary-search a
+// tighter range.
 func (v *Verifier) SmallestKPrepared(p *history.Prepared, opts Options) (int, error) {
 	if p.Len() == 0 {
 		return 1, nil
 	}
+	// Probe k=1 before paying for the lower bound: healthy workloads are
+	// mostly 1-atomic and the zone test is allocation-light.
 	if ok, _ := zone.Check1Atomic(p); ok {
 		return 1, nil
 	}
-	if res := fzf.CheckScratch(p, &v.fzf); res.Atomic {
-		return 2, nil
+	lb := history.ForcedStaleness(p)
+	if lb <= 2 {
+		if res := fzf.CheckScratch(p, &v.fzf); res.Atomic {
+			return 2, nil
+		}
 	}
-	// Binary search in [3, writes]; monotone because a k-atomic order is
-	// also (k+1)-atomic.
-	lo, hi := 3, p.H.Writes()
+	// Binary search in [max(3, lb), writes]; monotone because a k-atomic
+	// order is also (k+1)-atomic.
+	lo, hi := max(3, lb), p.H.Writes()
 	if hi < lo {
 		hi = lo
 	}

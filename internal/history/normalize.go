@@ -23,16 +23,23 @@ import (
 //
 // The returned history is k-atomic if and only if the input is, for every k.
 func Normalize(h *History) *History {
-	cp := h.Clone()
-	for i := range cp.Ops {
-		if cp.Ops[i].ID == 0 {
-			cp.Ops[i].ID = i
+	return NormalizeInPlace(h.Clone())
+}
+
+// NormalizeInPlace is Normalize for callers that own h and will not use the
+// raw operations afterwards: it rewrites h's timestamps directly instead of
+// cloning first, and returns h. The streaming segment pipeline normalizes
+// every closed segment this way, saving one full copy per segment.
+func NormalizeInPlace(h *History) *History {
+	for i := range h.Ops {
+		if h.Ops[i].ID == 0 {
+			h.Ops[i].ID = i
 		}
 	}
-	rankTimestamps(cp)
-	shortenWrites(cp)
-	compactRanks(cp) // compact back to dense distinct ranks
-	return cp
+	rankTimestamps(h)
+	shortenWrites(h)
+	compactRanks(h) // compact back to dense distinct ranks
+	return h
 }
 
 // endpoint identifies one end of one operation for re-ranking. The

@@ -1,7 +1,9 @@
 package history
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 )
@@ -15,13 +17,32 @@ import (
 // Blank segments and '#' comments are ignored. Operation IDs are assigned in
 // input order.
 func Parse(text string) (*History, error) {
+	return ParseReader(strings.NewReader(text))
+}
+
+// ParseReader is Parse over an io.Reader: input streams through a buffered
+// line scanner, so memory is proportional to the parsed operations rather
+// than the raw text plus the operations. Use it for file and stdin inputs.
+func ParseReader(r io.Reader) (*History, error) {
 	var ops []Operation
 	seg := 0
-	for _, line := range strings.Split(text, "\n") {
+	sc := bufio.NewScanner(r)
+	// The whole history may legally sit on one ';'-separated line, so the
+	// line cap is a backstop, not a real format limit; the buffer only
+	// grows to the longest line actually seen.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<30)
+	for sc.Scan() {
+		line := sc.Text()
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
 		}
-		for _, part := range strings.Split(line, ";") {
+		for len(line) > 0 {
+			part := line
+			if i := strings.IndexByte(line, ';'); i >= 0 {
+				part, line = line[:i], line[i+1:]
+			} else {
+				line = ""
+			}
 			part = strings.TrimSpace(part)
 			if part == "" {
 				continue
@@ -34,6 +55,9 @@ func Parse(text string) (*History, error) {
 			op.ID = len(ops)
 			ops = append(ops, op)
 		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("history: %w", err)
 	}
 	return &History{Ops: ops}, nil
 }

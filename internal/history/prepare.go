@@ -260,7 +260,7 @@ func (p *Prepared) WriteFor(value int64) (w int, ok bool) {
 // modified. Histories that fail validation should be run through Normalize
 // first (for repairable violations) or rejected (for true anomalies).
 func Prepare(h *History) (*Prepared, error) {
-	return prepareSorted(h.Clone())
+	return prepareSorted(h.Clone(), nil)
 }
 
 // PrepareInPlace is Prepare for callers that own h and will not use it
@@ -268,18 +268,56 @@ func Prepare(h *History) (*Prepared, error) {
 // already returns a private copy, so Normalize-then-PrepareInPlace pipelines
 // (the per-key trace hot path) skip one full history copy.
 func PrepareInPlace(h *History) (*Prepared, error) {
-	return prepareSorted(h)
+	return prepareSorted(h, nil)
 }
 
-func prepareSorted(cp *History) (*Prepared, error) {
+// PrepareScratch holds the index buffers PrepareInPlaceScratch reuses, so
+// that preparing a stream of similar-sized histories (the per-segment hot
+// path) stops allocating once the buffers reach steady state.
+type PrepareScratch struct {
+	p          Prepared
+	dictating  []int
+	dictated   [][]int
+	valueIndex []valueEntry
+	counts     []int
+	flat       []int
+}
+
+// PrepareInPlaceScratch is PrepareInPlace reusing s's buffers. The returned
+// Prepared aliases s and is valid only until the next call with the same
+// Scratch.
+func PrepareInPlaceScratch(h *History, s *PrepareScratch) (*Prepared, error) {
+	return prepareSorted(h, s)
+}
+
+// intsFor returns buf resized to n reusing its capacity; fresh entries (and
+// reused ones) are NOT zeroed.
+func intsFor(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func prepareSorted(cp *History, s *PrepareScratch) (*Prepared, error) {
+	if s == nil {
+		// One-shot path: a fresh scratch per call keeps the returned
+		// Prepared independent while sharing the code below.
+		s = &PrepareScratch{}
+	}
 	cp.SortByStart()
-	valueIndex := make([]valueEntry, 0, len(cp.Ops))
+	n := len(cp.Ops)
+	if cap(s.valueIndex) < n {
+		s.valueIndex = make([]valueEntry, 0, n)
+	}
+	valueIndex := s.valueIndex[:0]
 	for i, op := range cp.Ops {
 		if op.IsWrite() {
 			valueIndex = append(valueIndex, valueEntry{op.Value, i})
 		}
 	}
 	sortValueEntries(valueIndex)
+	s.valueIndex = valueIndex
 	for _, a := range findAnomaliesIndexed(cp, valueIndex) {
 		switch a.Kind {
 		case AnomalyDuplicateValue:
@@ -296,16 +334,25 @@ func prepareSorted(cp *History) (*Prepared, error) {
 			return nil, fmt.Errorf("%w (op %v)", ErrLongWrite, a.OpIDs)
 		}
 	}
-	n := len(cp.Ops)
-	p := &Prepared{
+	s.dictating = intsFor(s.dictating, n)
+	if cap(s.dictated) < n {
+		s.dictated = make([][]int, n)
+	} else {
+		s.dictated = s.dictated[:n]
+		clear(s.dictated)
+	}
+	s.counts = intsFor(s.counts, n)
+	clear(s.counts)
+	p := &s.p
+	*p = Prepared{
 		H:              cp,
-		DictatingWrite: make([]int, n),
-		DictatedReads:  make([][]int, n),
+		DictatingWrite: s.dictating,
+		DictatedReads:  s.dictated,
 		valueIndex:     valueIndex,
 	}
 	// Resolve dictating writes, count reads per write, then carve all
 	// DictatedReads slices out of one flat allocation.
-	counts := make([]int, n)
+	counts := s.counts
 	for i, op := range cp.Ops {
 		p.DictatingWrite[i] = -1
 		if !op.IsRead() {
@@ -315,7 +362,10 @@ func prepareSorted(cp *History) (*Prepared, error) {
 		p.DictatingWrite[i] = w
 		counts[w]++
 	}
-	flat := make([]int, 0, n-len(valueIndex))
+	if cap(s.flat) < n-len(valueIndex) {
+		s.flat = make([]int, 0, n-len(valueIndex))
+	}
+	flat := s.flat[:0]
 	for w, c := range counts {
 		if c == 0 {
 			continue
@@ -324,6 +374,7 @@ func prepareSorted(cp *History) (*Prepared, error) {
 		flat = flat[:off+c]
 		p.DictatedReads[w] = flat[off:off:off+c]
 	}
+	s.flat = flat
 	for i, op := range cp.Ops {
 		if op.IsRead() {
 			w := p.DictatingWrite[i]

@@ -1,0 +1,133 @@
+package history
+
+import (
+	"cmp"
+	"slices"
+)
+
+// ForcedStaleness returns a cheap lower bound on the smallest k for which
+// the prepared history can be k-atomic: 1 plus the maximum, over all reads,
+// of the number of writes that are forced between the read's dictating
+// write and the read by real time alone — writes that start after the
+// dictating write finishes and finish before the read starts. Every total
+// order consistent with the "precedes" partial order places all such writes
+// between the pair, so the read's staleness is at least that count + 1 in
+// any witness.
+//
+// Histories with no reads return 1. The bound is exact when operations are
+// totally ordered in real time and never exceeds the true smallest k.
+// Verifier.SmallestKPrepared starts its upward search here instead of
+// always probing k=1,2,3,...
+//
+// Cost: O(n log n) — one sweep over writes ordered by start with a Fenwick
+// tree counting write finish ranks.
+func ForcedStaleness(p *Prepared) int {
+	writes := make([]span, 0, len(p.valueIndex))
+	for _, op := range p.H.Ops {
+		if op.IsWrite() {
+			writes = append(writes, span{op.Start, op.Finish})
+		}
+	}
+	queries := make([]span, 0, p.Len()-len(writes))
+	for i, op := range p.H.Ops {
+		if !op.IsRead() {
+			continue
+		}
+		w := p.DictatingWrite[i]
+		// (after, before): count writes with Start > after && Finish < before.
+		queries = append(queries, span{p.Op(w).Finish, op.Start})
+	}
+	return 1 + maxForcedBetween(writes, queries)
+}
+
+// span is a half-open query or write interval for the forced-between sweep;
+// for writes it is (Start, Finish), for queries (after, before).
+type span struct{ a, b int64 }
+
+// maxForcedBetween returns the maximum, over queries, of the number of
+// writes with Start > q.a and Finish < q.b. Writes are consumed in
+// descending start order while queries are served in descending q.a order;
+// a Fenwick tree over finish ranks answers the Finish < q.b prefix counts.
+func maxForcedBetween(writes, queries []span) int {
+	if len(writes) == 0 || len(queries) == 0 {
+		return 0
+	}
+	finishes := make([]int64, len(writes))
+	for i, w := range writes {
+		finishes[i] = w.b
+	}
+	slices.Sort(finishes)
+	byStart := make([]span, len(writes))
+	copy(byStart, writes)
+	slices.SortFunc(byStart, func(x, y span) int { return cmp.Compare(y.a, x.a) })
+	qs := make([]span, len(queries))
+	copy(qs, queries)
+	slices.SortFunc(qs, func(x, y span) int { return cmp.Compare(y.a, x.a) })
+
+	tree := make(fenwick, len(finishes))
+	best, wi := 0, 0
+	for _, q := range qs {
+		for wi < len(byStart) && byStart[wi].a > q.a {
+			r, _ := slices.BinarySearch(finishes, byStart[wi].b)
+			tree.add(r)
+			wi++
+		}
+		// Count inserted finishes strictly below q.b.
+		r, _ := slices.BinarySearch(finishes, q.b)
+		if n := tree.sum(r - 1); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// fenwick is a 0-based binary indexed tree over counts.
+type fenwick []int
+
+func (f fenwick) add(i int) {
+	for ; i < len(f); i |= i + 1 {
+		f[i]++
+	}
+}
+
+// sum returns the count over ranks [0, i]; i < 0 yields 0.
+func (f fenwick) sum(i int) int {
+	s := 0
+	for ; i >= 0; i = i&(i+1) - 1 {
+		s += f[i]
+	}
+	return s
+}
+
+// forcedStalenessRaw is the Measure-side variant over a raw, possibly
+// anomalous history: reads resolve their dictating write through a sorted
+// value index, and unresolved reads are skipped. It reports on the
+// un-normalized timestamps, so it may undercount relative to
+// ForcedStaleness on the normalized history (normalization only shortens
+// writes); it is informational, not a verification input.
+func forcedStalenessRaw(h *History) int {
+	writes := make([]valueEntry, 0, len(h.Ops))
+	spans := make([]span, 0, len(h.Ops))
+	for i, op := range h.Ops {
+		if op.IsWrite() {
+			writes = append(writes, valueEntry{op.Value, i})
+			spans = append(spans, span{op.Start, op.Finish})
+		}
+	}
+	if len(spans) == 0 {
+		return 1
+	}
+	sortValueEntries(writes)
+	queries := make([]span, 0, len(h.Ops)-len(spans))
+	for _, op := range h.Ops {
+		if !op.IsRead() {
+			continue
+		}
+		vi := lookupValue(writes, op.Value)
+		if vi < 0 {
+			continue
+		}
+		queries = append(queries, span{h.Ops[writes[vi].write].Finish, op.Start})
+	}
+	return 1 + maxForcedBetween(spans, queries)
+}

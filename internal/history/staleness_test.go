@@ -1,0 +1,175 @@
+package history_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kat/internal/core"
+	"kat/internal/generator"
+	"kat/internal/history"
+)
+
+// On sequential (non-overlapping) histories the forced-staleness bound is
+// exact: a read redirected d writes back has exactly d forced writes in
+// between.
+func TestForcedStalenessExactWhenSequential(t *testing.T) {
+	for depth := 0; depth < 4; depth++ {
+		h := generator.KAtomic(generator.Config{
+			Seed: int64(depth), Ops: 200, Concurrency: 1,
+			StalenessDepth: depth, ForceDepth: true, ReadFraction: 0.5,
+		})
+		p, err := history.Prepare(h)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		if got, want := history.ForcedStaleness(p), depth+1; got != want {
+			t.Errorf("depth %d: ForcedStaleness=%d, want %d", depth, got, want)
+		}
+	}
+}
+
+// The bound must never exceed the true smallest k.
+func TestForcedStalenessIsLowerBound(t *testing.T) {
+	v := core.NewVerifier()
+	for seed := int64(0); seed < 30; seed++ {
+		h := generator.KAtomic(generator.Config{
+			Seed: seed, Ops: 120, Concurrency: 1 + int(seed%5),
+			StalenessDepth: int(seed % 4), ReadFraction: 0.6,
+		})
+		if seed%3 == 0 {
+			h = generator.InjectStaleness(h, seed, 0.3, 1+int(seed%3))
+		}
+		p, err := history.Prepare(history.Normalize(h))
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		lb := history.ForcedStaleness(p)
+		k, err := v.SmallestKPrepared(p, core.Options{})
+		if err != nil {
+			t.Fatalf("SmallestKPrepared: %v", err)
+		}
+		if lb > k {
+			t.Errorf("seed %d: ForcedStaleness=%d exceeds smallest k=%d", seed, lb, k)
+		}
+		if lb < 1 {
+			t.Errorf("seed %d: ForcedStaleness=%d < 1", seed, lb)
+		}
+	}
+}
+
+func TestForcedStalenessEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		want int
+	}{
+		{"w 1 0 10", 1},                                   // no reads
+		{"w 1 0 10; r 1 20 30", 1},                        // fresh read
+		{"w 1 0 10; w 2 20 30; r 1 40 50", 2},             // one forced write
+		{"w 1 0 10; w 2 20 30; w 3 40 50; r 1 60 70", 3},  // two forced writes
+		{"w 1 0 10; w 2 5 15; r 1 20 30", 1},              // concurrent writes force nothing
+		{"w 1 0 10; w 2 20 30; r 1 25 40; r 2 50 60", 1},  // read overlaps the newer write
+	} {
+		p, err := history.Prepare(history.Normalize(history.MustParse(tc.text)))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.text, err)
+		}
+		if got := history.ForcedStaleness(p); got != tc.want {
+			t.Errorf("%q: ForcedStaleness=%d, want %d", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestMeasureReportsForcedStaleness(t *testing.T) {
+	h := history.MustParse("w 1 0 10; w 2 20 30; w 3 40 50; r 1 60 70")
+	if got := history.Measure(h).ForcedStaleness; got != 3 {
+		t.Errorf("Measure.ForcedStaleness=%d, want 3", got)
+	}
+	// Dangling reads are skipped, not fatal.
+	h = history.MustParse("r 9 0 10; w 1 20 30")
+	if got := history.Measure(h).ForcedStaleness; got != 1 {
+		t.Errorf("anomalous Measure.ForcedStaleness=%d, want 1", got)
+	}
+}
+
+// PrepareInPlaceScratch must produce the same index as Prepare, across
+// reuses of one scratch by differently-sized histories.
+func TestPrepareInPlaceScratchMatchesPrepare(t *testing.T) {
+	var s history.PrepareScratch
+	for seed := int64(0); seed < 12; seed++ {
+		h := generator.KAtomic(generator.Config{
+			Seed: seed, Ops: 30 + int(seed*17)%120, Concurrency: 1 + int(seed%4),
+			StalenessDepth: int(seed % 3),
+		})
+		want, err := history.Prepare(h)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		got, err := history.PrepareInPlaceScratch(h.Clone(), &s)
+		if err != nil {
+			t.Fatalf("PrepareInPlaceScratch: %v", err)
+		}
+		if !reflect.DeepEqual(want.H.Ops, got.H.Ops) {
+			t.Fatalf("seed %d: ops differ", seed)
+		}
+		if !reflect.DeepEqual(want.DictatingWrite, got.DictatingWrite) {
+			t.Fatalf("seed %d: DictatingWrite differs", seed)
+		}
+		if len(want.DictatedReads) != len(got.DictatedReads) {
+			t.Fatalf("seed %d: DictatedReads length differs", seed)
+		}
+		for i := range want.DictatedReads {
+			a, b := want.DictatedReads[i], got.DictatedReads[i]
+			if len(a) != len(b) || (len(a) > 0 && !reflect.DeepEqual(a, b)) {
+				t.Fatalf("seed %d: DictatedReads[%d] differs: %v vs %v", seed, i, a, b)
+			}
+		}
+	}
+}
+
+func TestPrepareInPlaceScratchReportsAnomalies(t *testing.T) {
+	var s history.PrepareScratch
+	h := history.MustParse("w 1 0 10; r 2 20 30")
+	if _, err := history.PrepareInPlaceScratch(history.NormalizeInPlace(h), &s); err == nil {
+		t.Fatal("dangling read not reported")
+	}
+	// The scratch must still work after an error.
+	ok := history.MustParse("w 1 0 10; r 1 20 30")
+	p, err := history.PrepareInPlaceScratch(history.NormalizeInPlace(ok), &s)
+	if err != nil || p.Len() != 2 {
+		t.Fatalf("scratch unusable after error: %v", err)
+	}
+}
+
+func TestNormalizeInPlaceMatchesNormalize(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		h := generator.Random(generator.Config{Seed: seed, Ops: 60, Concurrency: 3})
+		want := history.Normalize(h)
+		cp := h.Clone()
+		got := history.NormalizeInPlace(cp)
+		if got != cp {
+			t.Fatal("NormalizeInPlace did not return its argument")
+		}
+		if !reflect.DeepEqual(want.Ops, got.Ops) {
+			t.Fatalf("seed %d: NormalizeInPlace diverges from Normalize", seed)
+		}
+	}
+}
+
+func TestParseReaderMatchesParse(t *testing.T) {
+	text := "# header\nw 1 0 10; r 1 20 30\n\nw 2 40 50 weight=3 # trailing\nr 2 60 70 client=4\n"
+	want, err := history.Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	got, err := history.ParseReader(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseReader: %v", err)
+	}
+	if !reflect.DeepEqual(want.Ops, got.Ops) {
+		t.Fatalf("ParseReader diverges:\n%v\nvs\n%v", want.Ops, got.Ops)
+	}
+	if _, err := history.ParseReader(strings.NewReader("w 1 0")); err == nil {
+		t.Fatal("short operation not rejected")
+	}
+}

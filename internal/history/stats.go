@@ -17,6 +17,11 @@ type Stats struct {
 	// MaxConcurrentOps is the maximum number of operation intervals
 	// (reads and writes) overlapping at any single point in time.
 	MaxConcurrentOps int
+	// ForcedStaleness is a lower bound on the history's smallest k: 1 plus
+	// the maximum number of writes forced by real time between any read and
+	// its dictating write (see ForcedStaleness). Reads that resolve to no
+	// write are skipped.
+	ForcedStaleness int
 	// Span is the time from the earliest start to the latest finish.
 	Span int64
 }
@@ -54,6 +59,7 @@ func Measure(h *History) Stats {
 	}
 	st.MaxConcurrentWrites = sweepMax(writeEvents)
 	st.MaxConcurrentOps = sweepMax(allEvents)
+	st.ForcedStaleness = forcedStalenessRaw(h)
 	st.Span = maxFinish - minStart
 	return st
 }

@@ -1,0 +1,801 @@
+package trace
+
+// Streaming segmented verification.
+//
+// The monolithic checkers materialize a whole trace before the first
+// verification step runs, so peak memory and time-to-first-verdict are both
+// O(trace). This file verifies a trace from an io.Reader in O(open-window)
+// memory instead, by cutting each register's history at *safe cut points*
+// and dispatching every closed segment to a verifier pool while parsing
+// continues.
+//
+// A cut between a prefix A and a suffix B of one register's history is safe
+// when (see zone.SafeCut for the offline form):
+//
+//	(a) quiescence: every operation in A finishes before every operation
+//	    in B starts, and
+//	(b) value-closedness: no read in B returns a value written in A.
+//
+// Segment-equivalence lemma: if every cut is safe, the history is k-atomic
+// iff every segment is, for every k — and smallest-k(H) = max over segments
+// of smallest-k(S). Proof sketch: (a) forces any total order consistent
+// with real time to concatenate per-segment orders, and (b) keeps each
+// read's dictating write inside the read's own segment, so the writes
+// between a dictating write and its read in the concatenated order are
+// exactly the writes between them in that segment's order. Restriction and
+// concatenation of witnesses therefore preserve k-atomicity in both
+// directions. (TestCutsPreserveSmallestK checks this directly.)
+//
+// Streaming discovers (a) online: provided each key's operations arrive in
+// nondecreasing start order (the natural order of an operation log; see
+// ErrOutOfOrder), the moment an arriving operation starts after the maximum
+// finish time of the open window, a quiescent cut is committed. (b) cannot
+// be known in advance — a read a million operations later may still return
+// a value from the segment just closed — so closed segments are held in a
+// small per-key deque and dispatched only once at least `threshold` writes
+// have closed behind them (threshold = k for fixed-k checks, the staleness
+// horizon for smallest-k). Then:
+//
+//   - a read returning a value from a deque segment merges that segment
+//     (and everything after it) back into the closing one — the union is
+//     still a validly closed segment, and the joint constraint is decided
+//     exactly by the verifier;
+//   - a read returning a value from an already-dispatched segment has, by
+//     construction, at least `threshold` writes forced between its
+//     dictating write and itself in every valid total order, so for a
+//     fixed-k check it is a definitive violation (staleness > k) with no
+//     joint reasoning needed. For smallest-k it yields a lower bound
+//     (the key is reported at that floor and counted in
+//     Stats.SaturatedKeys — raise StreamOptions.Horizon for exactness on
+//     deeper-stale traces).
+//
+// Memory: per key, the open window plus at most `threshold` writes' worth
+// of closed segments, plus two index structures that are never pruned —
+// one map entry per distinct written value (the value index that
+// classifies reads and detects cross-segment duplicate writes; dropping
+// entries would misreport a deep stale read as a dangling-read anomaly)
+// and one cumulative write count per closed segment. The operation
+// buffers dominate on bounded traces and are recycled through a pool once
+// segments verify; on unbounded streams with ever-fresh values the value
+// index is the asymptotic term, and MaxBufferedOps caps only the
+// operation buffering.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kat/internal/core"
+	"kat/internal/history"
+	"kat/internal/zone"
+)
+
+// Stream input errors.
+var (
+	// ErrOutOfOrder reports an operation that starts at or before a cut
+	// that was already committed for its key. The streaming engine requires
+	// each key's operations to arrive in nondecreasing start order across
+	// quiescent gaps (arbitrary interleaving within an open window is
+	// fine); an operation log sorted by invocation time satisfies this.
+	ErrOutOfOrder = errors.New("trace: operation starts at or before a committed cut")
+	// ErrBufferLimit reports that the live operation buffer exceeded
+	// StreamOptions.MaxBufferedOps (the trace has no quiescent cuts within
+	// the budget).
+	ErrBufferLimit = errors.New("trace: buffered operations exceed MaxBufferedOps")
+)
+
+// errStopped aborts parsing after an early exit; it never escapes.
+var errStopped = errors.New("trace: stream stopped")
+
+// DefaultHorizon is the smallest-k dispatch horizon when
+// StreamOptions.Horizon is zero: a closed segment is verified (and its
+// operations released) once this many writes have closed behind it.
+const DefaultHorizon = 256
+
+// DefaultMinSegmentOps is the segment batching floor when
+// StreamOptions.MinSegmentOps is zero. Cutting at every quiescent instant
+// is sound but drowns the pipeline in tiny segments; since the
+// segment-equivalence lemma holds for any subset of safe cuts, the open
+// window instead accumulates at least this many operations before the next
+// quiescent instant commits a cut.
+const DefaultMinSegmentOps = 128
+
+// StreamOptions tunes the streaming engine.
+type StreamOptions struct {
+	// Workers sizes the verification pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Horizon is the smallest-k dispatch horizon in writes (see
+	// DefaultHorizon). Fixed-k checks ignore it and use k itself: a read
+	// reaching past k closed writes is already a definitive violation.
+	Horizon int
+	// MinSegmentOps is the minimum open-window size before a quiescent
+	// instant commits a cut (see DefaultMinSegmentOps; use 1 to cut at
+	// every quiescent instant). Verdicts are identical for any value —
+	// only segment granularity, and so pipelining overhead versus peak
+	// memory, changes.
+	MinSegmentOps int
+	// MaxBufferedOps caps the live operations (open windows + held
+	// segments + in-flight verification) across all keys; 0 means no cap.
+	// Exceeding it fails the stream with ErrBufferLimit.
+	MaxBufferedOps int
+	// StopOnViolation stops parsing as soon as any key's verdict turns
+	// negative (early exit); the report then covers only the consumed
+	// prefix and Stats.Stopped is set.
+	StopOnViolation bool
+	// OnSegment, when non-nil, is invoked from verification workers after
+	// each segment verdict. Callbacks may run concurrently.
+	OnSegment func(SegmentVerdict)
+}
+
+// SegmentVerdict is the outcome of one verified segment.
+type SegmentVerdict struct {
+	// Key is the register the segment belongs to.
+	Key string
+	// Seq is the first segment sequence number covered (merged segments
+	// span several).
+	Seq int
+	// Ops is the segment length.
+	Ops int
+	// Atomic is the fixed-k verdict (true for anomaly-scan-only segments
+	// of already-settled keys).
+	Atomic bool
+	// K is the segment's smallest k in smallest-k mode (0 otherwise).
+	K int
+	// Err is the segment's anomaly error, if any.
+	Err error
+}
+
+// StreamStats describes a finished (or stopped) streaming run.
+type StreamStats struct {
+	// Ops and Keys count parsed operations and distinct registers.
+	Ops  int64
+	Keys int
+	// Segments counts dispatched segments; Merges counts deque segments
+	// merged back into a closing one by a backward-reaching read.
+	Segments int64
+	Merges   int64
+	// MaxOpenOps is the largest single open window observed.
+	MaxOpenOps int
+	// PeakBufferedOps is the maximum number of live operations observed
+	// (open windows + held segments + in-flight verification) — the
+	// engine's working-set bound, compared to Ops for a monolithic run.
+	PeakBufferedOps int64
+	// StaleReads counts reads that returned values from already-dispatched
+	// segments (definitive violations for fixed-k checks; lower-bound
+	// floors for smallest-k).
+	StaleReads int64
+	// SaturatedKeys counts keys whose smallest-k is only a lower bound
+	// because a read reached past the horizon.
+	SaturatedKeys int
+	// FirstVerdictOps is the parse position (in operations) when the first
+	// segment verdict landed; 0 if no verdict arrived before the end.
+	FirstVerdictOps int64
+	// Stopped reports an early exit via StopOnViolation.
+	Stopped bool
+}
+
+// ParseStream reads the keyed text format from r and invokes emit for every
+// operation in input order, without materializing the input or the trace:
+// memory is one line plus whatever emit retains. Returning an error from
+// emit aborts the parse with that error.
+func ParseStream(r io.Reader, emit func(key string, op history.Operation) error) error {
+	return parseStreamBytes(r, func(key []byte, op history.Operation) error {
+		return emit(string(key), op)
+	})
+}
+
+// parseStreamBytes is the allocation-lean core of ParseStream: the key
+// reaches emit as a view into the line buffer, valid only during the call,
+// which lets the engine do map lookups without a per-operation string.
+func parseStreamBytes(r io.Reader, emit func(key []byte, op history.Operation) error) error {
+	sc := bufio.NewScanner(r)
+	// A trace may legally sit on one ';'-separated line, so the cap is a
+	// backstop; the buffer only grows to the longest line actually seen.
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<30)
+	seg := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if i := bytes.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for len(line) > 0 {
+			part := line
+			if i := bytes.IndexByte(line, ';'); i >= 0 {
+				part, line = line[:i], line[i+1:]
+			} else {
+				line = nil
+			}
+			part = bytes.TrimSpace(part)
+			if len(part) == 0 {
+				continue
+			}
+			seg++
+			key, op, err := parseKeyedOp(part)
+			if err != nil {
+				return fmt.Errorf("trace: segment %d (%q): %w", seg, part, err)
+			}
+			if err := emit(key, op); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// parseKeyedOp parses one "kind key value start finish [attr=N]..." segment
+// from raw bytes. The common five-field form parses without allocating;
+// attribute-bearing or otherwise unusual segments fall back to the shared
+// string-based field parser for identical semantics and errors.
+func parseKeyedOp(part []byte) ([]byte, history.Operation, error) {
+	var f [6][]byte
+	n := 0
+	for i := 0; i < len(part); {
+		for i < len(part) && asciiSpace(part[i]) {
+			i++
+		}
+		st := i
+		for i < len(part) && !asciiSpace(part[i]) {
+			i++
+		}
+		if i > st {
+			if n == len(f) {
+				return parseKeyedOpSlow(part)
+			}
+			f[n] = part[st:i]
+			n++
+		}
+	}
+	if n < 5 {
+		return nil, history.Operation{}, errors.New("want kind key value start finish")
+	}
+	if n > 5 || len(f[0]) != 1 {
+		return parseKeyedOpSlow(part)
+	}
+	var op history.Operation
+	switch f[0][0] {
+	case 'w', 'W':
+		op.Kind = history.KindWrite
+	case 'r', 'R':
+		op.Kind = history.KindRead
+	default:
+		return parseKeyedOpSlow(part)
+	}
+	var ok bool
+	if op.Value, ok = parseI64(f[2]); !ok {
+		return parseKeyedOpSlow(part)
+	}
+	if op.Start, ok = parseI64(f[3]); !ok {
+		return parseKeyedOpSlow(part)
+	}
+	if op.Finish, ok = parseI64(f[4]); !ok {
+		return parseKeyedOpSlow(part)
+	}
+	return f[1], op, nil
+}
+
+// parseKeyedOpSlow handles attributes and malformed input through the same
+// field parser the non-streaming Parse uses.
+func parseKeyedOpSlow(part []byte) ([]byte, history.Operation, error) {
+	fields := history.AppendFields(nil, string(part))
+	if len(fields) < 5 {
+		return nil, history.Operation{}, errors.New("want kind key value start finish")
+	}
+	op, err := history.ParseOpParts(fields[0], fields[2:])
+	if err != nil {
+		return nil, history.Operation{}, err
+	}
+	return []byte(fields[1]), op, nil
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// parseI64 is a minimal decimal parser for the hot path; anything it cannot
+// handle (including overflow) defers to the strconv-based slow path.
+func parseI64(b []byte) (int64, bool) {
+	i, neg := 0, false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		i++
+	}
+	if i == len(b) || len(b)-i > 18 {
+		return 0, false
+	}
+	var v int64
+	for ; i < len(b); i++ {
+		c := b[i] - '0'
+		if c > 9 {
+			return 0, false
+		}
+		v = v*10 + int64(c)
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// ParseReader reads a whole multi-register trace from r through the
+// streaming parser, so memory is proportional to the operations rather than
+// the raw text plus the operations. Use it for file and stdin inputs.
+func ParseReader(r io.Reader) (*Trace, error) {
+	t := New()
+	err := parseStreamBytes(r, func(key []byte, op history.Operation) error {
+		h, ok := t.Keys[string(key)]
+		if !ok {
+			h = &history.History{}
+			t.Keys[string(key)] = h
+		}
+		op.ID = h.Len()
+		h.Ops = append(h.Ops, op)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// StreamCheck verifies every register of the trace read from r at bound k,
+// with parse, segmentation, and verification overlapped: closed segments
+// dispatch to a worker pool while parsing continues, so verdicts start
+// landing before the input is fully consumed and peak memory is bounded by
+// the open windows (see the package comment for the cut rules). The report
+// is identical to CheckParallel on the same trace for any worker count,
+// provided the input satisfies the arrival-order requirement (else
+// ErrOutOfOrder).
+func StreamCheck(r io.Reader, k int, opts core.Options, sopts StreamOptions) (Report, StreamStats, error) {
+	if k < 1 {
+		return Report{}, StreamStats{}, fmt.Errorf("trace: k must be >= 1, got %d", k)
+	}
+	e := newEngine(modeCheck, k, k, opts, sopts)
+	err := e.run(r)
+	rep := Report{K: k}
+	for _, ks := range e.sortedKeys() {
+		rep.Keys = append(rep.Keys, KeyReport{
+			Key:    ks.key,
+			Ops:    ks.ops,
+			Atomic: ks.err == nil && ks.atomic,
+			Err:    ks.err,
+		})
+	}
+	return rep, e.finalStats(), err
+}
+
+// StreamSmallestKByKey computes each register's smallest k from a streamed
+// trace: per the segment-equivalence lemma the answer is the maximum
+// segment smallest-k, accumulated as segments verify. Keys that fail
+// verification report 0, like SmallestKByKey. Keys with reads staler than
+// the horizon report a lower bound and are counted in Stats.SaturatedKeys.
+func StreamSmallestKByKey(r io.Reader, opts core.Options, sopts StreamOptions) (map[string]int, StreamStats, error) {
+	horizon := sopts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	e := newEngine(modeSmallestK, 0, horizon, opts, sopts)
+	err := e.run(r)
+	out := make(map[string]int, len(e.keys))
+	for _, ks := range e.keys {
+		switch {
+		case ks.err != nil:
+			out[ks.key] = 0
+		default:
+			out[ks.key] = max(1, ks.maxK, ks.kFloor)
+		}
+	}
+	return out, e.finalStats(), err
+}
+
+type streamMode int
+
+const (
+	modeCheck streamMode = iota
+	modeSmallestK
+)
+
+// closedSeg is a quiescence-closed, not-yet-dispatched segment.
+type closedSeg struct {
+	loSeq, hiSeq int
+	ops          []history.Operation
+	writes       int
+}
+
+// keyState is one register's accumulator plus its verdict aggregation.
+// The parser goroutine owns everything above mu; workers only touch the
+// fields below it (under mu) and the settled flag.
+type keyState struct {
+	key             string
+	seq             int // sequence number of the open segment
+	open            []history.Operation
+	openWrites      int
+	openMaxFinish   int64
+	maxClosedFinish int64 // committed cut time (max finish of all closed ops)
+	closedAny       bool
+	deque           []closedSeg
+	dequeWrites     int
+	dispatchedThrough int   // highest dispatched seq, -1 initially
+	values          map[int64]int32 // written value -> writer segment seq
+	cumWrites       []int64         // cumWrites[s] = closed writes through seq s's close
+	totalClosed     int64
+	ops             int
+
+	settled atomic.Bool
+
+	mu     sync.Mutex
+	atomic bool
+	err    error
+	errSeq int
+	maxK   int
+	kFloor int
+	saturated bool
+}
+
+type job struct {
+	ks       *keyState
+	seq      int
+	ops      []history.Operation
+	scanOnly bool
+}
+
+type engine struct {
+	mode      streamMode
+	k         int
+	threshold int
+	minSeg    int
+	opts      core.Options
+	sopts     StreamOptions
+
+	keys map[string]*keyState
+	jobs chan job
+	wg   sync.WaitGroup
+	pool sync.Pool
+
+	stop      atomic.Bool
+	parseDone atomic.Bool
+	buffered  atomic.Int64
+	opsParsed atomic.Int64
+
+	// Parser-side stats (single goroutine).
+	parsed       int64
+	merges       int64
+	segments     int64
+	maxOpen      int
+	peakBuffered int64
+	stopped      bool
+
+	// Worker-side stats.
+	staleReads   atomic.Int64
+	firstVerdict atomic.Int64
+}
+
+func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts StreamOptions) *engine {
+	workers := sopts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	minSeg := sopts.MinSegmentOps
+	if minSeg <= 0 {
+		minSeg = DefaultMinSegmentOps
+	}
+	e := &engine{
+		mode:      mode,
+		k:         k,
+		threshold: threshold,
+		minSeg:    minSeg,
+		opts:      opts,
+		sopts:     sopts,
+		keys:      make(map[string]*keyState),
+		jobs:      make(chan job, 2*workers),
+	}
+	e.pool.New = func() any { return []history.Operation(nil) }
+	for w := 0; w < workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+func (e *engine) run(r io.Reader) error {
+	err := parseStreamBytes(r, e.add)
+	e.parseDone.Store(true)
+	if errors.Is(err, errStopped) {
+		e.stopped = true
+		err = nil
+	} else if err == nil {
+		for _, ks := range e.keys {
+			e.flush(ks)
+		}
+	}
+	close(e.jobs)
+	e.wg.Wait()
+	return err
+}
+
+// add is the per-operation entry point (parser goroutine). The key is a
+// view into the line buffer; the no-copy map lookup makes the hot path
+// allocation-free, and only a first sighting clones it.
+func (e *engine) add(key []byte, op history.Operation) error {
+	if e.stop.Load() {
+		return errStopped
+	}
+	ks := e.keys[string(key)]
+	if ks == nil {
+		ks = &keyState{
+			key:               string(key),
+			maxClosedFinish:   math.MinInt64,
+			dispatchedThrough: -1,
+			values:            make(map[int64]int32),
+			atomic:            true,
+		}
+		e.keys[ks.key] = ks
+	}
+	ks.ops++
+	e.parsed++
+	e.opsParsed.Store(e.parsed)
+	if op.Finish < op.Start {
+		// Normalization repairs zero-length operations but not truly
+		// inverted ones; report incrementally, since the operation may
+		// later be dropped as a cross-boundary stale read and so never
+		// reach a segment verifier.
+		seq := ks.seq
+		e.settle(ks, func() {
+			if ks.err == nil || seq < ks.errSeq {
+				ks.err = fmt.Errorf("core: %w (op %q on key %q)",
+					history.ErrInvertedInterval, op.String(), ks.key)
+				ks.errSeq = seq
+			}
+		})
+	}
+	if ks.closedAny && op.Start <= ks.maxClosedFinish {
+		return fmt.Errorf("%w (key %q, op %q, cut at %d)", ErrOutOfOrder, ks.key, op.String(), ks.maxClosedFinish)
+	}
+	if len(ks.open) >= e.minSeg && zone.Quiescent(ks.openMaxFinish, op.Start) {
+		e.closeOpen(ks)
+	}
+	if ks.open == nil {
+		ks.open = e.pool.Get().([]history.Operation)
+	}
+	op.ID = len(ks.open)
+	ks.open = append(ks.open, op)
+	if len(ks.open) == 1 || op.Finish > ks.openMaxFinish {
+		ks.openMaxFinish = op.Finish
+	}
+	if op.IsWrite() {
+		if _, dup := ks.values[op.Value]; dup {
+			e.settle(ks, func() {
+				if ks.err == nil || ks.seq < ks.errSeq {
+					ks.err = fmt.Errorf("core: %w (value %d written twice on key %q)",
+						history.ErrDuplicateValue, op.Value, ks.key)
+					ks.errSeq = ks.seq
+				}
+			})
+		} else {
+			ks.values[op.Value] = int32(ks.seq)
+		}
+		ks.openWrites++
+	}
+	if n := len(ks.open); n > e.maxOpen {
+		e.maxOpen = n
+	}
+	if cur := e.buffered.Add(1); cur > e.peakBuffered {
+		e.peakBuffered = cur
+		if e.sopts.MaxBufferedOps > 0 && cur > int64(e.sopts.MaxBufferedOps) {
+			return fmt.Errorf("%w (%d live ops; largest open window %d)", ErrBufferLimit, cur, e.maxOpen)
+		}
+	}
+	return nil
+}
+
+// closeOpen commits the quiescent cut before the arriving operation:
+// classifies the closing segment's reads against the value index, merges
+// back any deque segments a read refers into, records the close in the
+// cumulative write counts, and dispatches every deque segment that now has
+// at least `threshold` writes closed behind it.
+func (e *engine) closeOpen(ks *keyState) {
+	ops, writes := ks.open, ks.openWrites
+	ks.open, ks.openWrites = nil, 0
+	ks.maxClosedFinish = ks.openMaxFinish
+	ks.closedAny = true
+
+	// Classify reads: in-segment (seq match), deque (merge back), or
+	// dispatched (cross-boundary staleness; drop the read — its verdict
+	// contribution is recorded here, and leaving it would misreport a
+	// dangling read).
+	mergeFrom := -1
+	kept := ops[:0]
+	for _, op := range ops {
+		if op.IsRead() {
+			if s, ok := ks.values[op.Value]; ok && int(s) != ks.seq {
+				if int(s) > ks.dispatchedThrough {
+					if mergeFrom < 0 || int(s) < mergeFrom {
+						mergeFrom = int(s)
+					}
+				} else {
+					e.crossBoundaryRead(ks, int(s))
+					e.buffered.Add(-1)
+					continue
+				}
+			}
+		}
+		kept = append(kept, op)
+	}
+	ops = kept
+
+	merged := closedSeg{loSeq: ks.seq, hiSeq: ks.seq, ops: ops, writes: writes}
+	if mergeFrom >= 0 {
+		j := 0
+		for j < len(ks.deque) && ks.deque[j].hiSeq < mergeFrom {
+			j++
+		}
+		// Concatenate deque[j:] and the closing ops in time order.
+		base := ks.deque[j]
+		for _, seg := range ks.deque[j+1:] {
+			base.ops = append(base.ops, seg.ops...)
+			base.writes += seg.writes
+			e.pool.Put(seg.ops[:0])
+			e.merges++
+		}
+		base.ops = append(base.ops, ops...)
+		base.writes += writes
+		base.hiSeq = ks.seq
+		e.pool.Put(ops[:0])
+		e.merges++ // the entry the read reached into
+		ks.deque = ks.deque[:j]
+		merged = base
+	}
+
+	ks.totalClosed += int64(writes)
+	ks.cumWrites = append(ks.cumWrites, ks.totalClosed) // index == ks.seq
+	if len(merged.ops) > 0 {
+		ks.deque = append(ks.deque, merged)
+		ks.dequeWrites += writes
+	} else {
+		e.pool.Put(merged.ops[:0])
+	}
+	ks.seq++
+
+	for len(ks.deque) > 0 && ks.dequeWrites-ks.deque[0].writes >= e.threshold {
+		e.dispatch(ks, ks.deque[0])
+		ks.dequeWrites -= ks.deque[0].writes
+		ks.deque = ks.deque[1:]
+	}
+}
+
+// crossBoundaryRead records a read that returned a value from an
+// already-dispatched segment. At least `threshold` writes closed between
+// that segment and this one, all forced between the dictating write and
+// the read in every valid total order.
+func (e *engine) crossBoundaryRead(ks *keyState, valueSeq int) {
+	e.staleReads.Add(1)
+	forced := int(ks.totalClosed - ks.cumWrites[valueSeq])
+	if e.mode == modeCheck {
+		// forced >= threshold == k, so staleness >= k+1: definitive.
+		e.settle(ks, func() { ks.atomic = false })
+		return
+	}
+	e.settle(ks, func() {
+		ks.saturated = true
+		if forced+1 > ks.kFloor {
+			ks.kFloor = forced + 1
+		}
+	})
+}
+
+// settle applies a verdict mutation under the key's lock and updates the
+// settled fast path and early-exit flag. Parser and workers both funnel
+// through here, and every mutation is commutative (AND / max / min-seq), so
+// the outcome is deterministic for any scheduling.
+func (e *engine) settle(ks *keyState, apply func()) {
+	ks.mu.Lock()
+	apply()
+	bad := ks.err != nil || !ks.atomic
+	if e.mode == modeCheck {
+		ks.settled.Store(bad)
+	} else {
+		ks.settled.Store(ks.err != nil)
+	}
+	ks.mu.Unlock()
+	if bad && e.sopts.StopOnViolation {
+		e.stop.Store(true)
+	}
+}
+
+func (e *engine) dispatch(ks *keyState, seg closedSeg) {
+	ks.dispatchedThrough = seg.hiSeq
+	e.segments++
+	e.jobs <- job{ks: ks, seq: seg.loSeq, ops: seg.ops, scanOnly: ks.settled.Load()}
+}
+
+// flush closes the open window and dispatches everything still held; after
+// end of input no future read can reach back, so the deque drains fully.
+func (e *engine) flush(ks *keyState) {
+	if len(ks.open) > 0 {
+		e.closeOpen(ks)
+	}
+	for _, seg := range ks.deque {
+		e.dispatch(ks, seg)
+	}
+	ks.deque, ks.dequeWrites = nil, 0
+}
+
+func (e *engine) worker() {
+	defer e.wg.Done()
+	v := core.NewVerifier()
+	for j := range e.jobs {
+		n := len(j.ops)
+		h := history.History{Ops: j.ops}
+		verdict := SegmentVerdict{Key: j.ks.key, Seq: j.seq, Ops: n, Atomic: true}
+		switch {
+		case j.scanOnly:
+			verdict.Err = v.ScanOwned(&h)
+		case e.mode == modeCheck:
+			rep, err := v.CheckOwned(&h, e.k, e.opts)
+			verdict.Atomic, verdict.Err = rep.Atomic, err
+		default:
+			verdict.K, verdict.Err = v.SmallestKOwned(&h, e.opts)
+		}
+		e.settle(j.ks, func() {
+			ks := j.ks
+			if verdict.Err != nil {
+				if ks.err == nil || j.seq < ks.errSeq {
+					ks.err, ks.errSeq = verdict.Err, j.seq
+				}
+			} else if !verdict.Atomic {
+				ks.atomic = false
+			}
+			if verdict.K > ks.maxK {
+				ks.maxK = verdict.K
+			}
+		})
+		e.buffered.Add(-int64(n))
+		// FirstVerdictOps documents the pipelining win, so only verdicts
+		// landing while input is still being consumed count.
+		if !e.parseDone.Load() {
+			e.firstVerdict.CompareAndSwap(0, e.opsParsed.Load())
+		}
+		if e.sopts.OnSegment != nil {
+			e.sopts.OnSegment(verdict)
+		}
+		e.pool.Put(h.Ops[:0])
+	}
+}
+
+func (e *engine) sortedKeys() []*keyState {
+	out := make([]*keyState, 0, len(e.keys))
+	for _, ks := range e.keys {
+		out = append(out, ks)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+func (e *engine) finalStats() StreamStats {
+	st := StreamStats{
+		Ops:             e.parsed,
+		Keys:            len(e.keys),
+		Segments:        e.segments,
+		Merges:          e.merges,
+		MaxOpenOps:      e.maxOpen,
+		PeakBufferedOps: e.peakBuffered,
+		StaleReads:      e.staleReads.Load(),
+		FirstVerdictOps: e.firstVerdict.Load(),
+		Stopped:         e.stopped,
+	}
+	for _, ks := range e.keys {
+		if ks.saturated {
+			st.SaturatedKeys++
+		}
+	}
+	return st
+}

@@ -13,7 +13,9 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -62,56 +64,12 @@ func (t *Trace) SortedKeys() []string {
 }
 
 // Parse reads a multi-register trace from the keyed text format. Lines are
-// newline- or ';'-separated; '#' starts a comment.
-//
-// The parser streams: it walks the text line by line, splits fields into a
-// reused buffer, and parses each operation's fields directly (the seed
-// spliced the key out, re-joined the rest, and ran the full single-register
-// parser per segment, which built a throwaway History for every operation).
+// newline- or ';'-separated; '#' starts a comment. It shares the byte-level
+// streaming parser with ParseStream (the seed spliced the key out,
+// re-joined the rest, and ran the full single-register parser per segment,
+// which built a throwaway History for every operation).
 func Parse(text string) (*Trace, error) {
-	t := New()
-	seg := 0
-	fields := make([]string, 0, 8)
-	for len(text) > 0 {
-		line := text
-		if i := strings.IndexByte(text, '\n'); i >= 0 {
-			line, text = text[:i], text[i+1:]
-		} else {
-			text = ""
-		}
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		for len(line) > 0 {
-			part := line
-			if i := strings.IndexByte(line, ';'); i >= 0 {
-				part, line = line[:i], line[i+1:]
-			} else {
-				line = ""
-			}
-			part = strings.TrimSpace(part)
-			if part == "" {
-				continue
-			}
-			seg++
-			fields = history.AppendFields(fields[:0], part)
-			if len(fields) < 5 {
-				return nil, fmt.Errorf("trace: segment %d (%q): want kind key value start finish", seg, part)
-			}
-			op, err := history.ParseOpParts(fields[0], fields[2:])
-			if err != nil {
-				return nil, fmt.Errorf("trace: segment %d (%q): %w", seg, part, err)
-			}
-			key := fields[1]
-			if _, ok := t.Keys[key]; !ok {
-				// First sighting: copy the key so the map does not pin the
-				// whole input text.
-				key = strings.Clone(key)
-			}
-			t.Add(key, op)
-		}
-	}
-	return t, nil
+	return ParseReader(strings.NewReader(text))
 }
 
 // String renders the trace in the keyed text format, keys in sorted order.
@@ -125,6 +83,39 @@ func (t *Trace) String() string {
 		}
 	}
 	return b.String()
+}
+
+// WriteArrivalOrder renders the trace in the keyed text format ordered by
+// operation start time — the arrival order of an operation log, which is
+// exactly what the streaming engine requires of its input (nondecreasing
+// starts per key).
+func WriteArrivalOrder(w io.Writer, t *Trace) error {
+	type rec struct {
+		key string
+		op  history.Operation
+	}
+	recs := make([]rec, 0, t.Len())
+	for key, h := range t.Keys {
+		for _, op := range h.Ops {
+			recs = append(recs, rec{key, op})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.op.Start != b.op.Start {
+			return a.op.Start < b.op.Start
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.op.ID < b.op.ID
+	})
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		kind, rest, _ := strings.Cut(r.op.String(), " ")
+		fmt.Fprintf(bw, "%s %s %s\n", kind, r.key, rest)
+	}
+	return bw.Flush()
 }
 
 // KeyReport is the verification outcome for one register.

@@ -34,6 +34,19 @@
 // (k-atomicity is local), and CheckTraceParallel / SmallestKByKeyParallel
 // fan the keys out over a worker pool — one Verifier per worker — with
 // results identical to the sequential forms.
+//
+// # Streaming
+//
+// Traces too large to materialize verify straight from an io.Reader:
+// StreamCheckTrace and StreamSmallestKByKey cut each register's history at
+// safe cut points (real-time quiescence + value-closedness, under which
+// per-segment verification is exact for every k) and dispatch closed
+// segments to a verifier pool while parsing continues. Peak memory is
+// bounded by the open windows — O(open segments), not O(trace) — verdicts
+// start landing before the input is consumed, and the report matches
+// CheckTraceParallel for any worker count. The input must arrive in
+// nondecreasing start order per key (the natural order of an operation
+// log); see trace.ErrOutOfOrder.
 package kat
 
 import (
@@ -236,12 +249,58 @@ type (
 	RenderOptions = render.Options
 )
 
+// Streaming verification types.
+type (
+	// StreamOptions tunes the streaming engine (workers, staleness
+	// horizon, buffer cap, early exit, segment callbacks).
+	StreamOptions = trace.StreamOptions
+	// StreamStats describes a finished streaming run: segments, merges,
+	// peak buffered operations, first-verdict position.
+	StreamStats = trace.StreamStats
+	// SegmentVerdict is the outcome of one verified segment, delivered to
+	// StreamOptions.OnSegment.
+	SegmentVerdict = trace.SegmentVerdict
+)
+
 // NewTrace returns an empty multi-register trace.
 func NewTrace() *Trace { return trace.New() }
 
 // ParseTrace reads a keyed multi-register trace:
 // "w <key> <value> <start> <finish>" per line.
 func ParseTrace(text string) (*Trace, error) { return trace.Parse(text) }
+
+// ParseReader reads a single-register history from r through a buffered
+// line scanner, so memory is proportional to the operations rather than the
+// raw text.
+func ParseReader(r io.Reader) (*History, error) { return history.ParseReader(r) }
+
+// ParseTraceReader is ParseTrace over an io.Reader (buffered, line at a
+// time).
+func ParseTraceReader(r io.Reader) (*Trace, error) { return trace.ParseReader(r) }
+
+// WriteTraceArrivalOrder renders the trace in the keyed text format ordered
+// by operation start time — the arrival order the streaming engine requires
+// of its input.
+func WriteTraceArrivalOrder(w io.Writer, t *Trace) error {
+	return trace.WriteArrivalOrder(w, t)
+}
+
+// StreamCheckTrace verifies a multi-register trace read from r at bound k
+// with parse, segmentation, and verification overlapped: memory stays
+// bounded by the open segment windows and the report matches
+// CheckTraceParallel on the same input (which must arrive in nondecreasing
+// start order per key).
+func StreamCheckTrace(r io.Reader, k int, opts Options, sopts StreamOptions) (TraceReport, StreamStats, error) {
+	return trace.StreamCheck(r, k, opts, sopts)
+}
+
+// StreamSmallestKByKey computes each register's smallest k from a streamed
+// trace (the maximum per-segment smallest k; exact up to
+// StreamOptions.Horizon — deeper-stale keys report a lower bound and are
+// counted in StreamStats.SaturatedKeys).
+func StreamSmallestKByKey(r io.Reader, opts Options, sopts StreamOptions) (map[string]int, StreamStats, error) {
+	return trace.StreamSmallestKByKey(r, opts, sopts)
+}
 
 // CheckTrace verifies every register in the trace at bound k.
 func CheckTrace(t *Trace, k int, opts Options) TraceReport {
