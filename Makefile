@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-pr2 benchcmp
+.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 benchcmp
 
 all: vet build test
 
@@ -22,10 +22,10 @@ bench:
 # Record the hot-path benchmark families so future PRs can track the perf
 # trajectory: BENCH_baseline.txt is benchstat-ready, BENCH_baseline.json
 # wraps the same run with environment metadata.
-BASELINE_BENCHES := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$
+BASELINE_BENCHES := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$|BenchmarkHotKey|BenchmarkStreamCheckZipf
 
 bench-baseline:
-	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)' -benchmem -count 6 . | tee BENCH_baseline.txt
+	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)' -benchmem -count 6 -timeout 60m . | tee BENCH_baseline.txt
 	$(GO) run ./scripts/benchjson BENCH_baseline.txt > BENCH_baseline.json
 
 # PR 2 trajectory record: the pinned families plus the 1M-op streaming vs
@@ -35,13 +35,21 @@ bench-pr2:
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)|BenchmarkStream1M' -benchmem -count 3 -timeout 30m . | tee BENCH_pr2.txt
 	$(GO) run ./scripts/benchjson BENCH_pr2.txt > BENCH_pr2.json
 
+# PR 3 trajectory record: the pinned families plus the hot-key chunk
+# parallelism rows (single register, 64k ops, sequential vs 4 workers vs
+# memoized) and the Zipf-skewed streaming workload.
+bench-pr3:
+	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)|BenchmarkStream1M' -benchmem -count 3 -timeout 30m . | tee BENCH_pr3.txt
+	$(GO) run ./scripts/benchjson BENCH_pr3.txt > BENCH_pr3.json
+
 # Regression gate: rerun the pinned hot-path families (the fast scratch
 # ones — the one-shot FZF sweep is too slow to repeat 1000x) and compare
-# against the committed baseline (normalized time ratios + absolute alloc
-# counts; >30% fails). CI runs this on every push.
+# against the committed baseline. Repeated samples (-count) let the gate
+# compare medians with an IQR-based noise floor (scripts/benchcmp), so
+# scheduler jitter outliers don't fail CI while real regressions still do.
 GATE_BENCHES := BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$
 
 benchcmp:
-	$(GO) test -short -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 1000x -benchmem . > bench_current.txt || (cat bench_current.txt; exit 1)
+	$(GO) test -short -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 500x -benchmem -count 4 . > bench_current.txt || (cat bench_current.txt; exit 1)
 	cat bench_current.txt
 	$(GO) run ./scripts/benchcmp -baseline BENCH_baseline.json bench_current.txt

@@ -490,6 +490,91 @@ func BenchmarkStream1M(b *testing.B) {
 	})
 }
 
+// The hot-key headline: ONE register, 64k ops — the workload where key-level
+// fan-out collapses to a single core. workers=1 is the sequential single-key
+// path (CheckPreparedParallel delegates to the plain Verifier); workers=4
+// fans the register's chunk (k=2) and safe-cut segment (smallest-k) units
+// out over the work-stealing pool. On a multi-core host the 4-worker rows
+// show the intra-key speedup; verdicts are identical either way (proved by
+// TestCheckPreparedParallelMatchesSequential and FuzzSchedulerEquivalence).
+func BenchmarkHotKey(b *testing.B) {
+	check := mustPrepare(b, generator.Adversarial(generator.Config{
+		Seed: 21, Ops: 64000, Concurrency: 64,
+	}))
+	smallest := mustPrepare(b, generator.KAtomic(generator.Config{
+		Seed: 22, Ops: 64000, Concurrency: 4, StalenessDepth: 1,
+		ForceDepth: true, ReadFraction: 0.6,
+	}))
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("check-k2/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := root.CheckPreparedParallel(check, 2, root.Options{}, workers)
+				if err != nil || !rep.Atomic {
+					b.Fatalf("check: %v %+v", err, rep)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("smallestk/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k, err := root.SmallestKPreparedParallel(smallest, root.Options{}, workers)
+				if err != nil || k != 2 {
+					b.Fatalf("smallestk: %v k=%d", err, k)
+				}
+			}
+		})
+	}
+	// The memo row: identical repeated verification with a shared verdict
+	// cache — every chunk is a content-hash hit after the first iteration.
+	memo := root.NewMemo()
+	b.Run("check-k2/workers=4/memo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := root.CheckPreparedParallel(check, 2, root.Options{Memo: memo}, 4)
+			if err != nil || !rep.Atomic {
+				b.Fatalf("check: %v %+v", err, rep)
+			}
+		}
+	})
+}
+
+// Zipf-skewed streaming verification: 32 keys, 128k ops, exponent 1.3 —
+// most traffic lands on a handful of hot keys, so worker counts beyond the
+// key count only help if chunk units steal across keys (exactly what the
+// unified pool provides).
+func BenchmarkStreamCheckZipf(b *testing.B) {
+	const keys, opsPerKey = 32, 4000
+	counts := root.ZipfKeyCounts(5, keys, keys*opsPerKey, 1.3)
+	tr := root.NewTrace()
+	for key := 0; key < keys; key++ {
+		if counts[key] == 0 {
+			continue
+		}
+		h := generator.KAtomic(generator.Config{
+			Seed: int64(key), Ops: counts[key], Concurrency: 3,
+			StalenessDepth: 1, ReadFraction: 0.6,
+		})
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("key-%04d", key), op)
+		}
+	}
+	text := serializeByStart(tr)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(text)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, _, err := root.StreamCheckTrace(strings.NewReader(text), 2, root.Options{},
+					root.StreamOptions{Workers: workers})
+				if err != nil || !rep.Atomic() {
+					b.Fatalf("stream check: %v %v", err, rep.FailingKeys())
+				}
+			}
+		})
+	}
+}
+
 // Multi-register verification throughput (locality dispatch over keys).
 func BenchmarkTraceCheck(b *testing.B) {
 	tr := root.NewTrace()

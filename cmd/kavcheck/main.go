@@ -52,7 +52,7 @@ func run(args []string, out io.Writer) error {
 		props    = fs.Bool("properties", false, "also report Lamport safety and regularity")
 		keyed    = fs.Bool("keyed", false, "input is a multi-register trace (w <key> <value> <start> <finish>)")
 		stream   = fs.Bool("stream", false, "streaming keyed verification: bounded memory, verdicts before EOF (implies -keyed)")
-		workers  = fs.Int("workers", 0, "worker pool size for -keyed/-stream verification (0 = GOMAXPROCS, 1 = sequential)")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); keys fan out for -keyed/-stream, chunks fan out within single registers")
 		horizon  = fs.Int("horizon", 0, "staleness horizon for -stream -smallest (0 = default)")
 		timeline = fs.Bool("timeline", false, "draw the history as an ASCII timeline")
 		showWit  = fs.Bool("witness", false, "print the witness total order on success")
@@ -74,8 +74,22 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// Several paths below need the prepared form; build it once, lazily
+	// (plain Check normalizes internally and may accept histories whose
+	// anomalies Prepare reports differently, so don't prepare eagerly).
+	var prepared *kat.Prepared
+	prepare := func() (*kat.Prepared, error) {
+		if prepared == nil {
+			p, err := kat.Prepare(kat.Normalize(h))
+			if err != nil {
+				return nil, err
+			}
+			prepared = p
+		}
+		return prepared, nil
+	}
 	if *timeline {
-		p, err := kat.Prepare(kat.Normalize(h))
+		p, err := prepare()
 		if err != nil {
 			return err
 		}
@@ -91,7 +105,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "smallest Δ (time-staleness): %d\n", d)
 	}
 	if *props {
-		p, err := kat.Prepare(kat.Normalize(h))
+		p, err := prepare()
 		if err != nil {
 			return err
 		}
@@ -103,7 +117,19 @@ func run(args []string, out io.Writer) error {
 		st.Ops, st.Writes, st.Reads, st.MaxConcurrentWrites, st.ForcedStaleness)
 
 	if *smallest {
-		kMin, err := kat.SmallestK(h, kat.Options{})
+		var kMin int
+		var err error
+		if *workers != 1 {
+			// Chunk-level parallelism for a single register: per-segment
+			// smallest-k probes fan out over the work-stealing pool.
+			p, perr := prepare()
+			if perr != nil {
+				return perr
+			}
+			kMin, err = kat.SmallestKPreparedParallel(p, kat.Options{}, *workers)
+		} else {
+			kMin, err = kat.SmallestK(h, kat.Options{})
+		}
 		if err != nil {
 			return err
 		}
@@ -138,7 +164,18 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
-	rep, err := kat.Check(h, *k, opts)
+	var rep kat.Report
+	if *workers != 1 && *algo != "lbt" {
+		// Chunk-level parallelism for a single register: the history's
+		// chunks (or safe-cut segments, k >= 3) verify concurrently.
+		p, perr := prepare()
+		if perr != nil {
+			return perr
+		}
+		rep, err = kat.CheckPreparedParallel(p, *k, opts, *workers)
+	} else {
+		rep, err = kat.Check(h, *k, opts)
+	}
 	if err != nil {
 		return err
 	}

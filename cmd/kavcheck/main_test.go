@@ -27,6 +27,36 @@ func TestCheckAccepts(t *testing.T) {
 	}
 }
 
+// TestCheckSingleRegisterWorkers drives the chunk-parallel single-register
+// path: -workers != 1 on a plain (non-keyed) history must agree with the
+// sequential run for both the fixed-k check and -smallest.
+func TestCheckSingleRegisterWorkers(t *testing.T) {
+	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nr 1 40 50\nw 3 100 110\nr 3 120 130\n")
+	var par, seq strings.Builder
+	if err := run([]string{"-k", "2", "-workers", "4", path}, &par); err != nil {
+		t.Fatalf("parallel run: %v\n%s", err, par.String())
+	}
+	if err := run([]string{"-k", "2", path}, &seq); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if !strings.Contains(par.String(), "2-atomic: true") {
+		t.Errorf("parallel output = %q", par.String())
+	}
+	par.Reset()
+	if err := run([]string{"-smallest", "-workers", "4", path}, &par); err != nil {
+		t.Fatalf("parallel -smallest: %v\n%s", err, par.String())
+	}
+	if !strings.Contains(par.String(), "smallest k: 2") {
+		t.Errorf("parallel -smallest output = %q", par.String())
+	}
+	// A rejecting history must still exit non-zero through the parallel path.
+	bad := writeTemp(t, "w 1 0 10\nw 2 20 30\nw 3 40 50\nr 1 60 70\n")
+	var out strings.Builder
+	if err := run([]string{"-k", "2", "-workers", "2", bad}, &out); err == nil {
+		t.Fatal("violating history accepted by parallel path")
+	}
+}
+
 func TestCheckRejectsWithError(t *testing.T) {
 	path := writeTemp(t, "w 1 0 10\nw 2 20 30\nw 3 40 50\nr 1 60 70\n")
 	var out strings.Builder

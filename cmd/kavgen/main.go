@@ -7,10 +7,13 @@
 //	kavgen -kind random -ops 200 -seed 7 > fuzz.txt
 //	kavgen -kind katomic -ops 500 -inject 0.3 -inject-depth 3 > stale.txt
 //	kavgen -keys 64 -ops 1000 -depth 1 | kavcheck -k 2 -stream -
+//	kavgen -keys 64 -ops 1000 -zipf 1.3 | kavcheck -k 2 -stream -workers 4 -
 //
 // With -keys N the output is a keyed multi-register trace, one generated
 // register per key, serialized in operation arrival order — ready to pipe
-// into the streaming verifier.
+// into the streaming verifier. -zipf s (s > 1) skews the per-key operation
+// counts Zipfian while preserving the total, producing the hot-key traffic
+// shape that exercises chunk-level (intra-key) parallel verification.
 package main
 
 import (
@@ -44,10 +47,19 @@ func run(args []string, out io.Writer) error {
 		inject      = fs.Float64("inject", 0, "fraction of reads to redirect to older writes")
 		injectDepth = fs.Int("inject-depth", 1, "how many writes back injected reads go")
 		keys        = fs.Int("keys", 0, "emit a keyed trace with this many registers (-ops each), in arrival order")
+		zipf        = fs.Float64("zipf", 0, "with -keys: skew the per-key operation counts Zipfian with this exponent (> 1; total ops stays keys*ops, rank-0 key hottest)")
 		asJSON      = fs.Bool("json", false, "emit JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *zipf != 0 {
+		if *keys <= 0 {
+			return fmt.Errorf("-zipf requires -keys")
+		}
+		if *zipf <= 1 {
+			return fmt.Errorf("-zipf exponent must be > 1, got %v", *zipf)
+		}
 	}
 
 	cfg := kat.GenConfig{
@@ -76,10 +88,23 @@ func run(args []string, out io.Writer) error {
 		if *asJSON {
 			return fmt.Errorf("-keys and -json are mutually exclusive")
 		}
+		// Uniform by default; -zipf skews the per-key op counts so the
+		// trace exercises the hot-key path of the (key, chunk) scheduler.
+		counts := make([]int, *keys)
+		for i := range counts {
+			counts[i] = *ops
+		}
+		if *zipf > 1 {
+			counts = kat.ZipfKeyCounts(*seed, *keys, *keys**ops, *zipf)
+		}
 		tr := kat.NewTrace()
 		for i := 0; i < *keys; i++ {
+			if counts[i] == 0 {
+				continue
+			}
 			kcfg := cfg
 			kcfg.Seed = *seed + int64(i)
+			kcfg.Ops = counts[i]
 			h, err := generate(kcfg)
 			if err != nil {
 				return err

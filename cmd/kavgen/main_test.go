@@ -115,3 +115,46 @@ func TestGenerateKeyedTrace(t *testing.T) {
 		t.Error("-keys -json accepted")
 	}
 }
+
+func TestGenerateZipfTrace(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-keys", "8", "-ops", "50", "-depth", "1", "-zipf", "1.4"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tr, err := kat.ParseTrace(out.String())
+	if err != nil {
+		t.Fatalf("zipf output does not parse: %v", err)
+	}
+	if tr.Len() != 8*50 {
+		t.Fatalf("zipf trace has %d ops, want %d (skew must preserve the total)", tr.Len(), 8*50)
+	}
+	// The rank-0 key must be hotter than a uniform share — the whole point
+	// of the skew — and the trace must still verify through the stream.
+	hottest := 0
+	for _, h := range tr.Keys {
+		if h.Len() > hottest {
+			hottest = h.Len()
+		}
+	}
+	if hottest <= 50 {
+		t.Fatalf("hottest key has %d ops; expected a hot key above the uniform 50", hottest)
+	}
+	rep, _, err := kat.StreamCheckTrace(strings.NewReader(out.String()), 2,
+		kat.Options{}, kat.StreamOptions{})
+	if err != nil {
+		t.Fatalf("StreamCheckTrace: %v", err)
+	}
+	if !rep.Atomic() {
+		t.Fatalf("generated zipf trace not 2-atomic: %v", rep.FailingKeys())
+	}
+}
+
+func TestZipfFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-zipf", "1.2"}, &out); err == nil {
+		t.Error("-zipf without -keys accepted")
+	}
+	if err := run([]string{"-keys", "4", "-zipf", "0.9"}, &out); err == nil {
+		t.Error("-zipf <= 1 accepted")
+	}
+}

@@ -136,6 +136,111 @@ func FuzzStreamTraceEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzSchedulerEquivalence is the differential fuzz target for the (key,
+// chunk) work-stealing scheduler: for arbitrary keyed traces it checks that
+// chunk-scheduled verdicts and smallest-k values are identical to the
+// sequential path for every worker count, at both trace level
+// (CheckTraceParallel / SmallestKByKeyParallel) and single-register level
+// (CheckPreparedParallel / SmallestKPreparedParallel), and that verdicts are
+// unchanged when a shared Memo serves content-hash hits on a repeated run.
+func FuzzSchedulerEquivalence(f *testing.F) {
+	seeds := []string{
+		"w a 1 0 10; r a 1 20 30; w b 1 5 15",
+		"w a 1 0 10; w a 2 20 30; r a 1 40 50",
+		"w a 1 0 30; w a 2 5 35; r a 2 40 50; r a 1 60 70",
+		"w a 1 0 10; w a 2 12 14; w a 3 16 18; r a 1 20 30",
+		"w a 9 0 10; r a 9 100 110; w a 1 20 25; w a 2 40 45; w a 3 60 65",
+		"w a 1 0 10; r a 1 12 14; w a 2 100 110; r a 2 112 114; w b 7 0 50; r b 7 60 70",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := kat.ParseTrace(text)
+		if err != nil || tr.Len() == 0 || tr.Len() > 100 || len(tr.Keys) > 8 {
+			return
+		}
+		memo := kat.NewMemo()
+		for _, k := range []int{1, 2, 3} {
+			if k >= 3 && tr.Len() > 40 {
+				continue // keep the oracle tractable
+			}
+			seq := kat.CheckTraceParallel(tr, k, kat.Options{}, 1)
+			// MinParallelOps -1 forces chunk scheduling even on these tiny
+			// fuzz traces, which would otherwise take the sequential path.
+			for _, workers := range []int{2, 3, 4} {
+				par := kat.CheckTraceParallel(tr, k, kat.Options{MinParallelOps: -1}, workers)
+				diffTraceReports(t, "plain", k, workers, seq, par, text)
+			}
+			// Two memoized passes: the first mostly misses, the second is
+			// all content-hash hits; both must match the sequential report.
+			for pass := 0; pass < 2; pass++ {
+				par := kat.CheckTraceParallel(tr, k, kat.Options{Memo: memo}, 3)
+				diffTraceReports(t, "memo", k, 3, seq, par, text)
+			}
+		}
+		seqK := kat.SmallestKByKeyParallel(tr, kat.Options{}, 1)
+		for _, workers := range []int{2, 4} {
+			parK := kat.SmallestKByKeyParallel(tr, kat.Options{MinParallelOps: -1}, workers)
+			for key, want := range seqK {
+				if parK[key] != want {
+					t.Fatalf("workers=%d key %s: smallest k = %d, sequential %d (%q)",
+						workers, key, parK[key], want, text)
+				}
+			}
+		}
+		// Single-register: chunk-level scheduling on each key's history.
+		v := kat.NewVerifier()
+		for _, key := range tr.SortedKeys() {
+			p, err := kat.Prepare(kat.Normalize(tr.Keys[key]))
+			if err != nil {
+				continue
+			}
+			for _, k := range []int{1, 2} {
+				seq, seqErr := v.CheckPrepared(p, k, kat.Options{})
+				for _, workers := range []int{2, 4} {
+					par, parErr := kat.CheckPreparedParallel(p, k, kat.Options{MinParallelOps: -1}, workers)
+					if (seqErr == nil) != (parErr == nil) {
+						t.Fatalf("key %s k=%d workers=%d: err %v vs %v (%q)", key, k, workers, parErr, seqErr, text)
+					}
+					if seqErr != nil {
+						continue
+					}
+					if par.Atomic != seq.Atomic {
+						t.Fatalf("key %s k=%d workers=%d: atomic %v, sequential %v (%q)",
+							key, k, workers, par.Atomic, seq.Atomic, text)
+					}
+					if par.Atomic && par.Witness != nil {
+						if err := kat.ValidateWitness(p, par.Witness, k); err != nil {
+							t.Fatalf("key %s k=%d workers=%d: invalid witness: %v (%q)", key, k, workers, err, text)
+						}
+					}
+				}
+			}
+			seqSmall, seqErr := v.SmallestKPrepared(p, kat.Options{})
+			parSmall, parErr := kat.SmallestKPreparedParallel(p, kat.Options{MinParallelOps: -1}, 4)
+			if (seqErr == nil) != (parErr == nil) || (seqErr == nil && parSmall != seqSmall) {
+				t.Fatalf("key %s: smallest k %d/%v, sequential %d/%v (%q)",
+					key, parSmall, parErr, seqSmall, seqErr, text)
+			}
+		}
+	})
+}
+
+func diffTraceReports(t *testing.T, mode string, k, workers int, seq, par kat.TraceReport, text string) {
+	t.Helper()
+	if len(par.Keys) != len(seq.Keys) {
+		t.Fatalf("%s k=%d workers=%d: key counts differ (%q)", mode, k, workers, text)
+	}
+	for i := range seq.Keys {
+		s, p := seq.Keys[i], par.Keys[i]
+		if s.Key != p.Key || s.Ops != p.Ops || s.Atomic != p.Atomic || (s.Err == nil) != (p.Err == nil) {
+			t.Fatalf("%s k=%d workers=%d key %s: sequential %+v vs scheduled %+v (%q)",
+				mode, k, workers, s.Key, s, p, text)
+		}
+	}
+}
+
 // FuzzSmallestKConsistent checks the smallest-k search agrees with direct
 // probes at k and k-1.
 func FuzzSmallestKConsistent(f *testing.F) {

@@ -63,7 +63,26 @@ type Options struct {
 	// SkipWitnessCheck skips the internal re-validation of positive
 	// results (on by default as a safety net; cost O(n^2) on acceptance).
 	SkipWitnessCheck bool
+	// Memo, when non-nil, lets the chunk-parallel verification paths
+	// (Ctx.CheckPrepared, CheckPreparedParallel, the streaming engine)
+	// cache per-chunk and per-segment verdicts by content hash, so
+	// repeated or incremental verification of overlapping traces skips
+	// already-proved work units. The sequential paths ignore it.
+	Memo *Memo
+	// MinParallelOps is the smallest history (in operations) the parallel
+	// entry points split into chunk/segment work units; smaller histories
+	// run on the calling worker's sequential scratch path, whose verdicts
+	// are identical, so tiny keys don't pay fork overhead. 0 uses
+	// DefaultMinParallelOps; negative forces chunk scheduling regardless
+	// of size (equivalence tests and fuzzing). A non-nil Memo also forces
+	// the chunk path (caching requires the unit decomposition).
+	MinParallelOps int
 }
+
+// DefaultMinParallelOps is the Options.MinParallelOps default: below this
+// many operations a single register's verification is cheaper to run
+// sequentially than to schedule as chunk units.
+const DefaultMinParallelOps = 2048
 
 // Report is the outcome of a verification run.
 type Report struct {

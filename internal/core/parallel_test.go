@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"kat/internal/generator"
+	"kat/internal/history"
+	"kat/internal/witness"
+)
+
+func prepGen(t *testing.T, cfg generator.Config, kind string) *history.Prepared {
+	t.Helper()
+	var h *history.History
+	switch kind {
+	case "katomic":
+		h = generator.KAtomic(cfg)
+	case "random":
+		h = generator.Random(cfg)
+	default:
+		t.Fatalf("unknown kind %s", kind)
+	}
+	p, err := history.PrepareInPlace(history.Normalize(h))
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	return p
+}
+
+// workloads covers accepting and rejecting histories across the algorithm
+// dispatch: 1-atomic, 2-atomic, deeper-stale, and unconstrained random.
+func workloads(t *testing.T) map[string]*history.Prepared {
+	t.Helper()
+	return map[string]*history.Prepared{
+		"linearizable": prepGen(t, generator.Config{Seed: 1, Ops: 600, Concurrency: 3, StalenessDepth: 0, ReadFraction: 0.6}, "katomic"),
+		"2atomic":      prepGen(t, generator.Config{Seed: 2, Ops: 600, Concurrency: 4, StalenessDepth: 1, ForceDepth: true, ReadFraction: 0.6}, "katomic"),
+		"deep":         prepGen(t, generator.Config{Seed: 3, Ops: 160, Concurrency: 2, StalenessDepth: 3, ForceDepth: true, ReadFraction: 0.5}, "katomic"),
+		"random":       prepGen(t, generator.Config{Seed: 4, Ops: 120, Concurrency: 3, ReadFraction: 0.5}, "random"),
+	}
+}
+
+// TestCheckPreparedParallelMatchesSequential proves the chunk-scheduled
+// verdicts identical to the sequential engine for every worker count, k, and
+// workload — the core acceptance property of the (key, chunk) scheduler.
+func TestCheckPreparedParallelMatchesSequential(t *testing.T) {
+	seqV := NewVerifier()
+	for name, p := range workloads(t) {
+		for _, k := range []int{1, 2, 3} {
+			if k >= 3 && p.Len() > 200 {
+				continue // keep the oracle tractable
+			}
+			seq, seqErr := seqV.CheckPrepared(p, k, Options{})
+			for _, workers := range []int{1, 2, 3, 4} {
+				par, parErr := CheckPreparedParallel(p, k, Options{MinParallelOps: -1}, workers)
+				if (seqErr == nil) != (parErr == nil) {
+					t.Fatalf("%s k=%d workers=%d: err %v vs %v", name, k, workers, seqErr, parErr)
+				}
+				if seqErr != nil {
+					continue
+				}
+				if par.Atomic != seq.Atomic {
+					t.Fatalf("%s k=%d workers=%d: atomic %v, sequential %v", name, k, workers, par.Atomic, seq.Atomic)
+				}
+				if par.Atomic && par.Witness != nil {
+					if err := witness.Validate(p, par.Witness, k); err != nil {
+						t.Fatalf("%s k=%d workers=%d: invalid parallel witness: %v", name, k, workers, err)
+					}
+				}
+				// The k=2 chunk path promises a byte-identical witness.
+				if k == 2 && seq.Atomic {
+					if len(par.Witness) != len(seq.Witness) {
+						t.Fatalf("%s workers=%d: witness lengths differ", name, workers)
+					}
+					for i := range par.Witness {
+						if par.Witness[i] != seq.Witness[i] {
+							t.Fatalf("%s workers=%d: witness diverges at %d", name, workers, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSmallestKParallelMatchesSequential proves the segment-fanned
+// smallest-k search equals the sequential one for every worker count.
+func TestSmallestKParallelMatchesSequential(t *testing.T) {
+	seqV := NewVerifier()
+	for name, p := range workloads(t) {
+		if p.Len() > 300 {
+			continue
+		}
+		want, seqErr := seqV.SmallestKPrepared(p, Options{})
+		for _, workers := range []int{1, 2, 4} {
+			got, err := SmallestKPreparedParallel(p, Options{MinParallelOps: -1}, workers)
+			if (seqErr == nil) != (err == nil) {
+				t.Fatalf("%s workers=%d: err %v vs %v", name, workers, err, seqErr)
+			}
+			if seqErr == nil && got != want {
+				t.Fatalf("%s workers=%d: smallest k = %d, sequential %d", name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestMemoHitsPreserveVerdicts re-verifies every workload with a shared memo
+// and checks (a) verdicts are unchanged on the hit path and (b) hits
+// actually occur on the second pass.
+func TestMemoHitsPreserveVerdicts(t *testing.T) {
+	memo := NewMemo()
+	opts := Options{Memo: memo}
+	for name, p := range workloads(t) {
+		for _, k := range []int{1, 2, 3} {
+			if k >= 3 && p.Len() > 200 {
+				continue
+			}
+			first, err1 := CheckPreparedParallel(p, k, opts, 2)
+			second, err2 := CheckPreparedParallel(p, k, opts, 2)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s k=%d: memo changed error: %v vs %v", name, k, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if first.Atomic != second.Atomic {
+				t.Fatalf("%s k=%d: memo changed verdict %v -> %v", name, k, first.Atomic, second.Atomic)
+			}
+			if second.Atomic && second.Witness != nil {
+				if err := witness.Validate(p, second.Witness, k); err != nil {
+					t.Fatalf("%s k=%d: memoized witness invalid: %v", name, k, err)
+				}
+			}
+		}
+		kA, errA := SmallestKPreparedParallel(p, opts, 2)
+		kB, errB := SmallestKPreparedParallel(p, opts, 2)
+		if (errA == nil) != (errB == nil) || kA != kB {
+			t.Fatalf("%s: memoized smallest-k diverged: %d/%v vs %d/%v", name, kA, errA, kB, errB)
+		}
+	}
+	st := memo.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no memo hits across repeated verification: %+v", st)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("no memo entries stored: %+v", st)
+	}
+}
+
+// TestMemoSequentialWorkerConsistency checks the memo path also engages (and
+// stays correct) at workers=1, where the pool runs units inline.
+func TestMemoSequentialWorkerConsistency(t *testing.T) {
+	p := prepGen(t, generator.Config{Seed: 9, Ops: 400, Concurrency: 4, StalenessDepth: 1, ReadFraction: 0.6}, "katomic")
+	memo := NewMemo()
+	seq, err := NewVerifier().CheckPrepared(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		rep, err := CheckPreparedParallel(p, 2, Options{Memo: memo}, 1)
+		if err != nil || rep.Atomic != seq.Atomic {
+			t.Fatalf("pass %d: %v atomic=%v want %v", pass, err, rep.Atomic, seq.Atomic)
+		}
+	}
+	if memo.Stats().Hits == 0 {
+		t.Fatal("no hits with workers=1")
+	}
+}

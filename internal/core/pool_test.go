@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForkRunsEveryIndex checks that Fork executes each index exactly once
+// for a spread of worker counts and fan-outs, including n much larger and
+// much smaller than the worker count.
+func TestForkRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 64, 501} {
+			counts := make([]atomic.Int64, n)
+			Run(workers, func(c *Ctx) {
+				c.Fork(n, func(c *Ctx, i int) {
+					counts[i].Add(1)
+				})
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForkNested drives two levels of forking (keys forking chunks) and
+// checks every leaf runs exactly once — the shape the trace and streaming
+// engines produce.
+func TestForkNested(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		const outer, inner = 13, 17
+		counts := make([]atomic.Int64, outer*inner)
+		Run(workers, func(c *Ctx) {
+			c.Fork(outer, func(c *Ctx, i int) {
+				c.Fork(inner, func(c *Ctx, j int) {
+					counts[i*inner+j].Add(1)
+				})
+			})
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: leaf %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForkJoinBarrier checks Fork does not return before all its units have
+// completed, even when thieves run them.
+func TestForkJoinBarrier(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		var done atomic.Int64
+		Run(workers, func(c *Ctx) {
+			for round := 0; round < 50; round++ {
+				c.Fork(workers*3, func(c *Ctx, i int) {
+					done.Add(1)
+				})
+				if got, want := done.Load(), int64((round+1)*workers*3); got != want {
+					t.Errorf("workers=%d round %d: %d units done at join, want %d", workers, round, got, want)
+				}
+			}
+		})
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestSubmitDrain checks Close waits for externally submitted units and
+// everything they fork.
+func TestSubmitDrain(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		p := NewPool(workers)
+		var leaves atomic.Int64
+		const jobs, fan = 9, 11
+		for j := 0; j < jobs; j++ {
+			p.Submit(func(c *Ctx) {
+				c.Fork(fan, func(c *Ctx, i int) { leaves.Add(1) })
+			})
+		}
+		p.Close()
+		if got := leaves.Load(); got != jobs*fan {
+			t.Fatalf("workers=%d: %d leaves after Close, want %d", workers, got, jobs*fan)
+		}
+	}
+}
+
+// TestWorkerVerifiersDistinct checks each worker context carries its own
+// Verifier, so scratch arenas are never shared across concurrent units.
+func TestWorkerVerifiersDistinct(t *testing.T) {
+	const workers = 4
+	seen := make(map[*Verifier]int)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	Run(workers, func(c *Ctx) {
+		c.Fork(64, func(c *Ctx, i int) {
+			<-mu
+			seen[c.Verifier()]++
+			mu <- struct{}{}
+		})
+	})
+	if len(seen) > workers {
+		t.Fatalf("%d distinct verifiers across %d workers", len(seen), workers)
+	}
+	total := 0
+	for _, n := range seen {
+		total += n
+	}
+	if total != 64 {
+		t.Fatalf("verifier uses = %d, want 64", total)
+	}
+}

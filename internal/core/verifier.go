@@ -30,6 +30,11 @@ type Verifier struct {
 	fzf  fzf.Scratch
 	wit  witness.Scratch
 	prep history.PrepareScratch
+	// zone and ops back the (key, chunk) scheduler: zone holds the chunk
+	// decomposition a forked verification reads, ops is the chunk-op index
+	// buffer used for memo hashing and order translation.
+	zone zone.Scratch
+	ops  []int
 }
 
 // NewVerifier returns a fresh engine.
@@ -135,17 +140,7 @@ func (v *Verifier) CheckPrepared(p *history.Prepared, k int, opts Options) (Repo
 	if k < 1 {
 		return Report{}, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	algo := opts.Algorithm
-	if algo == 0 || algo == AlgoAuto {
-		switch k {
-		case 1:
-			algo = AlgoZones
-		case 2:
-			algo = AlgoFZF
-		default:
-			algo = AlgoOracle
-		}
-	}
+	algo := resolveAlgo(k, opts)
 	rep := Report{K: k, Algorithm: algo, Prepared: p}
 	switch algo {
 	case AlgoZones:

@@ -160,9 +160,18 @@ func CheckScratch(p *history.Prepared, s *Scratch) Result {
 		// 1-atomic. The order is reconstructed during assembly.
 		s.elements = append(s.elements, element{low: clusterLow(p, w), write: w})
 	}
-	// Any total order extending ≤_H works; sorting by low endpoint does
-	// (X.h < Y.l implies X.l < Y.l).
-	slices.SortStableFunc(s.elements, func(a, b element) int {
+	res.Witness = assemble(p, s.elements, s.witness[:0])
+	s.witness = res.Witness
+	res.Atomic = true
+	return res
+}
+
+// assemble performs the Lemma 4.1 concatenation: elements (per-chunk placed
+// orders and dangling clusters) are stably sorted by their zone low endpoint
+// and concatenated into buf. Any total order extending ≤_H works; sorting by
+// low endpoint does (X.h < Y.l implies X.l < Y.l).
+func assemble(p *history.Prepared, elements []element, buf []int) []int {
+	slices.SortStableFunc(elements, func(a, b element) int {
 		switch {
 		case a.low < b.low:
 			return -1
@@ -171,18 +180,64 @@ func CheckScratch(p *history.Prepared, s *Scratch) Result {
 		}
 		return 0
 	})
-	s.witness = s.witness[:0]
-	for _, e := range s.elements {
+	for _, e := range elements {
 		if e.write >= 0 {
-			s.witness = append(s.witness, e.write)
-			s.witness = append(s.witness, p.DictatedReads[e.write]...)
+			buf = append(buf, e.write)
+			buf = append(buf, p.DictatedReads[e.write]...)
 		} else {
-			s.witness = append(s.witness, e.order...)
+			buf = append(buf, e.order...)
 		}
 	}
-	res.Witness = s.witness
-	res.Atomic = true
-	return res
+	return buf
+}
+
+// CheckChunk runs Stage 2 on a single chunk in isolation: it returns the
+// placed 2-atomic total order over the chunk's operations for the first
+// viable candidate write order, or ord == nil with a reason when the chunk is
+// not 2-atomic. The chunk-parallel scheduler calls this with one Scratch per
+// worker; verdicts are position-independent, so per-chunk results combine
+// into exactly the sequential CheckScratch outcome (first failing chunk, or
+// Assemble of all orders). The returned order aliases s and is valid only
+// until the next call with the same Scratch.
+func CheckChunk(p *history.Prepared, ch zone.Chunk, s *Scratch) (ord []int, tried int, reason string) {
+	s.ensure(p)
+	s.placed = s.placed[:0]
+	return s.checkChunk(p, ch)
+}
+
+// Assemble builds the Lemma 4.1 witness for a fully verified decomposition:
+// orders[i] is the placed order CheckChunk produced for dec.Chunks[i], and
+// dangling clusters are reconstructed as write-then-reads. The result is
+// appended into buf and is identical to the Witness CheckScratch returns on
+// the same history.
+func Assemble(p *history.Prepared, dec zone.Decomposition, orders [][]int, buf []int) []int {
+	elements := make([]element, 0, len(dec.Chunks)+len(dec.Dangling))
+	for i, ch := range dec.Chunks {
+		elements = append(elements, element{low: ch.Lo, write: -1, order: orders[i]})
+	}
+	for _, w := range dec.Dangling {
+		elements = append(elements, element{low: clusterLow(p, w), write: w})
+	}
+	return assemble(p, elements, buf)
+}
+
+// AppendChunkOps appends the operation indices of chunk ch (its forward and
+// backward clusters' writes and dictated reads) in start order into buf. The
+// chunk-parallel scheduler uses it to hash a chunk's content for the verdict
+// memo and to translate memoized chunk-relative orders back to operation
+// indices.
+func AppendChunkOps(p *history.Prepared, ch zone.Chunk, buf []int) []int {
+	start := len(buf)
+	for _, w := range ch.Forward {
+		buf = append(buf, w)
+		buf = append(buf, p.DictatedReads[w]...)
+	}
+	for _, w := range ch.Backward {
+		buf = append(buf, w)
+		buf = append(buf, p.DictatedReads[w]...)
+	}
+	slices.Sort(buf[start:])
+	return buf
 }
 
 // clusterLow returns the zone low endpoint of write w's cluster.
@@ -277,16 +332,7 @@ func (s *Scratch) checkChunk(p *history.Prepared, ch zone.Chunk) (ord []int, tri
 // Prepared histories are index-sorted by start time, so sorting indices
 // suffices.
 func (s *Scratch) chunkOps(p *history.Prepared, ch zone.Chunk) {
-	s.ops = s.ops[:0]
-	for _, w := range ch.Forward {
-		s.ops = append(s.ops, w)
-		s.ops = append(s.ops, p.DictatedReads[w]...)
-	}
-	for _, w := range ch.Backward {
-		s.ops = append(s.ops, w)
-		s.ops = append(s.ops, p.DictatedReads[w]...)
-	}
-	slices.Sort(s.ops)
+	s.ops = AppendChunkOps(p, ch, s.ops[:0])
 }
 
 // viable implements the simplified LBT subroutine of Theorem 4.6: given a

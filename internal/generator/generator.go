@@ -9,7 +9,9 @@
 package generator
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"kat/internal/history"
 )
@@ -249,6 +251,56 @@ func LBTTrap(chain, goods int) *history.History {
 		val++
 	}
 	return history.Normalize(history.New(ops))
+}
+
+// ZipfCounts distributes total operations over keys with Zipfian skew of
+// exponent s > 1: key rank r (0-based) receives ops proportional to
+// 1/(r+1)^s, the canonical hot-key model of Internet-scale stores. The
+// result is deterministic given the seed, sums exactly to total, and every
+// key receives at least one operation when total >= keys. kavgen's -zipf
+// flag and the hot-key benchmarks both draw from this.
+//
+// ZipfCounts panics when s is not > 1 (rand.NewZipf's domain); callers
+// exposing the exponent to users must validate it first, as kavgen does.
+func ZipfCounts(seed int64, keys, total int, s float64) []int {
+	if !(s > 1) {
+		panic(fmt.Sprintf("generator: zipf exponent must be > 1, got %v", s))
+	}
+	counts := make([]int, keys)
+	if keys <= 0 || total <= 0 {
+		return counts
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(keys-1))
+	for i := 0; i < total; i++ {
+		counts[z.Uint64()]++
+	}
+	// Guarantee non-empty registers (an empty history is legal but a
+	// zero-op key would silently vanish from keyed output): each empty key
+	// takes one op from the fullest remaining donor, walking donors in
+	// descending-count order — O(keys log keys) regardless of skew.
+	if total >= keys {
+		donors := make([]int, keys)
+		for i := range donors {
+			donors[i] = i
+		}
+		sort.Slice(donors, func(a, b int) bool { return counts[donors[a]] > counts[donors[b]] })
+		d := 0
+		for i := range counts {
+			if counts[i] > 0 {
+				continue
+			}
+			for counts[donors[d]] <= 1 {
+				d++
+			}
+			counts[donors[d]]--
+			counts[i]++
+			if counts[donors[d]] <= 1 {
+				d++
+			}
+		}
+	}
+	return counts
 }
 
 // InjectStaleness returns a copy of h in which extra reads have been

@@ -1,0 +1,58 @@
+package generator
+
+import "testing"
+
+func TestZipfCountsInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		keys, total int
+		s           float64
+	}{
+		{8, 400, 1.2},
+		{100, 1000, 1.5},
+		{50, 50, 2.5},   // total == keys: exactly one each after rebalance
+		{1000, 5000, 3}, // strong skew: many ranks empty before rebalance
+		{5, 2, 1.3},     // total < keys: zeros are legal
+	} {
+		counts := ZipfCounts(7, tc.keys, tc.total, tc.s)
+		if len(counts) != tc.keys {
+			t.Fatalf("%+v: %d ranks", tc, len(counts))
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("%+v: rank %d negative (%d)", tc, i, c)
+			}
+			if tc.total >= tc.keys && c == 0 {
+				t.Fatalf("%+v: rank %d empty despite total >= keys", tc, i)
+			}
+			sum += c
+		}
+		if sum != tc.total {
+			t.Fatalf("%+v: counts sum to %d", tc, sum)
+		}
+	}
+	// Determinism and actual skew.
+	a := ZipfCounts(3, 16, 1600, 1.3)
+	b := ZipfCounts(3, 16, 1600, 1.3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ZipfCounts not deterministic")
+		}
+	}
+	if a[0] <= 1600/16 {
+		t.Fatalf("rank 0 got %d ops; expected above the uniform share", a[0])
+	}
+}
+
+func TestZipfCountsRejectsBadExponent(t *testing.T) {
+	for _, s := range []float64{1, 0.5, -2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("s=%v did not panic", s)
+				}
+			}()
+			ZipfCounts(1, 4, 100, s)
+		}()
+	}
+}

@@ -1,0 +1,75 @@
+package history
+
+import "fmt"
+
+// SubPrepared returns a verification view of the prepared history restricted
+// to the contiguous operation range [lo, hi). The view's History aliases p's
+// operation slice — no operations are copied — while the index structures
+// (dictating writes, dictated reads, value index) are rebuilt with indices
+// shifted into the view's coordinate space.
+//
+// The boundaries must be safe cuts (zone.SafeCut): every read in the range
+// must have its dictating write inside the range, or an error is returned.
+// Under that precondition the view satisfies every Prepared invariant the
+// verification algorithms rely on (start-sorted operations, local
+// dictating-write index, unique values), so the segment-equivalence lemma
+// applies: the history is k-atomic iff every safe-cut segment view is, and
+// smallest-k is the maximum over views. This is what lets the (key, chunk)
+// scheduler fan the exact oracle and the smallest-k search out over segments
+// of a single hot key.
+//
+// Operation IDs are left global (they identify ops of the full history), so
+// diagnostics reference the original trace; verification is index-based and
+// never consults IDs.
+func SubPrepared(p *Prepared, lo, hi int) (*Prepared, error) {
+	n := p.Len()
+	if lo < 0 || hi > n || lo > hi {
+		return nil, fmt.Errorf("history: subrange [%d,%d) out of bounds (len %d)", lo, hi, n)
+	}
+	m := hi - lo
+	sub := &Prepared{
+		H:              &History{Ops: p.H.Ops[lo:hi]},
+		DictatingWrite: make([]int, m),
+	}
+	reads := 0
+	for i := 0; i < m; i++ {
+		w := p.DictatingWrite[lo+i]
+		if w < 0 {
+			sub.DictatingWrite[i] = -1
+			continue
+		}
+		if w < lo || w >= hi {
+			return nil, fmt.Errorf("history: read %d dictated by write %d outside subrange [%d,%d) — not a safe cut", lo+i, w, lo, hi)
+		}
+		sub.DictatingWrite[i] = w - lo
+		reads++
+	}
+	// Carve the per-write read lists out of one flat allocation, mirroring
+	// prepareSorted.
+	sub.DictatedReads = make([][]int, m)
+	flat := make([]int, 0, reads)
+	for w := lo; w < hi; w++ {
+		rs := p.DictatedReads[w]
+		if len(rs) == 0 {
+			continue
+		}
+		off := len(flat)
+		for _, r := range rs {
+			if r < lo || r >= hi {
+				// The write-side crossing of the same contract the read
+				// loop above enforces: a dictated read outside the range
+				// means the boundary is not a safe cut.
+				return nil, fmt.Errorf("history: write %d dictates read %d outside subrange [%d,%d) — not a safe cut", w, r, lo, hi)
+			}
+			flat = append(flat, r-lo)
+		}
+		sub.DictatedReads[w-lo] = flat[off:len(flat):len(flat)]
+	}
+	// The value index filtered to in-range writes stays sorted by value.
+	for _, e := range p.valueIndex {
+		if e.write >= lo && e.write < hi {
+			sub.valueIndex = append(sub.valueIndex, valueEntry{e.value, e.write - lo})
+		}
+	}
+	return sub, nil
+}

@@ -415,29 +415,29 @@ type closedSeg struct {
 // The parser goroutine owns everything above mu; workers only touch the
 // fields below it (under mu) and the settled flag.
 type keyState struct {
-	key             string
-	seq             int // sequence number of the open segment
-	open            []history.Operation
-	openWrites      int
-	openMaxFinish   int64
-	maxClosedFinish int64 // committed cut time (max finish of all closed ops)
-	closedAny       bool
-	deque           []closedSeg
-	dequeWrites     int
-	dispatchedThrough int   // highest dispatched seq, -1 initially
-	values          map[int64]int32 // written value -> writer segment seq
-	cumWrites       []int64         // cumWrites[s] = closed writes through seq s's close
-	totalClosed     int64
-	ops             int
+	key               string
+	seq               int // sequence number of the open segment
+	open              []history.Operation
+	openWrites        int
+	openMaxFinish     int64
+	maxClosedFinish   int64 // committed cut time (max finish of all closed ops)
+	closedAny         bool
+	deque             []closedSeg
+	dequeWrites       int
+	dispatchedThrough int             // highest dispatched seq, -1 initially
+	values            map[int64]int32 // written value -> writer segment seq
+	cumWrites         []int64         // cumWrites[s] = closed writes through seq s's close
+	totalClosed       int64
+	ops               int
 
 	settled atomic.Bool
 
-	mu     sync.Mutex
-	atomic bool
-	err    error
-	errSeq int
-	maxK   int
-	kFloor int
+	mu        sync.Mutex
+	atomic    bool
+	err       error
+	errSeq    int
+	maxK      int
+	kFloor    int
 	saturated bool
 }
 
@@ -457,9 +457,15 @@ type engine struct {
 	sopts     StreamOptions
 
 	keys map[string]*keyState
-	jobs chan job
-	wg   sync.WaitGroup
-	pool sync.Pool
+	// vpool is the shared (key, chunk) work-stealing pool: segment jobs are
+	// submitted from the parser and may fork chunk sub-units, so one hot
+	// key's segments spread over every worker. sem bounds in-flight
+	// submissions (the parser blocks when verification falls behind,
+	// keeping buffered operations bounded exactly like the former
+	// fixed-capacity job channel). bufPool recycles operation buffers.
+	vpool   *core.Pool
+	sem     chan struct{}
+	bufPool sync.Pool
 
 	stop      atomic.Bool
 	parseDone atomic.Bool
@@ -496,13 +502,10 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 		opts:      opts,
 		sopts:     sopts,
 		keys:      make(map[string]*keyState),
-		jobs:      make(chan job, 2*workers),
+		vpool:     core.NewPool(workers),
+		sem:       make(chan struct{}, 2*workers),
 	}
-	e.pool.New = func() any { return []history.Operation(nil) }
-	for w := 0; w < workers; w++ {
-		e.wg.Add(1)
-		go e.worker()
-	}
+	e.bufPool.New = func() any { return []history.Operation(nil) }
 	return e
 }
 
@@ -517,8 +520,7 @@ func (e *engine) run(r io.Reader) error {
 			e.flush(ks)
 		}
 	}
-	close(e.jobs)
-	e.wg.Wait()
+	e.vpool.Close()
 	return err
 }
 
@@ -564,7 +566,7 @@ func (e *engine) add(key []byte, op history.Operation) error {
 		e.closeOpen(ks)
 	}
 	if ks.open == nil {
-		ks.open = e.pool.Get().([]history.Operation)
+		ks.open = e.bufPool.Get().([]history.Operation)
 	}
 	op.ID = len(ks.open)
 	ks.open = append(ks.open, op)
@@ -643,13 +645,13 @@ func (e *engine) closeOpen(ks *keyState) {
 		for _, seg := range ks.deque[j+1:] {
 			base.ops = append(base.ops, seg.ops...)
 			base.writes += seg.writes
-			e.pool.Put(seg.ops[:0])
+			e.bufPool.Put(seg.ops[:0])
 			e.merges++
 		}
 		base.ops = append(base.ops, ops...)
 		base.writes += writes
 		base.hiSeq = ks.seq
-		e.pool.Put(ops[:0])
+		e.bufPool.Put(ops[:0])
 		e.merges++ // the entry the read reached into
 		ks.deque = ks.deque[:j]
 		merged = base
@@ -661,7 +663,7 @@ func (e *engine) closeOpen(ks *keyState) {
 		ks.deque = append(ks.deque, merged)
 		ks.dequeWrites += writes
 	} else {
-		e.pool.Put(merged.ops[:0])
+		e.bufPool.Put(merged.ops[:0])
 	}
 	ks.seq++
 
@@ -714,7 +716,12 @@ func (e *engine) settle(ks *keyState, apply func()) {
 func (e *engine) dispatch(ks *keyState, seg closedSeg) {
 	ks.dispatchedThrough = seg.hiSeq
 	e.segments++
-	e.jobs <- job{ks: ks, seq: seg.loSeq, ops: seg.ops, scanOnly: ks.settled.Load()}
+	j := job{ks: ks, seq: seg.loSeq, ops: seg.ops, scanOnly: ks.settled.Load()}
+	e.sem <- struct{}{}
+	e.vpool.Submit(func(c *core.Ctx) {
+		defer func() { <-e.sem }()
+		e.verifySegment(c, j)
+	})
 }
 
 // flush closes the open window and dispatches everything still held; after
@@ -729,46 +736,46 @@ func (e *engine) flush(ks *keyState) {
 	ks.deque, ks.dequeWrites = nil, 0
 }
 
-func (e *engine) worker() {
-	defer e.wg.Done()
-	v := core.NewVerifier()
-	for j := range e.jobs {
-		n := len(j.ops)
-		h := history.History{Ops: j.ops}
-		verdict := SegmentVerdict{Key: j.ks.key, Seq: j.seq, Ops: n, Atomic: true}
-		switch {
-		case j.scanOnly:
-			verdict.Err = v.ScanOwned(&h)
-		case e.mode == modeCheck:
-			rep, err := v.CheckOwned(&h, e.k, e.opts)
-			verdict.Atomic, verdict.Err = rep.Atomic, err
-		default:
-			verdict.K, verdict.Err = v.SmallestKOwned(&h, e.opts)
-		}
-		e.settle(j.ks, func() {
-			ks := j.ks
-			if verdict.Err != nil {
-				if ks.err == nil || j.seq < ks.errSeq {
-					ks.err, ks.errSeq = verdict.Err, j.seq
-				}
-			} else if !verdict.Atomic {
-				ks.atomic = false
-			}
-			if verdict.K > ks.maxK {
-				ks.maxK = verdict.K
-			}
-		})
-		e.buffered.Add(-int64(n))
-		// FirstVerdictOps documents the pipelining win, so only verdicts
-		// landing while input is still being consumed count.
-		if !e.parseDone.Load() {
-			e.firstVerdict.CompareAndSwap(0, e.opsParsed.Load())
-		}
-		if e.sopts.OnSegment != nil {
-			e.sopts.OnSegment(verdict)
-		}
-		e.pool.Put(h.Ops[:0])
+// verifySegment is one segment unit on the pool. Large segments fork their
+// chunk (and, for smallest-k, safe-cut segment) sub-units back onto the same
+// pool via the Ctx verification methods, so idle workers steal intra-segment
+// work instead of waiting for whole segments.
+func (e *engine) verifySegment(c *core.Ctx, j job) {
+	n := len(j.ops)
+	h := history.History{Ops: j.ops}
+	verdict := SegmentVerdict{Key: j.ks.key, Seq: j.seq, Ops: n, Atomic: true}
+	switch {
+	case j.scanOnly:
+		verdict.Err = c.Verifier().ScanOwned(&h)
+	case e.mode == modeCheck:
+		rep, err := c.CheckOwned(&h, e.k, e.opts)
+		verdict.Atomic, verdict.Err = rep.Atomic, err
+	default:
+		verdict.K, verdict.Err = c.SmallestKOwned(&h, e.opts)
 	}
+	e.settle(j.ks, func() {
+		ks := j.ks
+		if verdict.Err != nil {
+			if ks.err == nil || j.seq < ks.errSeq {
+				ks.err, ks.errSeq = verdict.Err, j.seq
+			}
+		} else if !verdict.Atomic {
+			ks.atomic = false
+		}
+		if verdict.K > ks.maxK {
+			ks.maxK = verdict.K
+		}
+	})
+	e.buffered.Add(-int64(n))
+	// FirstVerdictOps documents the pipelining win, so only verdicts
+	// landing while input is still being consumed count.
+	if !e.parseDone.Load() {
+		e.firstVerdict.CompareAndSwap(0, e.opsParsed.Load())
+	}
+	if e.sopts.OnSegment != nil {
+		e.sopts.OnSegment(verdict)
+	}
+	e.bufPool.Put(h.Ops[:0])
 }
 
 func (e *engine) sortedKeys() []*keyState {

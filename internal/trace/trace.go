@@ -162,18 +162,22 @@ func Check(t *Trace, k int, opts core.Options) Report {
 	return CheckParallel(t, k, opts, 1)
 }
 
-// CheckParallel is Check with per-key verification fanned out over a bounded
-// worker pool. workers <= 0 uses GOMAXPROCS. Each worker owns a reusable
-// core.Verifier, and every outcome is written into its key-sorted slot, so
-// the Report is identical to the sequential one regardless of worker count.
+// CheckParallel is Check with verification fanned out over one work-stealing
+// pool of (key, chunk) units. workers <= 0 uses GOMAXPROCS. Each key forks
+// as a unit that prepares the register and then forks its chunk (k=1, 2) or
+// safe-cut segment (k >= 3) sub-units back onto the same pool, so a skewed
+// trace with one hot key still saturates every worker — idle workers steal
+// chunks instead of waiting at key boundaries. Every outcome is written into
+// its key-sorted slot and all cross-unit combining is commutative, so the
+// Report is identical to the sequential one regardless of worker count.
 func CheckParallel(t *Trace, k int, opts core.Options, workers int) Report {
 	keys := t.SortedKeys()
 	rep := Report{K: k, Keys: make([]KeyReport, len(keys))}
-	forEachKey(keys, workers, func(v *core.Verifier, i int) {
+	forEachKey(keys, workers, func(c *core.Ctx, i int) {
 		key := keys[i]
 		h := t.Keys[key]
 		kr := KeyReport{Key: key, Ops: h.Len()}
-		r, err := v.Check(h, k, opts)
+		r, err := c.Check(h, k, opts)
 		if err != nil {
 			kr.Err = err
 		} else {
@@ -190,14 +194,16 @@ func SmallestKByKey(t *Trace, opts core.Options) map[string]int {
 	return SmallestKByKeyParallel(t, opts, 1)
 }
 
-// SmallestKByKeyParallel is SmallestKByKey over a bounded worker pool
-// (workers <= 0 uses GOMAXPROCS); the result is identical to the sequential
+// SmallestKByKeyParallel is SmallestKByKey over the shared (key, chunk)
+// work-stealing pool (workers <= 0 uses GOMAXPROCS): each key's search forks
+// per-segment smallest-k probes back onto the pool, so a single deep key no
+// longer serializes the sweep. The result is identical to the sequential
 // form for any worker count.
 func SmallestKByKeyParallel(t *Trace, opts core.Options, workers int) map[string]int {
 	keys := t.SortedKeys()
 	results := make([]int, len(keys))
-	forEachKey(keys, workers, func(v *core.Verifier, i int) {
-		k, err := v.SmallestK(t.Keys[keys[i]], opts)
+	forEachKey(keys, workers, func(c *core.Ctx, i int) {
+		k, err := c.SmallestK(t.Keys[keys[i]], opts)
 		if err != nil {
 			k = 0
 		}
@@ -210,11 +216,17 @@ func SmallestKByKeyParallel(t *Trace, opts core.Options, workers int) map[string
 	return out
 }
 
-// forEachKey fans fn out over the keys via the shared core.ForEachWorker
-// pool: one Verifier per worker, disjoint result slots, deterministic
-// output. workers <= 0 uses GOMAXPROCS.
-func forEachKey(keys []string, workers int, fn func(v *core.Verifier, i int)) {
-	core.ForEachWorker(len(keys), workers, fn)
+// forEachKey forks fn over the keys as units of one work-stealing pool:
+// each unit runs with a worker-owned Verifier and may fork chunk sub-units;
+// results land in disjoint slots, so output is deterministic. workers <= 0
+// uses GOMAXPROCS.
+func forEachKey(keys []string, workers int, fn func(c *core.Ctx, i int)) {
+	if len(keys) == 0 {
+		return
+	}
+	core.Run(workers, func(c *core.Ctx) {
+		c.Fork(len(keys), fn)
+	})
 }
 
 // WorstK returns the maximum smallest-k across registers (the trace-level

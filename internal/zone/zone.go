@@ -160,6 +160,29 @@ type Chunk struct {
 	Backward []int
 }
 
+// OneAtomic reports whether the chunk passes the Gibbons–Korach zone
+// conditions in isolation — the chunk-local form of Check1Atomic used by the
+// chunk-parallel scheduler. A history is 1-atomic iff every chunk of its
+// decomposition is OneAtomic:
+//
+//   - Condition 1 (no two forward zones overlap) fails globally iff some
+//     chunk holds two or more forward clusters: a chunk is by construction a
+//     maximal run of overlapping forward zones, and distinct chunks occupy
+//     disjoint intervals.
+//   - Condition 2 (no backward zone nested in a forward zone) fails globally
+//     iff some chunk holds a backward cluster: if backward zone b nests in
+//     forward zone f, then b nests in f's chunk interval and is assigned to
+//     it (never dangling); conversely a backward cluster assigned to a
+//     single-forward chunk nests in that chunk's interval, which is exactly
+//     the forward zone's interval — and multi-forward chunks already fail
+//     condition 1.
+//
+// Dangling clusters never violate either condition. Each chunk verdict is
+// O(1), so the parallel k=1 path is dominated by the shared decomposition.
+func (c Chunk) OneAtomic() bool {
+	return len(c.Forward) < 2 && len(c.Backward) == 0
+}
+
 // Decomposition is the chunk set CS(H) plus the dangling clusters (backward
 // clusters belonging to no chunk).
 type Decomposition struct {

@@ -35,6 +35,17 @@
 // fan the keys out over a worker pool — one Verifier per worker — with
 // results identical to the sequential forms.
 //
+// Parallelism does not stop at key granularity: every parallel entry point
+// schedules (key, chunk) work units on one shared work-stealing pool. A
+// prepared history decomposes into independently verifiable chunks (Stage 1
+// of FZF) and safe-cut segments, so a skewed trace with one hot key — or a
+// single huge register checked via CheckPreparedParallel /
+// SmallestKPreparedParallel — still saturates every worker: idle workers
+// steal chunk units instead of waiting at key boundaries. Supplying a Memo
+// via Options.Memo additionally caches chunk and segment verdicts by content
+// hash, so repeated or incremental verification of overlapping traces skips
+// already-proved units.
+//
 // # Streaming
 //
 // Traces too large to materialize verify straight from an io.Reader:
@@ -108,6 +119,35 @@ type (
 
 // NewVerifier returns a reusable verification engine (see Verifier).
 func NewVerifier() *Verifier { return core.NewVerifier() }
+
+// Memo is a concurrency-safe verdict cache keyed by work-unit content hash:
+// the chunk-parallel verification paths consult it before verifying a chunk
+// or safe-cut segment, so repeated or incremental verification of
+// overlapping traces skips already-proved units. Share one via Options.Memo.
+type Memo = core.Memo
+
+// MemoStats reports a Memo's hit/miss/entry counters.
+type MemoStats = core.MemoStats
+
+// NewMemo returns an empty verdict memo.
+func NewMemo() *Memo { return core.NewMemo() }
+
+// CheckPreparedParallel is CheckPrepared with chunk-level parallelism: the
+// history's chunks (k=1, 2) or safe-cut segments (k >= 3) verify
+// concurrently on a work-stealing pool of the given size (workers <= 0 uses
+// GOMAXPROCS), so even a single register saturates multiple cores. Verdicts
+// are identical to CheckPrepared for any worker count; for k=2 the witness
+// is byte-identical too.
+func CheckPreparedParallel(p *Prepared, k int, opts Options, workers int) (Report, error) {
+	return core.CheckPreparedParallel(p, k, opts, workers)
+}
+
+// SmallestKPreparedParallel is the smallest-k search with per-segment probes
+// fanned out over a work-stealing pool (workers <= 0 uses GOMAXPROCS); the
+// result equals the sequential search by the segment-equivalence lemma.
+func SmallestKPreparedParallel(p *Prepared, opts Options, workers int) (int, error) {
+	return core.SmallestKPreparedParallel(p, opts, workers)
+}
 
 // Algorithm choices for Options.Algorithm.
 const (
@@ -195,6 +235,14 @@ func ReadStaleness(p *Prepared, order []int) ([]int, error) {
 // GenerateKAtomic produces a history that is (cfg.StalenessDepth+1)-atomic
 // by construction.
 func GenerateKAtomic(cfg GenConfig) *History { return generator.KAtomic(cfg) }
+
+// ZipfKeyCounts distributes total operations over keys with Zipfian skew of
+// exponent s > 1 (key rank r gets ops proportional to 1/(r+1)^s) — the
+// hot-key model kavgen's -zipf flag and the hot-key benchmarks use. The
+// result is deterministic given the seed and sums to total.
+func ZipfKeyCounts(seed int64, keys, total int, s float64) []int {
+	return generator.ZipfCounts(seed, keys, total, s)
+}
 
 // GenerateRandom produces an unconstrained anomaly-free random history.
 func GenerateRandom(cfg GenConfig) *History { return generator.Random(cfg) }

@@ -14,6 +14,15 @@
 // compared benchmarks — a uniformly slower machine cancels out and only a
 // *relative* regression of specific benchmarks trips the gate.
 // Allocations are machine-independent and compared directly.
+//
+// Noise tolerance: scheduler jitter makes some benchmarks bimodal (the
+// BenchmarkFZF/c=256/n=64000 family has shown 13ms→35ms outliers on shared
+// runners). Medians over repeated samples (-count in the Makefile) absorb
+// isolated outliers, and each benchmark's threshold is additionally widened
+// by an IQR-based noise floor: a benchmark whose own samples spread wide
+// (large interquartile range relative to its median, in either run) gets a
+// proportionally wider gate, while tight benchmarks keep the strict one.
+// -iqr-mult scales the widening (0 disables it).
 package main
 
 import (
@@ -48,6 +57,7 @@ func main() {
 		nsRatio      = flag.Float64("max-ns-ratio", 1.30, "fail when normalized time ratio exceeds this (0 disables)")
 		allocRatio   = flag.Float64("max-alloc-ratio", 1.30, "fail when allocs/op ratio exceeds this (0 disables)")
 		normalize    = flag.Bool("normalize", true, "divide time ratios by their median (cross-machine comparison)")
+		iqrMult      = flag.Float64("iqr-mult", 2.0, "widen each benchmark's time gate by this multiple of its relative IQR (noise floor; 0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -75,6 +85,7 @@ func main() {
 		name             string
 		ratio, allocFrom float64
 		allocTo          float64
+		noise            float64 // relative IQR of the baseline samples only
 	}
 	var rows []row
 	for name, c := range cur {
@@ -87,6 +98,10 @@ func main() {
 			ratio:     median(c.ns) / median(b.ns),
 			allocFrom: median(b.allocs),
 			allocTo:   median(c.allocs),
+			// Baseline spread only: widening by the *current* run's IQR
+			// would let a change that made a benchmark bimodal (a common
+			// regression signature) raise its own gate and pass.
+			noise: relIQR(b.ns),
 		})
 	}
 	if len(rows) == 0 {
@@ -111,9 +126,19 @@ func main() {
 	failed := false
 	for _, r := range rows {
 		rel := r.ratio / norm
+		// The per-benchmark gate: the global threshold widened by the
+		// benchmark's own observed noise, so medians of jittery
+		// benchmarks don't fail on scheduler variance while tight ones
+		// keep the strict gate.
+		gate := *nsRatio
+		if gate > 0 && *iqrMult > 0 {
+			// Cap the widening: a wildly noisy baseline should demand a
+			// re-record, not disable the gate.
+			gate += min(*iqrMult*r.noise, 0.70)
+		}
 		status := "ok"
-		if *nsRatio > 0 && rel > *nsRatio {
-			status = fmt.Sprintf("TIME REGRESSION (>%.0f%%)", (*nsRatio-1)*100)
+		if *nsRatio > 0 && rel > gate {
+			status = fmt.Sprintf("TIME REGRESSION (>%.0f%%, noise floor %.0f%%)", (*nsRatio-1)*100, r.noise*100)
 			failed = true
 		}
 		// Small absolute slack keeps counting noise on tiny benchmarks
@@ -122,8 +147,8 @@ func main() {
 			status = fmt.Sprintf("ALLOC REGRESSION (%.0f -> %.0f)", r.allocFrom, r.allocTo)
 			failed = true
 		}
-		fmt.Printf("  %-60s time x%.2f  allocs %.0f->%.0f  %s\n",
-			r.name, rel, r.allocFrom, r.allocTo, status)
+		fmt.Printf("  %-60s time x%.2f (gate x%.2f)  allocs %.0f->%.0f  %s\n",
+			r.name, rel, gate, r.allocFrom, r.allocTo, status)
 	}
 	if failed {
 		fmt.Println("benchcmp: FAIL")
@@ -216,4 +241,36 @@ func median(xs []float64) float64 {
 	} else {
 		return (s[n/2-1] + s[n/2]) / 2
 	}
+}
+
+// quantile returns the q-quantile (0..1) of xs by linear interpolation over
+// the sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// relIQR returns the interquartile range of xs divided by its median — the
+// scale-free noise measure behind the per-benchmark gate widening. Fewer
+// than 4 samples cannot estimate spread; they get floor 0 (strict gate).
+func relIQR(xs []float64) float64 {
+	if len(xs) < 4 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	med := median(s)
+	if med <= 0 {
+		return 0
+	}
+	return (quantile(s, 0.75) - quantile(s, 0.25)) / med
 }
