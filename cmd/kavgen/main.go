@@ -8,15 +8,25 @@
 //	kavgen -kind katomic -ops 500 -inject 0.3 -inject-depth 3 > stale.txt
 //	kavgen -keys 64 -ops 1000 -depth 1 | kavcheck -k 2 -stream -
 //	kavgen -keys 64 -ops 1000 -zipf 1.3 | kavcheck -k 2 -stream -workers 4 -
+//	kavgen -keys 64 -ops 500 -replay http://localhost:8080 -clients 32 -drain
 //
 // With -keys N the output is a keyed multi-register trace, one generated
 // register per key, serialized in operation arrival order — ready to pipe
 // into the streaming verifier. -zipf s (s > 1) skews the per-key operation
 // counts Zipfian while preserving the total, producing the hot-key traffic
 // shape that exercises chunk-level (intra-key) parallel verification.
+//
+// With -replay URL the trace — generated with the flags above, or read from
+// a positional file ("-" for stdin) — is replayed against a kavserve /ingest
+// endpoint instead of printed: operations are partitioned over -clients
+// concurrent streaming connections by key hash (so each key's operations
+// arrive in order from one connection, as the server requires), optionally
+// paced to an aggregate -rate operations per second. -drain then asks the
+// server for final verdicts and prints them.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +34,14 @@ import (
 
 	"kat"
 )
+
+// openInput resolves a trace-file argument: a path, or "-" for stdin.
+func openInput(arg string) (io.ReadCloser, error) {
+	if arg == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(arg)
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -49,6 +67,10 @@ func run(args []string, out io.Writer) error {
 		keys        = fs.Int("keys", 0, "emit a keyed trace with this many registers (-ops each), in arrival order")
 		zipf        = fs.Float64("zipf", 0, "with -keys: skew the per-key operation counts Zipfian with this exponent (> 1; total ops stays keys*ops, rank-0 key hottest)")
 		asJSON      = fs.Bool("json", false, "emit JSON instead of text")
+		replay      = fs.String("replay", "", "replay the trace against this kavserve base URL instead of printing it")
+		clients     = fs.Int("clients", 8, "with -replay: number of concurrent ingest connections")
+		rate        = fs.Float64("rate", 0, "with -replay: aggregate operations per second (0 = unlimited)")
+		drain       = fs.Bool("drain", false, "with -replay: drain the server afterwards and print its final verdicts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,12 +106,10 @@ func run(args []string, out io.Writer) error {
 		return h, nil
 	}
 
-	if *keys > 0 {
-		if *asJSON {
-			return fmt.Errorf("-keys and -json are mutually exclusive")
-		}
-		// Uniform by default; -zipf skews the per-key op counts so the
-		// trace exercises the hot-key path of the (key, chunk) scheduler.
+	// genKeyed builds the multi-register trace: uniform per-key op counts by
+	// default; -zipf skews them so the trace exercises the hot-key path of
+	// the (key, chunk) scheduler.
+	genKeyed := func() (*kat.Trace, error) {
 		counts := make([]int, *keys)
 		for i := range counts {
 			counts[i] = *ops
@@ -107,11 +127,51 @@ func run(args []string, out io.Writer) error {
 			kcfg.Ops = counts[i]
 			h, err := generate(kcfg)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			for _, op := range h.Ops {
 				tr.Add(fmt.Sprintf("key-%04d", i), op)
 			}
+		}
+		return tr, nil
+	}
+
+	if *replay != "" {
+		if *asJSON {
+			return fmt.Errorf("-replay and -json are mutually exclusive")
+		}
+		var text bytes.Buffer
+		if fs.NArg() > 0 {
+			in, err := openInput(fs.Args()[0])
+			if err != nil {
+				return err
+			}
+			defer in.Close()
+			if _, err := io.Copy(&text, in); err != nil {
+				return err
+			}
+		} else {
+			if *keys <= 0 {
+				return fmt.Errorf("-replay needs -keys N (generated trace) or a trace file argument")
+			}
+			tr, err := genKeyed()
+			if err != nil {
+				return err
+			}
+			if err := kat.WriteTraceArrivalOrder(&text, tr); err != nil {
+				return err
+			}
+		}
+		return runReplay(*replay, text.Bytes(), *clients, *rate, *drain, out)
+	}
+
+	if *keys > 0 {
+		if *asJSON {
+			return fmt.Errorf("-keys and -json are mutually exclusive")
+		}
+		tr, err := genKeyed()
+		if err != nil {
+			return err
 		}
 		return kat.WriteTraceArrivalOrder(out, tr)
 	}

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"kat"
+	"kat/internal/online"
+	"kat/internal/trace"
 )
 
 func TestGenKAtomic(t *testing.T) {
@@ -156,5 +162,72 @@ func TestZipfFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-keys", "4", "-zipf", "0.9"}, &out); err == nil {
 		t.Error("-zipf <= 1 accepted")
+	}
+}
+
+func TestReplayAgainstServer(t *testing.T) {
+	srv := online.New(online.Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 4}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	genArgs := []string{"-keys", "6", "-ops", "40", "-depth", "1", "-inject", "0.5", "-inject-depth", "2", "-seed", "3"}
+	var replayOut strings.Builder
+	args := append(append([]string{}, genArgs...),
+		"-replay", ts.URL, "-clients", "5", "-rate", "50000", "-drain")
+	if err := run(args, &replayOut); err != nil {
+		t.Fatalf("replay run: %v\n%s", err, replayOut.String())
+	}
+	if !strings.Contains(replayOut.String(), "final verdicts") {
+		t.Fatalf("replay output missing drained verdicts:\n%s", replayOut.String())
+	}
+
+	// The drained server must agree with the offline checker on the very
+	// same generated trace.
+	var genOut strings.Builder
+	if err := run(genArgs, &genOut); err != nil {
+		t.Fatalf("gen run: %v", err)
+	}
+	tr, err := kat.ParseTrace(genOut.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, wantK := range kat.SmallestKByKey(tr, kat.Options{}) {
+		line := fmt.Sprintf("key %-12s %6d ops  smallest k: %d", key, tr.Keys[key].Len(), wantK)
+		if !strings.Contains(replayOut.String(), line) {
+			t.Fatalf("replay verdicts missing %q:\n%s", line, replayOut.String())
+		}
+	}
+}
+
+func TestReplayFromFile(t *testing.T) {
+	srv := online.New(online.Config{Stream: trace.StreamOptions{Workers: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	var gen strings.Builder
+	if err := run([]string{"-keys", "3", "-ops", "20"}, &gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(gen.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-replay", ts.URL, "-clients", "2", path}, &out); err != nil {
+		t.Fatalf("replay from file: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "live verdicts") {
+		t.Fatalf("undrained replay should print live verdicts:\n%s", out.String())
+	}
+}
+
+func TestReplayFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-replay", "http://x", "-json"}, &out); err == nil {
+		t.Error("-replay -json accepted")
+	}
+	if err := run([]string{"-replay", "http://x"}, &out); err == nil {
+		t.Error("-replay without -keys or file accepted")
 	}
 }

@@ -1,0 +1,184 @@
+package main
+
+// Replay mode: drive a kavserve instance with a trace, the load-generator
+// half of the online verification pipeline. Operations are partitioned over
+// concurrent streaming /ingest connections by key hash — every key's
+// operations flow through exactly one connection, preserving the per-key
+// arrival order the server's streaming engine requires, while connections
+// interleave freely (the production shape: many clients, disjoint key sets).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kat/internal/online"
+)
+
+// runReplay sends the trace's lines to baseURL/ingest over `clients`
+// concurrent connections at an approximate aggregate `rate` ops/second
+// (0 = unlimited), then optionally drains the server and prints its final
+// verdicts.
+func runReplay(baseURL string, traceText []byte, clients int, rate float64, drain bool, out io.Writer) error {
+	if clients < 1 {
+		clients = 1
+	}
+	buckets := make([][][]byte, clients)
+	total := 0
+	for _, line := range bytes.Split(traceText, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		h := fnv.New32a()
+		h.Write(keyOf(line))
+		b := int(h.Sum32() % uint32(clients))
+		buckets[b] = append(buckets[b], line)
+		total++
+	}
+
+	// Pacing: a central dispenser feeds at most `rate` tokens per second;
+	// every connection takes one token per operation. Approximate — at very
+	// high rates the ticker saturates and replay runs effectively unpaced.
+	var tokens chan struct{}
+	pacerDone := make(chan struct{})
+	defer close(pacerDone)
+	if rate > 0 {
+		interval := time.Duration(float64(time.Second) / rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		tokens = make(chan struct{})
+		tick := time.NewTicker(interval)
+		go func() {
+			defer tick.Stop()
+			for {
+				select {
+				case <-pacerDone:
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					case <-pacerDone:
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var (
+		wg     sync.WaitGroup
+		sent   atomic.Int64
+		active int
+		errs   = make(chan error, clients)
+	)
+	for _, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		active++
+		wg.Add(1)
+		go func(bucket [][]byte) {
+			defer wg.Done()
+			if err := replayConn(baseURL, bucket, tokens, pacerDone, &sent); err != nil {
+				errs <- err
+			}
+		}(bucket)
+	}
+	wg.Wait()
+	close(errs)
+	fmt.Fprintf(out, "replayed %d/%d ops over %d connection(s)\n", sent.Load(), total, active)
+	if err := <-errs; err != nil {
+		return err
+	}
+
+	if drain {
+		resp, err := http.Post(baseURL+"/drain", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return printServerVerdict(out, resp.Body, true)
+	}
+	resp, err := http.Get(baseURL + "/verdict")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return printServerVerdict(out, resp.Body, false)
+}
+
+// replayConn streams one bucket's lines as a single chunked /ingest request.
+// The writer goroutine also watches `stop` while waiting for a pacing token:
+// when the request side fails, only a pipe write would unblock it otherwise,
+// and it would leak parked on the token channel.
+func replayConn(baseURL string, bucket [][]byte, tokens chan struct{}, stop <-chan struct{}, sent *atomic.Int64) error {
+	pr, pw := io.Pipe()
+	go func() {
+		var nl = []byte("\n")
+		for _, line := range bucket {
+			if tokens != nil {
+				select {
+				case <-tokens:
+				case <-stop:
+					return
+				}
+			}
+			if _, err := pw.Write(line); err != nil {
+				return // request side failed; it reports the error
+			}
+			if _, err := pw.Write(nl); err != nil {
+				return
+			}
+			sent.Add(1)
+		}
+		pw.Close()
+	}()
+	resp, err := http.Post(baseURL+"/ingest", "text/plain", pr)
+	if err != nil {
+		pr.Close()
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// keyOf extracts the key column (second whitespace-separated field) of a
+// keyed trace line; partitioning only needs it as a hash input, so malformed
+// lines (rejected server-side) may map anywhere.
+func keyOf(line []byte) []byte {
+	fields := bytes.Fields(line)
+	if len(fields) >= 2 {
+		return fields[1]
+	}
+	return line
+}
+
+// printServerVerdict renders a kavserve verdict document like kavserve's own
+// shutdown summary, so pipeline and server logs read the same.
+func printServerVerdict(out io.Writer, body io.Reader, drained bool) error {
+	var doc online.VerdictDoc
+	if err := json.NewDecoder(body).Decode(&doc); err != nil {
+		return fmt.Errorf("verdict response: %w", err)
+	}
+	state := "live"
+	if doc.Drained {
+		state = "final"
+	}
+	doc.WriteText(out, "server: "+state)
+	if drained && !doc.Drained {
+		return fmt.Errorf("server did not report itself drained")
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command kavserve is the online continuous-verification service: it accepts
+// operation streams from many concurrent clients over HTTP, verifies them
+// incrementally on a shared work-stealing pool, and serves live per-key
+// verdicts (smallest k, status at the configured bound, violation
+// witnesses).
+//
+// Usage:
+//
+//	kavserve -addr :8080 -k 2
+//	kavgen -keys 64 -ops 500 -replay http://localhost:8080 -drain
+//	curl localhost:8080/verdict
+//	curl localhost:8080/metrics
+//
+// Ingest wants the keyed trace format, newline-delimited, each key's
+// operations in nondecreasing start order (the natural order of an operation
+// log; route each key through one client). On SIGINT/SIGTERM the server
+// drains gracefully — open segments flush to final verdicts, which are
+// printed before exit and stay queryable until the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kat"
+	"kat/internal/online"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kavserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kavserve", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		k       = fs.Int("k", 2, "staleness bound keys are judged against in /verdict")
+		workers = fs.Int("workers", 0, "verification pool size (0 = GOMAXPROCS)")
+		horizon = fs.Int("horizon", 0, "smallest-k staleness horizon in writes (0 = default)")
+		minSeg  = fs.Int("min-segment-ops", 0, "minimum open-window size before a quiescent cut (0 = default)")
+		maxBuf  = fs.Int("max-buffered-ops", 0, "cap on live buffered operations across keys (0 = uncapped)")
+		memo    = fs.Bool("memo", true, "cache segment verdicts by content hash")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	cfg := online.Config{K: *k}
+	cfg.Stream.Workers = *workers
+	cfg.Stream.Horizon = *horizon
+	cfg.Stream.MinSegmentOps = *minSeg
+	cfg.Stream.MaxBufferedOps = *maxBuf
+	if *memo {
+		cfg.Opts.Memo = kat.NewMemo()
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	fmt.Fprintf(out, "kavserve: listening on %s (k=%d)\n", ln.Addr(), *k)
+	return serve(ln, cfg, sigs, out)
+}
+
+// serve runs the service on ln until a signal arrives, then drains the
+// session, prints the final verdicts, and shuts the listener down.
+func serve(ln net.Listener, cfg online.Config, shutdown <-chan os.Signal, out io.Writer) error {
+	srv := online.New(cfg)
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// The listener failed on its own; nothing to drain into.
+		return err
+	case <-shutdown:
+	}
+	fmt.Fprintln(out, "kavserve: draining...")
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintf(out, "kavserve: drain error: %v\n", err)
+	}
+	srv.Verdict().WriteText(out, "kavserve: final")
+	// Shutdown (not Close): verdicts must stay queryable until in-flight
+	// responses — a client's /drain or /verdict read — have completed.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"kat"
+	"kat/internal/online"
+)
+
+func TestFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:0"}, &out); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// TestServeDrainOnSignal runs the full server loop on a real listener,
+// ingests a trace, triggers the signal-driven graceful drain, and checks the
+// final verdicts printed on shutdown match the offline checker.
+func TestServeDrainOnSignal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := online.Config{K: 2}
+	cfg.Stream.Workers = 2
+	cfg.Stream.MinSegmentOps = 4
+	sigs := make(chan os.Signal, 1)
+	var out strings.Builder
+	var mu sync.Mutex
+	lockedOut := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, cfg, sigs, lockedOut) }()
+	base := "http://" + ln.Addr().String()
+
+	tr := kat.NewTrace()
+	for ki := 0; ki < 4; ki++ {
+		h := kat.GenerateKAtomic(kat.GenConfig{Seed: int64(ki + 1), Ops: 50, Concurrency: 2, ReadFraction: 0.5})
+		if ki%2 == 1 {
+			h = kat.InjectStaleness(h, int64(ki+50), 0.6, 2)
+		}
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("reg-%d", ki), op)
+		}
+	}
+	var text strings.Builder
+	if err := kat.WriteTraceArrivalOrder(&text, tr); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/ingest", "text/plain", strings.NewReader(text.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s: %s", resp.Status, body)
+	}
+	var ing struct{ Ingested int }
+	if err := json.Unmarshal(body, &ing); err != nil || ing.Ingested != tr.Len() {
+		t.Fatalf("ingest response %s (err %v), want %d ops", body, err, tr.Len())
+	}
+
+	sigs <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	mu.Lock()
+	output := out.String()
+	mu.Unlock()
+	for key, wantK := range kat.SmallestKByKey(tr, kat.Options{}) {
+		needle := fmt.Sprintf("smallest k: %d", wantK)
+		found := false
+		for _, line := range strings.Split(output, "\n") {
+			if strings.Contains(line, "key "+key) && strings.Contains(line, needle) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("shutdown output missing %q for key %s:\n%s", needle, key, output)
+		}
+	}
+	if !strings.Contains(output, "kavserve: final verdicts for 4 key(s)") {
+		t.Fatalf("missing final summary:\n%s", output)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

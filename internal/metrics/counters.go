@@ -1,0 +1,115 @@
+package metrics
+
+// Operational counters for long-running services. The batch tooling measures
+// histories after the fact; a continuous verifier (cmd/kavserve) instead
+// needs live cumulative counters (operations ingested, segments closed) and
+// instantaneous gauges (open-window size, memo hit rate) it can expose over
+// HTTP. Registry renders both in the Prometheus text exposition format, so
+// any scraper — or curl — can read them without this repo taking on a client
+// library dependency.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a cumulative, monotonically nondecreasing metric. Safe for
+// concurrent use; the zero value is ready.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is a named set of counters and callback-backed gauges. The zero
+// value is not usable; create one with NewRegistry. Registration and
+// rendering are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+type metric struct {
+	help    string
+	counter *Counter       // exactly one of counter / gauge is set
+	gauge   func() float64 // sampled at render time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering a name that already holds a gauge panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.counter == nil {
+			panic(fmt.Sprintf("metrics: %q already registered as a gauge", name))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = &metric{help: help, counter: c}
+	return c
+}
+
+// Gauge registers fn as the instantaneous value of name, sampled every time
+// the registry renders. Registering a name twice panics.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered", name))
+	}
+	r.metrics[name] = &metric{help: help, gauge: fn}
+}
+
+// WriteTo renders every metric in the Prometheus text exposition format
+// (HELP and TYPE comments, one sample per metric), sorted by name so output
+// is deterministic. Gauge callbacks run outside the registry lock, so a
+// gauge may itself take locks.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ms := make([]*metric, len(names))
+	for i, name := range names {
+		ms[i] = r.metrics[name]
+	}
+	r.mu.Unlock()
+
+	var total int64
+	for i, name := range names {
+		m := ms[i]
+		kind, value := "counter", ""
+		if m.counter != nil {
+			value = strconv.FormatInt(m.counter.Value(), 10)
+		} else {
+			kind = "gauge"
+			value = strconv.FormatFloat(m.gauge(), 'g', -1, 64)
+		}
+		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			name, m.help, name, kind, name, value)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "operations")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(500)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1500 {
+		t.Fatalf("counter = %d, want %d", got, 8*1500)
+	}
+}
+
+func TestCounterIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("aliased counter = %d, want 3", b.Value())
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b counter").Add(42)
+	r.Gauge("a_open", "live window", func() float64 { return 7.5 })
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP a_open live window\n" +
+		"# TYPE a_open gauge\n" +
+		"a_open 7.5\n" +
+		"# HELP b_total b counter\n" +
+		"# TYPE b_total counter\n" +
+		"b_total 42\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "gauge", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("counter over existing gauge did not panic")
+		}
+	}()
+	r.Counter("g", "counter")
+}

@@ -1,0 +1,381 @@
+// Package online is the continuous-verification service behind cmd/kavserve:
+// a long-running HTTP ingestion endpoint that routes operation streams from
+// many concurrent clients into one push-driven smallest-k session
+// (trace.Session) on a shared verification pool, and serves the live per-key
+// verdict state back out.
+//
+// Endpoints:
+//
+//	POST /ingest        newline-delimited keyed trace format (chunked bodies
+//	                    fine); returns {"ingested": n}. 400 on malformed
+//	                    input, 409 on ordering/buffer violations, 503 once
+//	                    draining.
+//	GET  /verdict       live (or, after drain, final) per-key verdicts.
+//	GET  /verdict/{key} one key's verdict; 404 for unseen keys.
+//	GET  /metrics       Prometheus text exposition of the service counters.
+//	POST /drain         graceful drain: flush open segments to final
+//	                    verdicts; responds with the final verdict document.
+//	GET  /healthz       liveness.
+//
+// Verdict semantics: the session runs in smallest-k mode, so each key's
+// SmallestK is the maximum over its verified segments — a lower bound that
+// only grows while operations are still buffered, and exact after drain (up
+// to the staleness horizon; see trace.StreamSmallestKByKey). The fixed-k
+// status at the configured bound K is derived from it: a key whose smallest
+// k exceeds K is violating, by the segment-equivalence lemma. The first
+// violating segment per key is retained as the violation witness.
+package online
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"kat/internal/core"
+	"kat/internal/metrics"
+	"kat/internal/trace"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// K is the staleness bound keys are judged against in the verdict
+	// status field; <= 0 defaults to 2 (the paper's headline case).
+	K int
+	// Opts tunes verification; supply Opts.Memo to cache repeated segment
+	// verdicts across the service lifetime.
+	Opts core.Options
+	// Stream tunes the underlying session (workers or shared pool,
+	// horizon, segment batching, buffer cap). Stream.OnSegment is chained
+	// after the server's own verdict bookkeeping.
+	Stream trace.StreamOptions
+}
+
+// Violation is the retained evidence for a key's first violating segment.
+type Violation struct {
+	// Seq is the first segment sequence number covered by the verdict, or
+	// -1 when the violation was established by a cross-boundary stale read
+	// (a read returning a value from an already-dispatched segment), which
+	// never passes through a segment verdict.
+	Seq int `json:"seq"`
+	// Ops is the segment length.
+	Ops int `json:"ops"`
+	// K is the segment's smallest k (what pushed the key over the bound),
+	// 0 when the segment failed with an anomaly instead.
+	K int `json:"k,omitempty"`
+	// Err is the segment's anomaly, if any.
+	Err string `json:"error,omitempty"`
+}
+
+// KeyStatus is one key's entry in the verdict document.
+type KeyStatus struct {
+	Key string `json:"key"`
+	// Ops counts ingested operations; PendingOps counts those not yet
+	// dispatched for verification (0 after drain).
+	Ops        int `json:"ops"`
+	PendingOps int `json:"pendingOps,omitempty"`
+	// SmallestK is the largest verified per-segment smallest k — a lower
+	// bound until drained, then exact (horizon caveat: see Saturated).
+	SmallestK int `json:"smallestK"`
+	// Saturated marks a read staler than the configured horizon;
+	// SmallestK is then only the horizon floor even after drain.
+	Saturated bool `json:"saturated,omitempty"`
+	// Status is "ok" (within bound so far), "violating" (smallest k
+	// exceeds the bound — sound even for saturated keys, since the floor
+	// is a lower bound), "indeterminate" (the key saturated the staleness
+	// horizon and its floor is within the bound, so the true smallest k is
+	// unknown; raise the horizon for a definite verdict), or "error"
+	// (anomaly).
+	Status    string     `json:"status"`
+	Err       string     `json:"error,omitempty"`
+	Violation *Violation `json:"violation,omitempty"`
+}
+
+// Line renders the key's one-line text summary. kavserve's shutdown output
+// and kavgen -replay's verdict printout both use it, so server logs and
+// load-driver logs read the same.
+func (ks KeyStatus) Line() string {
+	line := fmt.Sprintf("key %-12s %6d ops  smallest k: %d  [%s]", ks.Key, ks.Ops, ks.SmallestK, ks.Status)
+	if ks.Err != "" {
+		line += "  " + ks.Err
+	}
+	return line
+}
+
+// VerdictDoc is the /verdict response.
+type VerdictDoc struct {
+	// K is the bound statuses are judged against.
+	K int `json:"k"`
+	// Drained reports that verdicts are final.
+	Drained bool `json:"drained"`
+	// Keys holds one entry per seen key, key-sorted.
+	Keys []KeyStatus `json:"keys"`
+	// Stats is the session's streaming statistics.
+	Stats trace.StreamStats `json:"stats"`
+}
+
+// WriteText renders the per-key verdict lines and a one-line summary under
+// the given label ("kavserve: final", "server: live", ...). kavserve's
+// shutdown printout and kavgen -replay both use it, so server logs and
+// load-driver logs read the same.
+func (d VerdictDoc) WriteText(w io.Writer, label string) {
+	for _, ks := range d.Keys {
+		fmt.Fprintln(w, ks.Line())
+	}
+	fmt.Fprintf(w, "%s verdicts for %d key(s), %d ops, %d segments\n",
+		label, len(d.Keys), d.Stats.Ops, d.Stats.Segments)
+}
+
+// Server is the continuous verification service. Create with New; it is
+// ready immediately and safe for any number of concurrent requests.
+type Server struct {
+	cfg  Config
+	sess *trace.Session
+	reg  *metrics.Registry
+
+	opsIngested    *metrics.Counter
+	ingestReqs     *metrics.Counter
+	ingestErrors   *metrics.Counter
+	segmentsClosed *metrics.Counter
+	violations     *metrics.Counter
+
+	mu         sync.Mutex
+	firstViols map[string]Violation
+
+	drainOnce sync.Once
+	draining  sync.Once // distinct from drainOnce so 503s start immediately
+	drainGate chan struct{}
+	drainErr  error
+	drained   chan struct{}
+}
+
+// New builds a Server from cfg and opens its session.
+func New(cfg Config) *Server {
+	if cfg.K <= 0 {
+		cfg.K = 2
+	}
+	s := &Server{
+		cfg:        cfg,
+		reg:        metrics.NewRegistry(),
+		firstViols: make(map[string]Violation),
+		drainGate:  make(chan struct{}),
+		drained:    make(chan struct{}),
+	}
+	s.opsIngested = s.reg.Counter("kavserve_ops_ingested_total", "Operations accepted by /ingest.")
+	s.ingestReqs = s.reg.Counter("kavserve_ingest_requests_total", "Requests to /ingest.")
+	s.ingestErrors = s.reg.Counter("kavserve_ingest_errors_total", "Failed /ingest requests.")
+	s.segmentsClosed = s.reg.Counter("kavserve_segments_closed_total", "Segments verified.")
+	s.violations = s.reg.Counter("kavserve_violations_total", "Violating segment verdicts.")
+
+	chained := cfg.Stream.OnSegment
+	cfg.Stream.OnSegment = func(v trace.SegmentVerdict) {
+		s.segmentsClosed.Inc()
+		if bad := v.Err != nil || v.K > s.cfg.K; bad {
+			s.violations.Inc()
+			s.recordViolation(v)
+		}
+		if chained != nil {
+			chained(v)
+		}
+	}
+	s.sess = trace.NewSmallestKSession(cfg.Opts, cfg.Stream)
+
+	// Every session-backed gauge below is lock-free, so /metrics stays
+	// scrapeable even while ingest is blocked on verification backpressure
+	// — exactly when an operator most needs to see these numbers.
+	s.reg.Gauge("kavserve_open_window_ops", "Live operations buffered (open windows + held + in-flight segments).",
+		func() float64 { return float64(s.sess.BufferedOps()) })
+	s.reg.Gauge("kavserve_keys", "Distinct keys seen.",
+		func() float64 { return float64(s.sess.Keys()) })
+	s.reg.Gauge("kavserve_peak_buffered_ops", "Peak live operations observed.",
+		func() float64 { return float64(s.sess.PeakBufferedOps()) })
+	if memo := cfg.Opts.Memo; memo != nil {
+		s.reg.Gauge("kavserve_memo_hits", "Memo lookups served from cache.",
+			func() float64 { return float64(memo.Stats().Hits) })
+		s.reg.Gauge("kavserve_memo_misses", "Memo lookups that missed.",
+			func() float64 { return float64(memo.Stats().Misses) })
+		s.reg.Gauge("kavserve_memo_hit_rate", "Hits / (hits + misses), 0 when idle.",
+			func() float64 {
+				st := memo.Stats()
+				if st.Hits+st.Misses == 0 {
+					return 0
+				}
+				return float64(st.Hits) / float64(st.Hits+st.Misses)
+			})
+	}
+	return s
+}
+
+// recordViolation retains the earliest (lowest-Seq) violating segment per
+// key. Verdicts land in any order from concurrent pool workers, so
+// first-to-arrive would make the witness nondeterministic; min-Seq makes it
+// reproducible across runs and worker counts.
+func (s *Server) recordViolation(v trace.SegmentVerdict) {
+	s.mu.Lock()
+	if cur, seen := s.firstViols[v.Key]; !seen || v.Seq < cur.Seq {
+		viol := Violation{Seq: v.Seq, Ops: v.Ops, K: v.K}
+		if v.Err != nil {
+			viol.Err = v.Err.Error()
+		}
+		s.firstViols[v.Key] = viol
+	}
+	s.mu.Unlock()
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /verdict", s.handleVerdict)
+	mux.HandleFunc("GET /verdict/{key}", s.handleVerdictKey)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.reg.WriteTo(w)
+	})
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Drain flushes the session to final verdicts: open windows are committed,
+// every held segment verifies, and /verdict afterwards reports exactly what
+// the offline checkers report on the merged trace. Idempotent; concurrent
+// callers all wait for the one flush. New ingests are rejected from the
+// moment Drain is called.
+func (s *Server) Drain() error {
+	s.draining.Do(func() { close(s.drainGate) })
+	s.drainOnce.Do(func() {
+		s.drainErr = s.sess.Flush()
+		close(s.drained)
+	})
+	<-s.drained
+	return s.drainErr
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.drainGate:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) isDrained() bool {
+	select {
+	case <-s.drained:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.ingestReqs.Inc()
+	if s.Draining() {
+		s.ingestErrors.Inc()
+		http.Error(w, "draining: ingest is closed", http.StatusServiceUnavailable)
+		return
+	}
+	n, err := s.sess.AppendTrace(r.Body)
+	s.opsIngested.Add(n)
+	if err != nil {
+		s.ingestErrors.Inc()
+		code := http.StatusBadRequest
+		if errors.Is(err, trace.ErrOutOfOrder) || errors.Is(err, trace.ErrBufferLimit) ||
+			errors.Is(err, trace.ErrSessionFlushed) {
+			code = http.StatusConflict
+		}
+		http.Error(w, fmt.Sprintf("ingested %d operations, then: %v", n, err), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"ingested\": %d}\n", n)
+}
+
+// Verdict assembles the current verdict document (final once drained).
+func (s *Server) Verdict() VerdictDoc {
+	drained := s.isDrained()
+	doc := VerdictDoc{K: s.cfg.K, Drained: drained, Stats: s.sess.Stats()}
+	for _, kv := range s.sess.Snapshot() {
+		doc.Keys = append(doc.Keys, s.keyStatus(kv, drained))
+	}
+	return doc
+}
+
+func (s *Server) keyStatus(kv trace.KeyVerdict, drained bool) KeyStatus {
+	ks := KeyStatus{
+		Key:        kv.Key,
+		Ops:        kv.Ops,
+		PendingOps: kv.PendingOps,
+		SmallestK:  kv.SmallestK,
+		Saturated:  kv.Saturated,
+		Status:     "ok",
+	}
+	if drained && kv.Err == nil && ks.SmallestK < 1 {
+		// Final semantics match SmallestKByKey: a fully verified key is at
+		// least 1-atomic.
+		ks.SmallestK = 1
+	}
+	switch {
+	case kv.Err != nil:
+		ks.Status = "error"
+		ks.Err = kv.Err.Error()
+	case ks.SmallestK > s.cfg.K:
+		ks.Status = "violating"
+	case kv.Saturated:
+		// The floor is within the bound but a read out-reached the
+		// horizon, so a definite "ok" would be unsound.
+		ks.Status = "indeterminate"
+	}
+	s.mu.Lock()
+	if v, ok := s.firstViols[kv.Key]; ok {
+		ks.Violation = &v
+	}
+	s.mu.Unlock()
+	if ks.Violation == nil && ks.Status == "violating" {
+		// Cross-boundary stale reads establish violations without any
+		// segment verdict; synthesize the witness from the staleness floor
+		// so "violating" always carries evidence.
+		ks.Violation = &Violation{
+			Seq: -1,
+			K:   ks.SmallestK,
+			Err: "read returned a value from an already-dispatched segment (staleness floor)",
+		}
+	}
+	return ks
+}
+
+func (s *Server) handleVerdict(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Verdict())
+}
+
+func (s *Server) handleVerdictKey(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	kv, ok := s.sess.SnapshotKey(key)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown key %q", key), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.keyStatus(kv, s.isDrained()))
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	if err := s.Drain(); err != nil {
+		// The flush still drained what it could; report both.
+		w.Header().Set("X-Kavserve-Drain-Error", err.Error())
+	}
+	writeJSON(w, s.Verdict())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

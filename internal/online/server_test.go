@@ -1,0 +1,377 @@
+package online
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"kat"
+	"kat/internal/core"
+	"kat/internal/trace"
+)
+
+// buildTrace generates a deterministic multi-key trace with injected
+// staleness and returns both the parsed trace (for the offline reference)
+// and its arrival-order text (for ingestion).
+func buildTrace(t *testing.T, keys, opsPerKey int, inject float64) (*kat.Trace, string) {
+	t.Helper()
+	tr := kat.NewTrace()
+	for ki := 0; ki < keys; ki++ {
+		cfg := kat.GenConfig{
+			Seed:         int64(ki + 1),
+			Ops:          opsPerKey,
+			Concurrency:  2,
+			ReadFraction: 0.5,
+		}
+		h := kat.GenerateKAtomic(cfg)
+		if inject > 0 && ki%2 == 0 {
+			h = kat.InjectStaleness(h, cfg.Seed+100, inject, 2)
+		}
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("key-%03d", ki), op)
+		}
+	}
+	var b strings.Builder
+	if err := kat.WriteTraceArrivalOrder(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr, b.String()
+}
+
+func getVerdict(t *testing.T, base string) VerdictDoc {
+	t.Helper()
+	resp, err := http.Get(base + "/verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /verdict: %s", resp.Status)
+	}
+	var doc VerdictDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func postDrain(t *testing.T, base string) VerdictDoc {
+	t.Helper()
+	resp, err := http.Post(base+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc VerdictDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestIngestVerdictMetricsDrain(t *testing.T) {
+	memo := core.NewMemo()
+	srv := New(Config{K: 2, Opts: core.Options{Memo: memo}, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tr, text := buildTrace(t, 6, 80, 0.4)
+	// Ingest in two chunks to prove sessions span requests.
+	lines := strings.SplitAfter(strings.TrimSuffix(text, "\n"), "\n")
+	half := len(lines) / 2
+	for _, chunk := range []string{strings.Join(lines[:half], ""), strings.Join(lines[half:], "")} {
+		resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /ingest: %s: %s", resp.Status, body)
+		}
+	}
+
+	live := getVerdict(t, ts.URL)
+	if live.Drained {
+		t.Fatal("live verdict claims drained")
+	}
+	if len(live.Keys) != len(tr.Keys) {
+		t.Fatalf("live verdict has %d keys, want %d", len(live.Keys), len(tr.Keys))
+	}
+
+	final := postDrain(t, ts.URL)
+	if !final.Drained {
+		t.Fatal("drain response not drained")
+	}
+	want := kat.SmallestKByKey(tr, kat.Options{})
+	for _, ks := range final.Keys {
+		if ks.SmallestK != want[ks.Key] {
+			t.Fatalf("key %s: server smallest k=%d, offline %d", ks.Key, ks.SmallestK, want[ks.Key])
+		}
+		wantStatus := "ok"
+		if want[ks.Key] > 2 {
+			wantStatus = "violating"
+		}
+		if ks.Status != wantStatus {
+			t.Fatalf("key %s: status %q (k=%d), want %q", ks.Key, ks.Status, ks.SmallestK, wantStatus)
+		}
+		if ks.Status == "violating" && ks.Violation == nil {
+			t.Fatalf("key %s: violating without a violation witness", ks.Key)
+		}
+		if ks.PendingOps != 0 {
+			t.Fatalf("key %s: pending ops after drain: %d", ks.Key, ks.PendingOps)
+		}
+	}
+
+	// Per-key endpoint agrees; unknown keys 404.
+	resp, err := http.Get(ts.URL + "/verdict/" + final.Keys[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one KeyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if statusSansViolation(one) != statusSansViolation(final.Keys[0]) {
+		t.Fatalf("per-key verdict %+v != %+v", one, final.Keys[0])
+	}
+	resp, err = http.Get(ts.URL + "/verdict/no-such-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: %s, want 404", resp.Status)
+	}
+
+	// Metrics: ops ingested matches, memo gauges exposed.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metricsText := string(metricsBody)
+	wantLine := fmt.Sprintf("kavserve_ops_ingested_total %d", tr.Len())
+	for _, frag := range []string{wantLine, "kavserve_segments_closed_total", "kavserve_open_window_ops", "kavserve_memo_hit_rate"} {
+		if !strings.Contains(metricsText, frag) {
+			t.Fatalf("metrics output missing %q:\n%s", frag, metricsText)
+		}
+	}
+
+	// Ingest after drain is refused.
+	resp, err = http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w zz 1 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest after drain: %s, want 503", resp.Status)
+	}
+}
+
+// statusSansViolation normalizes the pointer field for struct comparison.
+func statusSansViolation(ks KeyStatus) KeyStatus {
+	ks.Violation = nil
+	return ks
+}
+
+func TestIngestErrors(t *testing.T) {
+	// MinSegmentOps 1 commits a cut at every quiescent instant, so an
+	// operation starting at or before a committed cut is detectable.
+	srv := New(Config{Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Malformed line: 400, but preceding ops were ingested.
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain",
+		strings.NewReader("w a 1 0 1\nnot a trace line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: %s (%s), want 400", resp.Status, body)
+	}
+	if !strings.Contains(string(body), "ingested 1 operations") {
+		t.Fatalf("error body should report the partial ingest: %s", body)
+	}
+
+	// Out-of-order arrival: 409, and the session error is sticky.
+	for _, line := range []string{"w a 2 10 11\n", "w a 3 30 31\n"} {
+		resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(line))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err = http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w a 4 5 6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("out-of-order ingest: %s, want 409", resp.Status)
+	}
+	resp, err = http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w a 5 100 101\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("ingest after sticky error: %s, want 409", resp.Status)
+	}
+}
+
+// TestCrossBoundaryViolationWitness covers violations the segment verdicts
+// never see: a read reaching past the staleness horizon is recorded as a
+// kFloor by the engine's cross-boundary path, and the server must still
+// report a witness (Seq -1) for it — and must downgrade saturated keys whose
+// floor is within the bound to "indeterminate" rather than claim "ok".
+func TestCrossBoundaryViolationWitness(t *testing.T) {
+	// Horizon 2: a read three writes back crosses dispatched segments.
+	mk := func(k int) (*Server, *httptest.Server) {
+		srv := New(Config{K: k, Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1, Horizon: 2}})
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	text := "w a 1 0 1\nw a 2 10 11\nw a 3 20 21\nw a 4 30 31\nw a 5 40 41\nr a 1 50 51\nw a 6 60 61\n"
+
+	srv, ts := mk(2)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	doc := srv.Verdict()
+	if len(doc.Keys) != 1 {
+		t.Fatalf("keys: %+v", doc.Keys)
+	}
+	ks := doc.Keys[0]
+	if !ks.Saturated || ks.Status != "violating" {
+		t.Fatalf("want saturated violating key, got %+v", ks)
+	}
+	if ks.Violation == nil || ks.Violation.Seq != -1 || ks.Violation.K != ks.SmallestK {
+		t.Fatalf("cross-boundary violation lacks its synthesized witness: %+v", ks.Violation)
+	}
+
+	// Same trace, bound above the floor: the floor alone cannot prove a
+	// violation, and saturation forbids a definite ok.
+	srv2, ts2 := mk(100)
+	defer ts2.Close()
+	resp, err = http.Post(ts2.URL+"/ingest", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := srv2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	ks = srv2.Verdict().Keys[0]
+	if ks.Status != "indeterminate" {
+		t.Fatalf("saturated key within bound: status %q, want indeterminate (%+v)", ks.Status, ks)
+	}
+	if ks.Violation != nil {
+		t.Fatalf("indeterminate key should carry no violation witness: %+v", ks.Violation)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Stream: trace.StreamOptions{Workers: 1}}).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+}
+
+// TestHundredConcurrentReplayClients is the acceptance check: 100 concurrent
+// clients replay a partitioned trace into kavserve's handler, and after
+// drain the server's per-key smallest-k must equal the offline checker's on
+// the merged trace. Keys are partitioned by hash so each key's operations
+// arrive in order from exactly one client — the documented ingest contract.
+func TestHundredConcurrentReplayClients(t *testing.T) {
+	const clients = 100
+	keys, opsPerKey := 40, 60
+	if testing.Short() {
+		keys, opsPerKey = 12, 30
+	}
+	pool := core.NewPool(4)
+	defer pool.Close()
+	srv := New(Config{K: 2, Stream: trace.StreamOptions{Pool: pool, MinSegmentOps: 4, Horizon: 64}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tr, text := buildTrace(t, keys, opsPerKey, 0.5)
+	buckets := make([][]string, clients)
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		f := strings.Fields(line)
+		h := fnv.New32a()
+		io.WriteString(h, f[1])
+		b := int(h.Sum32() % clients)
+		buckets[b] = append(buckets[b], line)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for _, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(bucket []string) {
+			defer wg.Done()
+			body := strings.Join(bucket, "\n") + "\n"
+			resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("ingest: %s: %s", resp.Status, msg)
+			}
+		}(bucket)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+
+	final := postDrain(t, ts.URL)
+	if !final.Drained {
+		t.Fatal("not drained")
+	}
+	if int(final.Stats.Ops) != tr.Len() {
+		t.Fatalf("server saw %d ops, trace has %d", final.Stats.Ops, tr.Len())
+	}
+	want := kat.SmallestKByKey(tr, kat.Options{})
+	if len(final.Keys) != len(want) {
+		t.Fatalf("server has %d keys, offline %d", len(final.Keys), len(want))
+	}
+	for _, ks := range final.Keys {
+		if ks.Saturated {
+			t.Fatalf("key %s saturated the horizon; raise Horizon in the test config", ks.Key)
+		}
+		if ks.SmallestK != want[ks.Key] {
+			t.Fatalf("key %s: server smallest k=%d, offline kavcheck %d", ks.Key, ks.SmallestK, want[ks.Key])
+		}
+	}
+}

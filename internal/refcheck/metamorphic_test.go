@@ -1,0 +1,206 @@
+package refcheck
+
+// Metamorphic invariance tests: k-atomicity verdicts are defined purely by
+// the relative order of operation endpoints, the read-to-dictating-write
+// relation, and the per-key grouping — so there are whole families of trace
+// transformations under which every engine's verdict must be exactly
+// unchanged. Each test below documents its invariant, states why it holds,
+// applies the transformation to a randomized corpus, and asserts the full
+// per-key verdict maps (sequential and streaming) are identical before and
+// after. Unlike the differential suite, these need no oracle — the trace is
+// its own expected value — so they run on histories far beyond brute-force
+// reach.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kat"
+	"kat/internal/history"
+)
+
+// metaCorpus builds a randomized multi-key trace with mixed staleness
+// depths: a few keys, each a generated k-atomic history with injected
+// staleness, op counts well beyond the brute-force oracle's reach.
+func metaCorpus(seed int64) *kat.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := kat.NewTrace()
+	nkeys := 2 + rng.Intn(4)
+	for ki := 0; ki < nkeys; ki++ {
+		cfg := kat.GenConfig{
+			Seed:           seed + int64(ki)*101,
+			Ops:            20 + rng.Intn(60),
+			Concurrency:    1 + rng.Intn(4),
+			ReadFraction:   0.3 + rng.Float64()*0.4,
+			StalenessDepth: rng.Intn(3),
+		}
+		h := kat.GenerateKAtomic(cfg)
+		if rng.Float64() < 0.5 {
+			h = kat.InjectStaleness(h, cfg.Seed+1, rng.Float64()*0.4, 1+rng.Intn(2))
+		}
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("k%02d", ki), op)
+		}
+	}
+	return tr
+}
+
+// verdicts captures every engine-level verdict surface we assert invariance
+// over: the per-key smallest-k map (sequential path) and its streaming
+// counterpart, plus the fixed-k=2 atomic flags.
+type verdicts struct {
+	smallest map[string]int
+	stream   map[string]int
+	atomic2  map[string]bool
+}
+
+func takeVerdicts(t *testing.T, tr *kat.Trace) verdicts {
+	t.Helper()
+	v := verdicts{
+		smallest: kat.SmallestKByKey(tr, kat.Options{}),
+		atomic2:  make(map[string]bool),
+	}
+	for _, kr := range kat.CheckTrace(tr, 2, kat.Options{}).Keys {
+		v.atomic2[kr.Key] = kr.Atomic
+	}
+	var b strings.Builder
+	if err := kat.WriteTraceArrivalOrder(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	stream, stats, err := kat.StreamSmallestKByKey(strings.NewReader(b.String()), kat.Options{},
+		kat.StreamOptions{Workers: 2, MinSegmentOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SaturatedKeys > 0 {
+		t.Fatalf("corpus saturated the stream horizon; deepen Horizon or shallow the corpus")
+	}
+	v.stream = stream
+	return v
+}
+
+// equalUnderKeyMap asserts b's verdicts are a's with keys renamed by m
+// (identity when m is nil).
+func equalUnderKeyMap(t *testing.T, what string, a, b verdicts, m func(string) string) {
+	t.Helper()
+	if m == nil {
+		m = func(k string) string { return k }
+	}
+	for k, want := range a.smallest {
+		if got := b.smallest[m(k)]; got != want {
+			t.Fatalf("%s: smallest k for %s: %d, want %d", what, k, got, want)
+		}
+	}
+	for k, want := range a.stream {
+		if got := b.stream[m(k)]; got != want {
+			t.Fatalf("%s: stream smallest k for %s: %d, want %d", what, k, got, want)
+		}
+	}
+	for k, want := range a.atomic2 {
+		if got := b.atomic2[m(k)]; got != want {
+			t.Fatalf("%s: 2-atomic for %s: %v, want %v", what, k, got, want)
+		}
+	}
+	if len(a.smallest) != len(b.smallest) {
+		t.Fatalf("%s: key count changed: %d -> %d", what, len(a.smallest), len(b.smallest))
+	}
+}
+
+// mapTrace rebuilds a trace with the key and operation transformations
+// applied, preserving per-key op order.
+func mapTrace(tr *kat.Trace, keyf func(string) string, opf func(string, history.Operation) history.Operation) *kat.Trace {
+	out := kat.NewTrace()
+	for _, key := range tr.SortedKeys() {
+		for _, op := range tr.Keys[key].Ops {
+			out.Add(keyf(key), opf(key, op))
+		}
+	}
+	return out
+}
+
+// TestInvarianceKeyRenaming: INVARIANT — verdicts depend on keys only as
+// grouping labels (k-atomicity is local, Section II-B), so any injective
+// renaming permutes the verdict map and changes nothing else.
+func TestInvarianceKeyRenaming(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := metaCorpus(seed)
+		rename := func(k string) string { return "zz-" + k + "-renamed" }
+		got := takeVerdicts(t, mapTrace(tr, rename, func(_ string, op history.Operation) history.Operation { return op }))
+		equalUnderKeyMap(t, "key renaming", takeVerdicts(t, tr), got, rename)
+	}
+}
+
+// TestInvarianceValueRenaming: INVARIANT — values only tie reads to their
+// dictating writes; any per-key injective remapping preserves that relation
+// exactly, so verdicts are unchanged (value magnitude and order never
+// matter).
+func TestInvarianceValueRenaming(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := metaCorpus(seed)
+		// x -> C - 13x is injective and order-reversing, so it also shakes
+		// out any accidental dependence on value ordering.
+		remap := func(_ string, op history.Operation) history.Operation {
+			op.Value = 1_000_003 - 13*op.Value
+			return op
+		}
+		got := takeVerdicts(t, mapTrace(tr, func(k string) string { return k }, remap))
+		equalUnderKeyMap(t, "value renaming", takeVerdicts(t, tr), got, nil)
+	}
+}
+
+// TestInvarianceTimeTranslation: INVARIANT — the model only consults the
+// "precedes" order between endpoints, so shifting every timestamp by a
+// constant (including below zero) changes no verdict.
+func TestInvarianceTimeTranslation(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := metaCorpus(seed)
+		for _, delta := range []int64{+1_000_000, -5_000} {
+			shift := func(_ string, op history.Operation) history.Operation {
+				op.Start += delta
+				op.Finish += delta
+				return op
+			}
+			got := takeVerdicts(t, mapTrace(tr, func(k string) string { return k }, shift))
+			equalUnderKeyMap(t, fmt.Sprintf("time translation %+d", delta), takeVerdicts(t, tr), got, nil)
+		}
+	}
+}
+
+// TestInvarianceTimeScaling: INVARIANT — multiplying every timestamp by a
+// positive constant preserves every endpoint comparison (it is a strictly
+// monotone map), so verdicts are unchanged.
+func TestInvarianceTimeScaling(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := metaCorpus(seed)
+		scale := func(_ string, op history.Operation) history.Operation {
+			op.Start *= 37
+			op.Finish *= 37
+			return op
+		}
+		got := takeVerdicts(t, mapTrace(tr, func(k string) string { return k }, scale))
+		equalUnderKeyMap(t, "time scaling", takeVerdicts(t, tr), got, nil)
+	}
+}
+
+// TestInvarianceInterleavingPermutation: INVARIANT — a History is a set of
+// operations (Prepare sorts by start time; the streaming engine consumes
+// the canonical arrival order), so permuting the in-memory order of each
+// key's operations — and thereby the interleaving the trace presents —
+// changes no verdict.
+func TestInvarianceInterleavingPermutation(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		tr := metaCorpus(seed)
+		rng := rand.New(rand.NewSource(seed * 977))
+		perm := kat.NewTrace()
+		for _, key := range tr.SortedKeys() {
+			ops := append([]history.Operation(nil), tr.Keys[key].Ops...)
+			rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+			for _, op := range ops {
+				perm.Add(key, op)
+			}
+		}
+		equalUnderKeyMap(t, "interleaving permutation", takeVerdicts(t, tr), takeVerdicts(t, perm), nil)
+	}
+}

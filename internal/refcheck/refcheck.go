@@ -1,0 +1,237 @@
+// Package refcheck is the brute-force reference oracle for k-atomicity: an
+// exhaustive search over every real-time-valid total order of a tiny
+// history, with none of the algorithmic machinery the production engines
+// rely on (no zones, no FZF candidate pruning, no eager read placement, no
+// memoization, no segmentation). Its only optimizations are the two facts
+// the definition itself gives — an order in which a read precedes its
+// dictating write is never k-atomic for any k, and a partial order's running
+// maximum staleness can only grow — so its verdicts follow from Section II's
+// definitions by direct enumeration.
+//
+// That independence is the point: the repository now has four distinct
+// verification engines (sequential, chunk-parallel, streaming, online), all
+// sharing algorithmic core code. The differential suite in this package
+// sweeps generated tiny histories through every engine and asserts all of
+// them agree with this oracle, in the spirit of small-bounded exhaustive
+// checking as a trust anchor (cf. Bouajjani et al., "On Reducing
+// Linearizability to State Reachability": bounded exhaustive analysis is
+// what makes such checkers trustworthy in practice).
+//
+// The search visits every valid order, so it is O(n!) and intentionally
+// capped at MaxOps operations.
+package refcheck
+
+import (
+	"fmt"
+	"math"
+
+	"kat/internal/history"
+)
+
+// MaxOps is the largest history the oracle accepts. The differential suites
+// stay at 8 operations and below; the cap only exists to make an accidental
+// big input fail loudly instead of hanging.
+const MaxOps = 10
+
+// SmallestK returns the least k for which the history is k-atomic, by
+// exhaustive search over total orders: the minimum over every
+// real-time-valid order (with each read after its dictating write) of
+// 1 + the largest number of writes strictly between a read and its
+// dictating write. Histories are normalized first; anomalies are reported
+// as errors, exactly like the production engines.
+func SmallestK(h *history.History) (int, error) {
+	if h.Len() > MaxOps {
+		return 0, fmt.Errorf("refcheck: history has %d ops, oracle cap is %d", h.Len(), MaxOps)
+	}
+	p, err := history.Prepare(history.Normalize(h))
+	if err != nil {
+		return 0, err
+	}
+	n := p.Len()
+	if n == 0 {
+		return 1, nil
+	}
+	b := &brute{
+		p:         p,
+		n:         n,
+		placed:    make([]bool, n),
+		writeRank: make([]int, n),
+		best:      math.MaxInt,
+	}
+	b.dfs(n, 0)
+	if b.best == math.MaxInt {
+		// Unreachable for prepared histories (any anomaly-free history is
+		// W-atomic under the order "all writes by start, then reads"), but
+		// fail loudly rather than fabricate a verdict.
+		return 0, fmt.Errorf("refcheck: no valid total order found")
+	}
+	return b.best, nil
+}
+
+// CheckK decides whether the history is k-atomic, directly from the
+// definition: some valid total order keeps every read within k of its
+// dictating write iff the exhaustive minimum does.
+func CheckK(h *history.History, k int) (bool, error) {
+	if k < 1 {
+		return false, fmt.Errorf("refcheck: k must be >= 1, got %d", k)
+	}
+	sk, err := SmallestK(h)
+	if err != nil {
+		return false, err
+	}
+	return sk <= k, nil
+}
+
+// brute is the exhaustive search state.
+type brute struct {
+	p         *history.Prepared
+	n         int
+	placed    []bool
+	writeRank []int // for a placed write: 1-based count of writes placed through it
+	writes    int   // writes placed so far
+	best      int   // minimum complete-order cost seen (max read staleness, floor 1)
+}
+
+// dfs extends the current prefix with every appendable operation. curMax is
+// the largest staleness (dictating write included, per the witness
+// semantics) of any read placed so far; a read's staleness is fixed the
+// moment it is placed, because later writes land after it.
+func (b *brute) dfs(remaining, curMax int) {
+	if curMax >= b.best {
+		return // bound: the running max only grows
+	}
+	if remaining == 0 {
+		b.best = max(curMax, 1)
+		return
+	}
+	for i := 0; i < b.n; i++ {
+		if b.placed[i] || !b.appendable(i) {
+			continue
+		}
+		op := b.p.Op(i)
+		if op.IsRead() {
+			w := b.p.DictatingWrite[i]
+			if !b.placed[w] {
+				// A read before its dictating write is never k-atomic;
+				// the orders that place w first are explored separately.
+				continue
+			}
+			sep := b.writes - b.writeRank[w] + 1
+			b.placed[i] = true
+			b.dfs(remaining-1, max(curMax, sep))
+			b.placed[i] = false
+			continue
+		}
+		b.placed[i] = true
+		b.writes++
+		b.writeRank[i] = b.writes
+		b.dfs(remaining-1, curMax)
+		b.writes--
+		b.placed[i] = false
+	}
+}
+
+// appendable reports whether operation i may be placed next: no unplaced
+// operation precedes it in real time.
+func (b *brute) appendable(i int) bool {
+	start := b.p.Op(i).Start
+	for j := 0; j < b.n; j++ {
+		if j != i && !b.placed[j] && b.p.Op(j).Finish < start {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateHistories yields every n-operation single-register history shape,
+// the exhaustive corpus of the differential suite:
+//
+//   - every interleaving of n real-time intervals — all total orders of the
+//     2n endpoints with each start before its finish, operations numbered by
+//     start order (canonical, so no interleaving appears twice), timestamps
+//     0..2n-1 in endpoint order;
+//   - for each interleaving, all 2^n read/write kind assignments, writes
+//     valued 1..W in start order;
+//   - for each kind assignment, every way to point each read at one of the
+//     W writes (W^R variants). A read-only shape (W = 0, R > 0) yields one
+//     variant with all reads returning the unwritten value 1, covering the
+//     dangling-read anomaly path.
+//
+// Every yielded history is freshly allocated; yield may retain it.
+func EnumerateHistories(n int, yield func(*history.History)) {
+	if n <= 0 {
+		return
+	}
+	skel := make([]history.Operation, n) // interval skeleton under construction
+	open := make([]int, 0, n)            // started, unfinished ops
+	var rec func(clock, started, finished int)
+	rec = func(clock, started, finished int) {
+		if finished == n {
+			emitKindAssignments(n, skel, yield)
+			return
+		}
+		if started < n {
+			skel[started].Start = int64(clock)
+			open = append(open, started)
+			rec(clock+1, started+1, finished)
+			open = open[:len(open)-1]
+		}
+		// Finish each currently open op in turn (swap-remove, then restore,
+		// so the iteration sees every op exactly once).
+		for oi := 0; oi < len(open); oi++ {
+			op := open[oi]
+			skel[op].Finish = int64(clock)
+			last := len(open) - 1
+			open[oi] = open[last]
+			open = open[:last]
+			rec(clock+1, started, finished+1)
+			open = open[:last+1]
+			open[last] = open[oi]
+			open[oi] = op
+		}
+	}
+	rec(0, 0, 0)
+}
+
+// emitKindAssignments fills the interval skeletons with every read/write
+// kind mask and every read-value assignment, yielding each complete history.
+func emitKindAssignments(n int, skel []history.Operation, yield func(*history.History)) {
+	var writes, reads []int
+	for mask := 0; mask < 1<<n; mask++ {
+		writes, reads = writes[:0], reads[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				writes = append(writes, i)
+			} else {
+				reads = append(reads, i)
+			}
+		}
+		w := len(writes)
+		variants := 1
+		for range reads {
+			variants *= max(w, 1)
+		}
+		for v := 0; v < variants; v++ {
+			h := &history.History{Ops: make([]history.Operation, n)}
+			copy(h.Ops, skel)
+			for rank, i := range writes {
+				h.Ops[i].Kind = history.KindWrite
+				h.Ops[i].Value = int64(rank + 1)
+			}
+			c := v
+			for _, i := range reads {
+				h.Ops[i].Kind = history.KindRead
+				if w == 0 {
+					h.Ops[i].Value = 1 // dangling read: anomaly variant
+				} else {
+					h.Ops[i].Value = int64(c%w) + 1 // the (c%w)-th write's value
+					c /= w
+				}
+			}
+			for i := range h.Ops {
+				h.Ops[i].ID = i
+			}
+			yield(h)
+		}
+	}
+}

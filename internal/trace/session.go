@@ -1,0 +1,312 @@
+package trace
+
+// Push-driven streaming verification.
+//
+// StreamCheck and StreamSmallestKByKey own their input: they pull operations
+// out of an io.Reader until it is exhausted. An online monitor cannot hand
+// over a reader — operations arrive one RPC at a time, from many concurrent
+// clients, with no end in sight — so Session exposes the same engine in push
+// form: Append routes single operations into the per-key segment
+// accumulators, verdicts accumulate on the verification pool exactly as in
+// the reader-driven form, Snapshot reads the live per-key state at any
+// moment, and Flush is the graceful drain: it commits every open window,
+// verifies everything still held, and waits, after which the reports are
+// final and identical to what the reader-driven engine would have produced
+// on the concatenation of everything appended (the segment-equivalence
+// lemma in stream.go carries over unchanged — the cut rules never depended
+// on who drives the parser).
+//
+// Many sessions may share one verification pool via StreamOptions.Pool; a
+// session only ever waits on its own dispatched segments.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"kat/internal/core"
+	"kat/internal/history"
+)
+
+// ErrSessionFlushed reports an Append on a session that was already drained
+// by Flush. A flushed session is terminal: its cuts are committed, so later
+// operations could not be admitted without violating the arrival-order
+// invariant.
+var ErrSessionFlushed = errors.New("trace: session already flushed")
+
+// Session is the push-driven form of the streaming engine. Create one with
+// NewCheckSession (fixed-k verdicts) or NewSmallestKSession (per-key
+// smallest-k); feed it with Append or AppendTrace; observe it with Snapshot,
+// Stats, Report, or SmallestKByKey; and retire it with Flush.
+//
+// All methods are safe for concurrent use: appends from many goroutines
+// interleave at operation granularity (per-key operations must still arrive
+// in nondecreasing start order across quiescent gaps, so route each key
+// through one producer — see ErrOutOfOrder). Ingest errors are sticky: after
+// an Append fails, every later Append returns the same error and Flush
+// reports it, mirroring the reader-driven engine's abort-on-error semantics.
+type Session struct {
+	mu      sync.Mutex
+	e       *engine
+	err     error // sticky ingest error
+	stopped bool  // StopOnViolation fired
+	flushed bool
+}
+
+// NewCheckSession returns a session verifying every key at bound k, the push
+// form of StreamCheck.
+func NewCheckSession(k int, opts core.Options, sopts StreamOptions) (*Session, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("trace: k must be >= 1, got %d", k)
+	}
+	return &Session{e: newEngine(modeCheck, k, k, opts, sopts)}, nil
+}
+
+// NewSmallestKSession returns a session computing each key's smallest k, the
+// push form of StreamSmallestKByKey (same horizon semantics).
+func NewSmallestKSession(opts core.Options, sopts StreamOptions) *Session {
+	horizon := sopts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	return &Session{e: newEngine(modeSmallestK, 0, horizon, opts, sopts)}
+}
+
+// Append routes one operation into its key's segment accumulator. The
+// operation's ID is assigned internally. Append blocks when verification
+// falls behind the configured in-flight budget (backpressure, as in the
+// reader-driven engine). After StopOnViolation fires, appends become no-ops
+// and Stats reports Stopped.
+func (s *Session) Append(key string, op history.Operation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate(); err != nil {
+		return err
+	}
+	_, err := s.settleAdd(s.e.addString(key, op))
+	return err
+}
+
+// gate checks admission preconditions under the session lock: a flushed
+// session is terminal, and ingest errors are sticky.
+func (s *Session) gate() error {
+	if s.flushed {
+		return ErrSessionFlushed
+	}
+	return s.err
+}
+
+// settleAdd folds an engine admission result into the session state;
+// accepted reports whether the operation actually entered the engine
+// (false for operations silently dropped after StopOnViolation fired).
+func (s *Session) settleAdd(err error) (accepted bool, _ error) {
+	if errors.Is(err, errStopped) {
+		s.stopped = true
+		s.e.stopped = true // live Stats report the early exit immediately
+		return false, nil
+	}
+	if err != nil {
+		s.err = err
+		return false, err
+	}
+	return true, nil
+}
+
+// AppendTrace streams the keyed text format from r into the session,
+// returning the number of operations actually appended (operations dropped
+// after a StopOnViolation early exit are not counted). The session lock is
+// taken per operation, so concurrent AppendTrace calls (one per ingesting
+// client) interleave at operation granularity instead of serializing whole
+// requests. The key reaches the engine as a line-buffer view, keeping this
+// path allocation-free past each key's first sighting. A parse or ingest
+// error aborts the read mid-stream; operations already appended stay
+// appended (ingest is per-operation, not transactional).
+func (s *Session) AppendTrace(r io.Reader) (int64, error) {
+	var n int64
+	err := parseStreamBytes(r, func(key []byte, op history.Operation) error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := s.gate(); err != nil {
+			return err
+		}
+		ok, err := s.settleAdd(s.e.add(key, op))
+		if ok {
+			n++
+		}
+		return err
+	})
+	return n, err
+}
+
+// Flush drains the session: it commits every open window, dispatches all
+// held segments, waits for every in-flight verification, and — for an
+// engine-owned pool — releases the workers. After Flush the session is
+// terminal (Append returns ErrSessionFlushed) and Report, SmallestKByKey,
+// and Snapshot are final. Flush returns the sticky ingest error, if any;
+// as in the reader-driven engine, a session that erred drains only what was
+// already dispatched. Flush is idempotent.
+func (s *Session) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flushed {
+		return s.err
+	}
+	s.flushed = true
+	// A stopped session drains like the reader-driven engine's early exit:
+	// only what was already dispatched, so the report covers the same
+	// consumed prefix StreamCheck would report.
+	if s.stopped {
+		s.e.drain(errStopped)
+	} else {
+		s.e.drain(s.err)
+	}
+	s.e.finish()
+	return s.err
+}
+
+// KeyVerdict is one key's live verification state, as reported by Snapshot.
+type KeyVerdict struct {
+	// Key is the register.
+	Key string
+	// Ops counts the key's ingested operations.
+	Ops int
+	// PendingOps counts operations not yet dispatched for verification:
+	// the open window plus held (closed but not horizon-cleared) segments.
+	// Zero after Flush.
+	PendingOps int
+	// Atomic is the fixed-k verdict over everything verified so far (check
+	// sessions; true until a violating segment lands, final after Flush).
+	// False whenever Err is set.
+	Atomic bool
+	// SmallestK is the largest per-segment smallest k verified so far
+	// (smallest-k sessions) — a lower bound on the key's final smallest k
+	// until Flush, 0 before any segment verdict and in check sessions.
+	SmallestK int
+	// Saturated reports a read staler than the session horizon; SmallestK
+	// is then only the horizon floor even after Flush.
+	Saturated bool
+	// Err is the key's anomaly or verification error, if any.
+	Err error
+}
+
+// Snapshot returns the live per-key state, key-sorted. It may be called at
+// any time, including concurrently with appends; verdict fields reflect
+// exactly the segments verified so far.
+func (s *Session) Snapshot() []KeyVerdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KeyVerdict, 0, len(s.e.keys))
+	for _, ks := range s.e.sortedKeys() {
+		out = append(out, keyVerdictOf(ks))
+	}
+	return out
+}
+
+// Report returns the fixed-k trace report of a check session, in the shape
+// StreamCheck produces. Before Flush it covers only the segments verified so
+// far (keys with undispatched operations may still flip); after Flush it is
+// final and identical to StreamCheck on the same operation sequence.
+func (s *Session) Report() (Report, StreamStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.checkReport(), s.e.finalStats()
+}
+
+// SmallestKByKey returns each key's smallest k in the shape
+// StreamSmallestKByKey produces (0 for keys that failed verification).
+// Before Flush the values are lower bounds; after Flush they are final and
+// identical to StreamSmallestKByKey on the same operation sequence, with the
+// same horizon caveat (Saturated keys report the floor).
+func (s *Session) SmallestKByKey() (map[string]int, StreamStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.smallestKMap(), s.e.finalStats()
+}
+
+// Stats returns the session's streaming statistics so far.
+func (s *Session) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.e.finalStats()
+}
+
+// BufferedOps returns the number of live operations currently held by the
+// session (open windows + held segments + in-flight verification) — the
+// working-set gauge an operator watches. Lock-free.
+func (s *Session) BufferedOps() int64 { return s.e.buffered.Load() }
+
+// Keys returns the number of distinct keys seen so far. Lock-free, so
+// monitoring never queues behind a backpressured Append.
+func (s *Session) Keys() int64 { return s.e.keyCount.Load() }
+
+// PeakBufferedOps returns the largest BufferedOps value observed. Lock-free.
+func (s *Session) PeakBufferedOps() int64 { return s.e.peakBuffered.Load() }
+
+// SnapshotKey returns one key's live verification state (see Snapshot),
+// without building the full key-sorted snapshot; ok is false for keys the
+// session has not seen.
+func (s *Session) SnapshotKey(key string) (KeyVerdict, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ks, ok := s.e.keys[key]
+	if !ok {
+		return KeyVerdict{}, false
+	}
+	return keyVerdictOf(ks), true
+}
+
+// keyVerdictOf builds one key's verdict; the caller holds the session lock
+// (for the parser-side fields), and the verdict fields are read under the
+// key's own lock.
+func keyVerdictOf(ks *keyState) KeyVerdict {
+	pending := len(ks.open)
+	for _, seg := range ks.deque {
+		pending += len(seg.ops)
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return KeyVerdict{
+		Key:        ks.key,
+		Ops:        ks.ops,
+		PendingOps: pending,
+		Atomic:     ks.err == nil && ks.atomic,
+		SmallestK:  max(ks.maxK, ks.kFloor),
+		Saturated:  ks.saturated,
+		Err:        ks.err,
+	}
+}
+
+// checkReport assembles the per-key fixed-k report. Verdict fields are read
+// under each key's lock so live (pre-drain) callers race with nothing.
+func (e *engine) checkReport() Report {
+	rep := Report{K: e.k}
+	for _, ks := range e.sortedKeys() {
+		ks.mu.Lock()
+		rep.Keys = append(rep.Keys, KeyReport{
+			Key:    ks.key,
+			Ops:    ks.ops,
+			Atomic: ks.err == nil && ks.atomic,
+			Err:    ks.err,
+		})
+		ks.mu.Unlock()
+	}
+	return rep
+}
+
+// smallestKMap assembles the per-key smallest-k map under the same locking
+// discipline as checkReport.
+func (e *engine) smallestKMap() map[string]int {
+	out := make(map[string]int, len(e.keys))
+	for _, ks := range e.keys {
+		ks.mu.Lock()
+		switch {
+		case ks.err != nil:
+			out[ks.key] = 0
+		default:
+			out[ks.key] = max(1, ks.maxK, ks.kFloor)
+		}
+		ks.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"kat/internal/core"
+	"kat/internal/history"
+)
+
+// genSessionTrace builds a deterministic multi-key trace text in arrival
+// order, with enough quiescent gaps that MinSegmentOps 1 produces real
+// segmentation.
+func genSessionTrace(seed int64, keys, opsPerKey int) string {
+	rng := rand.New(rand.NewSource(seed))
+	t := New()
+	for ki := 0; ki < keys; ki++ {
+		clock := int64(rng.Intn(5))
+		vals := 0
+		var written []int64
+		for i := 0; i < opsPerKey; i++ {
+			var op history.Operation
+			start := clock
+			clock += int64(1 + rng.Intn(4))
+			op.Start, op.Finish = start, clock
+			clock += int64(rng.Intn(6)) // occasional quiescent gap
+			if len(written) == 0 || rng.Float64() < 0.5 {
+				vals++
+				op.Kind = history.KindWrite
+				op.Value = int64(vals)
+				written = append(written, op.Value)
+			} else {
+				op.Kind = history.KindRead
+				// Mostly fresh, sometimes stale by a few writes.
+				back := rng.Intn(3)
+				if back >= len(written) {
+					back = len(written) - 1
+				}
+				op.Value = written[len(written)-1-back]
+			}
+			t.Add(fmt.Sprintf("key-%02d", ki), op)
+		}
+	}
+	var b strings.Builder
+	if err := WriteArrivalOrder(&b, t); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// feedPerOp pushes the canonical text into the session one operation at a
+// time through Append (exercising the string-key path).
+func feedPerOp(t *testing.T, s *Session, text string) {
+	t.Helper()
+	err := ParseStream(strings.NewReader(text), func(key string, op history.Operation) error {
+		return s.Append(key, op)
+	})
+	if err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+}
+
+func TestSessionMatchesStreamCheck(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		text := genSessionTrace(seed, 4, 60)
+		for _, k := range []int{1, 2} {
+			sopts := StreamOptions{Workers: 2, MinSegmentOps: 1}
+			want, wantStats, err := StreamCheck(strings.NewReader(text), k, core.Options{}, sopts)
+			if err != nil {
+				t.Fatalf("seed %d: StreamCheck: %v", seed, err)
+			}
+			s, err := NewCheckSession(k, core.Options{}, sopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedPerOp(t, s, text)
+			if err := s.Flush(); err != nil {
+				t.Fatalf("seed %d: Flush: %v", seed, err)
+			}
+			got, gotStats := s.Report()
+			if len(got.Keys) != len(want.Keys) {
+				t.Fatalf("seed %d k=%d: key counts differ", seed, k)
+			}
+			for i := range want.Keys {
+				w, g := want.Keys[i], got.Keys[i]
+				if w.Key != g.Key || w.Ops != g.Ops || w.Atomic != g.Atomic || (w.Err == nil) != (g.Err == nil) {
+					t.Fatalf("seed %d k=%d: key %s: stream %+v vs session %+v", seed, k, w.Key, w, g)
+				}
+			}
+			if gotStats.Ops != wantStats.Ops || gotStats.Keys != wantStats.Keys {
+				t.Fatalf("seed %d: stats differ: %+v vs %+v", seed, gotStats, wantStats)
+			}
+		}
+
+		wantK, _, err := StreamSmallestKByKey(strings.NewReader(text), core.Options{},
+			StreamOptions{Workers: 2, MinSegmentOps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 2, MinSegmentOps: 1})
+		if _, err := s.AppendTrace(strings.NewReader(text)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		gotK, _ := s.SmallestKByKey()
+		for key, want := range wantK {
+			if gotK[key] != want {
+				t.Fatalf("seed %d: key %s: session k=%d, stream k=%d", seed, key, gotK[key], want)
+			}
+		}
+	}
+}
+
+func TestSessionSharedPool(t *testing.T) {
+	pool := core.NewPool(3)
+	defer pool.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			text := genSessionTrace(seed, 3, 50)
+			want, _, err := StreamSmallestKByKey(strings.NewReader(text), core.Options{},
+				StreamOptions{Workers: 1, MinSegmentOps: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s := NewSmallestKSession(core.Options{}, StreamOptions{Pool: pool, MinSegmentOps: 1})
+			if _, err := s.AppendTrace(strings.NewReader(text)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+			got, _ := s.SmallestKByKey()
+			for key, w := range want {
+				if got[key] != w {
+					t.Errorf("seed %d key %s: shared-pool k=%d, want %d", seed, key, got[key], w)
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	// The shared pool must survive every session: it still runs work.
+	s := NewSmallestKSession(core.Options{}, StreamOptions{Pool: pool, MinSegmentOps: 1})
+	if err := s.Append("late", history.Operation{Kind: history.KindWrite, Value: 1, Start: 0, Finish: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.SmallestKByKey(); got["late"] != 1 {
+		t.Fatalf("post-sessions pool run: k=%d, want 1", got["late"])
+	}
+}
+
+func TestSessionConcurrentAppend(t *testing.T) {
+	// Each goroutine owns disjoint keys, so per-key arrival order is
+	// preserved no matter how the appends interleave.
+	const producers = 8
+	texts := make([]string, producers)
+	for i := range texts {
+		texts[i] = genSessionTrace(int64(1000+i), 2, 40)
+	}
+	// Distinct keys per producer: prefix them.
+	s := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 2, MinSegmentOps: 1})
+	seq := make(map[string]int, producers*2)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, text := range texts {
+		wg.Add(1)
+		go func(i int, text string) {
+			defer wg.Done()
+			err := ParseStream(strings.NewReader(text), func(key string, op history.Operation) error {
+				return s.Append(fmt.Sprintf("p%d-%s", i, key), op)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i, text)
+		// Sequential reference under the same prefixed keys.
+		ref := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 1, MinSegmentOps: 1})
+		ParseStream(strings.NewReader(text), func(key string, op history.Operation) error {
+			return ref.Append(fmt.Sprintf("p%d-%s", i, key), op)
+		})
+		ref.Flush()
+		refK, _ := ref.SmallestKByKey()
+		mu.Lock()
+		for k, v := range refK {
+			seq[k] = v
+		}
+		mu.Unlock()
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.SmallestKByKey()
+	if len(got) != len(seq) {
+		t.Fatalf("key count %d, want %d", len(got), len(seq))
+	}
+	for k, v := range seq {
+		if got[k] != v {
+			t.Fatalf("key %s: concurrent k=%d, sequential %d", k, got[k], v)
+		}
+	}
+}
+
+func TestSessionAppendAfterFlush(t *testing.T) {
+	s, err := NewCheckSession(2, core.Options{}, StreamOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("a", history.Operation{Kind: history.KindWrite, Value: 1, Start: 0, Finish: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	err = s.Append("a", history.Operation{Kind: history.KindRead, Value: 1, Start: 2, Finish: 3})
+	if !errors.Is(err, ErrSessionFlushed) {
+		t.Fatalf("append after flush: %v, want ErrSessionFlushed", err)
+	}
+	if _, err := s.AppendTrace(strings.NewReader("w a 9 9 10\n")); !errors.Is(err, ErrSessionFlushed) {
+		t.Fatalf("AppendTrace after flush: %v, want ErrSessionFlushed", err)
+	}
+}
+
+func TestSessionStickyOutOfOrder(t *testing.T) {
+	s := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 1, MinSegmentOps: 1})
+	ops := []struct {
+		start, finish int64
+	}{{0, 1}, {10, 11}, {20, 21}}
+	for i, iv := range ops {
+		op := history.Operation{Kind: history.KindWrite, Value: int64(i + 1), Start: iv.start, Finish: iv.finish}
+		if err := s.Append("a", op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Starts before the committed cut: out of order.
+	bad := history.Operation{Kind: history.KindWrite, Value: 9, Start: 5, Finish: 6}
+	err := s.Append("a", bad)
+	if !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order append: %v, want ErrOutOfOrder", err)
+	}
+	// Sticky: even a well-formed append now fails with the same error.
+	good := history.Operation{Kind: history.KindWrite, Value: 10, Start: 50, Finish: 51}
+	if err2 := s.Append("a", good); !errors.Is(err2, ErrOutOfOrder) {
+		t.Fatalf("append after error: %v, want sticky ErrOutOfOrder", err2)
+	}
+	if ferr := s.Flush(); !errors.Is(ferr, ErrOutOfOrder) {
+		t.Fatalf("Flush: %v, want sticky ErrOutOfOrder", ferr)
+	}
+}
+
+func TestSessionSnapshotLifecycle(t *testing.T) {
+	s := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 1, MinSegmentOps: 1, Horizon: 2})
+	if snaps := s.Snapshot(); len(snaps) != 0 {
+		t.Fatalf("fresh session snapshot: %v", snaps)
+	}
+	// A staircase of writes each read back immediately: smallest k = 1,
+	// segments close at every quiescent gap.
+	clock := int64(0)
+	for i := 0; i < 30; i++ {
+		w := history.Operation{Kind: history.KindWrite, Value: int64(i + 1), Start: clock, Finish: clock + 1}
+		r := history.Operation{Kind: history.KindRead, Value: int64(i + 1), Start: clock + 2, Finish: clock + 3}
+		clock += 4
+		if err := s.Append("a", w); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append("a", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mid := s.Snapshot()
+	if len(mid) != 1 || mid[0].Key != "a" || mid[0].Ops != 60 {
+		t.Fatalf("mid snapshot: %+v", mid)
+	}
+	if mid[0].Err != nil || !mid[0].Atomic {
+		t.Fatalf("mid snapshot flags: %+v", mid[0])
+	}
+	if s.BufferedOps() < 0 {
+		t.Fatalf("negative buffered ops")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fin := s.Snapshot()
+	if len(fin) != 1 || fin[0].PendingOps != 0 {
+		t.Fatalf("final snapshot still pending: %+v", fin)
+	}
+	if fin[0].SmallestK != 1 {
+		t.Fatalf("final smallest k = %d, want 1", fin[0].SmallestK)
+	}
+	st := s.Stats()
+	if st.Ops != 60 || st.Keys != 1 || st.Segments == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSessionStopMatchesStreamOnViolation pins the early-exit contract: a
+// stopped session drains only what was already dispatched, so keys the
+// reader-driven engine never verified (stopped before dispatch) must report
+// identically — not get flushed to a different verdict at Flush.
+func TestSessionStopMatchesStreamOnViolation(t *testing.T) {
+	// The stale read r a 1 becomes a cross-boundary violation when its
+	// window closes at w a 4 — detected synchronously by the parser, so the
+	// stop lands at a deterministic input position in both engines: w b 1
+	// is never admitted, key b must not exist, and the held key-a segments
+	// must not be flushed to extra verdicts.
+	canon := "w a 1 0 10\nw a 2 20 30\nw a 3 40 50\nr a 1 60 70\nw a 4 80 90\nw b 1 100 110\n"
+	sopts := StreamOptions{Workers: 1, MinSegmentOps: 1, StopOnViolation: true}
+	want, wantStats, err := StreamCheck(strings.NewReader(canon), 1, core.Options{}, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantStats.Stopped || len(want.Keys) != 1 {
+		t.Fatalf("scenario must stop mid-parse with only key a: %+v %+v", want, wantStats)
+	}
+	s, err := NewCheckSession(1, core.Options{}, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedPerOp(t, s, canon)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats := s.Report()
+	if gotStats.Stopped != wantStats.Stopped {
+		t.Fatalf("stopped: session %v, stream %v", gotStats.Stopped, wantStats.Stopped)
+	}
+	if gotStats.Segments != wantStats.Segments {
+		t.Fatalf("segments: session %d, stream %d (stopped session must not flush)", gotStats.Segments, wantStats.Segments)
+	}
+	if len(got.Keys) != len(want.Keys) {
+		t.Fatalf("key counts differ: %+v vs %+v", got.Keys, want.Keys)
+	}
+	for i := range want.Keys {
+		w, g := want.Keys[i], got.Keys[i]
+		if w.Key != g.Key || w.Atomic != g.Atomic || (w.Err == nil) != (g.Err == nil) {
+			t.Fatalf("key %s: stream %+v vs session %+v", w.Key, w, g)
+		}
+	}
+}
+
+func TestSessionStopOnViolation(t *testing.T) {
+	s, err := NewCheckSession(1, core.Options{},
+		StreamOptions{Workers: 1, MinSegmentOps: 1, StopOnViolation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key becomes non-1-atomic: a read two writes back.
+	text := "w a 1 0 1\nw a 2 10 11\nw a 3 20 21\nr a 1 30 31\n"
+	if _, err := s.AppendTrace(strings.NewReader(text)); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// Keep appending until the violation verdict lands and trips the stop
+	// flag; appends then become silent no-ops rather than errors.
+	clock := int64(100)
+	for i := 0; i < 10_000 && !s.Stats().Stopped; i++ {
+		op := history.Operation{Kind: history.KindWrite, Value: int64(100 + i), Start: clock, Finish: clock + 1}
+		clock += 10
+		if err := s.Append("a", op); err != nil {
+			t.Fatalf("append during stop race: %v", err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, stats := s.Report()
+	if !stats.Stopped {
+		t.Fatal("violation did not stop the session")
+	}
+	if len(rep.Keys) != 1 || rep.Keys[0].Atomic {
+		t.Fatalf("report: %+v", rep)
+	}
+}

@@ -111,6 +111,13 @@ const DefaultMinSegmentOps = 128
 type StreamOptions struct {
 	// Workers sizes the verification pool; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Pool, when non-nil, runs segment verification on this shared
+	// work-stealing pool instead of a private one, so any number of
+	// concurrent streams and sessions (the online service, batch sweeps
+	// over many small traces) share one set of workers and their warm
+	// scratch arenas. Workers is then ignored, and the pool is left open
+	// when the stream finishes — whoever created it closes it.
+	Pool *core.Pool
 	// Horizon is the smallest-k dispatch horizon in writes (see
 	// DefaultHorizon). Fixed-k checks ignore it and use k itself: a read
 	// reaching past k closed writes is already a definitive violation.
@@ -361,16 +368,7 @@ func StreamCheck(r io.Reader, k int, opts core.Options, sopts StreamOptions) (Re
 	}
 	e := newEngine(modeCheck, k, k, opts, sopts)
 	err := e.run(r)
-	rep := Report{K: k}
-	for _, ks := range e.sortedKeys() {
-		rep.Keys = append(rep.Keys, KeyReport{
-			Key:    ks.key,
-			Ops:    ks.ops,
-			Atomic: ks.err == nil && ks.atomic,
-			Err:    ks.err,
-		})
-	}
-	return rep, e.finalStats(), err
+	return e.checkReport(), e.finalStats(), err
 }
 
 // StreamSmallestKByKey computes each register's smallest k from a streamed
@@ -385,16 +383,7 @@ func StreamSmallestKByKey(r io.Reader, opts core.Options, sopts StreamOptions) (
 	}
 	e := newEngine(modeSmallestK, 0, horizon, opts, sopts)
 	err := e.run(r)
-	out := make(map[string]int, len(e.keys))
-	for _, ks := range e.keys {
-		switch {
-		case ks.err != nil:
-			out[ks.key] = 0
-		default:
-			out[ks.key] = max(1, ks.maxK, ks.kFloor)
-		}
-	}
-	return out, e.finalStats(), err
+	return e.smallestKMap(), e.finalStats(), err
 }
 
 type streamMode int
@@ -463,7 +452,13 @@ type engine struct {
 	// submissions (the parser blocks when verification falls behind,
 	// keeping buffered operations bounded exactly like the former
 	// fixed-capacity job channel). bufPool recycles operation buffers.
+	// ownPool records whether the engine created vpool (and so must close
+	// it) or borrowed a shared one via StreamOptions.Pool; wg joins this
+	// engine's own dispatched segments, which is the only wait a borrowed
+	// pool allows.
 	vpool   *core.Pool
+	ownPool bool
+	wg      sync.WaitGroup
 	sem     chan struct{}
 	bufPool sync.Pool
 
@@ -471,14 +466,19 @@ type engine struct {
 	parseDone atomic.Bool
 	buffered  atomic.Int64
 	opsParsed atomic.Int64
+	// keyCount and peakBuffered are written only by the parser side but
+	// read lock-free by monitoring gauges (Session.Keys /
+	// Session.PeakBufferedOps), which must not queue behind an Append
+	// blocked on backpressure.
+	keyCount     atomic.Int64
+	peakBuffered atomic.Int64
 
 	// Parser-side stats (single goroutine).
-	parsed       int64
-	merges       int64
-	segments     int64
-	maxOpen      int
-	peakBuffered int64
-	stopped      bool
+	parsed   int64
+	merges   int64
+	segments int64
+	maxOpen  int
+	stopped  bool
 
 	// Worker-side stats.
 	staleReads   atomic.Int64
@@ -487,7 +487,9 @@ type engine struct {
 
 func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts StreamOptions) *engine {
 	workers := sopts.Workers
-	if workers <= 0 {
+	if sopts.Pool != nil {
+		workers = sopts.Pool.Workers()
+	} else if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	minSeg := sopts.MinSegmentOps
@@ -502,26 +504,49 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 		opts:      opts,
 		sopts:     sopts,
 		keys:      make(map[string]*keyState),
-		vpool:     core.NewPool(workers),
 		sem:       make(chan struct{}, 2*workers),
+	}
+	if sopts.Pool != nil {
+		e.vpool = sopts.Pool
+	} else {
+		e.vpool = core.NewPool(workers)
+		e.ownPool = true
 	}
 	e.bufPool.New = func() any { return []history.Operation(nil) }
 	return e
 }
 
 func (e *engine) run(r io.Reader) error {
-	err := parseStreamBytes(r, e.add)
+	err := e.drain(parseStreamBytes(r, e.add))
+	e.finish()
+	return err
+}
+
+// drain finalizes the parser side after input ends: it marks the parse done,
+// absorbs the early-exit sentinel, and — on clean input — commits every open
+// window and dispatches everything still held.
+func (e *engine) drain(err error) error {
 	e.parseDone.Store(true)
 	if errors.Is(err, errStopped) {
 		e.stopped = true
-		err = nil
-	} else if err == nil {
+		return nil
+	}
+	if err == nil {
 		for _, ks := range e.keys {
 			e.flush(ks)
 		}
 	}
-	e.vpool.Close()
 	return err
+}
+
+// finish waits for every segment this engine dispatched and, when the engine
+// owns its pool, releases the workers. Borrowed pools stay open for their
+// other users.
+func (e *engine) finish() {
+	e.wg.Wait()
+	if e.ownPool {
+		e.vpool.Close()
+	}
 }
 
 // add is the per-operation entry point (parser goroutine). The key is a
@@ -533,15 +558,38 @@ func (e *engine) add(key []byte, op history.Operation) error {
 	}
 	ks := e.keys[string(key)]
 	if ks == nil {
-		ks = &keyState{
-			key:               string(key),
-			maxClosedFinish:   math.MinInt64,
-			dispatchedThrough: -1,
-			values:            make(map[int64]int32),
-			atomic:            true,
-		}
-		e.keys[ks.key] = ks
+		ks = e.newKey(string(key))
 	}
+	return e.addOp(ks, op)
+}
+
+// addString is add for callers that already hold the key as a string
+// (Session.Append), so the public per-op path stays allocation-free too.
+func (e *engine) addString(key string, op history.Operation) error {
+	if e.stop.Load() {
+		return errStopped
+	}
+	ks := e.keys[key]
+	if ks == nil {
+		ks = e.newKey(key)
+	}
+	return e.addOp(ks, op)
+}
+
+func (e *engine) newKey(key string) *keyState {
+	ks := &keyState{
+		key:               key,
+		maxClosedFinish:   math.MinInt64,
+		dispatchedThrough: -1,
+		values:            make(map[int64]int32),
+		atomic:            true,
+	}
+	e.keys[key] = ks
+	e.keyCount.Add(1)
+	return ks
+}
+
+func (e *engine) addOp(ks *keyState, op history.Operation) error {
 	ks.ops++
 	e.parsed++
 	e.opsParsed.Store(e.parsed)
@@ -590,8 +638,8 @@ func (e *engine) add(key []byte, op history.Operation) error {
 	if n := len(ks.open); n > e.maxOpen {
 		e.maxOpen = n
 	}
-	if cur := e.buffered.Add(1); cur > e.peakBuffered {
-		e.peakBuffered = cur
+	if cur := e.buffered.Add(1); cur > e.peakBuffered.Load() {
+		e.peakBuffered.Store(cur)
 		if e.sopts.MaxBufferedOps > 0 && cur > int64(e.sopts.MaxBufferedOps) {
 			return fmt.Errorf("%w (%d live ops; largest open window %d)", ErrBufferLimit, cur, e.maxOpen)
 		}
@@ -718,8 +766,9 @@ func (e *engine) dispatch(ks *keyState, seg closedSeg) {
 	e.segments++
 	j := job{ks: ks, seq: seg.loSeq, ops: seg.ops, scanOnly: ks.settled.Load()}
 	e.sem <- struct{}{}
+	e.wg.Add(1)
 	e.vpool.Submit(func(c *core.Ctx) {
-		defer func() { <-e.sem }()
+		defer func() { <-e.sem; e.wg.Done() }()
 		e.verifySegment(c, j)
 	})
 }
@@ -794,7 +843,7 @@ func (e *engine) finalStats() StreamStats {
 		Segments:        e.segments,
 		Merges:          e.merges,
 		MaxOpenOps:      e.maxOpen,
-		PeakBufferedOps: e.peakBuffered,
+		PeakBufferedOps: e.peakBuffered.Load(),
 		StaleReads:      e.staleReads.Load(),
 		FirstVerdictOps: e.firstVerdict.Load(),
 		Stopped:         e.stopped,

@@ -58,6 +58,15 @@
 // CheckTraceParallel for any worker count. The input must arrive in
 // nondecreasing start order per key (the natural order of an operation
 // log); see trace.ErrOutOfOrder.
+//
+// # Online monitoring
+//
+// The same engine runs push-driven: an OnlineSession accepts operations as
+// they happen (NewOnlineCheckSession / NewOnlineSmallestKSession), exposes
+// live per-key verdict state, and drains to final verdicts on Flush —
+// identical to the reader-driven forms on the same operations. Sessions can
+// share one verification Pool, which is how cmd/kavserve serves many
+// concurrent ingest clients with a single set of workers.
 package kat
 
 import (
@@ -296,6 +305,41 @@ type (
 	// RenderOptions controls ASCII timeline rendering.
 	RenderOptions = render.Options
 )
+
+// Pool is a shared verification worker pool: the work-stealing (key, chunk)
+// scheduler every parallel entry point runs on. Hand one to
+// StreamOptions.Pool so any number of concurrent streams and online
+// sessions share a single set of workers (and their warm scratch arenas)
+// instead of each spinning up its own; Close releases the workers.
+type Pool = core.Pool
+
+// NewPool starts a verification pool (workers <= 0 uses GOMAXPROCS).
+func NewPool(workers int) *Pool { return core.NewPool(workers) }
+
+// Online (push-driven) verification types.
+type (
+	// OnlineSession is the push-driven streaming engine: operations are
+	// appended one at a time (from any number of goroutines), per-key
+	// verdict state is observable live, and Flush is the graceful drain
+	// that makes the verdicts final — identical to the reader-driven
+	// StreamCheckTrace / StreamSmallestKByKey on the same operations.
+	OnlineSession = trace.Session
+	// OnlineKeyVerdict is one key's live state in an OnlineSession
+	// snapshot.
+	OnlineKeyVerdict = trace.KeyVerdict
+)
+
+// NewOnlineCheckSession opens a session verifying every key at bound k (the
+// push form of StreamCheckTrace).
+func NewOnlineCheckSession(k int, opts Options, sopts StreamOptions) (*OnlineSession, error) {
+	return trace.NewCheckSession(k, opts, sopts)
+}
+
+// NewOnlineSmallestKSession opens a session computing each key's smallest k
+// (the push form of StreamSmallestKByKey, same horizon semantics).
+func NewOnlineSmallestKSession(opts Options, sopts StreamOptions) *OnlineSession {
+	return trace.NewSmallestKSession(opts, sopts)
+}
 
 // Streaming verification types.
 type (

@@ -1,0 +1,105 @@
+// Command covercheck enforces a minimum total statement coverage over one or
+// more Go cover profiles, so test-only packages (internal/refcheck, the
+// differential and metamorphic suites) cannot silently rot: a package whose
+// tests stop compiling or stop running drags the total below the gate.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./scripts/covercheck -min 70 cover.out
+//
+// Total coverage is computed the same way `go tool cover -func` computes its
+// "total" line: covered statements over all statements, deduplicating
+// repeated blocks (a block may appear once per test binary that ran it).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	min := fs.Float64("min", 70, "minimum total statement coverage, in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: covercheck [-min pct] profile.out...")
+	}
+	// block -> (stmts, covered): keyed by position so profiles merged from
+	// several packages (or -count > 1) count each block once.
+	type blockStat struct {
+		stmts   int
+		covered bool
+	}
+	blocks := make(map[string]blockStat)
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "mode:") {
+				continue
+			}
+			// file.go:sl.sc,el.ec numStmts count
+			pos, rest, ok := strings.Cut(line, " ")
+			if !ok {
+				return fmt.Errorf("%s: malformed profile line %q", path, line)
+			}
+			stmtStr, countStr, ok := strings.Cut(rest, " ")
+			if !ok {
+				return fmt.Errorf("%s: malformed profile line %q", path, line)
+			}
+			stmts, err := strconv.Atoi(stmtStr)
+			if err != nil {
+				return fmt.Errorf("%s: bad statement count in %q: %v", path, line, err)
+			}
+			count, err := strconv.Atoi(countStr)
+			if err != nil {
+				return fmt.Errorf("%s: bad hit count in %q: %v", path, line, err)
+			}
+			b := blocks[pos]
+			b.stmts = stmts
+			b.covered = b.covered || count > 0
+			blocks[pos] = b
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	total, covered := 0, 0
+	for _, b := range blocks {
+		total += b.stmts
+		if b.covered {
+			covered += b.stmts
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("no statements found in %v", fs.Args())
+	}
+	pct := 100 * float64(covered) / float64(total)
+	fmt.Fprintf(out, "covercheck: total coverage %.1f%% of statements (%d/%d), minimum %.1f%%\n",
+		pct, covered, total, *min)
+	if pct < *min {
+		return fmt.Errorf("coverage %.1f%% is below the %.1f%% gate", pct, *min)
+	}
+	return nil
+}
