@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 benchcmp cover
+.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 benchcmp cover
 
 all: vet build test
 
@@ -31,7 +31,7 @@ bench:
 # Record the hot-path benchmark families so future PRs can track the perf
 # trajectory: BENCH_baseline.txt is benchstat-ready, BENCH_baseline.json
 # wraps the same run with environment metadata.
-BASELINE_BENCHES := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$|BenchmarkHotKey|BenchmarkStreamCheckZipf
+BASELINE_BENCHES := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$|BenchmarkHotKey|BenchmarkStreamCheckZipf|BenchmarkOnlineIngest
 
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)' -benchmem -count 6 -timeout 60m . | tee BENCH_baseline.txt
@@ -51,14 +51,25 @@ bench-pr3:
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)|BenchmarkStream1M' -benchmem -count 3 -timeout 30m . | tee BENCH_pr3.txt
 	$(GO) run ./scripts/benchjson BENCH_pr3.txt > BENCH_pr3.json
 
+# PR 5 trajectory record: the pinned families plus the online batch-ingest
+# matrix (1/4/8 producers × op-granular vs batched, with the locks/op
+# custom metric) and the 1M-op streaming row.
+bench-pr5:
+	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)|BenchmarkStream1M' -benchmem -count 3 -timeout 30m . | tee BENCH_pr5.txt
+	$(GO) run ./scripts/benchjson BENCH_pr5.txt > BENCH_pr5.json
+
 # Regression gate: rerun the pinned hot-path families (the fast scratch
 # ones — the one-shot FZF sweep is too slow to repeat 1000x) and compare
 # against the committed baseline. Repeated samples (-count) let the gate
 # compare medians with an IQR-based noise floor (scripts/benchcmp), so
 # scheduler jitter outliers don't fail CI while real regressions still do.
+# BenchmarkOnlineIngest runs in a second pass with a higher -benchtime:
+# its unit is one ingested operation, so 500 iterations would not even
+# fill one 512-op batch.
 GATE_BENCHES := BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$
 
 benchcmp:
 	$(GO) test -short -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 500x -benchmem -count 4 . > bench_current.txt || (cat bench_current.txt; exit 1)
+	$(GO) test -short -run '^$$' -bench 'BenchmarkOnlineIngest' -benchtime 20000x -benchmem -count 4 . >> bench_current.txt || (cat bench_current.txt; exit 1)
 	cat bench_current.txt
 	$(GO) run ./scripts/benchcmp -baseline BENCH_baseline.json bench_current.txt

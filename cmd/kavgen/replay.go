@@ -43,51 +43,45 @@ func runReplay(baseURL string, traceText []byte, clients int, rate float64, drai
 		total++
 	}
 
-	// Pacing: a central dispenser feeds at most `rate` tokens per second;
-	// every connection takes one token per operation. Approximate — at very
-	// high rates the ticker saturates and replay runs effectively unpaced.
-	var tokens chan struct{}
-	pacerDone := make(chan struct{})
-	defer close(pacerDone)
-	if rate > 0 {
-		interval := time.Duration(float64(time.Second) / rate)
-		if interval <= 0 {
-			interval = time.Nanosecond
+	// Pacing: each connection owns a token bucket refilled at its share of
+	// the aggregate rate and takes tokens in batch-sized grants, so one
+	// sleep covers a whole grant of operations. A central ticker dispenser
+	// (the previous design) saturates near the ticker resolution — rates
+	// above ~1/ms could never be honored; local buckets have no dispenser
+	// to saturate, and the batch grant amortizes timer granularity, so the
+	// requested rate is met until the network itself is the limit.
+	active := 0
+	for _, bucket := range buckets {
+		if len(bucket) > 0 {
+			active++
 		}
-		tokens = make(chan struct{})
-		tick := time.NewTicker(interval)
-		go func() {
-			defer tick.Stop()
-			for {
-				select {
-				case <-pacerDone:
-					return
-				case <-tick.C:
-					select {
-					case tokens <- struct{}{}:
-					case <-pacerDone:
-						return
-					}
-				}
-			}
-		}()
+	}
+	var perConnRate float64
+	grant := 1
+	if rate > 0 && active > 0 {
+		perConnRate = rate / float64(active)
+		grant = grantSize(perConnRate)
 	}
 
+	pacerDone := make(chan struct{})
+	defer close(pacerDone)
 	var (
-		wg     sync.WaitGroup
-		sent   atomic.Int64
-		active int
-		errs   = make(chan error, clients)
+		wg   sync.WaitGroup
+		sent atomic.Int64
+		errs = make(chan error, clients)
 	)
 	for _, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		active++
 		wg.Add(1)
 		go func(bucket [][]byte) {
 			defer wg.Done()
-			if err := replayConn(baseURL, bucket, tokens, pacerDone, &sent); err != nil {
+			var tb *tokenBucket
+			if perConnRate > 0 {
+				tb = newTokenBucket(perConnRate, grant, pacerDone)
+			}
+			if err := replayConn(baseURL, bucket, tb, grant, &sent); err != nil {
 				errs <- err
 			}
 		}(bucket)
@@ -115,29 +109,107 @@ func runReplay(baseURL string, traceText []byte, clients int, rate float64, drai
 	return printServerVerdict(out, resp.Body, false)
 }
 
-// replayConn streams one bucket's lines as a single chunked /ingest request.
-// The writer goroutine also watches `stop` while waiting for a pacing token:
-// when the request side fails, only a pipe write would unblock it otherwise,
-// and it would leak parked on the token channel.
-func replayConn(baseURL string, bucket [][]byte, tokens chan struct{}, stop <-chan struct{}, sent *atomic.Int64) error {
+// grantSize picks the token-bucket grant (lines per take) for one
+// connection's rate: ~50 grants per second, so the writer sleeps a
+// schedulable >= 20ms between grants instead of fighting timer resolution
+// per line, clamped to keep low rates smooth and bursts bounded.
+func grantSize(perConnRate float64) int {
+	g := int(perConnRate / 50)
+	if g < 1 {
+		g = 1
+	}
+	if g > 4096 {
+		g = 4096
+	}
+	return g
+}
+
+// tokenBucket paces one replay connection. Tokens accrue at `rate` per
+// second against a wall clock read on demand (no feeding goroutine, nothing
+// to saturate), capped at a burst of two grants. take(n) blocks until n
+// tokens are available or the stop channel closes.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	stop   <-chan struct{}
+	// now / sleep are the clock, injectable for tests.
+	now   func() time.Time
+	sleep func(time.Duration) bool
+}
+
+func newTokenBucket(rate float64, grant int, stop <-chan struct{}) *tokenBucket {
+	tb := &tokenBucket{
+		rate:  rate,
+		burst: 2 * float64(grant),
+		stop:  stop,
+		now:   time.Now,
+	}
+	tb.sleep = func(d time.Duration) bool {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return true
+		case <-tb.stop:
+			return false
+		}
+	}
+	tb.tokens = tb.burst // start full: the first grant goes out immediately
+	tb.last = tb.now()
+	return tb
+}
+
+// take blocks until n tokens accrue (false when stopped mid-wait).
+func (b *tokenBucket) take(n int) bool {
+	need := float64(n)
+	for {
+		now := b.now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if cap := max(b.burst, need); b.tokens > cap {
+			b.tokens = cap
+		}
+		b.last = now
+		if b.tokens >= need {
+			b.tokens -= need
+			return true
+		}
+		wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+		if wait < time.Millisecond {
+			wait = time.Millisecond // below timer resolution: oversleep, the bucket credits it back
+		}
+		if !b.sleep(wait) {
+			return false
+		}
+	}
+}
+
+// replayConn streams one bucket's lines as a single chunked /ingest request,
+// taking pacing tokens in grant-sized batches. The writer goroutine gives up
+// waiting for tokens when the request side fails (the bucket watches the
+// pacer's stop channel), so it never leaks parked on the pacer.
+func replayConn(baseURL string, bucket [][]byte, tb *tokenBucket, grant int, sent *atomic.Int64) error {
 	pr, pw := io.Pipe()
 	go func() {
 		var nl = []byte("\n")
-		for _, line := range bucket {
-			if tokens != nil {
-				select {
-				case <-tokens:
-				case <-stop:
-					return
-				}
+		for off := 0; off < len(bucket); off += grant {
+			end := off + grant
+			if end > len(bucket) {
+				end = len(bucket)
 			}
-			if _, err := pw.Write(line); err != nil {
-				return // request side failed; it reports the error
-			}
-			if _, err := pw.Write(nl); err != nil {
+			if tb != nil && !tb.take(end-off) {
 				return
 			}
-			sent.Add(1)
+			for _, line := range bucket[off:end] {
+				if _, err := pw.Write(line); err != nil {
+					return // request side failed; it reports the error
+				}
+				if _, err := pw.Write(nl); err != nil {
+					return
+				}
+				sent.Add(1)
+			}
 		}
 		pw.Close()
 	}()

@@ -25,8 +25,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -51,6 +53,8 @@ func run(args []string, out io.Writer) error {
 		minSeg  = fs.Int("min-segment-ops", 0, "minimum open-window size before a quiescent cut (0 = default)")
 		maxBuf  = fs.Int("max-buffered-ops", 0, "cap on live buffered operations across keys (0 = uncapped)")
 		memo    = fs.Bool("memo", true, "cache segment verdicts by content hash")
+		shards  = fs.Int("ingest-shards", 0, "ingest shard count: concurrent producers contend only per key-hash shard (0 = default)")
+		pprofOn = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ with mutex and block profiling enabled (ingest-contention observability)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Stream.Horizon = *horizon
 	cfg.Stream.MinSegmentOps = *minSeg
 	cfg.Stream.MaxBufferedOps = *maxBuf
+	cfg.Stream.IngestShards = *shards
 	if *memo {
 		cfg.Opts.Memo = kat.NewMemo()
 	}
@@ -74,14 +79,39 @@ func run(args []string, out io.Writer) error {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 	fmt.Fprintf(out, "kavserve: listening on %s (k=%d)\n", ln.Addr(), *k)
-	return serve(ln, cfg, sigs, out)
+	return serve(ln, cfg, *pprofOn, sigs, out)
+}
+
+// withPprof mounts the net/http/pprof handlers next to the service mux and
+// turns on the mutex and block profiles, so ingest lock contention is
+// observable in production:
+//
+//	go tool pprof http://localhost:8080/debug/pprof/mutex
+//	go tool pprof http://localhost:8080/debug/pprof/block
+func withPprof(h http.Handler) http.Handler {
+	// Sampling rates, not firehoses: 1-in-5 mutex contention events and
+	// blocking events >= 100µs keep the profiles cheap enough to leave on.
+	runtime.SetMutexProfileFraction(5)
+	runtime.SetBlockProfileRate(int(100 * time.Microsecond / time.Nanosecond))
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the service on ln until a signal arrives, then drains the
 // session, prints the final verdicts, and shuts the listener down.
-func serve(ln net.Listener, cfg online.Config, shutdown <-chan os.Signal, out io.Writer) error {
+func serve(ln net.Listener, cfg online.Config, pprofOn bool, shutdown <-chan os.Signal, out io.Writer) error {
 	srv := online.New(cfg)
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := http.Handler(srv.Handler())
+	if pprofOn {
+		handler = withPprof(handler)
+	}
+	hs := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	select {

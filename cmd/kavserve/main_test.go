@@ -48,8 +48,20 @@ func TestServeDrainOnSignal(t *testing.T) {
 		return out.Write(p)
 	})
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, cfg, sigs, lockedOut) }()
+	go func() { done <- serve(ln, cfg, true, sigs, lockedOut) }()
 	base := "http://" + ln.Addr().String()
+
+	// -pprof mounts the profile index (mutex/block enabled) next to the
+	// service endpoints without shadowing them.
+	resp0, err := http.Get(base + "/debug/pprof/mutex?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp0.Body)
+	resp0.Body.Close()
+	if resp0.StatusCode != http.StatusOK {
+		t.Fatalf("pprof mutex profile: %s", resp0.Status)
+	}
 
 	tr := kat.NewTrace()
 	for ki := 0; ki < 4; ki++ {

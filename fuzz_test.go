@@ -1,6 +1,9 @@
 package kat_test
 
 import (
+	"hash/fnv"
+	"io"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -143,7 +146,11 @@ func FuzzStreamTraceEquivalence(f *testing.F) {
 // the verdicts of the reader-driven StreamCheckTrace / StreamSmallestKByKey
 // on the same input — per-key Atomic flags, op counts, error presence, and
 // (horizon permitting) the smallest-k maps — for both a private pool and a
-// shared one.
+// shared one, for randomized ingest shard counts, and for the batch ingest
+// paths (AppendBatch at randomized batch boundaries, AppendTraceBatch over
+// the raw text) — shard counts and batch splits are drawn from a PRNG
+// seeded by the input's hash, so every corpus entry stays deterministic
+// while the fuzzer sweeps the configuration space.
 func FuzzOnlineSessionEquivalence(f *testing.F) {
 	seeds := []string{
 		"w a 1 0 10; r a 1 20 30; w b 1 5 15",
@@ -164,48 +171,107 @@ func FuzzOnlineSessionEquivalence(f *testing.F) {
 			return
 		}
 		canon := serializeByStart(tr)
-		feed := func(sess *kat.OnlineSession) error {
-			return trace.ParseStream(strings.NewReader(canon), func(key string, op kat.Operation) error {
-				return sess.Append(key, op)
-			})
+		// Shard counts and batch boundaries vary per input, deterministically:
+		// the PRNG seed is the canonical text's FNV hash.
+		h := fnv.New64a()
+		io.WriteString(h, canon)
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		shardCounts := []int{1, 2 + rng.Intn(15)}
+		var allOps []kat.KeyedOp
+		err = trace.ParseStream(strings.NewReader(canon), func(key string, op kat.Operation) error {
+			allOps = append(allOps, kat.KeyedOp{Key: key, Op: op})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("canonical trace unparsable: %v (%q)", err, canon)
+		}
+		feeds := []struct {
+			name string
+			feed func(*kat.OnlineSession) error
+		}{
+			{"append", func(sess *kat.OnlineSession) error {
+				for _, ko := range allOps {
+					if err := sess.Append(ko.Key, ko.Op); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+			{"batch", func(sess *kat.OnlineSession) error {
+				for off := 0; off < len(allOps); {
+					end := off + 1 + rng.Intn(len(allOps)) // random batch boundary
+					if end > len(allOps) {
+						end = len(allOps)
+					}
+					if _, err := sess.AppendBatch(allOps[off:end]); err != nil {
+						return err
+					}
+					off = end
+				}
+				return nil
+			}},
+			{"tracebatch", func(sess *kat.OnlineSession) error {
+				_, err := sess.AppendTraceBatch(strings.NewReader(canon))
+				return err
+			}},
 		}
 		for _, k := range []int{1, 2} {
-			for _, sopts := range []kat.StreamOptions{
-				{Workers: 2, MinSegmentOps: 1},
-				{Pool: pool, MinSegmentOps: 1},
-			} {
-				want, _, werr := kat.StreamCheckTrace(strings.NewReader(canon), k, kat.Options{}, sopts)
-				sess, err := kat.NewOnlineCheckSession(k, kat.Options{}, sopts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				ferr := feed(sess)
-				serr := sess.Flush()
-				if (werr == nil) != (serr == nil) {
-					t.Fatalf("k=%d: stream err %v vs session err %v (%q)", k, werr, serr, canon)
-				}
-				if ferr != nil && serr == nil {
-					t.Fatalf("k=%d: feed errored (%v) but flush did not (%q)", k, ferr, canon)
-				}
-				got, _ := sess.Report()
-				if len(got.Keys) != len(want.Keys) {
-					t.Fatalf("k=%d: key counts differ (%q)", k, canon)
-				}
-				for i := range want.Keys {
-					w, g := want.Keys[i], got.Keys[i]
-					if w.Key != g.Key || w.Ops != g.Ops || w.Atomic != g.Atomic || (w.Err == nil) != (g.Err == nil) {
-						t.Fatalf("k=%d key %s: stream %+v vs online %+v (%q)", k, w.Key, w, g, canon)
+			for _, shards := range shardCounts {
+				for _, sopts := range []kat.StreamOptions{
+					{Workers: 2, MinSegmentOps: 1, IngestShards: shards},
+					{Pool: pool, MinSegmentOps: 1, IngestShards: shards},
+				} {
+					want, _, werr := kat.StreamCheckTrace(strings.NewReader(canon), k, kat.Options{}, sopts)
+					for _, f := range feeds {
+						if f.name != "append" && sopts.Pool == nil {
+							continue // batch paths: one pool config is enough per exec
+						}
+						sess, err := kat.NewOnlineCheckSession(k, kat.Options{}, sopts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ferr := f.feed(sess)
+						serr := sess.Flush()
+						if (werr == nil) != (serr == nil) {
+							t.Fatalf("k=%d shards=%d %s: stream err %v vs session err %v (%q)",
+								k, shards, f.name, werr, serr, canon)
+						}
+						if ferr != nil && serr == nil {
+							t.Fatalf("k=%d shards=%d %s: feed errored (%v) but flush did not (%q)",
+								k, shards, f.name, ferr, canon)
+						}
+						if serr != nil && f.name != "append" {
+							// Batch ingest is non-transactional at shard
+							// granularity: after an admission error the
+							// ingested prefix may legitimately differ from
+							// the reader-driven engine's consumed prefix.
+							continue
+						}
+						got, _ := sess.Report()
+						if len(got.Keys) != len(want.Keys) {
+							t.Fatalf("k=%d shards=%d %s: key counts differ (%q)", k, shards, f.name, canon)
+						}
+						for i := range want.Keys {
+							w, g := want.Keys[i], got.Keys[i]
+							if w.Key != g.Key || w.Ops != g.Ops || w.Atomic != g.Atomic || (w.Err == nil) != (g.Err == nil) {
+								t.Fatalf("k=%d shards=%d %s key %s: stream %+v vs online %+v (%q)",
+									k, shards, f.name, w.Key, w, g, canon)
+							}
+						}
 					}
 				}
 			}
 		}
-		sopts := kat.StreamOptions{Pool: pool, MinSegmentOps: 1}
+		sopts := kat.StreamOptions{Pool: pool, MinSegmentOps: 1, IngestShards: shardCounts[1]}
 		wantK, stats, err := kat.StreamSmallestKByKey(strings.NewReader(canon), kat.Options{}, sopts)
 		if err != nil {
 			return // both engines reject; the check-mode pass above compared errors
 		}
 		sess := kat.NewOnlineSmallestKSession(kat.Options{}, sopts)
-		feed(sess)
+		if _, err := sess.AppendTraceBatch(strings.NewReader(canon)); err != nil {
+			sess.Flush()
+			return // admission errors were compared in check mode
+		}
 		sess.Flush()
 		gotK, gotStats := sess.SmallestKByKey()
 		if stats.SaturatedKeys > 0 || gotStats.SaturatedKeys > 0 {

@@ -30,9 +30,11 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Registry is a named set of counters and callback-backed gauges. The zero
-// value is not usable; create one with NewRegistry. Registration and
-// rendering are safe for concurrent use.
+// Registry is a named set of counters and callback-backed gauges, plain or
+// labeled (CounterL / GaugeL render one sample per label set under a shared
+// family name, e.g. per-shard gauges). The zero value is not usable; create
+// one with NewRegistry. Registration and rendering are safe for concurrent
+// use.
 type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]*metric
@@ -40,8 +42,22 @@ type Registry struct {
 
 type metric struct {
 	help    string
-	counter *Counter       // exactly one of counter / gauge is set
+	counter *Counter       // exactly one of counter / gauge / counterFn / series is set
 	gauge   func() float64 // sampled at render time
+	// counterFn is a callback-backed cumulative counter: sampled like a
+	// gauge but rendered with TYPE counter, for monotonic totals whose
+	// source of truth lives elsewhere (e.g. summed shard counters).
+	counterFn func() float64
+	labeled   bool // a labeled family, rendered one sample per series entry
+	series    []*sample
+	gaugeK    bool // labeled family kind: true = gauge
+}
+
+// sample is one labeled series of a family, e.g. shard="3".
+type sample struct {
+	labels  string
+	counter *Counter
+	gauge   func() float64
 }
 
 // NewRegistry returns an empty registry.
@@ -77,38 +93,147 @@ func (r *Registry) Gauge(name, help string, fn func() float64) {
 	r.metrics[name] = &metric{help: help, gauge: fn}
 }
 
-// WriteTo renders every metric in the Prometheus text exposition format
-// (HELP and TYPE comments, one sample per metric), sorted by name so output
-// is deterministic. Gauge callbacks run outside the registry lock, so a
-// gauge may itself take locks.
-func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+// CounterFunc registers fn as a callback-backed cumulative counter: the
+// value is sampled at render time like a gauge, but exposed with TYPE
+// counter because it is monotonically nondecreasing (a total whose source
+// of truth lives elsewhere, e.g. a sum over shard counters). The callback
+// must never decrease. Registering a name twice panics.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.metrics))
-	for name := range r.metrics {
-		names = append(names, name)
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered", name))
 	}
-	sort.Strings(names)
-	ms := make([]*metric, len(names))
-	for i, name := range names {
-		ms[i] = r.metrics[name]
+	r.metrics[name] = &metric{help: help, counterFn: fn}
+}
+
+// CounterL returns the counter registered under the family name with the
+// given label set (Prometheus form without braces, e.g. `bucket="le256"`),
+// creating the family or the series on first use. Families render HELP/TYPE
+// once and one sample line per label set. Mixing a labeled family with a
+// plain metric of the same name, or with gauge series, panics.
+func (r *Registry) CounterL(name, help, labels string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.family(name, help, false)
+	for _, s := range m.series {
+		if s.labels == labels {
+			return s.counter
+		}
+	}
+	c := &Counter{}
+	m.series = append(m.series, &sample{labels: labels, counter: c})
+	return c
+}
+
+// CounterFuncL registers fn as a labeled series of a counter family whose
+// value is sampled at render time (the labeled form of CounterFunc; fn
+// must be monotonically nondecreasing). Registering the same label set
+// twice panics.
+func (r *Registry) CounterFuncL(name, help, labels string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.family(name, help, false)
+	for _, s := range m.series {
+		if s.labels == labels {
+			panic(fmt.Sprintf("metrics: %s{%s} already registered", name, labels))
+		}
+	}
+	m.series = append(m.series, &sample{labels: labels, gauge: fn})
+}
+
+// GaugeL registers fn as the labeled series of a gauge family (see
+// CounterL). Registering the same label set twice panics.
+func (r *Registry) GaugeL(name, help, labels string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.family(name, help, true)
+	for _, s := range m.series {
+		if s.labels == labels {
+			panic(fmt.Sprintf("metrics: %s{%s} already registered", name, labels))
+		}
+	}
+	m.series = append(m.series, &sample{labels: labels, gauge: fn})
+}
+
+// family fetches or creates the labeled family under name, enforcing kind
+// consistency. Caller holds r.mu.
+func (r *Registry) family(name, help string, gauge bool) *metric {
+	m, ok := r.metrics[name]
+	if !ok {
+		m = &metric{help: help, labeled: true, gaugeK: gauge}
+		r.metrics[name] = m
+		return m
+	}
+	if !m.labeled {
+		panic(fmt.Sprintf("metrics: %q already registered as an unlabeled metric", name))
+	}
+	if m.gaugeK != gauge {
+		panic(fmt.Sprintf("metrics: %q mixes counter and gauge series", name))
+	}
+	return m
+}
+
+// WriteTo renders every metric in the Prometheus text exposition format
+// (HELP and TYPE comments once per name, one sample per metric or per
+// labeled series), sorted by name then label set so output is
+// deterministic. Gauge callbacks run outside the registry lock, so a gauge
+// may itself take locks.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	type flat struct {
+		name string
+		help string
+		kind string
+		rows []*sample // snapshot: series may grow concurrently
+	}
+	r.mu.Lock()
+	fs := make([]flat, 0, len(r.metrics))
+	for name, m := range r.metrics {
+		f := flat{name: name, help: m.help, kind: "counter"}
+		switch {
+		case m.labeled:
+			if m.gaugeK {
+				f.kind = "gauge"
+			}
+			f.rows = append(f.rows, m.series...)
+		case m.counter != nil:
+			f.rows = []*sample{{counter: m.counter}}
+		case m.counterFn != nil:
+			f.rows = []*sample{{gauge: m.counterFn}} // sampled, rendered as counter
+		default:
+			f.kind = "gauge"
+			f.rows = []*sample{{gauge: m.gauge}}
+		}
+		fs = append(fs, f)
 	}
 	r.mu.Unlock()
+	sort.Slice(fs, func(i, j int) bool { return fs[i].name < fs[j].name })
 
 	var total int64
-	for i, name := range names {
-		m := ms[i]
-		kind, value := "counter", ""
-		if m.counter != nil {
-			value = strconv.FormatInt(m.counter.Value(), 10)
-		} else {
-			kind = "gauge"
-			value = strconv.FormatFloat(m.gauge(), 'g', -1, 64)
-		}
-		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
-			name, m.help, name, kind, name, value)
+	for _, f := range fs {
+		n, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
 		total += int64(n)
 		if err != nil {
 			return total, err
+		}
+		rows := f.rows
+		sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+		for _, s := range rows {
+			var value string
+			if s.counter != nil {
+				value = strconv.FormatInt(s.counter.Value(), 10)
+			} else {
+				value = strconv.FormatFloat(s.gauge(), 'g', -1, 64)
+			}
+			ident := f.name
+			if s.labels != "" {
+				ident += "{" + s.labels + "}"
+			}
+			n, err := fmt.Fprintf(w, "%s %s\n", ident, value)
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
 		}
 	}
 	return total, nil

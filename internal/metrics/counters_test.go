@@ -68,3 +68,65 @@ func TestRegistryKindClashPanics(t *testing.T) {
 	}()
 	r.Counter("g", "counter")
 }
+
+func TestLabeledSeriesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeL("shard_ops", "ops per shard", `shard="1"`, func() float64 { return 2 })
+	r.GaugeL("shard_ops", "ops per shard", `shard="0"`, func() float64 { return 1 })
+	r.CounterL("batches_total", "batches by size", `bucket="le16"`).Add(3)
+	r.CounterL("batches_total", "batches by size", `bucket="inf"`).Inc()
+	// Re-registering a counter series aliases it.
+	r.CounterL("batches_total", "batches by size", `bucket="le16"`).Add(2)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP batches_total batches by size\n" +
+		"# TYPE batches_total counter\n" +
+		`batches_total{bucket="inf"} 1` + "\n" +
+		`batches_total{bucket="le16"} 5` + "\n" +
+		"# HELP shard_ops ops per shard\n" +
+		"# TYPE shard_ops gauge\n" +
+		`shard_ops{shard="0"} 1` + "\n" +
+		`shard_ops{shard="1"} 2` + "\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestCounterFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	total := 41.0
+	r.CounterFunc("derived_total", "summed elsewhere", func() float64 { total++; return total })
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP derived_total summed elsewhere\n" +
+		"# TYPE derived_total counter\n" +
+		"derived_total 42\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+	mustPanic(t, "duplicate CounterFunc", func() { r.CounterFunc("derived_total", "x", func() float64 { return 0 }) })
+}
+
+func TestLabeledSeriesClashesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "plain")
+	mustPanic(t, "labeled over plain", func() { r.CounterL("plain_total", "p", `a="1"`) })
+	r.GaugeL("fam", "family", `a="1"`, func() float64 { return 0 })
+	mustPanic(t, "duplicate gauge series", func() { r.GaugeL("fam", "family", `a="1"`, func() float64 { return 0 }) })
+	mustPanic(t, "counter series in gauge family", func() { r.CounterL("fam", "family", `a="2"`) })
+	mustPanic(t, "plain over labeled", func() { r.Gauge("fam", "family", func() float64 { return 0 }) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

@@ -9,7 +9,9 @@
 //	POST /ingest        newline-delimited keyed trace format (chunked bodies
 //	                    fine); returns {"ingested": n}. 400 on malformed
 //	                    input, 409 on ordering/buffer violations, 503 once
-//	                    draining.
+//	                    draining. Bodies flow through the session's
+//	                    batch-granular path: parsed in chunks, grouped by
+//	                    ingest shard, one shard-lock take per chunk.
 //	GET  /verdict       live (or, after drain, final) per-key verdicts.
 //	GET  /verdict/{key} one key's verdict; 404 for unseen keys.
 //	GET  /metrics       Prometheus text exposition of the service counters.
@@ -32,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"kat/internal/core"
@@ -140,6 +143,10 @@ type Server struct {
 	ingestErrors   *metrics.Counter
 	segmentsClosed *metrics.Counter
 	violations     *metrics.Counter
+	// ingestSizes is a histogram-ish breakdown of /ingest request sizes
+	// (operations accepted per request), one counter per size class — the
+	// batching signal an operator tunes producers against.
+	ingestSizes []*metrics.Counter
 
 	mu         sync.Mutex
 	firstViols map[string]Violation
@@ -168,6 +175,11 @@ func New(cfg Config) *Server {
 	s.ingestErrors = s.reg.Counter("kavserve_ingest_errors_total", "Failed /ingest requests.")
 	s.segmentsClosed = s.reg.Counter("kavserve_segments_closed_total", "Segments verified.")
 	s.violations = s.reg.Counter("kavserve_violations_total", "Violating segment verdicts.")
+	for _, bucket := range ingestSizeBuckets {
+		s.ingestSizes = append(s.ingestSizes, s.reg.CounterL("kavserve_ingest_requests_by_size_total",
+			"Clean ingest requests, classified by operations accepted per request (size classes, not a cumulative histogram).",
+			`bucket="`+bucket.label+`"`))
+	}
 
 	chained := cfg.Stream.OnSegment
 	cfg.Stream.OnSegment = func(v trace.SegmentVerdict) {
@@ -187,6 +199,18 @@ func New(cfg Config) *Server {
 	// — exactly when an operator most needs to see these numbers.
 	s.reg.Gauge("kavserve_open_window_ops", "Live operations buffered (open windows + held + in-flight segments).",
 		func() float64 { return float64(s.sess.BufferedOps()) })
+	s.reg.Gauge("kavserve_ingest_shards", "Configured ingest shard count.",
+		func() float64 { return float64(s.sess.Shards()) })
+	s.reg.CounterFunc("kavserve_ingest_lock_acquisitions_total",
+		"Ingest-path shard-lock acquisitions (with batch ingest, per-op cost is this over ops ingested).",
+		func() float64 { return float64(s.sess.IngestLockAcquisitions()) })
+	for i := 0; i < s.sess.Shards(); i++ {
+		labels := `shard="` + strconv.Itoa(i) + `"`
+		s.reg.CounterFuncL("kavserve_shard_ingested_ops_total", "Operations routed into each ingest shard (key-hash balance).",
+			labels, func() float64 { return float64(s.sess.ShardIngestedOps(i)) })
+		s.reg.GaugeL("kavserve_shard_open_window_ops", "Live buffered operations owned by each ingest shard's keys.",
+			labels, func() float64 { return float64(s.sess.ShardBufferedOps(i)) })
+	}
 	s.reg.Gauge("kavserve_keys", "Distinct keys seen.",
 		func() float64 { return float64(s.sess.Keys()) })
 	s.reg.Gauge("kavserve_peak_buffered_ops", "Peak live operations observed.",
@@ -275,6 +299,27 @@ func (s *Server) isDrained() bool {
 	}
 }
 
+// ingestSizeBuckets classifies /ingest requests by operations accepted, a
+// coarse batching histogram (size classes, not cumulative le-buckets).
+var ingestSizeBuckets = []struct {
+	max   int64
+	label string
+}{
+	{16, "le16"},
+	{256, "le256"},
+	{4096, "le4096"},
+	{1<<63 - 1, "inf"},
+}
+
+func (s *Server) recordIngestSize(n int64) {
+	for i, b := range ingestSizeBuckets {
+		if n <= b.max {
+			s.ingestSizes[i].Inc()
+			return
+		}
+	}
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestReqs.Inc()
 	if s.Draining() {
@@ -282,8 +327,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining: ingest is closed", http.StatusServiceUnavailable)
 		return
 	}
-	n, err := s.sess.AppendTrace(r.Body)
+	// Batch-granular ingest: the request body is parsed in chunks by the
+	// zero-copy byte parser and each ingest shard's lock is taken once per
+	// chunk, not once per operation — no per-line string ever materializes
+	// between the socket and the segment accumulators.
+	n, err := s.sess.AppendTraceBatch(r.Body)
 	s.opsIngested.Add(n)
+	if err == nil {
+		// Only clean requests feed the batching-size signal: an error storm
+		// of rejected requests must not masquerade as tiny producer batches.
+		s.recordIngestSize(n)
+	}
 	if err != nil {
 		s.ingestErrors.Inc()
 		code := http.StatusBadRequest

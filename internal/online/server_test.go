@@ -160,10 +160,29 @@ func TestIngestVerdictMetricsDrain(t *testing.T) {
 	resp.Body.Close()
 	metricsText := string(metricsBody)
 	wantLine := fmt.Sprintf("kavserve_ops_ingested_total %d", tr.Len())
-	for _, frag := range []string{wantLine, "kavserve_segments_closed_total", "kavserve_open_window_ops", "kavserve_memo_hit_rate"} {
+	for _, frag := range []string{wantLine, "kavserve_segments_closed_total", "kavserve_open_window_ops", "kavserve_memo_hit_rate",
+		`kavserve_shard_ingested_ops_total{shard="0"}`, `kavserve_shard_open_window_ops{shard="0"}`,
+		"# TYPE kavserve_shard_ingested_ops_total counter",
+		`kavserve_ingest_requests_by_size_total{bucket="le256"} 2`,
+		"# TYPE kavserve_ingest_lock_acquisitions_total counter"} {
 		if !strings.Contains(metricsText, frag) {
 			t.Fatalf("metrics output missing %q:\n%s", frag, metricsText)
 		}
+	}
+	// Per-shard ingest totals must sum to the overall total.
+	var shardSum, total float64
+	for _, line := range strings.Split(metricsText, "\n") {
+		var v float64
+		if strings.HasPrefix(line, "kavserve_shard_ingested_ops_total{") {
+			fmt.Sscanf(line[strings.Index(line, "} ")+2:], "%g", &v)
+			shardSum += v
+		}
+		if strings.HasPrefix(line, "kavserve_ops_ingested_total ") {
+			fmt.Sscanf(strings.TrimPrefix(line, "kavserve_ops_ingested_total "), "%g", &total)
+		}
+	}
+	if shardSum != total || total == 0 {
+		t.Fatalf("per-shard ingest totals sum to %g, total %g", shardSum, total)
 	}
 
 	// Ingest after drain is refused.

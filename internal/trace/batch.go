@@ -1,0 +1,332 @@
+package trace
+
+// Batch-granular session ingest.
+//
+// The op-granular Append takes its key's shard lock once per operation —
+// correct, but at "many concurrent producers" rates the lock traffic itself
+// dominates: every operation pays an acquire/release plus the cache-line
+// bounce of the lock word. The batch entry points amortize that the way a
+// lock-striped memtable does: parse (AppendTraceBatch) or accept
+// (AppendBatch) a whole chunk of operations, group them by ingest shard
+// with one counting pass, and feed each shard's group under a single lock
+// acquisition — lock acquisitions per operation drop by roughly the batch
+// size over the shard count, and the parse path reuses the zero-copy byte
+// parser so the steady-state hot path allocates nothing.
+//
+// Ordering: a key maps to exactly one shard and each shard's group
+// preserves input order, so per-key arrival order — the only order the
+// engine requires — is exactly preserved. What changes is interleaving
+// granularity across producers: concurrent batches interleave at
+// shard-group boundaries instead of operation boundaries, which is
+// invisible to verdicts (keys never share state). Ingest remains
+// non-transactional: when an operation is rejected mid-batch, operations
+// already fed — including those of later input positions routed to
+// earlier-processed shards — stay ingested, and the session error is
+// sticky either way.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"kat/internal/history"
+)
+
+// KeyedOp pairs a register name with one operation — the element of the
+// batch ingest path.
+type KeyedOp struct {
+	Key string
+	Op  history.Operation
+}
+
+// defaultBatchChunk is the AppendTraceBatch read-chunk size: large enough
+// that a chunk spans thousands of operations (one shard-lock acquisition
+// per shard per chunk), small enough to stay cache- and latency-friendly.
+const defaultBatchChunk = 256 << 10
+
+// maxBatchLine caps the AppendTraceBatch buffer growth on newline-free
+// input — the same 1 GiB backstop the op-granular path's scanner enforces,
+// so a malicious or corrupt producer cannot balloon the server's memory
+// with an unterminated line.
+const maxBatchLine = 1 << 30
+
+// batchScratch holds the reusable grouping state of one in-flight batch
+// call; a sync.Pool on the session recycles them so concurrent producers
+// never share one and the steady-state path allocates nothing.
+type batchScratch struct {
+	buf    []byte              // AppendTraceBatch read buffer
+	ops    []history.Operation // parsed operations, input order
+	keys   [][]byte            // i-th op's key (view into buf)
+	shard  []int32             // i-th op's shard index
+	counts []int32             // per-shard group size
+	starts []int32             // counting-sort cursor, one per shard
+	order  []int32             // op indices grouped by shard
+	seg    int                 // running segment counter for parse errors
+	// kops aliases AppendBatch's input for the duration of one call, so the
+	// cached feed closure can reach it without a per-call capture.
+	kops []KeyedOp
+	// The closures below are built once per scratch — capturing per call
+	// would allocate on every batch, breaking the zero-alloc hot path.
+	// collect appends one parsed op into ops/keys (AppendTraceBatch);
+	// feedKeyed / feedBytes hand op i to the engine for the two input
+	// forms, both called by feedGrouped under the op's shard lock.
+	collect   func(key []byte, op history.Operation) error
+	feedKeyed func(sh *ingestShard, i int32) error
+	feedBytes func(sh *ingestShard, i int32) error
+}
+
+func (s *Session) getScratch() *batchScratch {
+	if sc, ok := s.batchScratches.Get().(*batchScratch); ok {
+		return sc
+	}
+	return &batchScratch{}
+}
+
+func (s *Session) putScratch(sc *batchScratch) {
+	sc.ops = sc.ops[:0]
+	sc.keys = sc.keys[:0]
+	sc.kops = nil // don't retain the caller's batch past the call
+	s.batchScratches.Put(sc)
+}
+
+// feedGrouped walks the grouped scratch (counts/order as built by group)
+// and feeds each non-empty shard group under a single counted lock
+// acquisition: gate recheck under the lock, settleAdd per operation, and
+// the sticky-error unwind — the one copy of the locking discipline both
+// batch entry points share. add hands operation i to the engine (the two
+// input forms differ only there). Returns the operations actually appended
+// and the first error.
+func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int32) error) (int, error) {
+	appended := 0
+	var start int32
+	for si, sh := range s.e.shards {
+		cnt := sc.counts[si]
+		if cnt == 0 {
+			continue
+		}
+		group := sc.order[start : start+cnt]
+		start += cnt
+		sh.lockIngest()
+		if err := s.gate(); err != nil {
+			sh.mu.Unlock()
+			return appended, err
+		}
+		for _, i := range group {
+			ok, err := s.settleAdd(add(sh, i))
+			if ok {
+				appended++
+			}
+			if err != nil {
+				sh.mu.Unlock()
+				return appended, err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return appended, nil
+}
+
+// group builds sc.order: a counting sort of the first n entries of sc.shard
+// into per-shard, input-ordered groups. After it returns, shard si's group
+// is sc.order[start:start+counts[si]] with start = sum of earlier counts.
+func (sc *batchScratch) group(n, nshards int) {
+	if cap(sc.counts) < nshards {
+		sc.counts = make([]int32, nshards)
+		sc.starts = make([]int32, nshards)
+	}
+	sc.counts = sc.counts[:nshards]
+	sc.starts = sc.starts[:nshards]
+	for i := range sc.counts {
+		sc.counts[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		sc.counts[sc.shard[i]]++
+	}
+	if cap(sc.order) < n {
+		sc.order = make([]int32, n)
+	}
+	sc.order = sc.order[:n]
+	var off int32
+	for si := 0; si < nshards; si++ {
+		sc.starts[si] = off
+		off += sc.counts[si]
+	}
+	for i := 0; i < n; i++ {
+		si := sc.shard[i]
+		sc.order[sc.starts[si]] = int32(i)
+		sc.starts[si]++
+	}
+}
+
+// AppendBatch feeds a batch of already-parsed operations, grouping them by
+// ingest shard and taking each shard's lock once for its whole group
+// instead of once per operation. It returns the number of operations
+// actually appended (operations silently dropped after a StopOnViolation
+// early exit are not counted) and the first error, which is sticky exactly
+// like Append's. Per-key input order is preserved; see the package comment
+// in batch.go for the cross-producer interleaving and non-transactionality
+// fine print.
+func (s *Session) AppendBatch(ops []KeyedOp) (int, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	if err := s.gate(); err != nil {
+		return 0, err
+	}
+	e := s.e
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	n := len(ops)
+	if cap(sc.shard) < n {
+		sc.shard = make([]int32, n)
+	}
+	sc.shard = sc.shard[:n]
+	for i := range ops {
+		sc.shard[i] = int32(e.shardIndex(ops[i].Key))
+	}
+	sc.group(n, len(e.shards))
+	sc.kops = ops
+	if sc.feedKeyed == nil {
+		sc.feedKeyed = func(sh *ingestShard, i int32) error {
+			return s.e.addStringIn(sh, sc.kops[i].Key, sc.kops[i].Op)
+		}
+	}
+	return s.feedGrouped(sc, sc.feedKeyed)
+}
+
+// AppendTraceBatch streams the keyed text format from r into the session in
+// batch-granular form: it reads chunks of input, parses every complete line
+// with the zero-copy byte parser (keys stay views into the read buffer —
+// no per-line or per-op string materializes), groups the chunk's operations
+// by ingest shard, and feeds each shard's group under one lock acquisition.
+// Returns the number of operations actually appended. Error semantics: any
+// error aborts mid-stream with the operations before the failing one (in
+// parse order; for admission errors, per shard group) already appended.
+// Engine admission errors (ErrOutOfOrder, ErrBufferLimit) are sticky
+// exactly like Append's; parse and reader errors reject only this request,
+// as on the op-granular AppendTrace path, where a malformed line aborts the
+// read before touching session state.
+func (s *Session) AppendTraceBatch(r io.Reader) (int64, error) {
+	if err := s.gate(); err != nil {
+		return 0, err
+	}
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	chunk := s.batchChunk
+	if chunk <= 0 {
+		chunk = defaultBatchChunk
+	}
+	if cap(sc.buf) < chunk {
+		sc.buf = make([]byte, chunk)
+	}
+	buf := sc.buf[:cap(sc.buf)]
+	sc.seg = 0
+	var n int64
+	carry := 0
+	for {
+		if carry == len(buf) {
+			// One line longer than the buffer: grow and keep reading, up
+			// to the same backstop the op-granular scanner enforces.
+			if len(buf) >= maxBatchLine {
+				sc.buf = buf
+				return n, fmt.Errorf("trace: %w", bufio.ErrTooLong)
+			}
+			nb := make([]byte, 2*len(buf))
+			copy(nb, buf[:carry])
+			buf = nb
+		}
+		m, rerr := r.Read(buf[carry:])
+		carry += m
+		var data []byte
+		eof := false
+		switch {
+		case rerr == io.EOF:
+			data, carry, eof = buf[:carry], 0, true
+		case rerr != nil:
+			// A reader error tokenizes like EOF before it surfaces:
+			// everything buffered — including a final unterminated line —
+			// is ingested first, exactly as the op-granular path's scanner
+			// emits its remaining buffer (final partial token included)
+			// before reporting the error.
+			added, err := s.ingestChunk(sc, buf[:carry])
+			n += int64(added)
+			sc.buf = buf
+			if err != nil {
+				return n, err
+			}
+			return n, fmt.Errorf("trace: %w", rerr)
+		default:
+			cut := bytes.LastIndexByte(buf[:carry], '\n') + 1
+			if cut == 0 {
+				continue // no complete line buffered yet
+			}
+			data = buf[:cut]
+		}
+		added, err := s.ingestChunk(sc, data)
+		n += int64(added)
+		if err != nil {
+			sc.buf = buf
+			return n, err
+		}
+		if eof {
+			sc.buf = buf
+			return n, nil
+		}
+		// Move the partial trailing line to the front (dst precedes src,
+		// and the chunk's key views are done being read).
+		carry = copy(buf, buf[len(data):carry])
+	}
+}
+
+// ingestChunk parses one chunk of complete lines into the scratch, groups
+// by shard, and feeds each group under a single shard-lock acquisition.
+// On a parse error the operations parsed before the failing segment are
+// still ingested first (matching AppendTrace's per-operation semantics),
+// then the parse error is returned.
+func (s *Session) ingestChunk(sc *batchScratch, data []byte) (int, error) {
+	e := s.e
+	sc.ops = sc.ops[:0]
+	sc.keys = sc.keys[:0]
+	if sc.collect == nil {
+		sc.collect = func(key []byte, op history.Operation) error {
+			sc.ops = append(sc.ops, op)
+			sc.keys = append(sc.keys, key)
+			return nil
+		}
+	}
+	var parseErr error
+	for len(data) > 0 {
+		line := data
+		if j := bytes.IndexByte(data, '\n'); j >= 0 {
+			line, data = data[:j], data[j+1:]
+		} else {
+			data = nil
+		}
+		if parseErr = parseLineOps(line, &sc.seg, sc.collect); parseErr != nil {
+			break
+		}
+	}
+	n := len(sc.ops)
+	if n == 0 {
+		return 0, parseErr
+	}
+	if cap(sc.shard) < n {
+		sc.shard = make([]int32, n)
+	}
+	sc.shard = sc.shard[:n]
+	for i, key := range sc.keys {
+		sc.shard[i] = int32(e.shardIndexBytes(key))
+	}
+	sc.group(n, len(e.shards))
+	if sc.feedBytes == nil {
+		sc.feedBytes = func(sh *ingestShard, i int32) error {
+			return s.e.addIn(sh, sc.keys[i], sc.ops[i])
+		}
+	}
+	appended, err := s.feedGrouped(sc, sc.feedBytes)
+	if err != nil {
+		return appended, err
+	}
+	return appended, parseErr
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count assertions are meaningless then (the detector itself
+// allocates on pool and lock operations).
+const raceEnabled = true

@@ -16,6 +16,16 @@ package trace
 // lemma in stream.go carries over unchanged — the cut rules never depended
 // on who drives the parser).
 //
+// Concurrency shape: there is no session-wide lock. Per-key state is
+// striped over StreamOptions.IngestShards independently locked shards
+// (key-hash routed), the session-level admission flags (sticky ingest
+// error, flushed) are atomics, and every statistic reads lock-free — so
+// producers contend only when their keys share a shard, and monitoring
+// never queues behind a backpressured producer. The batch entry points
+// (AppendBatch, AppendTraceBatch in batch.go) push this further: they
+// group a whole chunk of operations by shard first and take each shard
+// lock once per batch instead of once per operation.
+//
 // Many sessions may share one verification pool via StreamOptions.Pool; a
 // session only ever waits on its own dispatched segments.
 
@@ -23,7 +33,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kat/internal/core"
 	"kat/internal/history"
@@ -35,23 +47,45 @@ import (
 // invariant.
 var ErrSessionFlushed = errors.New("trace: session already flushed")
 
+// stickyIngestErr boxes the first ingest error so it can live in an
+// atomic.Pointer (admission gating without a lock).
+type stickyIngestErr struct{ err error }
+
 // Session is the push-driven form of the streaming engine. Create one with
 // NewCheckSession (fixed-k verdicts) or NewSmallestKSession (per-key
-// smallest-k); feed it with Append or AppendTrace; observe it with Snapshot,
-// Stats, Report, or SmallestKByKey; and retire it with Flush.
+// smallest-k); feed it with Append, AppendTrace, or the batch forms
+// AppendBatch / AppendTraceBatch; observe it with Snapshot, Stats, Report,
+// or SmallestKByKey; and retire it with Flush.
 //
 // All methods are safe for concurrent use: appends from many goroutines
-// interleave at operation granularity (per-key operations must still arrive
-// in nondecreasing start order across quiescent gaps, so route each key
-// through one producer — see ErrOutOfOrder). Ingest errors are sticky: after
-// an Append fails, every later Append returns the same error and Flush
-// reports it, mirroring the reader-driven engine's abort-on-error semantics.
+// interleave at operation granularity (batch appends at shard-batch
+// granularity; per-key operations must still arrive in nondecreasing start
+// order across quiescent gaps, so route each key through one producer — see
+// ErrOutOfOrder). Ingest errors are sticky: after an Append fails, every
+// later Append returns the same error and Flush reports it, mirroring the
+// reader-driven engine's abort-on-error semantics.
 type Session struct {
-	mu      sync.Mutex
-	e       *engine
-	err     error // sticky ingest error
-	stopped bool  // StopOnViolation fired
-	flushed bool
+	e *engine
+
+	// err is the sticky ingest error: the first failing append publishes
+	// it (CAS, first writer wins) and every later admission check reads it
+	// without a lock.
+	err atomic.Pointer[stickyIngestErr]
+	// flushed marks the session terminal. Appends recheck it under their
+	// shard lock, and Flush acquires every shard lock after setting it, so
+	// no append can slip in behind the drain.
+	flushed atomic.Bool
+	// flushMu serializes Flush itself (idempotence; concurrent callers all
+	// wait for the one drain).
+	flushMu sync.Mutex
+
+	// batchScratches recycles the per-call grouping buffers of the batch
+	// ingest paths, keeping them allocation-free at steady state.
+	batchScratches sync.Pool
+	// batchChunk overrides the AppendTraceBatch read-chunk size (bytes);
+	// 0 uses defaultBatchChunk. Tests shrink it to exercise chunk-boundary
+	// carry handling.
+	batchChunk int
 }
 
 // NewCheckSession returns a session verifying every key at bound k, the push
@@ -59,6 +93,9 @@ type Session struct {
 func NewCheckSession(k int, opts core.Options, sopts StreamOptions) (*Session, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("trace: k must be >= 1, got %d", k)
+	}
+	if sopts.IngestShards <= 0 {
+		sopts.IngestShards = DefaultIngestShards
 	}
 	return &Session{e: newEngine(modeCheck, k, k, opts, sopts)}, nil
 }
@@ -70,6 +107,9 @@ func NewSmallestKSession(opts core.Options, sopts StreamOptions) *Session {
 	if horizon <= 0 {
 		horizon = DefaultHorizon
 	}
+	if sopts.IngestShards <= 0 {
+		sopts.IngestShards = DefaultIngestShards
+	}
 	return &Session{e: newEngine(modeSmallestK, 0, horizon, opts, sopts)}
 }
 
@@ -77,37 +117,51 @@ func NewSmallestKSession(opts core.Options, sopts StreamOptions) *Session {
 // operation's ID is assigned internally. Append blocks when verification
 // falls behind the configured in-flight budget (backpressure, as in the
 // reader-driven engine). After StopOnViolation fires, appends become no-ops
-// and Stats reports Stopped.
+// and Stats reports Stopped. Only the key's shard lock is taken, so
+// producers working disjoint shards never contend; batches of operations
+// amortize even that via AppendBatch.
 func (s *Session) Append(key string, op history.Operation) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.gate(); err != nil {
 		return err
 	}
-	_, err := s.settleAdd(s.e.addString(key, op))
+	sh := s.e.shards[s.e.shardIndex(key)]
+	sh.lockIngest()
+	defer sh.mu.Unlock()
+	// Recheck under the lock: Flush sets the flag and then acquires every
+	// shard lock, so an append that saw flushed==false before the drain
+	// must not land after it.
+	if err := s.gate(); err != nil {
+		return err
+	}
+	_, err := s.settleAdd(s.e.addStringIn(sh, key, op))
 	return err
 }
 
-// gate checks admission preconditions under the session lock: a flushed
-// session is terminal, and ingest errors are sticky.
+// gate checks admission preconditions, lock-free: a flushed session is
+// terminal, and ingest errors are sticky.
 func (s *Session) gate() error {
-	if s.flushed {
+	if s.flushed.Load() {
 		return ErrSessionFlushed
 	}
-	return s.err
+	if p := s.err.Load(); p != nil {
+		return p.err
+	}
+	return nil
 }
 
 // settleAdd folds an engine admission result into the session state;
 // accepted reports whether the operation actually entered the engine
 // (false for operations silently dropped after StopOnViolation fired).
+// The first error wins the sticky slot; concurrent appends that were
+// already past the gate may still report their own errors, every later
+// admission returns the published one.
 func (s *Session) settleAdd(err error) (accepted bool, _ error) {
 	if errors.Is(err, errStopped) {
-		s.stopped = true
-		s.e.stopped = true // live Stats report the early exit immediately
+		s.e.stopped.Store(true) // live Stats report the early exit immediately
 		return false, nil
 	}
 	if err != nil {
-		s.err = err
+		s.err.CompareAndSwap(nil, &stickyIngestErr{err})
 		return false, err
 	}
 	return true, nil
@@ -115,22 +169,28 @@ func (s *Session) settleAdd(err error) (accepted bool, _ error) {
 
 // AppendTrace streams the keyed text format from r into the session,
 // returning the number of operations actually appended (operations dropped
-// after a StopOnViolation early exit are not counted). The session lock is
-// taken per operation, so concurrent AppendTrace calls (one per ingesting
+// after a StopOnViolation early exit are not counted). The key's shard lock
+// is taken per operation, so concurrent AppendTrace calls (one per ingesting
 // client) interleave at operation granularity instead of serializing whole
-// requests. The key reaches the engine as a line-buffer view, keeping this
-// path allocation-free past each key's first sighting. A parse or ingest
-// error aborts the read mid-stream; operations already appended stay
-// appended (ingest is per-operation, not transactional).
+// requests; AppendTraceBatch is the higher-throughput form that takes each
+// shard lock once per parsed chunk. The key reaches the engine as a
+// line-buffer view, keeping this path allocation-free past each key's first
+// sighting. A parse or ingest error aborts the read mid-stream; operations
+// already appended stay appended (ingest is per-operation, not
+// transactional).
 func (s *Session) AppendTrace(r io.Reader) (int64, error) {
 	var n int64
 	err := parseStreamBytes(r, func(key []byte, op history.Operation) error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
 		if err := s.gate(); err != nil {
 			return err
 		}
-		ok, err := s.settleAdd(s.e.add(key, op))
+		sh := s.e.shards[s.e.shardIndexBytes(key)]
+		sh.lockIngest()
+		defer sh.mu.Unlock()
+		if err := s.gate(); err != nil {
+			return err
+		}
+		ok, err := s.settleAdd(s.e.addIn(sh, key, op))
 		if ok {
 			n++
 		}
@@ -147,22 +207,41 @@ func (s *Session) AppendTrace(r io.Reader) (int64, error) {
 // as in the reader-driven engine, a session that erred drains only what was
 // already dispatched. Flush is idempotent.
 func (s *Session) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.flushed {
-		return s.err
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if s.flushed.Load() {
+		return s.stickyErr()
 	}
-	s.flushed = true
+	s.flushed.Store(true)
+	// Take every shard lock: in-flight appends (which passed the gate
+	// before the flag flipped) finish first, and later ones recheck the
+	// gate under their shard lock and bounce. Holding the locks through
+	// the drain also keeps Snapshot readers out of the half-committed
+	// windows.
+	for _, sh := range s.e.shards {
+		sh.mu.Lock()
+	}
 	// A stopped session drains like the reader-driven engine's early exit:
 	// only what was already dispatched, so the report covers the same
 	// consumed prefix StreamCheck would report.
-	if s.stopped {
+	if s.e.stopped.Load() {
 		s.e.drain(errStopped)
 	} else {
-		s.e.drain(s.err)
+		s.e.drain(s.stickyErr())
+	}
+	for i := len(s.e.shards) - 1; i >= 0; i-- {
+		s.e.shards[i].mu.Unlock()
 	}
 	s.e.finish()
-	return s.err
+	return s.stickyErr()
+}
+
+// stickyErr returns the published sticky ingest error, if any.
+func (s *Session) stickyErr() error {
+	if p := s.err.Load(); p != nil {
+		return p.err
+	}
+	return nil
 }
 
 // KeyVerdict is one key's live verification state, as reported by Snapshot.
@@ -191,15 +270,17 @@ type KeyVerdict struct {
 }
 
 // Snapshot returns the live per-key state, key-sorted. It may be called at
-// any time, including concurrently with appends; verdict fields reflect
-// exactly the segments verified so far.
+// any time, including concurrently with appends (each shard is read under
+// its own lock, one shard at a time); verdict fields reflect exactly the
+// segments verified so far.
 func (s *Session) Snapshot() []KeyVerdict {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]KeyVerdict, 0, len(s.e.keys))
-	for _, ks := range s.e.sortedKeys() {
-		out = append(out, keyVerdictOf(ks))
-	}
+	var out []KeyVerdict
+	s.e.eachShardLocked(func(sh *ingestShard) {
+		for _, ks := range sh.keys {
+			out = append(out, keyVerdictOf(ks))
+		}
+	})
+	sortKeyVerdicts(out)
 	return out
 }
 
@@ -208,8 +289,6 @@ func (s *Session) Snapshot() []KeyVerdict {
 // far (keys with undispatched operations may still flip); after Flush it is
 // final and identical to StreamCheck on the same operation sequence.
 func (s *Session) Report() (Report, StreamStats) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.e.checkReport(), s.e.finalStats()
 }
 
@@ -219,15 +298,12 @@ func (s *Session) Report() (Report, StreamStats) {
 // identical to StreamSmallestKByKey on the same operation sequence, with the
 // same horizon caveat (Saturated keys report the floor).
 func (s *Session) SmallestKByKey() (map[string]int, StreamStats) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.e.smallestKMap(), s.e.finalStats()
 }
 
-// Stats returns the session's streaming statistics so far.
+// Stats returns the session's streaming statistics so far. Entirely
+// lock-free, so monitoring never contends with ingest.
 func (s *Session) Stats() StreamStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.e.finalStats()
 }
 
@@ -243,22 +319,47 @@ func (s *Session) Keys() int64 { return s.e.keyCount.Load() }
 // PeakBufferedOps returns the largest BufferedOps value observed. Lock-free.
 func (s *Session) PeakBufferedOps() int64 { return s.e.peakBuffered.Load() }
 
+// Shards returns the session's ingest shard count (the resolved
+// StreamOptions.IngestShards).
+func (s *Session) Shards() int { return len(s.e.shards) }
+
+// ShardIngestedOps returns the number of operations routed into shard i so
+// far. Lock-free; feed it to a per-shard gauge to watch key-hash balance.
+func (s *Session) ShardIngestedOps(i int) int64 { return s.e.shards[i].ingested.Load() }
+
+// ShardBufferedOps returns shard i's live operations (open windows + held
+// segments + in-flight verification of its keys). Lock-free.
+func (s *Session) ShardBufferedOps(i int) int64 { return s.e.shards[i].buffered.Load() }
+
+// IngestLockAcquisitions returns the total number of ingest-path shard-lock
+// acquisitions so far, summed over shards — the numerator of the
+// locks-per-operation measurement that batch ingest shrinks (monitoring and
+// Flush acquisitions are not counted). Lock-free.
+func (s *Session) IngestLockAcquisitions() int64 {
+	var n int64
+	for _, sh := range s.e.shards {
+		n += sh.lockTakes.Load()
+	}
+	return n
+}
+
 // SnapshotKey returns one key's live verification state (see Snapshot),
 // without building the full key-sorted snapshot; ok is false for keys the
 // session has not seen.
 func (s *Session) SnapshotKey(key string) (KeyVerdict, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ks, ok := s.e.keys[key]
+	sh := s.e.shards[s.e.shardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ks, ok := sh.keys[key]
 	if !ok {
 		return KeyVerdict{}, false
 	}
 	return keyVerdictOf(ks), true
 }
 
-// keyVerdictOf builds one key's verdict; the caller holds the session lock
-// (for the parser-side fields), and the verdict fields are read under the
-// key's own lock.
+// keyVerdictOf builds one key's verdict; the caller holds the key's shard
+// lock (for the parser-side fields), and the verdict fields are read under
+// the key's own lock.
 func keyVerdictOf(ks *keyState) KeyVerdict {
 	pending := len(ks.open)
 	for _, seg := range ks.deque {
@@ -277,36 +378,46 @@ func keyVerdictOf(ks *keyState) KeyVerdict {
 	}
 }
 
-// checkReport assembles the per-key fixed-k report. Verdict fields are read
-// under each key's lock so live (pre-drain) callers race with nothing.
+func sortKeyVerdicts(kvs []KeyVerdict) {
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+}
+
+// checkReport assembles the per-key fixed-k report. Each shard's keys are
+// read under the shard lock (parser-side fields) and each key's verdict
+// fields under its own lock, so live (pre-drain) callers race with nothing.
 func (e *engine) checkReport() Report {
 	rep := Report{K: e.k}
-	for _, ks := range e.sortedKeys() {
-		ks.mu.Lock()
-		rep.Keys = append(rep.Keys, KeyReport{
-			Key:    ks.key,
-			Ops:    ks.ops,
-			Atomic: ks.err == nil && ks.atomic,
-			Err:    ks.err,
-		})
-		ks.mu.Unlock()
-	}
+	e.eachShardLocked(func(sh *ingestShard) {
+		for _, ks := range sh.keys {
+			ks.mu.Lock()
+			rep.Keys = append(rep.Keys, KeyReport{
+				Key:    ks.key,
+				Ops:    ks.ops,
+				Atomic: ks.err == nil && ks.atomic,
+				Err:    ks.err,
+			})
+			ks.mu.Unlock()
+		}
+	})
+	sort.Slice(rep.Keys, func(i, j int) bool { return rep.Keys[i].Key < rep.Keys[j].Key })
 	return rep
 }
 
 // smallestKMap assembles the per-key smallest-k map under the same locking
 // discipline as checkReport.
 func (e *engine) smallestKMap() map[string]int {
-	out := make(map[string]int, len(e.keys))
-	for _, ks := range e.keys {
-		ks.mu.Lock()
-		switch {
-		case ks.err != nil:
-			out[ks.key] = 0
-		default:
-			out[ks.key] = max(1, ks.maxK, ks.kFloor)
+	out := make(map[string]int, e.keyCount.Load())
+	e.eachShardLocked(func(sh *ingestShard) {
+		for _, ks := range sh.keys {
+			ks.mu.Lock()
+			switch {
+			case ks.err != nil:
+				out[ks.key] = 0
+			default:
+				out[ks.key] = max(1, ks.maxK, ks.kFloor)
+			}
+			ks.mu.Unlock()
 		}
-		ks.mu.Unlock()
-	}
+	})
 	return out
 }

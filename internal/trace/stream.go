@@ -68,7 +68,6 @@ import (
 	"io"
 	"math"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -107,6 +106,17 @@ const DefaultHorizon = 256
 // quiescent instant commits a cut.
 const DefaultMinSegmentOps = 128
 
+// DefaultIngestShards is the session ingest shard count when
+// StreamOptions.IngestShards is zero: enough stripes that a few dozen
+// concurrent producers rarely collide, cheap enough (a map plus a handful
+// of counters per shard) that small sessions don't notice.
+const DefaultIngestShards = 16
+
+// maxIngestShards bounds StreamOptions.IngestShards; shards beyond any
+// plausible producer count only waste memory and make per-shard metrics
+// unreadable.
+const maxIngestShards = 4096
+
 // StreamOptions tunes the streaming engine.
 type StreamOptions struct {
 	// Workers sizes the verification pool; <= 0 uses GOMAXPROCS.
@@ -128,6 +138,14 @@ type StreamOptions struct {
 	// only segment granularity, and so pipelining overhead versus peak
 	// memory, changes.
 	MinSegmentOps int
+	// IngestShards partitions a Session's per-key ingest state over this
+	// many independently locked shards (key-hash routed), so concurrent
+	// producers contend only when their keys share a shard. <= 0 uses
+	// DefaultIngestShards for sessions; the reader-driven streams default
+	// to one shard (a single parser goroutine has nothing to contend
+	// with). Verdicts are identical for any value — keys never share
+	// state, so routing them to different locks cannot change a verdict.
+	IngestShards int
 	// MaxBufferedOps caps the live operations (open windows + held
 	// segments + in-flight verification) across all keys; 0 means no cap.
 	// Exceeding it fails the stream with ErrBufferLimit.
@@ -208,33 +226,44 @@ func parseStreamBytes(r io.Reader, emit func(key []byte, op history.Operation) e
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<30)
 	seg := 0
 	for sc.Scan() {
-		line := sc.Bytes()
-		if i := bytes.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		for len(line) > 0 {
-			part := line
-			if i := bytes.IndexByte(line, ';'); i >= 0 {
-				part, line = line[:i], line[i+1:]
-			} else {
-				line = nil
-			}
-			part = bytes.TrimSpace(part)
-			if len(part) == 0 {
-				continue
-			}
-			seg++
-			key, op, err := parseKeyedOp(part)
-			if err != nil {
-				return fmt.Errorf("trace: segment %d (%q): %w", seg, part, err)
-			}
-			if err := emit(key, op); err != nil {
-				return err
-			}
+		if err := parseLineOps(sc.Bytes(), &seg, emit); err != nil {
+			return err
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// parseLineOps strips the '#' comment, splits one line's ';'-separated
+// segments, and emits each parsed operation; *seg advances per segment so
+// error positions stay global across lines. Both the op-granular scanner
+// path and the batch chunk path parse through here, so the trace grammar
+// cannot drift between them.
+func parseLineOps(line []byte, seg *int, emit func(key []byte, op history.Operation) error) error {
+	if i := bytes.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	for len(line) > 0 {
+		part := line
+		if i := bytes.IndexByte(line, ';'); i >= 0 {
+			part, line = line[:i], line[i+1:]
+		} else {
+			line = nil
+		}
+		part = bytes.TrimSpace(part)
+		if len(part) == 0 {
+			continue
+		}
+		*seg++
+		key, op, err := parseKeyedOp(part)
+		if err != nil {
+			return fmt.Errorf("trace: segment %d (%q): %w", *seg, part, err)
+		}
+		if err := emit(key, op); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -400,11 +429,43 @@ type closedSeg struct {
 	writes       int
 }
 
+// ingestShard is one stripe of the engine's per-key state. Every key hashes
+// to exactly one shard, which owns that key's map entry and parser-side
+// accumulator fields; taking mu grants exclusive access to all of them.
+// Sessions lock the shard per operation (Append) or once per batch
+// (AppendBatch / AppendTraceBatch); the reader-driven engine is a single
+// goroutine and does not lock at all. The atomic counters below mu are the
+// shard's observability surface — they are written on the ingest and
+// verification paths and read lock-free by gauges, so scraping never queues
+// behind a backpressured producer.
+type ingestShard struct {
+	mu   sync.Mutex
+	keys map[string]*keyState
+
+	// lockTakes counts ingest-path acquisitions of mu (not monitoring or
+	// flush ones), the denominator of the locks-per-op measurement that
+	// batch ingest exists to shrink.
+	lockTakes atomic.Int64
+	// ingested counts operations routed into this shard (whether or not
+	// they were later rejected); the sum over shards is StreamStats.Ops.
+	ingested atomic.Int64
+	// buffered counts live operations owned by this shard's keys (open
+	// windows + held segments + in-flight verification).
+	buffered atomic.Int64
+	// maxOpen tracks the largest open window among this shard's keys.
+	// Written only under the shard's exclusive ingest access (plain
+	// store), read lock-free by finalStats, which folds a max over
+	// shards — keeping the per-op hot path off any cross-shard cacheline.
+	maxOpen atomic.Int64
+}
+
 // keyState is one register's accumulator plus its verdict aggregation.
-// The parser goroutine owns everything above mu; workers only touch the
-// fields below it (under mu) and the settled flag.
+// The key's ingest shard owns everything above mu (exclusive access under
+// the shard lock, or the single parser goroutine in reader-driven runs);
+// workers only touch the fields below it (under mu) and the settled flag.
 type keyState struct {
 	key               string
+	sh                *ingestShard
 	seq               int // sequence number of the open segment
 	open              []history.Operation
 	openWrites        int
@@ -445,7 +506,10 @@ type engine struct {
 	opts      core.Options
 	sopts     StreamOptions
 
-	keys map[string]*keyState
+	// shards stripe the per-key state (see ingestShard). Reader-driven
+	// engines run one shard; sessions default to DefaultIngestShards.
+	shards []*ingestShard
+
 	// vpool is the shared (key, chunk) work-stealing pool: segment jobs are
 	// submitted from the parser and may fork chunk sub-units, so one hot
 	// key's segments spread over every worker. sem bounds in-flight
@@ -464,25 +528,80 @@ type engine struct {
 
 	stop      atomic.Bool
 	parseDone atomic.Bool
-	buffered  atomic.Int64
-	opsParsed atomic.Int64
-	// keyCount and peakBuffered are written only by the parser side but
-	// read lock-free by monitoring gauges (Session.Keys /
-	// Session.PeakBufferedOps), which must not queue behind an Append
-	// blocked on backpressure.
-	keyCount     atomic.Int64
-	peakBuffered atomic.Int64
 
-	// Parser-side stats (single goroutine).
-	parsed   int64
-	merges   int64
-	segments int64
-	maxOpen  int
-	stopped  bool
+	// Every statistic below is an atomic so StreamStats assembles without
+	// taking any lock: monitoring (Session.Stats, the /metrics gauges) must
+	// never queue behind a backpressured producer, and with sharded ingest
+	// there is no single goroutine that could own plain counters anyway.
+	buffered      atomic.Int64
+	keyCount      atomic.Int64
+	peakBuffered  atomic.Int64
+	merges        atomic.Int64
+	segments      atomic.Int64
+	stopped       atomic.Bool
+	staleReads    atomic.Int64
+	saturatedKeys atomic.Int64
+	firstVerdict  atomic.Int64
+}
 
-	// Worker-side stats.
-	staleReads   atomic.Int64
-	firstVerdict atomic.Int64
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// shardHash is FNV-1a over the key bytes — the same stateless hash for the
+// []byte and string views, so both lookup paths route identically.
+func shardHash(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return h
+}
+
+func shardHashBytes(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range key {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+func (e *engine) shardIndex(key string) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return int(shardHash(key) % uint32(len(e.shards)))
+}
+
+func (e *engine) shardIndexBytes(key []byte) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	return int(shardHashBytes(key) % uint32(len(e.shards)))
+}
+
+// opsIngested sums the per-shard ingest counters: StreamStats.Ops without
+// a lock.
+func (e *engine) opsIngested() int64 {
+	var n int64
+	for _, sh := range e.shards {
+		n += sh.ingested.Load()
+	}
+	return n
+}
+
+// lockIngest takes the shard lock on behalf of an ingest path, counting
+// the acquisition (monitoring and flush take mu directly and stay out of
+// the locks-per-op measurement).
+func (sh *ingestShard) lockIngest() {
+	sh.lockTakes.Add(1)
+	sh.mu.Lock()
 }
 
 func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts StreamOptions) *engine {
@@ -496,6 +615,12 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 	if minSeg <= 0 {
 		minSeg = DefaultMinSegmentOps
 	}
+	nshards := sopts.IngestShards
+	if nshards <= 0 {
+		nshards = 1
+	} else if nshards > maxIngestShards {
+		nshards = maxIngestShards
+	}
 	e := &engine{
 		mode:      mode,
 		k:         k,
@@ -503,8 +628,11 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 		minSeg:    minSeg,
 		opts:      opts,
 		sopts:     sopts,
-		keys:      make(map[string]*keyState),
+		shards:    make([]*ingestShard, nshards),
 		sem:       make(chan struct{}, 2*workers),
+	}
+	for i := range e.shards {
+		e.shards[i] = &ingestShard{keys: make(map[string]*keyState)}
 	}
 	if sopts.Pool != nil {
 		e.vpool = sopts.Pool
@@ -524,16 +652,20 @@ func (e *engine) run(r io.Reader) error {
 
 // drain finalizes the parser side after input ends: it marks the parse done,
 // absorbs the early-exit sentinel, and — on clean input — commits every open
-// window and dispatches everything still held.
+// window and dispatches everything still held. The caller must own every
+// shard's parser-side state (the single parser goroutine of a reader-driven
+// run, or Session.Flush holding every shard lock).
 func (e *engine) drain(err error) error {
 	e.parseDone.Store(true)
 	if errors.Is(err, errStopped) {
-		e.stopped = true
+		e.stopped.Store(true)
 		return nil
 	}
 	if err == nil {
-		for _, ks := range e.keys {
-			e.flush(ks)
+		for _, sh := range e.shards {
+			for _, ks := range sh.keys {
+				e.flush(ks)
+			}
 		}
 	}
 	return err
@@ -551,48 +683,57 @@ func (e *engine) finish() {
 
 // add is the per-operation entry point (parser goroutine). The key is a
 // view into the line buffer; the no-copy map lookup makes the hot path
-// allocation-free, and only a first sighting clones it.
+// allocation-free, and only a first sighting clones it. Locking the shard
+// is the caller's job: the reader-driven engine (one goroutine) never
+// locks, sessions lock per op or per batch.
 func (e *engine) add(key []byte, op history.Operation) error {
+	return e.addIn(e.shards[e.shardIndexBytes(key)], key, op)
+}
+
+// addIn is add with the shard already routed (batch ingest groups first,
+// then feeds each shard under one lock).
+func (e *engine) addIn(sh *ingestShard, key []byte, op history.Operation) error {
 	if e.stop.Load() {
 		return errStopped
 	}
-	ks := e.keys[string(key)]
+	ks := sh.keys[string(key)]
 	if ks == nil {
-		ks = e.newKey(string(key))
+		ks = e.newKey(sh, string(key))
 	}
 	return e.addOp(ks, op)
 }
 
-// addString is add for callers that already hold the key as a string
-// (Session.Append), so the public per-op path stays allocation-free too.
-func (e *engine) addString(key string, op history.Operation) error {
+// addStringIn is addIn for callers that already hold the key as a string
+// (Session.Append / AppendBatch), so the public per-op path stays
+// allocation-free too.
+func (e *engine) addStringIn(sh *ingestShard, key string, op history.Operation) error {
 	if e.stop.Load() {
 		return errStopped
 	}
-	ks := e.keys[key]
+	ks := sh.keys[key]
 	if ks == nil {
-		ks = e.newKey(key)
+		ks = e.newKey(sh, key)
 	}
 	return e.addOp(ks, op)
 }
 
-func (e *engine) newKey(key string) *keyState {
+func (e *engine) newKey(sh *ingestShard, key string) *keyState {
 	ks := &keyState{
 		key:               key,
+		sh:                sh,
 		maxClosedFinish:   math.MinInt64,
 		dispatchedThrough: -1,
 		values:            make(map[int64]int32),
 		atomic:            true,
 	}
-	e.keys[key] = ks
+	sh.keys[key] = ks
 	e.keyCount.Add(1)
 	return ks
 }
 
 func (e *engine) addOp(ks *keyState, op history.Operation) error {
 	ks.ops++
-	e.parsed++
-	e.opsParsed.Store(e.parsed)
+	ks.sh.ingested.Add(1)
 	if op.Finish < op.Start {
 		// Normalization repairs zero-length operations but not truly
 		// inverted ones; report incrementally, since the operation may
@@ -635,16 +776,27 @@ func (e *engine) addOp(ks *keyState, op history.Operation) error {
 		}
 		ks.openWrites++
 	}
-	if n := len(ks.open); n > e.maxOpen {
-		e.maxOpen = n
+	if n := int64(len(ks.open)); n > ks.sh.maxOpen.Load() {
+		ks.sh.maxOpen.Store(n) // single writer per shard: no CAS needed
 	}
-	if cur := e.buffered.Add(1); cur > e.peakBuffered.Load() {
-		e.peakBuffered.Store(cur)
-		if e.sopts.MaxBufferedOps > 0 && cur > int64(e.sopts.MaxBufferedOps) {
-			return fmt.Errorf("%w (%d live ops; largest open window %d)", ErrBufferLimit, cur, e.maxOpen)
-		}
+	ks.sh.buffered.Add(1)
+	cur := e.buffered.Add(1)
+	atomicMax(&e.peakBuffered, cur)
+	if e.sopts.MaxBufferedOps > 0 && cur > int64(e.sopts.MaxBufferedOps) {
+		return fmt.Errorf("%w (%d live ops; largest open window %d)", ErrBufferLimit, cur, e.maxOpenAll())
 	}
 	return nil
+}
+
+// maxOpenAll folds the per-shard open-window maxima.
+func (e *engine) maxOpenAll() int64 {
+	var m int64
+	for _, sh := range e.shards {
+		if v := sh.maxOpen.Load(); v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 // closeOpen commits the quiescent cut before the arriving operation:
@@ -673,6 +825,7 @@ func (e *engine) closeOpen(ks *keyState) {
 					}
 				} else {
 					e.crossBoundaryRead(ks, int(s))
+					ks.sh.buffered.Add(-1)
 					e.buffered.Add(-1)
 					continue
 				}
@@ -694,13 +847,13 @@ func (e *engine) closeOpen(ks *keyState) {
 			base.ops = append(base.ops, seg.ops...)
 			base.writes += seg.writes
 			e.bufPool.Put(seg.ops[:0])
-			e.merges++
+			e.merges.Add(1)
 		}
 		base.ops = append(base.ops, ops...)
 		base.writes += writes
 		base.hiSeq = ks.seq
 		e.bufPool.Put(ops[:0])
-		e.merges++ // the entry the read reached into
+		e.merges.Add(1) // the entry the read reached into
 		ks.deque = ks.deque[:j]
 		merged = base
 	}
@@ -735,7 +888,10 @@ func (e *engine) crossBoundaryRead(ks *keyState, valueSeq int) {
 		return
 	}
 	e.settle(ks, func() {
-		ks.saturated = true
+		if !ks.saturated {
+			ks.saturated = true
+			e.saturatedKeys.Add(1)
+		}
 		if forced+1 > ks.kFloor {
 			ks.kFloor = forced + 1
 		}
@@ -763,7 +919,7 @@ func (e *engine) settle(ks *keyState, apply func()) {
 
 func (e *engine) dispatch(ks *keyState, seg closedSeg) {
 	ks.dispatchedThrough = seg.hiSeq
-	e.segments++
+	e.segments.Add(1)
 	j := job{ks: ks, seq: seg.loSeq, ops: seg.ops, scanOnly: ks.settled.Load()}
 	e.sem <- struct{}{}
 	e.wg.Add(1)
@@ -815,11 +971,12 @@ func (e *engine) verifySegment(c *core.Ctx, j job) {
 			ks.maxK = verdict.K
 		}
 	})
+	j.ks.sh.buffered.Add(-int64(n))
 	e.buffered.Add(-int64(n))
 	// FirstVerdictOps documents the pipelining win, so only verdicts
 	// landing while input is still being consumed count.
 	if !e.parseDone.Load() {
-		e.firstVerdict.CompareAndSwap(0, e.opsParsed.Load())
+		e.firstVerdict.CompareAndSwap(0, e.opsIngested())
 	}
 	if e.sopts.OnSegment != nil {
 		e.sopts.OnSegment(verdict)
@@ -827,31 +984,32 @@ func (e *engine) verifySegment(c *core.Ctx, j job) {
 	e.bufPool.Put(h.Ops[:0])
 }
 
-func (e *engine) sortedKeys() []*keyState {
-	out := make([]*keyState, 0, len(e.keys))
-	for _, ks := range e.keys {
-		out = append(out, ks)
+// eachShardLocked runs fn on every shard under that shard's lock, one shard
+// at a time. The read paths (reports, snapshots) use it so they can touch
+// parser-side key state even while session producers are appending; for the
+// reader-driven engine the locks are simply uncontended.
+func (e *engine) eachShardLocked(fn func(*ingestShard)) {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		fn(sh)
+		sh.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
-	return out
 }
 
+
+// finalStats assembles StreamStats entirely from atomics — no lock, so
+// monitoring never queues behind a backpressured or batch-locked producer.
 func (e *engine) finalStats() StreamStats {
-	st := StreamStats{
-		Ops:             e.parsed,
-		Keys:            len(e.keys),
-		Segments:        e.segments,
-		Merges:          e.merges,
-		MaxOpenOps:      e.maxOpen,
+	return StreamStats{
+		Ops:             e.opsIngested(),
+		Keys:            int(e.keyCount.Load()),
+		Segments:        e.segments.Load(),
+		Merges:          e.merges.Load(),
+		MaxOpenOps:      int(e.maxOpenAll()),
 		PeakBufferedOps: e.peakBuffered.Load(),
 		StaleReads:      e.staleReads.Load(),
+		SaturatedKeys:   int(e.saturatedKeys.Load()),
 		FirstVerdictOps: e.firstVerdict.Load(),
-		Stopped:         e.stopped,
+		Stopped:         e.stopped.Load(),
 	}
-	for _, ks := range e.keys {
-		if ks.saturated {
-			st.SaturatedKeys++
-		}
-	}
-	return st
 }

@@ -67,6 +67,16 @@
 // identical to the reader-driven forms on the same operations. Sessions can
 // share one verification Pool, which is how cmd/kavserve serves many
 // concurrent ingest clients with a single set of workers.
+//
+// Session ingest is sharded and batch-friendly: per-key state stripes over
+// StreamOptions.IngestShards independently locked shards (so producers
+// contend only on key-hash collisions, and stats read without any lock),
+// and the batch entry points AppendBatch (pre-parsed KeyedOp slices) and
+// AppendTraceBatch (raw keyed text, zero-copy parsed in chunks) group each
+// call's operations by shard and take each shard lock once per batch
+// instead of once per operation — the ingest analogue of the verification
+// pool's (key, chunk) fan-out. Verdicts are identical to op-granular
+// Append for any shard count and any batch boundaries.
 package kat
 
 import (
@@ -319,14 +329,19 @@ func NewPool(workers int) *Pool { return core.NewPool(workers) }
 // Online (push-driven) verification types.
 type (
 	// OnlineSession is the push-driven streaming engine: operations are
-	// appended one at a time (from any number of goroutines), per-key
-	// verdict state is observable live, and Flush is the graceful drain
-	// that makes the verdicts final — identical to the reader-driven
-	// StreamCheckTrace / StreamSmallestKByKey on the same operations.
+	// appended one at a time (from any number of goroutines) or in
+	// shard-grouped batches (AppendBatch / AppendTraceBatch, which take
+	// each ingest-shard lock once per batch), per-key verdict state is
+	// observable live, and Flush is the graceful drain that makes the
+	// verdicts final — identical to the reader-driven StreamCheckTrace /
+	// StreamSmallestKByKey on the same operations.
 	OnlineSession = trace.Session
 	// OnlineKeyVerdict is one key's live state in an OnlineSession
 	// snapshot.
 	OnlineKeyVerdict = trace.KeyVerdict
+	// KeyedOp pairs a register name with one operation — the element of
+	// OnlineSession.AppendBatch.
+	KeyedOp = trace.KeyedOp
 )
 
 // NewOnlineCheckSession opens a session verifying every key at bound k (the
