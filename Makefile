@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 benchcmp cover
+.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 bench-pr6 benchcmp cover crash-smoke fuzz-crash
 
 all: vet build test
 
@@ -57,6 +57,25 @@ bench-pr3:
 bench-pr5:
 	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)|BenchmarkStream1M' -benchmem -count 3 -timeout 30m . | tee BENCH_pr5.txt
 	$(GO) run ./scripts/benchjson BENCH_pr5.txt > BENCH_pr5.json
+
+# PR 6 trajectory record: the pinned families plus the durable-ingest rows
+# (BenchmarkOnlineIngest fsync=never/batch/always against real disk, with
+# fsyncs/op and WAL bytes/op custom metrics). Run WITHOUT -short so the
+# durability rows execute.
+bench-pr6:
+	$(GO) test -run '^$$' -bench '$(BASELINE_BENCHES)|BenchmarkStream1M' -benchmem -count 3 -timeout 30m . | tee BENCH_pr6.txt
+	$(GO) run ./scripts/benchjson BENCH_pr6.txt > BENCH_pr6.json
+
+# End-to-end crash-recovery smoke: SIGKILL a durable kavserve, restart from
+# its -data-dir, verify recovered verdicts against the offline checker.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
+# Crash-point fuzzer: byte-granular kill points and injected I/O faults over
+# the WAL + checkpoint recovery path (see internal/checkpoint). The CI smoke
+# replays the committed corpus; this target digs for new counterexamples.
+fuzz-crash:
+	$(GO) test -fuzz '^FuzzCrashPointRecovery$$' -fuzztime 60s ./internal/checkpoint/
 
 # Regression gate: rerun the pinned hot-path families (the fast scratch
 # ones — the one-shot FZF sweep is too slow to repeat 1000x) and compare

@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"kat/internal/bandwidth"
+	"kat/internal/checkpoint"
+	"kat/internal/faultfs"
 	"kat/internal/fzf"
 	"kat/internal/generator"
 	"kat/internal/history"
@@ -41,6 +43,7 @@ import (
 	"kat/internal/oracle"
 	"kat/internal/quorum"
 	"kat/internal/regularity"
+	"kat/internal/wal"
 	"kat/internal/wav"
 	"kat/internal/zone"
 
@@ -671,6 +674,59 @@ func BenchmarkOnlineIngest(b *testing.B) {
 				b.ReportMetric(float64(locks)/float64(b.N), "locks/op")
 			})
 		}
+	}
+	// Durability rows: the same ingest workload with a per-shard WAL
+	// attached, one row per fsync policy, against real disk. Skipped under
+	// -short so the benchcmp regression gate (which pins the in-memory rows
+	// above against the committed baseline) is unaffected.
+	for _, pol := range []struct {
+		name   string
+		policy wal.SyncPolicy
+	}{{"never", wal.SyncNever}, {"batch", wal.SyncBatch}, {"always", wal.SyncAlways}} {
+		b.Run(fmt.Sprintf("producers=4/batch=512/fsync=%s", pol.name), func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("durability rows need real disk fsync; skipped under -short")
+			}
+			mgr, err := checkpoint.Open(faultfs.OS(), b.TempDir(), checkpoint.Config{Policy: pol.policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer mgr.Close()
+			sess, err := root.NewOnlineCheckSession(2, root.Options{},
+				root.StreamOptions{Workers: 1, IngestShards: 16, MinSegmentOps: 128})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mgr.Recover(sess); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			const producers, batch = 4, 512
+			var wg sync.WaitGroup
+			per := b.N / producers
+			for p := 0; p < producers; p++ {
+				n := per
+				if p == 0 {
+					n += b.N - per*producers
+				}
+				wg.Add(1)
+				go func(p, n int) {
+					defer wg.Done()
+					if err := onlineIngestFeed(sess, p, n, batch); err != nil {
+						b.Error(err)
+					}
+				}(p, n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			ws := mgr.Stats().WAL
+			if err := sess.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(ws.Fsyncs)/float64(b.N), "fsyncs/op")
+			b.ReportMetric(float64(ws.Bytes)/float64(b.N), "walB/op")
+		})
 	}
 }
 

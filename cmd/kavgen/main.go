@@ -19,10 +19,13 @@
 // With -replay URL the trace — generated with the flags above, or read from
 // a positional file ("-" for stdin) — is replayed against a kavserve /ingest
 // endpoint instead of printed: operations are partitioned over -clients
-// concurrent streaming connections by key hash (so each key's operations
-// arrive in order from one connection, as the server requires), optionally
-// paced to an aggregate -rate operations per second. -drain then asks the
-// server for final verdicts and prints them.
+// concurrent connections by key hash (so each key's operations arrive in
+// order from one connection, as the server requires), sent in -batch-ops
+// acknowledged batches, optionally paced to an aggregate -rate operations
+// per second. Transient failures (connection drops, 503 shedding) retry with
+// exponential backoff and jitter, reconciling against /verdict so no op is
+// ingested twice; -resume continues an interrupted replay the same way.
+// -drain then asks the server for final verdicts and prints them.
 package main
 
 import (
@@ -71,6 +74,9 @@ func run(args []string, out io.Writer) error {
 		clients     = fs.Int("clients", 8, "with -replay: number of concurrent ingest connections")
 		rate        = fs.Float64("rate", 0, "with -replay: aggregate operations per second (0 = unlimited)")
 		drain       = fs.Bool("drain", false, "with -replay: drain the server afterwards and print its final verdicts")
+		batchOps    = fs.Int("batch-ops", 512, "with -replay: operations per acknowledged ingest request; a key's next batch never leaves before the previous one is acked")
+		retries     = fs.Int("retries", 8, "with -replay: attempts per batch before giving up (transient failures back off exponentially with jitter, honoring Retry-After)")
+		resume      = fs.Bool("resume", false, "with -replay: reconcile against the server's /verdict first and skip per-key prefixes it already ingested (continue an interrupted replay)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,7 +168,14 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
-		return runReplay(*replay, text.Bytes(), *clients, *rate, *drain, out)
+		return runReplay(*replay, text.Bytes(), replayOpts{
+			clients:  *clients,
+			rate:     *rate,
+			drain:    *drain,
+			batchOps: *batchOps,
+			retries:  *retries,
+			resume:   *resume,
+		}, out)
 	}
 
 	if *keys > 0 {

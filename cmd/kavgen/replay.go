@@ -2,10 +2,21 @@ package main
 
 // Replay mode: drive a kavserve instance with a trace, the load-generator
 // half of the online verification pipeline. Operations are partitioned over
-// concurrent streaming /ingest connections by key hash — every key's
-// operations flow through exactly one connection, preserving the per-key
-// arrival order the server's streaming engine requires, while connections
-// interleave freely (the production shape: many clients, disjoint key sets).
+// concurrent /ingest connections by key hash — every key's operations flow
+// through exactly one connection, preserving the per-key arrival order the
+// server's streaming engine requires, while connections interleave freely
+// (the production shape: many clients, disjoint key sets).
+//
+// Each connection sends its lines in batches of -batch-ops, strictly
+// sequentially: a key's next batch never leaves before the previous one is
+// acknowledged. Transient failures — connection errors, 503 overload or
+// buffer-limit shedding — retry with exponential backoff and jitter,
+// honoring Retry-After. A connection error leaves the batch's fate unknown,
+// so before resending the client reconciles against /verdict: the server's
+// per-key op counts are authoritative (this connection owns its keys), and
+// exactly the unacknowledged suffix is retried — no op is ever ingested
+// twice. 409 draining is terminal. -resume applies the same reconcile at
+// startup, skipping per-key prefixes a previous run already delivered.
 
 import (
 	"bytes"
@@ -13,7 +24,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,13 +34,36 @@ import (
 	"kat/internal/online"
 )
 
-// runReplay sends the trace's lines to baseURL/ingest over `clients`
-// concurrent connections at an approximate aggregate `rate` ops/second
+// Retry schedule knobs, injectable for tests.
+var (
+	retryBaseDelay = 100 * time.Millisecond
+	retryMaxDelay  = 2 * time.Second
+)
+
+// replayOpts carries the -replay flag family.
+type replayOpts struct {
+	clients  int
+	rate     float64
+	drain    bool
+	batchOps int
+	retries  int
+	resume   bool
+}
+
+// runReplay sends the trace's lines to baseURL/ingest over o.clients
+// concurrent connections at an approximate aggregate o.rate ops/second
 // (0 = unlimited), then optionally drains the server and prints its final
 // verdicts.
-func runReplay(baseURL string, traceText []byte, clients int, rate float64, drain bool, out io.Writer) error {
+func runReplay(baseURL string, traceText []byte, o replayOpts, out io.Writer) error {
+	clients := o.clients
 	if clients < 1 {
 		clients = 1
+	}
+	if o.batchOps < 1 {
+		o.batchOps = 512
+	}
+	if o.retries < 1 {
+		o.retries = 1
 	}
 	buckets := make([][][]byte, clients)
 	total := 0
@@ -41,6 +77,35 @@ func runReplay(baseURL string, traceText []byte, clients int, rate float64, drai
 		b := int(h.Sum32() % uint32(clients))
 		buckets[b] = append(buckets[b], line)
 		total++
+	}
+
+	// -resume: ask the server what it already has and skip those per-key
+	// prefixes; a crashed replay continues where its acknowledgments stopped.
+	resumed := map[string]int{}
+	if o.resume {
+		counts, err := fetchServerCounts(baseURL)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		skipped := 0
+		for b, bucket := range buckets {
+			remaining := bucket[:0]
+			skip := map[string]int{}
+			for _, line := range bucket {
+				key := string(keyOf(line))
+				if skip[key] < counts[key] {
+					skip[key]++
+					resumed[key]++
+					skipped++
+					continue
+				}
+				remaining = append(remaining, line)
+			}
+			buckets[b] = remaining
+		}
+		if skipped > 0 {
+			fmt.Fprintf(out, "resume: server already holds %d of these ops; skipping\n", skipped)
+		}
 	}
 
 	// Pacing: each connection owns a token bucket refilled at its share of
@@ -58,8 +123,8 @@ func runReplay(baseURL string, traceText []byte, clients int, rate float64, drai
 	}
 	var perConnRate float64
 	grant := 1
-	if rate > 0 && active > 0 {
-		perConnRate = rate / float64(active)
+	if o.rate > 0 && active > 0 {
+		perConnRate = o.rate / float64(active)
 		grant = grantSize(perConnRate)
 	}
 
@@ -70,21 +135,37 @@ func runReplay(baseURL string, traceText []byte, clients int, rate float64, drai
 		sent atomic.Int64
 		errs = make(chan error, clients)
 	)
-	for _, bucket := range buckets {
+	for ci, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(bucket [][]byte) {
+		go func(ci int, bucket [][]byte) {
 			defer wg.Done()
 			var tb *tokenBucket
 			if perConnRate > 0 {
 				tb = newTokenBucket(perConnRate, grant, pacerDone)
 			}
-			if err := replayConn(baseURL, bucket, tb, grant, &sent); err != nil {
+			r := &connReplayer{
+				base:        baseURL,
+				acked:       map[string]int{},
+				maxAttempts: o.retries,
+				rng:         rand.New(rand.NewSource(int64(ci) + 1)),
+				sent:        &sent,
+				stop:        pacerDone,
+			}
+			for _, line := range bucket {
+				// Seed acknowledgments with the resumed prefixes so a later
+				// reconcile doesn't mistake them for this run's deliveries.
+				key := string(keyOf(line))
+				if _, ok := r.acked[key]; !ok {
+					r.acked[key] = resumed[key]
+				}
+			}
+			if err := r.replay(bucket, tb, o.batchOps); err != nil {
 				errs <- err
 			}
-		}(bucket)
+		}(ci, bucket)
 	}
 	wg.Wait()
 	close(errs)
@@ -93,7 +174,7 @@ func runReplay(baseURL string, traceText []byte, clients int, rate float64, drai
 		return err
 	}
 
-	if drain {
+	if o.drain {
 		resp, err := http.Post(baseURL+"/drain", "application/json", nil)
 		if err != nil {
 			return err
@@ -185,45 +266,212 @@ func (b *tokenBucket) take(n int) bool {
 	}
 }
 
-// replayConn streams one bucket's lines as a single chunked /ingest request,
-// taking pacing tokens in grant-sized batches. The writer goroutine gives up
-// waiting for tokens when the request side fails (the bucket watches the
-// pacer's stop channel), so it never leaks parked on the pacer.
-func replayConn(baseURL string, bucket [][]byte, tb *tokenBucket, grant int, sent *atomic.Int64) error {
-	pr, pw := io.Pipe()
-	go func() {
-		var nl = []byte("\n")
-		for off := 0; off < len(bucket); off += grant {
-			end := off + grant
-			if end > len(bucket) {
-				end = len(bucket)
-			}
-			if tb != nil && !tb.take(end-off) {
-				return
-			}
-			for _, line := range bucket[off:end] {
-				if _, err := pw.Write(line); err != nil {
-					return // request side failed; it reports the error
-				}
-				if _, err := pw.Write(nl); err != nil {
-					return
-				}
-				sent.Add(1)
-			}
+// connReplayer drives one connection's bucket: sequential acknowledged
+// batches with retry, backoff, and exact-suffix reconciliation.
+type connReplayer struct {
+	base        string
+	acked       map[string]int // per-key ops the server has acknowledged
+	maxAttempts int
+	rng         *rand.Rand
+	sent        *atomic.Int64
+	stop        <-chan struct{}
+}
+
+// replay sends the bucket in sequential batches: the next batch leaves only
+// after the previous one is fully acknowledged, so a key's operations are
+// never pipelined past an unacknowledged batch.
+func (r *connReplayer) replay(bucket [][]byte, tb *tokenBucket, batchOps int) error {
+	for off := 0; off < len(bucket); off += batchOps {
+		end := off + batchOps
+		if end > len(bucket) {
+			end = len(bucket)
 		}
-		pw.Close()
-	}()
-	resp, err := http.Post(baseURL+"/ingest", "text/plain", pr)
-	if err != nil {
-		pr.Close()
-		return err
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ingest: %s: %s", resp.Status, bytes.TrimSpace(body))
+		if tb != nil && !tb.take(end-off) {
+			return nil // pacer stopped: another connection failed terminally
+		}
+		if err := r.postBatch(bucket[off:end]); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// postBatch delivers one batch, retrying transient failures until the whole
+// batch is acknowledged. Partial acceptance (IngestReject.Ingested, or a
+// /verdict reconcile after an ambiguous connection error) shrinks the batch
+// to its unacknowledged suffix before the next attempt.
+func (r *connReplayer) postBatch(batch [][]byte) error {
+	attempts := 0
+	delay := retryBaseDelay
+	ambiguous := false // a connection error left in-flight ops unaccounted
+	for len(batch) > 0 {
+		if ambiguous {
+			counts, err := fetchServerCounts(r.base)
+			if err != nil {
+				attempts++
+				if attempts >= r.maxAttempts {
+					return fmt.Errorf("ingest reconcile: %w (after %d attempts)", err, attempts)
+				}
+				if !r.backoff(&delay, 0) {
+					return nil
+				}
+				continue
+			}
+			batch = r.trimAcked(batch, counts)
+			ambiguous = false
+			continue
+		}
+		resp, err := http.Post(r.base+"/ingest", "text/plain", bytes.NewReader(joinLines(batch)))
+		if err != nil {
+			// The connection died with the batch in flight: the server may
+			// have applied any prefix of it. Never resend blind — mark the
+			// outcome ambiguous and reconcile before the next attempt.
+			attempts++
+			if attempts >= r.maxAttempts {
+				return fmt.Errorf("ingest: %w (after %d attempts)", err, attempts)
+			}
+			if !r.backoff(&delay, 0) {
+				return nil
+			}
+			ambiguous = true
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			r.noteAcked(batch)
+			return nil
+		}
+		var rej online.IngestReject
+		_ = json.Unmarshal(body, &rej)
+		if rej.Ingested > 0 {
+			// The server applied a prefix before rejecting; acknowledge it
+			// and keep only the suffix.
+			n := int(rej.Ingested)
+			if n > len(batch) {
+				n = len(batch)
+			}
+			r.noteAcked(batch[:n])
+			batch = batch[n:]
+		}
+		switch {
+		case rej.Code == "draining":
+			return fmt.Errorf("server is draining; %d op(s) of this batch unsent", len(batch))
+		case resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode >= 500:
+			// Overload shedding, buffer-limit pushback, or a durability
+			// fault the operator may repair: transient, retry.
+			attempts++
+			if attempts >= r.maxAttempts {
+				return fmt.Errorf("ingest: %s: %s (after %d attempts)", resp.Status, bytes.TrimSpace(body), attempts)
+			}
+			var retryAfter time.Duration
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				retryAfter = time.Duration(s) * time.Second
+			}
+			if !r.backoff(&delay, retryAfter) {
+				return nil
+			}
+		default:
+			// Malformed input, out-of-order ops, or any other client error:
+			// retrying cannot help.
+			return fmt.Errorf("ingest: %s: %s", resp.Status, bytes.TrimSpace(body))
+		}
+	}
+	return nil
+}
+
+// backoff sleeps the jittered current delay (at least retryAfter when the
+// server named one) and doubles it for next time, capped. Returns false if
+// the pacer stop channel closed mid-sleep.
+func (r *connReplayer) backoff(delay *time.Duration, retryAfter time.Duration) bool {
+	d := *delay
+	if retryAfter > d {
+		d = retryAfter
+	}
+	*delay *= 2
+	if *delay > retryMaxDelay {
+		*delay = retryMaxDelay
+	}
+	// Full jitter on the top half: uniform in [d/2, d] keeps retries from
+	// synchronizing across connections while preserving the floor.
+	jittered := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+// noteAcked records lines the server acknowledged.
+func (r *connReplayer) noteAcked(lines [][]byte) {
+	for _, line := range lines {
+		r.acked[string(keyOf(line))]++
+	}
+	r.sent.Add(int64(len(lines)))
+}
+
+// trimAcked drops the leading lines of each key that the server's reported
+// counts say were already applied — the delta between the server's per-key
+// count and what this connection has acknowledged. Sound because every key
+// routes through exactly one connection, and that connection sends strictly
+// sequentially: only the current batch can be partially applied.
+func (r *connReplayer) trimAcked(batch [][]byte, counts map[string]int) [][]byte {
+	applied := map[string]int{}
+	for key, have := range r.acked {
+		if extra := counts[key] - have; extra > 0 {
+			applied[key] = extra
+		}
+	}
+	remaining := batch[:0:0]
+	for _, line := range batch {
+		key := string(keyOf(line))
+		if applied[key] > 0 {
+			applied[key]--
+			r.noteAcked([][]byte{line})
+			continue
+		}
+		remaining = append(remaining, line)
+	}
+	return remaining
+}
+
+// fetchServerCounts reads /verdict and returns the server's authoritative
+// per-key ingested-op counts (verified + pending).
+func fetchServerCounts(baseURL string) (map[string]int, error) {
+	resp, err := http.Get(baseURL + "/verdict")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("verdict: %s", resp.Status)
+	}
+	var doc online.VerdictDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, len(doc.Keys))
+	for _, ks := range doc.Keys {
+		counts[ks.Key] = ks.Ops
+	}
+	return counts, nil
+}
+
+// joinLines flattens a batch into one newline-terminated request body.
+func joinLines(lines [][]byte) []byte {
+	n := 0
+	for _, line := range lines {
+		n += len(line) + 1
+	}
+	body := make([]byte, 0, n)
+	for _, line := range lines {
+		body = append(body, line...)
+		body = append(body, '\n')
+	}
+	return body
 }
 
 // keyOf extracts the key column (second whitespace-separated field) of a

@@ -1,8 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"kat/internal/online"
 )
 
 // fakeClock drives a tokenBucket deterministically: now() returns the
@@ -88,6 +96,187 @@ func TestTokenBucketStops(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("take did not observe stop")
+	}
+}
+
+// fastRetries shrinks the retry schedule for tests and restores it.
+func fastRetries(t *testing.T) {
+	t.Helper()
+	base, cap := retryBaseDelay, retryMaxDelay
+	retryBaseDelay, retryMaxDelay = time.Millisecond, 5*time.Millisecond
+	t.Cleanup(func() { retryBaseDelay, retryMaxDelay = base, cap })
+}
+
+// writeTrace builds a small keyed all-writes trace: keys k0..k(keys-1),
+// opsPerKey writes each, interleaved in arrival order.
+func writeTrace(keys, opsPerKey int) (string, int) {
+	var b strings.Builder
+	for i := 0; i < opsPerKey; i++ {
+		for k := 0; k < keys; k++ {
+			fmt.Fprintf(&b, "w k%d %d %d %d\n", k, i+1, 2*i, 2*i+1)
+		}
+	}
+	return b.String(), keys * opsPerKey
+}
+
+// flakyProxy fronts a real online.Server handler. The first `fail503`
+// /ingest requests are shed with 503 overload before the backend sees them;
+// the first `failDrop` /ingest requests forward only the first half of their
+// lines to the backend and then kill the client connection without a
+// response — the ambiguous partial-apply crash the reconcile path exists
+// for. Everything else passes through.
+type flakyProxy struct {
+	backend  http.Handler
+	fail503  int
+	failDrop int
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/ingest" {
+		p.backend.ServeHTTP(w, r)
+		return
+	}
+	if p.fail503 > 0 {
+		p.fail503--
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"code":"overload","error":"shedding","ingested":0}`)
+		return
+	}
+	if p.failDrop > 0 {
+		p.failDrop--
+		body, _ := io.ReadAll(r.Body)
+		lines := bytes.SplitAfter(body, []byte("\n"))
+		half := bytes.Join(lines[:len(lines)/2], nil)
+		req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(half))
+		p.backend.ServeHTTP(httptest.NewRecorder(), req)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("recorder cannot hijack")
+		}
+		conn, _, _ := hj.Hijack()
+		conn.Close() // no response: the batch's fate is ambiguous
+		return
+	}
+	p.backend.ServeHTTP(w, r)
+}
+
+// replayAgainst runs runReplay at full tilt with small batches against h.
+func replayAgainst(t *testing.T, h http.Handler, text string, batchOps int, resume bool) (string, error) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	var out strings.Builder
+	err := runReplay(ts.URL, []byte(text), replayOpts{
+		clients: 2, drain: true, batchOps: batchOps, retries: 8, resume: resume,
+	}, &out)
+	return out.String(), err
+}
+
+// TestReplayRetriesTransient503 checks overload shedding is retried with
+// backoff until the batch lands, and nothing is lost or duplicated.
+func TestReplayRetriesTransient503(t *testing.T) {
+	fastRetries(t)
+	text, total := writeTrace(3, 20)
+	srv := online.New(online.Config{K: 2})
+	out, err := replayAgainst(t, &flakyProxy{backend: srv.Handler(), fail503: 3}, text, 16, false)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	if want := fmt.Sprintf("replayed %d/%d ops", total, total); !strings.Contains(out, want) {
+		t.Fatalf("missing %q:\n%s", want, out)
+	}
+	assertServerOps(t, srv, map[string]int{"k0": 20, "k1": 20, "k2": 20})
+}
+
+// TestReplayReconcilesAfterConnectionDrop kills the connection mid-batch
+// after the server applied half of it: the client must reconcile against
+// /verdict and resend exactly the unacknowledged suffix — final per-key
+// counts are exact, no op ingested twice.
+func TestReplayReconcilesAfterConnectionDrop(t *testing.T) {
+	fastRetries(t)
+	text, total := writeTrace(3, 20)
+	srv := online.New(online.Config{K: 2})
+	out, err := replayAgainst(t, &flakyProxy{backend: srv.Handler(), failDrop: 2}, text, 16, false)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	if want := fmt.Sprintf("replayed %d/%d ops", total, total); !strings.Contains(out, want) {
+		t.Fatalf("missing %q:\n%s", want, out)
+	}
+	assertServerOps(t, srv, map[string]int{"k0": 20, "k1": 20, "k2": 20})
+}
+
+// TestReplayDrainingIsTerminal: a drained server must stop the replay with
+// an error, not burn retries.
+func TestReplayDrainingIsTerminal(t *testing.T) {
+	fastRetries(t)
+	srv := online.New(online.Config{K: 2})
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	text, _ := writeTrace(2, 4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var out strings.Builder
+	err := runReplay(ts.URL, []byte(text), replayOpts{clients: 1, batchOps: 4, retries: 8}, &out)
+	if err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Fatalf("replay against drained server: err=%v, want draining", err)
+	}
+}
+
+// TestReplayResume pre-loads the server with a prefix of the trace, then
+// replays the whole trace with -resume: only the missing suffix is sent.
+func TestReplayResume(t *testing.T) {
+	fastRetries(t)
+	text, total := writeTrace(3, 20)
+	srv := online.New(online.Config{K: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	lines := strings.SplitAfter(strings.TrimSuffix(text, "\n"), "\n")
+	prefix := strings.Join(lines[:len(lines)/3], "")
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(prefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("preload: %s", resp.Status)
+	}
+	var out strings.Builder
+	if err := runReplay(ts.URL, []byte(text), replayOpts{
+		clients: 2, drain: true, batchOps: 16, retries: 8, resume: true,
+	}, &out); err != nil {
+		t.Fatalf("resume replay: %v\n%s", err, out.String())
+	}
+	preloaded := len(lines) / 3
+	if want := fmt.Sprintf("server already holds %d", preloaded); !strings.Contains(out.String(), want) {
+		t.Fatalf("missing %q:\n%s", want, out.String())
+	}
+	if want := fmt.Sprintf("replayed %d/%d ops", total-preloaded, total); !strings.Contains(out.String(), want) {
+		t.Fatalf("missing %q:\n%s", want, out.String())
+	}
+	assertServerOps(t, srv, map[string]int{"k0": 20, "k1": 20, "k2": 20})
+}
+
+// assertServerOps drains srv and checks exact per-key ingested-op counts.
+func assertServerOps(t *testing.T, srv *online.Server, want map[string]int) {
+	t.Helper()
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	doc := srv.Verdict()
+	got := map[string]int{}
+	for _, ks := range doc.Keys {
+		got[ks.Key] = ks.Ops
+	}
+	for key, n := range want {
+		if got[key] != n {
+			t.Fatalf("key %s has %d ops, want %d (all: %v)", key, got[key], n, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("server has keys %v, want %v", got, want)
 	}
 }
 

@@ -33,7 +33,10 @@ import (
 	"time"
 
 	"kat"
+	"kat/internal/checkpoint"
+	"kat/internal/faultfs"
 	"kat/internal/online"
+	"kat/internal/wal"
 )
 
 func main() {
@@ -54,7 +57,12 @@ func run(args []string, out io.Writer) error {
 		maxBuf  = fs.Int("max-buffered-ops", 0, "cap on live buffered operations across keys (0 = uncapped)")
 		memo    = fs.Bool("memo", true, "cache segment verdicts by content hash")
 		shards  = fs.Int("ingest-shards", 0, "ingest shard count: concurrent producers contend only per key-hash shard (0 = default)")
-		pprofOn = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ with mutex and block profiling enabled (ingest-contention observability)")
+		pprofOn  = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ with mutex and block profiling enabled (ingest-contention observability)")
+		dataDir  = fs.String("data-dir", "", "durability directory: per-shard WAL + checkpoints; ingest survives crashes and restarts recover it (empty = in-memory only)")
+		fsync    = fs.String("fsync", "batch", "WAL sync policy: batch (group fsync per ingest batch), always (fsync every record), never (OS page cache only)")
+		ckptIval = fs.Duration("checkpoint-interval", 5*time.Second, "cadence of background checkpoints that bound WAL replay length")
+		spillOps = fs.Int("spill-threshold-ops", 0, "verified-segment ops retained in memory per key before cold segments spill to -data-dir (0 = default; needs -data-dir)")
+		overload = fs.Int64("overload-ops", 0, "shed /ingest with 503 + Retry-After once this many ops are buffered unverified (0 = never shed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,14 +70,32 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	cfg := online.Config{K: *k}
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
+	if *dataDir == "" && *spillOps > 0 {
+		return fmt.Errorf("-spill-threshold-ops needs -data-dir")
+	}
+	cfg := online.Config{K: *k, OverloadOps: *overload}
 	cfg.Stream.Workers = *workers
 	cfg.Stream.Horizon = *horizon
 	cfg.Stream.MinSegmentOps = *minSeg
 	cfg.Stream.MaxBufferedOps = *maxBuf
 	cfg.Stream.IngestShards = *shards
+	cfg.Stream.SpillThresholdOps = *spillOps
 	if *memo {
 		cfg.Opts.Memo = kat.NewMemo()
+	}
+	var mgr *checkpoint.Manager
+	if *dataDir != "" {
+		mgr, err = checkpoint.Open(faultfs.OS(), *dataDir, checkpoint.Config{
+			Policy:  policy,
+			OnError: func(err error) { fmt.Fprintf(out, "kavserve: checkpoint error: %v\n", err) },
+		})
+		if err != nil {
+			return err
+		}
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -79,7 +105,7 @@ func run(args []string, out io.Writer) error {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 	fmt.Fprintf(out, "kavserve: listening on %s (k=%d)\n", ln.Addr(), *k)
-	return serve(ln, cfg, *pprofOn, sigs, out)
+	return serve(ln, cfg, mgr, *ckptIval, *pprofOn, sigs, out)
 }
 
 // withPprof mounts the net/http/pprof handlers next to the service mux and
@@ -104,9 +130,25 @@ func withPprof(h http.Handler) http.Handler {
 }
 
 // serve runs the service on ln until a signal arrives, then drains the
-// session, prints the final verdicts, and shuts the listener down.
-func serve(ln net.Listener, cfg online.Config, pprofOn bool, shutdown <-chan os.Signal, out io.Writer) error {
-	srv := online.New(cfg)
+// session, prints the final verdicts, and shuts the listener down. With a
+// non-nil durability manager it first recovers any checkpoint + WAL tail
+// from disk, logs batches through the manager while serving, and seals the
+// drained state in a terminal checkpoint before exit.
+func serve(ln net.Listener, cfg online.Config, mgr *checkpoint.Manager, ckptIval time.Duration, pprofOn bool, shutdown <-chan os.Signal, out io.Writer) error {
+	srv, rs, err := online.NewDurable(cfg, mgr)
+	if err != nil {
+		return err
+	}
+	if mgr != nil {
+		fmt.Fprintf(out, "kavserve: recovered checkpoint epoch %d (%d keys), replayed %d ops from %d WAL records (%d torn bytes dropped)\n",
+			rs.CheckpointEpoch, rs.RestoredKeys, rs.ReplayedOps, rs.ReplayedRecords, rs.TornBytes)
+		if srv.Verdict().Drained {
+			fmt.Fprintln(out, "kavserve: recovered state is drained; serving final verdicts, ingest disabled")
+		} else if ckptIval > 0 {
+			mgr.Start(ckptIval)
+		}
+		defer mgr.Close()
+	}
 	handler := http.Handler(srv.Handler())
 	if pprofOn {
 		handler = withPprof(handler)
@@ -123,6 +165,13 @@ func serve(ln net.Listener, cfg online.Config, pprofOn bool, shutdown <-chan os.
 	fmt.Fprintln(out, "kavserve: draining...")
 	if err := srv.Drain(); err != nil {
 		fmt.Fprintf(out, "kavserve: drain error: %v\n", err)
+	}
+	if mgr != nil {
+		// Terminal checkpoint: the drained (Flushed) session state lands on
+		// disk, so a restart serves final verdicts with zero WAL replay.
+		if err := mgr.Checkpoint(); err != nil {
+			fmt.Fprintf(out, "kavserve: terminal checkpoint error: %v\n", err)
+		}
 	}
 	srv.Verdict().WriteText(out, "kavserve: final")
 	// Shutdown (not Close): verdicts must stay queryable until in-flight

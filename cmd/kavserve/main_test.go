@@ -10,9 +10,13 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"kat"
+	"kat/internal/checkpoint"
+	"kat/internal/faultfs"
 	"kat/internal/online"
+	"kat/internal/wal"
 )
 
 func TestFlagErrors(t *testing.T) {
@@ -25,6 +29,83 @@ func TestFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "256.256.256.256:0"}, &out); err == nil {
 		t.Error("unlistenable address accepted")
+	}
+	if err := run([]string{"-fsync", "sometimes"}, &out); err == nil {
+		t.Error("bogus -fsync policy accepted")
+	}
+	if err := run([]string{"-spill-threshold-ops", "100"}, &out); err == nil {
+		t.Error("-spill-threshold-ops without -data-dir accepted")
+	}
+}
+
+// TestServeDurableRestart runs the durable serve loop against a real on-disk
+// data dir, drains via signal, then restarts from the same dir: the second
+// run must recover the drained state and report final verdicts without any
+// WAL replay.
+func TestServeDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	text := "w reg 1 0 2\nr reg 1 1 3\nw reg 2 4 6\nr reg 1 5 7\nr reg 2 8 9\n"
+
+	runOnce := func(ingest string) string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr, err := checkpoint.Open(faultfs.OS(), dir, checkpoint.Config{Policy: wal.SyncBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := online.Config{K: 2}
+		cfg.Stream.Workers = 2
+		cfg.Stream.MinSegmentOps = 1
+		sigs := make(chan os.Signal, 1)
+		var out strings.Builder
+		var mu sync.Mutex
+		lockedOut := writerFunc(func(p []byte) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return out.Write(p)
+		})
+		done := make(chan error, 1)
+		go func() { done <- serve(ln, cfg, mgr, 50*time.Millisecond, false, sigs, lockedOut) }()
+		base := "http://" + ln.Addr().String()
+		if ingest != "" {
+			resp, err := http.Post(base+"/ingest", "text/plain", strings.NewReader(ingest))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("ingest: %s", resp.Status)
+			}
+		}
+		sigs <- os.Interrupt
+		if err := <-done; err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return out.String()
+	}
+
+	first := runOnce(text)
+	if !strings.Contains(first, "recovered checkpoint epoch -1") {
+		t.Fatalf("first run should cold-start:\n%s", first)
+	}
+	if !strings.Contains(first, "key reg") || !strings.Contains(first, "smallest k: 1") {
+		t.Fatalf("first run verdict missing:\n%s", first)
+	}
+
+	second := runOnce("")
+	if !strings.Contains(second, "recovered state is drained") {
+		t.Fatalf("second run should recover drained state:\n%s", second)
+	}
+	if !strings.Contains(second, "replayed 0 ops") {
+		t.Fatalf("drained restart should replay nothing:\n%s", second)
+	}
+	if !strings.Contains(second, "key reg") || !strings.Contains(second, "smallest k: 1") {
+		t.Fatalf("second run verdict missing:\n%s", second)
 	}
 }
 
@@ -48,7 +129,7 @@ func TestServeDrainOnSignal(t *testing.T) {
 		return out.Write(p)
 	})
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, cfg, true, sigs, lockedOut) }()
+	go func() { done <- serve(ln, cfg, nil, 0, true, sigs, lockedOut) }()
 	base := "http://" + ln.Addr().String()
 
 	// -pprof mounts the profile index (mutex/block enabled) next to the

@@ -1,0 +1,481 @@
+// Package faultfs is the filesystem seam of the durability subsystem: a
+// narrow interface covering exactly the operations the write-ahead log and
+// checkpoint writers perform, an *os*-backed production implementation, an
+// in-memory implementation that journals every mutation so tests can cut the
+// "disk" at an arbitrary byte boundary (a deterministic kill -9), and a
+// fault-injecting wrapper that fails, short-writes, or delays individual
+// calls on a deterministic schedule so every error path in the writers can
+// be driven on purpose.
+//
+// Durability model: the in-memory crash images assume that every completed
+// write call survives a process kill (the OS page cache outlives the
+// process); fsync matters for machine crashes and is exercised separately
+// through injected fsync faults. Torn writes — a crash landing mid-call —
+// are modeled exactly, down to the byte.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is an append-only output file: the only write surface the WAL and
+// checkpoint writers need.
+type File interface {
+	io.Writer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface of the durability layer. Paths use the host
+// separator conventions of path/filepath; implementations may be rooted
+// anywhere.
+type FS interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists the file names (not paths) in dir, sorted. A missing
+	// directory is reported as an error satisfying fs.ErrNotExist.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname (the checkpoint
+	// publish step).
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+}
+
+// ReadFile reads the whole of name from fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// OS returns the real-filesystem implementation.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
+
+// MemFS is an in-memory FS that journals every mutation in call order, so a
+// crash image — the disk state a kill at an arbitrary global byte offset
+// would leave behind — can be reconstructed deterministically, torn final
+// write included. Safe for concurrent use.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string][]byte
+	dirs    map[string]bool
+	journal []event
+	wbytes  int64
+}
+
+// event is one journaled mutation. Write events carry payload bytes and
+// consume crash budget; directory events are atomic points in the same
+// sequence.
+type event struct {
+	kind kindT
+	name string
+	to   string // rename target
+	data []byte // write payload
+}
+
+type kindT int
+
+const (
+	evCreate kindT = iota
+	evWrite
+	evRename
+	evRemove
+	evMkdir
+)
+
+// NewMem returns an empty MemFS.
+func NewMem() *MemFS {
+	return &MemFS{files: make(map[string][]byte), dirs: map[string]bool{".": true}}
+}
+
+// TotalWriteBytes returns the cumulative payload bytes of all write calls so
+// far — the crash-offset domain of CrashImage.
+func (m *MemFS) TotalWriteBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wbytes
+}
+
+// CrashImage reconstructs the filesystem a kill after writeBytes journaled
+// payload bytes would leave: every mutation before the cut is applied, the
+// straddling write lands torn at exactly the cut byte, and everything after
+// is gone. The source MemFS is not modified.
+func (m *MemFS) CrashImage(writeBytes int64) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := NewMem()
+	budget := writeBytes
+	for _, ev := range m.journal {
+		switch ev.kind {
+		case evCreate:
+			img.files[ev.name] = nil
+		case evWrite:
+			n := int64(len(ev.data))
+			if budget < n {
+				img.files[ev.name] = append(img.files[ev.name], ev.data[:budget]...)
+				return img
+			}
+			budget -= n
+			img.files[ev.name] = append(img.files[ev.name], ev.data...)
+		case evRename:
+			img.files[ev.to] = img.files[ev.name]
+			delete(img.files, ev.name)
+		case evRemove:
+			delete(img.files, ev.name)
+		case evMkdir:
+			img.dirs[ev.name] = true
+		}
+	}
+	return img
+}
+
+// memFile is an open MemFS file handle.
+type memFile struct {
+	m      *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("faultfs: write to closed file %q", f.name)
+	}
+	f.m.mu.Lock()
+	defer f.m.mu.Unlock()
+	cp := append([]byte(nil), p...)
+	f.m.files[f.name] = append(f.m.files[f.name], cp...)
+	f.m.journal = append(f.m.journal, event{kind: evWrite, name: f.name, data: cp})
+	f.m.wbytes += int64(len(cp))
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	if f.closed {
+		return fmt.Errorf("faultfs: sync of closed file %q", f.name)
+	}
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = nil
+	m.journal = append(m.journal, event{kind: evCreate, name: name})
+	return &memFile{m: m, name: name}, nil
+}
+
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("faultfs: open %s: %w", name, fs.ErrNotExist)
+	}
+	return io.NopCloser(newSliceReader(data)), nil
+}
+
+// newSliceReader snapshots data so later writes don't race the reader.
+func newSliceReader(data []byte) io.Reader {
+	cp := append([]byte(nil), data...)
+	return &sliceReader{data: cp}
+}
+
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[dir] && dir != "." {
+		// A directory is also visible when files exist under it (crash
+		// images replay mkdir events, so this is just a fallback for
+		// hand-built fixtures).
+		found := false
+		prefix := dir + string(filepath.Separator)
+		for name := range m.files {
+			if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("faultfs: readdir %s: %w", dir, fs.ErrNotExist)
+		}
+	}
+	var names []string
+	for name := range m.files {
+		d, base := filepath.Split(name)
+		if filepath.Clean(d) == filepath.Clean(dir) {
+			names = append(names, base)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("faultfs: rename %s: %w", oldname, fs.ErrNotExist)
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
+	m.journal = append(m.journal, event{kind: evRename, name: oldname, to: newname})
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("faultfs: remove %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	m.journal = append(m.journal, event{kind: evRemove, name: name})
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := dir; d != "." && d != string(filepath.Separator) && d != ""; d = filepath.Dir(d) {
+		m.dirs[d] = true
+	}
+	m.journal = append(m.journal, event{kind: evMkdir, name: dir})
+	return nil
+}
+
+// Files returns a snapshot of name -> size, for test assertions.
+func (m *MemFS) Files() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.files))
+	for name, data := range m.files {
+		out[name] = len(data)
+	}
+	return out
+}
+
+// ErrInjected is the base error of every injected fault, so callers can
+// recognize deliberately injected failures with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op identifies the call an Injector is deciding about.
+type Op int
+
+const (
+	OpWrite Op = iota
+	OpSync
+	OpCreate
+	OpOpen
+	OpRename
+	OpRemove
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	}
+	return "unknown"
+}
+
+// Fault is what an Injector returns for one call: fail it (Err), complete
+// only Short bytes of a write before failing, and/or run Delay first.
+// Delay is a callback rather than a duration so deterministic tests can
+// observe it without real sleeping.
+type Fault struct {
+	// Err fails the call with an error wrapping ErrInjected. For writes
+	// with Short > 0, Short bytes are written through first (a torn write
+	// the caller sees an error for).
+	Err bool
+	// Short is the number of bytes of a write to complete before failing;
+	// ignored unless Err is set on an OpWrite.
+	Short int
+	// Delay, when non-nil, runs before the call proceeds (or fails).
+	Delay func()
+}
+
+// Injector decides the fault (if any) for the seq-th intercepted call
+// (global sequence, starting at 0). It must be deterministic for a given
+// sequence to keep failures reproducible.
+type Injector func(op Op, name string, seq int64) *Fault
+
+// FailOnce returns an Injector that fails exactly the nth occurrence
+// (0-based) of op, short-writing `short` bytes first when op is OpWrite.
+func FailOnce(op Op, n int64, short int) Injector {
+	var count int64 = -1
+	var mu sync.Mutex
+	return func(o Op, _ string, _ int64) *Fault {
+		if o != op {
+			return nil
+		}
+		mu.Lock()
+		count++
+		hit := count == n
+		mu.Unlock()
+		if hit {
+			return &Fault{Err: true, Short: short}
+		}
+		return nil
+	}
+}
+
+// Faulty wraps an FS, consulting Decide before every intercepted call.
+type Faulty struct {
+	FS
+	Decide Injector
+	seq    int64
+	mu     sync.Mutex
+}
+
+// NewFaulty wraps fsys with the injector.
+func NewFaulty(fsys FS, decide Injector) *Faulty {
+	return &Faulty{FS: fsys, Decide: decide}
+}
+
+func (f *Faulty) fault(op Op, name string) *Fault {
+	f.mu.Lock()
+	seq := f.seq
+	f.seq++
+	f.mu.Unlock()
+	if f.Decide == nil {
+		return nil
+	}
+	ft := f.Decide(op, name, seq)
+	if ft != nil && ft.Delay != nil {
+		ft.Delay()
+	}
+	return ft
+}
+
+func (f *Faulty) Create(name string) (File, error) {
+	if ft := f.fault(OpCreate, name); ft != nil && ft.Err {
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+	}
+	inner, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, name: name, inner: inner}, nil
+}
+
+func (f *Faulty) Open(name string) (io.ReadCloser, error) {
+	if ft := f.fault(OpOpen, name); ft != nil && ft.Err {
+		return nil, fmt.Errorf("open %s: %w", name, ErrInjected)
+	}
+	return f.FS.Open(name)
+}
+
+func (f *Faulty) Rename(oldname, newname string) error {
+	if ft := f.fault(OpRename, oldname); ft != nil && ft.Err {
+		return fmt.Errorf("rename %s: %w", oldname, ErrInjected)
+	}
+	return f.FS.Rename(oldname, newname)
+}
+
+func (f *Faulty) Remove(name string) error {
+	if ft := f.fault(OpRemove, name); ft != nil && ft.Err {
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	}
+	return f.FS.Remove(name)
+}
+
+// faultyFile intercepts writes and syncs of one open file.
+type faultyFile struct {
+	f     *Faulty
+	name  string
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if ft := ff.f.fault(OpWrite, ff.name); ft != nil && ft.Err {
+		short := ft.Short
+		if short > len(p) {
+			short = len(p)
+		}
+		n := 0
+		if short > 0 {
+			n, _ = ff.inner.Write(p[:short]) // the torn half lands
+		}
+		return n, fmt.Errorf("write %s: %w", ff.name, ErrInjected)
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if ft := ff.f.fault(OpSync, ff.name); ft != nil && ft.Err {
+		return fmt.Errorf("sync %s: %w", ff.name, ErrInjected)
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Close() error { return ff.inner.Close() }

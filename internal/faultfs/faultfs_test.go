@@ -1,0 +1,279 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemFSBasics(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll(filepath.Join("d", "sub")); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	f, err := m.Create(filepath.Join("d", "a.log"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := ReadFile(m, filepath.Join("d", "a.log"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("content = %q, want %q", got, "hello world")
+	}
+	names, err := m.ReadDir("d")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(names) != 1 || names[0] != "a.log" {
+		t.Fatalf("ReadDir = %v, want [a.log]", names)
+	}
+	if _, err := m.Open(filepath.Join("d", "missing")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open missing: err = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := m.ReadDir("nodir"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadDir missing: err = %v, want fs.ErrNotExist", err)
+	}
+	if err := m.Rename(filepath.Join("d", "a.log"), filepath.Join("d", "b.log")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := m.Open(filepath.Join("d", "a.log")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("old name still present after rename: %v", err)
+	}
+	if err := m.Remove(filepath.Join("d", "b.log")); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := m.Remove(filepath.Join("d", "b.log")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Remove missing: err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestMemFSOpenSnapshotsData(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("x")
+	f.Write([]byte("abc"))
+	r, err := m.Open("x")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	f.Write([]byte("def"))
+	buf := make([]byte, 16)
+	n, _ := r.Read(buf)
+	if string(buf[:n]) != "abc" {
+		t.Fatalf("snapshot read = %q, want abc", buf[:n])
+	}
+}
+
+// TestCrashImage cuts the journal at every byte offset and checks the image
+// is exactly the applied prefix with a torn straddling write.
+func TestCrashImage(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("a")
+	f.Write([]byte("0123"))
+	f.Write([]byte("4567"))
+	g, _ := m.Create("b")
+	g.Write([]byte("xyz"))
+	m.Rename("b", "c")
+
+	total := m.TotalWriteBytes()
+	if total != 11 {
+		t.Fatalf("TotalWriteBytes = %d, want 11", total)
+	}
+	want := "01234567"
+	for cut := int64(0); cut <= total; cut++ {
+		img := m.CrashImage(cut)
+		a, err := ReadFile(img, "a")
+		if err != nil {
+			t.Fatalf("cut %d: ReadFile(a): %v", cut, err)
+		}
+		wa := want
+		if int(cut) < len(want) {
+			wa = want[:cut]
+		}
+		if string(a) != wa {
+			t.Fatalf("cut %d: a = %q, want %q", cut, a, wa)
+		}
+		// b's create precedes its write; the rename happens after all
+		// writes, so for cut < total the file is still named b.
+		if cut >= total {
+			if c, err := ReadFile(img, "c"); err != nil || string(c) != "xyz" {
+				t.Fatalf("cut %d: c = %q, %v", cut, c, err)
+			}
+		} else if cut > 8 {
+			b, err := ReadFile(img, "b")
+			if err != nil {
+				t.Fatalf("cut %d: ReadFile(b): %v", cut, err)
+			}
+			if wb := "xyz"[:cut-8]; string(b) != wb {
+				t.Fatalf("cut %d: b = %q, want %q", cut, b, wb)
+			}
+		}
+	}
+	// The source is untouched by imaging.
+	if a, _ := ReadFile(m, "a"); string(a) != want {
+		t.Fatalf("source mutated: a = %q", a)
+	}
+}
+
+func TestCrashImageDropsRemovedAndRenamed(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("tmp")
+	f.Write([]byte("ck"))
+	m.Rename("tmp", "final")
+	g, _ := m.Create("old")
+	g.Write([]byte("zz"))
+	m.Remove("old")
+
+	img := m.CrashImage(m.TotalWriteBytes())
+	if _, err := ReadFile(img, "tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("tmp survived rename in image: %v", err)
+	}
+	if b, err := ReadFile(img, "final"); err != nil || string(b) != "ck" {
+		t.Fatalf("final = %q, %v", b, err)
+	}
+	if _, err := ReadFile(img, "old"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("old survived remove in image: %v", err)
+	}
+	// An image cut before the remove still has the file.
+	img2 := m.CrashImage(2) // after "ck", before "zz" completes
+	if _, err := ReadFile(img2, "old"); err != nil {
+		t.Fatalf("old missing in early image: %v", err)
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	mem := NewMem()
+	var hits []Op
+	ff := NewFaulty(mem, func(op Op, name string, seq int64) *Fault {
+		hits = append(hits, op)
+		if op == OpWrite && seq == 1 { // second intercepted call overall
+			return &Fault{Err: true, Short: 2}
+		}
+		return nil
+	})
+	f, err := ff.Create("w")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("abcde")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write err = %v, want ErrInjected", err)
+	}
+	got, _ := ReadFile(mem, "w")
+	if string(got) != "ab" {
+		t.Fatalf("torn write landed %q, want %q", got, "ab")
+	}
+	if len(hits) != 2 || hits[0] != OpCreate || hits[1] != OpWrite {
+		t.Fatalf("intercepted ops = %v", hits)
+	}
+}
+
+func TestFaultySyncRenameOpen(t *testing.T) {
+	mem := NewMem()
+	ff := NewFaulty(mem, func(op Op, _ string, _ int64) *Fault {
+		if op == OpSync || op == OpRename || op == OpOpen {
+			return &Fault{Err: true}
+		}
+		return nil
+	})
+	f, err := ff.Create("s")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Sync err = %v, want ErrInjected", err)
+	}
+	if err := ff.Rename("s", "t"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Rename err = %v, want ErrInjected", err)
+	}
+	if _, err := ff.Open("s"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Open err = %v, want ErrInjected", err)
+	}
+}
+
+func TestFailOnce(t *testing.T) {
+	mem := NewMem()
+	ff := NewFaulty(mem, FailOnce(OpSync, 1, 0))
+	f, _ := ff.Create("x")
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync should fail: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync should pass: %v", err)
+	}
+}
+
+func TestFaultyDelayRuns(t *testing.T) {
+	mem := NewMem()
+	ran := false
+	ff := NewFaulty(mem, func(op Op, _ string, _ int64) *Fault {
+		if op == OpWrite {
+			return &Fault{Delay: func() { ran = true }}
+		}
+		return nil
+	})
+	f, _ := ff.Create("d")
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !ran {
+		t.Fatal("delay callback did not run")
+	}
+}
+
+func TestOSFS(t *testing.T) {
+	dir := t.TempDir()
+	o := OS()
+	if err := o.MkdirAll(filepath.Join(dir, "sub")); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	f, err := o.Create(filepath.Join(dir, "sub", "f.log"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	names, err := o.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(names) != 1 || names[0] != "f.log" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if err := o.Rename(filepath.Join(dir, "sub", "f.log"), filepath.Join(dir, "sub", "g.log")); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	got, err := ReadFile(o, filepath.Join(dir, "sub", "g.log"))
+	if err != nil || string(got) != "data" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := o.Remove(filepath.Join(dir, "sub", "g.log")); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"sync"
 
+	"kat/internal/checkpoint"
 	"kat/internal/core"
 	"kat/internal/metrics"
 	"kat/internal/trace"
@@ -54,6 +55,12 @@ type Config struct {
 	// horizon, segment batching, buffer cap). Stream.OnSegment is chained
 	// after the server's own verdict bookkeeping.
 	Stream trace.StreamOptions
+	// OverloadOps, when > 0, sheds /ingest load before reading the body
+	// once the session's live buffered operations reach this bound: the
+	// request is rejected with 503, a Retry-After header, and a
+	// {"code":"overload"} body, telling well-behaved producers to back off
+	// rather than pile onto verification backpressure.
+	OverloadOps int64
 }
 
 // Violation is the retained evidence for a key's first violating segment.
@@ -131,16 +138,20 @@ func (d VerdictDoc) WriteText(w io.Writer, label string) {
 		label, len(d.Keys), d.Stats.Ops, d.Stats.Segments)
 }
 
-// Server is the continuous verification service. Create with New; it is
+// Server is the continuous verification service. Create with New (purely
+// in-memory) or NewDurable (write-ahead logged and checkpointed); it is
 // ready immediately and safe for any number of concurrent requests.
 type Server struct {
 	cfg  Config
 	sess *trace.Session
 	reg  *metrics.Registry
+	mgr  *checkpoint.Manager // nil for in-memory servers
 
 	opsIngested    *metrics.Counter
 	ingestReqs     *metrics.Counter
 	ingestErrors   *metrics.Counter
+	rejectDraining *metrics.Counter
+	rejectOverload *metrics.Counter
 	segmentsClosed *metrics.Counter
 	violations     *metrics.Counter
 	// ingestSizes is a histogram-ish breakdown of /ingest request sizes
@@ -158,14 +169,36 @@ type Server struct {
 	drained   chan struct{}
 }
 
-// New builds a Server from cfg and opens its session.
+// New builds a purely in-memory Server from cfg and opens its session.
 func New(cfg Config) *Server {
+	s, _, err := NewDurable(cfg, nil)
+	if err != nil {
+		// Unreachable: only recovery can fail, and there is no manager.
+		panic(err)
+	}
+	return s
+}
+
+// NewDurable builds a Server whose session is write-ahead logged,
+// checkpointed, and spill-backed by mgr's data directory (mgr may be nil
+// for a purely in-memory server). Recovery runs before the server is
+// returned: the directory's newest checkpoint is restored, the WAL tail
+// replayed, and the returned RecoveryStats describe what was rebuilt. A
+// directory whose final checkpoint was a drain (Flushed) comes back as an
+// already-drained server: /verdict serves the final document and /ingest
+// rejects with the draining code. The caller starts mgr's checkpoint
+// ticker and closes mgr after the server's lifetime.
+func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.RecoveryStats, error) {
 	if cfg.K <= 0 {
 		cfg.K = 2
+	}
+	if mgr != nil && cfg.Stream.Store == nil {
+		cfg.Stream.Store = mgr.Store()
 	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        metrics.NewRegistry(),
+		mgr:        mgr,
 		firstViols: make(map[string]Violation),
 		drainGate:  make(chan struct{}),
 		drained:    make(chan struct{}),
@@ -173,6 +206,10 @@ func New(cfg Config) *Server {
 	s.opsIngested = s.reg.Counter("kavserve_ops_ingested_total", "Operations accepted by /ingest.")
 	s.ingestReqs = s.reg.Counter("kavserve_ingest_requests_total", "Requests to /ingest.")
 	s.ingestErrors = s.reg.Counter("kavserve_ingest_errors_total", "Failed /ingest requests.")
+	s.rejectDraining = s.reg.CounterL("kavserve_ingest_rejected_total",
+		"Ingest requests shed before reading the body, by reason.", `reason="draining"`)
+	s.rejectOverload = s.reg.CounterL("kavserve_ingest_rejected_total",
+		"Ingest requests shed before reading the body, by reason.", `reason="overload"`)
 	s.segmentsClosed = s.reg.Counter("kavserve_segments_closed_total", "Segments verified.")
 	s.violations = s.reg.Counter("kavserve_violations_total", "Violating segment verdicts.")
 	for _, bucket := range ingestSizeBuckets {
@@ -229,7 +266,52 @@ func New(cfg Config) *Server {
 				return float64(st.Hits) / float64(st.Hits+st.Misses)
 			})
 	}
-	return s
+	// Spill gauges read lock-free session atomics; they sit at zero for
+	// sessions without a blob store.
+	s.reg.Gauge("kavserve_spilled_ops", "Operations currently resident in the spill store instead of memory.",
+		func() float64 { return float64(s.sess.SpilledOps()) })
+	s.reg.CounterFunc("kavserve_spills_total", "Segment spills to the blob store.",
+		func() float64 { return float64(s.sess.Stats().Spills) })
+	s.reg.CounterFunc("kavserve_spill_loads_total", "Spilled segments reloaded for close, merge, or dispatch.",
+		func() float64 { return float64(s.sess.Stats().SpillLoads) })
+
+	var rs checkpoint.RecoveryStats
+	if mgr != nil {
+		var err error
+		rs, err = mgr.Recover(s.sess)
+		if err != nil {
+			return nil, rs, err
+		}
+		if s.sess.Flushed() {
+			// The directory's final checkpoint was a drain: come back up
+			// already terminal, serving the final verdicts.
+			s.draining.Do(func() { close(s.drainGate) })
+			s.drainOnce.Do(func() { close(s.drained) })
+		}
+		s.reg.CounterFunc("kavserve_wal_fsyncs_total", "WAL fsync calls that hit the disk.",
+			func() float64 { return float64(mgr.Stats().WAL.Fsyncs) })
+		s.reg.CounterFunc("kavserve_wal_fsync_seconds_total", "Cumulative wall time inside WAL fsyncs.",
+			func() float64 { return float64(mgr.Stats().WAL.FsyncNanos) / 1e9 })
+		s.reg.CounterFunc("kavserve_wal_appended_records_total", "Batch records appended to the WAL.",
+			func() float64 { return float64(mgr.Stats().WAL.Records) })
+		s.reg.CounterFunc("kavserve_wal_appended_bytes_total", "Bytes appended to the WAL (framing included).",
+			func() float64 { return float64(mgr.Stats().WAL.Bytes) })
+		s.reg.CounterFunc("kavserve_wal_rotations_total", "WAL epoch rotations (one per checkpoint).",
+			func() float64 { return float64(mgr.Stats().WAL.Rotations) })
+		s.reg.CounterFunc("kavserve_checkpoints_total", "Checkpoints durably published.",
+			func() float64 { return float64(mgr.Stats().Checkpoints) })
+		s.reg.CounterFunc("kavserve_checkpoint_failures_total", "Checkpoint attempts that failed (previous recovery line kept).",
+			func() float64 { return float64(mgr.Stats().CheckpointFailures) })
+		s.reg.Gauge("kavserve_checkpoint_last_bytes", "Size of the newest published checkpoint.",
+			func() float64 { return float64(mgr.Stats().LastCheckpointBytes) })
+		s.reg.Gauge("kavserve_recovery_replayed_ops_total", "Operations replayed from the WAL at startup.",
+			func() float64 { return float64(mgr.Stats().Recovery.ReplayedOps) })
+		s.reg.Gauge("kavserve_recovery_replayed_records_total", "WAL records replayed at startup.",
+			func() float64 { return float64(mgr.Stats().Recovery.ReplayedRecords) })
+		s.reg.Gauge("kavserve_recovery_torn_bytes_total", "Torn WAL tail bytes discarded at startup.",
+			func() float64 { return float64(mgr.Stats().Recovery.TornBytes) })
+	}
+	return s, rs, nil
 }
 
 // recordViolation retains the earliest (lowest-Seq) violating segment per
@@ -320,11 +402,59 @@ func (s *Server) recordIngestSize(n int64) {
 	}
 }
 
+// IngestReject is the JSON body of a failed /ingest request. Code is a
+// stable machine-readable discriminator:
+//
+//	"draining"     drain in progress or completed — terminal, stop sending
+//	               (HTTP 409)
+//	"overload"     load shed; honor Retry-After and resend the same batch
+//	               (HTTP 503)
+//	"out_of_order" a key violated the nondecreasing-start ingest contract
+//	               (HTTP 409, sticky)
+//	"buffer_limit" the configured MaxBufferedOps cap tripped (HTTP 503 with
+//	               Retry-After — but sticky, unlike "overload": operations
+//	               were lost, so resuming requires reconciling via /verdict)
+//	"durability"   the write-ahead log failed beneath the session (HTTP 500,
+//	               sticky)
+//	"malformed"    unparseable trace input (HTTP 400)
+//
+// Ingested reports how many operations of this request were accepted before
+// the failure (accepted operations stay accepted — per-key prefixes remain
+// intact).
+type IngestReject struct {
+	Code     string `json:"code"`
+	Error    string `json:"error"`
+	Ingested int64  `json:"ingested"`
+}
+
+func (s *Server) rejectIngest(w http.ResponseWriter, status int, code string, n int64, err error) {
+	s.ingestErrors.Inc()
+	if status == http.StatusServiceUnavailable {
+		// Back off for a beat; overload drains as verification catches up.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	reject := IngestReject{Code: code, Ingested: n}
+	if err != nil {
+		reject.Error = err.Error()
+	}
+	json.NewEncoder(w).Encode(reject)
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestReqs.Inc()
 	if s.Draining() {
-		s.ingestErrors.Inc()
-		http.Error(w, "draining: ingest is closed", http.StatusServiceUnavailable)
+		s.rejectDraining.Inc()
+		s.rejectIngest(w, http.StatusConflict, "draining", 0, errors.New("draining: ingest is closed"))
+		return
+	}
+	if cap := s.cfg.OverloadOps; cap > 0 && s.sess.BufferedOps() >= cap {
+		// Shed before reading the body: the producer resends the whole
+		// batch after Retry-After, so nothing is half-accepted here.
+		s.rejectOverload.Inc()
+		s.rejectIngest(w, http.StatusServiceUnavailable, "overload", 0,
+			fmt.Errorf("overloaded: %d operations buffered (cap %d)", s.sess.BufferedOps(), cap))
 		return
 	}
 	// Batch-granular ingest: the request body is parsed in chunks by the
@@ -339,13 +469,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.recordIngestSize(n)
 	}
 	if err != nil {
-		s.ingestErrors.Inc()
-		code := http.StatusBadRequest
-		if errors.Is(err, trace.ErrOutOfOrder) || errors.Is(err, trace.ErrBufferLimit) ||
-			errors.Is(err, trace.ErrSessionFlushed) {
-			code = http.StatusConflict
+		var derr *trace.DurabilityError
+		switch {
+		case errors.Is(err, trace.ErrSessionFlushed):
+			s.rejectIngest(w, http.StatusConflict, "draining", n, err)
+		case errors.Is(err, trace.ErrBufferLimit):
+			s.rejectIngest(w, http.StatusServiceUnavailable, "buffer_limit", n, err)
+		case errors.Is(err, trace.ErrOutOfOrder):
+			s.rejectIngest(w, http.StatusConflict, "out_of_order", n, err)
+		case errors.As(err, &derr):
+			s.rejectIngest(w, http.StatusInternalServerError, "durability", n, err)
+		default:
+			s.rejectIngest(w, http.StatusBadRequest, "malformed", n, err)
 		}
-		http.Error(w, fmt.Sprintf("ingested %d operations, then: %v", n, err), code)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

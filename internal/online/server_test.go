@@ -12,8 +12,11 @@ import (
 	"testing"
 
 	"kat"
+	"kat/internal/checkpoint"
 	"kat/internal/core"
+	"kat/internal/faultfs"
 	"kat/internal/trace"
+	"kat/internal/wal"
 )
 
 // buildTrace generates a deterministic multi-key trace with injected
@@ -185,21 +188,203 @@ func TestIngestVerdictMetricsDrain(t *testing.T) {
 		t.Fatalf("per-shard ingest totals sum to %g, total %g", shardSum, total)
 	}
 
-	// Ingest after drain is refused.
-	resp, err = http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w zz 1 0 1\n"))
+	// Ingest after drain is refused: 409 with the "draining" code.
+	status, reject := postIngest(t, ts.URL, "w zz 1 0 1\n")
+	if status != http.StatusConflict || reject.Code != "draining" {
+		t.Fatalf("ingest after drain: %d %+v, want 409 draining", status, reject)
+	}
+}
+
+// postIngest posts one body and decodes the reject envelope (zero-valued on
+// success).
+func postIngest(t *testing.T, base, body string) (int, IngestReject) {
+	t.Helper()
+	resp, err := http.Post(base+"/ingest", "text/plain", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("ingest after drain: %s, want 503", resp.Status)
+	defer resp.Body.Close()
+	var reject IngestReject
+	if resp.StatusCode != http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&reject); err != nil {
+			t.Fatalf("reject body of %s did not decode: %v", resp.Status, err)
+		}
 	}
+	return resp.StatusCode, reject
 }
 
 // statusSansViolation normalizes the pointer field for struct comparison.
 func statusSansViolation(ks KeyStatus) KeyStatus {
 	ks.Violation = nil
 	return ks
+}
+
+// TestDurableServerCrashRestart runs a durable server over an in-memory
+// crash-imaged filesystem: ingest over HTTP (with a mid-stream checkpoint),
+// cut the disk at a byte boundary, restart a second server from the image,
+// and require its drained verdicts to be a per-key-prefix-consistent
+// subset verified against a fresh in-memory server fed the same text. Also
+// pins the durability metrics names into /metrics.
+func TestDurableServerCrashRestart(t *testing.T) {
+	tr, text := buildTrace(t, 4, 60, 0.4)
+	_ = tr
+	mem := faultfs.NewMem()
+	mgr, err := checkpoint.Open(mem, "data", checkpoint.Config{Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, rs, err := NewDurable(Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 1}}, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.CheckpointEpoch != -1 {
+		t.Fatalf("cold start restored a checkpoint: %+v", rs)
+	}
+	ts := httptest.NewServer(srv.Handler())
+
+	lines := strings.SplitAfter(strings.TrimSuffix(text, "\n"), "\n")
+	third := len(lines) / 3
+	chunks := []string{strings.Join(lines[:third], ""), strings.Join(lines[third : 2*third], ""), strings.Join(lines[2*third:], "")}
+	for i, chunk := range chunks {
+		if status, reject := postIngest(t, ts.URL, chunk); status != http.StatusOK {
+			t.Fatalf("ingest chunk %d: %d %+v", i, status, reject)
+		}
+		if i == 0 {
+			if err := mgr.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Durability metrics are exported and live.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, frag := range []string{
+		"kavserve_wal_fsyncs_total", "kavserve_wal_fsync_seconds_total",
+		"kavserve_wal_appended_records_total", "kavserve_wal_appended_bytes_total",
+		"kavserve_wal_rotations_total 1", "kavserve_checkpoints_total 1",
+		"kavserve_recovery_replayed_ops_total", "kavserve_spilled_ops",
+	} {
+		if !strings.Contains(string(mbody), frag) {
+			t.Fatalf("durable metrics missing %q:\n%s", frag, mbody)
+		}
+	}
+	ts.Close()
+	mgr.Close()
+
+	// Crash: keep 80% of the written bytes; the tail (late WAL records) is
+	// torn away mid-record.
+	img := mem.CrashImage(mem.TotalWriteBytes() * 4 / 5)
+	mgr2, err := checkpoint.Open(img, "data", checkpoint.Config{Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	srv2, rs2, err := NewDurable(Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 1}}, mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.CheckpointEpoch < 0 {
+		t.Fatalf("restart found no checkpoint: %+v", rs2)
+	}
+	if err := srv2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := srv2.Verdict()
+
+	// Reference: an in-memory server fed exactly the recovered per-key
+	// prefixes of the original text, in order.
+	perKey := map[string][]string{}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		perKey[f[1]] = append(perKey[f[1]], line)
+	}
+	ref := New(Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 1}})
+	for _, ks := range recovered.Keys {
+		pfx := perKey[ks.Key]
+		if ks.Ops > len(pfx) {
+			t.Fatalf("key %s recovered %d ops, only %d sent", ks.Key, ks.Ops, len(pfx))
+		}
+		for _, line := range pfx[:ks.Ops] {
+			if _, err := ref.sess.AppendTrace(strings.NewReader(line)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Verdict()
+	if len(recovered.Keys) != len(want.Keys) {
+		t.Fatalf("recovered %d keys, reference %d", len(recovered.Keys), len(want.Keys))
+	}
+	for i, ks := range recovered.Keys {
+		if statusSansViolation(ks) != statusSansViolation(want.Keys[i]) {
+			t.Fatalf("recovered verdict diverges:\n got %+v\nwant %+v", ks, want.Keys[i])
+		}
+	}
+}
+
+// TestDurableServerDrainedRestart drains a durable server, publishes the
+// terminal checkpoint, and restarts: the new server must come up already
+// drained, serve the same final verdicts, and 409 all ingest.
+func TestDurableServerDrainedRestart(t *testing.T) {
+	_, text := buildTrace(t, 3, 40, 0.3)
+	mem := faultfs.NewMem()
+	mgr, err := checkpoint.Open(mem, "data", checkpoint.Config{Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := NewDurable(Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 1}}, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.sess.AppendTrace(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Checkpoint(); err != nil {
+		t.Fatalf("terminal checkpoint: %v", err)
+	}
+	want := srv.Verdict()
+	mgr.Close()
+
+	mgr2, err := checkpoint.Open(mem, "data", checkpoint.Config{Policy: wal.SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	srv2, rs, err := NewDurable(Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 1}}, mgr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ReplayedOps != 0 {
+		t.Fatalf("drained restart replayed ops: %+v", rs)
+	}
+	got := srv2.Verdict()
+	if !got.Drained {
+		t.Fatal("drained restart not marked drained")
+	}
+	if len(got.Keys) != len(want.Keys) {
+		t.Fatalf("drained restart has %d keys, want %d", len(got.Keys), len(want.Keys))
+	}
+	for i := range got.Keys {
+		if statusSansViolation(got.Keys[i]) != statusSansViolation(want.Keys[i]) {
+			t.Fatalf("drained restart verdict diverges:\n got %+v\nwant %+v", got.Keys[i], want.Keys[i])
+		}
+	}
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+	status, reject := postIngest(t, ts.URL, "w zz 1 0 1\n")
+	if status != http.StatusConflict || reject.Code != "draining" {
+		t.Fatalf("ingest into drained restart: %d %+v, want 409 draining", status, reject)
+	}
 }
 
 func TestIngestErrors(t *testing.T) {
@@ -209,44 +394,92 @@ func TestIngestErrors(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	// Malformed line: 400, but preceding ops were ingested.
-	resp, err := http.Post(ts.URL+"/ingest", "text/plain",
-		strings.NewReader("w a 1 0 1\nnot a trace line\n"))
-	if err != nil {
-		t.Fatal(err)
+	// Malformed line: 400 with the "malformed" code, but preceding ops
+	// were ingested and the body says so.
+	status, reject := postIngest(t, ts.URL, "w a 1 0 1\nnot a trace line\n")
+	if status != http.StatusBadRequest || reject.Code != "malformed" {
+		t.Fatalf("malformed ingest: %d %+v, want 400 malformed", status, reject)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed ingest: %s (%s), want 400", resp.Status, body)
-	}
-	if !strings.Contains(string(body), "ingested 1 operations") {
-		t.Fatalf("error body should report the partial ingest: %s", body)
+	if reject.Ingested != 1 {
+		t.Fatalf("reject body should report the partial ingest: %+v", reject)
 	}
 
-	// Out-of-order arrival: 409, and the session error is sticky.
+	// Out-of-order arrival: 409 "out_of_order", and the session error is
+	// sticky.
 	for _, line := range []string{"w a 2 10 11\n", "w a 3 30 31\n"} {
-		resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(line))
-		if err != nil {
-			t.Fatal(err)
+		if status, reject := postIngest(t, ts.URL, line); status != http.StatusOK {
+			t.Fatalf("in-order ingest rejected: %d %+v", status, reject)
 		}
-		resp.Body.Close()
 	}
-	resp, err = http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w a 4 5 6\n"))
+	status, reject = postIngest(t, ts.URL, "w a 4 5 6\n")
+	if status != http.StatusConflict || reject.Code != "out_of_order" {
+		t.Fatalf("out-of-order ingest: %d %+v, want 409 out_of_order", status, reject)
+	}
+	status, reject = postIngest(t, ts.URL, "w a 5 100 101\n")
+	if status != http.StatusConflict || reject.Code != "out_of_order" {
+		t.Fatalf("ingest after sticky error: %d %+v, want 409 out_of_order", status, reject)
+	}
+}
+
+// TestIngestOverloadShedding drives the upfront overload gate: once live
+// buffered operations reach Config.OverloadOps, /ingest sheds with 503 +
+// Retry-After + {"code":"overload"} without reading the body, and accepts
+// again once verification drains the backlog (here: after Drain).
+func TestIngestOverloadShedding(t *testing.T) {
+	srv := New(Config{
+		OverloadOps: 4,
+		// A huge MinSegmentOps keeps every op buffered in the open window,
+		// so the gate trips deterministically.
+		Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1 << 20},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var body strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&body, "w a %d %d %d\n", i+1, i*2, i*2+1)
+	}
+	if status, reject := postIngest(t, ts.URL, body.String()); status != http.StatusOK {
+		t.Fatalf("first ingest: %d %+v", status, reject)
+	}
+
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w a 9 100 101\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("out-of-order ingest: %s, want 409", resp.Status)
-	}
-	resp, err = http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w a 5 100 101\n"))
-	if err != nil {
+	var reject IngestReject
+	if err := json.NewDecoder(resp.Body).Decode(&reject); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("ingest after sticky error: %s, want 409", resp.Status)
+	if resp.StatusCode != http.StatusServiceUnavailable || reject.Code != "overload" {
+		t.Fatalf("overloaded ingest: %s %+v, want 503 overload", resp.Status, reject)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 overload without Retry-After")
+	}
+	if reject.Ingested != 0 {
+		t.Fatalf("overload shed after accepting ops: %+v", reject)
+	}
+
+	// The shed request lost nothing: the producer can resend the same
+	// batch once the backlog clears.
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	doc := srv.Verdict()
+	if len(doc.Keys) != 1 || doc.Keys[0].Ops != 8 {
+		t.Fatalf("unexpected post-shed state: %+v", doc.Keys)
+	}
+	// Metrics record the shed by reason.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), `kavserve_ingest_rejected_total{reason="overload"} 1`) {
+		t.Fatalf("metrics missing overload shed counter:\n%s", mbody)
 	}
 }
 

@@ -63,6 +63,7 @@ type batchScratch struct {
 	starts []int32             // counting-sort cursor, one per shard
 	order  []int32             // op indices grouped by shard
 	seg    int                 // running segment counter for parse errors
+	wal    []byte              // write-ahead encoding of one shard group
 	// kops aliases AppendBatch's input for the duration of one call, so the
 	// cached feed closure can reach it without a per-call capture.
 	kops []KeyedOp
@@ -70,10 +71,13 @@ type batchScratch struct {
 	// would allocate on every batch, breaking the zero-alloc hot path.
 	// collect appends one parsed op into ops/keys (AppendTraceBatch);
 	// feedKeyed / feedBytes hand op i to the engine for the two input
-	// forms, both called by feedGrouped under the op's shard lock.
+	// forms, both called by feedGrouped under the op's shard lock;
+	// encKeyed / encBytes append op i's write-ahead text to sc.wal.
 	collect   func(key []byte, op history.Operation) error
 	feedKeyed func(sh *ingestShard, i int32) error
 	feedBytes func(sh *ingestShard, i int32) error
+	encKeyed  func(i int32)
+	encBytes  func(i int32)
 }
 
 func (s *Session) getScratch() *batchScratch {
@@ -95,10 +99,14 @@ func (s *Session) putScratch(sc *batchScratch) {
 // acquisition: gate recheck under the lock, settleAdd per operation, and
 // the sticky-error unwind — the one copy of the locking discipline both
 // batch entry points share. add hands operation i to the engine (the two
-// input forms differ only there). Returns the operations actually appended
-// and the first error.
-func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int32) error) (int, error) {
+// input forms differ only there); enc, when a ShardLogger is attached,
+// appends op i's write-ahead text to sc.wal, and the shard's accepted
+// prefix is logged before the lock releases — on the error exits too, so
+// the log never misses an operation the engine admitted. Returns the
+// operations actually appended and the first error.
+func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int32) error, enc func(i int32)) (int, error) {
 	appended := 0
+	logger := s.shardLogger()
 	var start int32
 	for si, sh := range s.e.shards {
 		cnt := sc.counts[si]
@@ -112,12 +120,27 @@ func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int3
 			sh.mu.Unlock()
 			return appended, err
 		}
+		if logger != nil {
+			sc.wal = sc.wal[:0]
+		}
 		for _, i := range group {
 			ok, err := s.settleAdd(add(sh, i))
 			if ok {
 				appended++
+				if logger != nil {
+					enc(i)
+				}
 			}
 			if err != nil {
+				if logger != nil {
+					s.logShard(logger, si, sc.wal) // accepted prefix; err already sticky
+				}
+				sh.mu.Unlock()
+				return appended, err
+			}
+		}
+		if logger != nil {
+			if err := s.logShard(logger, si, sc.wal); err != nil {
 				sh.mu.Unlock()
 				return appended, err
 			}
@@ -191,8 +214,17 @@ func (s *Session) AppendBatch(ops []KeyedOp) (int, error) {
 		sc.feedKeyed = func(sh *ingestShard, i int32) error {
 			return s.e.addStringIn(sh, sc.kops[i].Key, sc.kops[i].Op)
 		}
+		sc.encKeyed = func(i int32) {
+			sc.wal = appendKeyedOpText(sc.wal, sc.kops[i].Key, sc.kops[i].Op)
+		}
 	}
-	return s.feedGrouped(sc, sc.feedKeyed)
+	appended, err := s.feedGrouped(sc, sc.feedKeyed, sc.encKeyed)
+	if logger := s.shardLogger(); logger != nil {
+		if cerr := s.commitLog(logger); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return appended, err
 }
 
 // AppendTraceBatch streams the keyed text format from r into the session in
@@ -207,7 +239,21 @@ func (s *Session) AppendBatch(ops []KeyedOp) (int, error) {
 // exactly like Append's; parse and reader errors reject only this request,
 // as on the op-granular AppendTrace path, where a malformed line aborts the
 // read before touching session state.
+//
+// When a ShardLogger is attached, the call is also the group-commit unit:
+// accepted operations log shard-by-shard as chunks feed, and the logger
+// commits once before the call returns — on the error exits too.
 func (s *Session) AppendTraceBatch(r io.Reader) (int64, error) {
+	n, err := s.appendTraceBatch(r)
+	if logger := s.shardLogger(); logger != nil {
+		if cerr := s.commitLog(logger); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return n, err
+}
+
+func (s *Session) appendTraceBatch(r io.Reader) (int64, error) {
 	if err := s.gate(); err != nil {
 		return 0, err
 	}
@@ -323,8 +369,11 @@ func (s *Session) ingestChunk(sc *batchScratch, data []byte) (int, error) {
 		sc.feedBytes = func(sh *ingestShard, i int32) error {
 			return s.e.addIn(sh, sc.keys[i], sc.ops[i])
 		}
+		sc.encBytes = func(i int32) {
+			sc.wal = appendKeyedOpText(sc.wal, sc.keys[i], sc.ops[i])
+		}
 	}
-	appended, err := s.feedGrouped(sc, sc.feedBytes)
+	appended, err := s.feedGrouped(sc, sc.feedBytes, sc.encBytes)
 	if err != nil {
 		return appended, err
 	}

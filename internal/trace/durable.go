@@ -1,0 +1,615 @@
+package trace
+
+// Durability hooks for push-driven sessions.
+//
+// Three seams, all optional and all zero-cost when unused:
+//
+//   - ShardLogger: the ingest paths re-encode every *accepted* operation in
+//     the keyed text format and hand each shard's group to the logger under
+//     that shard's ingest lock, so per-shard log order is exactly per-shard
+//     ingest order. Replaying a shard's payloads through AppendTraceBatch
+//     reproduces the session state — keys re-route by hash on replay, so
+//     the ingest shard count may change across restarts.
+//
+//   - BlobStore + StreamOptions.SpillThresholdOps: segment spill-to-disk.
+//     Open windows larger than the threshold spill their accumulated prefix
+//     (the value index, write count, and max-finish stay in memory — those
+//     are all the cut rules need), and closed segments above the threshold
+//     spill while they wait out the dispatch horizon. Spilled operations
+//     are reloaded at the point they are next needed: when the window
+//     closes, when a backward-reaching read merges a deque segment, or when
+//     a segment dispatches to verification. Ingest memory for a
+//     never-quiescing window is thereby bounded by the threshold; the
+//     eventual close (or Flush) pays a transient reload of the whole
+//     segment, which verification materializes anyway.
+//
+//   - Checkpoint / RestoreCheckpoint: an exact snapshot of the per-key
+//     accumulators and verdicts at a frozen instant. Freezing takes every
+//     shard lock and waits out in-flight verification (workers never take
+//     shard locks, so the wait cannot deadlock), which makes the snapshot a
+//     safe cut across every key simultaneously: restoring it into a fresh
+//     session and replaying the operations ingested after the freeze yields
+//     verdicts identical to the uninterrupted run — the segment-equivalence
+//     lemma again, applied at recovery time.
+//
+// Operation IDs are not preserved across spill or checkpoint: the verifiers
+// re-Prepare every segment (sorting and reassigning IDs), so identities
+// are verdict-neutral and reloaded operations simply renumber from zero.
+//
+// Keys are round-tripped through the keyed text format, so durable sessions
+// require keys without whitespace, ';', or '#' — the same alphabet the
+// trace grammar can express. Everything arriving via parsed ingest
+// satisfies this by construction.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"kat/internal/history"
+)
+
+// ShardLogger receives the write-ahead copy of accepted operations.
+// LogShardBatch is called with the shard's ingest lock held — one call per
+// (ingest call, shard) pair covering that call's accepted operations for
+// the shard, encoded in the keyed text format. Commit is called once per
+// ingest call after all locks are released; under a batch-fsync policy this
+// is the group-commit point. Errors from either become the session's sticky
+// ingest error.
+type ShardLogger interface {
+	LogShardBatch(shard int, encoded []byte) error
+	Commit() error
+}
+
+// BlobStore stores spilled segment payloads. Put returns a non-zero id;
+// Get returns the stored bytes; Del discards them. Implementations must be
+// safe for concurrent use by different keys.
+type BlobStore interface {
+	Put(data []byte) (uint64, error)
+	Get(id uint64) ([]byte, error)
+	Del(id uint64) error
+}
+
+// loggerBox wraps a ShardLogger for atomic.Pointer storage.
+type loggerBox struct{ l ShardLogger }
+
+// SetShardLogger attaches the write-ahead logger. Attach it before
+// concurrent ingest begins (recovery replays first, then attaches, so
+// replayed operations are not re-logged).
+func (s *Session) SetShardLogger(l ShardLogger) {
+	if l == nil {
+		s.logger.Store(nil)
+		return
+	}
+	s.logger.Store(&loggerBox{l: l})
+}
+
+func (s *Session) shardLogger() ShardLogger {
+	if b := s.logger.Load(); b != nil {
+		return b.l
+	}
+	return nil
+}
+
+// DurabilityError marks an ingest failure caused by the write-ahead logger
+// (the storage beneath the session) rather than by the input stream, so
+// serving layers can report it as a server-side fault instead of a client
+// error. Matched with errors.As; Unwrap exposes the underlying cause.
+type DurabilityError struct{ Err error }
+
+func (e *DurabilityError) Error() string { return e.Err.Error() }
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
+// logShard hands one shard's accepted-op encoding to the logger (shard lock
+// held by the caller) and stickies any failure.
+func (s *Session) logShard(l ShardLogger, shard int, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if err := l.LogShardBatch(shard, buf); err != nil {
+		werr := &DurabilityError{err}
+		s.err.CompareAndSwap(nil, &stickyIngestErr{werr})
+		return werr
+	}
+	return nil
+}
+
+// commitLog runs the logger's group-commit point and stickies any failure.
+func (s *Session) commitLog(l ShardLogger) error {
+	if err := l.Commit(); err != nil {
+		werr := &DurabilityError{err}
+		s.err.CompareAndSwap(nil, &stickyIngestErr{werr})
+		return werr
+	}
+	return nil
+}
+
+// Flushed reports whether the session was drained by Flush.
+func (s *Session) Flushed() bool { return s.flushed.Load() }
+
+// SpilledOps returns the number of operations currently resident in the
+// spill store instead of memory. Lock-free.
+func (s *Session) SpilledOps() int64 { return s.e.onDisk.Load() }
+
+// appendKeyedOpText appends the keyed text form of one operation —
+// "kind key value start finish[ weight=N][ client=N]\n" — the same grammar
+// parseKeyedOp reads, so WAL payloads, spill blobs, and checkpoint segment
+// bodies all round-trip through the one parser. Generic over the key view
+// so the zero-copy byte paths don't materialize a string.
+func appendKeyedOpText[K string | []byte](buf []byte, key K, op history.Operation) []byte {
+	if op.IsWrite() {
+		buf = append(buf, 'w', ' ')
+	} else {
+		buf = append(buf, 'r', ' ')
+	}
+	buf = append(buf, key...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, op.Value, 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, op.Start, 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, op.Finish, 10)
+	if op.Weight > 1 {
+		buf = append(buf, " weight="...)
+		buf = strconv.AppendInt(buf, op.Weight, 10)
+	}
+	if op.Client != 0 {
+		buf = append(buf, " client="...)
+		buf = strconv.AppendInt(buf, int64(op.Client), 10)
+	}
+	return append(buf, '\n')
+}
+
+// appendOpsText encodes a run of operations in keyed text form.
+func appendOpsText(buf []byte, key string, ops []history.Operation) []byte {
+	for _, op := range ops {
+		buf = appendKeyedOpText(buf, key, op)
+	}
+	return buf
+}
+
+// parseOpsText decodes a keyed-text payload back into operations, IDs
+// renumbered from base. The keys inside the payload are ignored (spill and
+// checkpoint blobs are single-key by construction).
+func parseOpsText(data []byte, base int) ([]history.Operation, error) {
+	var ops []history.Operation
+	seg := 0
+	for len(data) > 0 {
+		line := data
+		if j := indexByte(data, '\n'); j >= 0 {
+			line, data = data[:j], data[j+1:]
+		} else {
+			data = nil
+		}
+		if err := parseLineOps(line, &seg, func(_ []byte, op history.Operation) error {
+			op.ID = base + len(ops)
+			ops = append(ops, op)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return ops, nil
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---- spill ----
+
+// totalOpen is the open window's full size: spilled prefix + in-memory tail.
+func (ks *keyState) totalOpen() int { return ks.spillOpenOps + len(ks.open) }
+
+// spillOpenTail moves the in-memory open-window tail to the blob store. The
+// value index, write count, and max finish stay — they are everything the
+// cut rules consult before the window closes.
+func (e *engine) spillOpenTail(ks *keyState) error {
+	n := len(ks.open)
+	if n == 0 {
+		return nil
+	}
+	buf := e.spillBuf(n)
+	buf = appendOpsText(buf[:0], ks.key, ks.open)
+	id, err := e.store.Put(buf)
+	e.spillBufs.Put(buf)
+	if err != nil {
+		return fmt.Errorf("trace: spill open window of key %q: %w", ks.key, err)
+	}
+	ks.spillOpen = append(ks.spillOpen, id)
+	ks.spillOpenOps += n
+	e.bufPool.Put(ks.open[:0])
+	ks.open = nil
+	e.accountSpill(ks, n)
+	return nil
+}
+
+// spillSeg moves one closed segment's operations to the blob store.
+func (e *engine) spillSeg(ks *keyState, seg *closedSeg) error {
+	n := len(seg.ops)
+	buf := e.spillBuf(n)
+	buf = appendOpsText(buf[:0], ks.key, seg.ops)
+	id, err := e.store.Put(buf)
+	e.spillBufs.Put(buf)
+	if err != nil {
+		return fmt.Errorf("trace: spill segment of key %q: %w", ks.key, err)
+	}
+	seg.spill = id
+	e.bufPool.Put(seg.ops[:0])
+	seg.ops = nil
+	e.accountSpill(ks, n)
+	return nil
+}
+
+// unspill loads a spilled closed segment back into memory (Get + Del).
+func (e *engine) unspill(ks *keyState, seg *closedSeg) error {
+	if seg.spill == 0 {
+		return nil
+	}
+	data, err := e.store.Get(seg.spill)
+	if err != nil {
+		return fmt.Errorf("trace: load spilled segment of key %q: %w", ks.key, err)
+	}
+	ops, err := parseOpsText(data, 0)
+	if err != nil {
+		return fmt.Errorf("trace: decode spilled segment of key %q: %w", ks.key, err)
+	}
+	e.store.Del(seg.spill)
+	seg.spill = 0
+	seg.ops = ops
+	e.accountLoad(ks, len(ops))
+	return nil
+}
+
+// reloadOpen restores the open window's spilled prefix ahead of the
+// in-memory tail (the close path needs the whole window).
+func (e *engine) reloadOpen(ks *keyState) error {
+	if len(ks.spillOpen) == 0 {
+		return nil
+	}
+	var ops []history.Operation
+	for _, id := range ks.spillOpen {
+		data, err := e.store.Get(id)
+		if err != nil {
+			return fmt.Errorf("trace: load spilled window of key %q: %w", ks.key, err)
+		}
+		chunk, err := parseOpsText(data, len(ops))
+		if err != nil {
+			return fmt.Errorf("trace: decode spilled window of key %q: %w", ks.key, err)
+		}
+		ops = append(ops, chunk...)
+		e.store.Del(id)
+	}
+	for _, op := range ks.open {
+		op.ID = len(ops)
+		ops = append(ops, op)
+	}
+	if ks.open != nil {
+		e.bufPool.Put(ks.open[:0])
+	}
+	loaded := ks.spillOpenOps
+	ks.open = ops
+	ks.spillOpen = nil
+	ks.spillOpenOps = 0
+	e.accountLoad(ks, loaded)
+	return nil
+}
+
+func (e *engine) accountSpill(ks *keyState, n int) {
+	ks.sh.buffered.Add(int64(-n))
+	e.buffered.Add(int64(-n))
+	e.onDisk.Add(int64(n))
+	e.spills.Add(1)
+	e.opsSpilled.Add(int64(n))
+}
+
+func (e *engine) accountLoad(ks *keyState, n int) {
+	ks.sh.buffered.Add(int64(n))
+	cur := e.buffered.Add(int64(n))
+	atomicMax(&e.peakBuffered, cur)
+	e.onDisk.Add(int64(-n))
+	e.spillLoads.Add(1)
+}
+
+// spillBuf hands out a reusable encode buffer sized for n operations.
+func (e *engine) spillBuf(n int) []byte {
+	if b, ok := e.spillBufs.Get().([]byte); ok && b != nil {
+		return b
+	}
+	return make([]byte, 0, 32*n)
+}
+
+// ---- checkpoint ----
+
+// SegmentState is one held (closed, undispatched) segment in a checkpoint.
+type SegmentState struct {
+	LoSeq  int    `json:"lo"`
+	HiSeq  int    `json:"hi"`
+	Writes int    `json:"writes"`
+	Ops    string `json:"ops"` // keyed text
+}
+
+// KeyState is one register's full accumulator + verdict state at the
+// checkpoint freeze.
+type KeyState struct {
+	Key               string     `json:"key"`
+	Seq               int        `json:"seq"`
+	Ops               int        `json:"ops"`
+	Open              string     `json:"open,omitempty"` // keyed text
+	OpenMaxFinish     int64      `json:"openMaxFinish,omitempty"`
+	MaxClosedFinish   int64      `json:"maxClosedFinish"`
+	ClosedAny         bool       `json:"closedAny,omitempty"`
+	Deque             []SegmentState `json:"deque,omitempty"`
+	DispatchedThrough int        `json:"dispatched"`
+	Values            [][2]int64 `json:"values,omitempty"` // (value, writer seq)
+	CumWrites         []int64    `json:"cumWrites,omitempty"`
+	TotalClosed       int64      `json:"totalClosed,omitempty"`
+	Atomic            bool       `json:"atomic"`
+	Err               string     `json:"err,omitempty"`
+	ErrSeq            int        `json:"errSeq,omitempty"`
+	MaxK              int        `json:"maxK,omitempty"`
+	KFloor            int        `json:"kFloor,omitempty"`
+	Saturated         bool       `json:"saturated,omitempty"`
+}
+
+// CarriedStats are the monotonic counters a checkpoint carries forward so a
+// recovered session's Stats continue rather than reset.
+type CarriedStats struct {
+	Segments        int64 `json:"segments,omitempty"`
+	Merges          int64 `json:"merges,omitempty"`
+	StaleReads      int64 `json:"staleReads,omitempty"`
+	PeakBufferedOps int64 `json:"peakBuffered,omitempty"`
+	FirstVerdictOps int64 `json:"firstVerdict,omitempty"`
+	Spills          int64 `json:"spills,omitempty"`
+	OpsSpilled      int64 `json:"opsSpilled,omitempty"`
+	SpillLoads      int64 `json:"spillLoads,omitempty"`
+}
+
+// SessionCheckpoint is an exact snapshot of a frozen session.
+type SessionCheckpoint struct {
+	Mode      string       `json:"mode"` // "check" | "smallestk"
+	K         int          `json:"k,omitempty"`
+	Threshold int          `json:"threshold"`
+	Flushed   bool         `json:"flushed,omitempty"`
+	Stopped   bool         `json:"stopped,omitempty"`
+	Err       string       `json:"err,omitempty"`
+	Stats     CarriedStats `json:"stats"`
+	Keys      []KeyState   `json:"keys"`
+}
+
+func modeName(m streamMode) string {
+	if m == modeCheck {
+		return "check"
+	}
+	return "smallestk"
+}
+
+// Checkpoint snapshots the session at a frozen instant: every shard lock is
+// held (no append can land), in-flight verification has drained (every
+// verdict is folded in), and — while still frozen — the frozen callback
+// runs, which is where the caller rotates its write-ahead log so that the
+// snapshot covers exactly the operations of the log epochs before the
+// rotation. Spilled operations are read back (without consuming them) and
+// inlined. Safe to call on a flushed session (the drain's final state
+// snapshots with Flushed set).
+func (s *Session) Checkpoint(frozen func() error) (*SessionCheckpoint, error) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	for _, sh := range s.e.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for i := len(s.e.shards) - 1; i >= 0; i-- {
+			s.e.shards[i].mu.Unlock()
+		}
+	}()
+	// Workers never take shard locks, so waiting out in-flight segments
+	// while frozen cannot deadlock; producers blocked on our locks hold no
+	// semaphore slots the workers need to finish.
+	s.e.wg.Wait()
+	if frozen != nil {
+		if err := frozen(); err != nil {
+			return nil, err
+		}
+	}
+	return s.buildCheckpoint()
+}
+
+func (s *Session) buildCheckpoint() (*SessionCheckpoint, error) {
+	e := s.e
+	cp := &SessionCheckpoint{
+		Mode:      modeName(e.mode),
+		K:         e.k,
+		Threshold: e.threshold,
+		Flushed:   s.flushed.Load(),
+		Stopped:   e.stopped.Load(),
+		Stats: CarriedStats{
+			Segments:        e.segments.Load(),
+			Merges:          e.merges.Load(),
+			StaleReads:      e.staleReads.Load(),
+			PeakBufferedOps: e.peakBuffered.Load(),
+			FirstVerdictOps: e.firstVerdict.Load(),
+			Spills:          e.spills.Load(),
+			OpsSpilled:      e.opsSpilled.Load(),
+			SpillLoads:      e.spillLoads.Load(),
+		},
+	}
+	if err := s.stickyErr(); err != nil {
+		cp.Err = err.Error()
+	}
+	var buf []byte
+	for _, sh := range e.shards {
+		for _, ks := range sh.keys {
+			st := KeyState{
+				Key:               ks.key,
+				Seq:               ks.seq,
+				Ops:               ks.ops,
+				OpenMaxFinish:     ks.openMaxFinish,
+				MaxClosedFinish:   ks.maxClosedFinish,
+				ClosedAny:         ks.closedAny,
+				DispatchedThrough: ks.dispatchedThrough,
+				CumWrites:         ks.cumWrites,
+				TotalClosed:       ks.totalClosed,
+			}
+			// Open window: spilled prefix (read back, not consumed) + tail.
+			buf = buf[:0]
+			for _, id := range ks.spillOpen {
+				data, err := e.store.Get(id)
+				if err != nil {
+					return nil, fmt.Errorf("trace: checkpoint read spilled window of %q: %w", ks.key, err)
+				}
+				buf = append(buf, data...)
+			}
+			buf = appendOpsText(buf, ks.key, ks.open)
+			if len(buf) > 0 {
+				st.Open = string(buf)
+			}
+			for _, seg := range ks.deque {
+				ss := SegmentState{LoSeq: seg.loSeq, HiSeq: seg.hiSeq, Writes: seg.writes}
+				if seg.spill != 0 {
+					data, err := e.store.Get(seg.spill)
+					if err != nil {
+						return nil, fmt.Errorf("trace: checkpoint read spilled segment of %q: %w", ks.key, err)
+					}
+					ss.Ops = string(data)
+				} else {
+					buf = appendOpsText(buf[:0], ks.key, seg.ops)
+					ss.Ops = string(buf)
+				}
+				st.Deque = append(st.Deque, ss)
+			}
+			if len(ks.values) > 0 {
+				st.Values = make([][2]int64, 0, len(ks.values))
+				for v, seq := range ks.values {
+					st.Values = append(st.Values, [2]int64{v, int64(seq)})
+				}
+			}
+			ks.mu.Lock()
+			st.Atomic = ks.atomic
+			if ks.err != nil {
+				st.Err = ks.err.Error()
+				st.ErrSeq = ks.errSeq
+			}
+			st.MaxK = ks.maxK
+			st.KFloor = ks.kFloor
+			st.Saturated = ks.saturated
+			ks.mu.Unlock()
+			cp.Keys = append(cp.Keys, st)
+		}
+	}
+	return cp, nil
+}
+
+// RestoreCheckpoint loads a checkpoint into a fresh session. It must run
+// before any append (and before SetShardLogger, so restored state is not
+// re-logged). The session's mode, k, and threshold must match the
+// checkpoint's — the horizon participates in dispatch decisions, so a
+// changed threshold would not reproduce the original run. The ingest shard
+// count may differ: keys re-route by hash.
+func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
+	e := s.e
+	if e.opsIngested() != 0 || e.keyCount.Load() != 0 {
+		return errors.New("trace: RestoreCheckpoint on a session that already ingested")
+	}
+	if got := modeName(e.mode); got != cp.Mode {
+		return fmt.Errorf("trace: checkpoint mode %q does not match session mode %q", cp.Mode, got)
+	}
+	if e.mode == modeCheck && e.k != cp.K {
+		return fmt.Errorf("trace: checkpoint k=%d does not match session k=%d", cp.K, e.k)
+	}
+	if e.threshold != cp.Threshold {
+		return fmt.Errorf("trace: checkpoint horizon %d does not match session horizon %d (restart with the original -horizon)", cp.Threshold, e.threshold)
+	}
+	for _, st := range cp.Keys {
+		sh := e.shards[e.shardIndex(st.Key)]
+		if _, dup := sh.keys[st.Key]; dup {
+			return fmt.Errorf("trace: checkpoint repeats key %q", st.Key)
+		}
+		ks := e.newKey(sh, st.Key)
+		ks.seq = st.Seq
+		ks.ops = st.Ops
+		ks.openMaxFinish = st.OpenMaxFinish
+		ks.maxClosedFinish = st.MaxClosedFinish
+		ks.closedAny = st.ClosedAny
+		ks.dispatchedThrough = st.DispatchedThrough
+		ks.cumWrites = st.CumWrites
+		ks.totalClosed = st.TotalClosed
+		for _, pair := range st.Values {
+			ks.values[pair[0]] = int32(pair[1])
+		}
+		pending := 0
+		if st.Open != "" {
+			ops, err := parseOpsText([]byte(st.Open), 0)
+			if err != nil {
+				return fmt.Errorf("trace: checkpoint open window of %q: %w", st.Key, err)
+			}
+			ks.open = ops
+			for _, op := range ops {
+				if op.IsWrite() {
+					ks.openWrites++
+				}
+			}
+			pending += len(ops)
+		}
+		for _, ss := range st.Deque {
+			ops, err := parseOpsText([]byte(ss.Ops), 0)
+			if err != nil {
+				return fmt.Errorf("trace: checkpoint segment of %q: %w", st.Key, err)
+			}
+			ks.deque = append(ks.deque, closedSeg{
+				loSeq: ss.LoSeq, hiSeq: ss.HiSeq, ops: ops,
+				writes: ss.Writes, nops: len(ops),
+			})
+			ks.dequeWrites += ss.Writes
+			pending += len(ops)
+		}
+		sh.ingested.Add(int64(st.Ops))
+		sh.buffered.Add(int64(pending))
+		e.buffered.Add(int64(pending))
+		if n := int64(len(ks.open)); n > sh.maxOpen.Load() {
+			sh.maxOpen.Store(n)
+		}
+		ks.atomic = st.Atomic
+		if st.Err != "" {
+			ks.err = errors.New(st.Err)
+			ks.errSeq = st.ErrSeq
+		}
+		ks.maxK = st.MaxK
+		ks.kFloor = st.KFloor
+		ks.saturated = st.Saturated
+		if st.Saturated {
+			e.saturatedKeys.Add(1)
+		}
+		bad := ks.err != nil || !ks.atomic
+		if e.mode == modeCheck {
+			ks.settled.Store(bad)
+		} else {
+			ks.settled.Store(ks.err != nil)
+		}
+	}
+	e.segments.Store(cp.Stats.Segments)
+	e.merges.Store(cp.Stats.Merges)
+	e.staleReads.Store(cp.Stats.StaleReads)
+	atomicMax(&e.peakBuffered, cp.Stats.PeakBufferedOps)
+	atomicMax(&e.peakBuffered, e.buffered.Load())
+	e.firstVerdict.Store(cp.Stats.FirstVerdictOps)
+	e.spills.Store(cp.Stats.Spills)
+	e.opsSpilled.Store(cp.Stats.OpsSpilled)
+	e.spillLoads.Store(cp.Stats.SpillLoads)
+	if cp.Stopped {
+		e.stopped.Store(true)
+		e.stop.Store(true)
+	}
+	if cp.Err != "" {
+		s.err.CompareAndSwap(nil, &stickyIngestErr{errors.New(cp.Err)})
+	}
+	if cp.Flushed {
+		s.flushed.Store(true)
+	}
+	return nil
+}

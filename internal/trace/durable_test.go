@@ -1,0 +1,447 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"kat/internal/core"
+	"kat/internal/history"
+)
+
+// memStore is an in-memory BlobStore for spill tests.
+type memStore struct {
+	mu    sync.Mutex
+	next  uint64
+	blobs map[uint64][]byte
+	puts  int
+	fail  error // when set, Put/Get fail with it
+}
+
+func newMemStore() *memStore { return &memStore{blobs: map[uint64][]byte{}} }
+
+func (m *memStore) Put(data []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return 0, m.fail
+	}
+	m.next++
+	m.blobs[m.next] = append([]byte(nil), data...)
+	m.puts++
+	return m.next, nil
+}
+
+func (m *memStore) Get(id uint64) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail != nil {
+		return nil, m.fail
+	}
+	data, ok := m.blobs[id]
+	if !ok {
+		return nil, fmt.Errorf("memStore: no blob %d", id)
+	}
+	return data, nil
+}
+
+func (m *memStore) Del(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, id)
+	return nil
+}
+
+func (m *memStore) live() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}
+
+// captureLogger is a ShardLogger that accumulates per-shard payloads.
+type captureLogger struct {
+	mu      sync.Mutex
+	shards  map[int][]byte
+	commits int
+	fail    error
+}
+
+func newCaptureLogger() *captureLogger { return &captureLogger{shards: map[int][]byte{}} }
+
+func (c *captureLogger) LogShardBatch(shard int, encoded []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail != nil {
+		return c.fail
+	}
+	c.shards[shard] = append(c.shards[shard], encoded...)
+	return nil
+}
+
+func (c *captureLogger) Commit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fail != nil {
+		return c.fail
+	}
+	c.commits++
+	return nil
+}
+
+// replayText concatenates the captured shards in index order — replay
+// feeds keys back through hash routing, so only per-key (= per-shard
+// suffix) order matters.
+func (c *captureLogger) replayText(nshards int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b bytes.Buffer
+	for s := 0; s < nshards; s++ {
+		b.Write(c.shards[s])
+	}
+	return b.String()
+}
+
+func smallestKOf(t *testing.T, text string, sopts StreamOptions) map[string]int {
+	t.Helper()
+	s := NewSmallestKSession(core.Options{}, sopts)
+	if _, err := s.AppendTraceBatch(strings.NewReader(text)); err != nil {
+		t.Fatalf("feed: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	m, _ := s.SmallestKByKey()
+	return m
+}
+
+// TestShardLoggerReplayEquivalence checks the WAL invariant end to end at
+// the session layer: replaying the logged per-shard payloads through a
+// fresh session reproduces the original verdicts, across all four ingest
+// paths and a different replay shard count.
+func TestShardLoggerReplayEquivalence(t *testing.T) {
+	text := genSessionTrace(11, 5, 120)
+	base := StreamOptions{Workers: 2, MinSegmentOps: 1, IngestShards: 4}
+	want := smallestKOf(t, text, base)
+
+	feed := []struct {
+		name string
+		run  func(t *testing.T, s *Session)
+	}{
+		{"Append", func(t *testing.T, s *Session) { feedPerOp(t, s, text) }},
+		{"AppendTrace", func(t *testing.T, s *Session) {
+			if _, err := s.AppendTrace(strings.NewReader(text)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"AppendTraceBatch", func(t *testing.T, s *Session) {
+			if _, err := s.AppendTraceBatch(strings.NewReader(text)); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"AppendBatch", func(t *testing.T, s *Session) {
+			var kops []KeyedOp
+			err := ParseStream(strings.NewReader(text), func(key string, op history.Operation) error {
+				kops = append(kops, KeyedOp{Key: key, Op: op})
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for len(kops) > 0 {
+				n := min(37, len(kops))
+				if _, err := s.AppendBatch(kops[:n]); err != nil {
+					t.Fatal(err)
+				}
+				kops = kops[n:]
+			}
+		}},
+	}
+	for _, f := range feed {
+		t.Run(f.name, func(t *testing.T) {
+			logger := newCaptureLogger()
+			s := NewSmallestKSession(core.Options{}, base)
+			s.SetShardLogger(logger)
+			f.run(t, s)
+			if err := s.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+			got, _ := s.SmallestKByKey()
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("logged session verdicts differ: %v vs %v", got, want)
+			}
+			if logger.commits == 0 {
+				t.Fatal("logger never committed")
+			}
+			// Replay into a session with a different shard count.
+			replayed := smallestKOf(t, logger.replayText(s.Shards()),
+				StreamOptions{Workers: 2, MinSegmentOps: 1, IngestShards: 7})
+			if fmt.Sprint(replayed) != fmt.Sprint(want) {
+				t.Fatalf("replayed verdicts differ: %v vs %v", replayed, want)
+			}
+		})
+	}
+}
+
+func TestShardLoggerErrorSticky(t *testing.T) {
+	logger := newCaptureLogger()
+	logger.fail = errors.New("disk on fire")
+	s := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 1, IngestShards: 2})
+	s.SetShardLogger(logger)
+	err := s.Append("a", history.Operation{Kind: history.KindWrite, Value: 1, Start: 0, Finish: 1})
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("append err = %v, want logger failure", err)
+	}
+	if err := s.Append("a", history.Operation{Kind: history.KindWrite, Value: 2, Start: 2, Finish: 3}); err == nil {
+		t.Fatal("sticky error did not gate later appends")
+	}
+}
+
+// TestCheckpointRestoreEquivalence cuts a trace at several points, snapshots
+// the session mid-stream, restores into a fresh session (same and different
+// shard counts), feeds the remainder, and requires verdicts identical to an
+// uninterrupted run.
+func TestCheckpointRestoreEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		text := genSessionTrace(seed, 4, 100)
+		lines := strings.SplitAfter(text, "\n")
+		base := StreamOptions{Workers: 2, MinSegmentOps: 1, IngestShards: 4}
+		want := smallestKOf(t, text, base)
+		for _, frac := range []float64{0.1, 0.5, 0.9} {
+			cut := int(float64(len(lines)) * frac)
+			head, tail := strings.Join(lines[:cut], ""), strings.Join(lines[cut:], "")
+
+			s1 := NewSmallestKSession(core.Options{}, base)
+			if _, err := s1.AppendTraceBatch(strings.NewReader(head)); err != nil {
+				t.Fatalf("seed %d cut %v: head: %v", seed, frac, err)
+			}
+			froze := false
+			cp, err := s1.Checkpoint(func() error { froze = true; return nil })
+			if err != nil {
+				t.Fatalf("seed %d cut %v: checkpoint: %v", seed, frac, err)
+			}
+			if !froze {
+				t.Fatal("frozen callback did not run")
+			}
+			// s1 keeps running after the checkpoint — snapshotting must not
+			// disturb it.
+			if _, err := s1.AppendTraceBatch(strings.NewReader(tail)); err != nil {
+				t.Fatalf("seed %d cut %v: s1 tail: %v", seed, frac, err)
+			}
+			if err := s1.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s1.SmallestKByKey(); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("seed %d cut %v: checkpointed session drifted: %v vs %v", seed, frac, got, want)
+			}
+
+			for _, shards := range []int{4, 9} {
+				s2 := NewSmallestKSession(core.Options{},
+					StreamOptions{Workers: 2, MinSegmentOps: 1, IngestShards: shards})
+				if err := s2.RestoreCheckpoint(cp); err != nil {
+					t.Fatalf("seed %d cut %v shards %d: restore: %v", seed, frac, shards, err)
+				}
+				if _, err := s2.AppendTraceBatch(strings.NewReader(tail)); err != nil {
+					t.Fatalf("seed %d cut %v shards %d: tail: %v", seed, frac, shards, err)
+				}
+				if err := s2.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				got, _ := s2.SmallestKByKey()
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("seed %d cut %v shards %d: restored verdicts differ: %v vs %v",
+						seed, frac, shards, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointRestoreGuards(t *testing.T) {
+	s := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 1})
+	cp, err := s.Checkpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, _ := NewCheckSession(2, core.Options{}, StreamOptions{Workers: 1})
+	if err := chk.RestoreCheckpoint(cp); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+	other := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 1, Horizon: cp.Threshold + 1})
+	if err := other.RestoreCheckpoint(cp); err == nil {
+		t.Fatal("horizon mismatch accepted")
+	}
+	used := NewSmallestKSession(core.Options{}, StreamOptions{Workers: 1})
+	used.Append("x", history.Operation{Kind: history.KindWrite, Value: 1, Start: 0, Finish: 1})
+	if err := used.RestoreCheckpoint(cp); err == nil {
+		t.Fatal("restore onto a used session accepted")
+	}
+}
+
+func TestCheckpointOfFlushedSession(t *testing.T) {
+	text := genSessionTrace(3, 3, 60)
+	base := StreamOptions{Workers: 2, MinSegmentOps: 1}
+	want := smallestKOf(t, text, base)
+
+	s := NewSmallestKSession(core.Options{}, base)
+	if _, err := s.AppendTraceBatch(strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Checkpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Flushed {
+		t.Fatal("checkpoint of flushed session not marked Flushed")
+	}
+	s2 := NewSmallestKSession(core.Options{}, base)
+	if err := s2.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Flushed() {
+		t.Fatal("restored session not flushed")
+	}
+	if err := s2.Append("x", history.Operation{Kind: history.KindWrite, Value: 1, Start: 0, Finish: 1}); !errors.Is(err, ErrSessionFlushed) {
+		t.Fatalf("append on restored-flushed session: %v", err)
+	}
+	got, _ := s2.SmallestKByKey()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("restored final verdicts differ: %v vs %v", got, want)
+	}
+}
+
+// TestSpillEquivalence runs the same traces with and without spill-to-disk
+// at an aggressive threshold and requires identical verdicts, real spill
+// traffic, and an empty store at the end.
+func TestSpillEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		text := genSessionTrace(seed, 4, 150)
+		base := StreamOptions{Workers: 2, MinSegmentOps: 1, IngestShards: 2}
+		want := smallestKOf(t, text, base)
+
+		store := newMemStore()
+		sopts := base
+		sopts.Store = store
+		sopts.SpillThresholdOps = 4
+		s := NewSmallestKSession(core.Options{}, sopts)
+		if _, err := s.AppendTraceBatch(strings.NewReader(text)); err != nil {
+			t.Fatalf("seed %d: feed: %v", seed, err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatalf("seed %d: flush: %v", seed, err)
+		}
+		got, stats := s.SmallestKByKey()
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("seed %d: spilled verdicts differ: %v vs %v", seed, got, want)
+		}
+		if stats.Spills == 0 || stats.OpsSpilled == 0 {
+			t.Fatalf("seed %d: no spill traffic (stats %+v)", seed, stats)
+		}
+		if s.SpilledOps() != 0 {
+			t.Fatalf("seed %d: %d ops still on disk after flush", seed, s.SpilledOps())
+		}
+		if store.live() != 0 {
+			t.Fatalf("seed %d: %d blobs leaked", seed, store.live())
+		}
+	}
+}
+
+// TestSpillBoundsOpenWindow feeds one never-quiescing window and checks the
+// in-memory tail stays at the threshold while the full window lands on disk.
+func TestSpillBoundsOpenWindow(t *testing.T) {
+	store := newMemStore()
+	s := NewSmallestKSession(core.Options{}, StreamOptions{
+		Workers: 1, IngestShards: 1, Store: store, SpillThresholdOps: 8,
+	})
+	const n = 200
+	for i := 0; i < n; i++ {
+		// Overlapping intervals: no quiescent instant, the window never cuts.
+		op := history.Operation{Kind: history.KindWrite, Value: int64(i + 1),
+			Start: int64(2 * i), Finish: int64(2*i + 3)}
+		if err := s.Append("hot", op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf := s.BufferedOps(); buf >= n/2 {
+		t.Fatalf("buffered = %d, want bounded well under %d", buf, n)
+	}
+	if disk := s.SpilledOps(); disk < n/2 {
+		t.Fatalf("on disk = %d, want most of %d", disk, n)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.SmallestKByKey()
+	if got["hot"] != 1 {
+		t.Fatalf("hot key k = %d, want 1", got["hot"])
+	}
+	if store.live() != 0 {
+		t.Fatalf("%d blobs leaked", store.live())
+	}
+}
+
+// TestSpillWithCheckpoint exercises both features together: a mid-stream
+// checkpoint with spilled state inlines the spilled ops and restores cleanly.
+func TestSpillWithCheckpoint(t *testing.T) {
+	text := genSessionTrace(7, 3, 120)
+	base := StreamOptions{Workers: 2, MinSegmentOps: 1, IngestShards: 2}
+	want := smallestKOf(t, text, base)
+
+	lines := strings.SplitAfter(text, "\n")
+	cut := len(lines) / 2
+	head, tail := strings.Join(lines[:cut], ""), strings.Join(lines[cut:], "")
+
+	store := newMemStore()
+	sopts := base
+	sopts.Store = store
+	sopts.SpillThresholdOps = 4
+	s := NewSmallestKSession(core.Options{}, sopts)
+	if _, err := s.AppendTraceBatch(strings.NewReader(head)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Checkpoint(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore into a spill-less session: checkpoints inline spilled ops, so
+	// the restored session does not need the original store.
+	s2 := NewSmallestKSession(core.Options{}, base)
+	if err := s2.RestoreCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.AppendTraceBatch(strings.NewReader(tail)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s2.SmallestKByKey()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("restored-from-spilled verdicts differ: %v vs %v", got, want)
+	}
+}
+
+func TestSpillErrorPoisonsSession(t *testing.T) {
+	store := newMemStore()
+	s := NewSmallestKSession(core.Options{}, StreamOptions{
+		Workers: 1, IngestShards: 1, Store: store, SpillThresholdOps: 4,
+	})
+	store.fail = errors.New("spill device gone")
+	var sawErr error
+	for i := 0; i < 20 && sawErr == nil; i++ {
+		op := history.Operation{Kind: history.KindWrite, Value: int64(i + 1),
+			Start: int64(2 * i), Finish: int64(2*i + 3)}
+		sawErr = s.Append("hot", op)
+	}
+	if sawErr == nil || !strings.Contains(sawErr.Error(), "spill device gone") {
+		t.Fatalf("spill failure not surfaced: %v", sawErr)
+	}
+	if err := s.Append("hot", history.Operation{Kind: history.KindWrite, Value: 99, Start: 100, Finish: 101}); err == nil {
+		t.Fatal("session not sticky after spill failure")
+	}
+}

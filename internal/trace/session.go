@@ -79,6 +79,11 @@ type Session struct {
 	// wait for the one drain).
 	flushMu sync.Mutex
 
+	// logger, when set, receives the write-ahead copy of every accepted
+	// operation (see ShardLogger in durable.go). An atomic pointer so the
+	// undurable hot path pays one load and a nil check.
+	logger atomic.Pointer[loggerBox]
+
 	// batchScratches recycles the per-call grouping buffers of the batch
 	// ingest paths, keeping them allocation-free at steady state.
 	batchScratches sync.Pool
@@ -124,16 +129,31 @@ func (s *Session) Append(key string, op history.Operation) error {
 	if err := s.gate(); err != nil {
 		return err
 	}
-	sh := s.e.shards[s.e.shardIndex(key)]
+	logger := s.shardLogger()
+	si := s.e.shardIndex(key)
+	sh := s.e.shards[si]
 	sh.lockIngest()
-	defer sh.mu.Unlock()
 	// Recheck under the lock: Flush sets the flag and then acquires every
 	// shard lock, so an append that saw flushed==false before the drain
 	// must not land after it.
 	if err := s.gate(); err != nil {
+		sh.mu.Unlock()
 		return err
 	}
-	_, err := s.settleAdd(s.e.addStringIn(sh, key, op))
+	ok, err := s.settleAdd(s.e.addStringIn(sh, key, op))
+	if ok && logger != nil {
+		sc := s.getScratch()
+		sc.wal = appendKeyedOpText(sc.wal[:0], key, op)
+		lerr := s.logShard(logger, si, sc.wal)
+		s.putScratch(sc)
+		if lerr != nil && err == nil {
+			err = lerr
+		}
+	}
+	sh.mu.Unlock()
+	if ok && logger != nil && err == nil {
+		err = s.commitLog(logger)
+	}
 	return err
 }
 
@@ -180,11 +200,18 @@ func (s *Session) settleAdd(err error) (accepted bool, _ error) {
 // transactional).
 func (s *Session) AppendTrace(r io.Reader) (int64, error) {
 	var n int64
+	logger := s.shardLogger()
+	var sc *batchScratch
+	if logger != nil {
+		sc = s.getScratch()
+		defer s.putScratch(sc)
+	}
 	err := parseStreamBytes(r, func(key []byte, op history.Operation) error {
 		if err := s.gate(); err != nil {
 			return err
 		}
-		sh := s.e.shards[s.e.shardIndexBytes(key)]
+		si := s.e.shardIndexBytes(key)
+		sh := s.e.shards[si]
 		sh.lockIngest()
 		defer sh.mu.Unlock()
 		if err := s.gate(); err != nil {
@@ -193,9 +220,20 @@ func (s *Session) AppendTrace(r io.Reader) (int64, error) {
 		ok, err := s.settleAdd(s.e.addIn(sh, key, op))
 		if ok {
 			n++
+			if logger != nil {
+				sc.wal = appendKeyedOpText(sc.wal[:0], key, op)
+				if lerr := s.logShard(logger, si, sc.wal); lerr != nil && err == nil {
+					err = lerr
+				}
+			}
 		}
 		return err
 	})
+	if logger != nil {
+		if cerr := s.commitLog(logger); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return n, err
 }
 
@@ -226,8 +264,10 @@ func (s *Session) Flush() error {
 	// consumed prefix StreamCheck would report.
 	if s.e.stopped.Load() {
 		s.e.drain(errStopped)
-	} else {
-		s.e.drain(s.stickyErr())
+	} else if derr := s.e.drain(s.stickyErr()); derr != nil {
+		// A spill reload failing during the drain is this session's first
+		// error — record it so Flush and the reports surface it.
+		s.err.CompareAndSwap(nil, &stickyIngestErr{derr})
 	}
 	for i := len(s.e.shards) - 1; i >= 0; i-- {
 		s.e.shards[i].mu.Unlock()
@@ -361,9 +401,9 @@ func (s *Session) SnapshotKey(key string) (KeyVerdict, bool) {
 // lock (for the parser-side fields), and the verdict fields are read under
 // the key's own lock.
 func keyVerdictOf(ks *keyState) KeyVerdict {
-	pending := len(ks.open)
+	pending := ks.totalOpen()
 	for _, seg := range ks.deque {
-		pending += len(seg.ops)
+		pending += seg.nops
 	}
 	ks.mu.Lock()
 	defer ks.mu.Unlock()

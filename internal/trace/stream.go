@@ -117,6 +117,12 @@ const DefaultIngestShards = 16
 // unreadable.
 const maxIngestShards = 4096
 
+// DefaultSpillThresholdOps is the spill threshold when StreamOptions.Store
+// is set and SpillThresholdOps is zero: large enough that ordinary windows
+// never touch the disk, small enough to bound a runaway window's memory at
+// a few MB of operations.
+const DefaultSpillThresholdOps = 64 << 10
+
 // StreamOptions tunes the streaming engine.
 type StreamOptions struct {
 	// Workers sizes the verification pool; <= 0 uses GOMAXPROCS.
@@ -154,6 +160,18 @@ type StreamOptions struct {
 	// negative (early exit); the report then covers only the consumed
 	// prefix and Stats.Stopped is set.
 	StopOnViolation bool
+	// Store, when non-nil, enables segment spill-to-disk: open windows and
+	// held segments larger than SpillThresholdOps move their operations to
+	// the store and reload only when the cut rules next need them (close,
+	// merge, dispatch), bounding ingest memory for traces whose windows
+	// never quiesce. Verdicts are identical with or without a store (the
+	// verifiers renumber operations anyway); spill I/O errors surface as
+	// ingest errors.
+	Store BlobStore
+	// SpillThresholdOps is the per-key operation count above which an open
+	// window or held segment spills; <= 0 with a non-nil Store uses
+	// DefaultSpillThresholdOps.
+	SpillThresholdOps int
 	// OnSegment, when non-nil, is invoked from verification workers after
 	// each segment verdict. Callbacks may run concurrently.
 	OnSegment func(SegmentVerdict)
@@ -204,6 +222,12 @@ type StreamStats struct {
 	FirstVerdictOps int64
 	// Stopped reports an early exit via StopOnViolation.
 	Stopped bool
+	// Spills / OpsSpilled / SpillLoads count spill-to-disk activity when a
+	// StreamOptions.Store is configured: spill events, cumulative
+	// operations written to the store, and reload events.
+	Spills     int64
+	OpsSpilled int64
+	SpillLoads int64
 }
 
 // ParseStream reads the keyed text format from r and invokes emit for every
@@ -422,11 +446,15 @@ const (
 	modeSmallestK
 )
 
-// closedSeg is a quiescence-closed, not-yet-dispatched segment.
+// closedSeg is a quiescence-closed, not-yet-dispatched segment. When
+// spilled, ops is nil, spill holds the blob id, and nops remembers the
+// operation count (nops == len(ops) while in memory).
 type closedSeg struct {
 	loSeq, hiSeq int
 	ops          []history.Operation
 	writes       int
+	nops         int
+	spill        uint64
 }
 
 // ingestShard is one stripe of the engine's per-key state. Every key hashes
@@ -479,6 +507,11 @@ type keyState struct {
 	cumWrites         []int64         // cumWrites[s] = closed writes through seq s's close
 	totalClosed       int64
 	ops               int
+	// spillOpen holds blob ids of the open window's spilled prefix chunks
+	// (in append order); spillOpenOps counts the operations in them. The
+	// in-memory ks.open is always the window's tail.
+	spillOpen    []uint64
+	spillOpenOps int
 
 	settled atomic.Bool
 
@@ -505,6 +538,12 @@ type engine struct {
 	minSeg    int
 	opts      core.Options
 	sopts     StreamOptions
+
+	// store/spillMin enable segment spill-to-disk (see StreamOptions.Store);
+	// spillBufs recycles the encode buffers of the spill path.
+	store     BlobStore
+	spillMin  int
+	spillBufs sync.Pool
 
 	// shards stripe the per-key state (see ingestShard). Reader-driven
 	// engines run one shard; sessions default to DefaultIngestShards.
@@ -542,6 +581,10 @@ type engine struct {
 	staleReads    atomic.Int64
 	saturatedKeys atomic.Int64
 	firstVerdict  atomic.Int64
+	spills        atomic.Int64
+	opsSpilled    atomic.Int64
+	spillLoads    atomic.Int64
+	onDisk        atomic.Int64
 }
 
 // atomicMax raises a to at least v.
@@ -634,6 +677,13 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 	for i := range e.shards {
 		e.shards[i] = &ingestShard{keys: make(map[string]*keyState)}
 	}
+	if sopts.Store != nil {
+		e.store = sopts.Store
+		e.spillMin = sopts.SpillThresholdOps
+		if e.spillMin <= 0 {
+			e.spillMin = DefaultSpillThresholdOps
+		}
+	}
 	if sopts.Pool != nil {
 		e.vpool = sopts.Pool
 	} else {
@@ -664,7 +714,9 @@ func (e *engine) drain(err error) error {
 	if err == nil {
 		for _, sh := range e.shards {
 			for _, ks := range sh.keys {
-				e.flush(ks)
+				if ferr := e.flush(ks); ferr != nil && err == nil {
+					err = ferr
+				}
 			}
 		}
 	}
@@ -751,15 +803,17 @@ func (e *engine) addOp(ks *keyState, op history.Operation) error {
 	if ks.closedAny && op.Start <= ks.maxClosedFinish {
 		return fmt.Errorf("%w (key %q, op %q, cut at %d)", ErrOutOfOrder, ks.key, op.String(), ks.maxClosedFinish)
 	}
-	if len(ks.open) >= e.minSeg && zone.Quiescent(ks.openMaxFinish, op.Start) {
-		e.closeOpen(ks)
+	if ks.totalOpen() >= e.minSeg && zone.Quiescent(ks.openMaxFinish, op.Start) {
+		if err := e.closeOpen(ks); err != nil {
+			return err
+		}
 	}
 	if ks.open == nil {
 		ks.open = e.bufPool.Get().([]history.Operation)
 	}
-	op.ID = len(ks.open)
+	op.ID = ks.spillOpenOps + len(ks.open)
 	ks.open = append(ks.open, op)
-	if len(ks.open) == 1 || op.Finish > ks.openMaxFinish {
+	if ks.totalOpen() == 1 || op.Finish > ks.openMaxFinish {
 		ks.openMaxFinish = op.Finish
 	}
 	if op.IsWrite() {
@@ -776,7 +830,7 @@ func (e *engine) addOp(ks *keyState, op history.Operation) error {
 		}
 		ks.openWrites++
 	}
-	if n := int64(len(ks.open)); n > ks.sh.maxOpen.Load() {
+	if n := int64(ks.totalOpen()); n > ks.sh.maxOpen.Load() {
 		ks.sh.maxOpen.Store(n) // single writer per shard: no CAS needed
 	}
 	ks.sh.buffered.Add(1)
@@ -784,6 +838,11 @@ func (e *engine) addOp(ks *keyState, op history.Operation) error {
 	atomicMax(&e.peakBuffered, cur)
 	if e.sopts.MaxBufferedOps > 0 && cur > int64(e.sopts.MaxBufferedOps) {
 		return fmt.Errorf("%w (%d live ops; largest open window %d)", ErrBufferLimit, cur, e.maxOpenAll())
+	}
+	if e.store != nil && len(ks.open) >= e.spillMin {
+		if err := e.spillOpenTail(ks); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -803,8 +862,14 @@ func (e *engine) maxOpenAll() int64 {
 // classifies the closing segment's reads against the value index, merges
 // back any deque segments a read refers into, records the close in the
 // cumulative write counts, and dispatches every deque segment that now has
-// at least `threshold` writes closed behind it.
-func (e *engine) closeOpen(ks *keyState) {
+// at least `threshold` writes closed behind it. Spilled operations (the
+// window's own prefix, and any deque segment being merged or dispatched)
+// are reloaded here — the only points that need them; an error is a spill
+// I/O failure and poisons the stream.
+func (e *engine) closeOpen(ks *keyState) error {
+	if err := e.reloadOpen(ks); err != nil {
+		return err
+	}
 	ops, writes := ks.open, ks.openWrites
 	ks.open, ks.openWrites = nil, 0
 	ks.maxClosedFinish = ks.openMaxFinish
@@ -843,7 +908,14 @@ func (e *engine) closeOpen(ks *keyState) {
 		}
 		// Concatenate deque[j:] and the closing ops in time order.
 		base := ks.deque[j]
-		for _, seg := range ks.deque[j+1:] {
+		if err := e.unspill(ks, &base); err != nil {
+			return err
+		}
+		for si := j + 1; si < len(ks.deque); si++ {
+			seg := ks.deque[si]
+			if err := e.unspill(ks, &seg); err != nil {
+				return err
+			}
 			base.ops = append(base.ops, seg.ops...)
 			base.writes += seg.writes
 			e.bufPool.Put(seg.ops[:0])
@@ -861,6 +933,12 @@ func (e *engine) closeOpen(ks *keyState) {
 	ks.totalClosed += int64(writes)
 	ks.cumWrites = append(ks.cumWrites, ks.totalClosed) // index == ks.seq
 	if len(merged.ops) > 0 {
+		merged.nops = len(merged.ops)
+		if e.store != nil && merged.nops >= e.spillMin {
+			if err := e.spillSeg(ks, &merged); err != nil {
+				return err
+			}
+		}
 		ks.deque = append(ks.deque, merged)
 		ks.dequeWrites += writes
 	} else {
@@ -869,10 +947,14 @@ func (e *engine) closeOpen(ks *keyState) {
 	ks.seq++
 
 	for len(ks.deque) > 0 && ks.dequeWrites-ks.deque[0].writes >= e.threshold {
+		if err := e.unspill(ks, &ks.deque[0]); err != nil {
+			return err
+		}
 		e.dispatch(ks, ks.deque[0])
 		ks.dequeWrites -= ks.deque[0].writes
 		ks.deque = ks.deque[1:]
 	}
+	return nil
 }
 
 // crossBoundaryRead records a read that returned a value from an
@@ -931,14 +1013,20 @@ func (e *engine) dispatch(ks *keyState, seg closedSeg) {
 
 // flush closes the open window and dispatches everything still held; after
 // end of input no future read can reach back, so the deque drains fully.
-func (e *engine) flush(ks *keyState) {
-	if len(ks.open) > 0 {
-		e.closeOpen(ks)
+func (e *engine) flush(ks *keyState) error {
+	if ks.totalOpen() > 0 {
+		if err := e.closeOpen(ks); err != nil {
+			return err
+		}
 	}
-	for _, seg := range ks.deque {
-		e.dispatch(ks, seg)
+	for i := range ks.deque {
+		if err := e.unspill(ks, &ks.deque[i]); err != nil {
+			return err
+		}
+		e.dispatch(ks, ks.deque[i])
 	}
 	ks.deque, ks.dequeWrites = nil, 0
+	return nil
 }
 
 // verifySegment is one segment unit on the pool. Large segments fork their
@@ -1011,5 +1099,8 @@ func (e *engine) finalStats() StreamStats {
 		SaturatedKeys:   int(e.saturatedKeys.Load()),
 		FirstVerdictOps: e.firstVerdict.Load(),
 		Stopped:         e.stopped.Load(),
+		Spills:          e.spills.Load(),
+		OpsSpilled:      e.opsSpilled.Load(),
+		SpillLoads:      e.spillLoads.Load(),
 	}
 }
