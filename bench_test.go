@@ -26,7 +26,9 @@
 package kat_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -43,8 +45,10 @@ import (
 	"kat/internal/oracle"
 	"kat/internal/quorum"
 	"kat/internal/regularity"
+	"kat/internal/trace"
 	"kat/internal/wal"
 	"kat/internal/wav"
+	"kat/internal/wire"
 	"kat/internal/zone"
 
 	root "kat"
@@ -728,6 +732,152 @@ func BenchmarkOnlineIngest(b *testing.B) {
 			b.ReportMetric(float64(ws.Bytes)/float64(b.N), "walB/op")
 		})
 	}
+	// Decode rows: the codec alone — raw request bytes to keyed operations,
+	// no session downstream — text parse (one key-string allocation per
+	// operation, plus a scanner per body) vs wire decode (dictionary-interned
+	// keys, reused buffers). This is the work the binary format deletes from
+	// every /ingest body; the codec= rows below then show the same comparison
+	// with the shared shard-grouped feed attached.
+	for _, codec := range []string{"text", "wire"} {
+		b.Run(fmt.Sprintf("decode=%s/batch=512", codec), func(b *testing.B) {
+			payloads, totalBytes := buildIngestPayloads(b, codec, b.N, 512)
+			r := bytes.NewReader(nil)
+			dec := wire.NewDecoder(r)
+			batch := make([]root.KeyedOp, 0, 512)
+			var ops int
+			var sink int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for _, p := range payloads {
+				r.Reset(p)
+				batch = batch[:0]
+				if codec == "wire" {
+					dec.Reset(r)
+					for {
+						frame, err := dec.Next()
+						if err == io.EOF {
+							break
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						batch = append(batch, frame...)
+					}
+				} else {
+					err := trace.ParseStream(r, func(key string, op root.Operation) error {
+						batch = append(batch, root.KeyedOp{Key: key, Op: op})
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				ops += len(batch)
+				sink += batch[len(batch)-1].Op.Start
+			}
+			b.StopTimer()
+			if ops != b.N {
+				b.Fatalf("decoded %d ops, want %d (sink %d)", ops, b.N, sink)
+			}
+			b.ReportMetric(float64(totalBytes)/float64(b.N), "bodyB/op")
+		})
+	}
+	// Full-path codec rows: the same bodies pushed through the session —
+	// AppendTraceBatch vs AppendWire — so the decode saving is visible in
+	// its end-to-end context (admission and segment accumulation included).
+	// bodyB/op is the request-body bytes per operation, the wire format's
+	// bandwidth saving.
+	for _, codec := range []string{"text", "wire"} {
+		b.Run(fmt.Sprintf("codec=%s/batch=512", codec), func(b *testing.B) {
+			const batch = 512
+			sess, err := root.NewOnlineCheckSession(2, root.Options{},
+				root.StreamOptions{Workers: 1, IngestShards: 16, MinSegmentOps: 128})
+			if err != nil {
+				b.Fatal(err)
+			}
+			payloads, totalBytes := buildIngestPayloads(b, codec, b.N, batch)
+			r := bytes.NewReader(nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for _, p := range payloads {
+				r.Reset(p)
+				var err error
+				if codec == "wire" {
+					_, err = sess.AppendWire(r)
+				} else {
+					_, err = sess.AppendTraceBatch(r)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := sess.Stats()
+			if err := sess.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if st.Ops != int64(b.N) {
+				b.Fatalf("ingested %d ops, want %d", st.Ops, b.N)
+			}
+			b.ReportMetric(float64(totalBytes)/float64(b.N), "bodyB/op")
+		})
+	}
+}
+
+// buildIngestPayloads serializes the staircase workload of onlineIngestFeed
+// (single producer) into per-request bodies of `batch` operations each, in
+// the given codec — keyed text lines, or one self-contained wire frame per
+// body (each request is its own decode stream, as over HTTP).
+func buildIngestPayloads(b *testing.B, codec string, n, batch int) ([][]byte, int64) {
+	b.Helper()
+	const keysPer = 4
+	var keys [keysPer]string
+	for i := range keys {
+		keys[i] = fmt.Sprintf("p00-key-%d", i)
+	}
+	enc := wire.NewEncoder()
+	enc.SetSelfContained(true)
+	var payloads [][]byte
+	var total int64
+	var clock, val [keysPer]int64
+	var text bytes.Buffer
+	flush := func() {
+		var body []byte
+		if codec == "wire" {
+			body = enc.AppendFrame(nil)
+		} else {
+			body = bytes.Clone(text.Bytes())
+			text.Reset()
+		}
+		payloads = append(payloads, body)
+		total += int64(len(body))
+	}
+	for i := 0; i < n; i++ {
+		ki := i % keysPer
+		var op root.Operation
+		if i%(2*keysPer) < keysPer {
+			val[ki]++
+			op = root.Operation{Kind: root.KindWrite, Value: val[ki], Start: clock[ki], Finish: clock[ki] + 1}
+		} else {
+			op = root.Operation{Kind: root.KindRead, Value: val[ki], Start: clock[ki], Finish: clock[ki] + 1}
+		}
+		clock[ki] += 4
+		if codec == "wire" {
+			if err := enc.Add(keys[ki], op); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			kind := "w"
+			if op.Kind == root.KindRead {
+				kind = "r"
+			}
+			fmt.Fprintf(&text, "%s %s %d %d %d\n", kind, keys[ki], op.Value, op.Start, op.Finish)
+		}
+		if (i+1)%batch == 0 || i == n-1 {
+			flush()
+		}
+	}
+	return payloads, total
 }
 
 // onlineIngestFeed pushes n operations for producer p's four keys into the

@@ -18,7 +18,11 @@
 //	kavcheck -k 2 -shrink trace.txt  # minimal violating core on failure
 //	kavcheck -k 2 -keyed -workers 8 trace.txt  # multi-register, 8-way parallel
 //	tail -f ops.log | kavcheck -k 2 -stream -  # streaming pipeline
+//	kavgen -keys 64 -ops 1000 -format wire | kavcheck -k 2 -stream -  # binary
 //
+// -stream sniffs its input: a stream opening with the binary wire-frame
+// magic (kavgen -format wire; see internal/wire) decodes without any text
+// parse, anything else reads as the keyed text format — no flag needed.
 // -stream keeps operation buffering bounded by the open segment windows;
 // a per-value index (needed for exact verdicts) still grows with the
 // number of distinct written values.

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"kat"
 )
 
 func writeTemp(t *testing.T, content string) string {
@@ -234,6 +237,46 @@ func TestCheckStreamSmallest(t *testing.T) {
 	got := out.String()
 	if !strings.Contains(got, "key y            smallest k: 2") {
 		t.Errorf("smallest-k rows missing:\n%s", got)
+	}
+}
+
+// TestCheckStreamWireInput feeds -stream a binary wire file: the reader
+// sniffs the magic and must print the very same output as the text form of
+// the same trace, with no flag naming the codec.
+func TestCheckStreamWireInput(t *testing.T) {
+	text := "w x 1 0 10\nr x 1 20 30\nw y 1 5 15\nw y 2 25 35\nr y 1 45 55\n"
+	tr, err := kat.ParseTrace(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compress := range []bool{false, true} {
+		var bin bytes.Buffer
+		if err := kat.WriteTraceWireArrivalOrder(&bin, tr, 2, compress); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "trace.wire")
+		if err := os.WriteFile(path, bin.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var wireOut, textOut strings.Builder
+		if err := run([]string{"-stream", "-smallest", path}, &wireOut); err != nil {
+			t.Fatalf("compress=%v: %v\n%s", compress, err, wireOut.String())
+		}
+		if err := run([]string{"-stream", "-smallest", writeTemp(t, text)}, &textOut); err != nil {
+			t.Fatal(err)
+		}
+		if wireOut.String() != textOut.String() {
+			t.Fatalf("compress=%v: wire and text runs disagree:\n%s\nvs\n%s",
+				compress, wireOut.String(), textOut.String())
+		}
+		// The fixed-k form sniffs too.
+		var out strings.Builder
+		if err := run([]string{"-k", "2", "-stream", path}, &out); err != nil {
+			t.Fatalf("compress=%v fixed-k: %v\n%s", compress, err, out.String())
+		}
+		if !strings.Contains(out.String(), "all 2 keys are 2-atomic") {
+			t.Errorf("compress=%v: fixed-k wire output:\n%s", compress, out.String())
+		}
 	}
 }
 

@@ -15,6 +15,9 @@
 // into the streaming verifier. -zipf s (s > 1) skews the per-key operation
 // counts Zipfian while preserving the total, producing the hot-key traffic
 // shape that exercises chunk-level (intra-key) parallel verification.
+// -format wire serializes the same trace as binary wire frames instead of
+// text (-compress DEFLATEs the payloads); kavcheck -stream and kavserve
+// sniff the format, so binary traces drop into the same pipelines.
 //
 // With -replay URL the trace — generated with the flags above, or read from
 // a positional file ("-" for stdin) — is replayed against a kavserve /ingest
@@ -25,6 +28,8 @@
 // per second. Transient failures (connection drops, 503 shedding) retry with
 // exponential backoff and jitter, reconciling against /verdict so no op is
 // ingested twice; -resume continues an interrupted replay the same way.
+// -wire posts each batch as one binary wire frame instead of text, halving
+// (or better) the bytes on the wire and skipping the server-side parse.
 // -drain then asks the server for final verdicts and prints them.
 package main
 
@@ -70,6 +75,9 @@ func run(args []string, out io.Writer) error {
 		keys        = fs.Int("keys", 0, "emit a keyed trace with this many registers (-ops each), in arrival order")
 		zipf        = fs.Float64("zipf", 0, "with -keys: skew the per-key operation counts Zipfian with this exponent (> 1; total ops stays keys*ops, rank-0 key hottest)")
 		asJSON      = fs.Bool("json", false, "emit JSON instead of text")
+		format      = fs.String("format", "text", "with -keys: trace serialization, text|wire (binary frames; kavcheck -stream and kavserve sniff the format)")
+		frameOps    = fs.Int("frame-ops", 0, "with -format wire: operations per frame (0 = default)")
+		compress    = fs.Bool("compress", false, "with -format wire: DEFLATE-compress frame payloads")
 		replay      = fs.String("replay", "", "replay the trace against this kavserve base URL instead of printing it")
 		clients     = fs.Int("clients", 8, "with -replay: number of concurrent ingest connections")
 		rate        = fs.Float64("rate", 0, "with -replay: aggregate operations per second (0 = unlimited)")
@@ -77,6 +85,7 @@ func run(args []string, out io.Writer) error {
 		batchOps    = fs.Int("batch-ops", 512, "with -replay: operations per acknowledged ingest request; a key's next batch never leaves before the previous one is acked")
 		retries     = fs.Int("retries", 8, "with -replay: attempts per batch before giving up (transient failures back off exponentially with jitter, honoring Retry-After)")
 		resume      = fs.Bool("resume", false, "with -replay: reconcile against the server's /verdict first and skip per-key prefixes it already ingested (continue an interrupted replay)")
+		wireMode    = fs.Bool("wire", false, "with -replay: post batches as binary wire frames (Content-Type application/x-kav-wire) instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +96,17 @@ func run(args []string, out io.Writer) error {
 		}
 		if *zipf <= 1 {
 			return fmt.Errorf("-zipf exponent must be > 1, got %v", *zipf)
+		}
+	}
+	if *format != "text" && *format != "wire" {
+		return fmt.Errorf("unknown format %q (want text or wire)", *format)
+	}
+	if *format == "wire" {
+		if *replay != "" {
+			return fmt.Errorf("-format wire does not apply to -replay; use -wire to post binary frames")
+		}
+		if *keys <= 0 {
+			return fmt.Errorf("-format wire requires -keys (binary frames carry keyed traces)")
 		}
 	}
 
@@ -175,6 +195,7 @@ func run(args []string, out io.Writer) error {
 			batchOps: *batchOps,
 			retries:  *retries,
 			resume:   *resume,
+			wire:     *wireMode,
 		}, out)
 	}
 
@@ -185,6 +206,9 @@ func run(args []string, out io.Writer) error {
 		tr, err := genKeyed()
 		if err != nil {
 			return err
+		}
+		if *format == "wire" {
+			return kat.WriteTraceWireArrivalOrder(out, tr, *frameOps, *compress)
 		}
 		return kat.WriteTraceArrivalOrder(out, tr)
 	}

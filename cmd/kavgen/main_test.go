@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"net/http/httptest"
 	"os"
@@ -229,5 +230,84 @@ func TestReplayFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-replay", "http://x"}, &out); err == nil {
 		t.Error("-replay without -keys or file accepted")
+	}
+}
+
+// TestGenerateWireTrace proves -format wire emits a binary stream the
+// format-sniffing streaming readers verify to the same verdicts as the text
+// rendering of the same generated trace.
+func TestGenerateWireTrace(t *testing.T) {
+	genArgs := []string{"-keys", "4", "-ops", "30", "-depth", "1", "-inject", "0.4", "-seed", "7"}
+	var text strings.Builder
+	if err := run(genArgs, &text); err != nil {
+		t.Fatal(err)
+	}
+	wantKs, _, err := kat.StreamSmallestKByKey(strings.NewReader(text.String()), kat.Options{}, kat.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-format", "wire"},
+		{"-format", "wire", "-compress", "-frame-ops", "16"},
+	} {
+		var bin bytes.Buffer
+		if err := run(append(append([]string{}, genArgs...), extra...), &bin); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if bytes.Equal(bin.Bytes(), []byte(text.String())) {
+			t.Fatal("-format wire emitted the text rendering")
+		}
+		gotKs, _, err := kat.StreamSmallestKByKey(bytes.NewReader(bin.Bytes()), kat.Options{}, kat.StreamOptions{})
+		if err != nil {
+			t.Fatalf("%v: binary stream did not verify: %v", extra, err)
+		}
+		if fmt.Sprint(gotKs) != fmt.Sprint(wantKs) {
+			t.Fatalf("%v: wire verdicts %v, want %v", extra, gotKs, wantKs)
+		}
+	}
+}
+
+func TestWireFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-format", "yaml"}, &out); err == nil {
+		t.Error("unknown -format accepted")
+	}
+	if err := run([]string{"-format", "wire"}, &out); err == nil {
+		t.Error("-format wire without -keys accepted")
+	}
+	if err := run([]string{"-format", "wire", "-keys", "2", "-replay", "http://x"}, &out); err == nil {
+		t.Error("-format wire with -replay accepted")
+	}
+}
+
+// TestReplayWire replays a generated trace as binary wire frames and checks
+// the drained server agrees with the offline checker — the -wire twin of
+// TestReplayAgainstServer.
+func TestReplayWire(t *testing.T) {
+	srv := online.New(online.Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 4}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	genArgs := []string{"-keys", "5", "-ops", "40", "-depth", "1", "-inject", "0.5", "-inject-depth", "2", "-seed", "11"}
+	var replayOut strings.Builder
+	args := append(append([]string{}, genArgs...),
+		"-replay", ts.URL, "-clients", "3", "-batch-ops", "32", "-wire", "-drain")
+	if err := run(args, &replayOut); err != nil {
+		t.Fatalf("wire replay run: %v\n%s", err, replayOut.String())
+	}
+
+	var genOut strings.Builder
+	if err := run(genArgs, &genOut); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := kat.ParseTrace(genOut.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, wantK := range kat.SmallestKByKey(tr, kat.Options{}) {
+		line := fmt.Sprintf("key %-12s %6d ops  smallest k: %d", key, tr.Keys[key].Len(), wantK)
+		if !strings.Contains(replayOut.String(), line) {
+			t.Fatalf("wire replay verdicts missing %q:\n%s", line, replayOut.String())
+		}
 	}
 }

@@ -31,7 +31,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kat"
 	"kat/internal/online"
+	"kat/internal/trace"
+	"kat/internal/wire"
 )
 
 // Retry schedule knobs, injectable for tests.
@@ -48,6 +51,9 @@ type replayOpts struct {
 	batchOps int
 	retries  int
 	resume   bool
+	// wire posts each batch as one self-contained binary wire frame under
+	// Content-Type application/x-kav-wire instead of newline text.
+	wire bool
 }
 
 // runReplay sends the trace's lines to baseURL/ingest over o.clients
@@ -153,6 +159,7 @@ func runReplay(baseURL string, traceText []byte, o replayOpts, out io.Writer) er
 				rng:         rand.New(rand.NewSource(int64(ci) + 1)),
 				sent:        &sent,
 				stop:        pacerDone,
+				wire:        o.wire,
 			}
 			for _, line := range bucket {
 				// Seed acknowledgments with the resumed prefixes so a later
@@ -275,6 +282,28 @@ type connReplayer struct {
 	rng         *rand.Rand
 	sent        *atomic.Int64
 	stop        <-chan struct{}
+	wire        bool          // post binary wire frames instead of text
+	enc         *wire.Encoder // lazily built; reused across batches
+}
+
+// encodeBatch renders one batch as a single self-contained wire frame.
+// Retries re-encode from the (possibly trimmed) line suffix, so a partial
+// acceptance never resends applied operations.
+func (r *connReplayer) encodeBatch(batch [][]byte) ([]byte, error) {
+	if r.enc == nil {
+		r.enc = wire.NewEncoder()
+		// Every request is its own decode stream server-side, so each
+		// frame must carry its own dictionary.
+		r.enc.SetSelfContained(true)
+	}
+	err := trace.ParseStream(bytes.NewReader(joinLines(batch)), func(key string, op kat.Operation) error {
+		return r.enc.Add(key, op)
+	})
+	if err != nil {
+		r.enc.Reset()
+		return nil, err
+	}
+	return r.enc.AppendFrame(nil), nil
 }
 
 // replay sends the bucket in sequential batches: the next batch leaves only
@@ -321,7 +350,15 @@ func (r *connReplayer) postBatch(batch [][]byte) error {
 			ambiguous = false
 			continue
 		}
-		resp, err := http.Post(r.base+"/ingest", "text/plain", bytes.NewReader(joinLines(batch)))
+		payload, ctype := joinLines(batch), "text/plain"
+		if r.wire {
+			frame, err := r.encodeBatch(batch)
+			if err != nil {
+				return fmt.Errorf("wire encode: %w", err)
+			}
+			payload, ctype = frame, wire.ContentType
+		}
+		resp, err := http.Post(r.base+"/ingest", ctype, bytes.NewReader(payload))
 		if err != nil {
 			// The connection died with the batch in flight: the server may
 			// have applied any prefix of it. Never resend blind — mark the

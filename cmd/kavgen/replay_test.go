@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -124,11 +125,19 @@ func writeTrace(keys, opsPerKey int) (string, int) {
 // the first `failDrop` /ingest requests forward only the first half of their
 // lines to the backend and then kill the client connection without a
 // response — the ambiguous partial-apply crash the reconcile path exists
-// for. Everything else passes through.
+// for. Everything else passes through. The fault budgets are atomics:
+// replay clients hit the proxy from concurrent server goroutines.
 type flakyProxy struct {
 	backend  http.Handler
-	fail503  int
-	failDrop int
+	fail503  atomic.Int64
+	failDrop atomic.Int64
+}
+
+func newFlakyProxy(backend http.Handler, fail503, failDrop int) *flakyProxy {
+	p := &flakyProxy{backend: backend}
+	p.fail503.Store(int64(fail503))
+	p.failDrop.Store(int64(failDrop))
+	return p
 }
 
 func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -136,15 +145,13 @@ func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.backend.ServeHTTP(w, r)
 		return
 	}
-	if p.fail503 > 0 {
-		p.fail503--
+	if p.fail503.Add(-1) >= 0 {
 		w.Header().Set("Retry-After", "0")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprint(w, `{"code":"overload","error":"shedding","ingested":0}`)
 		return
 	}
-	if p.failDrop > 0 {
-		p.failDrop--
+	if p.failDrop.Add(-1) >= 0 {
 		body, _ := io.ReadAll(r.Body)
 		lines := bytes.SplitAfter(body, []byte("\n"))
 		half := bytes.Join(lines[:len(lines)/2], nil)
@@ -179,7 +186,7 @@ func TestReplayRetriesTransient503(t *testing.T) {
 	fastRetries(t)
 	text, total := writeTrace(3, 20)
 	srv := online.New(online.Config{K: 2})
-	out, err := replayAgainst(t, &flakyProxy{backend: srv.Handler(), fail503: 3}, text, 16, false)
+	out, err := replayAgainst(t, newFlakyProxy(srv.Handler(), 3, 0), text, 16, false)
 	if err != nil {
 		t.Fatalf("replay: %v\n%s", err, out)
 	}
@@ -197,7 +204,7 @@ func TestReplayReconcilesAfterConnectionDrop(t *testing.T) {
 	fastRetries(t)
 	text, total := writeTrace(3, 20)
 	srv := online.New(online.Config{K: 2})
-	out, err := replayAgainst(t, &flakyProxy{backend: srv.Handler(), failDrop: 2}, text, 16, false)
+	out, err := replayAgainst(t, newFlakyProxy(srv.Handler(), 0, 2), text, 16, false)
 	if err != nil {
 		t.Fatalf("replay: %v\n%s", err, out)
 	}

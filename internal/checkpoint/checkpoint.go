@@ -43,6 +43,7 @@ import (
 	"kat/internal/faultfs"
 	"kat/internal/trace"
 	"kat/internal/wal"
+	"kat/internal/wire"
 )
 
 // Config tunes a Manager.
@@ -216,7 +217,17 @@ func (m *Manager) Recover(sess *trace.Session) (RecoveryStats, error) {
 				if rec.Type != wal.RecordBatch {
 					continue
 				}
-				n, err := sess.AppendTraceBatch(bytes.NewReader(rec.Payload))
+				// Batch records carry whichever encoding ingest logged:
+				// keyed text, or a self-contained wire frame when the batch
+				// arrived binary. The magic bytes say which (no text record
+				// can start with them).
+				var n int64
+				var err error
+				if wire.IsMagic(rec.Payload) {
+					n, err = sess.AppendWire(bytes.NewReader(rec.Payload))
+				} else {
+					n, err = sess.AppendTraceBatch(bytes.NewReader(rec.Payload))
+				}
 				rs.ReplayedOps += n
 				if err != nil {
 					return rs, fmt.Errorf("checkpoint: replay %s: %w", name, err)

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 )
 
 // WriteText writes the history in the compact text format parsed by Parse,
@@ -26,13 +25,12 @@ func WriteText(w io.Writer, h *History) error {
 	return nil
 }
 
-// ReadText parses a history from the compact text format.
+// ReadText parses a history from the compact text format. It streams
+// through the buffered line parser, so memory tracks the parsed operations
+// rather than the raw input size (the seed copied the whole reader into a
+// string first).
 func ReadText(r io.Reader) (*History, error) {
-	var sb strings.Builder
-	if _, err := io.Copy(&sb, r); err != nil {
-		return nil, fmt.Errorf("history: read text: %w", err)
-	}
-	return Parse(sb.String())
+	return ParseReader(r)
 }
 
 // jsonOp is the wire form of an operation.

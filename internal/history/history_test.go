@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"testing/iotest"
 )
 
 func TestKindString(t *testing.T) {
@@ -464,6 +465,25 @@ func TestTextCodecRoundTrip(t *testing.T) {
 	}
 	if len(h2.Ops) != len(h.Ops) {
 		t.Fatalf("ops count mismatch: %d vs %d", len(h2.Ops), len(h.Ops))
+	}
+}
+
+// TestReadTextStreams pins ReadText to the buffered line parser: it must
+// accept an arbitrarily fragmented reader (no whole-input materialization
+// step to paper over short reads), handle ';' separators and comments like
+// Parse, and surface reader errors.
+func TestReadTextStreams(t *testing.T) {
+	text := "w 1 0 10; r 1 5 20\n# comment\nw 2 15 25 weight=2\n"
+	want := MustParse(text)
+	got, err := ReadText(iotest.OneByteReader(strings.NewReader(text)))
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if len(got.Ops) != len(want.Ops) {
+		t.Fatalf("ops count mismatch: %d vs %d", len(got.Ops), len(want.Ops))
+	}
+	if _, err := ReadText(iotest.TimeoutReader(strings.NewReader(text))); err == nil {
+		t.Error("ReadText swallowed a reader error")
 	}
 }
 

@@ -6,12 +6,17 @@
 //
 // Endpoints:
 //
-//	POST /ingest        newline-delimited keyed trace format (chunked bodies
-//	                    fine); returns {"ingested": n}. 400 on malformed
-//	                    input, 409 on ordering/buffer violations, 503 once
-//	                    draining. Bodies flow through the session's
-//	                    batch-granular path: parsed in chunks, grouped by
-//	                    ingest shard, one shard-lock take per chunk.
+//	POST /ingest        newline-delimited keyed trace format by default, or
+//	                    binary wire frames when the request carries
+//	                    Content-Type: application/x-kav-wire (chunked bodies
+//	                    fine either way); returns {"ingested": n}. 400 on
+//	                    malformed input (wire frames report the byte offset
+//	                    of the defect), 409 on ordering/buffer violations,
+//	                    503 once draining. Text bodies flow through the
+//	                    session's batch-granular path: parsed in chunks,
+//	                    grouped by ingest shard, one shard-lock take per
+//	                    chunk. Binary bodies skip parsing entirely: frames
+//	                    decode zero-copy into the same shard-grouped feed.
 //	GET  /verdict       live (or, after drain, final) per-key verdicts.
 //	GET  /verdict/{key} one key's verdict; 404 for unseen keys.
 //	GET  /metrics       Prometheus text exposition of the service counters.
@@ -35,12 +40,16 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"kat/internal/checkpoint"
 	"kat/internal/core"
 	"kat/internal/metrics"
 	"kat/internal/trace"
+	"kat/internal/wire"
 )
 
 // Config parameterizes a Server.
@@ -158,6 +167,13 @@ type Server struct {
 	// (operations accepted per request), one counter per size class — the
 	// batching signal an operator tunes producers against.
 	ingestSizes []*metrics.Counter
+	// Per-codec ingest accounting: body bytes read and wall time spent
+	// decoding+feeding, split text vs wire so the binary pipeline's win is
+	// visible straight off /metrics.
+	ingestBytesText *metrics.Counter
+	ingestBytesWire *metrics.Counter
+	decodeNanosText atomic.Int64
+	decodeNanosWire atomic.Int64
 
 	mu         sync.Mutex
 	firstViols map[string]Violation
@@ -217,6 +233,16 @@ func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.Recove
 			"Clean ingest requests, classified by operations accepted per request (size classes, not a cumulative histogram).",
 			`bucket="`+bucket.label+`"`))
 	}
+	s.ingestBytesText = s.reg.CounterL("kavserve_ingest_bytes_total",
+		"Request-body bytes read by /ingest, by codec.", `codec="text"`)
+	s.ingestBytesWire = s.reg.CounterL("kavserve_ingest_bytes_total",
+		"Request-body bytes read by /ingest, by codec.", `codec="wire"`)
+	s.reg.CounterFuncL("kavserve_ingest_decode_seconds_total",
+		"Cumulative wall time decoding and feeding /ingest bodies, by codec.",
+		`codec="text"`, func() float64 { return float64(s.decodeNanosText.Load()) / 1e9 })
+	s.reg.CounterFuncL("kavserve_ingest_decode_seconds_total",
+		"Cumulative wall time decoding and feeding /ingest bodies, by codec.",
+		`codec="wire"`, func() float64 { return float64(s.decodeNanosWire.Load()) / 1e9 })
 
 	chained := cfg.Stream.OnSegment
 	cfg.Stream.OnSegment = func(v trace.SegmentVerdict) {
@@ -420,14 +446,20 @@ func (s *Server) recordIngestSize(n int64) {
 //
 // Ingested reports how many operations of this request were accepted before
 // the failure (accepted operations stay accepted — per-key prefixes remain
-// intact).
+// intact). For malformed binary bodies, Offset is the request-body byte
+// offset where the frame defect was detected.
 type IngestReject struct {
 	Code     string `json:"code"`
 	Error    string `json:"error"`
 	Ingested int64  `json:"ingested"`
+	Offset   *int64 `json:"offset,omitempty"`
 }
 
 func (s *Server) rejectIngest(w http.ResponseWriter, status int, code string, n int64, err error) {
+	s.rejectIngestAt(w, status, code, n, err, nil)
+}
+
+func (s *Server) rejectIngestAt(w http.ResponseWriter, status int, code string, n int64, err error, offset *int64) {
 	s.ingestErrors.Inc()
 	if status == http.StatusServiceUnavailable {
 		// Back off for a beat; overload drains as verification catches up.
@@ -435,11 +467,31 @@ func (s *Server) rejectIngest(w http.ResponseWriter, status int, code string, n 
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	reject := IngestReject{Code: code, Ingested: n}
+	reject := IngestReject{Code: code, Ingested: n, Offset: offset}
 	if err != nil {
 		reject.Error = err.Error()
 	}
 	json.NewEncoder(w).Encode(reject)
+}
+
+// countingReader counts the bytes an ingest body delivered.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// wantsWire reports whether the request negotiated the binary wire codec
+// via Content-Type (parameters after ';' are ignored; text stays the
+// default for everything else).
+func wantsWire(r *http.Request) bool {
+	ct, _, _ := strings.Cut(r.Header.Get("Content-Type"), ";")
+	return strings.TrimSpace(ct) == wire.ContentType
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -457,11 +509,26 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("overloaded: %d operations buffered (cap %d)", s.sess.BufferedOps(), cap))
 		return
 	}
-	// Batch-granular ingest: the request body is parsed in chunks by the
-	// zero-copy byte parser and each ingest shard's lock is taken once per
-	// chunk, not once per operation — no per-line string ever materializes
-	// between the socket and the segment accumulators.
-	n, err := s.sess.AppendTraceBatch(r.Body)
+	// Batch-granular ingest, codec by Content-Type. Text bodies are parsed
+	// in chunks by the zero-copy byte parser; binary bodies decode wire
+	// frames straight into keyed operations. Either way each ingest shard's
+	// lock is taken once per chunk/frame, not once per operation — no
+	// per-line string ever materializes between the socket and the segment
+	// accumulators.
+	body := countingReader{r: r.Body}
+	isWire := wantsWire(r)
+	var n int64
+	var err error
+	start := time.Now()
+	if isWire {
+		n, err = s.sess.AppendWire(&body)
+		s.decodeNanosWire.Add(int64(time.Since(start)))
+		s.ingestBytesWire.Add(body.n)
+	} else {
+		n, err = s.sess.AppendTraceBatch(&body)
+		s.decodeNanosText.Add(int64(time.Since(start)))
+		s.ingestBytesText.Add(body.n)
+	}
 	s.opsIngested.Add(n)
 	if err == nil {
 		// Only clean requests feed the batching-size signal: an error storm
@@ -470,6 +537,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		var derr *trace.DurabilityError
+		var werr *wire.DecodeError
 		switch {
 		case errors.Is(err, trace.ErrSessionFlushed):
 			s.rejectIngest(w, http.StatusConflict, "draining", n, err)
@@ -479,6 +547,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.rejectIngest(w, http.StatusConflict, "out_of_order", n, err)
 		case errors.As(err, &derr):
 			s.rejectIngest(w, http.StatusInternalServerError, "durability", n, err)
+		case errors.As(err, &werr):
+			s.rejectIngestAt(w, http.StatusBadRequest, "malformed", n, err, &werr.Offset)
 		default:
 			s.rejectIngest(w, http.StatusBadRequest, "malformed", n, err)
 		}

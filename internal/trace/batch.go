@@ -31,14 +31,13 @@ import (
 	"io"
 
 	"kat/internal/history"
+	"kat/internal/wire"
 )
 
 // KeyedOp pairs a register name with one operation — the element of the
-// batch ingest path.
-type KeyedOp struct {
-	Key string
-	Op  history.Operation
-}
+// batch ingest path. It aliases the wire codec's element type, so binary
+// frames decode straight into AppendBatch's input with no conversion.
+type KeyedOp = wire.Op
 
 // defaultBatchChunk is the AppendTraceBatch read-chunk size: large enough
 // that a chunk spans thousands of operations (one shard-lock acquisition
@@ -67,17 +66,37 @@ type batchScratch struct {
 	// kops aliases AppendBatch's input for the duration of one call, so the
 	// cached feed closure can reach it without a per-call capture.
 	kops []KeyedOp
+	// wenc / wdec are the per-scratch wire codec state: wdec decodes
+	// AppendWire request bodies, wenc re-frames each shard's accepted group
+	// for the write-ahead log (self-contained, so recovery replays records
+	// individually).
+	wenc *wire.Encoder
+	wdec *wire.Decoder
 	// The closures below are built once per scratch — capturing per call
 	// would allocate on every batch, breaking the zero-alloc hot path.
 	// collect appends one parsed op into ops/keys (AppendTraceBatch);
 	// feedKeyed / feedBytes hand op i to the engine for the two input
 	// forms, both called by feedGrouped under the op's shard lock;
-	// encKeyed / encBytes append op i's write-ahead text to sc.wal.
+	// walKeyed / walBytes / walWire build one shard group's write-ahead
+	// encoding (keyed text for the parsed paths, a wire frame for binary
+	// ingest).
 	collect   func(key []byte, op history.Operation) error
 	feedKeyed func(sh *ingestShard, i int32) error
 	feedBytes func(sh *ingestShard, i int32) error
-	encKeyed  func(i int32)
-	encBytes  func(i int32)
+	walKeyed  walEnc
+	walBytes  walEnc
+	walWire   walEnc
+}
+
+// walEnc builds the write-ahead encoding of one shard group: begin resets
+// the encoder state, add appends accepted operation i, finish returns the
+// encoded group (empty when nothing was accepted). Splitting the
+// finalization out lets framed encodings (wire) emit their header/CRC once
+// per group instead of per operation.
+type walEnc struct {
+	begin  func()
+	add    func(i int32)
+	finish func() []byte
 }
 
 func (s *Session) getScratch() *batchScratch {
@@ -97,14 +116,14 @@ func (s *Session) putScratch(sc *batchScratch) {
 // feedGrouped walks the grouped scratch (counts/order as built by group)
 // and feeds each non-empty shard group under a single counted lock
 // acquisition: gate recheck under the lock, settleAdd per operation, and
-// the sticky-error unwind — the one copy of the locking discipline both
-// batch entry points share. add hands operation i to the engine (the two
-// input forms differ only there); enc, when a ShardLogger is attached,
-// appends op i's write-ahead text to sc.wal, and the shard's accepted
-// prefix is logged before the lock releases — on the error exits too, so
-// the log never misses an operation the engine admitted. Returns the
-// operations actually appended and the first error.
-func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int32) error, enc func(i int32)) (int, error) {
+// the sticky-error unwind — the one copy of the locking discipline the
+// batch entry points share. add hands operation i to the engine (the input
+// forms differ only there); enc, when a ShardLogger is attached, builds the
+// shard group's write-ahead encoding, and the accepted prefix is logged
+// before the lock releases — on the error exits too, so the log never
+// misses an operation the engine admitted. Returns the operations actually
+// appended and the first error.
+func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int32) error, enc *walEnc) (int, error) {
 	appended := 0
 	logger := s.shardLogger()
 	var start int32
@@ -121,26 +140,26 @@ func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int3
 			return appended, err
 		}
 		if logger != nil {
-			sc.wal = sc.wal[:0]
+			enc.begin()
 		}
 		for _, i := range group {
 			ok, err := s.settleAdd(add(sh, i))
 			if ok {
 				appended++
 				if logger != nil {
-					enc(i)
+					enc.add(i)
 				}
 			}
 			if err != nil {
 				if logger != nil {
-					s.logShard(logger, si, sc.wal) // accepted prefix; err already sticky
+					s.logShard(logger, si, enc.finish()) // accepted prefix; err already sticky
 				}
 				sh.mu.Unlock()
 				return appended, err
 			}
 		}
 		if logger != nil {
-			if err := s.logShard(logger, si, sc.wal); err != nil {
+			if err := s.logShard(logger, si, enc.finish()); err != nil {
 				sh.mu.Unlock()
 				return appended, err
 			}
@@ -197,9 +216,31 @@ func (s *Session) AppendBatch(ops []KeyedOp) (int, error) {
 	if err := s.gate(); err != nil {
 		return 0, err
 	}
-	e := s.e
 	sc := s.getScratch()
 	defer s.putScratch(sc)
+	if sc.walKeyed.add == nil {
+		sc.walKeyed = walEnc{
+			begin: func() { sc.wal = sc.wal[:0] },
+			add: func(i int32) {
+				sc.wal = appendKeyedOpText(sc.wal, sc.kops[i].Key, sc.kops[i].Op)
+			},
+			finish: func() []byte { return sc.wal },
+		}
+	}
+	appended, err := s.feedKeyedOps(sc, ops, &sc.walKeyed)
+	if logger := s.shardLogger(); logger != nil {
+		if cerr := s.commitLog(logger); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return appended, err
+}
+
+// feedKeyedOps groups a slice of keyed operations by ingest shard and feeds
+// the groups — the shared core of AppendBatch and the per-frame step of
+// AppendWire, differing only in the write-ahead encoding.
+func (s *Session) feedKeyedOps(sc *batchScratch, ops []KeyedOp, enc *walEnc) (int, error) {
+	e := s.e
 	n := len(ops)
 	if cap(sc.shard) < n {
 		sc.shard = make([]int32, n)
@@ -214,17 +255,81 @@ func (s *Session) AppendBatch(ops []KeyedOp) (int, error) {
 		sc.feedKeyed = func(sh *ingestShard, i int32) error {
 			return s.e.addStringIn(sh, sc.kops[i].Key, sc.kops[i].Op)
 		}
-		sc.encKeyed = func(i int32) {
-			sc.wal = appendKeyedOpText(sc.wal, sc.kops[i].Key, sc.kops[i].Op)
-		}
 	}
-	appended, err := s.feedGrouped(sc, sc.feedKeyed, sc.encKeyed)
+	return s.feedGrouped(sc, sc.feedKeyed, enc)
+}
+
+// AppendWire streams binary wire frames from r into the session: each
+// frame's operations decode into the reusable scratch — key strings
+// interned per stream, no per-operation text — and feed shard groups
+// exactly like AppendBatch. Returns the number of operations actually
+// appended. Frames decoded before a failure are already ingested; a
+// malformed frame surfaces as a *wire.DecodeError carrying the stream byte
+// offset, rejecting only this request (like a parse error on the text
+// path), while engine admission errors are sticky exactly like Append's.
+//
+// When a ShardLogger is attached, each shard group is re-framed as a
+// self-contained wire frame — durable ingest logs binary when it received
+// binary, never materializing text — and the call is the group-commit unit,
+// exactly as on AppendTraceBatch.
+func (s *Session) AppendWire(r io.Reader) (int64, error) {
+	n, err := s.appendWire(r)
 	if logger := s.shardLogger(); logger != nil {
 		if cerr := s.commitLog(logger); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
-	return appended, err
+	return n, err
+}
+
+func (s *Session) appendWire(r io.Reader) (int64, error) {
+	if err := s.gate(); err != nil {
+		return 0, err
+	}
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	if sc.wdec == nil {
+		sc.wdec = wire.NewDecoder(r)
+	} else {
+		sc.wdec.Reset(r)
+	}
+	if sc.walWire.add == nil {
+		sc.walWire = walEnc{
+			begin: func() {
+				if sc.wenc == nil {
+					sc.wenc = wire.NewEncoder()
+					sc.wenc.SetSelfContained(true)
+				} else {
+					sc.wenc.Reset()
+				}
+			},
+			add: func(i int32) {
+				// Keys and kinds came through the decoder, which enforces
+				// the grammar alphabet and the kind set, so re-encoding
+				// cannot fail.
+				_ = sc.wenc.Add(sc.kops[i].Key, sc.kops[i].Op)
+			},
+			finish: func() []byte {
+				sc.wal = sc.wenc.AppendFrame(sc.wal[:0])
+				return sc.wal
+			},
+		}
+	}
+	var n int64
+	for {
+		ops, err := sc.wdec.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		added, ferr := s.feedKeyedOps(sc, ops, &sc.walWire)
+		n += int64(added)
+		if ferr != nil {
+			return n, ferr
+		}
+	}
 }
 
 // AppendTraceBatch streams the keyed text format from r into the session in
@@ -369,11 +474,15 @@ func (s *Session) ingestChunk(sc *batchScratch, data []byte) (int, error) {
 		sc.feedBytes = func(sh *ingestShard, i int32) error {
 			return s.e.addIn(sh, sc.keys[i], sc.ops[i])
 		}
-		sc.encBytes = func(i int32) {
-			sc.wal = appendKeyedOpText(sc.wal, sc.keys[i], sc.ops[i])
+		sc.walBytes = walEnc{
+			begin: func() { sc.wal = sc.wal[:0] },
+			add: func(i int32) {
+				sc.wal = appendKeyedOpText(sc.wal, sc.keys[i], sc.ops[i])
+			},
+			finish: func() []byte { return sc.wal },
 		}
 	}
-	appended, err := s.feedGrouped(sc, sc.feedBytes, sc.encBytes)
+	appended, err := s.feedGrouped(sc, sc.feedBytes, &sc.walBytes)
 	if err != nil {
 		return appended, err
 	}

@@ -73,6 +73,7 @@ import (
 
 	"kat/internal/core"
 	"kat/internal/history"
+	"kat/internal/wire"
 	"kat/internal/zone"
 )
 
@@ -695,9 +696,41 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 }
 
 func (e *engine) run(r io.Reader) error {
-	err := e.drain(parseStreamBytes(r, e.add))
+	// Sniff the codec: binary wire streams open with a fixed magic that no
+	// valid text trace can start with, so reader-driven runs (kavcheck
+	// -stream, StreamCheck, StreamSmallestKByKey) accept either format
+	// without being told which.
+	br := bufio.NewReaderSize(r, 64*1024)
+	var input error
+	if head, err := br.Peek(4); err == nil && wire.IsMagic(head) {
+		input = e.runWire(br)
+	} else {
+		input = parseStreamBytes(br, e.add)
+	}
+	err := e.drain(input)
 	e.finish()
 	return err
+}
+
+// runWire feeds a binary wire stream through the same per-operation entry
+// point the text parser uses; decoded keys are already interned strings.
+func (e *engine) runWire(r io.Reader) error {
+	dec := wire.NewDecoder(r)
+	for {
+		ops, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for i := range ops {
+			sh := e.shards[e.shardIndex(ops[i].Key)]
+			if err := e.addStringIn(sh, ops[i].Key, ops[i].Op); err != nil {
+				return err
+			}
+		}
+	}
 }
 
 // drain finalizes the parser side after input ends: it marks the parse done,

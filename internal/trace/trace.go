@@ -21,6 +21,7 @@ import (
 
 	"kat/internal/core"
 	"kat/internal/history"
+	"kat/internal/wire"
 )
 
 // Trace is a multi-register history: operations tagged with register keys.
@@ -116,6 +117,52 @@ func WriteArrivalOrder(w io.Writer, t *Trace) error {
 		fmt.Fprintf(bw, "%s %s %s\n", kind, r.key, rest)
 	}
 	return bw.Flush()
+}
+
+// WriteWireArrivalOrder renders the trace as a binary wire stream in the
+// same arrival order WriteArrivalOrder uses: frames of frameOps operations
+// (a sensible default when <= 0) sharing one key dictionary, optionally
+// compressed. The output feeds Session.AppendWire, kavcheck -stream, and
+// binary /ingest bodies.
+func WriteWireArrivalOrder(w io.Writer, t *Trace, frameOps int, compress bool) error {
+	if frameOps <= 0 {
+		frameOps = 512
+	}
+	type rec struct {
+		key string
+		op  history.Operation
+	}
+	recs := make([]rec, 0, t.Len())
+	for key, h := range t.Keys {
+		for _, op := range h.Ops {
+			recs = append(recs, rec{key, op})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.op.Start != b.op.Start {
+			return a.op.Start < b.op.Start
+		}
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.op.ID < b.op.ID
+	})
+	enc := wire.NewEncoder()
+	enc.SetCompress(compress)
+	var buf []byte
+	for i, r := range recs {
+		if err := enc.Add(r.key, r.op); err != nil {
+			return err
+		}
+		if enc.Pending() >= frameOps || i == len(recs)-1 {
+			buf = enc.AppendFrame(buf[:0])
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // KeyReport is the verification outcome for one register.

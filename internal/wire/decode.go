@@ -1,0 +1,304 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"kat/internal/history"
+)
+
+// Decoder reads frames from a stream and yields their operations. One
+// decoder is one stream: the key dictionary accumulates across frames
+// (unless a frame resets it), and every dictionary key is interned as a
+// single string shared by every operation that references it — decoding a
+// batch allocates per new key, not per operation.
+type Decoder struct {
+	br  *bufio.Reader
+	off int64 // bytes consumed from the stream
+
+	dict    []string
+	ops     []Op
+	stored  []byte // frame payload as stored
+	raw     []byte // decompressed payload accumulator
+	block   []byte // fixed inflate read chunk
+	scratch [4]byte
+	fr      io.ReadCloser // flate reader, reused via flate.Resetter
+}
+
+// NewDecoder returns a decoder reading frames from r.
+func NewDecoder(r io.Reader) *Decoder {
+	d := &Decoder{}
+	d.Reset(r)
+	return d
+}
+
+// Reset repoints the decoder at a new stream, retaining its buffers —
+// the pooling hook for per-request reuse.
+func (d *Decoder) Reset(r io.Reader) {
+	if d.br == nil {
+		d.br = bufio.NewReaderSize(r, 1<<16)
+	} else {
+		d.br.Reset(r)
+	}
+	d.off = 0
+	d.dict = d.dict[:0]
+}
+
+// Offset returns the number of stream bytes consumed so far.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// errAt builds a DecodeError at an explicit offset.
+func errAt(off int64, msg string, cause error) error {
+	return &DecodeError{Offset: off, Msg: msg, Err: cause}
+}
+
+// readFull fills buf from the stream, mapping a short read to a torn-frame
+// DecodeError at the current offset.
+func (d *Decoder) readFull(buf []byte, what string) error {
+	n, err := io.ReadFull(d.br, buf)
+	d.off += int64(n)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return errAt(d.off, "torn frame: truncated "+what, err)
+	}
+	return nil
+}
+
+// ReadByte lets binary.ReadUvarint pull header varints while the offset
+// stays accurate.
+func (d *Decoder) ReadByte() (byte, error) {
+	b, err := d.br.ReadByte()
+	if err == nil {
+		d.off++
+	}
+	return b, err
+}
+
+// Next decodes one frame and returns its operations, or io.EOF at a clean
+// end of stream. The slice (and its Op values) is reused by the following
+// Next or Reset call. Any malformed input yields a *DecodeError carrying
+// the stream byte offset of the defect.
+func (d *Decoder) Next() ([]Op, error) {
+	frameOff := d.off
+	// Magic: a clean EOF before any frame byte ends the stream; anything
+	// partial is a torn frame.
+	n, err := io.ReadFull(d.br, d.scratch[:4])
+	d.off += int64(n)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, errAt(d.off, "torn frame: truncated magic", io.ErrUnexpectedEOF)
+	}
+	if !IsMagic(d.scratch[:4]) {
+		return nil, errAt(frameOff, fmt.Sprintf("bad magic %q (not a wire frame)", d.scratch[:4]), nil)
+	}
+	ver, err := d.ReadByte()
+	if err != nil {
+		return nil, errAt(d.off, "torn frame: truncated version", io.ErrUnexpectedEOF)
+	}
+	if ver != Version {
+		return nil, errAt(d.off-1, fmt.Sprintf("unsupported frame version %d (decoder speaks %d)", ver, Version), nil)
+	}
+	flags, err := d.ReadByte()
+	if err != nil {
+		return nil, errAt(d.off, "torn frame: truncated flags", io.ErrUnexpectedEOF)
+	}
+	if flags&^byte(flagKnown) != 0 {
+		return nil, errAt(d.off-1, fmt.Sprintf("unknown frame flags %#x", flags&^byte(flagKnown)), nil)
+	}
+	lenOff := d.off
+	plen, err := binary.ReadUvarint(d)
+	if err != nil {
+		return nil, errAt(d.off, "torn frame: truncated payload length", io.ErrUnexpectedEOF)
+	}
+	if plen > maxPayloadBytes {
+		return nil, errAt(lenOff, fmt.Sprintf("payload length %d exceeds the %d-byte limit", plen, int64(maxPayloadBytes)), nil)
+	}
+	payloadOff := d.off
+	if cap(d.stored) < int(plen) {
+		d.stored = make([]byte, plen)
+	}
+	d.stored = d.stored[:plen]
+	if err := d.readFull(d.stored, "payload"); err != nil {
+		return nil, err
+	}
+	if err := d.readFull(d.scratch[:4], "checksum"); err != nil {
+		return nil, err
+	}
+	want := binary.LittleEndian.Uint32(d.scratch[:4])
+	if got := crc32.Checksum(d.stored, castagnoli); got != want {
+		return nil, errAt(frameOff, fmt.Sprintf("payload checksum mismatch (stored %#08x, computed %#08x)", want, got), nil)
+	}
+	payload := d.stored
+	if flags&flagCompressed != 0 {
+		payload, err = d.inflate(d.stored)
+		if err != nil {
+			return nil, errAt(payloadOff, "corrupt compressed payload", err)
+		}
+	}
+	ops, err := d.decodePayload(payload, flags, payloadOff)
+	if err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// inflate decompresses a frame payload into the decoder's scratch buffer.
+func (d *Decoder) inflate(stored []byte) ([]byte, error) {
+	src := bytes.NewReader(stored)
+	if d.fr == nil {
+		d.fr = flate.NewReader(src)
+	} else if err := d.fr.(flate.Resetter).Reset(src, nil); err != nil {
+		return nil, err
+	}
+	d.raw = d.raw[:0]
+	buf := d.scratchBlock()
+	for {
+		n, err := d.fr.Read(buf)
+		d.raw = append(d.raw, buf[:n]...)
+		if len(d.raw) > maxPayloadBytes {
+			return nil, fmt.Errorf("decompressed payload exceeds the %d-byte limit", int64(maxPayloadBytes))
+		}
+		if err == io.EOF {
+			return d.raw, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// scratchBlock returns the fixed read chunk inflate copies through.
+func (d *Decoder) scratchBlock() []byte {
+	if d.block == nil {
+		d.block = make([]byte, 32<<10)
+	}
+	return d.block
+}
+
+// decodePayload parses a decompressed payload into the reusable ops slice.
+func (d *Decoder) decodePayload(p []byte, flags byte, payloadOff int64) ([]Op, error) {
+	bad := func(format string, args ...any) error {
+		return errAt(payloadOff, "malformed payload: "+fmt.Sprintf(format, args...), nil)
+	}
+	if flags&flagDictReset != 0 {
+		d.dict = d.dict[:0]
+	}
+	i := 0
+	uvar := func() (uint64, bool) {
+		v, n := binary.Uvarint(p[i:])
+		if n <= 0 {
+			return 0, false
+		}
+		i += n
+		return v, true
+	}
+	newKeys, ok := uvar()
+	if !ok {
+		return nil, bad("truncated dictionary count")
+	}
+	if newKeys > uint64(len(p)) {
+		return nil, bad("dictionary count %d exceeds payload size", newKeys)
+	}
+	for j := uint64(0); j < newKeys; j++ {
+		klen, ok := uvar()
+		if !ok {
+			return nil, bad("truncated key length")
+		}
+		if klen > maxKeyBytes {
+			return nil, bad("key length %d exceeds the %d-byte limit", klen, int64(maxKeyBytes))
+		}
+		if uint64(len(p)-i) < klen {
+			return nil, bad("key bytes overrun payload")
+		}
+		key := p[i : i+int(klen)]
+		i += int(klen)
+		if !ValidKey(key) {
+			return nil, bad("key %q is not expressible in the trace grammar", key)
+		}
+		d.dict = append(d.dict, string(key))
+	}
+	nops, ok := uvar()
+	if !ok {
+		return nil, bad("truncated operation count")
+	}
+	// Every operation takes at least 4 payload bytes (head, value, start
+	// delta, duration), so the remaining bytes bound the count.
+	if nops > uint64(len(p)-i)/4+1 {
+		return nil, bad("operation count %d exceeds payload size", nops)
+	}
+	if cap(d.ops) < int(nops) {
+		d.ops = make([]Op, nops)
+	}
+	d.ops = d.ops[:nops]
+	last := int64(0)
+	for j := range d.ops {
+		head, ok := uvar()
+		if !ok {
+			return nil, bad("truncated operation %d head", j)
+		}
+		keyID := head >> 3
+		if keyID >= uint64(len(d.dict)) {
+			return nil, bad("operation %d references key id %d outside the %d-entry dictionary", j, keyID, len(d.dict))
+		}
+		kind := history.KindWrite
+		if head&(1<<2) != 0 {
+			kind = history.KindRead
+		}
+		value, ok := uvar()
+		if !ok {
+			return nil, bad("truncated operation %d value", j)
+		}
+		sdelta, ok := uvar()
+		if !ok {
+			return nil, bad("truncated operation %d start delta", j)
+		}
+		dur, ok := uvar()
+		if !ok {
+			return nil, bad("truncated operation %d duration", j)
+		}
+		start := last + unzigzag(sdelta)
+		last = start
+		op := history.Operation{
+			Kind:   kind,
+			Value:  unzigzag(value),
+			Start:  start,
+			Finish: start + unzigzag(dur),
+		}
+		if head&(1<<1) != 0 {
+			w, ok := uvar()
+			if !ok {
+				return nil, bad("truncated operation %d weight", j)
+			}
+			if w > math.MaxInt64 {
+				return nil, bad("operation %d weight %d overflows int64", j, w)
+			}
+			op.Weight = int64(w)
+		}
+		if head&1 != 0 {
+			c, ok := uvar()
+			if !ok {
+				return nil, bad("truncated operation %d client", j)
+			}
+			cv := unzigzag(c)
+			if cv > math.MaxInt || cv < math.MinInt {
+				return nil, bad("operation %d client %d overflows int", j, cv)
+			}
+			op.Client = int(cv)
+		}
+		d.ops[j] = Op{Key: d.dict[keyID], Op: op}
+	}
+	if i != len(p) {
+		return nil, bad("%d trailing bytes after the last operation", len(p)-i)
+	}
+	return d.ops, nil
+}

@@ -71,12 +71,14 @@
 // Session ingest is sharded and batch-friendly: per-key state stripes over
 // StreamOptions.IngestShards independently locked shards (so producers
 // contend only on key-hash collisions, and stats read without any lock),
-// and the batch entry points AppendBatch (pre-parsed KeyedOp slices) and
-// AppendTraceBatch (raw keyed text, zero-copy parsed in chunks) group each
-// call's operations by shard and take each shard lock once per batch
-// instead of once per operation — the ingest analogue of the verification
-// pool's (key, chunk) fan-out. Verdicts are identical to op-granular
-// Append for any shard count and any batch boundaries.
+// and the batch entry points AppendBatch (pre-parsed KeyedOp slices),
+// AppendTraceBatch (raw keyed text, zero-copy parsed in chunks), and
+// AppendWire (the binary wire frame format of internal/wire, decoded
+// without materializing text at all — WriteTraceWireArrivalOrder emits it)
+// group each call's operations by shard and take each shard lock once per
+// batch instead of once per operation — the ingest analogue of the
+// verification pool's (key, chunk) fan-out. Verdicts are identical to
+// op-granular Append for any shard count, batch boundaries, and codec.
 package kat
 
 import (
@@ -390,6 +392,17 @@ func ParseTraceReader(r io.Reader) (*Trace, error) { return trace.ParseReader(r)
 // of its input.
 func WriteTraceArrivalOrder(w io.Writer, t *Trace) error {
 	return trace.WriteArrivalOrder(w, t)
+}
+
+// WriteTraceWireArrivalOrder renders the trace as a binary wire stream
+// (frames of frameOps operations sharing one key dictionary; frameOps <= 0
+// picks a sensible default, compress DEFLATEs frame payloads) in the same
+// arrival order as WriteTraceArrivalOrder. The streaming readers
+// (StreamCheckTrace, StreamSmallestKByKey, kavcheck -stream) sniff the
+// format automatically, and OnlineSession.AppendWire and kavserve's binary
+// /ingest accept it directly.
+func WriteTraceWireArrivalOrder(w io.Writer, t *Trace, frameOps int, compress bool) error {
+	return trace.WriteWireArrivalOrder(w, t, frameOps, compress)
 }
 
 // StreamCheckTrace verifies a multi-register trace read from r at bound k
