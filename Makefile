@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr7 benchcmp cover crash-smoke fuzz-crash
+.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr7 benchcmp cover crash-smoke cluster-smoke fuzz-crash
 
 all: vet build test
 
@@ -88,6 +88,12 @@ bench-pr7:
 # its -data-dir, verify recovered verdicts against the offline checker.
 crash-smoke:
 	./scripts/crash_smoke.sh
+
+# End-to-end cluster smoke: 3 member nodes + kavchaos fault proxy +
+# kavserve -route, merged cluster verdicts diffed against the offline
+# checker on the same trace.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # Crash-point fuzzer: byte-granular kill points and injected I/O faults over
 # the WAL + checkpoint recovery path (see internal/checkpoint). The CI smoke

@@ -1,0 +1,105 @@
+// Command kavchaos is a fault-injecting reverse proxy for kavserve
+// robustness testing: it fronts one node and spends configured budgets of
+// failures against POST /ingest traffic — 503 sheds, connection resets,
+// half-forwarded-then-dropped bodies, and torn responses — while passing
+// every other endpoint through untouched, so retrying clients (and the
+// cluster router) reconcile against the same proxy they ingest through.
+//
+// Usage:
+//
+//	kavserve -addr 127.0.0.1:9001 &
+//	kavchaos -addr 127.0.0.1:9101 -target http://127.0.0.1:9001 \
+//	  -shed 3 -reset 2 -drop 3 -torn 2
+//	kavserve -route http://127.0.0.1:9101,... -addr :8080
+//
+// Once every budget is spent the proxy is a clean pass-through. On
+// SIGINT/SIGTERM it reports how many faults of each kind were actually
+// injected, so smoke scripts can assert the chaos really happened.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kat/internal/chaosproxy"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kavchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kavchaos", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8081", "listen address")
+		target  = fs.String("target", "", "kavserve base URL to front (required)")
+		shed    = fs.Int("shed", 0, "ingest requests to shed with 503 overload")
+		reset   = fs.Int("reset", 0, "ingest requests to kill before forwarding")
+		drop    = fs.Int("drop", 0, "ingest requests to half-forward then kill")
+		torn    = fs.Int("torn", 0, "ingest requests to fully forward, then answer torn")
+		latency = fs.Duration("latency", 0, "added to every proxied request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	u, err := url.Parse(*target)
+	if err != nil {
+		return fmt.Errorf("parsing -target: %w", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("-target must be an http(s) base URL, got %q", *target)
+	}
+	proxy := chaosproxy.New(httputil.NewSingleHostReverseProxy(u), chaosproxy.Faults{
+		Shed503: *shed,
+		Reset:   *reset,
+		Drop:    *drop,
+		Torn:    *torn,
+		Latency: *latency,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	return serve(ln, proxy, sigs, out)
+}
+
+func serve(ln net.Listener, proxy *chaosproxy.Proxy, shutdown <-chan os.Signal, out io.Writer) error {
+	fmt.Fprintf(out, "kavchaos: fronting on %s\n", ln.Addr())
+	hs := &http.Server{Handler: proxy, ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-shutdown:
+	}
+	hs.Close()
+	s, r, d, t := proxy.Injected()
+	fmt.Fprintf(out, "kavchaos: injected %d faults (shed %d, reset %d, drop %d, torn %d)\n",
+		s+r+d+t, s, r, d, t)
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"kat/internal/chaosproxy"
+	"kat/internal/online"
+)
+
+func TestFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"positional"}, &out); err == nil {
+		t.Error("positional argument accepted")
+	}
+	if err := run([]string{"-shed", "1"}, &out); err == nil {
+		t.Error("missing -target accepted")
+	}
+	if err := run([]string{"-target", "127.0.0.1:9001"}, &out); err == nil {
+		t.Error("scheme-less -target accepted")
+	}
+}
+
+// TestServeInjectsThenPassesThrough runs the proxy serve loop against a
+// real kavserve backend: the shed budget burns on the first ingest, the
+// next passes through cleanly, /verdict is never touched by faults, and
+// the shutdown summary reports what was injected.
+func TestServeInjectsThenPassesThrough(t *testing.T) {
+	backend := httptest.NewServer(online.New(online.Config{K: 2}).Handler())
+	defer backend.Close()
+
+	u, err := url.Parse(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := chaosproxy.New(httputil.NewSingleHostReverseProxy(u), chaosproxy.Faults{Shed503: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(chan os.Signal, 1)
+	var mu sync.Mutex
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ln, proxy, sigs, writerFunc(func(p []byte) (int, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			return out.Write(p)
+		}))
+	}()
+	base := "http://" + ln.Addr().String()
+
+	text := "w reg 1 0 1\nr reg 1 2 3\n"
+	post := func() int {
+		resp, err := http.Post(base+"/ingest", "text/plain", strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusServiceUnavailable {
+		t.Fatalf("first ingest = %d, want 503 shed", code)
+	}
+	if code := post(); code != http.StatusOK {
+		t.Fatalf("second ingest = %d, want clean pass-through", code)
+	}
+	resp, err := http.Get(base + "/verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/verdict through proxy = %d", resp.StatusCode)
+	}
+
+	sigs <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	mu.Lock()
+	output := out.String()
+	mu.Unlock()
+	if !strings.Contains(output, "injected 1 faults (shed 1, reset 0, drop 0, torn 0)") {
+		t.Fatalf("missing injection summary:\n%s", output)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

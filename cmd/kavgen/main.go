@@ -78,7 +78,7 @@ func run(args []string, out io.Writer) error {
 		format      = fs.String("format", "text", "with -keys: trace serialization, text|wire (binary frames; kavcheck -stream and kavserve sniff the format)")
 		frameOps    = fs.Int("frame-ops", 0, "with -format wire: operations per frame (0 = default)")
 		compress    = fs.Bool("compress", false, "with -format wire: DEFLATE-compress frame payloads")
-		replay      = fs.String("replay", "", "replay the trace against this kavserve base URL instead of printing it")
+		replay      = fs.String("replay", "", "replay the trace against this kavserve base URL instead of printing it; a comma-separated URL list pre-routes per key hash across cluster member nodes (bypassing the router)")
 		clients     = fs.Int("clients", 8, "with -replay: number of concurrent ingest connections")
 		rate        = fs.Float64("rate", 0, "with -replay: aggregate operations per second (0 = unlimited)")
 		drain       = fs.Bool("drain", false, "with -replay: drain the server afterwards and print its final verdicts")

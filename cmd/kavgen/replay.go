@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"kat"
+	"kat/internal/cluster"
 	"kat/internal/online"
 	"kat/internal/trace"
 	"kat/internal/wire"
@@ -54,13 +55,21 @@ type replayOpts struct {
 	// wire posts each batch as one self-contained binary wire frame under
 	// Content-Type application/x-kav-wire instead of newline text.
 	wire bool
+	// quietVerdict suppresses the final verdict fetch+print; cluster mode
+	// sets it on the per-node runs and prints one merged document itself.
+	quietVerdict bool
 }
 
 // runReplay sends the trace's lines to baseURL/ingest over o.clients
 // concurrent connections at an approximate aggregate o.rate ops/second
 // (0 = unlimited), then optionally drains the server and prints its final
-// verdicts.
+// verdicts. baseURL may be a comma-separated member node list: the trace
+// is then pre-routed per node with the cluster key hash (bypassing any
+// router) and each node gets its own connections, acks, and reconciles.
 func runReplay(baseURL string, traceText []byte, o replayOpts, out io.Writer) error {
+	if nodes := splitNodeList(baseURL); len(nodes) > 1 {
+		return runReplayCluster(nodes, traceText, o, out)
+	}
 	clients := o.clients
 	if clients < 1 {
 		clients = 1
@@ -180,6 +189,9 @@ func runReplay(baseURL string, traceText []byte, o replayOpts, out io.Writer) er
 	if err := <-errs; err != nil {
 		return err
 	}
+	if o.quietVerdict {
+		return nil
+	}
 
 	if o.drain {
 		resp, err := http.Post(baseURL+"/drain", "application/json", nil)
@@ -195,6 +207,110 @@ func runReplay(baseURL string, traceText []byte, o replayOpts, out io.Writer) er
 	}
 	defer resp.Body.Close()
 	return printServerVerdict(out, resp.Body, false)
+}
+
+// splitNodeList parses a comma-separated -replay target list.
+func splitNodeList(target string) []string {
+	var nodes []string
+	for _, n := range bytes.Split([]byte(target), []byte(",")) {
+		if n = bytes.TrimSpace(n); len(n) > 0 {
+			nodes = append(nodes, string(n))
+		}
+	}
+	return nodes
+}
+
+// runReplayCluster replays against member nodes directly, bypassing any
+// router: lines pre-route per node with the same FNV-1a key-hash partition
+// the router uses, so every key's operations land wholly on its owner in
+// order. Each node runs the full single-node machinery — its own
+// connections, sequential acked batches, retry/backoff, and per-node
+// /verdict reconciliation — then the nodes are drained together and one
+// merged cluster verdict is printed.
+func runReplayCluster(nodes []string, traceText []byte, o replayOpts, out io.Writer) error {
+	part, err := cluster.NewPartition(len(nodes), 0)
+	if err != nil {
+		return err
+	}
+	perNode := make([][]byte, len(nodes))
+	for _, line := range bytes.Split(traceText, []byte("\n")) {
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 || trimmed[0] == '#' {
+			continue
+		}
+		n := part.Owner(keyOf(trimmed))
+		perNode[n] = append(append(perNode[n], trimmed...), '\n')
+	}
+	// Connections divide across nodes (at least one each); so does the
+	// aggregate rate, in proportion to each node's share of the ops.
+	perNodeOpts := o
+	perNodeOpts.quietVerdict = true
+	perNodeOpts.drain = false
+	if o.clients > len(nodes) {
+		perNodeOpts.clients = o.clients / len(nodes)
+	} else {
+		perNodeOpts.clients = 1
+	}
+	if o.rate > 0 {
+		perNodeOpts.rate = o.rate / float64(len(nodes))
+	}
+	var wg sync.WaitGroup
+	outputs := make([]bytes.Buffer, len(nodes))
+	errs := make([]error, len(nodes))
+	for n, text := range perNode {
+		if len(text) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int, text []byte) {
+			defer wg.Done()
+			fmt.Fprintf(&outputs[n], "node %d (%s): ", n, nodes[n])
+			errs[n] = runReplay(nodes[n], text, perNodeOpts, &outputs[n])
+		}(n, text)
+	}
+	wg.Wait()
+	for n := range outputs {
+		if outputs[n].Len() > 0 {
+			io.Copy(out, &outputs[n])
+		}
+	}
+	for n, err := range errs {
+		if err != nil {
+			return fmt.Errorf("node %d (%s): %w", n, nodes[n], err)
+		}
+	}
+
+	// Coordinated drain (or live verdict), then one merged document.
+	docs := make([]online.VerdictDoc, 0, len(nodes))
+	for n, base := range nodes {
+		var resp *http.Response
+		var err error
+		if o.drain {
+			resp, err = http.Post(base+"/drain", "application/json", nil)
+		} else {
+			resp, err = http.Get(base + "/verdict")
+		}
+		if err != nil {
+			return fmt.Errorf("node %d (%s): %w", n, base, err)
+		}
+		var doc online.VerdictDoc
+		derr := json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if derr != nil {
+			return fmt.Errorf("node %d (%s): verdict response: %w", n, base, derr)
+		}
+		docs = append(docs, doc)
+	}
+	merged := cluster.MergeDocs(docs)
+	state := "live"
+	if merged.Drained {
+		state = "final"
+	}
+	merged.WriteText(out, fmt.Sprintf("cluster (%d nodes): %s", len(nodes), state))
+	if o.drain && !merged.Drained {
+		return fmt.Errorf("cluster did not report itself drained")
+	}
+	return nil
 }
 
 // grantSize picks the token-bucket grant (lines per take) for one
@@ -381,6 +497,28 @@ func (r *connReplayer) postBatch(batch [][]byte) error {
 		}
 		var rej online.IngestReject
 		_ = json.Unmarshal(body, &rej)
+		if rej.Code == "degraded" {
+			// A cluster router split this batch per member node, so Ingested
+			// is NOT a batch prefix — some middle of the batch may have
+			// landed on healthy nodes. Prefix-trimming would corrupt the
+			// stream; reconcile per key against /verdict instead. The
+			// reconcile only trusts a complete (200) verdict: while the
+			// cluster is partial the fate of the dead slice's ops is
+			// unknowable and resending blind could double-ingest.
+			attempts++
+			if attempts >= r.maxAttempts {
+				return fmt.Errorf("ingest: %s: %s (after %d attempts)", resp.Status, bytes.TrimSpace(body), attempts)
+			}
+			var retryAfter time.Duration
+			if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+				retryAfter = time.Duration(s) * time.Second
+			}
+			if !r.backoff(&delay, retryAfter) {
+				return nil
+			}
+			ambiguous = true
+			continue
+		}
 		if rej.Ingested > 0 {
 			// The server applied a prefix before rejecting; acknowledge it
 			// and keep only the suffix.

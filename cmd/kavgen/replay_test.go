@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"kat/internal/chaosproxy"
+	"kat/internal/cluster"
 	"kat/internal/online"
 )
 
@@ -120,55 +121,9 @@ func writeTrace(keys, opsPerKey int) (string, int) {
 	return b.String(), keys * opsPerKey
 }
 
-// flakyProxy fronts a real online.Server handler. The first `fail503`
-// /ingest requests are shed with 503 overload before the backend sees them;
-// the first `failDrop` /ingest requests forward only the first half of their
-// lines to the backend and then kill the client connection without a
-// response — the ambiguous partial-apply crash the reconcile path exists
-// for. Everything else passes through. The fault budgets are atomics:
-// replay clients hit the proxy from concurrent server goroutines.
-type flakyProxy struct {
-	backend  http.Handler
-	fail503  atomic.Int64
-	failDrop atomic.Int64
-}
-
-func newFlakyProxy(backend http.Handler, fail503, failDrop int) *flakyProxy {
-	p := &flakyProxy{backend: backend}
-	p.fail503.Store(int64(fail503))
-	p.failDrop.Store(int64(failDrop))
-	return p
-}
-
-func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/ingest" {
-		p.backend.ServeHTTP(w, r)
-		return
-	}
-	if p.fail503.Add(-1) >= 0 {
-		w.Header().Set("Retry-After", "0")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprint(w, `{"code":"overload","error":"shedding","ingested":0}`)
-		return
-	}
-	if p.failDrop.Add(-1) >= 0 {
-		body, _ := io.ReadAll(r.Body)
-		lines := bytes.SplitAfter(body, []byte("\n"))
-		half := bytes.Join(lines[:len(lines)/2], nil)
-		req := httptest.NewRequest("POST", "/ingest", bytes.NewReader(half))
-		p.backend.ServeHTTP(httptest.NewRecorder(), req)
-		hj, ok := w.(http.Hijacker)
-		if !ok {
-			panic("recorder cannot hijack")
-		}
-		conn, _, _ := hj.Hijack()
-		conn.Close() // no response: the batch's fate is ambiguous
-		return
-	}
-	p.backend.ServeHTTP(w, r)
-}
-
 // replayAgainst runs runReplay at full tilt with small batches against h.
+// Fault injection comes from internal/chaosproxy (the promoted form of the
+// flakyProxy fixture that used to live here).
 func replayAgainst(t *testing.T, h http.Handler, text string, batchOps int, resume bool) (string, error) {
 	t.Helper()
 	ts := httptest.NewServer(h)
@@ -186,7 +141,7 @@ func TestReplayRetriesTransient503(t *testing.T) {
 	fastRetries(t)
 	text, total := writeTrace(3, 20)
 	srv := online.New(online.Config{K: 2})
-	out, err := replayAgainst(t, newFlakyProxy(srv.Handler(), 3, 0), text, 16, false)
+	out, err := replayAgainst(t, chaosproxy.New(srv.Handler(), chaosproxy.Faults{Shed503: 3}), text, 16, false)
 	if err != nil {
 		t.Fatalf("replay: %v\n%s", err, out)
 	}
@@ -204,7 +159,25 @@ func TestReplayReconcilesAfterConnectionDrop(t *testing.T) {
 	fastRetries(t)
 	text, total := writeTrace(3, 20)
 	srv := online.New(online.Config{K: 2})
-	out, err := replayAgainst(t, newFlakyProxy(srv.Handler(), 0, 2), text, 16, false)
+	out, err := replayAgainst(t, chaosproxy.New(srv.Handler(), chaosproxy.Faults{Drop: 2}), text, 16, false)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	if want := fmt.Sprintf("replayed %d/%d ops", total, total); !strings.Contains(out, want) {
+		t.Fatalf("missing %q:\n%s", want, out)
+	}
+	assertServerOps(t, srv, map[string]int{"k0": 20, "k1": 20, "k2": 20})
+}
+
+// TestReplayReconcilesAfterTornResponse covers the worst ambiguity class:
+// the server applied the whole batch but the response died on the wire. A
+// blind resend would double-ingest; reconciliation must detect the batch
+// already landed and move on.
+func TestReplayReconcilesAfterTornResponse(t *testing.T) {
+	fastRetries(t)
+	text, total := writeTrace(3, 20)
+	srv := online.New(online.Config{K: 2})
+	out, err := replayAgainst(t, chaosproxy.New(srv.Handler(), chaosproxy.Faults{Torn: 2}), text, 16, false)
 	if err != nil {
 		t.Fatalf("replay: %v\n%s", err, out)
 	}
@@ -264,6 +237,100 @@ func TestReplayResume(t *testing.T) {
 		t.Fatalf("missing %q:\n%s", want, out.String())
 	}
 	assertServerOps(t, srv, map[string]int{"k0": 20, "k1": 20, "k2": 20})
+}
+
+// TestReplayNodeListPreRoutes replays against a comma-separated node list:
+// lines pre-route by the cluster key hash so every key lands wholly on its
+// partition owner, the nodes drain together, and one merged cluster
+// verdict is printed.
+func TestReplayNodeListPreRoutes(t *testing.T) {
+	fastRetries(t)
+	text, total := writeTrace(9, 10)
+	var servers []*online.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv := online.New(online.Config{K: 2})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		servers = append(servers, srv)
+		urls = append(urls, ts.URL)
+	}
+	var out strings.Builder
+	err := runReplay(strings.Join(urls, ","), []byte(text), replayOpts{
+		clients: 6, drain: true, batchOps: 16, retries: 8,
+	}, &out)
+	if err != nil {
+		t.Fatalf("cluster replay: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "cluster (3 nodes): final") {
+		t.Fatalf("missing merged cluster verdict:\n%s", out.String())
+	}
+	part, err := cluster.NewPartition(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for i, srv := range servers {
+		for _, ks := range srv.Verdict().Keys {
+			if owner := part.OwnerString(ks.Key); owner != i {
+				t.Fatalf("key %s on node %d, owner is %d", ks.Key, i, owner)
+			}
+			if ks.Ops != 10 {
+				t.Fatalf("key %s has %d ops, want 10", ks.Key, ks.Ops)
+			}
+			seen += ks.Ops
+		}
+	}
+	if seen != total {
+		t.Fatalf("cluster holds %d ops, want %d", seen, total)
+	}
+}
+
+// degradedOnce fronts an online server like a cluster router under partial
+// failure: the first /ingest applies only the batch's even-keyed lines (a
+// non-prefix subset, exactly what a per-node split produces) and answers
+// 503 code "degraded". A client that prefix-trimmed by Ingested would
+// corrupt the stream; the reconcile path must resend exactly the odd-keyed
+// lines.
+type degradedOnce struct {
+	backend http.Handler
+	fired   atomic.Bool
+}
+
+func (p *degradedOnce) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/ingest" || !p.fired.CompareAndSwap(false, true) {
+		p.backend.ServeHTTP(w, r)
+		return
+	}
+	body, _ := io.ReadAll(r.Body)
+	var healthy []byte
+	applied := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[1][len(fields[1])-1]%2 == 0 {
+			healthy = append(healthy, line...)
+			healthy = append(healthy, '\n')
+			applied++
+		}
+	}
+	req := httptest.NewRequest("POST", "/ingest", strings.NewReader(string(healthy)))
+	req.Header = r.Header.Clone()
+	p.backend.ServeHTTP(httptest.NewRecorder(), req)
+	w.Header().Set("Retry-After", "0")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintf(w, `{"code":"degraded","error":"test: slice down","ingested":%d}`, applied)
+}
+
+func TestReplayDegradedReconcilesWithoutPrefixTrim(t *testing.T) {
+	fastRetries(t)
+	text, total := writeTrace(4, 12) // keys k0..k3: k0/k2 "healthy", k1/k3 degraded
+	srv := online.New(online.Config{K: 2})
+	out, err := replayAgainst(t, &degradedOnce{backend: srv.Handler()}, text, total, false)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	assertServerOps(t, srv, map[string]int{"k0": 12, "k1": 12, "k2": 12, "k3": 12})
 }
 
 // assertServerOps drains srv and checks exact per-key ingested-op counts.

@@ -16,6 +16,11 @@
 // log; route each key through one client). On SIGINT/SIGTERM the server
 // drains gracefully — open segments flush to final verdicts, which are
 // printed before exit and stay queryable until the listener closes.
+//
+// With -route, kavserve becomes a cluster router instead of a verification
+// node: it forwards ingest batches to the listed member nodes by key hash,
+// health-checks them, and merges their verdicts — see the README's
+// "Cluster mode" section.
 package main
 
 import (
@@ -29,11 +34,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"kat"
 	"kat/internal/checkpoint"
+	"kat/internal/cluster"
 	"kat/internal/faultfs"
 	"kat/internal/online"
 	"kat/internal/wal"
@@ -63,12 +70,49 @@ func run(args []string, out io.Writer) error {
 		ckptIval = fs.Duration("checkpoint-interval", 5*time.Second, "cadence of background checkpoints that bound WAL replay length")
 		spillOps = fs.Int("spill-threshold-ops", 0, "verified-segment ops retained in memory per key before cold segments spill to -data-dir (0 = default; needs -data-dir)")
 		overload = fs.Int64("overload-ops", 0, "shed /ingest with 503 + Retry-After once this many ops are buffered unverified (0 = never shed)")
+
+		// Router mode.
+		route       = fs.String("route", "", "router mode: comma-separated member base URLs; this process forwards by key hash instead of verifying locally")
+		routeSlots  = fs.Int("route-slots", 0, "router partition granularity in slots (0 = default)")
+		hopTimeout  = fs.Duration("hop-timeout", 5*time.Second, "router: deadline per forwarded request")
+		probeIval   = fs.Duration("probe-interval", time.Second, "router: member health-probe cadence")
+		brkThresh   = fs.Int("breaker-threshold", 3, "router: consecutive failures before a member's circuit breaker opens")
+		brkCooldown = fs.Duration("breaker-cooldown", 3*time.Second, "router: open-breaker dwell before a half-open trial")
+		fwdRetries  = fs.Int("forward-retries", 6, "router: retry attempts per forwarded sub-batch beyond the first")
+
+		// HTTP server hardening (both modes).
+		readHeaderTO = fs.Duration("read-header-timeout", 10*time.Second, "cap on reading a request's headers (slowloris guard)")
+		readTO       = fs.Duration("read-timeout", 5*time.Minute, "cap on reading a whole request, headers+body (0 = unlimited)")
+		idleTO       = fs.Duration("idle-timeout", 2*time.Minute, "cap on idle keep-alive connections")
+		shutdownTO   = fs.Duration("shutdown-timeout", 10*time.Second, "grace for in-flight responses at shutdown before connections are closed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	ht := httpTimeouts{readHeader: *readHeaderTO, read: *readTO, idle: *idleTO, shutdown: *shutdownTO}
+	if *route != "" {
+		if *dataDir != "" {
+			return fmt.Errorf("-route and -data-dir are mutually exclusive: the router holds no verification state")
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigs)
+		return serveRouter(ln, cluster.Config{
+			Nodes:            splitNodes(*route),
+			Slots:            *routeSlots,
+			HopTimeout:       *hopTimeout,
+			ProbeInterval:    *probeIval,
+			BreakerThreshold: *brkThresh,
+			BreakerCooldown:  *brkCooldown,
+			ForwardRetries:   *fwdRetries,
+		}, ht, sigs, out)
 	}
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
@@ -105,7 +149,77 @@ func run(args []string, out io.Writer) error {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 	fmt.Fprintf(out, "kavserve: listening on %s (k=%d)\n", ln.Addr(), *k)
-	return serve(ln, cfg, mgr, *ckptIval, *pprofOn, sigs, out)
+	return serve(ln, cfg, mgr, *ckptIval, *pprofOn, ht, sigs, out)
+}
+
+// splitNodes parses the -route node list.
+func splitNodes(route string) []string {
+	var nodes []string
+	for _, n := range strings.Split(route, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// httpTimeouts hardens the HTTP server in both modes: header and
+// whole-request read deadlines (slowloris and stalled-body guards), an
+// idle keep-alive cap, and a bounded shutdown grace.
+type httpTimeouts struct {
+	readHeader, read, idle, shutdown time.Duration
+}
+
+func newHTTPServer(h http.Handler, ht httpTimeouts) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ht.readHeader,
+		ReadTimeout:       ht.read,
+		IdleTimeout:       ht.idle,
+	}
+}
+
+// shutdownHTTP gives in-flight responses ht.shutdown to finish, then
+// closes connections outright.
+func shutdownHTTP(hs *http.Server, ht httpTimeouts) {
+	ctx, cancel := context.WithTimeout(context.Background(), ht.shutdown)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+}
+
+// serveRouter runs cluster-router mode: no local verification, only
+// health-checked forwarding and verdict merging over the member nodes.
+func serveRouter(ln net.Listener, cfg cluster.Config, ht httpTimeouts, shutdown <-chan os.Signal, out io.Writer) error {
+	cfg.Logf = func(format string, args ...any) { fmt.Fprintf(out, "kavserve: "+format+"\n", args...) }
+	rt, err := cluster.NewRouter(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "kavserve: routing on %s over %d node(s), %d slots\n",
+		ln.Addr(), len(cfg.Nodes), rt.Partition().Slots())
+	for i, node := range cfg.Nodes {
+		fmt.Fprintf(out, "kavserve: node %d %s owns %s\n", i, node, rt.Partition().Range(i))
+	}
+	rt.Start()
+	defer rt.Close()
+	hs := newHTTPServer(rt.Handler(), ht)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-shutdown:
+	}
+	// The router holds no verdict state; members keep theirs. A cluster
+	// drain is explicit (POST /drain) — shutdown just stops routing.
+	fmt.Fprintln(out, "kavserve: router shutting down (members keep their state)")
+	shutdownHTTP(hs, ht)
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return err
+	}
+	return nil
 }
 
 // withPprof mounts the net/http/pprof handlers next to the service mux and
@@ -134,7 +248,7 @@ func withPprof(h http.Handler) http.Handler {
 // non-nil durability manager it first recovers any checkpoint + WAL tail
 // from disk, logs batches through the manager while serving, and seals the
 // drained state in a terminal checkpoint before exit.
-func serve(ln net.Listener, cfg online.Config, mgr *checkpoint.Manager, ckptIval time.Duration, pprofOn bool, shutdown <-chan os.Signal, out io.Writer) error {
+func serve(ln net.Listener, cfg online.Config, mgr *checkpoint.Manager, ckptIval time.Duration, pprofOn bool, ht httpTimeouts, shutdown <-chan os.Signal, out io.Writer) error {
 	srv, rs, err := online.NewDurable(cfg, mgr)
 	if err != nil {
 		return err
@@ -153,7 +267,7 @@ func serve(ln net.Listener, cfg online.Config, mgr *checkpoint.Manager, ckptIval
 	if pprofOn {
 		handler = withPprof(handler)
 	}
-	hs := &http.Server{Handler: handler}
+	hs := newHTTPServer(handler, ht)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 	select {
@@ -176,11 +290,7 @@ func serve(ln net.Listener, cfg online.Config, mgr *checkpoint.Manager, ckptIval
 	srv.Verdict().WriteText(out, "kavserve: final")
 	// Shutdown (not Close): verdicts must stay queryable until in-flight
 	// responses — a client's /drain or /verdict read — have completed.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := hs.Shutdown(ctx); err != nil {
-		hs.Close()
-	}
+	shutdownHTTP(hs, ht)
 	if err := <-serveErr; err != http.ErrServerClosed {
 		return err
 	}

@@ -14,10 +14,22 @@ import (
 
 	"kat"
 	"kat/internal/checkpoint"
+	"kat/internal/cluster"
 	"kat/internal/faultfs"
 	"kat/internal/online"
 	"kat/internal/wal"
 )
+
+// testTimeouts are the hardened HTTP server settings at test-friendly
+// scale (tight shutdown so failed drains don't stall the suite).
+func testTimeouts() httpTimeouts {
+	return httpTimeouts{
+		readHeader: 5 * time.Second,
+		read:       time.Minute,
+		idle:       time.Minute,
+		shutdown:   5 * time.Second,
+	}
+}
 
 func TestFlagErrors(t *testing.T) {
 	var out strings.Builder
@@ -35,6 +47,96 @@ func TestFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-spill-threshold-ops", "100"}, &out); err == nil {
 		t.Error("-spill-threshold-ops without -data-dir accepted")
+	}
+	if err := run([]string{"-route", "http://localhost:1", "-data-dir", "/tmp/x"}, &out); err == nil {
+		t.Error("-route with -data-dir accepted")
+	}
+}
+
+// TestServeRouterMode boots two real member serve loops and a router serve
+// loop in front of them, drives a mixed-key trace through the router, and
+// checks the coordinated cluster drain plus router shutdown.
+func TestServeRouterMode(t *testing.T) {
+	startMember := func() (string, chan os.Signal, chan error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := online.Config{K: 2}
+		cfg.Stream.Workers = 2
+		sigs := make(chan os.Signal, 1)
+		done := make(chan error, 1)
+		go func() { done <- serve(ln, cfg, nil, 0, false, testTimeouts(), sigs, io.Discard) }()
+		return "http://" + ln.Addr().String(), sigs, done
+	}
+	m0, sigs0, done0 := startMember()
+	m1, sigs1, done1 := startMember()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsigs := make(chan os.Signal, 1)
+	var out strings.Builder
+	var mu sync.Mutex
+	lockedOut := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	rdone := make(chan error, 1)
+	go func() {
+		rdone <- serveRouter(ln, cluster.Config{
+			Nodes:         []string{m0, m1},
+			ProbeInterval: 50 * time.Millisecond,
+		}, testTimeouts(), rsigs, lockedOut)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	text := "w a 1 0 1\nw b 1 0 1\nw c 1 2 3\nr a 1 2 3\nr b 1 2 3\nr c 1 4 5\n"
+	resp, err := http.Post(base+"/ingest", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ingested": 6`) {
+		t.Fatalf("router ingest: %s: %s", resp.Status, body)
+	}
+	dresp, err := http.Post(base+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster drain: %s: %s", dresp.Status, dbody)
+	}
+	var doc cluster.ClusterVerdict
+	if err := json.Unmarshal(dbody, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Cluster || !doc.Drained || len(doc.Keys) != 3 {
+		t.Fatalf("cluster drain doc: cluster=%v drained=%v keys=%d: %s", doc.Cluster, doc.Drained, len(doc.Keys), dbody)
+	}
+
+	rsigs <- os.Interrupt
+	if err := <-rdone; err != nil {
+		t.Fatalf("router serve: %v", err)
+	}
+	mu.Lock()
+	output := out.String()
+	mu.Unlock()
+	if !strings.Contains(output, "routing on") || !strings.Contains(output, "node 0 "+m0) {
+		t.Fatalf("router startup log missing topology:\n%s", output)
+	}
+	sigs0 <- os.Interrupt
+	sigs1 <- os.Interrupt
+	if err := <-done0; err != nil {
+		t.Fatalf("member 0: %v", err)
+	}
+	if err := <-done1; err != nil {
+		t.Fatalf("member 1: %v", err)
 	}
 }
 
@@ -67,7 +169,7 @@ func TestServeDurableRestart(t *testing.T) {
 			return out.Write(p)
 		})
 		done := make(chan error, 1)
-		go func() { done <- serve(ln, cfg, mgr, 50*time.Millisecond, false, sigs, lockedOut) }()
+		go func() { done <- serve(ln, cfg, mgr, 50*time.Millisecond, false, testTimeouts(), sigs, lockedOut) }()
 		base := "http://" + ln.Addr().String()
 		if ingest != "" {
 			resp, err := http.Post(base+"/ingest", "text/plain", strings.NewReader(ingest))
@@ -129,7 +231,7 @@ func TestServeDrainOnSignal(t *testing.T) {
 		return out.Write(p)
 	})
 	done := make(chan error, 1)
-	go func() { done <- serve(ln, cfg, nil, 0, true, sigs, lockedOut) }()
+	go func() { done <- serve(ln, cfg, nil, 0, true, testTimeouts(), sigs, lockedOut) }()
 	base := "http://" + ln.Addr().String()
 
 	// -pprof mounts the profile index (mutex/block enabled) next to the

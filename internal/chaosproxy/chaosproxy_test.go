@@ -1,0 +1,147 @@
+package chaosproxy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kat/internal/online"
+	"kat/internal/trace"
+)
+
+func ingestBody(keys, ops int) string {
+	var b strings.Builder
+	for i := 0; i < ops; i++ {
+		for k := 0; k < keys; k++ {
+			fmt.Fprintf(&b, "w k%d %d %d %d\n", k, i+1, 2*i, 2*i+1)
+		}
+	}
+	return b.String()
+}
+
+func post(t *testing.T, url, body string) (*http.Response, error) {
+	t.Helper()
+	return http.Post(url+"/ingest", "text/plain", strings.NewReader(body))
+}
+
+func TestShedBudget(t *testing.T) {
+	srv := online.New(online.Config{K: 2})
+	p := New(srv.Handler(), Faults{Shed503: 2})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := post(t, ts.URL, "w a 1 0 1\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("shed %d: %s, want 503", i, resp.Status)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("shed without Retry-After")
+		}
+	}
+	resp, err := post(t, ts.URL, "w a 1 0 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budget spent but still shedding: %s", resp.Status)
+	}
+	if shed, _, _, _ := p.Injected(); shed != 2 {
+		t.Fatalf("injected shed = %d, want 2", shed)
+	}
+}
+
+func TestResetKillsBeforeForwarding(t *testing.T) {
+	srv := online.New(online.Config{K: 2})
+	p := New(srv.Handler(), Faults{Reset: 1})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	if _, err := post(t, ts.URL, "w a 1 0 1\n"); err == nil {
+		t.Fatal("reset fault produced a clean response")
+	}
+	// The backend never saw the request.
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if doc := srv.Verdict(); len(doc.Keys) != 0 {
+		t.Fatalf("backend ingested through a reset fault: %+v", doc.Keys)
+	}
+}
+
+func TestDropForwardsHalfThenKills(t *testing.T) {
+	srv := online.New(online.Config{K: 2})
+	p := New(srv.Handler(), Faults{Drop: 1})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	body := ingestBody(1, 8)
+	if _, err := post(t, ts.URL, body); err == nil {
+		t.Fatal("drop fault produced a clean response")
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	doc := srv.Verdict()
+	if len(doc.Keys) != 1 || doc.Keys[0].Ops != 4 {
+		t.Fatalf("backend should hold exactly the forwarded half (4 ops): %+v", doc.Keys)
+	}
+}
+
+func TestTornAppliesFullyButFailsTheClient(t *testing.T) {
+	srv := online.New(online.Config{K: 2})
+	p := New(srv.Handler(), Faults{Torn: 1})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	body := ingestBody(1, 8)
+	resp, err := post(t, ts.URL, body)
+	if err == nil {
+		// Some transports surface the torn header as a response whose body
+		// read fails; either way the client must not see a clean 200 body.
+		if _, rerr := io.ReadAll(resp.Body); rerr == nil && resp.StatusCode == http.StatusOK && resp.ContentLength >= 0 {
+			t.Fatal("torn fault produced a clean response")
+		}
+		resp.Body.Close()
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	doc := srv.Verdict()
+	if len(doc.Keys) != 1 || doc.Keys[0].Ops != 8 {
+		t.Fatalf("torn fault must apply the whole batch server-side: %+v", doc.Keys)
+	}
+}
+
+func TestLatencyAndPassThrough(t *testing.T) {
+	srv := online.New(online.Config{K: 2, Stream: trace.StreamOptions{Workers: 1}})
+	p := New(srv.Handler(), Faults{Latency: 30 * time.Millisecond})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verdict through proxy: %s", resp.Status)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency shaping not applied: %v", d)
+	}
+	if p.InjectedTotal() != 0 {
+		t.Fatalf("faults injected on a clean config: %d", p.InjectedTotal())
+	}
+}

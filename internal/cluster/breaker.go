@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes traffic; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits exactly one trial request after the cooldown;
+	// its outcome snaps the breaker closed or back open.
+	BreakerHalfOpen
+	// BreakerOpen fails fast until the cooldown elapses.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker with half-open
+// recovery. Both the router's health probes and its forwarding results
+// feed it, so a node that answers probes but fails ingests still trips.
+// Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	// trial guards the half-open single-admission: one request probes the
+	// node, everyone else keeps failing fast until its outcome lands.
+	trial bool
+}
+
+// NewBreaker builds a closed breaker tripping after `threshold`
+// consecutive failures and cooling down for `cooldown` before admitting a
+// half-open trial.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// State reports the breaker's position, advancing open → half-open if the
+// cooldown has elapsed (so metrics gauges show "half-open" as soon as a
+// trial would be admitted, not only after one arrives).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may proceed. In half-open it admits a
+// single trial; callers that get true MUST report the outcome via Success
+// or Failure, or the breaker wedges half-open.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		fallthrough
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success records a request that reached the node and got a protocol-level
+// answer. It closes the breaker from any state.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.trial = false
+}
+
+// Failure records a transport-level failure (timeout, refused connection,
+// torn response). A half-open trial failure re-opens immediately; closed
+// failures open once the consecutive count reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	}
+}

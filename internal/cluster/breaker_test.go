@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// clockFor pins a breaker to a manual clock.
+func clockFor(b *Breaker) *time.Time {
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+	return &now
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	clockFor(b)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker gated after %d failures (threshold 3)", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	b := NewBreaker(1, time.Second)
+	now := clockFor(b)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	*now = now.Add(time.Second)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the trial")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	// Trial fails: snap back open and re-arm the cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted immediately")
+	}
+	*now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second trial refused after second cooldown")
+	}
+	// Trial succeeds: closed, traffic flows, failure count reset.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", b.State())
+	}
+	for i := 0; i < 5; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker gated traffic")
+		}
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(3, time.Second)
+	clockFor(b)
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("third consecutive failure did not trip")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open", BreakerOpen: "open", BreakerState(9): "unknown",
+	} {
+		if got := state.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", state, got, want)
+		}
+	}
+}

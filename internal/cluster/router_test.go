@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kat/internal/chaosproxy"
+	"kat/internal/history"
+	"kat/internal/online"
+	"kat/internal/trace"
+	"kat/internal/wire"
+)
+
+func fastRouterRetries(t *testing.T) {
+	t.Helper()
+	base, max := routerRetryBase, routerRetryMax
+	routerRetryBase, routerRetryMax = time.Millisecond, 5*time.Millisecond
+	t.Cleanup(func() { routerRetryBase, routerRetryMax = base, max })
+}
+
+// testCluster is N online members behind httptest servers plus a router
+// fronting them (probes not started; tests that need them call Start).
+type testCluster struct {
+	router   *Router
+	rts      *httptest.Server
+	members  []*online.Server
+	backends []*httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler, cfg Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		srv := online.New(online.Config{K: 2})
+		h := http.Handler(srv.Handler())
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		tc.members = append(tc.members, srv)
+		tc.backends = append(tc.backends, ts)
+		cfg.Nodes = append(cfg.Nodes, ts.URL)
+	}
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	tc.router = rt
+	tc.rts = httptest.NewServer(rt.Handler())
+	t.Cleanup(tc.rts.Close)
+	return tc
+}
+
+// clusterTrace builds writes over `keys` keys, `opsPerKey` each,
+// interleaved, and the per-key count map.
+func clusterTrace(keys, opsPerKey int) (string, map[string]int) {
+	var b strings.Builder
+	want := map[string]int{}
+	for i := 0; i < opsPerKey; i++ {
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("k%d", k)
+			fmt.Fprintf(&b, "w %s %d %d %d\n", key, i+1, 2*i, 2*i+1)
+			want[key]++
+		}
+	}
+	return b.String(), want
+}
+
+func postIngestText(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, payload
+}
+
+func getClusterVerdict(t *testing.T, url, path string, wantStatus int) ClusterVerdict {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	if path == "/drain" {
+		resp, err = http.Post(url+path, "", nil)
+	} else {
+		resp, err = http.Get(url + path)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s: %s (want %d): %.300s", path, resp.Status, wantStatus, body)
+	}
+	var doc ClusterVerdict
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("%s: decoding: %v: %.300s", path, err, body)
+	}
+	return doc
+}
+
+// TestRouterSplitsByOwnerAndMergesVerdicts is the core routing invariant:
+// a mixed-key batch splits so every key lands wholly on its partition
+// owner, and the merged cluster verdict covers every key exactly once.
+func TestRouterSplitsByOwnerAndMergesVerdicts(t *testing.T) {
+	fastRouterRetries(t)
+	tc := newTestCluster(t, 3, nil, Config{})
+	text, want := clusterTrace(12, 10)
+	resp, payload := postIngestText(t, tc.rts.URL, text)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s: %s", resp.Status, payload)
+	}
+	if !strings.Contains(string(payload), `"ingested": 120`) {
+		t.Fatalf("ingest ack = %s, want 120", payload)
+	}
+
+	doc := getClusterVerdict(t, tc.rts.URL, "/drain", http.StatusOK)
+	if !doc.Cluster || !doc.Drained || doc.Partial {
+		t.Fatalf("drain doc: cluster=%v drained=%v partial=%v", doc.Cluster, doc.Drained, doc.Partial)
+	}
+	if doc.K != 2 {
+		t.Fatalf("merged K = %d, want 2", doc.K)
+	}
+	got := map[string]int{}
+	for _, ks := range doc.Keys {
+		if _, dup := got[ks.Key]; dup {
+			t.Fatalf("key %s appears twice in merged verdict", ks.Key)
+		}
+		got[ks.Key] = ks.Ops
+	}
+	for key, n := range want {
+		if got[key] != n {
+			t.Fatalf("key %s: %d ops, want %d (all: %v)", key, got[key], n, got)
+		}
+	}
+	if doc.Stats.Ops != 120 {
+		t.Fatalf("merged stats ops = %d, want 120", doc.Stats.Ops)
+	}
+
+	// Placement: every key sits wholly on its owner, nowhere else.
+	for i, srv := range tc.members {
+		for _, ks := range srv.Verdict().Keys {
+			if owner := tc.router.Partition().OwnerString(ks.Key); owner != i {
+				t.Fatalf("key %s on node %d, owner is %d", ks.Key, i, owner)
+			}
+			if ks.Ops != want[ks.Key] {
+				t.Fatalf("key %s on node %d has %d ops, want %d", ks.Key, i, ks.Ops, want[ks.Key])
+			}
+		}
+	}
+}
+
+// TestRouterWireCodecPreserved: a wire-encoded batch splits and forwards
+// as wire frames (member wire-codec byte counters move, text stays 0).
+func TestRouterWireCodecPreserved(t *testing.T) {
+	fastRouterRetries(t)
+	tc := newTestCluster(t, 2, nil, Config{})
+	text, want := clusterTrace(6, 8)
+	var ops []wire.Op
+	if err := trace.ParseStreamBytes(strings.NewReader(text), func(key []byte, op history.Operation) error {
+		ops = append(ops, wire.Op{Key: string(key), Op: op})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	body, err := wire.EncodeSelfContained(nil, ops, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(tc.rts.URL+"/ingest", wire.ContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wire ingest: %s: %s", resp.Status, payload)
+	}
+	doc := getClusterVerdict(t, tc.rts.URL, "/drain", http.StatusOK)
+	got := map[string]int{}
+	for _, ks := range doc.Keys {
+		got[ks.Key] = ks.Ops
+	}
+	for key, n := range want {
+		if got[key] != n {
+			t.Fatalf("key %s: %d ops, want %d", key, got[key], n)
+		}
+	}
+	// Codec preserved end to end: members saw wire bytes, not text.
+	for i, ts := range tc.backends {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		exposition, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(exposition), `kavserve_ingest_bytes_total{codec="text"} 0`) == false {
+			t.Fatalf("node %d ingested text bytes for a wire batch:\n%s", i, exposition)
+		}
+	}
+}
+
+// TestRouterDegradedIngest: with one member down, healthy slices keep
+// ingesting and the reject is typed "degraded" naming the dead slice, with
+// Ingested counting cross-node accepted ops (not a prefix).
+func TestRouterDegradedIngest(t *testing.T) {
+	fastRouterRetries(t)
+	tc := newTestCluster(t, 3, nil, Config{ForwardRetries: 1, BreakerThreshold: 2, HopTimeout: 2 * time.Second})
+	tc.backends[1].Close() // node 1 is gone
+
+	text, want := clusterTrace(12, 5)
+	resp, payload := postIngestText(t, tc.rts.URL, text)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest: %s (want 503): %s", resp.Status, payload)
+	}
+	var reject DegradedReject
+	if err := json.Unmarshal(payload, &reject); err != nil {
+		t.Fatalf("decoding reject: %v: %s", err, payload)
+	}
+	if reject.Code != "degraded" {
+		t.Fatalf("reject code = %q, want degraded", reject.Code)
+	}
+	if len(reject.Unreachable) != 1 || !strings.Contains(reject.Unreachable[0], "node 1") {
+		t.Fatalf("unreachable = %v, want node 1's slice", reject.Unreachable)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded reject without Retry-After")
+	}
+
+	// Healthy nodes hold exactly their slices' ops; the dead node's keys
+	// account for the shortfall reported in Ingested.
+	part := tc.router.Partition()
+	var healthyOps int64
+	for key, n := range want {
+		if part.OwnerString(key) != 1 {
+			healthyOps += int64(n)
+		}
+	}
+	if reject.Ingested != healthyOps {
+		t.Fatalf("reject.Ingested = %d, want %d (healthy slices only)", reject.Ingested, healthyOps)
+	}
+
+	// The partial verdict is typed: 206, Partial, dead slice named, and
+	// only healthy keys present.
+	doc := getClusterVerdict(t, tc.rts.URL, "/verdict", http.StatusPartialContent)
+	if !doc.Partial || len(doc.Unreachable) != 1 {
+		t.Fatalf("partial=%v unreachable=%v, want partial with one slice", doc.Partial, doc.Unreachable)
+	}
+	for _, ks := range doc.Keys {
+		if part.OwnerString(ks.Key) == 1 {
+			t.Fatalf("dead node's key %s present in partial verdict", ks.Key)
+		}
+	}
+	var deadKey, liveKey string
+	for key := range want {
+		if part.OwnerString(key) == 1 {
+			deadKey = key
+		} else {
+			liveKey = key
+		}
+	}
+	// Per-key lookups: owner down → typed 503; healthy owner → proxied 200.
+	resp2, err := http.Get(tc.rts.URL + "/verdict/" + deadKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body2), "degraded") {
+		t.Fatalf("dead key lookup: %s: %s", resp2.Status, body2)
+	}
+	resp3, err := http.Get(tc.rts.URL + "/verdict/" + liveKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK || !strings.Contains(string(body3), `"key"`) {
+		t.Fatalf("live key lookup: %s: %s", resp3.Status, body3)
+	}
+}
+
+// TestRouterChaosForwardingIsExact drives batches through a router whose
+// middle member sits behind a chaos proxy injecting every ambiguity class.
+// The router's retry+reconcile machinery must absorb all of it: clients
+// see clean 200s and per-key counts come out exact (nothing lost, nothing
+// double-ingested).
+func TestRouterChaosForwardingIsExact(t *testing.T) {
+	fastRouterRetries(t)
+	var proxy *chaosproxy.Proxy
+	tc := newTestCluster(t, 3, func(i int, h http.Handler) http.Handler {
+		if i != 1 {
+			return h
+		}
+		proxy = chaosproxy.New(h, chaosproxy.Faults{Shed503: 2, Reset: 2, Drop: 2, Torn: 2})
+		return proxy
+	}, Config{})
+
+	text, want := clusterTrace(9, 8)
+	lines := strings.SplitAfter(strings.TrimSuffix(text, "\n"), "\n")
+	const batches = 6
+	per := (len(lines) + batches - 1) / batches
+	for off := 0; off < len(lines); off += per {
+		end := min(off+per, len(lines))
+		resp, payload := postIngestText(t, tc.rts.URL, strings.Join(lines[off:end], ""))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch at %d: %s: %s", off, resp.Status, payload)
+		}
+	}
+	if proxy.InjectedTotal() == 0 {
+		t.Fatal("chaos proxy injected nothing; test proves nothing")
+	}
+	doc := getClusterVerdict(t, tc.rts.URL, "/drain", http.StatusOK)
+	got := map[string]int{}
+	for _, ks := range doc.Keys {
+		got[ks.Key] = ks.Ops
+	}
+	for key, n := range want {
+		if got[key] != n {
+			t.Fatalf("key %s: %d ops, want exactly %d (chaos broke exactness; injected %d faults)",
+				key, got[key], n, proxy.InjectedTotal())
+		}
+	}
+	m := tc.router.members[1]
+	if m.fwdRetries.Value() == 0 {
+		t.Fatal("no forward retries recorded despite chaos")
+	}
+	if m.reconciles.Value() == 0 {
+		t.Fatal("no reconciles recorded despite drop/torn faults")
+	}
+}
+
+// TestRouterMetricsMergesMembers: /metrics serves the router's own
+// families plus every member's exposition relabeled with node="...", with
+// HELP headers deduplicated.
+func TestRouterMetricsMergesMembers(t *testing.T) {
+	fastRouterRetries(t)
+	tc := newTestCluster(t, 2, nil, Config{})
+	text, _ := clusterTrace(4, 3)
+	resp, payload := postIngestText(t, tc.rts.URL, text)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s: %s", resp.Status, payload)
+	}
+	mresp, err := http.Get(tc.rts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	text = string(body)
+	for _, wantSub := range []string{
+		"kavserve_router_nodes 2",
+		"kavserve_router_ingest_requests_total 1",
+		`kavserve_router_forward_ops_total{node="`,
+		`kavserve_router_breaker_state{node="`,
+		`kavserve_ingest_requests_total{node="`,
+	} {
+		if !strings.Contains(text, wantSub) {
+			t.Fatalf("metrics missing %q:\n%.2000s", wantSub, text)
+		}
+	}
+	if n := strings.Count(text, "# HELP kavserve_ingest_requests_total "); n != 1 {
+		t.Fatalf("member HELP header appears %d times, want 1 (dedup broken)", n)
+	}
+}
+
+// TestRouterDrainingMembersSurfaceTerminalCode: once every member is
+// draining, further ingest through the router answers 409 "draining" so
+// clients stop rather than burn retries on a terminal condition.
+func TestRouterDrainingMembersSurfaceTerminalCode(t *testing.T) {
+	fastRouterRetries(t)
+	tc := newTestCluster(t, 2, nil, Config{ForwardRetries: 1})
+	text, _ := clusterTrace(4, 2)
+	if resp, payload := postIngestText(t, tc.rts.URL, text); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s: %s", resp.Status, payload)
+	}
+	getClusterVerdict(t, tc.rts.URL, "/drain", http.StatusOK)
+	resp, payload := postIngestText(t, tc.rts.URL, text)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-drain ingest: %s (want 409): %s", resp.Status, payload)
+	}
+	var reject DegradedReject
+	if err := json.Unmarshal(payload, &reject); err != nil {
+		t.Fatal(err)
+	}
+	if reject.Code != "draining" {
+		t.Fatalf("post-drain code = %q, want draining", reject.Code)
+	}
+}
+
+// TestRouterMalformedBatchRejectsAtomically: a batch that fails to decode
+// forwards nothing anywhere — Ingested is genuinely zero.
+func TestRouterMalformedBatchRejectsAtomically(t *testing.T) {
+	tc := newTestCluster(t, 2, nil, Config{})
+	resp, payload := postIngestText(t, tc.rts.URL, "w k0 1 0 1\nthis is not a trace line\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: %s: %s", resp.Status, payload)
+	}
+	var reject online.IngestReject
+	if err := json.Unmarshal(payload, &reject); err != nil {
+		t.Fatal(err)
+	}
+	if reject.Code != "malformed" || reject.Ingested != 0 {
+		t.Fatalf("reject = %+v, want malformed/0", reject)
+	}
+	for i, srv := range tc.members {
+		if err := srv.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if keys := srv.Verdict().Keys; len(keys) != 0 {
+			t.Fatalf("node %d ingested part of a malformed batch: %+v", i, keys)
+		}
+	}
+}
+
+// TestRouterHealthzReportsTopology: the router's own /healthz names every
+// member, its slice, and its breaker state.
+func TestRouterHealthzReportsTopology(t *testing.T) {
+	tc := newTestCluster(t, 3, nil, Config{})
+	resp, err := http.Get(tc.rts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h RouterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Mode != "router" || len(h.Nodes) != 3 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	for i, n := range h.Nodes {
+		if n.Index != i || n.Breaker != "closed" || !strings.HasPrefix(n.Slots, "slots [") {
+			t.Fatalf("node %d health = %+v", i, n)
+		}
+	}
+}

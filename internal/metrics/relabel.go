@@ -1,0 +1,89 @@
+package metrics
+
+// Prometheus text-exposition relabeling. A cluster router serving /metrics
+// wants to surface its members' metrics next to its own, which requires
+// disambiguating the same family names across nodes: every sample gets a
+// node="..." label injected, and each family's HELP/TYPE header renders once
+// across the whole merged document, not once per node.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+)
+
+// WriteRelabeled copies one Prometheus text exposition into w, injecting
+// label (Prometheus form without braces, e.g. `node="10.0.0.1:8080"`) into
+// every sample line. HELP/TYPE comment lines are emitted only for families
+// not already in seen, which the caller threads across calls so a merged
+// document declares each family once; other comment lines are dropped.
+// Lines that don't look like samples are passed through untouched — a
+// scraper is the consumer, and a half-relabeled document is worse than a
+// verbatim odd line.
+func WriteRelabeled(w io.Writer, exposition []byte, label string, seen map[string]bool) (int64, error) {
+	var total int64
+	var buf []byte
+	for len(exposition) > 0 {
+		line := exposition
+		if i := bytes.IndexByte(exposition, '\n'); i >= 0 {
+			line, exposition = exposition[:i], exposition[i+1:]
+		} else {
+			exposition = nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if line[0] == '#' {
+			// "# HELP name ..." / "# TYPE name ...": keep the first sighting
+			// of each family header kind, drop the rest (and any other
+			// comment).
+			fields := strings.Fields(string(line))
+			if len(fields) >= 3 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				key := fields[1] + " " + fields[2]
+				if !seen[key] {
+					seen[key] = true
+					n, err := w.Write(append(line, '\n'))
+					total += int64(n)
+					if err != nil {
+						return total, err
+					}
+				}
+			}
+			continue
+		}
+		buf = appendRelabeled(buf[:0], line, label)
+		n, err := w.Write(buf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// appendRelabeled rewrites one sample line with label injected as the first
+// label: `name{a="b"} v` -> `name{label,a="b"} v`, `name v` -> `name{label} v`.
+// Lines without the expected shape are appended verbatim.
+func appendRelabeled(dst, line []byte, label string) []byte {
+	if brace := bytes.IndexByte(line, '{'); brace >= 0 {
+		dst = append(dst, line[:brace+1]...)
+		dst = append(dst, label...)
+		if brace+1 < len(line) && line[brace+1] != '}' {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, line[brace+1:]...)
+		return append(dst, '\n')
+	}
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		// Not a sample; pass through.
+		dst = append(dst, line...)
+		return append(dst, '\n')
+	}
+	dst = append(dst, line[:sp]...)
+	dst = append(dst, '{')
+	dst = append(dst, label...)
+	dst = append(dst, '}')
+	dst = append(dst, line[sp:]...)
+	return append(dst, '\n')
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteRelabeled(t *testing.T) {
+	nodeA := "# HELP kavserve_ops_ingested_total Operations accepted.\n" +
+		"# TYPE kavserve_ops_ingested_total counter\n" +
+		"kavserve_ops_ingested_total 12\n" +
+		"# HELP kavserve_shard_ops_total Per shard.\n" +
+		"# TYPE kavserve_shard_ops_total counter\n" +
+		"kavserve_shard_ops_total{shard=\"0\"} 7\n" +
+		"kavserve_shard_ops_total{shard=\"1\"} 5\n"
+	nodeB := "# HELP kavserve_ops_ingested_total Operations accepted.\n" +
+		"# TYPE kavserve_ops_ingested_total counter\n" +
+		"kavserve_ops_ingested_total 3\n"
+
+	var out strings.Builder
+	seen := map[string]bool{}
+	if _, err := WriteRelabeled(&out, []byte(nodeA), `node="a:1"`, seen); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteRelabeled(&out, []byte(nodeB), `node="b:2"`, seen); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+
+	for _, want := range []string{
+		`kavserve_ops_ingested_total{node="a:1"} 12`,
+		`kavserve_ops_ingested_total{node="b:2"} 3`,
+		`kavserve_shard_ops_total{node="a:1",shard="0"} 7`,
+		`kavserve_shard_ops_total{node="a:1",shard="1"} 5`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("relabeled output missing %q:\n%s", want, got)
+		}
+	}
+	// Each family header appears exactly once despite two nodes exporting it.
+	if n := strings.Count(got, "# TYPE kavserve_ops_ingested_total counter"); n != 1 {
+		t.Fatalf("TYPE header repeated %d times:\n%s", n, got)
+	}
+	if n := strings.Count(got, "# HELP kavserve_ops_ingested_total"); n != 1 {
+		t.Fatalf("HELP header repeated %d times:\n%s", n, got)
+	}
+}
+
+// TestWriteRelabeledEmptyBraces covers the `name{} v` exposition corner: the
+// injected label must not leave a trailing comma.
+func TestWriteRelabeledEmptyBraces(t *testing.T) {
+	var out strings.Builder
+	if _, err := WriteRelabeled(&out, []byte("m{} 1\n"), `node="x"`, map[string]bool{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.String(), "m{node=\"x\"} 1\n"; got != want {
+		t.Fatalf("relabeled %q, want %q", got, want)
+	}
+}

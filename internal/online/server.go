@@ -367,10 +367,31 @@ func (s *Server) Handler() http.Handler {
 		s.reg.WriteTo(w)
 	})
 	mux.HandleFunc("POST /drain", s.handleDrain)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// Health is the /healthz document: liveness plus the two facts a cluster
+// router's probe wants without a full /verdict fetch — whether this node
+// still accepts ingest, and how loaded it is.
+type Health struct {
+	// Status is "ok" while ingest is open, "draining" once Drain started.
+	Status string `json:"status"`
+	// Draining mirrors Status for machine consumption.
+	Draining bool `json:"draining"`
+	// BufferedOps is the live buffered-operation count (the overload
+	// signal).
+	BufferedOps int64 `json:"bufferedOps"`
+	// Keys counts distinct keys seen.
+	Keys int64 `json:"keys"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := Health{Status: "ok", BufferedOps: s.sess.BufferedOps(), Keys: s.sess.Keys()}
+	if s.Draining() {
+		h.Status, h.Draining = "draining", true
+	}
+	writeJSON(w, h)
 }
 
 // Drain flushes the session to final verdicts: open windows are committed,

@@ -540,15 +540,35 @@ func TestCrossBoundaryViolationWitness(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
-	ts := httptest.NewServer(New(Config{Stream: trace.StreamOptions{Workers: 1}}).Handler())
+	srv := New(Config{Stream: trace.StreamOptions{Workers: 1}})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
+	get := func() Health {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: %s", resp.Status)
+		}
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if h := get(); h.Status != "ok" || h.Draining {
+		t.Fatalf("fresh server health %+v, want ok", h)
+	}
+	if err := srv.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz: %s", resp.Status)
+	// /healthz stays 200 while draining — the node is alive and serves
+	// verdicts — but reports the state so a router can route around ingest.
+	if h := get(); h.Status != "draining" || !h.Draining {
+		t.Fatalf("drained server health %+v, want draining", h)
 	}
 }
 

@@ -131,11 +131,16 @@ func (s *Session) Flushed() bool { return s.flushed.Load() }
 // spill store instead of memory. Lock-free.
 func (s *Session) SpilledOps() int64 { return s.e.onDisk.Load() }
 
-// appendKeyedOpText appends the keyed text form of one operation —
+// AppendKeyedOpText appends the keyed text form of one operation —
 // "kind key value start finish[ weight=N][ client=N]\n" — the same grammar
-// parseKeyedOp reads, so WAL payloads, spill blobs, and checkpoint segment
-// bodies all round-trip through the one parser. Generic over the key view
-// so the zero-copy byte paths don't materialize a string.
+// parseKeyedOp reads, so WAL payloads, spill blobs, checkpoint segment
+// bodies, and the cluster router's re-emitted per-node sub-batches all
+// round-trip through the one parser. Generic over the key view so the
+// zero-copy byte paths don't materialize a string.
+func AppendKeyedOpText[K string | []byte](buf []byte, key K, op history.Operation) []byte {
+	return appendKeyedOpText(buf, key, op)
+}
+
 func appendKeyedOpText[K string | []byte](buf []byte, key K, op history.Operation) []byte {
 	if op.IsWrite() {
 		buf = append(buf, 'w', ' ')

@@ -241,9 +241,15 @@ func ParseStream(r io.Reader, emit func(key string, op history.Operation) error)
 	})
 }
 
-// parseStreamBytes is the allocation-lean core of ParseStream: the key
+// ParseStreamBytes is the allocation-lean form of ParseStream: the key
 // reaches emit as a view into the line buffer, valid only during the call,
-// which lets the engine do map lookups without a per-operation string.
+// so callers that intern or hash keys themselves (the engine's shard maps,
+// the cluster router's per-node splitter) pay no per-operation string.
+func ParseStreamBytes(r io.Reader, emit func(key []byte, op history.Operation) error) error {
+	return parseStreamBytes(r, emit)
+}
+
+// parseStreamBytes is the core of ParseStream and ParseStreamBytes.
 func parseStreamBytes(r io.Reader, emit func(key []byte, op history.Operation) error) error {
 	sc := bufio.NewScanner(r)
 	// A trace may legally sit on one ';'-separated line, so the cap is a

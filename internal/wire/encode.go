@@ -68,6 +68,13 @@ func (e *Encoder) Add(key string, op history.Operation) error {
 	return e.addOp(id, op)
 }
 
+// AddOp buffers one keyed operation — Add for the codec's own element type,
+// so callers holding decoded batches (the cluster router re-framing per-node
+// sub-batches) need no destructuring at the call site.
+func (e *Encoder) AddOp(kop Op) error {
+	return e.Add(kop.Key, kop.Op)
+}
+
 // AddBytes is Add for a byte-slice key view; it allocates the key string
 // only on the first sighting (map hits are allocation-free).
 func (e *Encoder) AddBytes(key []byte, op history.Operation) error {
