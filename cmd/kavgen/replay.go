@@ -80,18 +80,17 @@ func runReplay(baseURL string, traceText []byte, o replayOpts, out io.Writer) er
 	if o.retries < 1 {
 		o.retries = 1
 	}
+	lines, err := splitTraceOps(traceText)
+	if err != nil {
+		return err
+	}
 	buckets := make([][][]byte, clients)
-	total := 0
-	for _, line := range bytes.Split(traceText, []byte("\n")) {
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 || line[0] == '#' {
-			continue
-		}
+	total := len(lines)
+	for _, line := range lines {
 		h := fnv.New32a()
 		h.Write(keyOf(line))
 		b := int(h.Sum32() % uint32(clients))
 		buckets[b] = append(buckets[b], line)
-		total++
 	}
 
 	// -resume: ask the server what it already has and skip those per-key
@@ -209,6 +208,27 @@ func runReplay(baseURL string, traceText []byte, o replayOpts, out io.Writer) er
 	return printServerVerdict(out, resp.Body, false)
 }
 
+// splitTraceOps parses the keyed trace text and re-renders it one operation
+// per line (trailing newline stripped). Routing — the per-connection buckets
+// of runReplay and the per-node pre-routing of runReplayCluster — hashes one
+// key per line, but the trace grammar allows ';'-separated multi-op lines
+// that may mix keys; routing such a line whole would send every op to the
+// first op's owner, breaking per-key ordering (single node) and partition
+// placement (cluster). One op per line also makes line acknowledgments equal
+// server-side op counts, which the /verdict reconcile arithmetic depends on.
+func splitTraceOps(traceText []byte) ([][]byte, error) {
+	var lines [][]byte
+	err := trace.ParseStreamBytes(bytes.NewReader(traceText), func(key []byte, op kat.Operation) error {
+		line := trace.AppendKeyedOpText(nil, key, op)
+		lines = append(lines, bytes.TrimSuffix(line, []byte("\n")))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lines, nil
+}
+
 // splitNodeList parses a comma-separated -replay target list.
 func splitNodeList(target string) []string {
 	var nodes []string
@@ -232,14 +252,17 @@ func runReplayCluster(nodes []string, traceText []byte, o replayOpts, out io.Wri
 	if err != nil {
 		return err
 	}
+	// Pre-route per operation, not per raw line: splitTraceOps has already
+	// broken ';'-separated multi-key lines apart, so each rendered line
+	// carries exactly the one key its owner is chosen by.
+	lines, err := splitTraceOps(traceText)
+	if err != nil {
+		return err
+	}
 	perNode := make([][]byte, len(nodes))
-	for _, line := range bytes.Split(traceText, []byte("\n")) {
-		trimmed := bytes.TrimSpace(line)
-		if len(trimmed) == 0 || trimmed[0] == '#' {
-			continue
-		}
-		n := part.Owner(keyOf(trimmed))
-		perNode[n] = append(append(perNode[n], trimmed...), '\n')
+	for _, line := range lines {
+		n := part.Owner(keyOf(line))
+		perNode[n] = append(append(perNode[n], line...), '\n')
 	}
 	// Connections divide across nodes (at least one each); so does the
 	// aggregate rate, in proportion to each node's share of the ops.

@@ -286,6 +286,83 @@ func TestReplayNodeListPreRoutes(t *testing.T) {
 	}
 }
 
+// TestReplayNodeListSplitsMultiOpLines: the trace grammar allows
+// ';'-separated multi-op lines mixing keys. Pre-routing such a line whole
+// would send every op to the first op's owner; the replay must split per
+// operation so each op lands on its own key's partition owner.
+func TestReplayNodeListSplitsMultiOpLines(t *testing.T) {
+	fastRetries(t)
+	part, err := cluster.NewPartition(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair two keys with different owners on every line, so whole-line
+	// routing would provably misplace the second key's ops.
+	keyA, keyB := "k0", ""
+	for i := 1; i < 64 && keyB == ""; i++ {
+		if k := fmt.Sprintf("k%d", i); part.OwnerString(k) != part.OwnerString(keyA) {
+			keyB = k
+		}
+	}
+	if keyB == "" {
+		t.Fatal("no key in k1..k63 with a different owner than k0")
+	}
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "w %s %d %d %d; w %s %d %d %d\n", keyA, i+1, 2*i, 2*i+1, keyB, i+1, 2*i, 2*i+1)
+	}
+	var servers []*online.Server
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv := online.New(online.Config{K: 2})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		servers = append(servers, srv)
+		urls = append(urls, ts.URL)
+	}
+	var out strings.Builder
+	if err := runReplay(strings.Join(urls, ","), []byte(b.String()), replayOpts{
+		clients: 3, drain: true, batchOps: 8, retries: 8,
+	}, &out); err != nil {
+		t.Fatalf("cluster replay: %v\n%s", err, out.String())
+	}
+	got := map[string]int{}
+	for i, srv := range servers {
+		for _, ks := range srv.Verdict().Keys {
+			if owner := part.OwnerString(ks.Key); owner != i {
+				t.Fatalf("key %s on node %d, owner is %d", ks.Key, i, owner)
+			}
+			got[ks.Key] += ks.Ops
+		}
+	}
+	if len(got) != 2 || got[keyA] != 10 || got[keyB] != 10 {
+		t.Fatalf("per-key ops = %v, want %s:10 %s:10", got, keyA, keyB)
+	}
+}
+
+// TestReplayMultiOpLinesReconcileExactly: multi-op lines also break the
+// single-node path if routed whole — a key's ops could ride two connection
+// buckets (ordering) and one line can hold several server-side ops (ack
+// arithmetic). Normalized per-op routing must keep counts exact even when
+// drops and torn responses force /verdict reconciles.
+func TestReplayMultiOpLinesReconcileExactly(t *testing.T) {
+	fastRetries(t)
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "w k0 %d %d %d; w k1 %d %d %d; w k0 %d %d %d\n",
+			i+1, 4*i, 4*i+1, i+1, 4*i, 4*i+1, i+100, 4*i+2, 4*i+3)
+	}
+	srv := online.New(online.Config{K: 2})
+	out, err := replayAgainst(t, chaosproxy.New(srv.Handler(), chaosproxy.Faults{Drop: 2, Torn: 2}), b.String(), 16, false)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "replayed 60/60 ops") {
+		t.Fatalf("missing exact op accounting:\n%s", out)
+	}
+	assertServerOps(t, srv, map[string]int{"k0": 40, "k1": 20})
+}
+
 // degradedOnce fronts an online server like a cluster router under partial
 // failure: the first /ingest applies only the batch's even-keyed lines (a
 // non-prefix subset, exactly what a per-node split produces) and answers

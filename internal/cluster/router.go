@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -293,7 +294,45 @@ func (rt *Router) Handler() http.Handler {
 // /verdict rather than prefix-trim.
 type DegradedReject struct {
 	online.IngestReject
-	Unreachable []string `json:"unreachable,omitempty"`
+	Unreachable []string        `json:"unreachable,omitempty"`
+	Slices      []DegradedSlice `json:"slices,omitempty"`
+}
+
+// DegradedSlice details one failed member slice of a degraded ingest. Code
+// is the member's own reject code ("" when the failure was transport-level
+// or breaker-gated), preserved so clients keep the per-slice diagnostic the
+// top-level code would otherwise mask.
+type DegradedSlice struct {
+	Slice string `json:"slice"`
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error"`
+}
+
+// stickyRejectCodes are member reject codes a blind retry of the same batch
+// cannot cure (see online.IngestReject); the router omits Retry-After when
+// every failed slice is sticky so clients stop instead of burning attempts.
+var stickyRejectCodes = map[string]bool{
+	"draining":     true,
+	"out_of_order": true,
+	"buffer_limit": true,
+	"durability":   true,
+	"malformed":    true,
+}
+
+// rejectStatus maps a member reject code to the HTTP status the single-node
+// server uses for it, so a uniform typed failure round-trips the cluster
+// with unchanged semantics.
+func rejectStatus(code string) int {
+	switch code {
+	case "draining", "out_of_order":
+		return http.StatusConflict
+	case "malformed":
+		return http.StatusBadRequest
+	case "durability":
+		return http.StatusInternalServerError
+	default: // buffer_limit, overload, degraded
+		return http.StatusServiceUnavailable
+	}
 }
 
 // slice names a member's keyspace slice for degradation reports.
@@ -359,26 +398,39 @@ func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "{\"ingested\": %d}\n", total)
 		return
 	}
-	// Degraded: healthy slices kept ingesting; name the failed ones. If
-	// every failure is a draining member, surface the terminal "draining"
-	// code so well-behaved clients stop instead of burning retries.
-	allDraining := true
+	// Degraded: healthy slices kept ingesting; name the failed ones, each
+	// with its member's own reject code so the machine-readable diagnostic
+	// survives the merge. When every failed slice rejected with the same
+	// typed code the router surfaces that code (and its status) instead of
+	// the generic "degraded", and Retry-After is set only if at least one
+	// failure is retryable — sticky member rejects (draining, out_of_order,
+	// buffer_limit, durability) cannot be cured by resending the same batch.
+	sort.Slice(failed, func(a, b int) bool { return failed[a].m.idx < failed[b].m.idx })
 	reject := DegradedReject{IngestReject: online.IngestReject{Code: "degraded", Ingested: total}}
+	common := failed[0].err.code
+	anyRetryable := false
 	var msgs []string
 	for _, res := range failed {
-		if res.err.code != "draining" {
-			allDraining = false
+		if res.err.code != common {
+			common = ""
 		}
-		reject.Unreachable = append(reject.Unreachable, rt.slice(res.m))
-		msgs = append(msgs, fmt.Sprintf("%s: %v", rt.slice(res.m), res.err.err))
+		if !stickyRejectCodes[res.err.code] {
+			anyRetryable = true
+		}
+		slice := rt.slice(res.m)
+		reject.Unreachable = append(reject.Unreachable, slice)
+		reject.Slices = append(reject.Slices, DegradedSlice{
+			Slice: slice, Code: res.err.code, Error: res.err.err.Error(),
+		})
+		msgs = append(msgs, fmt.Sprintf("%s: %v", slice, res.err.err))
 	}
-	sort.Strings(reject.Unreachable)
 	reject.Error = "degraded: " + strings.Join(msgs, "; ")
 	status := http.StatusServiceUnavailable
-	if allDraining {
-		reject.Code = "draining"
-		status = http.StatusConflict
-	} else {
+	if common != "" {
+		reject.Code = common
+		status = rejectStatus(common)
+	}
+	if anyRetryable {
 		w.Header().Set("Retry-After", "1")
 	}
 	rt.degradedIngests.Inc()
@@ -440,6 +492,20 @@ func (rt *Router) forward(ctx context.Context, m *member, batch []wire.Op, isWir
 
 	var acked int64
 	remaining := batch
+	// ambiguous marks an in-flight post whose fate is unknown: the member
+	// may hold operations m.acked does not credit. While it is set nothing
+	// may be resent — only a reconcile against the member's authoritative
+	// counts clears it. And if forward exits with it still set (retries
+	// exhausted, breaker fail-fast, ctx canceled), the acked baseline is
+	// stale-low, so it must be refreshed from /verdict before any later
+	// forward trusts count deltas — a stale baseline would make that
+	// forward's reconcile trim NEW operations as "already applied".
+	ambiguous := false
+	defer func() {
+		if ambiguous {
+			m.needBaseline.Store(true)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
 		if len(remaining) == 0 {
 			m.fwdBatches.Inc()
@@ -456,6 +522,31 @@ func (rt *Router) forward(ctx context.Context, m *member, batch []wire.Op, isWir
 		}
 		if !m.breaker.Allow() {
 			return acked, &forwardError{err: fmt.Errorf("circuit breaker %s", m.breaker.State())}
+		}
+		if ambiguous {
+			// Resolve the in-flight post before anything else touches the
+			// wire: the member may have applied none, part, or all of it,
+			// and a blind resend would double-ingest whatever landed.
+			left, applied, rerr := rt.reconcile(ctx, m, remaining)
+			if rerr != nil {
+				// Member unreachable for reconcile too; retry the loop (the
+				// breaker will gate if this keeps up).
+				m.breaker.Failure()
+				continue
+			}
+			m.reconciles.Inc()
+			m.breaker.Success() // /verdict answered: the node is alive
+			ambiguous = false
+			acked += applied
+			m.fwdOps.Add(applied)
+			remaining = left
+			if len(remaining) == 0 {
+				m.fwdBatches.Inc()
+				return acked, nil
+			}
+			// Resolved: fall through and resend the trimmed remainder in
+			// this same attempt, so one injected fault still costs one
+			// attempt of the retry budget.
 		}
 		if m.needBaseline.Load() {
 			counts, err := rt.fetchCounts(ctx, m)
@@ -496,21 +587,11 @@ func (rt *Router) forward(ctx context.Context, m *member, batch []wire.Op, isWir
 			m.breaker.Success()
 			return acked, ferr
 		default:
-			// Transport-level: timeout, refused, torn response. The member
-			// may have applied none, part, or all of the sub-batch —
-			// reconcile against its authoritative per-key counts.
+			// Transport-level: timeout, refused, torn response. The batch's
+			// fate is unknown; mark it ambiguous so the next attempt
+			// reconciles before any resend.
 			m.breaker.Failure()
-			left, applied, rerr := rt.reconcile(ctx, m, remaining)
-			if rerr != nil {
-				// Member unreachable for reconcile too; retry the loop (the
-				// breaker will gate if this keeps up).
-				continue
-			}
-			m.reconciles.Inc()
-			m.breaker.Success() // /verdict answered: the node is alive
-			acked += applied
-			m.fwdOps.Add(applied)
-			remaining = left
+			ambiguous = true
 			continue
 		}
 	}
@@ -817,7 +898,9 @@ func (rt *Router) handleVerdictKey(w http.ResponseWriter, r *http.Request) {
 	m := rt.members[rt.part.OwnerString(key)]
 	hctx, cancel := context.WithTimeout(r.Context(), rt.cfg.HopTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(hctx, http.MethodGet, m.base+"/verdict/"+key, nil)
+	// PathValue decoded the segment; re-escape it for the member URL so
+	// keys containing reserved bytes ('%', '?', '#') survive the hop.
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, m.base+"/verdict/"+url.PathEscape(key), nil)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

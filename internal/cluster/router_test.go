@@ -7,7 +7,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -338,6 +340,137 @@ func TestRouterChaosForwardingIsExact(t *testing.T) {
 	}
 	if m.reconciles.Value() == 0 {
 		t.Fatal("no reconciles recorded despite drop/torn faults")
+	}
+}
+
+// TestRouterAmbiguousForwardInvalidatesBaseline reproduces the stale-acked
+// hazard: a forward whose in-flight batch lands on the member but whose
+// reconcile never resolves (the member's /verdict stays down until the
+// retry budget is spent) must invalidate the router's acked baseline.
+// Otherwise a later forward's reconcile computes its skip from counts that
+// include the orphaned batch and silently trims the NEW batch's leading
+// ops as "already applied", losing them.
+func TestRouterAmbiguousForwardInvalidatesBaseline(t *testing.T) {
+	fastRouterRetries(t)
+	var mode atomic.Int32 // 0: normal; 1: ingest applies then dies + verdict 500s; 2: one pre-apply reset
+	tc := newTestCluster(t, 1, func(_ int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch {
+			case mode.Load() == 1 && r.URL.Path == "/ingest":
+				// Apply the batch, then kill the connection: a transport
+				// failure on operations that actually landed.
+				h.ServeHTTP(httptest.NewRecorder(), r)
+				if conn, _, err := w.(http.Hijacker).Hijack(); err == nil {
+					conn.Close()
+				}
+			case mode.Load() == 1 && r.URL.Path == "/verdict":
+				http.Error(w, "verdict down", http.StatusInternalServerError)
+			case mode.Load() == 2 && r.URL.Path == "/ingest":
+				// One connection reset before the member sees anything,
+				// forcing the next forward through its reconcile path.
+				mode.Store(0)
+				if conn, _, err := w.(http.Hijacker).Hijack(); err == nil {
+					conn.Close()
+				}
+			default:
+				h.ServeHTTP(w, r)
+			}
+		})
+	}, Config{ForwardRetries: 2, BreakerThreshold: 100})
+
+	// Warm-up establishes a clean acked baseline.
+	if resp, payload := postIngestText(t, tc.rts.URL, "w k 1 0 1\n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up ingest: %s: %s", resp.Status, payload)
+	}
+	// B1 lands but every reconcile fails: the router gives up with the
+	// batch's fate unresolved and must not trust its acked counts again
+	// until it re-reads /verdict.
+	mode.Store(1)
+	if resp, payload := postIngestText(t, tc.rts.URL, "w k 2 2 3\nw k 3 4 5\n"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ambiguous give-up: %s (want 503): %s", resp.Status, payload)
+	}
+	// B2 hits one pre-apply reset, forcing a reconcile. A stale baseline
+	// would attribute B1's two orphaned ops to B2 and drop B2 entirely; the
+	// refreshed baseline must deliver B2 exactly.
+	mode.Store(2)
+	if resp, payload := postIngestText(t, tc.rts.URL, "w k 4 6 7\nw k 5 8 9\n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery ingest: %s: %s", resp.Status, payload)
+	}
+	doc := getClusterVerdict(t, tc.rts.URL, "/drain", http.StatusOK)
+	if len(doc.Keys) != 1 || doc.Keys[0].Ops != 5 {
+		t.Fatalf("drained keys = %+v, want k with exactly 5 ops (1 warm-up + 2 orphaned + 2 retried)", doc.Keys)
+	}
+}
+
+// TestRouterStickyMemberRejectSurfacesCode: a typed sticky member reject
+// (out_of_order here) must keep its code and status through the router —
+// not be relabeled "degraded" with a Retry-After inviting useless retries.
+func TestRouterStickyMemberRejectSurfacesCode(t *testing.T) {
+	fastRouterRetries(t)
+	// MinSegmentOps 1 commits a cut at every quiescent instant, making the
+	// out-of-order arrival below detectable (mirrors TestIngestErrors).
+	srv := online.New(online.Config{K: 2, Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	rt, err := NewRouter(Config{Nodes: []string{ts.URL}, ForwardRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	for _, line := range []string{"w k 1 10 11\n", "w k 2 30 31\n"} {
+		if resp, payload := postIngestText(t, rts.URL, line); resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-order ingest: %s: %s", resp.Status, payload)
+		}
+	}
+	// Start regresses behind a committed cut: the member answers 409
+	// out_of_order, which is sticky — resending the same batch cannot help.
+	resp, payload := postIngestText(t, rts.URL, "w k 3 5 6\n")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("out-of-order ingest: %s (want 409): %s", resp.Status, payload)
+	}
+	var reject DegradedReject
+	if err := json.Unmarshal(payload, &reject); err != nil {
+		t.Fatalf("decoding reject: %v: %s", err, payload)
+	}
+	if reject.Code != "out_of_order" {
+		t.Fatalf("reject code = %q, want out_of_order", reject.Code)
+	}
+	if len(reject.Slices) != 1 || reject.Slices[0].Code != "out_of_order" {
+		t.Fatalf("slices = %+v, want one out_of_order slice", reject.Slices)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatal("sticky reject carried Retry-After")
+	}
+}
+
+// TestRouterVerdictKeyEscaped: per-key lookups for keys containing URL
+// reserved bytes must survive the router → member hop re-escaped.
+func TestRouterVerdictKeyEscaped(t *testing.T) {
+	fastRouterRetries(t)
+	tc := newTestCluster(t, 2, nil, Config{})
+	const key = "k%2?x"
+	if resp, payload := postIngestText(t, tc.rts.URL, "w "+key+" 1 0 1\n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s: %s", resp.Status, payload)
+	}
+	resp, err := http.Get(tc.rts.URL + "/verdict/" + url.PathEscape(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("escaped key lookup: %s: %s", resp.Status, body)
+	}
+	var status struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatalf("decoding key status: %v: %s", err, body)
+	}
+	if status.Key != key {
+		t.Fatalf("key status for %q, want %q: %s", status.Key, key, body)
 	}
 }
 
