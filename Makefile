@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr7 benchcmp cover crash-smoke cluster-smoke fuzz-crash
+.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr9 benchcmp cover crash-smoke cluster-smoke fuzz-crash
 
 all: vet build test
 
@@ -18,8 +18,10 @@ vet:
 
 # Coverage gate: total statement coverage across every package must stay
 # above COVER_MIN, so test-only packages (internal/refcheck and its
-# differential/metamorphic suites) cannot silently rot. The current total is
-# ~81%; the gate sits below it with margin for incidental churn.
+# differential/metamorphic suites) and the per-property checkers
+# (internal/delta, internal/regularity — both in the ./... profile) cannot
+# silently rot. The current total is ~83%; the gate sits below it with
+# margin for incidental churn.
 COVER_MIN ?= 75
 cover:
 	$(GO) test -count=1 -coverprofile=cover.out ./...
@@ -40,9 +42,16 @@ bench:
 BASELINE_CORE := BenchmarkFZF|BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$|BenchmarkHotKey|BenchmarkStreamCheckZipf
 BASELINE_BENCHES := $(BASELINE_CORE)|BenchmarkOnlineIngest
 
+#
+# BenchmarkMultiProperty likewise records in its own pass at the gate's
+# -benchtime: one iteration is a full 16k-op streaming pass (and the Δ
+# binary search makes props=all ~10× props=k), so the default benchtime
+# would burn minutes per count; -short skips its 1M-op replay rows, which
+# are recorded by bench-pr9 instead.
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BASELINE_CORE)' -benchmem -count 6 -timeout 60m . | tee BENCH_baseline.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkOnlineIngest' -benchtime 20000x -benchmem -count 6 -timeout 30m . | tee -a BENCH_baseline.txt
+	$(GO) test -short -run '^$$' -bench 'BenchmarkMultiProperty' -benchtime 20x -benchmem -count 6 -timeout 30m . | tee -a BENCH_baseline.txt
 	$(GO) run ./scripts/benchjson BENCH_baseline.txt > BENCH_baseline.json
 
 # PR 2 trajectory record: the pinned families plus the 1M-op streaming vs
@@ -84,6 +93,16 @@ bench-pr7:
 	$(GO) test -run '^$$' -bench 'BenchmarkOnlineIngest' -benchtime 20000x -benchmem -count 4 -timeout 30m . | tee -a BENCH_pr7.txt
 	$(GO) run ./scripts/benchjson BENCH_pr7.txt > BENCH_pr7.json
 
+# PR 9 trajectory record: the pinned families plus the multi-property rows
+# — k-only vs k+Δ+regularity in the same streaming pass, including the
+# 1M-op replay (run WITHOUT -short so the 1M rows execute; MultiProperty
+# gets its own low -benchtime pass, one iteration being a full replay).
+bench-pr9:
+	$(GO) test -run '^$$' -bench '$(BASELINE_CORE)' -benchmem -count 3 -timeout 30m . | tee BENCH_pr9.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkOnlineIngest' -benchtime 20000x -benchmem -count 3 -timeout 30m . | tee -a BENCH_pr9.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkMultiProperty' -benchtime 3x -benchmem -count 3 -timeout 60m . | tee -a BENCH_pr9.txt
+	$(GO) run ./scripts/benchjson BENCH_pr9.txt > BENCH_pr9.json
+
 # End-to-end crash-recovery smoke: SIGKILL a durable kavserve, restart from
 # its -data-dir, verify recovered verdicts against the offline checker.
 crash-smoke:
@@ -108,11 +127,14 @@ fuzz-crash:
 # scheduler jitter outliers don't fail CI while real regressions still do.
 # BenchmarkOnlineIngest runs in a second pass with a higher -benchtime:
 # its unit is one ingested operation, so 500 iterations would not even
-# fill one 512-op batch.
+# fill one 512-op batch. BenchmarkMultiProperty runs in a third pass at a
+# LOWER -benchtime: one iteration is a full 16k-op streaming pass, so 500
+# iterations would take minutes per count (-short also skips its 1M rows).
 GATE_BENCHES := BenchmarkFZFScratch|BenchmarkVerifierReuse|BenchmarkTraceParse|BenchmarkTraceCheckParallel|BenchmarkStreamCheck$$
 
 benchcmp:
 	$(GO) test -short -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 500x -benchmem -count 4 . > bench_current.txt || (cat bench_current.txt; exit 1)
 	$(GO) test -short -run '^$$' -bench 'BenchmarkOnlineIngest' -benchtime 20000x -benchmem -count 4 . >> bench_current.txt || (cat bench_current.txt; exit 1)
+	$(GO) test -short -run '^$$' -bench 'BenchmarkMultiProperty' -benchtime 20x -benchmem -count 4 . >> bench_current.txt || (cat bench_current.txt; exit 1)
 	cat bench_current.txt
 	$(GO) run ./scripts/benchcmp -baseline BENCH_baseline.json bench_current.txt

@@ -497,6 +497,59 @@ func BenchmarkStream1M(b *testing.B) {
 	})
 }
 
+// The multi-property headline: the marginal cost of verifying Δ-atomicity
+// and regularity in the SAME streaming pass as smallest-k — one parse, one
+// safe-cut segmentation, one work-stealing pool, extra checkers per segment.
+// props=k is the legacy single-property baseline; props=all adds Δ and
+// regularity. The 16k-op rows feed the benchcmp regression gate (in a
+// second pass at a low -benchtime: one iteration is a full streaming pass,
+// and the Δ binary search makes props=all ~10× props=k); the 1M-op replay
+// (the trace behind BenchmarkStream1M) records the headline numbers and is
+// skipped under -short.
+func BenchmarkMultiProperty(b *testing.B) {
+	run := func(b *testing.B, text string, props root.PropertySet) {
+		b.SetBytes(int64(len(text)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			kvs, _, err := root.StreamVerdictsByKey(strings.NewReader(text),
+				root.Options{}, root.StreamOptions{Workers: 4, Properties: props})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, kv := range kvs {
+				if kv.Err != nil {
+					b.Fatalf("key %s: %v", kv.Key, kv.Err)
+				}
+			}
+		}
+	}
+	tr := root.NewTrace()
+	for key := 0; key < 16; key++ {
+		h := generator.KAtomic(generator.Config{
+			Seed: int64(key), Ops: 1000, Concurrency: 3,
+			StalenessDepth: 1, ReadFraction: 0.6,
+		})
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("key-%02d", key), op)
+		}
+	}
+	text := serializeByStart(tr)
+	b.Run("props=k", func(b *testing.B) { run(b, text, root.PropertySetK) })
+	b.Run("props=all", func(b *testing.B) { run(b, text, root.PropertySetAll) })
+	b.Run("1M/props=k", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("1M-op workload; skipped under -short (CI bench smoke)")
+		}
+		run(b, stream1MText(), root.PropertySetK)
+	})
+	b.Run("1M/props=all", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("1M-op workload; skipped under -short (CI bench smoke)")
+		}
+		run(b, stream1MText(), root.PropertySetAll)
+	})
+}
+
 // The hot-key headline: ONE register, 64k ops — the workload where key-level
 // fan-out collapses to a single core. workers=1 is the sequential single-key
 // path (CheckPreparedParallel delegates to the plain Verifier); workers=4

@@ -19,6 +19,7 @@
 //	kavcheck -k 2 -keyed -workers 8 trace.txt  # multi-register, 8-way parallel
 //	tail -f ops.log | kavcheck -k 2 -stream -  # streaming pipeline
 //	kavgen -keys 64 -ops 1000 -format wire | kavcheck -k 2 -stream -  # binary
+//	kavcheck -stream -properties trace.txt   # smallest k + smallest Δ + regularity
 //
 // -stream sniffs its input: a stream opening with the binary wire-frame
 // magic (kavgen -format wire; see internal/wire) decodes without any text
@@ -53,7 +54,7 @@ func run(args []string, out io.Writer) error {
 		smallest = fs.Bool("smallest", false, "compute the smallest k instead of a yes/no check")
 		weighted = fs.Int64("weighted", 0, "verify weighted k-AV with this bound (overrides -k)")
 		doDelta  = fs.Bool("delta", false, "also report the smallest time-staleness bound Δ")
-		props    = fs.Bool("properties", false, "also report Lamport safety and regularity")
+		props    = fs.Bool("properties", false, "also report Lamport safety and regularity (with -stream: per-key smallest Δ and regularity verdicts from the same streaming pass)")
 		keyed    = fs.Bool("keyed", false, "input is a multi-register trace (w <key> <value> <start> <finish>)")
 		stream   = fs.Bool("stream", false, "streaming keyed verification: bounded memory, verdicts before EOF (implies -keyed)")
 		workers  = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); keys fan out for -keyed/-stream, chunks fan out within single registers")
@@ -68,6 +69,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *stream {
+		if *props {
+			return runStreamVerdicts(fs.Args(), *workers, *horizon, out)
+		}
 		return runStream(fs.Args(), *k, *smallest, *workers, *horizon, out)
 	}
 	if *keyed {
@@ -281,6 +285,45 @@ func runStream(args []string, k int, smallest bool, workers, horizon int, out io
 		return fmt.Errorf("trace is not %d-atomic (failing keys: %v)", k, rep.FailingKeys())
 	}
 	fmt.Fprintf(out, "trace: all %d keys are %d-atomic\n", len(rep.Keys), k)
+	return nil
+}
+
+// runStreamVerdicts verifies every property (smallest k, smallest Δ,
+// regularity/safety) per key in one streaming pass and prints the combined
+// per-key verdicts.
+func runStreamVerdicts(args []string, workers, horizon int, out io.Writer) error {
+	in, err := openInput(args)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	sopts := kat.StreamOptions{Workers: workers, Horizon: horizon, Properties: kat.PropertySetAll}
+	kvs, stats, err := kat.StreamVerdictsByKey(in, kat.Options{}, sopts)
+	if err != nil {
+		return err
+	}
+	var failing []string
+	for _, kv := range kvs {
+		if kv.Err != nil {
+			failing = append(failing, kv.Key)
+			fmt.Fprintf(out, "key %-12s %4d ops  error: %v\n", kv.Key, kv.Ops, kv.Err)
+			continue
+		}
+		line := fmt.Sprintf("key %-12s %4d ops  smallest k: %d  smallest Δ: %d  irregular: %d  unsafe: %d",
+			kv.Key, kv.Ops, max(1, kv.SmallestK), kv.SmallestDelta, kv.IrregularReads, kv.UnsafeReads)
+		if kv.Saturated || kv.DeltaSaturated {
+			line += "  (k and Δ are horizon floors)"
+		}
+		fmt.Fprintln(out, line)
+	}
+	printStreamStats(out, stats)
+	if stats.SaturatedKeys > 0 {
+		fmt.Fprintf(out, "note: %d key(s) exceeded the staleness horizon; their k and Δ are lower bounds (raise -horizon)\n",
+			stats.SaturatedKeys)
+	}
+	if len(failing) > 0 {
+		return fmt.Errorf("verification failed for keys: %v", failing)
+	}
 	return nil
 }
 

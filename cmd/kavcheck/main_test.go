@@ -310,3 +310,25 @@ func TestCheckPropertiesFlag(t *testing.T) {
 		t.Errorf("properties line missing or wrong:\n%s", out.String())
 	}
 }
+
+func TestCheckStreamProperties(t *testing.T) {
+	// key y's read is one write stale and overlaps nothing: k=2, Δ bridges
+	// the gap back to the overwritten value, and the read is both
+	// irregular and unsafe.
+	path := writeTemp(t, "w x 1 0 10\nr x 1 20 30\nw y 1 5 15\nw y 2 25 35\nr y 1 45 55\n")
+	var out strings.Builder
+	if err := run([]string{"-stream", "-properties", path}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"key x               2 ops  smallest k: 1  smallest Δ: 0  irregular: 0  unsafe: 0",
+		"smallest k: 2",
+		"irregular: 1  unsafe: 1",
+		"stream: 5 ops over 2 keys",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}

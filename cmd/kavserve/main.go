@@ -56,14 +56,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("kavserve", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
-		k       = fs.Int("k", 2, "staleness bound keys are judged against in /verdict")
-		workers = fs.Int("workers", 0, "verification pool size (0 = GOMAXPROCS)")
-		horizon = fs.Int("horizon", 0, "smallest-k staleness horizon in writes (0 = default)")
-		minSeg  = fs.Int("min-segment-ops", 0, "minimum open-window size before a quiescent cut (0 = default)")
-		maxBuf  = fs.Int("max-buffered-ops", 0, "cap on live buffered operations across keys (0 = uncapped)")
-		memo    = fs.Bool("memo", true, "cache segment verdicts by content hash")
-		shards  = fs.Int("ingest-shards", 0, "ingest shard count: concurrent producers contend only per key-hash shard (0 = default)")
+		addr     = fs.String("addr", ":8080", "listen address")
+		k        = fs.Int("k", 2, "staleness bound keys are judged against in /verdict")
+		workers  = fs.Int("workers", 0, "verification pool size (0 = GOMAXPROCS)")
+		horizon  = fs.Int("horizon", 0, "smallest-k staleness horizon in writes (0 = default)")
+		minSeg   = fs.Int("min-segment-ops", 0, "minimum open-window size before a quiescent cut (0 = default)")
+		maxBuf   = fs.Int("max-buffered-ops", 0, "cap on live buffered operations across keys (0 = uncapped)")
+		memo     = fs.Bool("memo", true, "cache segment verdicts by content hash")
+		shards   = fs.Int("ingest-shards", 0, "ingest shard count: concurrent producers contend only per key-hash shard (0 = default)")
+		propSet  = fs.String("properties", "k", "comma-separated properties verified in the same pass: k (always on), delta (smallest Δ), regularity (Lamport safety/regularity)")
 		pprofOn  = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ with mutex and block profiling enabled (ingest-contention observability)")
 		dataDir  = fs.String("data-dir", "", "durability directory: per-shard WAL + checkpoints; ingest survives crashes and restarts recover it (empty = in-memory only)")
 		fsync    = fs.String("fsync", "batch", "WAL sync policy: batch (group fsync per ingest batch), always (fsync every record), never (OS page cache only)")
@@ -121,6 +122,10 @@ func run(args []string, out io.Writer) error {
 	if *dataDir == "" && *spillOps > 0 {
 		return fmt.Errorf("-spill-threshold-ops needs -data-dir")
 	}
+	properties, err := kat.ParseProperties(*propSet)
+	if err != nil {
+		return err
+	}
 	cfg := online.Config{K: *k, OverloadOps: *overload}
 	cfg.Stream.Workers = *workers
 	cfg.Stream.Horizon = *horizon
@@ -128,6 +133,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Stream.MaxBufferedOps = *maxBuf
 	cfg.Stream.IngestShards = *shards
 	cfg.Stream.SpillThresholdOps = *spillOps
+	cfg.Stream.Properties = properties
 	if *memo {
 		cfg.Opts.Memo = kat.NewMemo()
 	}
@@ -148,7 +154,7 @@ func run(args []string, out io.Writer) error {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
-	fmt.Fprintf(out, "kavserve: listening on %s (k=%d)\n", ln.Addr(), *k)
+	fmt.Fprintf(out, "kavserve: listening on %s (k=%d, properties=%s)\n", ln.Addr(), *k, properties)
 	return serve(ln, cfg, mgr, *ckptIval, *pprofOn, ht, sigs, out)
 }
 

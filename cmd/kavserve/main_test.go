@@ -45,6 +45,9 @@ func TestFlagErrors(t *testing.T) {
 	if err := run([]string{"-fsync", "sometimes"}, &out); err == nil {
 		t.Error("bogus -fsync policy accepted")
 	}
+	if err := run([]string{"-properties", "k,linearizability"}, &out); err == nil {
+		t.Error("bogus -properties list accepted")
+	}
 	if err := run([]string{"-spill-threshold-ops", "100"}, &out); err == nil {
 		t.Error("-spill-threshold-ops without -data-dir accepted")
 	}
@@ -302,3 +305,58 @@ func TestServeDrainOnSignal(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestServePropertiesDrain: a per-property session's final shutdown
+// printout and /verdict both carry the Δ and regularity verdicts.
+func TestServePropertiesDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := online.Config{K: 2}
+	cfg.Stream.Workers = 1
+	cfg.Stream.MinSegmentOps = 1
+	cfg.Stream.Properties = kat.PropertySetAll
+	sigs := make(chan os.Signal, 1)
+	var out strings.Builder
+	var mu sync.Mutex
+	lockedOut := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	done := make(chan error, 1)
+	go func() { done <- serve(ln, cfg, nil, 0, false, testTimeouts(), sigs, lockedOut) }()
+	base := "http://" + ln.Addr().String()
+
+	text := "w a 1 0 1\nr a 1 2 3\nw a 2 4 5\nr a 2 6 7\n"
+	resp, err := http.Post(base+"/ingest", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s", resp.Status)
+	}
+	vresp, err := http.Get(base + "/verdict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vbody, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+	if !strings.Contains(string(vbody), `"properties": "k,delta,regularity"`) {
+		t.Fatalf("/verdict missing properties header: %s", vbody)
+	}
+
+	sigs <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	mu.Lock()
+	output := out.String()
+	mu.Unlock()
+	if !strings.Contains(output, "smallest Δ: 0") || !strings.Contains(output, "irregular: 0  unsafe: 0") {
+		t.Fatalf("final printout missing per-property verdicts:\n%s", output)
+	}
+}

@@ -522,3 +522,122 @@ func FuzzWireCodecEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzMultiPropertyEquivalence is the differential fuzz target for the
+// pluggable property checkers: for arbitrary keyed traces (canonicalized to
+// arrival order) the reader-driven StreamVerdictsByKey and a drained
+// push-driven session must agree exactly with each other, and both must
+// agree with the offline checkers — smallest k, smallest Δ (exact when the
+// staleness horizon was never out-reached, a sound floor otherwise), and
+// regularity/safety offending-read counts, which are exact even across the
+// horizon. Shard count, segment batching, and horizon are drawn from a PRNG
+// seeded by the input's hash, so corpus entries stay deterministic while
+// the fuzzer sweeps the configuration space.
+func FuzzMultiPropertyEquivalence(f *testing.F) {
+	seeds := []string{
+		"w a 1 0 10; r a 1 20 30; w b 1 5 15",
+		"w a 1 0 10; w a 2 20 30; r a 1 40 50",
+		"w a 1 0 10; w a 2 20 30; w a 3 40 50; r a 1 60 70",
+		"w a 1 0 10; r a 9 20 30",
+		"w a 9 0 100; w a 1 5 15; w a 2 20 30; r a 1 40 50",
+		"w a 1 0 1; w a 2 10 11; w a 3 20 21; w a 4 30 31; r a 1 50 51; w a 5 60 61",
+		"w a 1 0 10; r a 1 12 14; w a 2 100 110; r a 2 112 114; w b 7 0 50; r b 7 60 70",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := kat.ParseTrace(text)
+		if err != nil || tr.Len() == 0 || tr.Len() > 120 || len(tr.Keys) > 12 {
+			return
+		}
+		canon := serializeByStart(tr)
+		tr, err = kat.ParseTraceReader(strings.NewReader(canon))
+		if err != nil {
+			t.Fatalf("canonical trace rejected: %v", err)
+		}
+		h := fnv.New64a()
+		io.WriteString(h, canon)
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		sopts := kat.StreamOptions{
+			Workers:       2,
+			MinSegmentOps: 1,
+			IngestShards:  1 + rng.Intn(8),
+			Properties:    kat.PropertySetAll,
+		}
+		if rng.Intn(3) == 0 {
+			sopts.MinSegmentOps = 0 // whole-window batching
+		}
+		if rng.Intn(3) == 0 {
+			sopts.Horizon = 1 + rng.Intn(6) // drive the stale-read fold paths
+		}
+
+		kvs, _, err := kat.StreamVerdictsByKey(strings.NewReader(canon), kat.Options{}, sopts)
+		if err != nil {
+			return // admission rejected; the other fuzz targets compare admission
+		}
+
+		sess := kat.NewOnlineSmallestKSession(kat.Options{}, sopts)
+		if _, err := sess.AppendTraceBatch(strings.NewReader(canon)); err != nil {
+			sess.Flush()
+			return // non-transactional batch admission; prefixes may differ
+		}
+		if err := sess.Flush(); err != nil {
+			t.Fatalf("session flush errored after clean reader run: %v (%q)", err, canon)
+		}
+		skvs := sess.Snapshot()
+
+		// Online vs reader-driven: identical, field by field.
+		if len(skvs) != len(kvs) {
+			t.Fatalf("session %d keys, reader %d (%q)", len(skvs), len(kvs), canon)
+		}
+		for i := range kvs {
+			r, s := kvs[i], skvs[i]
+			if r.Key != s.Key || r.Ops != s.Ops || (r.Err == nil) != (s.Err == nil) ||
+				r.SmallestK != s.SmallestK || r.Saturated != s.Saturated ||
+				r.SmallestDelta != s.SmallestDelta || r.DeltaSaturated != s.DeltaSaturated ||
+				r.UnsafeReads != s.UnsafeReads || r.IrregularReads != s.IrregularReads {
+				t.Fatalf("key %s: reader %+v vs session %+v (%q)", r.Key, r, s, canon)
+			}
+		}
+
+		// Online vs offline, per key.
+		for _, kv := range kvs {
+			hist := tr.Keys[kv.Key]
+			wantK, kerr := kat.SmallestK(hist, kat.Options{})
+			if (kv.Err != nil) != (kerr != nil) {
+				t.Fatalf("key %s: online err %v, offline err %v (%q)", kv.Key, kv.Err, kerr, canon)
+			}
+			if kv.Err != nil {
+				continue
+			}
+			if kv.Saturated {
+				if kv.SmallestK < 1 || kv.SmallestK > wantK {
+					t.Fatalf("key %s: saturated k=%d outside (0, %d] (%q)", kv.Key, kv.SmallestK, wantK, canon)
+				}
+			} else if got := max(1, kv.SmallestK); got != wantK {
+				t.Fatalf("key %s: online k=%d, offline %d (%q)", kv.Key, got, wantK, canon)
+			}
+			wantD, derr := kat.SmallestDelta(hist)
+			if derr != nil {
+				t.Fatalf("key %s: offline Δ errored where k did not: %v (%q)", kv.Key, derr, canon)
+			}
+			if kv.DeltaSaturated {
+				if kv.SmallestDelta < 1 || kv.SmallestDelta > wantD {
+					t.Fatalf("key %s: saturated Δ=%d outside (0, %d] (%q)", kv.Key, kv.SmallestDelta, wantD, canon)
+				}
+			} else if kv.SmallestDelta != wantD {
+				t.Fatalf("key %s: online Δ=%d, offline %d (%q)", kv.Key, kv.SmallestDelta, wantD, canon)
+			}
+			p, perr := kat.Prepare(kat.Normalize(hist))
+			if perr != nil {
+				t.Fatalf("key %s: offline Prepare errored where k did not: %v (%q)", kv.Key, perr, canon)
+			}
+			rv := kat.CheckProperties(p)
+			if kv.IrregularReads != len(rv.IrregularReads) || kv.UnsafeReads != len(rv.UnsafeReads) {
+				t.Fatalf("key %s: online regularity %d/%d, offline %d/%d (%q)", kv.Key,
+					kv.IrregularReads, kv.UnsafeReads, len(rv.IrregularReads), len(rv.UnsafeReads), canon)
+			}
+		}
+	})
+}

@@ -829,11 +829,14 @@ func (rt *Router) clusterDoc(w http.ResponseWriter, r *http.Request, method, pat
 		if out.K == 0 {
 			out.K = md.doc.K
 		}
+		if out.Properties == "" {
+			out.Properties = md.doc.Properties
+		}
 		out.Drained = out.Drained && md.doc.Drained
 		out.Keys = append(out.Keys, md.doc.Keys...)
 		mergeStats(&out.Stats, md.doc.Stats)
 	}
-	sort.Slice(out.Keys, func(a, b int) bool { return out.Keys[a].Key < out.Keys[b].Key })
+	out.Keys = foldKeys(out.Keys)
 	if reachable == 0 {
 		rt.degradedVerdicts.Inc()
 		w.Header().Set("Content-Type", "application/json")
@@ -854,10 +857,12 @@ func (rt *Router) clusterDoc(w http.ResponseWriter, r *http.Request, method, pat
 }
 
 // MergeDocs merges per-member verdict documents into one cluster-wide
-// document: keys concatenated and key-sorted (disjoint by the routing
-// invariant), stats folded, K taken from the first document, Drained the
-// conjunction. kavgen -replay's node-list mode uses it to print one final
-// cluster verdict after a coordinated member-by-member drain.
+// document: keys key-sorted and folded (disjoint by the routing invariant,
+// but duplicates — e.g. a key re-ingested on a second node across separate
+// runs — fold commutatively per property), stats folded, K and Properties
+// taken from the first document carrying them, Drained the conjunction.
+// kavgen -replay's node-list mode uses it to print one final cluster
+// verdict after a coordinated member-by-member drain.
 func MergeDocs(docs []online.VerdictDoc) online.VerdictDoc {
 	var out online.VerdictDoc
 	out.Drained = len(docs) > 0
@@ -865,12 +870,85 @@ func MergeDocs(docs []online.VerdictDoc) online.VerdictDoc {
 		if out.K == 0 {
 			out.K = d.K
 		}
+		if out.Properties == "" {
+			out.Properties = d.Properties
+		}
 		out.Drained = out.Drained && d.Drained
 		out.Keys = append(out.Keys, d.Keys...)
 		mergeStats(&out.Stats, d.Stats)
 	}
-	sort.Slice(out.Keys, func(a, b int) bool { return out.Keys[a].Key < out.Keys[b].Key })
+	out.Keys = foldKeys(out.Keys)
 	return out
+}
+
+// foldKeys key-sorts the concatenated per-member entries and folds
+// duplicates of the same key into one entry. Every per-property fold is
+// commutative — max for the k and Δ lower bounds, disjunction for
+// saturation, sums for operation and offending-read counts — so the merged
+// entry is node-order independent.
+func foldKeys(keys []online.KeyStatus) []online.KeyStatus {
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Key < keys[b].Key })
+	folded := keys[:0]
+	for _, ks := range keys {
+		if n := len(folded); n > 0 && folded[n-1].Key == ks.Key {
+			mergeKeyStatus(&folded[n-1], ks)
+			continue
+		}
+		folded = append(folded, ks)
+	}
+	return folded
+}
+
+// statusRank orders verdict statuses by severity for the duplicate-key fold.
+func statusRank(status string) int {
+	switch status {
+	case "error":
+		return 3
+	case "violating":
+		return 2
+	case "indeterminate":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// mergeKeyStatus folds a duplicate entry for the same key into dst.
+func mergeKeyStatus(dst *online.KeyStatus, src online.KeyStatus) {
+	dst.Ops += src.Ops
+	dst.PendingOps += src.PendingOps
+	dst.SmallestK = max(dst.SmallestK, src.SmallestK)
+	dst.Saturated = dst.Saturated || src.Saturated
+	if statusRank(src.Status) > statusRank(dst.Status) {
+		dst.Status = src.Status
+	}
+	if dst.Err == "" {
+		dst.Err = src.Err
+	}
+	if src.Violation != nil && (dst.Violation == nil || src.Violation.Seq < dst.Violation.Seq) {
+		v := *src.Violation
+		dst.Violation = &v
+	}
+	// Clone before mutating: the pointers are shared with the source
+	// documents, which the caller may still hold.
+	if src.Delta != nil {
+		d := *src.Delta
+		if dst.Delta != nil {
+			d.SmallestDelta = max(dst.Delta.SmallestDelta, src.Delta.SmallestDelta)
+			d.Saturated = dst.Delta.Saturated || src.Delta.Saturated
+		}
+		dst.Delta = &d
+	}
+	if src.Regularity != nil {
+		r := *src.Regularity
+		if dst.Regularity != nil {
+			r.IrregularReads += dst.Regularity.IrregularReads
+			r.UnsafeReads += dst.Regularity.UnsafeReads
+		}
+		r.Regular = r.IrregularReads == 0
+		r.Safe = r.UnsafeReads == 0
+		dst.Regularity = &r
+	}
 }
 
 // mergeStats folds one member's stream statistics into the cluster total.

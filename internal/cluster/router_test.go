@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"kat"
 	"kat/internal/chaosproxy"
 	"kat/internal/history"
 	"kat/internal/online"
@@ -37,10 +38,16 @@ type testCluster struct {
 }
 
 func newTestCluster(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler, cfg Config) *testCluster {
+	return newTestClusterMembers(t, n, wrap, cfg, online.Config{K: 2})
+}
+
+// newTestClusterMembers is newTestCluster with an explicit member
+// configuration (per-property sessions, horizons, ...).
+func newTestClusterMembers(t *testing.T, n int, wrap func(i int, h http.Handler) http.Handler, cfg Config, mcfg online.Config) *testCluster {
 	t.Helper()
 	tc := &testCluster{}
 	for i := 0; i < n; i++ {
-		srv := online.New(online.Config{K: 2})
+		srv := online.New(mcfg)
 		h := http.Handler(srv.Handler())
 		if wrap != nil {
 			h = wrap(i, h)
@@ -576,6 +583,124 @@ func TestRouterHealthzReportsTopology(t *testing.T) {
 	for i, n := range h.Nodes {
 		if n.Index != i || n.Breaker != "closed" || !strings.HasPrefix(n.Slots, "slots [") {
 			t.Fatalf("node %d health = %+v", i, n)
+		}
+	}
+}
+
+// TestClusterPerPropertyVerdictMatchesSingleNode: a drained 3-node
+// cluster's merged /verdict carries the same per-property verdicts
+// (smallest k, smallest Δ, regularity/safety counts) as a single node fed
+// the merged trace — the router's split/merge is invisible to every
+// property, not just k.
+func TestClusterPerPropertyVerdictMatchesSingleNode(t *testing.T) {
+	fastRouterRetries(t)
+	mcfg := online.Config{K: 2}
+	mcfg.Stream = trace.StreamOptions{Workers: 2, MinSegmentOps: 1, Properties: trace.PropertySetAll}
+	tc := newTestClusterMembers(t, 3, nil, Config{}, mcfg)
+
+	tr := kat.NewTrace()
+	for ki := 0; ki < 9; ki++ {
+		gcfg := kat.GenConfig{Seed: int64(ki + 1), Ops: 60, Concurrency: 2, ReadFraction: 0.5}
+		h := kat.GenerateKAtomic(gcfg)
+		if ki%3 == 0 {
+			h = kat.InjectStaleness(h, gcfg.Seed+100, 0.3, 2)
+		}
+		for _, op := range h.Ops {
+			tr.Add(fmt.Sprintf("key-%03d", ki), op)
+		}
+	}
+	var b strings.Builder
+	if err := kat.WriteTraceArrivalOrder(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	resp, payload := postIngestText(t, tc.rts.URL, text)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s: %s", resp.Status, payload)
+	}
+	doc := getClusterVerdict(t, tc.rts.URL, "/drain", http.StatusOK)
+	if !doc.Drained || doc.Partial {
+		t.Fatalf("drain doc: drained=%v partial=%v", doc.Drained, doc.Partial)
+	}
+	if doc.Properties != "k,delta,regularity" {
+		t.Fatalf("merged properties = %q", doc.Properties)
+	}
+
+	single := online.New(mcfg)
+	sts := httptest.NewServer(single.Handler())
+	defer sts.Close()
+	sresp, err := http.Post(sts.URL+"/ingest", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if err := single.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := single.Verdict()
+
+	if len(doc.Keys) != len(want.Keys) {
+		t.Fatalf("merged %d keys, single node %d", len(doc.Keys), len(want.Keys))
+	}
+	for i, ks := range doc.Keys {
+		ws := want.Keys[i]
+		if ks.Key != ws.Key || ks.Ops != ws.Ops || ks.SmallestK != ws.SmallestK ||
+			ks.Saturated != ws.Saturated || ks.Status != ws.Status || ks.Err != ws.Err {
+			t.Fatalf("key %s: cluster %+v, single node %+v", ks.Key, ks, ws)
+		}
+		if (ks.Delta == nil) != (ws.Delta == nil) || (ks.Delta != nil && *ks.Delta != *ws.Delta) {
+			t.Fatalf("key %s: cluster Δ %+v, single node %+v", ks.Key, ks.Delta, ws.Delta)
+		}
+		if (ks.Regularity == nil) != (ws.Regularity == nil) || (ks.Regularity != nil && *ks.Regularity != *ws.Regularity) {
+			t.Fatalf("key %s: cluster regularity %+v, single node %+v", ks.Key, ks.Regularity, ws.Regularity)
+		}
+	}
+	if doc.Stats.Ops != want.Stats.Ops {
+		t.Fatalf("merged ops %d, single node %d", doc.Stats.Ops, want.Stats.Ops)
+	}
+}
+
+// TestMergeDocsFoldsDuplicateKeys: duplicate entries for one key (a key
+// re-ingested on a second node across separate runs) fold commutatively —
+// max for the k/Δ lower bounds, disjunction for saturation, sums for
+// counts, severity order for status.
+func TestMergeDocsFoldsDuplicateKeys(t *testing.T) {
+	a := online.VerdictDoc{K: 2, Drained: true, Properties: "k,delta,regularity", Keys: []online.KeyStatus{{
+		Key: "x", Ops: 10, SmallestK: 1, Status: "ok",
+		Delta:      &online.DeltaStatus{SmallestDelta: 3},
+		Regularity: &online.RegularityStatus{Regular: true, Safe: true},
+	}}}
+	b := online.VerdictDoc{K: 2, Drained: true, Keys: []online.KeyStatus{
+		{
+			Key: "x", Ops: 7, SmallestK: 4, Saturated: true, Status: "violating",
+			Violation:  &online.Violation{Seq: 2, K: 4},
+			Delta:      &online.DeltaStatus{SmallestDelta: 9, Saturated: true},
+			Regularity: &online.RegularityStatus{IrregularReads: 2, UnsafeReads: 1},
+		},
+		{Key: "y", Ops: 5, SmallestK: 1, Status: "ok"},
+	}}
+	for _, docs := range [][]online.VerdictDoc{{a, b}, {b, a}} {
+		m := MergeDocs(docs)
+		if m.Properties != "k,delta,regularity" {
+			t.Fatalf("merged properties = %q", m.Properties)
+		}
+		if len(m.Keys) != 2 || m.Keys[0].Key != "x" || m.Keys[1].Key != "y" {
+			t.Fatalf("merged keys: %+v", m.Keys)
+		}
+		x := m.Keys[0]
+		if x.Ops != 17 || x.SmallestK != 4 || !x.Saturated || x.Status != "violating" {
+			t.Fatalf("folded x: %+v", x)
+		}
+		if x.Violation == nil || x.Violation.Seq != 2 {
+			t.Fatalf("folded x violation: %+v", x.Violation)
+		}
+		if x.Delta == nil || x.Delta.SmallestDelta != 9 || !x.Delta.Saturated {
+			t.Fatalf("folded x Δ: %+v", x.Delta)
+		}
+		if x.Regularity == nil || x.Regularity.IrregularReads != 2 || x.Regularity.UnsafeReads != 1 ||
+			x.Regularity.Regular || x.Regularity.Safe {
+			t.Fatalf("folded x regularity: %+v", x.Regularity)
 		}
 	}
 }

@@ -52,7 +52,14 @@ func Smallest(h *history.History) (int64, error) {
 		return 0, nil
 	}
 	st := history.Measure(h)
-	lo, hi := int64(1), 2*st.Span+2 // relaxed timestamps are rescaled; span bounds the need
+	// Δ=Span clamps every read's relaxed start to the time origin (no start
+	// exceeds origin+Span), so it is the maximal effective relaxation; larger
+	// probes cannot change the verdict. This also keeps hi free of overflow
+	// for histories whose timestamps span most of the int64 range.
+	lo, hi := int64(1), st.Span
+	if hi < 1 {
+		hi = 1
+	}
 	ok, err := Check(h, hi)
 	if err != nil {
 		return 0, err
@@ -75,25 +82,44 @@ func Smallest(h *history.History) (int64, error) {
 	return lo, nil
 }
 
-// prepareRelaxed normalizes h, moves every read's start delta units earlier
-// (clamped so intervals stay well-formed relative to the write that
-// dictates them — a read may not start before time zero of the normalized
-// scale, which is harmless since nothing precedes it there), and prepares
-// the result.
+// prepareRelaxed moves every read's start delta units earlier, clamped at
+// the history's time origin (the minimum start across all operations), then
+// normalizes and prepares the result.
 //
-// Normalization happens BEFORE relaxation so that delta is measured on the
-// caller's own timestamp scale... except normalization re-ranks timestamps.
-// To keep delta meaningful on the caller's scale, relaxation is applied to
-// the raw (cloned) history first and the result is then normalized; the
-// clamp below keeps intervals valid.
+// Relaxation is applied to the raw (cloned) history first and the result is
+// then normalized, so delta is measured on the caller's own timestamp scale
+// rather than on normalized ranks.
+//
+// The clamp is verdict-preserving: no operation finishes before the origin
+// (every finish strictly follows its own start, which is >= origin), so a
+// read start pushed below the origin removes no additional real-time
+// ordering constraint — "x precedes r" requires x.Finish < r.Start, which is
+// already false for every x once r.Start <= origin. Without the clamp a
+// large delta (e.g. the binary-search upper bound applied to a history whose
+// timestamps sit near the int64 minimum) underflows int64 and wraps the
+// relaxed start to a huge positive value, inverting the verdict.
 func prepareRelaxed(h *history.History, delta int64) (*history.Prepared, error) {
 	cp := h.Clone()
+	origin := int64(0)
+	for i := range cp.Ops {
+		if i == 0 || cp.Ops[i].Start < origin {
+			origin = cp.Ops[i].Start
+		}
+	}
 	for i := range cp.Ops {
 		op := &cp.Ops[i]
 		if !op.IsRead() {
 			continue
 		}
-		op.Start -= delta
+		// Equivalent to max(op.Start-delta, origin) but immune to overflow:
+		// op.Start-origin is mathematically in [0, 2^64), so the uint64
+		// two's-complement difference is exact even when the int64 form
+		// would wrap.
+		if uint64(delta) >= uint64(op.Start)-uint64(origin) {
+			op.Start = origin
+		} else {
+			op.Start -= delta
+		}
 	}
 	return history.Prepare(history.Normalize(cp))
 }

@@ -1,6 +1,7 @@
 package delta
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -119,6 +120,55 @@ func TestPropertyMonotoneInDelta(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRelaxationClampAtTimeOrigin is the regression test for the
+// prepareRelaxed doc/code mismatch: relaxed read starts must be clamped at
+// the history's time origin. Without the clamp, a history whose timestamps
+// sit at the bottom of the int64 range underflows `op.Start -= delta` during
+// the binary-search probes and the relaxed start wraps to a huge positive
+// value, breaking Smallest entirely.
+func TestRelaxationClampAtTimeOrigin(t *testing.T) {
+	base := history.MustParse("w 1 0 10; w 2 20 30; r 1 40 50; r 2 60 70")
+	want, err := Smallest(base)
+	if err != nil {
+		t.Fatalf("Smallest(base): %v", err)
+	}
+	if want < 1 {
+		t.Fatalf("setup: base history should need Δ >= 1, got %d", want)
+	}
+
+	// Smallest is shift-invariant (Δ thresholds are timestamp differences),
+	// so the same history translated to start at math.MinInt64 must agree.
+	shifted := base.Clone()
+	for i := range shifted.Ops {
+		shifted.Ops[i].Start += math.MinInt64
+		shifted.Ops[i].Finish += math.MinInt64
+	}
+	got, err := Smallest(shifted)
+	if err != nil {
+		t.Fatalf("Smallest(shifted to int64 origin): %v", err)
+	}
+	if got != want {
+		t.Errorf("Smallest(shifted) = %d, want %d (shift invariance)", got, want)
+	}
+
+	// A delta far beyond the span saturates at maximal relaxation (every
+	// read start clamped to the origin) instead of wrapping around.
+	okSpan, err := Check(shifted, history.Measure(shifted).Span)
+	if err != nil {
+		t.Fatalf("Check(span): %v", err)
+	}
+	okHuge, err := Check(shifted, math.MaxInt64)
+	if err != nil {
+		t.Fatalf("Check(max): %v", err)
+	}
+	if okHuge != okSpan {
+		t.Errorf("Check saturation: Check(MaxInt64)=%v, Check(Span)=%v; want equal", okHuge, okSpan)
+	}
+	if !okSpan {
+		t.Errorf("maximal relaxation should make this history 1-atomic")
 	}
 }
 

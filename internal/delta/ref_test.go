@@ -1,0 +1,59 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"kat/internal/history"
+	"kat/internal/refcheck"
+)
+
+// TestDifferentialVsRefcheck sweeps every enumerated history of up to 4
+// operations (all interval interleavings × kind masks × read-value
+// assignments) and asserts Check/Smallest agree with refcheck's
+// permutation-based Δ oracle: identical error presence, identical smallest
+// Δ, and matching fixed-Δ verdicts at and around the threshold.
+func TestDifferentialVsRefcheck(t *testing.T) {
+	maxN := 4
+	if testing.Short() {
+		maxN = 3
+	}
+	total := 0
+	for n := 1; n <= maxN; n++ {
+		refcheck.EnumerateHistories(n, func(h *history.History) {
+			total++
+			desc := strings.ReplaceAll(h.String(), "\n", "; ")
+			refD, refErr := refcheck.SmallestDelta(h)
+			d, err := Smallest(h)
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("%s: ref err=%v, Smallest err=%v", desc, refErr, err)
+			}
+			if refErr != nil {
+				return
+			}
+			if d != refD {
+				t.Fatalf("%s: Smallest = %d, ref %d", desc, d, refD)
+			}
+			for _, probe := range []int64{0, d - 1, d, d + 1} {
+				if probe < 0 {
+					continue
+				}
+				got, err := Check(h, probe)
+				if err != nil {
+					t.Fatalf("%s: Check(%d): %v", desc, probe, err)
+				}
+				want, err := refcheck.CheckDelta(h, probe)
+				if err != nil {
+					t.Fatalf("%s: ref CheckDelta(%d): %v", desc, probe, err)
+				}
+				if got != want || got != (probe >= d) {
+					t.Fatalf("%s: Check(%d) = %v, ref %v, smallest %d", desc, probe, got, want, d)
+				}
+			}
+		})
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	t.Logf("swept %d histories against the Δ reference", total)
+}

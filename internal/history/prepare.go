@@ -372,7 +372,7 @@ func prepareSorted(cp *History, s *PrepareScratch) (*Prepared, error) {
 		}
 		off := len(flat)
 		flat = flat[:off+c]
-		p.DictatedReads[w] = flat[off:off:off+c]
+		p.DictatedReads[w] = flat[off : off : off+c]
 	}
 	s.flat = flat
 	for i, op := range cp.Ops {

@@ -63,12 +63,12 @@ func TestForcedStalenessEdgeCases(t *testing.T) {
 		text string
 		want int
 	}{
-		{"w 1 0 10", 1},                                   // no reads
-		{"w 1 0 10; r 1 20 30", 1},                        // fresh read
-		{"w 1 0 10; w 2 20 30; r 1 40 50", 2},             // one forced write
-		{"w 1 0 10; w 2 20 30; w 3 40 50; r 1 60 70", 3},  // two forced writes
-		{"w 1 0 10; w 2 5 15; r 1 20 30", 1},              // concurrent writes force nothing
-		{"w 1 0 10; w 2 20 30; r 1 25 40; r 2 50 60", 1},  // read overlaps the newer write
+		{"w 1 0 10", 1},                                  // no reads
+		{"w 1 0 10; r 1 20 30", 1},                       // fresh read
+		{"w 1 0 10; w 2 20 30; r 1 40 50", 2},            // one forced write
+		{"w 1 0 10; w 2 20 30; w 3 40 50; r 1 60 70", 3}, // two forced writes
+		{"w 1 0 10; w 2 5 15; r 1 20 30", 1},             // concurrent writes force nothing
+		{"w 1 0 10; w 2 20 30; r 1 25 40; r 2 50 60", 1}, // read overlaps the newer write
 	} {
 		p, err := history.Prepare(history.Normalize(history.MustParse(tc.text)))
 		if err != nil {

@@ -61,8 +61,11 @@ type Config struct {
 	// verdicts across the service lifetime.
 	Opts core.Options
 	// Stream tunes the underlying session (workers or shared pool,
-	// horizon, segment batching, buffer cap). Stream.OnSegment is chained
-	// after the server's own verdict bookkeeping.
+	// horizon, segment batching, buffer cap). Stream.Properties selects
+	// extra verified properties (Δ-atomicity, regularity/safety) computed
+	// in the same pass as smallest-k and surfaced per key in the verdict
+	// document. Stream.OnSegment is chained after the server's own verdict
+	// bookkeeping.
 	Stream trace.StreamOptions
 	// OverloadOps, when > 0, sheds /ingest load before reading the body
 	// once the session's live buffered operations reach this bound: the
@@ -110,13 +113,55 @@ type KeyStatus struct {
 	Status    string     `json:"status"`
 	Err       string     `json:"error,omitempty"`
 	Violation *Violation `json:"violation,omitempty"`
+	// Delta and Regularity carry the extra per-property verdicts when the
+	// session was configured to verify them (Config.Stream.Properties);
+	// both ride the same parse/cut/schedule pass as the k verdict, so
+	// enabling them adds no second ingest path.
+	Delta      *DeltaStatus      `json:"delta,omitempty"`
+	Regularity *RegularityStatus `json:"regularity,omitempty"`
+}
+
+// DeltaStatus is the Δ-atomicity (time-staleness) portion of a key's
+// verdict.
+type DeltaStatus struct {
+	// SmallestDelta is the largest verified per-segment smallest Δ — like
+	// SmallestK, a lower bound until drained, then exact up to the
+	// staleness horizon.
+	SmallestDelta int64 `json:"smallestDelta"`
+	// Saturated marks a read staler than the configured horizon;
+	// SmallestDelta is then only a floor even after drain.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// RegularityStatus is the Lamport safety/regularity portion of a key's
+// verdict. Offending-read counts are exact even across the staleness
+// horizon (a read reaching past already-dispatched segments is definitively
+// irregular), so Regular and Safe are final after drain with no saturation
+// caveat.
+type RegularityStatus struct {
+	// Regular and Safe report zero offending reads so far.
+	Regular bool `json:"regular"`
+	Safe    bool `json:"safe"`
+	// IrregularReads counts reads violating regularity (neither the
+	// freshest forced value nor one written concurrently); UnsafeReads
+	// counts the subset also violating safety (not even excused by
+	// concurrency with a write).
+	IrregularReads int `json:"irregularReads,omitempty"`
+	UnsafeReads    int `json:"unsafeReads,omitempty"`
 }
 
 // Line renders the key's one-line text summary. kavserve's shutdown output
 // and kavgen -replay's verdict printout both use it, so server logs and
 // load-driver logs read the same.
 func (ks KeyStatus) Line() string {
-	line := fmt.Sprintf("key %-12s %6d ops  smallest k: %d  [%s]", ks.Key, ks.Ops, ks.SmallestK, ks.Status)
+	line := fmt.Sprintf("key %-12s %6d ops  smallest k: %d", ks.Key, ks.Ops, ks.SmallestK)
+	if ks.Delta != nil {
+		line += fmt.Sprintf("  smallest Δ: %d", ks.Delta.SmallestDelta)
+	}
+	if ks.Regularity != nil {
+		line += fmt.Sprintf("  irregular: %d  unsafe: %d", ks.Regularity.IrregularReads, ks.Regularity.UnsafeReads)
+	}
+	line += fmt.Sprintf("  [%s]", ks.Status)
 	if ks.Err != "" {
 		line += "  " + ks.Err
 	}
@@ -127,6 +172,10 @@ func (ks KeyStatus) Line() string {
 type VerdictDoc struct {
 	// K is the bound statuses are judged against.
 	K int `json:"k"`
+	// Properties names the verified property set ("k,delta,regularity")
+	// when extra properties beyond k-atomicity are enabled; empty for
+	// k-only sessions, keeping the legacy document unchanged.
+	Properties string `json:"properties,omitempty"`
 	// Drained reports that verdicts are final.
 	Drained bool `json:"drained"`
 	// Keys holds one entry per seen key, key-sorted.
@@ -174,6 +223,16 @@ type Server struct {
 	ingestBytesWire *metrics.Counter
 	decodeNanosText atomic.Int64
 	decodeNanosWire atomic.Int64
+	// Per-property families, fed from segment verdicts in the OnSegment
+	// chain. The counters index by property name; the max gauges track the
+	// worst per-segment verdict observed (monotone under the per-key fold,
+	// so they agree with the final document's worst key after drain, up to
+	// cross-boundary stale-read floors which land only in /verdict).
+	propSegments   map[trace.Property]*metrics.Counter
+	irregularReads *metrics.Counter
+	unsafeReads    *metrics.Counter
+	maxSegK        atomic.Int64
+	maxSegDelta    atomic.Int64
 
 	mu         sync.Mutex
 	firstViols map[string]Violation
@@ -244,9 +303,49 @@ func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.Recove
 		"Cumulative wall time decoding and feeding /ingest bodies, by codec.",
 		`codec="wire"`, func() float64 { return float64(s.decodeNanosWire.Load()) / 1e9 })
 
+	// Per-property families exist only for enabled properties, so a k-only
+	// server's exposition is unchanged.
+	props := cfg.Stream.Properties
+	s.propSegments = map[trace.Property]*metrics.Counter{
+		trace.PropertyKAtomicity: s.reg.CounterL("kavserve_property_segments_total",
+			"Segment verdicts carrying each property's result.", `property="k"`),
+	}
+	s.reg.Gauge("kavserve_segment_smallest_k_max",
+		"Largest per-segment smallest k observed (lower bound on the worst key's final k).",
+		func() float64 { return float64(s.maxSegK.Load()) })
+	if props.Has(trace.PropertyDelta) {
+		s.propSegments[trace.PropertyDelta] = s.reg.CounterL("kavserve_property_segments_total",
+			"Segment verdicts carrying each property's result.", `property="delta"`)
+		s.reg.Gauge("kavserve_segment_smallest_delta_max",
+			"Largest per-segment smallest Δ observed (lower bound on the worst key's final Δ).",
+			func() float64 { return float64(s.maxSegDelta.Load()) })
+	}
+	if props.Has(trace.PropertyRegularity) {
+		s.propSegments[trace.PropertyRegularity] = s.reg.CounterL("kavserve_property_segments_total",
+			"Segment verdicts carrying each property's result.", `property="regularity"`)
+		s.irregularReads = s.reg.Counter("kavserve_irregular_reads_total",
+			"Reads violating regularity, from segment verdicts (cross-boundary stale reads are folded into /verdict directly).")
+		s.unsafeReads = s.reg.Counter("kavserve_unsafe_reads_total",
+			"Reads violating Lamport safety, from segment verdicts (cross-boundary stale reads are folded into /verdict directly).")
+	}
+
 	chained := cfg.Stream.OnSegment
 	cfg.Stream.OnSegment = func(v trace.SegmentVerdict) {
 		s.segmentsClosed.Inc()
+		s.propSegments[trace.PropertyKAtomicity].Inc()
+		atomicMax(&s.maxSegK, int64(v.K))
+		for _, pv := range v.Props {
+			if c := s.propSegments[pv.Property]; c != nil {
+				c.Inc()
+			}
+			switch pv.Property {
+			case trace.PropertyDelta:
+				atomicMax(&s.maxSegDelta, pv.Delta)
+			case trace.PropertyRegularity:
+				s.irregularReads.Add(int64(pv.IrregularReads))
+				s.unsafeReads.Add(int64(pv.UnsafeReads))
+			}
+		}
 		if bad := v.Err != nil || v.K > s.cfg.K; bad {
 			s.violations.Inc()
 			s.recordViolation(v)
@@ -300,6 +399,10 @@ func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.Recove
 		func() float64 { return float64(s.sess.Stats().Spills) })
 	s.reg.CounterFunc("kavserve_spill_loads_total", "Spilled segments reloaded for close, merge, or dispatch.",
 		func() float64 { return float64(s.sess.Stats().SpillLoads) })
+	s.reg.CounterFunc("kavserve_stale_reads_total", "Reads that crossed already-dispatched segments (staleness-floor evidence).",
+		func() float64 { return float64(s.sess.Stats().StaleReads) })
+	s.reg.Gauge("kavserve_saturated_keys", "Keys whose k (and Δ) verdicts are horizon floors rather than exact values.",
+		func() float64 { return float64(s.sess.Stats().SaturatedKeys) })
 
 	var rs checkpoint.RecoveryStats
 	if mgr != nil {
@@ -338,6 +441,12 @@ func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.Recove
 			func() float64 { return float64(mgr.Stats().Recovery.TornBytes) })
 	}
 	return s, rs, nil
+}
+
+// atomicMax lifts a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for cur := a.Load(); v > cur && !a.CompareAndSwap(cur, v); cur = a.Load() {
+	}
 }
 
 // recordViolation retains the earliest (lowest-Seq) violating segment per
@@ -583,6 +692,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Verdict() VerdictDoc {
 	drained := s.isDrained()
 	doc := VerdictDoc{K: s.cfg.K, Drained: drained, Stats: s.sess.Stats()}
+	if p := s.cfg.Stream.Properties; p != 0 && p != trace.PropertySetK {
+		doc.Properties = p.String()
+	}
 	for _, kv := range s.sess.Snapshot() {
 		doc.Keys = append(doc.Keys, s.keyStatus(kv, drained))
 	}
@@ -602,6 +714,17 @@ func (s *Server) keyStatus(kv trace.KeyVerdict, drained bool) KeyStatus {
 		// Final semantics match SmallestKByKey: a fully verified key is at
 		// least 1-atomic.
 		ks.SmallestK = 1
+	}
+	if kv.Properties.Has(trace.PropertyDelta) {
+		ks.Delta = &DeltaStatus{SmallestDelta: kv.SmallestDelta, Saturated: kv.DeltaSaturated}
+	}
+	if kv.Properties.Has(trace.PropertyRegularity) {
+		ks.Regularity = &RegularityStatus{
+			Regular:        kv.IrregularReads == 0,
+			Safe:           kv.UnsafeReads == 0,
+			IrregularReads: kv.IrregularReads,
+			UnsafeReads:    kv.UnsafeReads,
+		}
 	}
 	switch {
 	case kv.Err != nil:

@@ -244,7 +244,7 @@ func TestDurableServerCrashRestart(t *testing.T) {
 
 	lines := strings.SplitAfter(strings.TrimSuffix(text, "\n"), "\n")
 	third := len(lines) / 3
-	chunks := []string{strings.Join(lines[:third], ""), strings.Join(lines[third : 2*third], ""), strings.Join(lines[2*third:], "")}
+	chunks := []string{strings.Join(lines[:third], ""), strings.Join(lines[third:2*third], ""), strings.Join(lines[2*third:], "")}
 	for i, chunk := range chunks {
 		if status, reject := postIngest(t, ts.URL, chunk); status != http.StatusOK {
 			t.Fatalf("ingest chunk %d: %d %+v", i, status, reject)
@@ -645,5 +645,161 @@ func TestHundredConcurrentReplayClients(t *testing.T) {
 		if ks.SmallestK != want[ks.Key] {
 			t.Fatalf("key %s: server smallest k=%d, offline kavcheck %d", ks.Key, ks.SmallestK, want[ks.Key])
 		}
+	}
+}
+
+// TestPerPropertyVerdictsMatchOffline: a session configured for the full
+// property set serves per-key Δ-atomicity and regularity verdicts that
+// match the offline checkers exactly after drain, the per-property metric
+// families show up on /metrics, and a k-only server's document stays
+// byte-compatible (no extra fields).
+func TestPerPropertyVerdictsMatchOffline(t *testing.T) {
+	srv := New(Config{K: 2, Stream: trace.StreamOptions{Workers: 2, MinSegmentOps: 1, Properties: trace.PropertySetAll}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tr, text := buildTrace(t, 6, 80, 0.4)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s", resp.Status)
+	}
+
+	final := postDrain(t, ts.URL)
+	if !final.Drained {
+		t.Fatal("drain response not drained")
+	}
+	if final.Properties != "k,delta,regularity" {
+		t.Fatalf("doc properties = %q", final.Properties)
+	}
+	wantK := kat.SmallestKByKey(tr, kat.Options{})
+	for _, ks := range final.Keys {
+		h := tr.Keys[ks.Key]
+		if ks.Err != "" {
+			t.Fatalf("key %s: unexpected error %q", ks.Key, ks.Err)
+		}
+		if ks.Delta == nil || ks.Regularity == nil {
+			t.Fatalf("key %s: missing per-property verdicts: %+v", ks.Key, ks)
+		}
+		if ks.SmallestK != wantK[ks.Key] {
+			t.Fatalf("key %s: k=%d, offline %d", ks.Key, ks.SmallestK, wantK[ks.Key])
+		}
+		d, err := kat.SmallestDelta(h)
+		if err != nil {
+			t.Fatalf("key %s: SmallestDelta: %v", ks.Key, err)
+		}
+		if ks.Delta.Saturated {
+			if ks.Delta.SmallestDelta < 1 || ks.Delta.SmallestDelta > d {
+				t.Fatalf("key %s: saturated Δ=%d outside (0, %d]", ks.Key, ks.Delta.SmallestDelta, d)
+			}
+		} else if ks.Delta.SmallestDelta != d {
+			t.Fatalf("key %s: Δ=%d, offline %d", ks.Key, ks.Delta.SmallestDelta, d)
+		}
+		p, err := kat.Prepare(kat.Normalize(h))
+		if err != nil {
+			t.Fatalf("key %s: Prepare: %v", ks.Key, err)
+		}
+		rv := kat.CheckProperties(p)
+		if ks.Regularity.IrregularReads != len(rv.IrregularReads) || ks.Regularity.UnsafeReads != len(rv.UnsafeReads) {
+			t.Fatalf("key %s: regularity %d/%d, offline %d/%d", ks.Key,
+				ks.Regularity.IrregularReads, ks.Regularity.UnsafeReads, len(rv.IrregularReads), len(rv.UnsafeReads))
+		}
+		if ks.Regularity.Regular != (len(rv.IrregularReads) == 0) || ks.Regularity.Safe != (len(rv.UnsafeReads) == 0) {
+			t.Fatalf("key %s: regular/safe flags inconsistent: %+v", ks.Key, ks.Regularity)
+		}
+	}
+
+	// /verdict/{key} carries the same per-property fields.
+	kresp, err := http.Get(ts.URL + "/verdict/" + final.Keys[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kresp.Body.Close()
+	var one KeyStatus
+	if err := json.NewDecoder(kresp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Delta == nil || one.Regularity == nil {
+		t.Fatalf("/verdict/{key} missing per-property verdicts: %+v", one)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	for _, family := range []string{
+		`kavserve_property_segments_total{property="k"}`,
+		`kavserve_property_segments_total{property="delta"}`,
+		`kavserve_property_segments_total{property="regularity"}`,
+		"kavserve_segment_smallest_k_max",
+		"kavserve_segment_smallest_delta_max",
+		"kavserve_irregular_reads_total",
+		"kavserve_unsafe_reads_total",
+		"kavserve_stale_reads_total",
+		"kavserve_saturated_keys",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+
+	// A k-only server's document is unchanged: no properties header, no
+	// per-key sub-verdicts, no per-property metric families beyond k.
+	plain := New(Config{K: 2, Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1}})
+	pts := httptest.NewServer(plain.Handler())
+	defer pts.Close()
+	resp, err = http.Post(pts.URL+"/ingest", "text/plain", strings.NewReader("w a 1 0 1\nr a 1 2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	doc := postDrain(t, pts.URL)
+	if doc.Properties != "" {
+		t.Fatalf("k-only doc properties = %q, want empty", doc.Properties)
+	}
+	if len(doc.Keys) != 1 || doc.Keys[0].Delta != nil || doc.Keys[0].Regularity != nil {
+		t.Fatalf("k-only key status grew per-property fields: %+v", doc.Keys)
+	}
+}
+
+// TestPerPropertyStaleReadFolds: cross-boundary stale reads fold sound
+// floors into the Δ verdict and exact counts into the regularity verdict.
+func TestPerPropertyStaleReadFolds(t *testing.T) {
+	srv := New(Config{K: 2, Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1, Horizon: 2, Properties: trace.PropertySetAll}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	// The read of value 1 reaches five writes back: past the horizon, so
+	// it is dropped from its window, saturates k and Δ, and is counted as
+	// definitively irregular (and unsafe: no write overlaps it).
+	text := "w a 1 0 1\nw a 2 10 11\nw a 3 20 21\nw a 4 30 31\nw a 5 40 41\nr a 1 50 51\nw a 6 60 61\n"
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	doc := srv.Verdict()
+	if len(doc.Keys) != 1 {
+		t.Fatalf("keys: %+v", doc.Keys)
+	}
+	ks := doc.Keys[0]
+	if !ks.Saturated || ks.Delta == nil || !ks.Delta.Saturated {
+		t.Fatalf("want saturated k and Δ verdicts, got %+v", ks)
+	}
+	if ks.Delta.SmallestDelta < 1 {
+		t.Fatalf("Δ floor = %d, want >= 1", ks.Delta.SmallestDelta)
+	}
+	if ks.Regularity == nil || ks.Regularity.IrregularReads != 1 || ks.Regularity.UnsafeReads != 1 {
+		t.Fatalf("stale read not counted exactly: %+v", ks.Regularity)
+	}
+	if ks.Regularity.Regular || ks.Regularity.Safe {
+		t.Fatalf("regular/safe flags wrong: %+v", ks.Regularity)
 	}
 }

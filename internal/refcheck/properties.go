@@ -1,0 +1,127 @@
+package refcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"kat/internal/history"
+)
+
+// This file extends the brute-force trust anchor from k-atomicity to the
+// other two properties the paper contrasts it with: Δ-atomicity (time-based
+// staleness) and Lamport safety/regularity (per-read). Like SmallestK, the
+// implementations here follow the definitions directly — Δ-atomicity by
+// relaxing read starts and re-running the exhaustive permutation search,
+// safety/regularity by the literal per-read quantifier scans — so that the
+// production checkers in internal/delta and internal/regularity have an
+// independent oracle to diverge from.
+
+// CheckDelta reports whether the history is Δ-atomic for the given delta by
+// the definition: move every read's start delta units into the past, then
+// ask the exhaustive total-order search whether the relaxed history is
+// 1-atomic. The relaxation is a plain subtraction (no clamping); callers
+// stay within the enumeration corpus's tiny timestamp range, so overflow is
+// not a concern here and the production clamp is itself under test.
+func CheckDelta(h *history.History, delta int64) (bool, error) {
+	if delta < 0 {
+		return false, fmt.Errorf("refcheck: delta must be >= 0, got %d", delta)
+	}
+	cp := h.Clone()
+	for i := range cp.Ops {
+		if cp.Ops[i].IsRead() {
+			cp.Ops[i].Start -= delta
+		}
+	}
+	k, err := SmallestK(cp)
+	if err != nil {
+		return false, err
+	}
+	return k == 1, nil
+}
+
+// SmallestDelta returns the least Δ for which the history is Δ-atomic, by
+// testing every Δ at which the relaxed precedence relation can change: 0,
+// plus each positive difference r.Start − x.Finish between a read's start
+// and any operation's finish (the constraint "x precedes relaxed-r" flips
+// exactly when Δ crosses that difference, so the verdict is constant between
+// consecutive candidates). Errors if even maximal relaxation fails, like
+// delta.Smallest.
+func SmallestDelta(h *history.History) (int64, error) {
+	cands := []int64{0}
+	for _, r := range h.Ops {
+		if !r.IsRead() {
+			continue
+		}
+		for _, x := range h.Ops {
+			if d := r.Start - x.Finish; d > 0 {
+				cands = append(cands, d)
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, d := range cands {
+		ok, err := CheckDelta(h, d)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("refcheck: history is not Δ-atomic under maximal relaxation")
+}
+
+// PropertiesVerdict mirrors regularity.Verdict without importing the package
+// under test.
+type PropertiesVerdict struct {
+	Safe, Regular  bool
+	UnsafeReads    []int
+	IrregularReads []int
+}
+
+// Properties classifies every read of the (normalized, prepared) history by
+// the literal definitions of Lamport safety and regularity, multi-writer
+// generalization: a read whose dictating write precedes it is regular iff no
+// other write falls strictly between them; a read of a concurrent write is
+// regular; a read preceding its dictating write is never regular. A read is
+// safe iff it is regular or concurrent with at least one write.
+func Properties(h *history.History) (PropertiesVerdict, error) {
+	p, err := history.Prepare(history.Normalize(h))
+	if err != nil {
+		return PropertiesVerdict{}, err
+	}
+	v := PropertiesVerdict{Safe: true, Regular: true}
+	for r := 0; r < p.Len(); r++ {
+		rop := p.Op(r)
+		if !rop.IsRead() {
+			continue
+		}
+		wop := p.Op(p.DictatingWrite[r])
+		regular := wop.ConcurrentWith(rop)
+		if !regular && wop.Precedes(rop) {
+			regular = true
+			for x := 0; x < p.Len(); x++ {
+				xop := p.Op(x)
+				if xop.IsWrite() && wop.Precedes(xop) && xop.Precedes(rop) {
+					regular = false
+					break
+				}
+			}
+		}
+		safe := regular
+		for x := 0; !safe && x < p.Len(); x++ {
+			if p.Op(x).IsWrite() && p.Op(x).ConcurrentWith(rop) {
+				safe = true
+			}
+		}
+		if !regular {
+			v.Regular = false
+			v.IrregularReads = append(v.IrregularReads, r)
+		}
+		if !safe {
+			v.Safe = false
+			v.UnsafeReads = append(v.UnsafeReads, r)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,74 @@
+package refcheck
+
+import (
+	"testing"
+
+	"kat/internal/history"
+)
+
+func TestCheckDeltaKnownHistories(t *testing.T) {
+	// r(1) starts at 40; the intervening w2 finishes at 30. Relaxing the
+	// read's start by 10 (to 30) dissolves "w2 precedes r" and the order
+	// w1 r w2 becomes valid, so smallest Δ is exactly 10.
+	h := history.MustParse("w 1 0 10; w 2 20 30; r 1 40 50")
+	d, err := SmallestDelta(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 10 {
+		t.Fatalf("SmallestDelta = %d, want 10", d)
+	}
+	for _, tc := range []struct {
+		delta int64
+		want  bool
+	}{{0, false}, {9, false}, {10, true}, {30, true}} {
+		ok, err := CheckDelta(h, tc.delta)
+		if err != nil {
+			t.Fatalf("CheckDelta(%d): %v", tc.delta, err)
+		}
+		if ok != tc.want {
+			t.Errorf("CheckDelta(%d) = %v, want %v", tc.delta, ok, tc.want)
+		}
+	}
+	if _, err := CheckDelta(h, -1); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := SmallestDelta(history.MustParse("r 1 0 10")); err == nil {
+		t.Error("anomalous history accepted")
+	}
+	if d, err := SmallestDelta(history.MustParse("w 1 0 10; r 1 20 30")); err != nil || d != 0 {
+		t.Errorf("atomic history: SmallestDelta = %d, %v; want 0", d, err)
+	}
+}
+
+func TestPropertiesKnownHistories(t *testing.T) {
+	v, err := Properties(history.MustParse("w 1 0 10; r 1 20 30; w 2 40 50; r 2 60 70"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Safe || !v.Regular || len(v.UnsafeReads) != 0 || len(v.IrregularReads) != 0 {
+		t.Errorf("fresh sequential reads misclassified: %+v", v)
+	}
+
+	// Stale isolated read: violates both properties.
+	v, err = Properties(history.MustParse("w 1 0 10; w 2 20 30; r 1 40 50"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Safe || v.Regular || len(v.UnsafeReads) != 1 || len(v.IrregularReads) != 1 {
+		t.Errorf("stale isolated read misclassified: %+v", v)
+	}
+
+	// Stale read concurrent with a write: safe but irregular.
+	v, err = Properties(history.MustParse("w 1 0 10; w 2 20 30; w 3 40 60; r 1 45 55"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Safe || v.Regular {
+		t.Errorf("read concurrent with a write misclassified: %+v", v)
+	}
+
+	if _, err := Properties(history.MustParse("r 1 0 10")); err == nil {
+		t.Error("anomalous history accepted")
+	}
+}

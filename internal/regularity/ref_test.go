@@ -1,0 +1,46 @@
+package regularity
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"kat/internal/history"
+	"kat/internal/refcheck"
+)
+
+// TestDifferentialVsRefcheck sweeps every enumerated history of up to 4
+// operations and asserts Check (on the normalized prepared history, the
+// production calling convention) matches refcheck's definition-literal
+// per-read safety/regularity reference exactly, offender lists included.
+func TestDifferentialVsRefcheck(t *testing.T) {
+	maxN := 4
+	if testing.Short() {
+		maxN = 3
+	}
+	total := 0
+	for n := 1; n <= maxN; n++ {
+		refcheck.EnumerateHistories(n, func(h *history.History) {
+			total++
+			desc := strings.ReplaceAll(h.String(), "\n", "; ")
+			want, refErr := refcheck.Properties(h)
+			p, err := history.Prepare(history.Normalize(h))
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("%s: ref err=%v, Prepare err=%v", desc, refErr, err)
+			}
+			if refErr != nil {
+				return // anomalous history: Check is not defined on it
+			}
+			got := Check(p)
+			if got.Safe != want.Safe || got.Regular != want.Regular ||
+				!reflect.DeepEqual(got.UnsafeReads, want.UnsafeReads) ||
+				!reflect.DeepEqual(got.IrregularReads, want.IrregularReads) {
+				t.Fatalf("%s: Check %+v, ref %+v", desc, got, want)
+			}
+		})
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	t.Logf("swept %d histories against the safety/regularity reference", total)
+}

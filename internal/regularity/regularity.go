@@ -24,6 +24,7 @@ package regularity
 
 import (
 	"fmt"
+	"sort"
 
 	"kat/internal/history"
 )
@@ -40,60 +41,81 @@ type Verdict struct {
 	IrregularReads []int
 }
 
-// Check classifies every read of the prepared history.
+// Check classifies every read of the prepared history in one sorted sweep,
+// O(n log n) total instead of the naive O(n) scan per read.
+//
+// Prepared histories are sorted by start time, so visiting reads in index
+// order visits them in nondecreasing start order. Two precomputed views of
+// the writes answer both per-read questions:
+//
+//   - The maximal-preceding-write FRONTIER: writes sorted by finish. While
+//     sweeping reads by start, every write with finish < r.Start has
+//     "entered the frontier"; tracking the maximum start among them decides
+//     regularity — a dictating write w (with w preceding r) is maximal iff
+//     no frontier write starts after w finishes.
+//   - Write starts, sorted: the number of writes CONCURRENT with r equals
+//     #(writes with start <= r.Finish) − #(writes with finish < r.Start);
+//     the first term is a binary search, the second is the frontier size
+//     (every write finishing before r.Start also starts before it, so the
+//     subtraction counts exactly the overlapping writes). Safety needs only
+//     whether that count is nonzero.
 func Check(p *history.Prepared) Verdict {
 	v := Verdict{Safe: true, Regular: true}
-	for r := 0; r < p.Len(); r++ {
-		if !p.Op(r).IsRead() {
+	n := p.Len()
+	type writeEnd struct{ finish, start int64 }
+	byFinish := make([]writeEnd, 0, n)
+	starts := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		if op := p.Op(i); op.IsWrite() {
+			byFinish = append(byFinish, writeEnd{op.Finish, op.Start})
+			starts = append(starts, op.Start)
+		}
+	}
+	sort.Slice(byFinish, func(i, j int) bool { return byFinish[i].finish < byFinish[j].finish })
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	frontier := 0 // writes with finish < current read's start
+	var maxStart int64
+	for r := 0; r < n; r++ {
+		rop := p.Op(r)
+		if !rop.IsRead() {
 			continue
 		}
-		okReg := readIsRegular(p, r)
+		for frontier < len(byFinish) && byFinish[frontier].finish < rop.Start {
+			if frontier == 0 || byFinish[frontier].start > maxStart {
+				maxStart = byFinish[frontier].start
+			}
+			frontier++
+		}
+		w := p.DictatingWrite[r]
+		wop := p.Op(w)
+		var okReg bool
+		switch {
+		case wop.ConcurrentWith(rop):
+			okReg = true
+		case !wop.Precedes(rop):
+			okReg = false // read before its write: anomalous, never regular
+		default:
+			// w precedes r: regular iff w is maximal — no write both
+			// follows w and still precedes r. Frontier writes are exactly
+			// those preceding r; one follows w iff it starts after w ends.
+			okReg = frontier == 0 || maxStart <= wop.Finish
+		}
 		if !okReg {
 			v.Regular = false
 			v.IrregularReads = append(v.IrregularReads, r)
 		}
-		if !readIsSafe(p, r, okReg) {
-			v.Safe = false
-			v.UnsafeReads = append(v.UnsafeReads, r)
+		// Safe iff regular or concurrent with at least one write (then any
+		// written value is allowed).
+		if !okReg {
+			startLE := sort.Search(len(starts), func(i int) bool { return starts[i] > rop.Finish })
+			if startLE-frontier == 0 {
+				v.Safe = false
+				v.UnsafeReads = append(v.UnsafeReads, r)
+			}
 		}
 	}
 	return v
-}
-
-// readIsRegular reports whether read r returns a maximal preceding write's
-// value or a concurrent write's value.
-func readIsRegular(p *history.Prepared, r int) bool {
-	w := p.DictatingWrite[r]
-	rop, wop := p.Op(r), p.Op(w)
-	if wop.ConcurrentWith(rop) {
-		return true
-	}
-	if !wop.Precedes(rop) {
-		return false // read before its write: anomalous, never regular
-	}
-	// w precedes r: regular iff w is maximal — no other write follows w
-	// and still precedes r.
-	for x := 0; x < p.Len(); x++ {
-		if x == w || !p.Op(x).IsWrite() {
-			continue
-		}
-		if wop.Precedes(p.Op(x)) && p.Op(x).Precedes(rop) {
-			return false
-		}
-	}
-	return true
-}
-
-// readIsSafe reports the safety rule for read r; okReg is the regularity
-// verdict (safety follows from regularity when the read overlaps no write).
-func readIsSafe(p *history.Prepared, r int, okReg bool) bool {
-	rop := p.Op(r)
-	for x := 0; x < p.Len(); x++ {
-		if p.Op(x).IsWrite() && p.Op(x).ConcurrentWith(rop) {
-			return true // concurrent with a write: any written value allowed
-		}
-	}
-	return okReg
 }
 
 // Summary renders the verdict compactly.

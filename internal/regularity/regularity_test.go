@@ -2,6 +2,7 @@ package regularity
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -76,6 +77,83 @@ func TestConcurrentWritersMaximalSetAccepted(t *testing.T) {
 	p := prep(t, "w 1 0 10; w 2 20 40; w 3 25 45; r 1 50 60")
 	if v := Check(p); v.Regular {
 		t.Errorf("dominated value accepted as regular: %s", v.Summary())
+	}
+}
+
+// checkNaive is the pre-sweep reference implementation: an O(n) inner scan
+// per read, straight from the definitions. The sweep in Check must be
+// verdict-identical to it, including offender-list order.
+func checkNaive(p *history.Prepared) Verdict {
+	v := Verdict{Safe: true, Regular: true}
+	readIsRegular := func(r int) bool {
+		w := p.DictatingWrite[r]
+		rop, wop := p.Op(r), p.Op(w)
+		if wop.ConcurrentWith(rop) {
+			return true
+		}
+		if !wop.Precedes(rop) {
+			return false
+		}
+		for x := 0; x < p.Len(); x++ {
+			if x == w || !p.Op(x).IsWrite() {
+				continue
+			}
+			if wop.Precedes(p.Op(x)) && p.Op(x).Precedes(rop) {
+				return false
+			}
+		}
+		return true
+	}
+	readIsSafe := func(r int, okReg bool) bool {
+		rop := p.Op(r)
+		for x := 0; x < p.Len(); x++ {
+			if p.Op(x).IsWrite() && p.Op(x).ConcurrentWith(rop) {
+				return true
+			}
+		}
+		return okReg
+	}
+	for r := 0; r < p.Len(); r++ {
+		if !p.Op(r).IsRead() {
+			continue
+		}
+		okReg := readIsRegular(r)
+		if !okReg {
+			v.Regular = false
+			v.IrregularReads = append(v.IrregularReads, r)
+		}
+		if !readIsSafe(r, okReg) {
+			v.Safe = false
+			v.UnsafeReads = append(v.UnsafeReads, r)
+		}
+	}
+	return v
+}
+
+// TestPropertySweepMatchesNaiveScan proves the sorted-sweep Check identical
+// to the definition-literal naive scan on arbitrary generated histories,
+// both normalized (distinct ranked timestamps) and raw (ties allowed).
+func TestPropertySweepMatchesNaiveScan(t *testing.T) {
+	prop := func(qh generator.QuickHistory, normalize bool) bool {
+		h := qh.H
+		if normalize {
+			h = history.Normalize(h)
+		}
+		p, err := history.Prepare(h)
+		if err != nil {
+			return true // anomalous history: Check is not defined on it
+		}
+		got, want := Check(p), checkNaive(p)
+		if got.Safe != want.Safe || got.Regular != want.Regular ||
+			!reflect.DeepEqual(got.UnsafeReads, want.UnsafeReads) ||
+			!reflect.DeepEqual(got.IrregularReads, want.IrregularReads) {
+			t.Logf("sweep %+v != naive %+v on:\n%s", got, want, h)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -342,24 +342,36 @@ type SegmentState struct {
 // KeyState is one register's full accumulator + verdict state at the
 // checkpoint freeze.
 type KeyState struct {
-	Key               string     `json:"key"`
-	Seq               int        `json:"seq"`
-	Ops               int        `json:"ops"`
-	Open              string     `json:"open,omitempty"` // keyed text
-	OpenMaxFinish     int64      `json:"openMaxFinish,omitempty"`
-	MaxClosedFinish   int64      `json:"maxClosedFinish"`
-	ClosedAny         bool       `json:"closedAny,omitempty"`
+	Key               string         `json:"key"`
+	Seq               int            `json:"seq"`
+	Ops               int            `json:"ops"`
+	Open              string         `json:"open,omitempty"` // keyed text
+	OpenMaxFinish     int64          `json:"openMaxFinish,omitempty"`
+	MaxClosedFinish   int64          `json:"maxClosedFinish"`
+	ClosedAny         bool           `json:"closedAny,omitempty"`
 	Deque             []SegmentState `json:"deque,omitempty"`
-	DispatchedThrough int        `json:"dispatched"`
-	Values            [][2]int64 `json:"values,omitempty"` // (value, writer seq)
-	CumWrites         []int64    `json:"cumWrites,omitempty"`
-	TotalClosed       int64      `json:"totalClosed,omitempty"`
-	Atomic            bool       `json:"atomic"`
-	Err               string     `json:"err,omitempty"`
-	ErrSeq            int        `json:"errSeq,omitempty"`
-	MaxK              int        `json:"maxK,omitempty"`
-	KFloor            int        `json:"kFloor,omitempty"`
-	Saturated         bool       `json:"saturated,omitempty"`
+	DispatchedThrough int            `json:"dispatched"`
+	Values            [][2]int64     `json:"values,omitempty"` // (value, writer seq)
+	CumWrites         []int64        `json:"cumWrites,omitempty"`
+	CumMaxFinish      []int64        `json:"cumMaxFinish,omitempty"`
+	TotalClosed       int64          `json:"totalClosed,omitempty"`
+	Atomic            bool           `json:"atomic"`
+	Err               string         `json:"err,omitempty"`
+	ErrSeq            int            `json:"errSeq,omitempty"`
+	MaxK              int            `json:"maxK,omitempty"`
+	KFloor            int            `json:"kFloor,omitempty"`
+	Saturated         bool           `json:"saturated,omitempty"`
+	Props             []PropState    `json:"props,omitempty"`
+}
+
+// PropState is one extra property's accumulated verdict in a checkpoint
+// (the k verdict rides the legacy Atomic/MaxK/Saturated fields above).
+type PropState struct {
+	Property  string `json:"property"`
+	Delta     int64  `json:"delta,omitempty"`
+	Unsafe    int    `json:"unsafe,omitempty"`
+	Irregular int    `json:"irregular,omitempty"`
+	Saturated bool   `json:"saturated,omitempty"`
 }
 
 // CarriedStats are the monotonic counters a checkpoint carries forward so a
@@ -377,14 +389,15 @@ type CarriedStats struct {
 
 // SessionCheckpoint is an exact snapshot of a frozen session.
 type SessionCheckpoint struct {
-	Mode      string       `json:"mode"` // "check" | "smallestk"
-	K         int          `json:"k,omitempty"`
-	Threshold int          `json:"threshold"`
-	Flushed   bool         `json:"flushed,omitempty"`
-	Stopped   bool         `json:"stopped,omitempty"`
-	Err       string       `json:"err,omitempty"`
-	Stats     CarriedStats `json:"stats"`
-	Keys      []KeyState   `json:"keys"`
+	Mode       string       `json:"mode"`                 // "check" | "smallestk"
+	Properties string       `json:"properties,omitempty"` // enabled property set, flag syntax
+	K          int          `json:"k,omitempty"`
+	Threshold  int          `json:"threshold"`
+	Flushed    bool         `json:"flushed,omitempty"`
+	Stopped    bool         `json:"stopped,omitempty"`
+	Err        string       `json:"err,omitempty"`
+	Stats      CarriedStats `json:"stats"`
+	Keys       []KeyState   `json:"keys"`
 }
 
 func modeName(m streamMode) string {
@@ -428,11 +441,12 @@ func (s *Session) Checkpoint(frozen func() error) (*SessionCheckpoint, error) {
 func (s *Session) buildCheckpoint() (*SessionCheckpoint, error) {
 	e := s.e
 	cp := &SessionCheckpoint{
-		Mode:      modeName(e.mode),
-		K:         e.k,
-		Threshold: e.threshold,
-		Flushed:   s.flushed.Load(),
-		Stopped:   e.stopped.Load(),
+		Mode:       modeName(e.mode),
+		Properties: e.sopts.Properties.String(),
+		K:          e.k,
+		Threshold:  e.threshold,
+		Flushed:    s.flushed.Load(),
+		Stopped:    e.stopped.Load(),
 		Stats: CarriedStats{
 			Segments:        e.segments.Load(),
 			Merges:          e.merges.Load(),
@@ -459,6 +473,7 @@ func (s *Session) buildCheckpoint() (*SessionCheckpoint, error) {
 				ClosedAny:         ks.closedAny,
 				DispatchedThrough: ks.dispatchedThrough,
 				CumWrites:         ks.cumWrites,
+				CumMaxFinish:      ks.cumMaxFinish,
 				TotalClosed:       ks.totalClosed,
 			}
 			// Open window: spilled prefix (read back, not consumed) + tail.
@@ -495,14 +510,22 @@ func (s *Session) buildCheckpoint() (*SessionCheckpoint, error) {
 				}
 			}
 			ks.mu.Lock()
-			st.Atomic = ks.atomic
+			st.Atomic = ks.props[0].Atomic
 			if ks.err != nil {
 				st.Err = ks.err.Error()
 				st.ErrSeq = ks.errSeq
 			}
-			st.MaxK = ks.maxK
-			st.KFloor = ks.kFloor
-			st.Saturated = ks.saturated
+			st.MaxK = ks.props[0].K
+			st.Saturated = ks.props[0].Saturated
+			for _, pv := range ks.props[1:] {
+				st.Props = append(st.Props, PropState{
+					Property:  pv.Property.String(),
+					Delta:     pv.Delta,
+					Unsafe:    pv.UnsafeReads,
+					Irregular: pv.IrregularReads,
+					Saturated: pv.Saturated,
+				})
+			}
 			ks.mu.Unlock()
 			cp.Keys = append(cp.Keys, st)
 		}
@@ -524,6 +547,14 @@ func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
 	if got := modeName(e.mode); got != cp.Mode {
 		return fmt.Errorf("trace: checkpoint mode %q does not match session mode %q", cp.Mode, got)
 	}
+	// Older checkpoints carry no Properties field; they were written by
+	// k-only sessions, which "k" (the PropertySet zero value's name) matches.
+	if got := e.sopts.Properties.String(); cp.Properties != "" && cp.Properties != got {
+		return fmt.Errorf("trace: checkpoint properties %q do not match session properties %q", cp.Properties, got)
+	}
+	if cp.Properties == "" && e.sopts.Properties.String() != "k" {
+		return fmt.Errorf("trace: k-only checkpoint does not match session properties %q", e.sopts.Properties.String())
+	}
 	if e.mode == modeCheck && e.k != cp.K {
 		return fmt.Errorf("trace: checkpoint k=%d does not match session k=%d", cp.K, e.k)
 	}
@@ -543,6 +574,7 @@ func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
 		ks.closedAny = st.ClosedAny
 		ks.dispatchedThrough = st.DispatchedThrough
 		ks.cumWrites = st.CumWrites
+		ks.cumMaxFinish = st.CumMaxFinish
 		ks.totalClosed = st.TotalClosed
 		for _, pair := range st.Values {
 			ks.values[pair[0]] = int32(pair[1])
@@ -579,19 +611,30 @@ func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
 		if n := int64(len(ks.open)); n > sh.maxOpen.Load() {
 			sh.maxOpen.Store(n)
 		}
-		ks.atomic = st.Atomic
+		ks.props[0].Atomic = st.Atomic
 		if st.Err != "" {
 			ks.err = errors.New(st.Err)
 			ks.errSeq = st.ErrSeq
 		}
-		ks.maxK = st.MaxK
-		ks.kFloor = st.KFloor
-		ks.saturated = st.Saturated
+		ks.props[0].K = max(st.MaxK, st.KFloor)
+		ks.props[0].Saturated = st.Saturated
 		if st.Saturated {
 			e.saturatedKeys.Add(1)
 		}
-		bad := ks.err != nil || !ks.atomic
-		if e.mode == modeCheck {
+		for _, ps := range st.Props {
+			for i := range ks.props {
+				if ks.props[i].Property.String() != ps.Property {
+					continue
+				}
+				ks.props[i].Delta = ps.Delta
+				ks.props[i].UnsafeReads = ps.Unsafe
+				ks.props[i].IrregularReads = ps.Irregular
+				ks.props[i].Saturated = ps.Saturated
+				break
+			}
+		}
+		bad := ks.err != nil || !ks.props[0].Atomic
+		if e.mode == modeCheck && len(e.checkers) == 1 {
 			ks.settled.Store(bad)
 		} else {
 			ks.settled.Store(ks.err != nil)

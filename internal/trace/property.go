@@ -1,0 +1,404 @@
+package trace
+
+// Pluggable property checking over the streaming engine's safe-cut segments.
+//
+// The engine in stream.go does one parse/cut/schedule pass per trace; this
+// file makes the *verdict* computed over each closed segment pluggable, so
+// one ingest produces k-atomicity, Δ-atomicity, and regularity/safety
+// verdicts side by side instead of three replays.
+//
+// Soundness rests on extending the segment-equivalence lemma (stream.go) to
+// the other two properties:
+//
+//   - Δ-atomicity decomposes over safe cuts: smallest-Δ(H) = max over
+//     segments of smallest-Δ(S), measured on the raw (pre-normalization)
+//     time scale. Relaxing a read's start by Δ only dissolves "x precedes r"
+//     constraints; by value-closedness the read's dictating write w is in
+//     the read's own segment, and by quiescence w already follows every
+//     earlier-segment operation, so a witness order for any relaxed segment
+//     concatenates with the others exactly as in the k-atomicity proof —
+//     relaxation past the cut removes no constraint that was not already
+//     implied by "r follows w". (TestCutsPreserveSmallestDelta checks this
+//     directly.)
+//   - Safety and regularity are per-read and decompose exactly: writes in
+//     other segments are never concurrent with a read (quiescence) and never
+//     lie strictly between the read and its dictating write without at least
+//     one same-segment boundary argument applying — concretely, a
+//     cross-segment dictating write is the cross-boundary stale case handled
+//     below, and for a same-segment dictating write every intervening write
+//     is same-segment too. Per-segment offender counts therefore sum to the
+//     whole-history counts. (TestCutsPreserveRegularity checks this.)
+//
+// Cross-boundary stale reads (value from an already-dispatched segment)
+// never reach a segment verifier, so each property folds them from evidence
+// gathered at drop time: k-atomicity keeps its forced-writes floor,
+// Δ-atomicity gets the sound floor r.Start − cumMaxFinish[s'] (s' the first
+// write-bearing segment after the value's), and regularity counts the read
+// as irregular definitively (the forced writes all fall between the read and
+// its dictating write) and as unsafe unless the read overlaps a write of its
+// own closing window (decided by staleReadSafety, which replays the window
+// through the real normalize/prepare machinery so write-shortening cannot
+// skew the concurrency answer).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"kat/internal/core"
+	"kat/internal/delta"
+	"kat/internal/history"
+	"kat/internal/regularity"
+)
+
+// Property identifies one consistency property the streaming engine can
+// verify over its safe-cut segments.
+type Property uint8
+
+const (
+	// PropertyKAtomicity is the paper's bounded-version-staleness property;
+	// always enabled (the engine's modes are its two forms).
+	PropertyKAtomicity Property = iota
+	// PropertyDelta is Δ-atomicity: bounded time staleness (smallest Δ).
+	PropertyDelta
+	// PropertyRegularity is Lamport safety/regularity, per-read.
+	PropertyRegularity
+	numProperties
+)
+
+// String returns the flag-syntax name ("k", "delta", "regularity").
+func (p Property) String() string {
+	switch p {
+	case PropertyKAtomicity:
+		return "k"
+	case PropertyDelta:
+		return "delta"
+	case PropertyRegularity:
+		return "regularity"
+	}
+	return fmt.Sprintf("property(%d)", uint8(p))
+}
+
+// PropertySet is a bitmask of enabled properties. The zero value means
+// k-atomicity only (the engine's historical behavior); PropertyKAtomicity
+// is implicitly always enabled.
+type PropertySet uint8
+
+const (
+	PropertySetK          PropertySet = 1 << PropertyKAtomicity
+	PropertySetDelta      PropertySet = 1 << PropertyDelta
+	PropertySetRegularity PropertySet = 1 << PropertyRegularity
+	PropertySetAll                    = PropertySetK | PropertySetDelta | PropertySetRegularity
+)
+
+// Has reports whether the set enables p. K-atomicity is always enabled.
+func (s PropertySet) Has(p Property) bool {
+	return p == PropertyKAtomicity || s&(1<<p) != 0
+}
+
+// Names returns the enabled property names in canonical order.
+func (s PropertySet) Names() []string {
+	var out []string
+	for p := PropertyKAtomicity; p < numProperties; p++ {
+		if s.Has(p) {
+			out = append(out, p.String())
+		}
+	}
+	return out
+}
+
+// String renders the set in -properties flag syntax.
+func (s PropertySet) String() string { return strings.Join(s.Names(), ",") }
+
+// ParseProperties parses a comma-separated property list ("k,delta,
+// regularity"); names are case-insensitive and k is implied. An empty
+// string selects k only.
+func ParseProperties(list string) (PropertySet, error) {
+	var s PropertySet
+	for _, name := range strings.Split(list, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "", "k":
+			s |= PropertySetK
+		case "delta", "Δ":
+			s |= PropertySetDelta
+		case "regularity", "regular", "safety":
+			s |= PropertySetRegularity
+		default:
+			return 0, fmt.Errorf("trace: unknown property %q (want k, delta, regularity)", strings.TrimSpace(name))
+		}
+	}
+	return s, nil
+}
+
+// PropertyVerdict is one property's verdict over a single verified segment
+// and, via the checker's Fold, a key's accumulated verdict across segments.
+// Fields not belonging to the verdict's Property stay zero.
+type PropertyVerdict struct {
+	// Property says which checker produced the verdict.
+	Property Property
+	// Atomic is the fixed-k verdict (k-atomicity checker, check mode).
+	Atomic bool
+	// K is the smallest k (k-atomicity checker, smallest-k mode).
+	K int
+	// Delta is the smallest Δ (Δ-atomicity checker), on the input time scale.
+	Delta int64
+	// UnsafeReads and IrregularReads count reads violating Lamport safety
+	// and regularity (regularity checker).
+	UnsafeReads    int
+	IrregularReads int
+	// Saturated reports that a cross-boundary stale read reduced K or Delta
+	// to a lower-bound floor.
+	Saturated bool
+}
+
+// staleReadEvidence is what the engine knows about a cross-boundary stale
+// read at the moment it is dropped from its closing window.
+type staleReadEvidence struct {
+	// forcedWrites counts the writes closed between the read's dictating
+	// segment and the read — every one of them forced between the dictating
+	// write and the read in any valid total order.
+	forcedWrites int
+	// deltaFloor is a sound lower bound on the key's smallest Δ implied by
+	// the read (see the package comment above).
+	deltaFloor int64
+	// safe reports whether the read overlaps (post-normalization) at least
+	// one write of its own closing window — the only writes that can be
+	// concurrent with it.
+	safe bool
+}
+
+// PropertyChecker computes one property over closed safe-cut segments and
+// folds per-segment verdicts into a per-key one.
+type PropertyChecker interface {
+	// Property identifies the checker.
+	Property() Property
+	// CheckSegment computes the property's verdict over one closed segment.
+	// It runs on a verification worker and MUST NOT mutate h or its
+	// operations: the k-atomicity checker runs last in the same pass and
+	// normalizes the buffer in place, so every other checker sees (and must
+	// preserve) the raw input timestamps.
+	CheckSegment(c *core.Ctx, h *history.History, opts core.Options) (PropertyVerdict, error)
+	// Fold merges a segment verdict into the key's accumulated verdict.
+	// Folds must be commutative and associative: segments land in whatever
+	// order the pool finishes them.
+	Fold(acc *PropertyVerdict, seg PropertyVerdict)
+	// FoldStale accounts a cross-boundary stale read, which never reaches a
+	// segment verifier.
+	FoldStale(acc *PropertyVerdict, ev staleReadEvidence)
+}
+
+// checkersFor builds the engine's checker slice: k-atomicity first (the
+// engine's own mode), then any extra properties in canonical order.
+func checkersFor(mode streamMode, k int, set PropertySet) []PropertyChecker {
+	out := []PropertyChecker{kAtomicityChecker{mode: mode, k: k}}
+	if set.Has(PropertyDelta) {
+		out = append(out, deltaChecker{})
+	}
+	if set.Has(PropertyRegularity) {
+		out = append(out, regularityChecker{})
+	}
+	return out
+}
+
+// kAtomicityChecker is the existing engine verdict behind the interface:
+// fixed-k in check mode, smallest-k otherwise.
+type kAtomicityChecker struct {
+	mode streamMode
+	k    int
+}
+
+func (kAtomicityChecker) Property() Property { return PropertyKAtomicity }
+
+func (kc kAtomicityChecker) CheckSegment(c *core.Ctx, h *history.History, opts core.Options) (PropertyVerdict, error) {
+	pv := PropertyVerdict{Property: PropertyKAtomicity, Atomic: true}
+	if kc.mode == modeCheck {
+		rep, err := c.CheckOwned(h, kc.k, opts)
+		pv.Atomic = rep.Atomic
+		return pv, err
+	}
+	k, err := c.SmallestKOwned(h, opts)
+	pv.K = k
+	return pv, err
+}
+
+func (kAtomicityChecker) Fold(acc *PropertyVerdict, seg PropertyVerdict) {
+	acc.Atomic = acc.Atomic && seg.Atomic
+	if seg.K > acc.K {
+		acc.K = seg.K
+	}
+}
+
+func (kc kAtomicityChecker) FoldStale(acc *PropertyVerdict, ev staleReadEvidence) {
+	if kc.mode == modeCheck {
+		// forcedWrites >= threshold == k, so staleness > k: definitive.
+		acc.Atomic = false
+		return
+	}
+	acc.Saturated = true
+	if ev.forcedWrites+1 > acc.K {
+		acc.K = ev.forcedWrites + 1
+	}
+}
+
+// deltaChecker computes each segment's smallest Δ; the fold is max, per the
+// Δ decomposition lemma in the package comment.
+type deltaChecker struct{}
+
+func (deltaChecker) Property() Property { return PropertyDelta }
+
+func (deltaChecker) CheckSegment(_ *core.Ctx, h *history.History, _ core.Options) (PropertyVerdict, error) {
+	// delta.Smallest clones before relaxing, so the segment buffer keeps its
+	// raw timestamps for the checkers that follow.
+	d, err := delta.Smallest(h)
+	return PropertyVerdict{Property: PropertyDelta, Atomic: true, Delta: d}, err
+}
+
+func (deltaChecker) Fold(acc *PropertyVerdict, seg PropertyVerdict) {
+	if seg.Delta > acc.Delta {
+		acc.Delta = seg.Delta
+	}
+}
+
+func (deltaChecker) FoldStale(acc *PropertyVerdict, ev staleReadEvidence) {
+	acc.Saturated = true
+	if ev.deltaFloor > acc.Delta {
+		acc.Delta = ev.deltaFloor
+	}
+}
+
+// regularityChecker counts each segment's safety/regularity offenders; the
+// fold is a sum, per the per-read decomposition in the package comment.
+type regularityChecker struct{}
+
+func (regularityChecker) Property() Property { return PropertyRegularity }
+
+func (regularityChecker) CheckSegment(_ *core.Ctx, h *history.History, _ core.Options) (PropertyVerdict, error) {
+	pv := PropertyVerdict{Property: PropertyRegularity, Atomic: true}
+	// Clone (Normalize copies) and renumber IDs by position so normalization
+	// tie-breaking matches what the offline checker sees on the whole key
+	// history: segment ops keep their arrival order, and window-local IDs
+	// may collide after merges.
+	cp := &history.History{Ops: append([]history.Operation(nil), h.Ops...)}
+	for i := range cp.Ops {
+		cp.Ops[i].ID = i
+	}
+	p, err := history.Prepare(history.NormalizeInPlace(cp))
+	if err != nil {
+		return pv, err
+	}
+	v := regularity.Check(p)
+	pv.UnsafeReads = len(v.UnsafeReads)
+	pv.IrregularReads = len(v.IrregularReads)
+	return pv, nil
+}
+
+func (regularityChecker) Fold(acc *PropertyVerdict, seg PropertyVerdict) {
+	acc.UnsafeReads += seg.UnsafeReads
+	acc.IrregularReads += seg.IrregularReads
+}
+
+func (regularityChecker) FoldStale(acc *PropertyVerdict, ev staleReadEvidence) {
+	// The forced writes all fall between the read and its (cross-boundary)
+	// dictating write, so the read is definitively irregular; it is unsafe
+	// unless it overlaps a write of its own closing window.
+	acc.IrregularReads++
+	if !ev.safe {
+		acc.UnsafeReads++
+	}
+}
+
+// staleReadSafety decides, for each dropped cross-boundary read, whether the
+// read is SAFE: concurrent — in the normalized sense the offline checker
+// uses, where writes may be shortened to just before their first dictated
+// read's finish — with at least one write of its closing window. Writes of
+// any other segment finish before the window's reads start (quiescence plus
+// the arrival-order invariant), so the window is the whole question.
+//
+// Rather than re-deriving normalize's shortening and tie-break rules here, a
+// synthetic history replays them: the window's kept operations, the dropped
+// reads, one synthetic write per distinct dropped value, and one extra
+// synthetic "fencepost" write, all placed strictly before the window origin.
+// Each dropped read then has a dictating write that precedes everything, and
+// the fencepost write sits between that write and the read, so the read is
+// definitively irregular in the synthetic history — which makes its
+// synthetic safety verdict exactly "concurrent with some window write".
+// The per-op Client field (informational, untouched by normalize/prepare)
+// carries each read's identity through the sort.
+func staleReadSafety(kept, dropped []history.Operation) []bool {
+	safe := make([]bool, len(dropped))
+	// Window origin over every operation involved.
+	origin := int64(math.MaxInt64)
+	for _, op := range kept {
+		origin = min(origin, op.Start)
+	}
+	for _, op := range dropped {
+		origin = min(origin, op.Start)
+	}
+	// Distinct dropped values, and every value in play (synthetic writes
+	// must not collide with window writes).
+	vals := make(map[int64]bool, len(dropped))
+	used := make(map[int64]bool, len(kept)+len(dropped)+1)
+	for _, op := range kept {
+		used[op.Value] = true
+	}
+	for _, op := range dropped {
+		used[op.Value] = true
+		vals[op.Value] = true
+	}
+	fence := int64(0)
+	for used[fence] {
+		fence++
+	}
+	nsynth := len(vals) + 1
+	if origin < math.MinInt64+2*int64(nsynth)+2 {
+		// No room below the origin to place synthetic writes (timestamps at
+		// the very bottom of int64). Fall back to the raw-interval scan:
+		// only exactly-touching shortened writes could disagree, and traces
+		// down here are already outside any realistic clock domain.
+		for i, r := range dropped {
+			for _, op := range kept {
+				if op.IsWrite() && op.ConcurrentWith(r) {
+					safe[i] = true
+					break
+				}
+			}
+		}
+		return safe
+	}
+	synth := make([]history.Operation, 0, nsynth+len(kept)+len(dropped))
+	t := origin - 2*int64(nsynth)
+	valOrder := make([]int64, 0, len(vals))
+	for v := range vals {
+		valOrder = append(valOrder, v)
+	}
+	sort.Slice(valOrder, func(i, j int) bool { return valOrder[i] < valOrder[j] })
+	for _, v := range valOrder {
+		synth = append(synth, history.Operation{Kind: history.KindWrite, Value: v, Start: t, Finish: t + 1})
+		t += 2
+	}
+	// Fencepost write: follows every synthetic dictating write, precedes the
+	// window, read by nobody.
+	synth = append(synth, history.Operation{Kind: history.KindWrite, Value: fence, Start: t, Finish: t + 1})
+	base := len(synth)
+	synth = append(synth, kept...)
+	synth = append(synth, dropped...)
+	for i := range synth {
+		synth[i].ID = i
+		synth[i].Client = i
+	}
+	p, err := history.Prepare(history.NormalizeInPlace(&history.History{Ops: synth}))
+	if err != nil {
+		// The window itself carries an anomaly (duplicate value, dangling
+		// read); the key's error verdict dominates any safety count.
+		return safe
+	}
+	unsafeAt := make(map[int]bool, len(p.H.Ops))
+	for _, r := range regularity.Check(p).UnsafeReads {
+		unsafeAt[p.Op(r).Client] = true
+	}
+	for i := range dropped {
+		safe[i] = !unsafeAt[base+len(kept)+i]
+	}
+	return safe
+}

@@ -305,6 +305,21 @@ type KeyVerdict struct {
 	// Saturated reports a read staler than the session horizon; SmallestK
 	// is then only the horizon floor even after Flush.
 	Saturated bool
+	// Properties is the set of properties verified for this key (always
+	// includes k-atomicity; extras per StreamOptions.Properties). The
+	// fields below are populated only for enabled properties.
+	Properties PropertySet
+	// SmallestDelta is the largest per-segment smallest Δ verified so far
+	// (Δ-atomicity property), on the input time scale — a lower bound until
+	// Flush, 0 before any segment verdict.
+	SmallestDelta int64
+	// DeltaSaturated reports that a read staler than the session horizon
+	// reduced SmallestDelta to a floor even after Flush.
+	DeltaSaturated bool
+	// UnsafeReads and IrregularReads count reads violating Lamport safety
+	// and regularity (regularity property) over everything verified so far.
+	UnsafeReads    int
+	IrregularReads int
 	// Err is the key's anomaly or verification error, if any.
 	Err error
 }
@@ -314,14 +329,7 @@ type KeyVerdict struct {
 // its own lock, one shard at a time); verdict fields reflect exactly the
 // segments verified so far.
 func (s *Session) Snapshot() []KeyVerdict {
-	var out []KeyVerdict
-	s.e.eachShardLocked(func(sh *ingestShard) {
-		for _, ks := range sh.keys {
-			out = append(out, keyVerdictOf(ks))
-		}
-	})
-	sortKeyVerdicts(out)
-	return out
+	return s.e.keyVerdicts()
 }
 
 // Report returns the fixed-k trace report of a check session, in the shape
@@ -407,15 +415,43 @@ func keyVerdictOf(ks *keyState) KeyVerdict {
 	}
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
-	return KeyVerdict{
+	kv := KeyVerdict{
 		Key:        ks.key,
 		Ops:        ks.ops,
 		PendingOps: pending,
-		Atomic:     ks.err == nil && ks.atomic,
-		SmallestK:  max(ks.maxK, ks.kFloor),
-		Saturated:  ks.saturated,
+		Properties: PropertySetK,
 		Err:        ks.err,
 	}
+	for _, pv := range ks.props {
+		switch pv.Property {
+		case PropertyKAtomicity:
+			kv.Atomic = ks.err == nil && pv.Atomic
+			kv.SmallestK = pv.K
+			kv.Saturated = pv.Saturated
+		case PropertyDelta:
+			kv.Properties |= PropertySetDelta
+			kv.SmallestDelta = pv.Delta
+			kv.DeltaSaturated = pv.Saturated
+		case PropertyRegularity:
+			kv.Properties |= PropertySetRegularity
+			kv.UnsafeReads = pv.UnsafeReads
+			kv.IrregularReads = pv.IrregularReads
+		}
+	}
+	return kv
+}
+
+// keyVerdicts builds the key-sorted per-key verdict list (the Snapshot and
+// StreamVerdictsByKey shape) under the standard locking discipline.
+func (e *engine) keyVerdicts() []KeyVerdict {
+	var out []KeyVerdict
+	e.eachShardLocked(func(sh *ingestShard) {
+		for _, ks := range sh.keys {
+			out = append(out, keyVerdictOf(ks))
+		}
+	})
+	sortKeyVerdicts(out)
+	return out
 }
 
 func sortKeyVerdicts(kvs []KeyVerdict) {
@@ -433,7 +469,7 @@ func (e *engine) checkReport() Report {
 			rep.Keys = append(rep.Keys, KeyReport{
 				Key:    ks.key,
 				Ops:    ks.ops,
-				Atomic: ks.err == nil && ks.atomic,
+				Atomic: ks.err == nil && ks.props[0].Atomic,
 				Err:    ks.err,
 			})
 			ks.mu.Unlock()
@@ -454,7 +490,7 @@ func (e *engine) smallestKMap() map[string]int {
 			case ks.err != nil:
 				out[ks.key] = 0
 			default:
-				out[ks.key] = max(1, ks.maxK, ks.kFloor)
+				out[ks.key] = max(1, ks.props[0].K)
 			}
 			ks.mu.Unlock()
 		}

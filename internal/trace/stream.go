@@ -68,6 +68,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -176,6 +177,12 @@ type StreamOptions struct {
 	// OnSegment, when non-nil, is invoked from verification workers after
 	// each segment verdict. Callbacks may run concurrently.
 	OnSegment func(SegmentVerdict)
+	// Properties selects which consistency properties the engine verifies
+	// over its segments (k-atomicity is always on; the zero value selects it
+	// alone). Extra properties ride the same parse/cut/schedule pass: each
+	// closed segment is checked once per enabled property by the same
+	// worker, and per-key verdicts fold per property (see PropertyChecker).
+	Properties PropertySet
 }
 
 // SegmentVerdict is the outcome of one verified segment.
@@ -192,6 +199,10 @@ type SegmentVerdict struct {
 	Atomic bool
 	// K is the segment's smallest k in smallest-k mode (0 otherwise).
 	K int
+	// Props holds the extra enabled properties' segment verdicts (Δ,
+	// regularity — the k verdict is Atomic/K above), in checker order.
+	// Empty for anomaly-scan-only segments of settled keys.
+	Props []PropertyVerdict
 	// Err is the segment's anomaly error, if any.
 	Err error
 }
@@ -446,6 +457,22 @@ func StreamSmallestKByKey(r io.Reader, opts core.Options, sopts StreamOptions) (
 	return e.smallestKMap(), e.finalStats(), err
 }
 
+// StreamVerdictsByKey computes every enabled property's verdict per key
+// (sopts.Properties; k-atomicity in smallest-k form is always included) from
+// a streamed trace in one parse/cut/schedule pass: each closed segment is
+// checked once per property and the per-key verdicts fold as segments
+// verify. The result is key-sorted KeyVerdicts in the shape Session.Snapshot
+// produces, final for the consumed input.
+func StreamVerdictsByKey(r io.Reader, opts core.Options, sopts StreamOptions) ([]KeyVerdict, StreamStats, error) {
+	horizon := sopts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+	e := newEngine(modeSmallestK, 0, horizon, opts, sopts)
+	err := e.run(r)
+	return e.keyVerdicts(), e.finalStats(), err
+}
+
 type streamMode int
 
 const (
@@ -512,6 +539,7 @@ type keyState struct {
 	dispatchedThrough int             // highest dispatched seq, -1 initially
 	values            map[int64]int32 // written value -> writer segment seq
 	cumWrites         []int64         // cumWrites[s] = closed writes through seq s's close
+	cumMaxFinish      []int64         // cumMaxFinish[s] = max closed finish through seq s's close
 	totalClosed       int64
 	ops               int
 	// spillOpen holds blob ids of the open window's spilled prefix chunks
@@ -522,13 +550,14 @@ type keyState struct {
 
 	settled atomic.Bool
 
-	mu        sync.Mutex
-	atomic    bool
-	err       error
-	errSeq    int
-	maxK      int
-	kFloor    int
-	saturated bool
+	mu     sync.Mutex
+	err    error
+	errSeq int
+	// props accumulates one verdict per enabled property, index-aligned
+	// with engine.checkers (props[0] is always the k-atomicity verdict;
+	// stale-read floors fold straight into it, so props[0].K is already
+	// max(segment maxima, floors)).
+	props []PropertyVerdict
 }
 
 type job struct {
@@ -545,6 +574,12 @@ type engine struct {
 	minSeg    int
 	opts      core.Options
 	sopts     StreamOptions
+
+	// checkers verify each closed segment, one verdict per enabled
+	// property; checkers[0] is always the k-atomicity checker (the engine's
+	// own mode) and runs last on each segment — it owns and normalizes the
+	// buffer in place, so the extras before it see raw timestamps.
+	checkers []PropertyChecker
 
 	// store/spillMin enable segment spill-to-disk (see StreamOptions.Store);
 	// spillBufs recycles the encode buffers of the spill path.
@@ -678,6 +713,7 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 		minSeg:    minSeg,
 		opts:      opts,
 		sopts:     sopts,
+		checkers:  checkersFor(mode, k, sopts.Properties),
 		shards:    make([]*ingestShard, nshards),
 		sem:       make(chan struct{}, 2*workers),
 	}
@@ -815,7 +851,10 @@ func (e *engine) newKey(sh *ingestShard, key string) *keyState {
 		maxClosedFinish:   math.MinInt64,
 		dispatchedThrough: -1,
 		values:            make(map[int64]int32),
-		atomic:            true,
+		props:             make([]PropertyVerdict, len(e.checkers)),
+	}
+	for i, ck := range e.checkers {
+		ks.props[i] = PropertyVerdict{Property: ck.Property(), Atomic: true}
 	}
 	sh.keys[key] = ks
 	e.keyCount.Add(1)
@@ -919,6 +958,8 @@ func (e *engine) closeOpen(ks *keyState) error {
 	// contribution is recorded here, and leaving it would misreport a
 	// dangling read).
 	mergeFrom := -1
+	var dropped []history.Operation
+	var droppedSeq []int
 	kept := ops[:0]
 	for _, op := range ops {
 		if op.IsRead() {
@@ -928,7 +969,8 @@ func (e *engine) closeOpen(ks *keyState) error {
 						mergeFrom = int(s)
 					}
 				} else {
-					e.crossBoundaryRead(ks, int(s))
+					dropped = append(dropped, op)
+					droppedSeq = append(droppedSeq, int(s))
 					ks.sh.buffered.Add(-1)
 					e.buffered.Add(-1)
 					continue
@@ -938,6 +980,9 @@ func (e *engine) closeOpen(ks *keyState) error {
 		kept = append(kept, op)
 	}
 	ops = kept
+	if len(dropped) > 0 {
+		e.foldStaleReads(ks, kept, dropped, droppedSeq)
+	}
 
 	merged := closedSeg{loSeq: ks.seq, hiSeq: ks.seq, ops: ops, writes: writes}
 	if mergeFrom >= 0 {
@@ -970,7 +1015,8 @@ func (e *engine) closeOpen(ks *keyState) error {
 	}
 
 	ks.totalClosed += int64(writes)
-	ks.cumWrites = append(ks.cumWrites, ks.totalClosed) // index == ks.seq
+	ks.cumWrites = append(ks.cumWrites, ks.totalClosed)           // index == ks.seq
+	ks.cumMaxFinish = append(ks.cumMaxFinish, ks.maxClosedFinish) // index == ks.seq
 	if len(merged.ops) > 0 {
 		merged.nops = len(merged.ops)
 		if e.store != nil && merged.nops >= e.spillMin {
@@ -996,25 +1042,49 @@ func (e *engine) closeOpen(ks *keyState) error {
 	return nil
 }
 
-// crossBoundaryRead records a read that returned a value from an
-// already-dispatched segment. At least `threshold` writes closed between
-// that segment and this one, all forced between the dictating write and
-// the read in every valid total order.
-func (e *engine) crossBoundaryRead(ks *keyState, valueSeq int) {
-	e.staleReads.Add(1)
-	forced := int(ks.totalClosed - ks.cumWrites[valueSeq])
-	if e.mode == modeCheck {
-		// forced >= threshold == k, so staleness >= k+1: definitive.
-		e.settle(ks, func() { ks.atomic = false })
-		return
+// foldStaleReads records the closing window's cross-boundary stale reads
+// (values from already-dispatched segments). At least `threshold` writes
+// closed between each read's dictating segment and this window, all forced
+// between the dictating write and the read in every valid total order; the
+// reads never reach a segment verifier, so each enabled property folds the
+// evidence gathered here into its per-key verdict instead (for fixed-k
+// checks the k verdict is definitive: forced >= threshold == k means
+// staleness >= k+1). Runs before the close is recorded, so cumWrites and
+// cumMaxFinish still end at the previous close — exactly the segments
+// behind the dropped reads.
+func (e *engine) foldStaleReads(ks *keyState, kept, dropped []history.Operation, droppedSeq []int) {
+	e.staleReads.Add(int64(len(dropped)))
+	evs := make([]staleReadEvidence, len(dropped))
+	for i, op := range dropped {
+		vs := droppedSeq[i]
+		evs[i].forcedWrites = int(ks.totalClosed - ks.cumWrites[vs])
+		if e.sopts.Properties.Has(PropertyDelta) && evs[i].forcedWrites > 0 {
+			// First write-bearing segment after the value's holds the
+			// earliest writes forced between the dictating write and the
+			// read. All its operations finish by cumMaxFinish[s], so the
+			// read's relaxed start must reach at least that far back before
+			// any forced write stops preceding it: a sound smallest-Δ floor.
+			s := vs + 1 + sort.Search(len(ks.cumWrites)-vs-1, func(j int) bool {
+				return ks.cumWrites[vs+1+j] > ks.cumWrites[vs]
+			})
+			evs[i].deltaFloor = op.Start - ks.cumMaxFinish[s]
+		}
+	}
+	if e.sopts.Properties.Has(PropertyRegularity) {
+		safe := staleReadSafety(kept, dropped)
+		for i := range evs {
+			evs[i].safe = safe[i]
+		}
 	}
 	e.settle(ks, func() {
-		if !ks.saturated {
-			ks.saturated = true
-			e.saturatedKeys.Add(1)
+		wasSat := ks.props[0].Saturated
+		for _, ev := range evs {
+			for i, ck := range e.checkers {
+				ck.FoldStale(&ks.props[i], ev)
+			}
 		}
-		if forced+1 > ks.kFloor {
-			ks.kFloor = forced + 1
+		if !wasSat && ks.props[0].Saturated {
+			e.saturatedKeys.Add(1)
 		}
 	})
 }
@@ -1026,8 +1096,12 @@ func (e *engine) crossBoundaryRead(ks *keyState, valueSeq int) {
 func (e *engine) settle(ks *keyState, apply func()) {
 	ks.mu.Lock()
 	apply()
-	bad := ks.err != nil || !ks.atomic
-	if e.mode == modeCheck {
+	bad := ks.err != nil || !ks.props[0].Atomic
+	if e.mode == modeCheck && len(e.checkers) == 1 {
+		// k-only fixed-k checks downgrade a violated key to anomaly-scan;
+		// with extra properties enabled, later segments still owe their Δ
+		// and regularity verdicts, so only an error (which dominates every
+		// property) settles the key.
 		ks.settled.Store(bad)
 	} else {
 		ks.settled.Store(ks.err != nil)
@@ -1076,14 +1150,31 @@ func (e *engine) verifySegment(c *core.Ctx, j job) {
 	n := len(j.ops)
 	h := history.History{Ops: j.ops}
 	verdict := SegmentVerdict{Key: j.ks.key, Seq: j.seq, Ops: n, Atomic: true}
-	switch {
-	case j.scanOnly:
+	var kv PropertyVerdict
+	if j.scanOnly {
 		verdict.Err = c.Verifier().ScanOwned(&h)
-	case e.mode == modeCheck:
-		rep, err := c.CheckOwned(&h, e.k, e.opts)
-		verdict.Atomic, verdict.Err = rep.Atomic, err
-	default:
-		verdict.K, verdict.Err = c.SmallestKOwned(&h, e.opts)
+	} else {
+		// Extra checkers first: they clone before relaxing/normalizing, so
+		// the raw segment buffer survives for the k checker, which runs
+		// last and normalizes it in place. Any checker's error is the same
+		// class of anomaly (the segment is shared), so the first one wins
+		// with the k checker's preferred for message stability.
+		var extraErr error
+		if len(e.checkers) > 1 {
+			verdict.Props = make([]PropertyVerdict, 0, len(e.checkers)-1)
+			for _, ck := range e.checkers[1:] {
+				pv, err := ck.CheckSegment(c, &h, e.opts)
+				if err != nil && extraErr == nil {
+					extraErr = err
+				}
+				verdict.Props = append(verdict.Props, pv)
+			}
+		}
+		kv, verdict.Err = e.checkers[0].CheckSegment(c, &h, e.opts)
+		verdict.Atomic, verdict.K = kv.Atomic, kv.K
+		if verdict.Err == nil {
+			verdict.Err = extraErr
+		}
 	}
 	e.settle(j.ks, func() {
 		ks := j.ks
@@ -1091,11 +1182,11 @@ func (e *engine) verifySegment(c *core.Ctx, j job) {
 			if ks.err == nil || j.seq < ks.errSeq {
 				ks.err, ks.errSeq = verdict.Err, j.seq
 			}
-		} else if !verdict.Atomic {
-			ks.atomic = false
-		}
-		if verdict.K > ks.maxK {
-			ks.maxK = verdict.K
+		} else if !j.scanOnly {
+			e.checkers[0].Fold(&ks.props[0], kv)
+			for i, pv := range verdict.Props {
+				e.checkers[i+1].Fold(&ks.props[i+1], pv)
+			}
 		}
 	})
 	j.ks.sh.buffered.Add(-int64(n))
@@ -1122,7 +1213,6 @@ func (e *engine) eachShardLocked(fn func(*ingestShard)) {
 		sh.mu.Unlock()
 	}
 }
-
 
 // finalStats assembles StreamStats entirely from atomics — no lock, so
 // monitoring never queues behind a backpressured or batch-locked producer.

@@ -369,7 +369,34 @@ type (
 	// SegmentVerdict is the outcome of one verified segment, delivered to
 	// StreamOptions.OnSegment.
 	SegmentVerdict = trace.SegmentVerdict
+	// Property identifies one consistency property the streaming engine can
+	// verify (k-atomicity, Δ-atomicity, regularity/safety).
+	Property = trace.Property
+	// PropertySet selects the properties verified over one ingest pass
+	// (StreamOptions.Properties); the zero value is k-atomicity only.
+	PropertySet = trace.PropertySet
+	// PropertyVerdict is one property's verdict over a verified segment
+	// (SegmentVerdict.Props).
+	PropertyVerdict = trace.PropertyVerdict
 )
+
+// Property identifiers and property-set masks (see StreamOptions.Properties).
+const (
+	PropertyKAtomicity = trace.PropertyKAtomicity
+	PropertyDelta      = trace.PropertyDelta
+	PropertyRegularity = trace.PropertyRegularity
+
+	PropertySetK          = trace.PropertySetK
+	PropertySetDelta      = trace.PropertySetDelta
+	PropertySetRegularity = trace.PropertySetRegularity
+	PropertySetAll        = trace.PropertySetAll
+)
+
+// ParseProperties parses a -properties flag value ("k,delta,regularity",
+// case-insensitive, k implied) into a PropertySet.
+func ParseProperties(list string) (PropertySet, error) {
+	return trace.ParseProperties(list)
+}
 
 // NewTrace returns an empty multi-register trace.
 func NewTrace() *Trace { return trace.New() }
@@ -420,6 +447,14 @@ func StreamCheckTrace(r io.Reader, k int, opts Options, sopts StreamOptions) (Tr
 // counted in StreamStats.SaturatedKeys).
 func StreamSmallestKByKey(r io.Reader, opts Options, sopts StreamOptions) (map[string]int, StreamStats, error) {
 	return trace.StreamSmallestKByKey(r, opts, sopts)
+}
+
+// StreamVerdictsByKey computes every enabled property's per-key verdict
+// (sopts.Properties; k-atomicity in smallest-k form is always included) from
+// a streamed trace in one parse/cut/schedule pass. Key-sorted, in the shape
+// OnlineSession.Snapshot produces.
+func StreamVerdictsByKey(r io.Reader, opts Options, sopts StreamOptions) ([]OnlineKeyVerdict, StreamStats, error) {
+	return trace.StreamVerdictsByKey(r, opts, sopts)
 }
 
 // CheckTrace verifies every register in the trace at bound k.
@@ -480,11 +515,11 @@ func RenderWitness(w io.Writer, p *Prepared, order []int) error {
 	return render.WitnessOrder(w, p, order)
 }
 
-// PropertyVerdict reports the classical weak register properties of
+// RegularityVerdict reports the classical weak register properties of
 // Section I: Lamport's safety and regularity (per-read checks, weaker than
 // 1-atomicity, incomparable with k-atomicity for k >= 2).
-type PropertyVerdict = regularity.Verdict
+type RegularityVerdict = regularity.Verdict
 
 // CheckProperties classifies every read of the prepared history under
 // safety and regularity.
-func CheckProperties(p *Prepared) PropertyVerdict { return regularity.Check(p) }
+func CheckProperties(p *Prepared) RegularityVerdict { return regularity.Check(p) }
