@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr9 benchcmp cover crash-smoke cluster-smoke fuzz-crash
+.PHONY: all build test race vet bench bench-baseline bench-pr2 bench-pr3 bench-pr5 bench-pr6 bench-pr7 bench-pr9 bench-pr10 benchcmp cover crash-smoke cluster-smoke fuzz-crash
 
 all: vet build test
 
@@ -48,10 +48,15 @@ BASELINE_BENCHES := $(BASELINE_CORE)|BenchmarkOnlineIngest
 # binary search makes props=all ~10× props=k), so the default benchtime
 # would burn minutes per count; -short skips its 1M-op replay rows, which
 # are recorded by bench-pr9 instead.
+#
+# BenchmarkChurningKeyspace records at the gate's -benchtime too: one
+# iteration is a full churn-trace replay, so the default benchtime would
+# oversample it, and the gate's normalization needs matching scales.
 bench-baseline:
 	$(GO) test -run '^$$' -bench '$(BASELINE_CORE)' -benchmem -count 6 -timeout 60m . | tee BENCH_baseline.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkOnlineIngest' -benchtime 20000x -benchmem -count 6 -timeout 30m . | tee -a BENCH_baseline.txt
 	$(GO) test -short -run '^$$' -bench 'BenchmarkMultiProperty' -benchtime 20x -benchmem -count 6 -timeout 30m . | tee -a BENCH_baseline.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkChurningKeyspace' -benchtime 200x -benchmem -count 6 -timeout 30m . | tee -a BENCH_baseline.txt
 	$(GO) run ./scripts/benchjson BENCH_baseline.txt > BENCH_baseline.json
 
 # PR 2 trajectory record: the pinned families plus the 1M-op streaming vs
@@ -103,6 +108,14 @@ bench-pr9:
 	$(GO) test -run '^$$' -bench 'BenchmarkMultiProperty' -benchtime 3x -benchmem -count 3 -timeout 60m . | tee -a BENCH_pr9.txt
 	$(GO) run ./scripts/benchjson BENCH_pr9.txt > BENCH_pr9.json
 
+# PR 10 trajectory record: the churning-keyspace lifecycle rows (settled
+# live-heap bytes per op and retire-rate, retirement off vs on) plus the
+# pinned gate families for context.
+bench-pr10:
+	$(GO) test -run '^$$' -bench 'BenchmarkChurningKeyspace' -benchtime 200x -benchmem -count 3 -timeout 30m . | tee BENCH_pr10.txt
+	$(GO) test -short -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 500x -benchmem -count 3 -timeout 30m . | tee -a BENCH_pr10.txt
+	$(GO) run ./scripts/benchjson BENCH_pr10.txt > BENCH_pr10.json
+
 # End-to-end crash-recovery smoke: SIGKILL a durable kavserve, restart from
 # its -data-dir, verify recovered verdicts against the offline checker.
 crash-smoke:
@@ -136,5 +149,6 @@ benchcmp:
 	$(GO) test -short -run '^$$' -bench '$(GATE_BENCHES)' -benchtime 500x -benchmem -count 4 . > bench_current.txt || (cat bench_current.txt; exit 1)
 	$(GO) test -short -run '^$$' -bench 'BenchmarkOnlineIngest' -benchtime 20000x -benchmem -count 4 . >> bench_current.txt || (cat bench_current.txt; exit 1)
 	$(GO) test -short -run '^$$' -bench 'BenchmarkMultiProperty' -benchtime 20x -benchmem -count 4 . >> bench_current.txt || (cat bench_current.txt; exit 1)
+	$(GO) test -short -run '^$$' -bench 'BenchmarkChurningKeyspace' -benchtime 200x -benchmem -count 4 . >> bench_current.txt || (cat bench_current.txt; exit 1)
 	cat bench_current.txt
 	$(GO) run ./scripts/benchcmp -baseline BENCH_baseline.json bench_current.txt

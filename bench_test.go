@@ -973,3 +973,81 @@ func onlineIngestFeed(sess *root.OnlineSession, p, n, batch int) error {
 	_, err := sess.AppendBatch(buf)
 	return err
 }
+
+// Churning-keyspace lifecycle: key lifetimes are born, live briefly, and
+// quiesce forever, so without retirement the session's live state grows
+// with every lifetime ever seen. One iteration replays the whole churn
+// trace in arrival-order batches (batch boundaries are the arrival
+// instants retirement sweeps key off of). Custom metrics: bytes-live/op
+// is the session's settled live-heap footprint after the replay (double
+// GC, so pools drain), retire-rate the fraction of lifetimes retired.
+func BenchmarkChurningKeyspace(b *testing.B) {
+	tr := root.GenerateChurn(root.ChurnConfig{Seed: 11, Lifetimes: 200, OpsPerLifetime: 24})
+	var sb strings.Builder
+	if err := root.WriteTraceArrivalOrder(&sb, tr); err != nil {
+		b.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	var chunks []string
+	const chunkLines = 256
+	for i := 0; i < len(lines); i += chunkLines {
+		end := i + chunkLines
+		if end > len(lines) {
+			end = len(lines)
+		}
+		chunks = append(chunks, strings.Join(lines[i:end], ""))
+	}
+	totalOps := tr.Len()
+
+	heapLive := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	for _, mode := range []struct {
+		name string
+		ttl  int64
+	}{
+		{"retire=off", 0},
+		{"retire=on", 50},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var liveBytes, retired float64
+			for i := 0; i < b.N; i++ {
+				sopts := root.StreamOptions{Workers: 2, MinSegmentOps: 32, IngestShards: 4}
+				if mode.ttl > 0 {
+					sopts.RetireTTL = mode.ttl
+					sopts.RetireSweepOps = 64
+				}
+				b.StopTimer()
+				before := heapLive()
+				b.StartTimer()
+				sess := root.NewOnlineSmallestKSession(root.Options{}, sopts)
+				for _, chunk := range chunks {
+					if _, err := sess.AppendTraceBatch(strings.NewReader(chunk)); err != nil {
+						b.Fatalf("ingest: %v", err)
+					}
+				}
+				b.StopTimer()
+				// Measure the settled footprint while the keyspace state is
+				// still held, before the drain folds it away.
+				delta := heapLive()
+				if delta > before {
+					liveBytes += float64(delta - before)
+				}
+				retired += float64(sess.Stats().RetiredKeys)
+				runtime.KeepAlive(sess)
+				if err := sess.Flush(); err != nil {
+					b.Fatalf("flush: %v", err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(liveBytes/float64(b.N*totalOps), "bytes-live/op")
+			b.ReportMetric(retired/float64(b.N*200), "retire-rate")
+		})
+	}
+}

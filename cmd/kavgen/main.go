@@ -19,6 +19,16 @@
 // text (-compress DEFLATEs the payloads); kavcheck -stream and kavserve
 // sniff the format, so binary traces drop into the same pipelines.
 //
+// With -churn N the keyspace itself churns: N key lifetimes are born at a
+// fixed cadence, each lives -ops operations, then quiesces forever — the
+// workload that exercises kavserve's quiescent-key retirement.
+// -churn-pool P recycles P names so retired keys are reborn (re-admission
+// path); -no-quiesce flips to the adversarial memory-pressure variant
+// whose chain-overlapping intervals never quiesce:
+//
+//	kavgen -churn 10000 -ops 32 -churn-pool 64 > churn.txt
+//	kavgen -churn 4 -ops 100000 -no-quiesce -replay http://localhost:8080
+//
 // With -replay URL the trace — generated with the flags above, or read from
 // a positional file ("-" for stdin) — is replayed against a kavserve /ingest
 // endpoint instead of printed: operations are partitioned over -clients
@@ -86,6 +96,10 @@ func run(args []string, out io.Writer) error {
 		retries     = fs.Int("retries", 8, "with -replay: attempts per batch before giving up (transient failures back off exponentially with jitter, honoring Retry-After)")
 		resume      = fs.Bool("resume", false, "with -replay: reconcile against the server's /verdict first and skip per-key prefixes it already ingested (continue an interrupted replay)")
 		wireMode    = fs.Bool("wire", false, "with -replay: post batches as binary wire frames (Content-Type application/x-kav-wire) instead of text")
+		churn       = fs.Int("churn", 0, "churn mode: emit a keyed trace of this many key lifetimes born at a fixed cadence, each living -ops operations and then quiescing forever (the keyspace-lifecycle workload)")
+		churnPool   = fs.Int("churn-pool", 0, "with -churn: recycle this many key names round-robin, so retired names are later reborn and re-admitted (0 = fresh name per lifetime)")
+		churnGap    = fs.Int64("churn-gap", 0, "with -churn: trace-time between lifetime births (0 = auto)")
+		noQuiesce   = fs.Bool("no-quiesce", false, "with -churn: adversarial variant — chain-overlapping write intervals so keys never quiesce; a verifier without memory watermarks grows without bound on this trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,9 +119,15 @@ func run(args []string, out io.Writer) error {
 		if *replay != "" {
 			return fmt.Errorf("-format wire does not apply to -replay; use -wire to post binary frames")
 		}
-		if *keys <= 0 {
-			return fmt.Errorf("-format wire requires -keys (binary frames carry keyed traces)")
+		if *keys <= 0 && *churn <= 0 {
+			return fmt.Errorf("-format wire requires -keys or -churn (binary frames carry keyed traces)")
 		}
+	}
+	if *churn > 0 && (*keys > 0 || *zipf != 0) {
+		return fmt.Errorf("-churn and -keys/-zipf are mutually exclusive (churn shapes the keyspace itself)")
+	}
+	if *noQuiesce && *churn <= 0 {
+		return fmt.Errorf("-no-quiesce requires -churn")
 	}
 
 	cfg := kat.GenConfig{
@@ -162,6 +182,19 @@ func run(args []string, out io.Writer) error {
 		return tr, nil
 	}
 
+	// genTrace resolves the keyed-trace source: -churn workload or the
+	// uniform/Zipfian -keys registers.
+	genTrace := func() (*kat.Trace, error) {
+		if *churn > 0 {
+			return kat.GenerateChurn(kat.ChurnConfig{
+				Seed: *seed, Lifetimes: *churn, OpsPerLifetime: *ops,
+				Concurrency: *conc, ReadFraction: *readFrac,
+				NamePool: *churnPool, Gap: *churnGap, NoQuiesce: *noQuiesce,
+			}), nil
+		}
+		return genKeyed()
+	}
+
 	if *replay != "" {
 		if *asJSON {
 			return fmt.Errorf("-replay and -json are mutually exclusive")
@@ -177,10 +210,10 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		} else {
-			if *keys <= 0 {
-				return fmt.Errorf("-replay needs -keys N (generated trace) or a trace file argument")
+			if *keys <= 0 && *churn <= 0 {
+				return fmt.Errorf("-replay needs -keys N or -churn N (generated trace) or a trace file argument")
 			}
-			tr, err := genKeyed()
+			tr, err := genTrace()
 			if err != nil {
 				return err
 			}
@@ -199,11 +232,11 @@ func run(args []string, out io.Writer) error {
 		}, out)
 	}
 
-	if *keys > 0 {
+	if *keys > 0 || *churn > 0 {
 		if *asJSON {
-			return fmt.Errorf("-keys and -json are mutually exclusive")
+			return fmt.Errorf("-keys/-churn and -json are mutually exclusive")
 		}
-		tr, err := genKeyed()
+		tr, err := genTrace()
 		if err != nil {
 			return err
 		}

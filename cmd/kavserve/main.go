@@ -34,6 +34,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -72,6 +73,18 @@ func run(args []string, out io.Writer) error {
 		spillOps = fs.Int("spill-threshold-ops", 0, "verified-segment ops retained in memory per key before cold segments spill to -data-dir (0 = default; needs -data-dir)")
 		overload = fs.Int64("overload-ops", 0, "shed /ingest with 503 + Retry-After once this many ops are buffered unverified (0 = never shed)")
 
+		// Keyspace lifecycle.
+		retireTTL = fs.String("retire-ttl", "", "retire a key quiescent past the safe-cut horizon for this long, folding its final verdict into a compact retired record; trace-time integer, or a Go duration for nanosecond-stamped traces (empty = never retire)")
+		epochLen  = fs.String("epoch", "", "rotate verdict windows of this length at quiescent cuts; /verdict?epoch=N then answers per-window (trace-time integer or Go duration; empty = no epoch windows)")
+		softWM    = fs.String("soft-watermark", "", "live-heap size (bytes, or with K/M/G suffix) above which ingest triggers aggressive retirement + spill (empty = off)")
+		hardWM    = fs.String("hard-watermark", "", "live-heap size above which /ingest sheds with a typed memory_pressure 503 + Retry-After instead of growing toward OOM (empty = off)")
+
+		// Multi-tenant mode.
+		tenants     = fs.String("tenants", "", "multi-tenant mode: comma-separated tenant names, each an isolated session behind /ingest/{tenant} and /verdict/{tenant}, all sharing one verification pool")
+		tenantOps   = fs.Int64("tenant-max-ops", 0, "per-tenant lifetime operation quota; exceeding it rejects with quota_exceeded (0 = unlimited)")
+		tenantKeys  = fs.Int64("tenant-max-keys", 0, "per-tenant distinct-key quota (0 = unlimited)")
+		tenantBuf   = fs.Int64("tenant-max-buffered", 0, "per-tenant live buffered-operation quota — the tenant memory bound; rejects are 503 + Retry-After and clear as verification catches up (0 = unlimited)")
+
 		// Router mode.
 		route       = fs.String("route", "", "router mode: comma-separated member base URLs; this process forwards by key hash instead of verifying locally")
 		routeSlots  = fs.Int("route-slots", 0, "router partition granularity in slots (0 = default)")
@@ -97,6 +110,9 @@ func run(args []string, out io.Writer) error {
 	if *route != "" {
 		if *dataDir != "" {
 			return fmt.Errorf("-route and -data-dir are mutually exclusive: the router holds no verification state")
+		}
+		if *tenants != "" {
+			return fmt.Errorf("-route and -tenants are mutually exclusive: tenancy lives on the member nodes")
 		}
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
@@ -134,8 +150,53 @@ func run(args []string, out io.Writer) error {
 	cfg.Stream.IngestShards = *shards
 	cfg.Stream.SpillThresholdOps = *spillOps
 	cfg.Stream.Properties = properties
+	if cfg.Stream.RetireTTL, err = parseTraceTime(*retireTTL, "-retire-ttl"); err != nil {
+		return err
+	}
+	if cfg.Stream.EpochLength, err = parseTraceTime(*epochLen, "-epoch"); err != nil {
+		return err
+	}
+	if cfg.SoftWatermarkBytes, err = parseByteSize(*softWM, "-soft-watermark"); err != nil {
+		return err
+	}
+	if cfg.HardWatermarkBytes, err = parseByteSize(*hardWM, "-hard-watermark"); err != nil {
+		return err
+	}
 	if *memo {
 		cfg.Opts.Memo = kat.NewMemo()
+	}
+	if *tenants != "" {
+		if *dataDir != "" {
+			return fmt.Errorf("-tenants and -data-dir are mutually exclusive: the checkpoint layout assumes one session")
+		}
+		names := splitNodes(*tenants)
+		if len(names) == 0 {
+			return fmt.Errorf("-tenants is set but names no tenants")
+		}
+		// One shared pool for every tenant session; without this each
+		// tenant would spin up its own worker set.
+		pool := kat.NewPool(*workers)
+		defer pool.Close()
+		cfg.Stream.Pool = pool
+		quotas := online.TenantQuotas{MaxOps: *tenantOps, MaxKeys: *tenantKeys, MaxBufferedOps: *tenantBuf}
+		tcs := make([]online.TenantConfig, len(names))
+		for i, name := range names {
+			tcs[i] = online.TenantConfig{Name: name, Quotas: quotas}
+		}
+		multi, err := online.NewMulti(cfg, tcs)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigs)
+		fmt.Fprintf(out, "kavserve: listening on %s (k=%d, properties=%s, tenants=%s)\n",
+			ln.Addr(), *k, properties, strings.Join(multi.Tenants(), ","))
+		return serveMulti(ln, multi, *pprofOn, ht, sigs, out)
 	}
 	var mgr *checkpoint.Manager
 	if *dataDir != "" {
@@ -156,6 +217,55 @@ func run(args []string, out io.Writer) error {
 	defer signal.Stop(sigs)
 	fmt.Fprintf(out, "kavserve: listening on %s (k=%d, properties=%s)\n", ln.Addr(), *k, properties)
 	return serve(ln, cfg, mgr, *ckptIval, *pprofOn, ht, sigs, out)
+}
+
+// parseTraceTime parses a trace-time length: a plain integer (abstract
+// trace-time units, matching synthetic traces), or a Go duration
+// (nanoseconds, matching traces stamped with wall-clock UnixNano).
+func parseTraceTime(s, flagName string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("%s: must be >= 0, got %d", flagName, n)
+		}
+		return n, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("%s: want a trace-time integer or a Go duration, got %q", flagName, s)
+	}
+	return int64(d), nil
+}
+
+// parseByteSize parses a byte count: a plain integer, optionally with a
+// K/M/G/T suffix (binary multiples; "KB"/"KiB" spellings accepted).
+func parseByteSize(s, flagName string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	num := strings.ToLower(strings.TrimSpace(s))
+	mult := uint64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   uint64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+		{"tib", 1 << 40}, {"tb", 1 << 40}, {"t", 1 << 40},
+	} {
+		if strings.HasSuffix(num, u.suffix) {
+			num, mult = strings.TrimSuffix(num, u.suffix), u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(num), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: want bytes (optionally with K/M/G/T suffix), got %q", flagName, s)
+	}
+	return n * mult, nil
 }
 
 // splitNodes parses the -route node list.
@@ -296,6 +406,36 @@ func serve(ln net.Listener, cfg online.Config, mgr *checkpoint.Manager, ckptIval
 	srv.Verdict().WriteText(out, "kavserve: final")
 	// Shutdown (not Close): verdicts must stay queryable until in-flight
 	// responses — a client's /drain or /verdict read — have completed.
+	shutdownHTTP(hs, ht)
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// serveMulti runs multi-tenant mode: one isolated session per tenant on a
+// shared pool, drained together on shutdown.
+func serveMulti(ln net.Listener, multi *online.Multi, pprofOn bool, ht httpTimeouts, shutdown <-chan os.Signal, out io.Writer) error {
+	handler := http.Handler(multi.Handler())
+	if pprofOn {
+		handler = withPprof(handler)
+	}
+	hs := newHTTPServer(handler, ht)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-shutdown:
+	}
+	fmt.Fprintln(out, "kavserve: draining all tenants...")
+	if err := multi.DrainAll(); err != nil {
+		fmt.Fprintf(out, "kavserve: drain error: %v\n", err)
+	}
+	for _, name := range multi.Tenants() {
+		srv, _ := multi.Tenant(name)
+		srv.Verdict().WriteText(out, "kavserve: final ["+name+"]")
+	}
 	shutdownHTTP(hs, ht)
 	if err := <-serveErr; err != http.ErrServerClosed {
 		return err

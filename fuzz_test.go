@@ -641,3 +641,179 @@ func FuzzMultiPropertyEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzRetirementEquivalence replays the same trace through a plain session
+// and a session with quiescent-key retirement enabled (tiny TTL, sweep on
+// every op) and demands identical per-property verdicts. Retirement is only
+// verdict-neutral when the forced cuts are value-closed, so the harness
+// simulates the retirement hazards conservatively (assuming a retirement
+// whenever one is eligible) and skips traces where a later op could observe
+// the freed state: an op starting at or before a possible carried cut, a
+// write reusing a value from a retired lifetime, or a read referencing one.
+func FuzzRetirementEquivalence(f *testing.F) {
+	seeds := []string{
+		"w a 1 0 10; r a 1 20 30; w b 5 100 110; w b 6 200 210; w a 2 300 310; r a 2 320 330",
+		"w a 1 0 10; w a 2 20 30; w b 7 500 510; r b 7 520 530; w a 3 900 910; r a 3 920 930",
+		"w x 1 0 5; r x 1 6 9; w y 2 10 15; w z 3 20 25; r y 2 30 35; w x 4 200 205; r x 4 210 215",
+		"w a 1 0 10; w b 2 0 10; w c 3 0 10; r a 1 50 60; r b 2 70 80; r c 3 90 100",
+		"w k 1 0 2; w k 2 3 5; r k 2 6 8; w m 9 40 42; r m 9 44 46; w k 3 80 82; r k 3 84 86",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := kat.ParseTrace(text)
+		if err != nil || tr.Len() > 100 || len(tr.Keys) > 8 {
+			return
+		}
+		canon := serializeByStart(tr)
+		tr2, err := kat.ParseTraceReader(strings.NewReader(canon))
+		if err != nil {
+			return
+		}
+		_ = tr2
+
+		var allOps []kat.KeyedOp
+		err = trace.ParseStream(strings.NewReader(canon), func(key string, op kat.Operation) error {
+			allOps = append(allOps, kat.KeyedOp{Key: key, Op: op})
+			return nil
+		})
+		if err != nil || len(allOps) == 0 {
+			return
+		}
+
+		h64 := fnv.New64a()
+		io.WriteString(h64, canon)
+		rng := rand.New(rand.NewSource(int64(h64.Sum64())))
+		ttl := int64(1 + rng.Intn(24))
+
+		// Hazard simulation: walk arrival order tracking, per key, the last
+		// activity instant, the values written in the current lifetime and in
+		// any (possibly) retired earlier lifetimes, and the latest cut a
+		// retirement could have carried forward. Retirement is assumed to
+		// fire whenever the watermark runs ttl past a key's last activity —
+		// a superset of what the engine actually does, so surviving traces
+		// are safe under every real retirement schedule.
+		type keySim struct {
+			lastFinish int64
+			cut        int64
+			vals       map[int64]bool
+			old        map[int64]bool
+		}
+		sims := make(map[string]*keySim)
+		wm := int64(-1) << 62
+		for _, ko := range allOps {
+			if ko.Op.Start > wm {
+				wm = ko.Op.Start
+			}
+			ks := sims[ko.Key]
+			if ks == nil {
+				ks = &keySim{lastFinish: int64(-1) << 62, cut: int64(-1) << 62,
+					vals: map[int64]bool{}, old: map[int64]bool{}}
+				sims[ko.Key] = ks
+			}
+			// Any key (including this one) may have been retired before this
+			// op arrived.
+			for _, s := range sims {
+				if s.lastFinish > int64(-1)<<61 && wm-s.lastFinish >= ttl {
+					for v := range s.vals {
+						s.old[v] = true
+					}
+					s.vals = map[int64]bool{}
+					if s.lastFinish > s.cut {
+						s.cut = s.lastFinish
+					}
+				}
+			}
+			if ko.Op.Start <= ks.cut {
+				return // op could collide with a carried retirement cut
+			}
+			if ks.old[ko.Op.Value] {
+				return // value crosses a retired lifetime: verdicts may differ
+			}
+			if !ko.Op.IsWrite() && !ks.vals[ko.Op.Value] && ko.Op.Value != 0 {
+				// A read of a value not written in the current lifetime: the
+				// plain run can resolve it against the full index, the
+				// retired run cannot.
+				seen := false
+				for _, s := range sims {
+					if s.vals[ko.Op.Value] {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					return
+				}
+			}
+			if ko.Op.IsWrite() {
+				ks.vals[ko.Op.Value] = true
+			}
+			if ko.Op.Start > ks.lastFinish {
+				ks.lastFinish = ko.Op.Start
+			}
+			if ko.Op.Finish > ks.lastFinish {
+				ks.lastFinish = ko.Op.Finish
+			}
+		}
+
+		base := kat.NewOnlineSmallestKSession(kat.Options{}, kat.StreamOptions{
+			Workers: 2, MinSegmentOps: 1, IngestShards: 1 + rng.Intn(4),
+			Properties: kat.PropertySetAll,
+		})
+		life := kat.NewOnlineSmallestKSession(kat.Options{}, kat.StreamOptions{
+			Workers: 2, MinSegmentOps: 1, IngestShards: 1 + rng.Intn(4),
+			Properties: kat.PropertySetAll, RetireTTL: ttl, RetireSweepOps: 1,
+		})
+
+		for _, ko := range allOps {
+			errB := base.Append(ko.Key, ko.Op)
+			errL := life.Append(ko.Key, ko.Op)
+			if (errB == nil) != (errL == nil) {
+				t.Fatalf("append divergence key=%q op=%+v base=%v life=%v ttl=%d trace=%q",
+					ko.Key, ko.Op, errB, errL, ttl, canon)
+			}
+			if errB != nil {
+				return
+			}
+			if rng.Intn(5) == 0 {
+				if err := life.RetireIdle(ttl); err != nil {
+					t.Fatalf("RetireIdle: %v trace=%q", err, canon)
+				}
+			}
+		}
+
+		errB := base.Flush()
+		errL := life.Flush()
+		if (errB == nil) != (errL == nil) {
+			t.Fatalf("flush divergence base=%v life=%v ttl=%d trace=%q", errB, errL, ttl, canon)
+		}
+		if errB != nil {
+			return
+		}
+
+		want := base.Snapshot()
+		got := life.Snapshot()
+		if len(want) != len(got) {
+			t.Fatalf("snapshot length %d vs %d ttl=%d trace=%q", len(want), len(got), ttl, canon)
+		}
+		for i := range want {
+			r, s := want[i], got[i]
+			if r.Key != s.Key || r.Ops != s.Ops || (r.Err == nil) != (s.Err == nil) {
+				t.Fatalf("verdict divergence for %q ttl=%d:\n base=%+v\n life=%+v\n trace=%q",
+					r.Key, ttl, r, s, canon)
+			}
+			if r.Err != nil {
+				// Residual property fields are undefined once a key errors:
+				// retirement cuts change how far the partial computation got.
+				continue
+			}
+			if r.SmallestK != s.SmallestK || r.Saturated != s.Saturated ||
+				r.SmallestDelta != s.SmallestDelta || r.DeltaSaturated != s.DeltaSaturated ||
+				r.UnsafeReads != s.UnsafeReads || r.IrregularReads != s.IrregularReads {
+				t.Fatalf("verdict divergence for %q ttl=%d:\n base=%+v\n life=%+v\n trace=%q",
+					r.Key, ttl, r, s, canon)
+			}
+		}
+	})
+}

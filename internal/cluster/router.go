@@ -876,9 +876,95 @@ func MergeDocs(docs []online.VerdictDoc) online.VerdictDoc {
 		out.Drained = out.Drained && d.Drained
 		out.Keys = append(out.Keys, d.Keys...)
 		mergeStats(&out.Stats, d.Stats)
+		mergeRetired(&out.Retired, d.Retired)
+		out.Epochs = append(out.Epochs, d.Epochs...)
 	}
 	out.Keys = foldKeys(out.Keys)
+	out.Epochs = foldEpochs(out.Epochs)
 	return out
+}
+
+// mergeRetired folds one member's retired-key summary into the cluster
+// total: counts sum, worst-case per-property floors take the max. Cloned
+// before mutation — the source pointer belongs to the member document.
+func mergeRetired(dst **trace.RetiredSummary, src *trace.RetiredSummary) {
+	if src == nil {
+		return
+	}
+	if *dst == nil {
+		cp := *src
+		*dst = &cp
+		return
+	}
+	d := *dst
+	d.Keys += src.Keys
+	d.Ops += src.Ops
+	d.Retirements += src.Retirements
+	d.Readmissions += src.Readmissions
+	d.MaxK = max(d.MaxK, src.MaxK)
+	d.MaxDelta = max(d.MaxDelta, src.MaxDelta)
+	d.UnsafeReads += src.UnsafeReads
+	d.IrregularReads += src.IrregularReads
+	d.Errors += src.Errors
+}
+
+// foldEpochs merges per-member epoch windows by epoch number (epochs are
+// trace-time indices, so the same epoch on different nodes is the same
+// window over different keys). Members' folded aggregates — already
+// multi-epoch — merge into one, keeping the highest folded index. Every
+// fold is commutative (sums and maxes), so the result is node-order
+// independent, like foldKeys.
+func foldEpochs(all []trace.EpochStats) []trace.EpochStats {
+	if len(all) == 0 {
+		return nil
+	}
+	byEpoch := make(map[int64]*trace.EpochStats)
+	var folded *trace.EpochStats
+	for _, es := range all {
+		es := es
+		if es.Folded {
+			if folded == nil {
+				folded = &es
+			} else {
+				foldEpochStats(folded, es)
+			}
+			continue
+		}
+		if cur, ok := byEpoch[es.Epoch]; ok {
+			foldEpochStats(cur, es)
+		} else {
+			byEpoch[es.Epoch] = &es
+		}
+	}
+	out := make([]trace.EpochStats, 0, len(byEpoch)+1)
+	if folded != nil {
+		out = append(out, *folded)
+	}
+	eps := make([]int64, 0, len(byEpoch))
+	for ep := range byEpoch {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(a, b int) bool { return eps[a] < eps[b] })
+	for _, ep := range eps {
+		out = append(out, *byEpoch[ep])
+	}
+	return out
+}
+
+// foldEpochStats folds src into dst: counts sum, floors max; the epoch
+// index takes the max (meaningful only for the Folded aggregate, whose
+// index is "highest epoch folded in" — same-epoch merges are equal).
+func foldEpochStats(dst *trace.EpochStats, src trace.EpochStats) {
+	dst.Epoch = max(dst.Epoch, src.Epoch)
+	dst.Ops += src.Ops
+	dst.Segments += src.Segments
+	dst.StaleReads += src.StaleReads
+	dst.MaxK = max(dst.MaxK, src.MaxK)
+	dst.MaxDelta = max(dst.MaxDelta, src.MaxDelta)
+	dst.Violations += src.Violations
+	dst.UnsafeReads += src.UnsafeReads
+	dst.IrregularReads += src.IrregularReads
+	dst.Errors += src.Errors
 }
 
 // foldKeys key-sorts the concatenated per-member entries and folds
@@ -919,6 +1005,9 @@ func mergeKeyStatus(dst *online.KeyStatus, src online.KeyStatus) {
 	dst.PendingOps += src.PendingOps
 	dst.SmallestK = max(dst.SmallestK, src.SmallestK)
 	dst.Saturated = dst.Saturated || src.Saturated
+	// A merged entry is only "retired" (verdict final pre-drain) if every
+	// copy is.
+	dst.Retired = dst.Retired && src.Retired
 	if statusRank(src.Status) > statusRank(dst.Status) {
 		dst.Status = src.Status
 	}
@@ -965,6 +1054,9 @@ func mergeStats(dst *trace.StreamStats, s trace.StreamStats) {
 	dst.Spills += s.Spills
 	dst.OpsSpilled += s.OpsSpilled
 	dst.SpillLoads += s.SpillLoads
+	dst.RetiredKeys += s.RetiredKeys
+	dst.Retirements += s.Retirements
+	dst.Readmissions += s.Readmissions
 	if s.MaxOpenOps > dst.MaxOpenOps {
 		dst.MaxOpenOps = s.MaxOpenOps
 	}

@@ -704,3 +704,76 @@ func TestMergeDocsFoldsDuplicateKeys(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeDocsLifecycle: the keyspace-lifecycle additions merge node-order
+// independently — retired summaries sum counts and max floors, epoch
+// windows fold by epoch number with members' folded aggregates collapsing
+// into one, a duplicate key is only "retired" when every copy is, and the
+// lifecycle stream counters sum.
+func TestMergeDocsLifecycle(t *testing.T) {
+	a := online.VerdictDoc{K: 2, Drained: true,
+		Keys: []online.KeyStatus{
+			{Key: "x", Ops: 4, SmallestK: 1, Status: "ok", Retired: true},
+			{Key: "y", Ops: 2, SmallestK: 1, Status: "ok", Retired: true},
+		},
+		Stats:   trace.StreamStats{Ops: 6, RetiredKeys: 2, Retirements: 3, Readmissions: 1},
+		Retired: &trace.RetiredSummary{Keys: 2, Ops: 6, Retirements: 3, Readmissions: 1, MaxK: 2, MaxDelta: 5, Errors: 1},
+		Epochs: []trace.EpochStats{
+			{Epoch: 3, Folded: true, Ops: 10, MaxK: 1},
+			{Epoch: 5, Ops: 4, MaxK: 2, Violations: 1},
+			{Epoch: 6, Ops: 2, MaxK: 1},
+		},
+	}
+	b := online.VerdictDoc{K: 2, Drained: true,
+		Keys: []online.KeyStatus{
+			{Key: "x", Ops: 3, SmallestK: 2, Status: "ok"}, // live on this node
+			{Key: "z", Ops: 1, SmallestK: 1, Status: "ok"},
+		},
+		Stats:   trace.StreamStats{Ops: 4, RetiredKeys: 1, Retirements: 1},
+		Retired: &trace.RetiredSummary{Keys: 1, Ops: 1, Retirements: 1, MaxK: 3, UnsafeReads: 2},
+		Epochs: []trace.EpochStats{
+			{Epoch: 4, Folded: true, Ops: 7, MaxDelta: 9},
+			{Epoch: 5, Ops: 3, MaxK: 1},
+		},
+	}
+	for _, docs := range [][]online.VerdictDoc{{a, b}, {b, a}} {
+		m := MergeDocs(docs)
+		if len(m.Keys) != 3 {
+			t.Fatalf("merged keys: %+v", m.Keys)
+		}
+		x, y := m.Keys[0], m.Keys[1]
+		if x.Retired {
+			t.Fatalf("key x retired on one node only, merged entry must be live: %+v", x)
+		}
+		if !y.Retired {
+			t.Fatalf("key y retired everywhere it appears: %+v", y)
+		}
+		r := m.Retired
+		if r == nil || r.Keys != 3 || r.Ops != 7 || r.Retirements != 4 || r.Readmissions != 1 {
+			t.Fatalf("merged retired summary: %+v", r)
+		}
+		if r.MaxK != 3 || r.MaxDelta != 5 || r.UnsafeReads != 2 || r.Errors != 1 {
+			t.Fatalf("merged retired floors: %+v", r)
+		}
+		// Epochs: one folded aggregate first (indices 3 and 4 collapse,
+		// keeping the highest), then 5 (merged across nodes) and 6.
+		if len(m.Epochs) != 3 {
+			t.Fatalf("merged epochs: %+v", m.Epochs)
+		}
+		f := m.Epochs[0]
+		if !f.Folded || f.Epoch != 4 || f.Ops != 17 || f.MaxK != 1 || f.MaxDelta != 9 {
+			t.Fatalf("merged folded aggregate: %+v", f)
+		}
+		e5 := m.Epochs[1]
+		if e5.Folded || e5.Epoch != 5 || e5.Ops != 7 || e5.MaxK != 2 || e5.Violations != 1 {
+			t.Fatalf("merged epoch 5: %+v", e5)
+		}
+		if m.Epochs[2].Epoch != 6 || m.Epochs[2].Ops != 2 {
+			t.Fatalf("merged epoch 6: %+v", m.Epochs[2])
+		}
+		st := m.Stats
+		if st.Ops != 10 || st.RetiredKeys != 3 || st.Retirements != 4 || st.Readmissions != 1 {
+			t.Fatalf("merged lifecycle stats: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package online
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kat"
+	"kat/internal/trace"
+)
+
+// postText posts body to url and returns the status code and response body.
+func postText(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// decodeReject parses an /ingest error body.
+func decodeReject(t *testing.T, body string) IngestReject {
+	t.Helper()
+	var rej IngestReject
+	if err := json.Unmarshal([]byte(body), &rej); err != nil {
+		t.Fatalf("reject body %q: %v", body, err)
+	}
+	return rej
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestMemoryPressureShedding drives the admission watermarks with an
+// injected heap probe: the hard watermark sheds with a typed, non-sticky
+// memory_pressure reject, the soft watermark triggers relief sweeps, and
+// ingest resumes as soon as the pressure clears.
+func TestMemoryPressureShedding(t *testing.T) {
+	var pressure atomic.Uint64
+	srv := New(Config{
+		K:                  2,
+		Stream:             trace.StreamOptions{Workers: 1, MinSegmentOps: 1, RetireTTL: 1000, RetireSweepOps: 1},
+		SoftWatermarkBytes: 500,
+		HardWatermarkBytes: 1000,
+		MemUsage:           func() uint64 { return pressure.Load() },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, body := postText(t, ts.URL+"/ingest", "w a 1 0 10\n"); code != http.StatusOK {
+		t.Fatalf("unpressured ingest: %d %s", code, body)
+	}
+
+	// Breach the hard watermark. The probe is poll-rate-limited, so force a
+	// fresh read for the next request.
+	pressure.Store(2000)
+	srv.memAt.Store(0)
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", strings.NewReader("w a 2 20 30\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pressured ingest: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("memory_pressure reject missing Retry-After")
+	}
+	if rej := decodeReject(t, string(body)); rej.Code != "memory_pressure" {
+		t.Fatalf("reject code %q, want memory_pressure", rej.Code)
+	}
+
+	if _, m := getBody(t, ts.URL+"/metrics"); !strings.Contains(m, `kavserve_ingest_rejected_total{reason="memory_pressure"} 1`) {
+		t.Fatalf("metrics missing memory_pressure reject count:\n%s", m)
+	}
+
+	// Soft watermark only: accepted, but a relief sweep runs.
+	pressure.Store(600)
+	srv.memAt.Store(0)
+	srv.reliefAt.Store(0)
+	if code, body := postText(t, ts.URL+"/ingest", "w a 2 20 30\n"); code != http.StatusOK {
+		t.Fatalf("soft-pressured ingest: %d %s", code, body)
+	}
+	if _, m := getBody(t, ts.URL+"/metrics"); !strings.Contains(m, "kavserve_memory_reliefs_total") {
+		t.Fatalf("metrics missing relief counter:\n%s", m)
+	}
+
+	// Pressure clears: the shed is not sticky, nothing was lost, and the
+	// key's per-request prefix is intact (starts keep increasing).
+	pressure.Store(0)
+	srv.memAt.Store(0)
+	if code, body := postText(t, ts.URL+"/ingest", "w a 3 40 50\n"); code != http.StatusOK {
+		t.Fatalf("post-pressure ingest: %d %s", code, body)
+	}
+	final := postDrain(t, ts.URL)
+	var ops int
+	for _, ks := range final.Keys {
+		ops += ks.Ops
+	}
+	if ops != 3 {
+		t.Fatalf("drained ops %d, want 3 (accepted requests only)", ops)
+	}
+}
+
+// TestNoQuiesceChaosSheds replays the adversarial churn variant — chained
+// overlapping writes, so no key ever quiesces and retirement can reclaim
+// nothing — against a hard watermark wired to the session's real buffered
+// backlog. The server must degrade into typed memory_pressure sheds with
+// bounded buffered growth, never accept-and-grow.
+func TestNoQuiesceChaosSheds(t *testing.T) {
+	tr := kat.GenerateChurn(kat.ChurnConfig{Seed: 7, Lifetimes: 8, OpsPerLifetime: 12, NoQuiesce: true})
+	var b strings.Builder
+	if err := kat.WriteTraceArrivalOrder(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(b.String(), "\n"), "\n")
+
+	// The "heap probe" is the buffered-op count itself: deterministic
+	// pressure that only retirement or verification could relieve, and the
+	// no-quiesce trace forbids both.
+	const hardOps = 40
+	var srv *Server
+	cfg := Config{
+		K:                  2,
+		Stream:             trace.StreamOptions{Workers: 1, MinSegmentOps: 1, RetireTTL: 10, RetireSweepOps: 1},
+		HardWatermarkBytes: hardOps,
+		MemUsage: func() uint64 {
+			return uint64(srv.sess.BufferedOps())
+		},
+	}
+	srv = New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const chunkLines = 8
+	var accepted, shed int64
+	for i := 0; i < len(lines); i += chunkLines {
+		end := i + chunkLines
+		if end > len(lines) {
+			end = len(lines)
+		}
+		srv.memAt.Store(0) // force a fresh probe per request
+		code, body := postText(t, ts.URL+"/ingest", strings.Join(lines[i:end], ""))
+		switch code {
+		case http.StatusOK:
+			var ok struct {
+				Ingested int64 `json:"ingested"`
+			}
+			if err := json.Unmarshal([]byte(body), &ok); err != nil {
+				t.Fatalf("ingest body %q: %v", body, err)
+			}
+			accepted += ok.Ingested
+		case http.StatusServiceUnavailable:
+			rej := decodeReject(t, body)
+			if rej.Code != "memory_pressure" {
+				t.Fatalf("shed with code %q, want memory_pressure: %s", rej.Code, body)
+			}
+			shed++
+		default:
+			t.Fatalf("ingest: %d %s", code, body)
+		}
+	}
+	if shed == 0 {
+		t.Fatal("never-quiescing trace never tripped the hard watermark")
+	}
+	if buf := srv.sess.BufferedOps(); buf > hardOps+chunkLines {
+		t.Fatalf("buffered ops %d grew past watermark %d + one chunk", buf, hardOps)
+	}
+	// The shed is load shedding, not a failure: the server still answers,
+	// and every accepted operation is accounted for.
+	live := getVerdict(t, ts.URL)
+	var ops int
+	for _, ks := range live.Keys {
+		ops += ks.Ops
+	}
+	if int64(ops) != accepted {
+		t.Fatalf("verdict ops %d != accepted %d", ops, accepted)
+	}
+}
+
+// TestVerdictEpochEndpoint exercises /verdict?epoch=N: 400 without epoch
+// windows, numbered and "current" lookups, and 404 for unseen epochs.
+func TestVerdictEpochEndpoint(t *testing.T) {
+	plain := New(Config{K: 2, Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1}})
+	pts := httptest.NewServer(plain.Handler())
+	defer pts.Close()
+	if code, body := getBody(t, pts.URL+"/verdict?epoch=0"); code != http.StatusBadRequest {
+		t.Fatalf("epoch query without windows: %d %s", code, body)
+	}
+
+	srv := New(Config{K: 2, Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1, EpochLength: 100}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, chunk := range []string{"w a 1 0 10\nw a 2 150 160\n", "w a 3 250 260\nr a 3 270 280\n"} {
+		if code, body := postText(t, ts.URL+"/ingest", chunk); code != http.StatusOK {
+			t.Fatalf("ingest: %d %s", code, body)
+		}
+	}
+	if code, body := getBody(t, ts.URL+"/verdict?epoch=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad epoch arg: %d %s", code, body)
+	}
+	postDrain(t, ts.URL)
+
+	code, body := getBody(t, ts.URL+"/verdict?epoch=0")
+	if code != http.StatusOK {
+		t.Fatalf("epoch 0: %d %s", code, body)
+	}
+	var doc EpochDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Epoch != 0 || doc.Current || doc.Folded {
+		t.Fatalf("epoch 0 doc: %+v", doc)
+	}
+	if !doc.KAtomic || doc.Stats.Ops == 0 {
+		t.Fatalf("epoch 0 verdict: %+v", doc)
+	}
+
+	code, body = getBody(t, ts.URL+"/verdict?epoch=current")
+	if code != http.StatusOK {
+		t.Fatalf("epoch current: %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Epoch != 2 {
+		t.Fatalf("current epoch %d, want 2 (watermark 270 / length 100)", doc.Epoch)
+	}
+	if doc.Current {
+		t.Fatal("drained current-epoch doc still marked Current")
+	}
+
+	if code, body = getBody(t, ts.URL+"/verdict?epoch=99"); code != http.StatusNotFound {
+		t.Fatalf("unseen epoch: %d %s", code, body)
+	}
+
+	// The full document carries every window, and their ops conserve.
+	full := getVerdict(t, ts.URL)
+	if len(full.Epochs) == 0 {
+		t.Fatal("drained verdict has no epochs")
+	}
+	var ops int64
+	for _, es := range full.Epochs {
+		ops += es.Ops
+	}
+	if ops != 4 {
+		t.Fatalf("epoch windows hold %d ops, want 4", ops)
+	}
+}
+
+// TestRetiredKeyVerdictHTTP drives quiescent-key retirement purely over
+// HTTP: later requests advance the watermark past the TTL, the idle key
+// folds into the retired record, /verdict and /healthz surface it, and a
+// late write re-admits it with the floor carried forward.
+func TestRetiredKeyVerdictHTTP(t *testing.T) {
+	srv := New(Config{
+		K:      2,
+		Stream: trace.StreamOptions{Workers: 1, MinSegmentOps: 1, IngestShards: 2, RetireTTL: 100, RetireSweepOps: 1},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Each request is one arrival instant: the batch watermark floor means
+	// a single request can never retire its own keys, but request N+1 can
+	// retire keys quiesced before request N's ops arrived.
+	for _, chunk := range []string{
+		"w a 1 0 10\nr a 1 20 30\n",
+		"w b 5 1000 1010\n",
+		"w c 9 5000 5010\n",
+	} {
+		if code, body := postText(t, ts.URL+"/ingest", chunk); code != http.StatusOK {
+			t.Fatalf("ingest: %d %s", code, body)
+		}
+	}
+
+	// Retirement is two-phase: the sweep commits the final cut, and a later
+	// sweep folds the verdict once verification drains. Keep trickling
+	// unrelated traffic until the fold lands — exactly what a live server
+	// sees.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; srv.sess.RetiredKeys() == 0; i++ {
+		if time.Now().After(deadline) {
+			t.Fatal("key a never retired")
+		}
+		line := fmt.Sprintf("w d %d %d %d\n", i+1, 6000+40*i, 6010+40*i)
+		if code, body := postText(t, ts.URL+"/ingest", line); code != http.StatusOK {
+			t.Fatalf("trickle ingest: %d %s", code, body)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, body := getBody(t, ts.URL+"/verdict/a")
+	if code != http.StatusOK {
+		t.Fatalf("GET /verdict/a: %d %s", code, body)
+	}
+	var ks KeyStatus
+	if err := json.Unmarshal([]byte(body), &ks); err != nil {
+		t.Fatal(err)
+	}
+	if !ks.Retired || ks.Ops != 2 || ks.SmallestK != 1 || ks.Status != "ok" {
+		t.Fatalf("retired key status: %+v", ks)
+	}
+
+	// The watermark kept advancing, so b and c may have retired too; the
+	// summary covers at least a's lifetime.
+	doc := getVerdict(t, ts.URL)
+	if doc.Retired == nil || doc.Retired.Keys == 0 || doc.Retired.Ops < 2 {
+		t.Fatalf("verdict retired summary: %+v", doc.Retired)
+	}
+	var health Health
+	if _, hb := getBody(t, ts.URL+"/healthz"); true {
+		if err := json.Unmarshal([]byte(hb), &health); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if health.RetiredKeys == 0 {
+		t.Fatalf("healthz retiredKeys: %+v", health)
+	}
+	if _, m := getBody(t, ts.URL+"/metrics"); !strings.Contains(m, "kavserve_retired_keys") {
+		t.Fatalf("metrics missing retired-keys gauge:\n%s", m)
+	}
+
+	// A later write transparently re-admits the retired key.
+	if code, body := postText(t, ts.URL+"/ingest", "w a 7 9000 9010\n"); code != http.StatusOK {
+		t.Fatalf("readmit ingest: %d %s", code, body)
+	}
+	for srv.sess.Stats().Readmissions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("key a never re-admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code, body = getBody(t, ts.URL+"/verdict/a")
+	if code != http.StatusOK {
+		t.Fatalf("GET /verdict/a after readmit: %d %s", code, body)
+	}
+	// Decode into a fresh struct: retired is omitempty, so reusing ks would
+	// keep the stale true from the pre-readmit response.
+	var readmitted KeyStatus
+	if err := json.Unmarshal([]byte(body), &readmitted); err != nil {
+		t.Fatal(err)
+	}
+	if readmitted.Retired || readmitted.Ops != 3 {
+		t.Fatalf("re-admitted key status: %+v", readmitted)
+	}
+	final := postDrain(t, ts.URL)
+	for _, ks := range final.Keys {
+		if ks.Status != "ok" {
+			t.Fatalf("final key %s: %+v", ks.Key, ks)
+		}
+	}
+}
+
+// TestTenantQuotasAndIsolation covers the multi-tenant frontend: typed
+// quota rejects per quota class, 404 for unknown tenants, tenant-labeled
+// metrics, and one tenant at quota never blocking another under
+// concurrent load.
+func TestTenantQuotasAndIsolation(t *testing.T) {
+	pool := kat.NewPool(2)
+	defer pool.Close()
+	m, err := NewMulti(
+		Config{K: 2, Stream: trace.StreamOptions{Pool: pool, MinSegmentOps: 1000}},
+		[]TenantConfig{
+			{Name: "alpha", Quotas: TenantQuotas{MaxOps: 4}},
+			{Name: "beta"},
+			{Name: "gamma", Quotas: TenantQuotas{MaxBufferedOps: 2}},
+			{Name: "delta", Quotas: TenantQuotas{MaxKeys: 1}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(m.Handler())
+	defer ts.Close()
+
+	if code, body := postText(t, ts.URL+"/ingest/nobody", "w a 1 0 10\n"); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant: %d %s", code, body)
+	}
+
+	// alpha: lifetime op quota. 4 ops fit; the 5th request is 429 and
+	// permanent (no Retry-After).
+	if code, body := postText(t, ts.URL+"/ingest/alpha", "w a 1 0 10\nw a 2 20 30\nw a 3 40 50\nw a 4 60 70\n"); code != http.StatusOK {
+		t.Fatalf("alpha ingest: %d %s", code, body)
+	}
+	resp, err := http.Post(ts.URL+"/ingest/alpha", "text/plain", strings.NewReader("w a 5 80 90\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alpha over quota: %d %s", resp.StatusCode, body)
+	}
+	if rej := decodeReject(t, string(body)); rej.Code != "quota_exceeded" {
+		t.Fatalf("alpha reject code %q", rej.Code)
+	}
+	if resp.Header.Get("Retry-After") != "" {
+		t.Fatal("lifetime op quota reject carries Retry-After (it is permanent)")
+	}
+
+	// gamma: buffered-op quota, transient → 503 with Retry-After.
+	if code, body := postText(t, ts.URL+"/ingest/gamma", "w g 1 0 10\nw g 2 20 30\n"); code != http.StatusOK {
+		t.Fatalf("gamma ingest: %d %s", code, body)
+	}
+	resp, err = http.Post(ts.URL+"/ingest/gamma", "text/plain", strings.NewReader("w g 3 40 50\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("gamma over quota: %d %s", resp.StatusCode, body)
+	}
+	if rej := decodeReject(t, string(body)); rej.Code != "quota_exceeded" {
+		t.Fatalf("gamma reject code %q", rej.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("buffered-op quota reject missing Retry-After")
+	}
+
+	// delta: distinct-key quota.
+	if code, body := postText(t, ts.URL+"/ingest/delta", "w d 1 0 10\n"); code != http.StatusOK {
+		t.Fatalf("delta ingest: %d %s", code, body)
+	}
+	if code, body := postText(t, ts.URL+"/ingest/delta", "w e 1 0 10\n"); code != http.StatusTooManyRequests {
+		t.Fatalf("delta over key quota: %d %s", code, body)
+	}
+
+	// beta keeps ingesting at full tilt while the other tenants sit at
+	// their quotas: per-goroutine keys keep each stream's starts
+	// nondecreasing, and alpha's rejects must stay typed throughout.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				line := fmt.Sprintf("w b%d %d %d %d\n", g, i+1, i*20, i*20+10)
+				code, body := postText(t, ts.URL+"/ingest/beta", line)
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("beta[%d] ingest %d: %d %s", g, i, code, body)
+					return
+				}
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				code, body := postText(t, ts.URL+"/ingest/alpha", fmt.Sprintf("w a %d %d %d\n", 100+g*10+i, 1000+i*20, 1010+i*20))
+				if code != http.StatusTooManyRequests {
+					errs <- fmt.Errorf("alpha[%d] expected 429, got %d %s", g, code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	betaSrv, _ := m.Tenant("beta")
+	if ops := betaSrv.sess.Stats().Ops; ops != 40 {
+		t.Fatalf("beta ingested %d ops, want 40", ops)
+	}
+	alphaSrv, _ := m.Tenant("alpha")
+	if ops := alphaSrv.sess.Stats().Ops; ops != 4 {
+		t.Fatalf("alpha ingested %d ops, want 4 (quota)", ops)
+	}
+
+	// Merged metrics label every sample by tenant.
+	_, metricsBody := getBody(t, ts.URL+"/metrics")
+	for _, name := range []string{"alpha", "beta", "gamma", "delta"} {
+		if !strings.Contains(metricsBody, `tenant="`+name+`"`) {
+			t.Fatalf("metrics missing tenant=%q labels", name)
+		}
+	}
+	if !strings.Contains(metricsBody, `kavserve_ingest_rejected_total{tenant="alpha",reason="quota_exceeded"}`) {
+		t.Fatalf("metrics missing alpha quota rejects:\n%s", metricsBody)
+	}
+
+	// Per-tenant drain leaves the others live.
+	code, _ := func() (int, string) {
+		resp, err := http.Post(ts.URL+"/drain/alpha", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}()
+	if code != http.StatusOK {
+		t.Fatalf("drain alpha: %d", code)
+	}
+	if code, body := postText(t, ts.URL+"/ingest/beta", "w zz 1 0 10\n"); code != http.StatusOK {
+		t.Fatalf("beta ingest after alpha drain: %d %s", code, body)
+	}
+
+	// The aggregate verdict document is keyed by tenant name.
+	_, vb := getBody(t, ts.URL+"/verdict")
+	var docs map[string]VerdictDoc
+	if err := json.Unmarshal([]byte(vb), &docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 4 || !docs["alpha"].Drained || docs["beta"].Drained {
+		t.Fatalf("aggregate verdicts: drained alpha=%v beta=%v tenants=%d",
+			docs["alpha"].Drained, docs["beta"].Drained, len(docs))
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	rtmetrics "runtime/metrics"
 	"strconv"
 	"strings"
 	"sync"
@@ -73,6 +74,24 @@ type Config struct {
 	// {"code":"overload"} body, telling well-behaved producers to back off
 	// rather than pile onto verification backpressure.
 	OverloadOps int64
+	// SoftWatermarkBytes, when > 0, is the live-heap size at which the
+	// ingest path starts reclaiming memory aggressively: quiescent keys
+	// are retired immediately regardless of Stream.RetireTTL, and open
+	// windows spill to the blob store when one is configured. Relief is
+	// rate-limited so a sustained breach costs one sweep per interval,
+	// not one per request.
+	SoftWatermarkBytes uint64
+	// HardWatermarkBytes, when > 0, is the live-heap size at which
+	// /ingest sheds load before reading the body with a typed
+	// {"code":"memory_pressure"} 503 + Retry-After. Unlike
+	// "buffer_limit" this is not sticky: no operations are lost, and
+	// requests are accepted again as soon as relief (or GC) brings the
+	// heap back under the watermark.
+	HardWatermarkBytes uint64
+	// MemUsage overrides the live-heap probe used for the watermarks
+	// (default: the runtime's heap-objects byte class, polled at most
+	// every memPollInterval). Tests inject deterministic pressure here.
+	MemUsage func() uint64
 }
 
 // Violation is the retained evidence for a key's first violating segment.
@@ -113,6 +132,11 @@ type KeyStatus struct {
 	Status    string     `json:"status"`
 	Err       string     `json:"error,omitempty"`
 	Violation *Violation `json:"violation,omitempty"`
+	// Retired marks a key whose live state was folded into the compact
+	// retired record after quiescing past the retirement TTL. Its
+	// verdict fields are final floors (exact if the key never saturated
+	// the horizon) and carry forward if the key is later re-admitted.
+	Retired bool `json:"retired,omitempty"`
 	// Delta and Regularity carry the extra per-property verdicts when the
 	// session was configured to verify them (Config.Stream.Properties);
 	// both ride the same parse/cut/schedule pass as the k verdict, so
@@ -182,6 +206,38 @@ type VerdictDoc struct {
 	Keys []KeyStatus `json:"keys"`
 	// Stats is the session's streaming statistics.
 	Stats trace.StreamStats `json:"stats"`
+	// Retired summarizes the keys whose state was folded into compact
+	// retired records (counts plus worst-case per-property floors over
+	// all retired keys); present once any retirement has happened.
+	Retired *trace.RetiredSummary `json:"retired,omitempty"`
+	// Epochs carries the per-epoch verdict windows when the session
+	// rotates them (Stream.EpochLength > 0): the folded aggregate of
+	// evicted epochs first, then retained epochs in ascending order.
+	Epochs []trace.EpochStats `json:"epochs,omitempty"`
+}
+
+// EpochDoc is the /verdict?epoch=N response: the k-atomicity verdict
+// over one bounded window of trace time, answering "was the store
+// k-atomic over that hour" without waiting for a drain.
+type EpochDoc struct {
+	// Epoch identifies the window: floor(trace time / epoch length).
+	Epoch int64 `json:"epoch"`
+	// Current marks the still-open window: its stats only cover
+	// segments already cut and verified, so they are floors.
+	Current bool `json:"current,omitempty"`
+	// Folded marks a window old enough to have been folded into the
+	// cumulative aggregate of evicted epochs; Stats then covers every
+	// evicted window, not just the requested one.
+	Folded bool `json:"folded,omitempty"`
+	// K is the bound KAtomic judges the window's MaxK against.
+	K int `json:"k"`
+	// KAtomic reports that every segment settled in the window verified
+	// within the bound with no anomalies. Sound even for saturated
+	// keys: MaxK is a lower bound, so false is definite; true is final
+	// once the window is closed and its keys drained or retired.
+	KAtomic bool `json:"kAtomic"`
+	// Stats is the window's verdict aggregate.
+	Stats trace.EpochStats `json:"stats"`
 }
 
 // WriteText renders the per-key verdict lines and a one-line summary under
@@ -210,8 +266,20 @@ type Server struct {
 	ingestErrors   *metrics.Counter
 	rejectDraining *metrics.Counter
 	rejectOverload *metrics.Counter
+	rejectMemory   *metrics.Counter
+	rejectQuota    *metrics.Counter
 	segmentsClosed *metrics.Counter
 	violations     *metrics.Counter
+	reliefs        *metrics.Counter
+
+	// Watermark machinery: the live-heap probe is polled at most every
+	// memPollInterval (memAt gates, memVal caches), and soft-watermark
+	// relief (retire + spill) runs at most every reliefInterval. Both
+	// are CAS-gated so concurrent ingest handlers never stack sweeps.
+	memUsage func() uint64
+	memAt    atomic.Int64
+	memVal   atomic.Uint64
+	reliefAt atomic.Int64
 	// ingestSizes is a histogram-ish breakdown of /ingest request sizes
 	// (operations accepted per request), one counter per size class — the
 	// batching signal an operator tunes producers against.
@@ -285,6 +353,10 @@ func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.Recove
 		"Ingest requests shed before reading the body, by reason.", `reason="draining"`)
 	s.rejectOverload = s.reg.CounterL("kavserve_ingest_rejected_total",
 		"Ingest requests shed before reading the body, by reason.", `reason="overload"`)
+	s.rejectMemory = s.reg.CounterL("kavserve_ingest_rejected_total",
+		"Ingest requests shed before reading the body, by reason.", `reason="memory_pressure"`)
+	s.rejectQuota = s.reg.CounterL("kavserve_ingest_rejected_total",
+		"Ingest requests shed before reading the body, by reason.", `reason="quota_exceeded"`)
 	s.segmentsClosed = s.reg.Counter("kavserve_segments_closed_total", "Segments verified.")
 	s.violations = s.reg.Counter("kavserve_violations_total", "Violating segment verdicts.")
 	for _, bucket := range ingestSizeBuckets {
@@ -391,6 +463,31 @@ func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.Recove
 				return float64(st.Hits) / float64(st.Hits+st.Misses)
 			})
 	}
+	// Lifecycle families exist only when retirement can happen (a
+	// retirement TTL or a soft watermark), so plain servers' exposition
+	// is unchanged. All of them read lock-free session atomics.
+	if cfg.Stream.RetireTTL > 0 || cfg.SoftWatermarkBytes > 0 {
+		s.reg.Gauge("kavserve_retired_keys", "Keys currently folded into compact retired records.",
+			func() float64 { return float64(s.sess.RetiredKeys()) })
+		s.reg.CounterFunc("kavserve_retirements_total", "Lifetime quiescent-key retirements.",
+			func() float64 { return float64(s.sess.Stats().Retirements) })
+		s.reg.CounterFunc("kavserve_readmissions_total", "Retired keys re-admitted by later operations (floors carried forward).",
+			func() float64 { return float64(s.sess.Stats().Readmissions) })
+	}
+	if cfg.Stream.EpochLength > 0 {
+		s.reg.Gauge("kavserve_current_epoch", "Epoch window the ingest watermark currently falls in.",
+			func() float64 { ep, _ := s.sess.CurrentEpoch(); return float64(ep) })
+	}
+	s.memUsage = cfg.MemUsage
+	if s.memUsage == nil {
+		s.memUsage = liveHeapBytes
+	}
+	if cfg.SoftWatermarkBytes > 0 || cfg.HardWatermarkBytes > 0 {
+		s.reliefs = s.reg.Counter("kavserve_memory_reliefs_total",
+			"Soft-watermark relief sweeps (aggressive retirement + spill) triggered by the ingest path.")
+		s.reg.Gauge("kavserve_heap_live_bytes", "Live-heap probe the admission watermarks are judged against.",
+			func() float64 { return float64(s.heapBytes()) })
+	}
 	// Spill gauges read lock-free session atomics; they sit at zero for
 	// sessions without a blob store.
 	s.reg.Gauge("kavserve_spilled_ops", "Operations currently resident in the spill store instead of memory.",
@@ -443,6 +540,55 @@ func NewDurable(cfg Config, mgr *checkpoint.Manager) (*Server, checkpoint.Recove
 	return s, rs, nil
 }
 
+// memPollInterval bounds how often the live-heap probe actually runs;
+// between polls every ingest request reads the cached value. reliefInterval
+// bounds how often a sustained soft-watermark breach re-runs the relief
+// sweep (each sweep takes every shard lock once, so per-request sweeps
+// would turn memory pressure into ingest-lock pressure).
+const (
+	memPollInterval = 100 * time.Millisecond
+	reliefInterval  = 250 * time.Millisecond
+)
+
+// liveHeapBytes is the default watermark probe: the runtime's live
+// heap-object bytes, from the cheap runtime/metrics read (no
+// stop-the-world, unlike runtime.ReadMemStats).
+func liveHeapBytes() uint64 {
+	sample := []rtmetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	rtmetrics.Read(sample)
+	return sample[0].Value.Uint64()
+}
+
+// heapBytes returns the (rate-limited) live-heap probe value.
+func (s *Server) heapBytes() uint64 {
+	now := time.Now().UnixNano()
+	last := s.memAt.Load()
+	if now-last < int64(memPollInterval) || !s.memAt.CompareAndSwap(last, now) {
+		return s.memVal.Load()
+	}
+	v := s.memUsage()
+	s.memVal.Store(v)
+	return v
+}
+
+// relieve runs one rate-limited soft-watermark relief sweep: every
+// quiescent key retires immediately (TTL 1 — still only at safe cuts, so
+// verdicts are unaffected), and open windows spill to the blob store when
+// the session has one. Errors are ignored here because the session makes
+// them sticky: the next ingest surfaces them with their typed reject.
+func (s *Server) relieve() {
+	now := time.Now().UnixNano()
+	last := s.reliefAt.Load()
+	if now-last < int64(reliefInterval) || !s.reliefAt.CompareAndSwap(last, now) {
+		return
+	}
+	s.sess.RetireIdle(1)
+	s.sess.SpillOpenWindows()
+	if s.reliefs != nil {
+		s.reliefs.Inc()
+	}
+}
+
 // atomicMax lifts a to at least v.
 func atomicMax(a *atomic.Int64, v int64) {
 	for cur := a.Load(); v > cur && !a.CompareAndSwap(cur, v); cur = a.Load() {
@@ -493,10 +639,14 @@ type Health struct {
 	BufferedOps int64 `json:"bufferedOps"`
 	// Keys counts distinct keys seen.
 	Keys int64 `json:"keys"`
+	// RetiredKeys counts keys currently folded into compact retired
+	// records (zero for servers without a keyspace lifecycle).
+	RetiredKeys int64 `json:"retiredKeys,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	h := Health{Status: "ok", BufferedOps: s.sess.BufferedOps(), Keys: s.sess.Keys()}
+	h := Health{Status: "ok", BufferedOps: s.sess.BufferedOps(), Keys: s.sess.Keys(),
+		RetiredKeys: s.sess.RetiredKeys()}
 	if s.Draining() {
 		h.Status, h.Draining = "draining", true
 	}
@@ -570,6 +720,14 @@ func (s *Server) recordIngestSize(n int64) {
 //	"buffer_limit" the configured MaxBufferedOps cap tripped (HTTP 503 with
 //	               Retry-After — but sticky, unlike "overload": operations
 //	               were lost, so resuming requires reconciling via /verdict)
+//	"memory_pressure" the hard admission watermark tripped; honor
+//	               Retry-After and resend the same batch — like
+//	               "overload", nothing was lost and the condition clears
+//	               as retirement/spill/GC reclaim memory (HTTP 503)
+//	"quota_exceeded" a tenant quota tripped (HTTP 503 with Retry-After
+//	               when transient — the buffered-ops quota drains as
+//	               verification catches up — or HTTP 429 when the
+//	               lifetime op or key quota is exhausted)
 //	"durability"   the write-ahead log failed beneath the session (HTTP 500,
 //	               sticky)
 //	"malformed"    unparseable trace input (HTTP 400)
@@ -639,6 +797,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("overloaded: %d operations buffered (cap %d)", s.sess.BufferedOps(), cap))
 		return
 	}
+	if hard := s.cfg.HardWatermarkBytes; hard > 0 {
+		if heap := s.heapBytes(); heap >= hard {
+			// Shed before reading the body, like overload — but also keep
+			// relieving, so the condition clears even with no polite
+			// producers left to trip the soft path.
+			s.rejectMemory.Inc()
+			s.relieve()
+			s.rejectIngest(w, http.StatusServiceUnavailable, "memory_pressure", 0,
+				fmt.Errorf("memory pressure: %d live heap bytes (hard watermark %d)", heap, hard))
+			return
+		}
+	}
+	if soft := s.cfg.SoftWatermarkBytes; soft > 0 && s.heapBytes() >= soft {
+		s.relieve()
+	}
 	// Batch-granular ingest, codec by Content-Type. Text bodies are parsed
 	// in chunks by the zero-copy byte parser; binary bodies decode wire
 	// frames straight into keyed operations. Either way each ingest shard's
@@ -698,6 +871,13 @@ func (s *Server) Verdict() VerdictDoc {
 	for _, kv := range s.sess.Snapshot() {
 		doc.Keys = append(doc.Keys, s.keyStatus(kv, drained))
 	}
+	if doc.Stats.Retirements > 0 {
+		rs := s.sess.RetiredSummary()
+		doc.Retired = &rs
+	}
+	if s.sess.EpochLength() > 0 {
+		doc.Epochs = s.sess.Epochs()
+	}
 	return doc
 }
 
@@ -708,7 +888,13 @@ func (s *Server) keyStatus(kv trace.KeyVerdict, drained bool) KeyStatus {
 		PendingOps: kv.PendingOps,
 		SmallestK:  kv.SmallestK,
 		Saturated:  kv.Saturated,
+		Retired:    kv.Retired,
 		Status:     "ok",
+	}
+	if kv.Retired && kv.Err == nil && ks.SmallestK < 1 {
+		// Retired verdicts are final for the retired lifetime even while
+		// the server is still live.
+		ks.SmallestK = 1
 	}
 	if drained && kv.Err == nil && ks.SmallestK < 1 {
 		// Final semantics match SmallestKByKey: a fully verified key is at
@@ -755,8 +941,49 @@ func (s *Server) keyStatus(kv trace.KeyVerdict, drained bool) KeyStatus {
 	return ks
 }
 
-func (s *Server) handleVerdict(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	if arg := r.URL.Query().Get("epoch"); arg != "" {
+		s.handleVerdictEpoch(w, arg)
+		return
+	}
 	writeJSON(w, s.Verdict())
+}
+
+// handleVerdictEpoch serves /verdict?epoch=N (or ?epoch=current): the
+// verdict window for one epoch.
+func (s *Server) handleVerdictEpoch(w http.ResponseWriter, arg string) {
+	if s.sess.EpochLength() <= 0 {
+		http.Error(w, "epoch windows are not enabled (start kavserve with -epoch)", http.StatusBadRequest)
+		return
+	}
+	cur, haveCur := s.sess.CurrentEpoch()
+	var ep int64
+	if arg == "current" {
+		if !haveCur {
+			http.Error(w, "no operations ingested yet", http.StatusNotFound)
+			return
+		}
+		ep = cur
+	} else {
+		var err error
+		if ep, err = strconv.ParseInt(arg, 10, 64); err != nil {
+			http.Error(w, fmt.Sprintf("bad epoch %q (want an integer or \"current\")", arg), http.StatusBadRequest)
+			return
+		}
+	}
+	es, ok := s.sess.EpochSummary(ep)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no verdicts recorded for epoch %d", ep), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, EpochDoc{
+		Epoch:   es.Epoch,
+		Current: haveCur && !es.Folded && es.Epoch == cur && !s.isDrained(),
+		Folded:  es.Folded,
+		K:       s.cfg.K,
+		KAtomic: es.Errors == 0 && es.Violations == 0 && es.MaxK <= s.cfg.K,
+		Stats:   es,
+	})
 }
 
 func (s *Server) handleVerdictKey(w http.ResponseWriter, r *http.Request) {

@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 
 	"kat/internal/history"
 	"kat/internal/wire"
@@ -126,6 +127,11 @@ func (s *Session) putScratch(sc *batchScratch) {
 func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int32) error, enc *walEnc) (int, error) {
 	appended := 0
 	logger := s.shardLogger()
+	// Retirement sweeps fired while a shard chews its group must not treat
+	// the rest of this batch as elapsed trace time: the whole batch arrived
+	// at once, so idleness is measured against the watermark as of the
+	// batch's start (see ingestShard.sweepWM).
+	preWM := s.e.watermark()
 	var start int32
 	for si, sh := range s.e.shards {
 		cnt := sc.counts[si]
@@ -138,6 +144,11 @@ func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int3
 		if err := s.gate(); err != nil {
 			sh.mu.Unlock()
 			return appended, err
+		}
+		sh.sweepWM = preWM
+		unlock := func() {
+			sh.sweepWM = math.MaxInt64
+			sh.mu.Unlock()
 		}
 		if logger != nil {
 			enc.begin()
@@ -154,17 +165,23 @@ func (s *Session) feedGrouped(sc *batchScratch, add func(sh *ingestShard, i int3
 				if logger != nil {
 					s.logShard(logger, si, enc.finish()) // accepted prefix; err already sticky
 				}
-				sh.mu.Unlock()
+				unlock()
 				return appended, err
 			}
 		}
 		if logger != nil {
 			if err := s.logShard(logger, si, enc.finish()); err != nil {
-				sh.mu.Unlock()
+				unlock()
 				return appended, err
 			}
 		}
-		sh.mu.Unlock()
+		unlock()
+	}
+	// Cold-shard retirement: the per-operation sweep only visits shards
+	// with traffic, so shards whose keys all went quiescent are swept here,
+	// against the same pre-batch watermark. No shard lock is held now.
+	if err := s.sweepAllSticky(int64(appended), preWM); err != nil {
+		return appended, err
 	}
 	return appended, nil
 }

@@ -44,6 +44,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 
 	"kat/internal/history"
@@ -336,7 +337,8 @@ type SegmentState struct {
 	LoSeq  int    `json:"lo"`
 	HiSeq  int    `json:"hi"`
 	Writes int    `json:"writes"`
-	Ops    string `json:"ops"` // keyed text
+	CutAt  int64  `json:"cutAt,omitempty"` // quiescent cut time (epoch attribution)
+	Ops    string `json:"ops"`             // keyed text
 }
 
 // KeyState is one register's full accumulator + verdict state at the
@@ -387,6 +389,18 @@ type CarriedStats struct {
 	SpillLoads      int64 `json:"spillLoads,omitempty"`
 }
 
+// RetiredKeyState is one retired key's compact record in a checkpoint.
+type RetiredKeyState struct {
+	Key             string      `json:"key"`
+	Ops             int         `json:"ops"`
+	MaxClosedFinish int64       `json:"maxClosedFinish"`
+	Atomic          bool        `json:"atomic"`
+	MaxK            int         `json:"maxK,omitempty"`
+	Saturated       bool        `json:"saturated,omitempty"`
+	Err             string      `json:"err,omitempty"`
+	Props           []PropState `json:"props,omitempty"`
+}
+
 // SessionCheckpoint is an exact snapshot of a frozen session.
 type SessionCheckpoint struct {
 	Mode       string       `json:"mode"`                 // "check" | "smallestk"
@@ -398,6 +412,16 @@ type SessionCheckpoint struct {
 	Err        string       `json:"err,omitempty"`
 	Stats      CarriedStats `json:"stats"`
 	Keys       []KeyState   `json:"keys"`
+
+	// Keyspace lifecycle state (zero/empty for sessions without RetireTTL or
+	// EpochLength, so pre-lifecycle checkpoints round-trip unchanged).
+	RetireTTL    int64             `json:"retireTTL,omitempty"`
+	EpochLength  int64             `json:"epochLength,omitempty"`
+	Watermark    int64             `json:"watermark,omitempty"` // only meaningful when lifecycle enabled
+	Retirements  int64             `json:"retirements,omitempty"`
+	Readmissions int64             `json:"readmissions,omitempty"`
+	Retired      []RetiredKeyState `json:"retired,omitempty"`
+	Epochs       []EpochStats      `json:"epochs,omitempty"` // Folded aggregate included, if any
 }
 
 func modeName(m streamMode) string {
@@ -461,6 +485,49 @@ func (s *Session) buildCheckpoint() (*SessionCheckpoint, error) {
 	if err := s.stickyErr(); err != nil {
 		cp.Err = err.Error()
 	}
+	cp.RetireTTL = e.retireTTL
+	cp.EpochLength = e.epochLen
+	cp.Retirements = e.retirements.Load()
+	cp.Readmissions = e.readmissions.Load()
+	if wm := e.watermark(); wm != math.MinInt64 {
+		cp.Watermark = wm
+	}
+	for _, sh := range e.shards {
+		for key, rk := range sh.retired {
+			st := RetiredKeyState{
+				Key:             key,
+				Ops:             rk.ops,
+				MaxClosedFinish: rk.maxClosedFinish,
+				Atomic:          rk.props[0].Atomic,
+				MaxK:            rk.props[0].K,
+				Saturated:       rk.props[0].Saturated,
+			}
+			if rk.err != nil {
+				st.Err = rk.err.Error()
+			}
+			for _, pv := range rk.props[1:] {
+				st.Props = append(st.Props, PropState{
+					Property:  pv.Property.String(),
+					Delta:     pv.Delta,
+					Unsafe:    pv.UnsafeReads,
+					Irregular: pv.IrregularReads,
+					Saturated: pv.Saturated,
+				})
+			}
+			cp.Retired = append(cp.Retired, st)
+		}
+	}
+	if e.epochLen > 0 {
+		t := &e.epochT
+		t.mu.Lock()
+		if t.folded != nil {
+			cp.Epochs = append(cp.Epochs, *t.folded)
+		}
+		for _, es := range t.epochs {
+			cp.Epochs = append(cp.Epochs, *es)
+		}
+		t.mu.Unlock()
+	}
 	var buf []byte
 	for _, sh := range e.shards {
 		for _, ks := range sh.keys {
@@ -490,7 +557,7 @@ func (s *Session) buildCheckpoint() (*SessionCheckpoint, error) {
 				st.Open = string(buf)
 			}
 			for _, seg := range ks.deque {
-				ss := SegmentState{LoSeq: seg.loSeq, HiSeq: seg.hiSeq, Writes: seg.writes}
+				ss := SegmentState{LoSeq: seg.loSeq, HiSeq: seg.hiSeq, Writes: seg.writes, CutAt: seg.cutAt}
 				if seg.spill != 0 {
 					data, err := e.store.Get(seg.spill)
 					if err != nil {
@@ -561,6 +628,12 @@ func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
 	if e.threshold != cp.Threshold {
 		return fmt.Errorf("trace: checkpoint horizon %d does not match session horizon %d (restart with the original -horizon)", cp.Threshold, e.threshold)
 	}
+	if e.retireTTL != cp.RetireTTL {
+		return fmt.Errorf("trace: checkpoint retire TTL %d does not match session retire TTL %d (restart with the original -retire-ttl)", cp.RetireTTL, e.retireTTL)
+	}
+	if e.epochLen != cp.EpochLength {
+		return fmt.Errorf("trace: checkpoint epoch length %d does not match session epoch length %d (restart with the original -epoch)", cp.EpochLength, e.epochLen)
+	}
 	for _, st := range cp.Keys {
 		sh := e.shards[e.shardIndex(st.Key)]
 		if _, dup := sh.keys[st.Key]; dup {
@@ -600,7 +673,7 @@ func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
 			}
 			ks.deque = append(ks.deque, closedSeg{
 				loSeq: ss.LoSeq, hiSeq: ss.HiSeq, ops: ops,
-				writes: ss.Writes, nops: len(ops),
+				writes: ss.Writes, nops: len(ops), cutAt: ss.CutAt,
 			})
 			ks.dequeWrites += ss.Writes
 			pending += len(ops)
@@ -638,6 +711,52 @@ func (s *Session) RestoreCheckpoint(cp *SessionCheckpoint) error {
 			ks.settled.Store(bad)
 		} else {
 			ks.settled.Store(ks.err != nil)
+		}
+	}
+	for _, st := range cp.Retired {
+		sh := e.shards[e.shardIndex(st.Key)]
+		if _, dup := sh.keys[st.Key]; dup {
+			return fmt.Errorf("trace: checkpoint retires live key %q", st.Key)
+		}
+		if sh.retired == nil {
+			sh.retired = make(map[string]*retiredKey)
+		}
+		if _, dup := sh.retired[st.Key]; dup {
+			return fmt.Errorf("trace: checkpoint repeats retired key %q", st.Key)
+		}
+		rk := &retiredKey{
+			ops:             st.Ops,
+			maxClosedFinish: st.MaxClosedFinish,
+			props:           e.propsFromCheckpoint(st.Atomic, st.MaxK, st.Saturated, st.Props),
+		}
+		if st.Err != "" {
+			rk.err = errors.New(st.Err)
+		}
+		sh.retired[st.Key] = rk
+		sh.ingested.Add(int64(st.Ops))
+		e.keyCount.Add(1)
+		e.retiredNow.Add(1)
+		e.retiredOps.Add(int64(st.Ops))
+		if st.Saturated {
+			e.saturatedKeys.Add(1)
+		}
+	}
+	e.retirements.Store(cp.Retirements)
+	e.readmissions.Store(cp.Readmissions)
+	if cp.Watermark != 0 {
+		for _, sh := range e.shards {
+			sh.maxStart.Store(cp.Watermark)
+		}
+	}
+	if e.epochLen > 0 {
+		t := &e.epochT
+		for i := range cp.Epochs {
+			es := cp.Epochs[i]
+			if es.Folded {
+				t.folded = &es
+			} else {
+				t.epochs[es.Epoch] = &es
+			}
 		}
 	}
 	e.segments.Store(cp.Stats.Segments)

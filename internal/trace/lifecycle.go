@@ -1,0 +1,603 @@
+package trace
+
+// Keyspace lifecycle: quiescent-key retirement and epoch-windowed verdicts.
+//
+// The engine in stream.go keeps per-key state for as long as the key exists:
+// the value index, the cumulative write counts, and the keyState itself are
+// never freed, so a churning keyspace (keys born, active briefly, then
+// abandoned) grows live heap without bound even though every individual
+// window closes. This file bounds that growth.
+//
+// Retirement. When a key has been quiescent past the safe-cut horizon for at
+// least StreamOptions.RetireTTL trace-time units — measured against the
+// global ingest watermark, the largest operation start time seen on any key —
+// a retirement sweep commits the key's final quiescent cut, dispatches
+// everything it still holds, and once the last in-flight segment verdict
+// folds in, collapses the key to a compact retiredKey record (final
+// per-property verdict, op count, committed cut) and frees everything else:
+// open window, deque, value index, cumulative counts, the keyState itself.
+// A later operation for a retired key transparently re-admits it: the
+// retired record seeds the fresh keyState's verdict accumulators (sound
+// because every property fold is commutative and associative — max for
+// smallest-k and smallest-Δ, AND for fixed-k, sums for regularity — so
+// carrying the folded floor forward and folding new segments into it equals
+// folding all segments into one accumulator), and the committed cut carries
+// forward so the arrival-order invariant keeps rejecting operations that
+// start at or before it.
+//
+// Soundness. Retirement commits a quiescent cut the never-retired run might
+// have deferred (the open window may be below MinSegmentOps), but the
+// segment-equivalence lemma (stream.go) holds for ANY subset of safe cuts,
+// so the extra cut is verdict-neutral. What retirement does tighten is the
+// arrival-order tolerance: an operation arriving more than RetireTTL of
+// trace time after every operation of its key — but starting at or before
+// the retirement cut — is rejected with ErrOutOfOrder where the
+// never-retired run would have admitted it into the still-open window.
+// RetireTTL is therefore exactly the cross-key start-time skew the ingest
+// order is allowed; an operation log sorted by invocation time has zero skew
+// and is unaffected for any TTL. Retirement also frees the value index, so
+// re-admitted lifetimes must write fresh values; a duplicate of a retired
+// value goes undetected rather than erroring (the same trade MaxBufferedOps
+// already documents for unbounded value indexes).
+// FuzzRetirementEquivalence drives both runs over random retirement points
+// and requires identical per-key, per-property verdicts.
+//
+// Epochs. With StreamOptions.EpochLength set, every segment verdict also
+// folds into the summary of the epoch its cut time falls in (epoch N covers
+// trace time [N*len, (N+1)*len)), so an infinite stream answers "was the
+// last hour k-atomic" without retaining per-key state per window. Epoch
+// attribution happens at quiescent cuts — the only instants a verdict
+// exists — and summaries are monotone aggregates, so late-landing verdicts
+// fold in regardless of worker scheduling. At most RetainEpochs summaries
+// are kept; older ones fold into a single cumulative aggregate.
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultRetireSweepOps is the per-shard operation interval between
+// retirement sweeps when StreamOptions.RetireSweepOps is zero: frequent
+// enough that an idle key outlives its TTL by at most a few thousand
+// operations of shard traffic, rare enough that the O(shard keys) scan
+// amortizes to noise.
+const DefaultRetireSweepOps = 4096
+
+// DefaultRetainEpochs caps retained epoch summaries when
+// StreamOptions.RetainEpochs is zero. Each summary is a few dozen bytes, so
+// the default keeps days of hourly epochs while still bounding an
+// adversarial tiny-epoch configuration.
+const DefaultRetainEpochs = 1024
+
+// retiredKey is the compact residue of a retired key: everything needed to
+// report its final verdict and to seed a re-admitted lifetime. ~100 bytes
+// versus the keyState's maps and buffers.
+type retiredKey struct {
+	ops             int
+	maxClosedFinish int64
+	props           []PropertyVerdict
+	err             error
+}
+
+// RetiredSummary aggregates the retired keys of a session (Session.
+// RetiredSummary). Keys/Ops cover currently retired keys (re-admission
+// moves a key back out); Retirements and Readmissions are lifetime event
+// counts.
+type RetiredSummary struct {
+	// Keys counts currently retired keys; Ops their folded operations.
+	Keys int64 `json:"keys"`
+	Ops  int64 `json:"ops,omitempty"`
+	// Retirements and Readmissions count lifetime retire / re-admit events.
+	Retirements  int64 `json:"retirements,omitempty"`
+	Readmissions int64 `json:"readmissions,omitempty"`
+	// MaxK / MaxDelta are the worst smallest-k and smallest-Δ folded into any
+	// currently retired key; UnsafeReads / IrregularReads and Errors sum over
+	// them.
+	MaxK           int   `json:"maxK,omitempty"`
+	MaxDelta       int64 `json:"maxDelta,omitempty"`
+	UnsafeReads    int64 `json:"unsafeReads,omitempty"`
+	IrregularReads int64 `json:"irregularReads,omitempty"`
+	Errors         int64 `json:"errors,omitempty"`
+}
+
+// EpochStats is one epoch window's verdict summary (Session.Epochs). Epoch N
+// covers trace time [N*EpochLength, (N+1)*EpochLength); verdicts attribute
+// to the epoch their segment's quiescent cut falls in, stale-read floors to
+// the epoch of the read's start.
+type EpochStats struct {
+	// Epoch is the window index; for the Folded aggregate it is the highest
+	// epoch folded in.
+	Epoch int64 `json:"epoch"`
+	// Folded marks the cumulative aggregate of epochs evicted past
+	// RetainEpochs.
+	Folded bool `json:"folded,omitempty"`
+	// Ops counts operations whose verdicts landed in this epoch (verified
+	// segment operations plus dropped stale reads); Segments counts verified
+	// segments.
+	Ops      int64 `json:"ops,omitempty"`
+	Segments int64 `json:"segments,omitempty"`
+	// StaleReads counts cross-boundary stale reads folded into this epoch.
+	StaleReads int64 `json:"staleReads,omitempty"`
+	// MaxK / MaxDelta are the worst per-segment smallest-k and smallest-Δ
+	// (smallest-k sessions); Violations counts non-atomic segments and
+	// definitive stale violations (fixed-k sessions).
+	MaxK       int   `json:"maxK,omitempty"`
+	MaxDelta   int64 `json:"maxDelta,omitempty"`
+	Violations int64 `json:"violations,omitempty"`
+	// UnsafeReads / IrregularReads sum the regularity property's offenders;
+	// Errors counts segments whose verification erred.
+	UnsafeReads    int64 `json:"unsafeReads,omitempty"`
+	IrregularReads int64 `json:"irregularReads,omitempty"`
+	Errors         int64 `json:"errors,omitempty"`
+}
+
+// foldInto merges src into dst (commutative sums and maxes; Epoch keeps the
+// maximum so a folded aggregate reports the newest epoch it covers).
+func (dst *EpochStats) foldInto(src *EpochStats) {
+	if src.Epoch > dst.Epoch {
+		dst.Epoch = src.Epoch
+	}
+	dst.Ops += src.Ops
+	dst.Segments += src.Segments
+	dst.StaleReads += src.StaleReads
+	if src.MaxK > dst.MaxK {
+		dst.MaxK = src.MaxK
+	}
+	if src.MaxDelta > dst.MaxDelta {
+		dst.MaxDelta = src.MaxDelta
+	}
+	dst.Violations += src.Violations
+	dst.UnsafeReads += src.UnsafeReads
+	dst.IrregularReads += src.IrregularReads
+	dst.Errors += src.Errors
+}
+
+// epochTracker owns the per-epoch summaries; a mutex suffices because folds
+// happen once per segment verdict, not per operation.
+type epochTracker struct {
+	mu     sync.Mutex
+	epochs map[int64]*EpochStats
+	folded *EpochStats // aggregate of epochs evicted past the retain cap
+}
+
+// watermark is the global ingest high-water mark: the largest operation
+// start time routed into any shard, or math.MinInt64 before any operation.
+func (e *engine) watermark() int64 {
+	wm := int64(math.MinInt64)
+	for _, sh := range e.shards {
+		if v := sh.maxStart.Load(); v > wm {
+			wm = v
+		}
+	}
+	return wm
+}
+
+// epochOf maps a trace time to its epoch index (floor division, exact for
+// negative times).
+func (e *engine) epochOf(t int64) int64 {
+	d := t / e.epochLen
+	if t%e.epochLen != 0 && t < 0 {
+		d--
+	}
+	return d
+}
+
+// foldEpoch applies fn to the summary of epoch ep, creating it (and evicting
+// past the retain cap) as needed. Late folds into an already-evicted epoch
+// land in the cumulative aggregate.
+func (e *engine) foldEpoch(ep int64, fn func(*EpochStats)) {
+	if e.epochLen <= 0 {
+		return
+	}
+	t := &e.epochT
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	es := t.epochs[ep]
+	if es == nil {
+		if t.folded != nil && ep <= t.folded.Epoch {
+			fn(t.folded)
+			return
+		}
+		es = &EpochStats{Epoch: ep}
+		t.epochs[ep] = es
+		for len(t.epochs) > e.retainEpochs {
+			oldest := int64(math.MaxInt64)
+			for k := range t.epochs {
+				if k < oldest {
+					oldest = k
+				}
+			}
+			if t.folded == nil {
+				t.folded = &EpochStats{Epoch: math.MinInt64, Folded: true}
+			}
+			t.folded.foldInto(t.epochs[oldest])
+			delete(t.epochs, oldest)
+			es = t.epochs[ep] // may have just been evicted
+		}
+		if es == nil { // the new epoch itself was the oldest
+			fn(t.folded)
+			return
+		}
+	}
+	fn(es)
+}
+
+// maybeSweep is the ingest-path retirement trigger: every RetireSweepOps
+// operations routed into a shard, sweep it. The caller owns the shard
+// (ingest lock or the single reader-driven goroutine).
+func (e *engine) maybeSweep(sh *ingestShard) error {
+	sh.sinceSweep++
+	if sh.sinceSweep < e.sweepEvery {
+		return nil
+	}
+	sh.sinceSweep = 0
+	return e.sweepShard(sh, e.retireTTL, e.sweepWatermark(sh))
+}
+
+// sweepWatermark is the idleness reference for a sweep of sh: the global
+// ingest watermark, capped by the shard's batch floor (operations fed in the
+// same batch arrived simultaneously, so they say nothing about how long a
+// key has been idle — see ingestShard.sweepWM).
+func (e *engine) sweepWatermark(sh *ingestShard) int64 {
+	wm := e.watermark()
+	if sh.sweepWM < wm {
+		wm = sh.sweepWM
+	}
+	return wm
+}
+
+// maybeSweepAll is the cold-shard retirement trigger. The ingest-path sweep
+// in maybeSweep only ever visits the shard receiving the operation, so a
+// shard whose keys all went quiescent — no traffic at all — would never be
+// swept and its keys never retired. Session entry points and the
+// reader-driven loops count every operation here, and every
+// RetireSweepOps*shards operations one pass sweeps every shard. wm is the
+// idleness reference: the watermark before the counted operations arrived.
+// lock says whether to take the shard locks (sessions) or the caller owns
+// every shard (the single goroutine of a reader-driven run).
+func (e *engine) maybeSweepAll(n int64, wm int64, lock bool) error {
+	if e.retireTTL <= 0 || wm == math.MinInt64 {
+		return nil
+	}
+	c := e.sinceSweepAll.Add(n)
+	period := int64(e.sweepEvery) * int64(len(e.shards))
+	if c < period || !e.sinceSweepAll.CompareAndSwap(c, 0) {
+		return nil // not due, or a concurrent feeder won the pass
+	}
+	var firstErr error
+	for _, sh := range e.shards {
+		if lock {
+			sh.mu.Lock()
+		}
+		err := e.sweepShard(sh, e.retireTTL, wm)
+		if lock {
+			sh.mu.Unlock()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// sweepShard retires every key of sh that has been idle — no operation
+// within ttl of the global watermark — and finalizes keys whose earlier
+// retirement was waiting out in-flight verification. The caller owns the
+// shard. Retirement is two-phase because workers never take shard locks
+// (the checkpoint freeze invariant): the sweep commits the final cut and
+// dispatches under the shard, and a later sweep (or the same one, when
+// verification already drained) folds the verdict and frees the state.
+func (e *engine) sweepShard(sh *ingestShard, ttl, wm int64) error {
+	if ttl <= 0 {
+		ttl = 1
+	}
+	if wm == math.MinInt64 {
+		return nil
+	}
+	var firstErr error
+	for _, ks := range sh.keys {
+		if ks.retiring {
+			e.finalizeRetire(sh, ks)
+			continue
+		}
+		last := ks.maxClosedFinish
+		if ks.totalOpen() > 0 && ks.openMaxFinish > last {
+			last = ks.openMaxFinish
+		}
+		// wm-last is computed only when last < wm; an overflow wraps
+		// negative and conservatively skips the key.
+		if last >= wm || wm-last < ttl {
+			continue
+		}
+		if err := e.flush(ks); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ks.retiring = true
+		e.retirements.Add(1)
+		e.finalizeRetire(sh, ks)
+	}
+	return firstErr
+}
+
+// finalizeRetire completes phase two of a retirement: once the key's last
+// in-flight segment verdict has folded, collapse it to a retiredKey and
+// free the keyState. The caller owns the shard. The inflight load
+// synchronizes with the worker's decrement, so the verdict fields read
+// below include every fold.
+func (e *engine) finalizeRetire(sh *ingestShard, ks *keyState) {
+	if ks.inflight.Load() != 0 {
+		return
+	}
+	if ks.totalOpen() > 0 || len(ks.deque) > 0 {
+		// An operation re-opened the window after the retire flush; the key
+		// is live again.
+		ks.retiring = false
+		return
+	}
+	ks.mu.Lock()
+	rk := &retiredKey{
+		ops:             ks.ops,
+		maxClosedFinish: ks.maxClosedFinish,
+		props:           append([]PropertyVerdict(nil), ks.props...),
+		err:             ks.err,
+	}
+	ks.mu.Unlock()
+	if sh.retired == nil {
+		sh.retired = make(map[string]*retiredKey)
+	}
+	sh.retired[ks.key] = rk
+	delete(sh.keys, ks.key)
+	e.retiredNow.Add(1)
+	e.retiredOps.Add(int64(rk.ops))
+}
+
+// readmit seeds a fresh keyState from a retired record: the carried floor.
+// Every property fold is commutative and associative, so starting the new
+// lifetime's accumulator at the retired verdict is exactly equivalent to
+// folding all lifetimes' segments into one accumulator. The committed cut
+// carries forward so the arrival-order invariant still rejects operations
+// at or before it; the retired error predates every new segment, so its
+// seq is set below any the new lifetime can produce (first error wins by
+// lowest seq).
+func (e *engine) readmit(ks *keyState, rk *retiredKey) {
+	ks.ops = rk.ops
+	ks.closedAny = true
+	ks.maxClosedFinish = rk.maxClosedFinish
+	copy(ks.props, rk.props)
+	ks.err = rk.err
+	if ks.err != nil {
+		ks.errSeq = math.MinInt
+	}
+	bad := ks.err != nil || !ks.props[0].Atomic
+	if e.mode == modeCheck && len(e.checkers) == 1 {
+		ks.settled.Store(bad)
+	} else {
+		ks.settled.Store(ks.err != nil)
+	}
+	e.retiredNow.Add(-1)
+	e.retiredOps.Add(int64(-rk.ops))
+	e.readmissions.Add(1)
+}
+
+// propsFromCheckpoint rebuilds a per-property accumulator slice in checker
+// order from checkpointed verdict fields (the k verdict rides the legacy
+// Atomic/MaxK/Saturated fields, extras ride PropState records).
+func (e *engine) propsFromCheckpoint(atomicK bool, maxK int, sat bool, extras []PropState) []PropertyVerdict {
+	props := make([]PropertyVerdict, len(e.checkers))
+	for i, ck := range e.checkers {
+		props[i] = PropertyVerdict{Property: ck.Property(), Atomic: true}
+	}
+	props[0].Atomic = atomicK
+	props[0].K = maxK
+	props[0].Saturated = sat
+	for _, ps := range extras {
+		for i := range props {
+			if props[i].Property.String() != ps.Property {
+				continue
+			}
+			props[i].Delta = ps.Delta
+			props[i].UnsafeReads = ps.Unsafe
+			props[i].IrregularReads = ps.Irregular
+			props[i].Saturated = ps.Saturated
+			break
+		}
+	}
+	return props
+}
+
+// retiredVerdictOf is keyVerdictOf for a retired record.
+func retiredVerdictOf(key string, rk *retiredKey) KeyVerdict {
+	kv := KeyVerdict{
+		Key:        key,
+		Ops:        rk.ops,
+		Properties: PropertySetK,
+		Retired:    true,
+		Err:        rk.err,
+	}
+	applyPropVerdicts(&kv, rk.props, rk.err)
+	return kv
+}
+
+// applyPropVerdicts fills a KeyVerdict's per-property fields from an
+// accumulator slice (shared by the live and retired verdict builders).
+func applyPropVerdicts(kv *KeyVerdict, props []PropertyVerdict, err error) {
+	for _, pv := range props {
+		switch pv.Property {
+		case PropertyKAtomicity:
+			kv.Atomic = err == nil && pv.Atomic
+			kv.SmallestK = pv.K
+			kv.Saturated = pv.Saturated
+		case PropertyDelta:
+			kv.Properties |= PropertySetDelta
+			kv.SmallestDelta = pv.Delta
+			kv.DeltaSaturated = pv.Saturated
+		case PropertyRegularity:
+			kv.Properties |= PropertySetRegularity
+			kv.UnsafeReads = pv.UnsafeReads
+			kv.IrregularReads = pv.IrregularReads
+		}
+	}
+}
+
+// RetireIdle sweeps every shard, retiring keys idle for at least minIdle
+// trace-time units against the ingest watermark (minIdle <= 0 retires every
+// strictly idle key — the aggressive memory-pressure form). It works whether
+// or not StreamOptions.RetireTTL enabled automatic sweeps. Spill I/O errors
+// surface like ingest errors (sticky).
+func (s *Session) RetireIdle(minIdle int64) error {
+	if s.flushed.Load() {
+		return nil
+	}
+	var firstErr error
+	for _, sh := range s.e.shards {
+		sh.mu.Lock()
+		err := s.e.sweepShard(sh, minIdle, s.e.watermark())
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		s.err.CompareAndSwap(nil, &stickyIngestErr{firstErr})
+	}
+	return firstErr
+}
+
+// sweepAllSticky runs the cold-shard sweep pass for a session feeder that
+// just appended n operations, making any spill I/O error sticky the way
+// ingest errors are. The caller must hold no shard lock.
+func (s *Session) sweepAllSticky(n int64, wm int64) error {
+	if s.flushed.Load() {
+		return nil
+	}
+	err := s.e.maybeSweepAll(n, wm, true)
+	if err != nil {
+		s.err.CompareAndSwap(nil, &stickyIngestErr{err})
+	}
+	return err
+}
+
+// SpillOpenWindows spills every key's in-memory open-window tail to the
+// session's BlobStore regardless of SpillThresholdOps — the memory-pressure
+// relief valve. No-op without a store.
+func (s *Session) SpillOpenWindows() error {
+	if s.e.store == nil || s.flushed.Load() {
+		return nil
+	}
+	var firstErr error
+	for _, sh := range s.e.shards {
+		sh.mu.Lock()
+		for _, ks := range sh.keys {
+			if err := s.e.spillOpenTail(ks); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if firstErr != nil {
+		s.err.CompareAndSwap(nil, &stickyIngestErr{firstErr})
+	}
+	return firstErr
+}
+
+// RetiredSummary aggregates the session's retired keys. The per-key floor
+// scan takes each shard lock briefly; the counters are lock-free.
+func (s *Session) RetiredSummary() RetiredSummary {
+	e := s.e
+	sum := RetiredSummary{
+		Keys:         e.retiredNow.Load(),
+		Ops:          e.retiredOps.Load(),
+		Retirements:  e.retirements.Load(),
+		Readmissions: e.readmissions.Load(),
+	}
+	e.eachShardLocked(func(sh *ingestShard) {
+		for _, rk := range sh.retired {
+			if rk.err != nil {
+				sum.Errors++
+			}
+			for _, pv := range rk.props {
+				switch pv.Property {
+				case PropertyKAtomicity:
+					if pv.K > sum.MaxK {
+						sum.MaxK = pv.K
+					}
+				case PropertyDelta:
+					if pv.Delta > sum.MaxDelta {
+						sum.MaxDelta = pv.Delta
+					}
+				case PropertyRegularity:
+					sum.UnsafeReads += int64(pv.UnsafeReads)
+					sum.IrregularReads += int64(pv.IrregularReads)
+				}
+			}
+		}
+	})
+	return sum
+}
+
+// RetiredKeys returns the number of currently retired keys. Lock-free.
+func (s *Session) RetiredKeys() int64 { return s.e.retiredNow.Load() }
+
+// Watermark returns the global ingest high-water mark (largest operation
+// start seen), or math.MinInt64 before any operation. Lock-free.
+func (s *Session) Watermark() int64 { return s.e.watermark() }
+
+// CurrentEpoch returns the epoch index the ingest watermark falls in; ok is
+// false when epochs are disabled or no operation has arrived.
+func (s *Session) CurrentEpoch() (int64, bool) {
+	if s.e.epochLen <= 0 {
+		return 0, false
+	}
+	wm := s.e.watermark()
+	if wm == math.MinInt64 {
+		return 0, false
+	}
+	return s.e.epochOf(wm), true
+}
+
+// Epochs returns every retained epoch summary, oldest first, preceded by the
+// cumulative aggregate of evicted epochs if any. Empty when epochs are
+// disabled.
+func (s *Session) Epochs() []EpochStats {
+	t := &s.e.epochT
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]EpochStats, 0, len(t.epochs)+1)
+	if t.folded != nil {
+		out = append(out, *t.folded)
+	}
+	n := len(out)
+	for _, es := range t.epochs {
+		out = append(out, *es)
+	}
+	live := out[n:]
+	sort.Slice(live, func(i, j int) bool { return live[i].Epoch < live[j].Epoch })
+	return out
+}
+
+// EpochSummary returns one epoch's summary. For an epoch already evicted
+// into the cumulative aggregate, the aggregate is returned (Folded set). ok
+// is false when epochs are disabled or the epoch has no folded verdicts yet.
+func (s *Session) EpochSummary(epoch int64) (EpochStats, bool) {
+	if s.e.epochLen <= 0 {
+		return EpochStats{}, false
+	}
+	t := &s.e.epochT
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if es, ok := t.epochs[epoch]; ok {
+		return *es, true
+	}
+	if t.folded != nil && epoch <= t.folded.Epoch {
+		return *t.folded, true
+	}
+	return EpochStats{}, false
+}
+
+// EpochLength returns the session's epoch window length in trace-time units
+// (0 when epochs are disabled).
+func (s *Session) EpochLength() int64 { return s.e.epochLen }

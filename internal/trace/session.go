@@ -130,6 +130,7 @@ func (s *Session) Append(key string, op history.Operation) error {
 		return err
 	}
 	logger := s.shardLogger()
+	preWM := s.e.watermark() // idleness reference for the cold-shard sweep
 	si := s.e.shardIndex(key)
 	sh := s.e.shards[si]
 	sh.lockIngest()
@@ -153,6 +154,9 @@ func (s *Session) Append(key string, op history.Operation) error {
 	sh.mu.Unlock()
 	if ok && logger != nil && err == nil {
 		err = s.commitLog(logger)
+	}
+	if ok && err == nil {
+		err = s.sweepAllSticky(1, preWM)
 	}
 	return err
 }
@@ -210,11 +214,12 @@ func (s *Session) AppendTrace(r io.Reader) (int64, error) {
 		if err := s.gate(); err != nil {
 			return err
 		}
+		preWM := s.e.watermark() // idleness reference for the cold-shard sweep
 		si := s.e.shardIndexBytes(key)
 		sh := s.e.shards[si]
 		sh.lockIngest()
-		defer sh.mu.Unlock()
 		if err := s.gate(); err != nil {
+			sh.mu.Unlock()
 			return err
 		}
 		ok, err := s.settleAdd(s.e.addIn(sh, key, op))
@@ -226,6 +231,10 @@ func (s *Session) AppendTrace(r io.Reader) (int64, error) {
 					err = lerr
 				}
 			}
+		}
+		sh.mu.Unlock()
+		if ok && err == nil {
+			err = s.sweepAllSticky(1, preWM)
 		}
 		return err
 	})
@@ -320,6 +329,11 @@ type KeyVerdict struct {
 	// and regularity (regularity property) over everything verified so far.
 	UnsafeReads    int
 	IrregularReads int
+	// Retired reports that the key was retired after its TTL of quiescence:
+	// the verdict is its folded final state (identical to what a
+	// never-retired run reports) and its live state has been freed. A later
+	// operation re-admits the key and clears the flag.
+	Retired bool
 	// Err is the key's anomaly or verification error, if any.
 	Err error
 }
@@ -400,6 +414,9 @@ func (s *Session) SnapshotKey(key string) (KeyVerdict, bool) {
 	defer sh.mu.Unlock()
 	ks, ok := sh.keys[key]
 	if !ok {
+		if rk, rok := sh.retired[key]; rok {
+			return retiredVerdictOf(key, rk), true
+		}
 		return KeyVerdict{}, false
 	}
 	return keyVerdictOf(ks), true
@@ -422,22 +439,7 @@ func keyVerdictOf(ks *keyState) KeyVerdict {
 		Properties: PropertySetK,
 		Err:        ks.err,
 	}
-	for _, pv := range ks.props {
-		switch pv.Property {
-		case PropertyKAtomicity:
-			kv.Atomic = ks.err == nil && pv.Atomic
-			kv.SmallestK = pv.K
-			kv.Saturated = pv.Saturated
-		case PropertyDelta:
-			kv.Properties |= PropertySetDelta
-			kv.SmallestDelta = pv.Delta
-			kv.DeltaSaturated = pv.Saturated
-		case PropertyRegularity:
-			kv.Properties |= PropertySetRegularity
-			kv.UnsafeReads = pv.UnsafeReads
-			kv.IrregularReads = pv.IrregularReads
-		}
-	}
+	applyPropVerdicts(&kv, ks.props, ks.err)
 	return kv
 }
 
@@ -448,6 +450,9 @@ func (e *engine) keyVerdicts() []KeyVerdict {
 	e.eachShardLocked(func(sh *ingestShard) {
 		for _, ks := range sh.keys {
 			out = append(out, keyVerdictOf(ks))
+		}
+		for key, rk := range sh.retired {
+			out = append(out, retiredVerdictOf(key, rk))
 		}
 	})
 	sortKeyVerdicts(out)
@@ -474,6 +479,14 @@ func (e *engine) checkReport() Report {
 			})
 			ks.mu.Unlock()
 		}
+		for key, rk := range sh.retired {
+			rep.Keys = append(rep.Keys, KeyReport{
+				Key:    key,
+				Ops:    rk.ops,
+				Atomic: rk.err == nil && rk.props[0].Atomic,
+				Err:    rk.err,
+			})
+		}
 	})
 	sort.Slice(rep.Keys, func(i, j int) bool { return rep.Keys[i].Key < rep.Keys[j].Key })
 	return rep
@@ -493,6 +506,13 @@ func (e *engine) smallestKMap() map[string]int {
 				out[ks.key] = max(1, ks.props[0].K)
 			}
 			ks.mu.Unlock()
+		}
+		for key, rk := range sh.retired {
+			if rk.err != nil {
+				out[key] = 0
+			} else {
+				out[key] = max(1, rk.props[0].K)
+			}
 		}
 	})
 	return out

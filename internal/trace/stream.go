@@ -183,6 +183,24 @@ type StreamOptions struct {
 	// closed segment is checked once per enabled property by the same
 	// worker, and per-key verdicts fold per property (see PropertyChecker).
 	Properties PropertySet
+	// RetireTTL enables quiescent-key retirement: a key idle for at least
+	// this many trace-time units against the global ingest watermark is
+	// collapsed to a compact retired record and its state freed, with the
+	// verdict floor carried forward on re-admission (see lifecycle.go for
+	// the soundness argument and the skew-tolerance trade). 0 disables
+	// automatic sweeps; Session.RetireIdle still works.
+	RetireTTL int64
+	// RetireSweepOps is the per-shard operation interval between retirement
+	// sweeps (<= 0 uses DefaultRetireSweepOps).
+	RetireSweepOps int
+	// EpochLength, when positive, folds every segment verdict into the
+	// summary of the epoch window its quiescent cut falls in (epoch N covers
+	// trace time [N*EpochLength, (N+1)*EpochLength)), so infinite streams
+	// answer windowed verdict queries (Session.Epochs, EpochSummary).
+	EpochLength int64
+	// RetainEpochs caps retained epoch summaries (<= 0 uses
+	// DefaultRetainEpochs); older epochs fold into one cumulative aggregate.
+	RetainEpochs int
 }
 
 // SegmentVerdict is the outcome of one verified segment.
@@ -240,6 +258,12 @@ type StreamStats struct {
 	Spills     int64
 	OpsSpilled int64
 	SpillLoads int64
+	// RetiredKeys counts currently retired keys; Retirements and
+	// Readmissions count lifetime retire / re-admit events (see
+	// StreamOptions.RetireTTL).
+	RetiredKeys  int64
+	Retirements  int64
+	Readmissions int64
 }
 
 // ParseStream reads the keyed text format from r and invokes emit for every
@@ -489,6 +513,9 @@ type closedSeg struct {
 	writes       int
 	nops         int
 	spill        uint64
+	// cutAt is the quiescent cut time that closed the segment (the key's
+	// maxClosedFinish at close) — the epoch the verdict attributes to.
+	cutAt int64
 }
 
 // ingestShard is one stripe of the engine's per-key state. Every key hashes
@@ -519,6 +546,26 @@ type ingestShard struct {
 	// store), read lock-free by finalStats, which folds a max over
 	// shards — keeping the per-op hot path off any cross-shard cacheline.
 	maxOpen atomic.Int64
+	// maxStart is the largest operation start routed into this shard
+	// (math.MinInt64 before any). Written under the shard's exclusive
+	// ingest access, read lock-free cross-shard by the watermark fold that
+	// drives retirement TTLs and the current-epoch gauge.
+	maxStart atomic.Int64
+
+	// sinceSweep counts operations since the last retirement sweep and
+	// retired holds the compact records of this shard's retired keys; both
+	// owned under the shard's exclusive access (see lifecycle.go).
+	sinceSweep int
+	retired    map[string]*retiredKey
+	// sweepWM caps the watermark retirement sweeps may use while a batch
+	// feed holds this shard (math.MaxInt64 = no cap, use the live fold).
+	// Batch ingest routes a whole chunk before any shard processes its
+	// group, so mid-group the cross-shard maxStart fold includes
+	// operations that arrived *simultaneously* with the ones still being
+	// fed here — no evidence of idleness. feedGrouped pins this to the
+	// pre-batch watermark for the group's duration; owned under the
+	// shard's exclusive access.
+	sweepWM int64
 }
 
 // keyState is one register's accumulator plus its verdict aggregation.
@@ -548,6 +595,13 @@ type keyState struct {
 	spillOpen    []uint64
 	spillOpenOps int
 
+	// retiring marks a key whose retirement sweep flushed it; finalization
+	// (fold + free) waits until inflight — dispatched segments whose
+	// verdicts have not folded yet — drains to zero, because workers never
+	// take shard locks (see lifecycle.go).
+	retiring bool
+	inflight atomic.Int32
+
 	settled atomic.Bool
 
 	mu     sync.Mutex
@@ -565,6 +619,7 @@ type job struct {
 	seq      int
 	ops      []history.Operation
 	scanOnly bool
+	cutAt    int64
 }
 
 type engine struct {
@@ -607,6 +662,17 @@ type engine struct {
 	sem     chan struct{}
 	bufPool sync.Pool
 
+	// Keyspace lifecycle (lifecycle.go): retirement TTL + sweep cadence,
+	// epoch windowing, and the epoch summary tracker. sinceSweepAll gates
+	// the cold-shard sweep pass (maybeSweepAll) that the session entry
+	// points and reader-driven loops drive.
+	retireTTL     int64
+	sweepEvery    int
+	epochLen      int64
+	retainEpochs  int
+	epochT        epochTracker
+	sinceSweepAll atomic.Int64
+
 	stop      atomic.Bool
 	parseDone atomic.Bool
 
@@ -627,6 +693,10 @@ type engine struct {
 	opsSpilled    atomic.Int64
 	spillLoads    atomic.Int64
 	onDisk        atomic.Int64
+	retiredNow    atomic.Int64
+	retiredOps    atomic.Int64
+	retirements   atomic.Int64
+	readmissions  atomic.Int64
 }
 
 // atomicMax raises a to at least v.
@@ -718,7 +788,21 @@ func newEngine(mode streamMode, k, threshold int, opts core.Options, sopts Strea
 		sem:       make(chan struct{}, 2*workers),
 	}
 	for i := range e.shards {
-		e.shards[i] = &ingestShard{keys: make(map[string]*keyState)}
+		e.shards[i] = &ingestShard{keys: make(map[string]*keyState), sweepWM: math.MaxInt64}
+		e.shards[i].maxStart.Store(math.MinInt64)
+	}
+	e.retireTTL = sopts.RetireTTL
+	e.sweepEvery = sopts.RetireSweepOps
+	if e.sweepEvery <= 0 {
+		e.sweepEvery = DefaultRetireSweepOps
+	}
+	e.epochLen = sopts.EpochLength
+	e.retainEpochs = sopts.RetainEpochs
+	if e.retainEpochs <= 0 {
+		e.retainEpochs = DefaultRetainEpochs
+	}
+	if e.epochLen > 0 {
+		e.epochT.epochs = make(map[int64]*EpochStats)
 	}
 	if sopts.Store != nil {
 		e.store = sopts.Store
@@ -747,7 +831,15 @@ func (e *engine) run(r io.Reader) error {
 	if head, err := br.Peek(4); err == nil && wire.IsMagic(head) {
 		input = e.runWire(br)
 	} else {
-		input = parseStreamBytes(br, e.add)
+		// The single parser goroutine owns every shard, and feeds in strict
+		// input order — the live watermark is exactly the arrival position,
+		// so the cold-shard sweep needs no batch floor here.
+		input = parseStreamBytes(br, func(key []byte, op history.Operation) error {
+			if err := e.add(key, op); err != nil {
+				return err
+			}
+			return e.maybeSweepAll(1, e.watermark(), false)
+		})
 	}
 	err := e.drain(input)
 	e.finish()
@@ -769,6 +861,9 @@ func (e *engine) runWire(r io.Reader) error {
 		for i := range ops {
 			sh := e.shards[e.shardIndex(ops[i].Key)]
 			if err := e.addStringIn(sh, ops[i].Key, ops[i].Op); err != nil {
+				return err
+			}
+			if err := e.maybeSweepAll(1, e.watermark(), false); err != nil {
 				return err
 			}
 		}
@@ -856,14 +951,29 @@ func (e *engine) newKey(sh *ingestShard, key string) *keyState {
 	for i, ck := range e.checkers {
 		ks.props[i] = PropertyVerdict{Property: ck.Property(), Atomic: true}
 	}
+	if rk, ok := sh.retired[key]; ok {
+		// Re-admission: the retired record seeds the new lifetime's verdict
+		// accumulators and committed cut (see lifecycle.go).
+		delete(sh.retired, key)
+		e.readmit(ks, rk)
+	} else {
+		e.keyCount.Add(1)
+	}
 	sh.keys[key] = ks
-	e.keyCount.Add(1)
 	return ks
 }
 
 func (e *engine) addOp(ks *keyState, op history.Operation) error {
 	ks.ops++
 	ks.sh.ingested.Add(1)
+	if op.Start > ks.sh.maxStart.Load() {
+		ks.sh.maxStart.Store(op.Start) // single writer per shard: no CAS needed
+	}
+	if ks.retiring {
+		// A retirement sweep flushed this key but an operation landed before
+		// finalization: the key is live again.
+		ks.retiring = false
+	}
 	if op.Finish < op.Start {
 		// Normalization repairs zero-length operations but not truly
 		// inverted ones; report incrementally, since the operation may
@@ -921,6 +1031,9 @@ func (e *engine) addOp(ks *keyState, op history.Operation) error {
 		if err := e.spillOpenTail(ks); err != nil {
 			return err
 		}
+	}
+	if e.retireTTL > 0 {
+		return e.maybeSweep(ks.sh)
 	}
 	return nil
 }
@@ -984,7 +1097,7 @@ func (e *engine) closeOpen(ks *keyState) error {
 		e.foldStaleReads(ks, kept, dropped, droppedSeq)
 	}
 
-	merged := closedSeg{loSeq: ks.seq, hiSeq: ks.seq, ops: ops, writes: writes}
+	merged := closedSeg{loSeq: ks.seq, hiSeq: ks.seq, ops: ops, writes: writes, cutAt: ks.maxClosedFinish}
 	if mergeFrom >= 0 {
 		j := 0
 		for j < len(ks.deque) && ks.deque[j].hiSeq < mergeFrom {
@@ -1008,6 +1121,7 @@ func (e *engine) closeOpen(ks *keyState) error {
 		base.ops = append(base.ops, ops...)
 		base.writes += writes
 		base.hiSeq = ks.seq
+		base.cutAt = ks.maxClosedFinish
 		e.bufPool.Put(ops[:0])
 		e.merges.Add(1) // the entry the read reached into
 		ks.deque = ks.deque[:j]
@@ -1087,6 +1201,29 @@ func (e *engine) foldStaleReads(ks *keyState, kept, dropped []history.Operation,
 			e.saturatedKeys.Add(1)
 		}
 	})
+	if e.epochLen > 0 {
+		for i, op := range dropped {
+			ev := evs[i]
+			e.foldEpoch(e.epochOf(op.Start), func(es *EpochStats) {
+				es.StaleReads++
+				es.Ops++
+				if e.mode == modeCheck {
+					es.Violations++
+				} else if ev.forcedWrites+1 > es.MaxK {
+					es.MaxK = ev.forcedWrites + 1
+				}
+				if ev.deltaFloor > es.MaxDelta {
+					es.MaxDelta = ev.deltaFloor
+				}
+				if e.sopts.Properties.Has(PropertyRegularity) {
+					es.IrregularReads++
+					if !ev.safe {
+						es.UnsafeReads++
+					}
+				}
+			})
+		}
+	}
 }
 
 // settle applies a verdict mutation under the key's lock and updates the
@@ -1115,7 +1252,8 @@ func (e *engine) settle(ks *keyState, apply func()) {
 func (e *engine) dispatch(ks *keyState, seg closedSeg) {
 	ks.dispatchedThrough = seg.hiSeq
 	e.segments.Add(1)
-	j := job{ks: ks, seq: seg.loSeq, ops: seg.ops, scanOnly: ks.settled.Load()}
+	ks.inflight.Add(1)
+	j := job{ks: ks, seq: seg.loSeq, ops: seg.ops, scanOnly: ks.settled.Load(), cutAt: seg.cutAt}
 	e.sem <- struct{}{}
 	e.wg.Add(1)
 	e.vpool.Submit(func(c *core.Ctx) {
@@ -1189,6 +1327,37 @@ func (e *engine) verifySegment(c *core.Ctx, j job) {
 			}
 		}
 	})
+	if e.epochLen > 0 {
+		e.foldEpoch(e.epochOf(j.cutAt), func(es *EpochStats) {
+			es.Segments++
+			es.Ops += int64(n)
+			if verdict.Err != nil {
+				es.Errors++
+			}
+			if !j.scanOnly {
+				if kv.K > es.MaxK {
+					es.MaxK = kv.K
+				}
+				if e.mode == modeCheck && !kv.Atomic {
+					es.Violations++
+				}
+				for _, pv := range verdict.Props {
+					switch pv.Property {
+					case PropertyDelta:
+						if pv.Delta > es.MaxDelta {
+							es.MaxDelta = pv.Delta
+						}
+					case PropertyRegularity:
+						es.UnsafeReads += int64(pv.UnsafeReads)
+						es.IrregularReads += int64(pv.IrregularReads)
+					}
+				}
+			}
+		})
+	}
+	// The decrement must follow the settle fold: a retirement finalizer that
+	// observes inflight == 0 reads verdict state that includes this segment.
+	j.ks.inflight.Add(-1)
 	j.ks.sh.buffered.Add(-int64(n))
 	e.buffered.Add(-int64(n))
 	// FirstVerdictOps documents the pipelining win, so only verdicts
@@ -1231,5 +1400,8 @@ func (e *engine) finalStats() StreamStats {
 		Spills:          e.spills.Load(),
 		OpsSpilled:      e.opsSpilled.Load(),
 		SpillLoads:      e.spillLoads.Load(),
+		RetiredKeys:     e.retiredNow.Load(),
+		Retirements:     e.retirements.Load(),
+		Readmissions:    e.readmissions.Load(),
 	}
 }

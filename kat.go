@@ -268,6 +268,21 @@ func ZipfKeyCounts(seed int64, keys, total int, s float64) []int {
 // GenerateRandom produces an unconstrained anomaly-free random history.
 func GenerateRandom(cfg GenConfig) *History { return generator.Random(cfg) }
 
+// ChurnConfig configures GenerateChurn; see generator.ChurnConfig.
+type ChurnConfig = generator.ChurnConfig
+
+// GenerateChurn produces the churning-keyspace workload: key lifetimes
+// born at a fixed cadence that live briefly and quiesce forever (or, with
+// NoQuiesce, never quiesce — the adversarial memory-pressure input).
+// kavgen's -churn flag and the keyspace-lifecycle soak tests use it.
+func GenerateChurn(cfg ChurnConfig) *Trace {
+	tr := NewTrace()
+	for _, ko := range generator.Churn(cfg) {
+		tr.Add(ko.Key, ko.Op)
+	}
+	return tr
+}
+
 // GenerateLBTTrap builds the staircase construction that drives literal
 // Figure 2 LBT (no iterative deepening, adversarial candidate order) into
 // the pathological behavior Theorem 3.2's proof warns about.
